@@ -1,0 +1,94 @@
+// Command experiments regenerates the paper's evaluation (§5): every
+// figure and table, printed as text tables with the same rows/series the
+// paper reports.
+//
+// Usage:
+//
+//	experiments [-quick] [-seed N] [-only fig5,fig8a,fig8b,fig8c,fig8d,javaattacks,fig9,nativeattacks]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"pathmark/internal/experiments"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "shrink sweeps and trial counts")
+	seed := flag.Int64("seed", 42, "experiment seed")
+	only := flag.String("only", "", "comma-separated subset of experiments to run")
+	flag.Parse()
+
+	cfg := experiments.Config{Quick: *quick, Seed: *seed}
+	selected := map[string]bool{}
+	if *only != "" {
+		for _, name := range strings.Split(*only, ",") {
+			selected[strings.TrimSpace(name)] = true
+		}
+	}
+	want := func(name string) bool { return len(selected) == 0 || selected[name] }
+
+	type exp struct {
+		name string
+		run  func() []*experiments.Table
+	}
+	suite := []exp{
+		{"fig5", func() []*experiments.Table {
+			_, t := experiments.Figure5(cfg)
+			return []*experiments.Table{t}
+		}},
+		{"fig8a", func() []*experiments.Table {
+			_, t := experiments.Figure8a(cfg)
+			return []*experiments.Table{t}
+		}},
+		{"fig8b", func() []*experiments.Table {
+			_, t := experiments.Figure8b(cfg)
+			return []*experiments.Table{t}
+		}},
+		{"fig8c", func() []*experiments.Table {
+			_, t := experiments.Figure8c(cfg)
+			return []*experiments.Table{t}
+		}},
+		{"fig8d", func() []*experiments.Table {
+			_, t := experiments.Figure8d(cfg)
+			return []*experiments.Table{t}
+		}},
+		{"javaattacks", func() []*experiments.Table {
+			_, t := experiments.JavaAttacksTable(cfg)
+			return []*experiments.Table{t}
+		}},
+		{"fig9", func() []*experiments.Table {
+			_, size, tim := experiments.Figure9(cfg)
+			return []*experiments.Table{size, tim}
+		}},
+		{"nativeattacks", func() []*experiments.Table {
+			_, t := experiments.NativeAttacksTable(cfg)
+			return []*experiments.Table{t}
+		}},
+		{"ablations", func() []*experiments.Table {
+			return []*experiments.Table{experiments.Ablations(cfg)}
+		}},
+	}
+
+	ran := 0
+	for _, e := range suite {
+		if !want(e.name) {
+			continue
+		}
+		start := time.Now()
+		tables := e.run()
+		for _, t := range tables {
+			fmt.Println(t.Render())
+		}
+		fmt.Printf("[%s completed in %v]\n\n", e.name, time.Since(start).Round(time.Millisecond))
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintln(os.Stderr, "experiments: nothing selected")
+		os.Exit(2)
+	}
+}

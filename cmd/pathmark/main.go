@@ -1,0 +1,288 @@
+// Command pathmark embeds, recognizes, and attacks path-based watermarks
+// in VM programs (the paper's Java-bytecode side, §3).
+//
+// Usage:
+//
+//	pathmark embed   -in prog.pasm -out marked.pasm -w 123456789 -wbits 128 [-pieces N] [-seed S] [-input 1,2,3]
+//	pathmark recognize -in marked.pasm -wbits 128 [-input 1,2,3]
+//	pathmark trace   -in prog.pasm [-input 1,2,3]      # dump the decoded bit-string
+//	pathmark attack  -in marked.pasm -out attacked.pasm -name branch-insertion [-seed S]
+//	pathmark attacks                                    # list the attack catalog
+//	pathmark run     -in prog.pasm [-input 1,2,3]
+//
+// Programs are read and written in the textual assembly format of
+// internal/vm (see examples/). The cipher key is derived from -key (two
+// 64-bit halves, "hi:lo" hex); the prime basis from -wbits. Keep all of
+// -key, -input and -wbits secret and stable between embed and recognize.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/big"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+
+	"pathmark/internal/attacks"
+	"pathmark/internal/feistel"
+	"pathmark/internal/vm"
+	"pathmark/internal/wm"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	switch cmd {
+	case "embed":
+		cmdEmbed(args)
+	case "recognize":
+		cmdRecognize(args)
+	case "trace":
+		cmdTrace(args)
+	case "attack":
+		cmdAttack(args)
+	case "attacks":
+		for _, a := range attacks.Catalog() {
+			destroys := ""
+			if a.Destroys {
+				destroys = "  (destroys the watermark)"
+			}
+			fmt.Printf("%s%s\n", a.Name, destroys)
+		}
+	case "run":
+		cmdRun(args)
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: pathmark {embed|recognize|trace|attack|attacks|run} [flags]")
+	os.Exit(2)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pathmark:", err)
+	os.Exit(1)
+}
+
+type common struct {
+	in      string
+	input   string
+	key     string
+	keyfile string
+	wbits   int
+}
+
+func (c *common) register(fs *flag.FlagSet) {
+	fs.StringVar(&c.in, "in", "", "input program (.pasm)")
+	fs.StringVar(&c.input, "input", "", "secret input sequence, comma-separated integers")
+	fs.StringVar(&c.key, "key", "6b72616d68746170:504c444932303034", "cipher key as hi:lo hex halves")
+	fs.StringVar(&c.keyfile, "keyfile", "", "load the watermark key from this file (overrides -key/-input/-wbits)")
+	fs.IntVar(&c.wbits, "wbits", 128, "watermark size in bits (fixes the prime basis)")
+}
+
+func (c *common) loadProgram() *vm.Program {
+	if c.in == "" {
+		fatal(fmt.Errorf("missing -in"))
+	}
+	src, err := os.ReadFile(c.in)
+	if err != nil {
+		fatal(err)
+	}
+	p, err := vm.Assemble(string(src))
+	if err != nil {
+		fatal(err)
+	}
+	return p
+}
+
+func (c *common) secretInput() []int64 {
+	if c.input == "" {
+		return nil
+	}
+	var out []int64
+	for _, f := range strings.Split(c.input, ",") {
+		v, err := strconv.ParseInt(strings.TrimSpace(f), 0, 64)
+		if err != nil {
+			fatal(fmt.Errorf("bad -input element %q: %w", f, err))
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+func (c *common) wmKey() *wm.Key {
+	if c.keyfile != "" {
+		f, err := os.Open(c.keyfile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		key, err := wm.LoadKey(f)
+		if err != nil {
+			fatal(err)
+		}
+		return key
+	}
+	halves := strings.SplitN(c.key, ":", 2)
+	if len(halves) != 2 {
+		fatal(fmt.Errorf("bad -key, want hi:lo hex"))
+	}
+	hi, err := strconv.ParseUint(halves[0], 16, 64)
+	if err != nil {
+		fatal(err)
+	}
+	lo, err := strconv.ParseUint(halves[1], 16, 64)
+	if err != nil {
+		fatal(err)
+	}
+	key, err := wm.NewKey(c.secretInput(), feistel.KeyFromUint64(hi, lo), c.wbits)
+	if err != nil {
+		fatal(err)
+	}
+	return key
+}
+
+func cmdEmbed(args []string) {
+	fs := flag.NewFlagSet("embed", flag.ExitOnError)
+	var c common
+	c.register(fs)
+	out := fs.String("out", "", "output file for the watermarked program")
+	wStr := fs.String("w", "", "watermark value (decimal or 0x hex)")
+	pieces := fs.Int("pieces", 0, "pieces to insert (0 = one per prime pair)")
+	seed := fs.Int64("seed", 1, "embedding randomness seed")
+	saveKey := fs.String("savekey", "", "write the watermark key to this file for later recognition")
+	policy := fs.String("generator", "auto", "code generator: auto|loop|loop-unrolled|condition")
+	fs.Parse(args)
+	p := c.loadProgram()
+	key := c.wmKey()
+	w := new(big.Int)
+	if _, ok := w.SetString(*wStr, 0); !ok || *wStr == "" {
+		fatal(fmt.Errorf("bad or missing -w"))
+	}
+	var pol wm.GeneratorPolicy
+	switch *policy {
+	case "auto":
+		pol = wm.GenAuto
+	case "loop":
+		pol = wm.GenLoopOnly
+	case "loop-unrolled":
+		pol = wm.GenLoopUnrolledOnly
+	case "condition":
+		pol = wm.GenConditionOnly
+	default:
+		fatal(fmt.Errorf("unknown -generator %q", *policy))
+	}
+	marked, report, err := wm.Embed(p, w, key, wm.EmbedOptions{
+		Pieces: *pieces, Seed: *seed, Policy: pol,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	if *out == "" {
+		fatal(fmt.Errorf("missing -out"))
+	}
+	if err := os.WriteFile(*out, []byte(vm.Dump(marked)), 0o644); err != nil {
+		fatal(err)
+	}
+	if *saveKey != "" {
+		f, err := os.Create(*saveKey)
+		if err != nil {
+			fatal(err)
+		}
+		if err := wm.SaveKey(f, key); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("key written to %s (keep it secret)\n", *saveKey)
+	}
+	fmt.Printf("embedded %d pieces (%d candidate sites, %d trace events)\n",
+		len(report.Pieces), report.CandidateSite, report.TraceEvents)
+	fmt.Printf("size: %d -> %d instructions (+%.1f%%)\n",
+		report.OriginalSize, report.EmbeddedSize, report.SizeIncrease()*100)
+}
+
+func cmdRecognize(args []string) {
+	fs := flag.NewFlagSet("recognize", flag.ExitOnError)
+	var c common
+	c.register(fs)
+	fs.Parse(args)
+	p := c.loadProgram()
+	rec, err := wm.Recognize(p, c.wmKey())
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("trace bits: %d, windows: %d, valid statements: %d (unique %d)\n",
+		rec.TraceBits, rec.Windows, rec.ValidStatements, rec.UniqueStatements)
+	fmt.Printf("voted out: %d, survivors: %d\n", rec.VotedOut, rec.Survivors)
+	if rec.Watermark == nil {
+		fmt.Println("no watermark recovered")
+		os.Exit(1)
+	}
+	fmt.Printf("full coverage: %v\n", rec.FullCoverage)
+	fmt.Printf("watermark: %d (0x%x)\n", rec.Watermark, rec.Watermark)
+}
+
+func cmdTrace(args []string) {
+	fs := flag.NewFlagSet("trace", flag.ExitOnError)
+	var c common
+	c.register(fs)
+	fs.Parse(args)
+	p := c.loadProgram()
+	tr, res, err := vm.Collect(p, c.secretInput(), 2)
+	if err != nil {
+		fatal(err)
+	}
+	bits := tr.DecodeBits()
+	fmt.Printf("return: %d, output: %v, steps: %d\n", res.Return, res.Output, res.Steps)
+	fmt.Printf("trace events: %d, branch executions: %d\n", len(tr.Events), tr.NumBranchExecs())
+	fmt.Printf("bit-string (%d bits):\n%s\n", bits.Len(), bits)
+}
+
+func cmdAttack(args []string) {
+	fs := flag.NewFlagSet("attack", flag.ExitOnError)
+	var c common
+	c.register(fs)
+	out := fs.String("out", "", "output file for the attacked program")
+	name := fs.String("name", "", "attack name (see `pathmark attacks`)")
+	seed := fs.Int64("seed", 1, "attack randomness seed")
+	fs.Parse(args)
+	p := c.loadProgram()
+	for _, a := range attacks.Catalog() {
+		if a.Name != *name {
+			continue
+		}
+		attacked := a.Apply(p, rand.New(rand.NewSource(*seed)))
+		if *out == "" {
+			fatal(fmt.Errorf("missing -out"))
+		}
+		if err := os.WriteFile(*out, []byte(vm.Dump(attacked)), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("applied %s: %d -> %d instructions\n", a.Name, p.CodeSize(), attacked.CodeSize())
+		return
+	}
+	fatal(fmt.Errorf("unknown attack %q", *name))
+}
+
+func cmdRun(args []string) {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	var c common
+	c.register(fs)
+	fs.Parse(args)
+	p := c.loadProgram()
+	res, err := vm.Run(p, vm.RunOptions{Input: c.secretInput()})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("return: %d\n", res.Return)
+	fmt.Printf("output: %v\n", res.Output)
+	fmt.Printf("steps: %d\n", res.Steps)
+}

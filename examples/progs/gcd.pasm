@@ -1,0 +1,25 @@
+; The paper's Figure 2 program: gcd(25, 10).
+statics 0
+entry main
+method main 0 2
+  const 25
+  store 0
+  const 10
+  store 1
+loop:
+  load 0
+  load 1
+  rem
+  ifeq done
+  load 1
+  load 0
+  load 1
+  rem
+  store 1
+  store 0
+  goto loop
+done:
+  load 1
+  print
+  load 1
+  ret

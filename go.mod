@@ -1,0 +1,3 @@
+module pathmark
+
+go 1.22

@@ -1,0 +1,88 @@
+// Package attacks implements the semantics-preserving code transformations
+// used to evaluate the Java-side watermark's resilience (paper §5.1.2).
+// SandMark ships 40 distortive attacks; this package reimplements the
+// catalog's representative families over internal/vm programs — block
+// reordering and copying, branch-sense inversion, goto chaining, no-op and
+// dead-code insertion, statement reordering, constant and instruction
+// substitution, local/static/method renumbering, method splitting, merging
+// and inlining — plus the two attacks the paper found destructive:
+//
+//   - random branch insertion (§5.1.2, Figures 8(c) and 8(d)), and
+//   - a trace-destroying transformation standing in for class encryption:
+//     control-flow flattening, which (like class encryption) defeats the
+//     tracer by making the observed branch structure unrelated to the
+//     original program's.
+//
+// Every attack returns a fresh program that passes vm.Verify and behaves
+// identically on all inputs; the test suite enforces both properties.
+package attacks
+
+import (
+	"math/rand"
+
+	"pathmark/internal/vm"
+)
+
+// Attack is one catalog entry.
+type Attack struct {
+	// Name identifies the attack in reports.
+	Name string
+	// Destroys records whether the paper expects this attack to defeat
+	// the watermark (true only for branch insertion and the class
+	// encryption analog).
+	Destroys bool
+	// Apply transforms a copy of the program. Implementations never
+	// mutate the argument.
+	Apply func(p *vm.Program, rng *rand.Rand) *vm.Program
+}
+
+// Catalog returns the full attack catalog in a stable order.
+func Catalog() []Attack {
+	return []Attack{
+		{Name: "nop-insertion-light", Apply: nopInsertion(0.1)},
+		{Name: "nop-insertion-heavy", Apply: nopInsertion(0.5)},
+		{Name: "dead-code-insertion", Apply: deadCodeInsertion},
+		{Name: "block-split", Apply: blockSplit},
+		{Name: "goto-chaining", Apply: gotoChaining},
+		{Name: "branch-sense-inversion", Apply: branchSenseInversion},
+		{Name: "block-reordering", Apply: blockReordering},
+		{Name: "block-copying", Apply: blockCopying},
+		{Name: "statement-reordering", Apply: statementReordering},
+		{Name: "constant-obfuscation", Apply: constantObfuscation},
+		{Name: "arithmetic-identity", Apply: arithmeticIdentity},
+		{Name: "strength-substitution", Apply: strengthSubstitution},
+		{Name: "local-renumbering", Apply: localRenumbering},
+		{Name: "static-renumbering", Apply: staticRenumbering},
+		{Name: "method-reordering", Apply: methodReordering},
+		{Name: "method-wrapping", Apply: methodWrapping},
+		{Name: "call-indirection", Apply: callIndirection},
+		{Name: "method-inlining", Apply: methodInlining},
+		{Name: "method-merging", Apply: methodMerging},
+		{Name: "dead-method-insertion", Apply: deadMethodInsertion},
+		{Name: "loop-peeling", Apply: loopPeeling},
+		{Name: "peephole-optimization", Apply: peepholeOptimization},
+		{Name: "branch-insertion", Destroys: true, Apply: func(p *vm.Program, rng *rand.Rand) *vm.Program {
+			return InsertRandomBranches(p, rng, 1.5)
+		}},
+		{Name: "class-encryption(flattening)", Destroys: true, Apply: controlFlowFlattening},
+	}
+}
+
+// Distortive returns only the attacks the watermark is expected to survive.
+func Distortive() []Attack {
+	var out []Attack
+	for _, a := range Catalog() {
+		if !a.Destroys {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// mustVerify is the post-condition every attack enforces.
+func mustVerify(p *vm.Program) *vm.Program {
+	if err := vm.Verify(p); err != nil {
+		panic("attacks: transformation produced invalid program: " + err.Error())
+	}
+	return p
+}

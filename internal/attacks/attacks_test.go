@@ -1,0 +1,321 @@
+package attacks
+
+import (
+	"math/rand"
+	"testing"
+
+	"pathmark/internal/vm"
+	"pathmark/internal/wm"
+)
+
+// multiSrc exercises calls, recursion, statics, arrays and input.
+const multiSrc = `
+statics 2
+entry main
+method main 0 3
+  const 12
+  call fib
+  store 0
+  const 30
+  const 18
+  call gcd
+  store 1
+  load 0
+  load 1
+  add
+  putstatic 0
+  in
+  store 2
+  load 2
+  ifle skip
+  getstatic 0
+  load 2
+  add
+  putstatic 0
+skip:
+  getstatic 0
+  print
+  getstatic 0
+  ret
+method fib 1 1
+  load 0
+  const 2
+  ifcmplt base
+  load 0
+  const 1
+  sub
+  call fib
+  load 0
+  const 2
+  sub
+  call fib
+  add
+  ret
+base:
+  load 0
+  ret
+method gcd 2 2
+loop:
+  load 0
+  load 1
+  rem
+  ifeq done
+  load 1
+  load 0
+  load 1
+  rem
+  store 1
+  store 0
+  goto loop
+done:
+  load 1
+  ret
+method sum3 3 4
+  load 0
+  load 1
+  add
+  load 2
+  add
+  store 3
+  load 3
+  ret
+`
+
+var testInputs = [][]int64{nil, {5}, {-3}, {100, 7}}
+
+func checkSameBehavior(t *testing.T, name string, orig, attacked *vm.Program) {
+	t.Helper()
+	for _, input := range testInputs {
+		r1, err := vm.Run(orig, vm.RunOptions{Input: input})
+		if err != nil {
+			t.Fatalf("%s: original run: %v", name, err)
+		}
+		r2, err := vm.Run(attacked, vm.RunOptions{Input: input})
+		if err != nil {
+			t.Fatalf("%s: attacked run failed on input %v: %v", name, input, err)
+		}
+		if !vm.SameBehavior(r1, r2) {
+			t.Errorf("%s: behavior changed on input %v: (%d,%v) vs (%d,%v)",
+				name, input, r1.Return, r1.Output, r2.Return, r2.Output)
+		}
+	}
+}
+
+func TestCatalogPreservesSemantics(t *testing.T) {
+	progs := map[string]*vm.Program{
+		"multi": vm.MustAssemble(multiSrc),
+	}
+	for name, p := range progs {
+		for _, a := range Catalog() {
+			for seed := int64(0); seed < 3; seed++ {
+				rng := rand.New(rand.NewSource(seed))
+				attacked := a.Apply(p, rng)
+				if err := vm.Verify(attacked); err != nil {
+					t.Fatalf("%s on %s (seed %d): verify: %v", a.Name, name, seed, err)
+				}
+				checkSameBehavior(t, a.Name, p, attacked)
+			}
+		}
+	}
+}
+
+func TestCatalogPreservesSemanticsOnWatermarked(t *testing.T) {
+	p := vm.MustAssemble(multiSrc)
+	key, err := wm.NewKey([]int64{5}, testCipherKey(), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := wm.RandomWatermark(64, 1)
+	marked, _, err := wm.Embed(p, w, key, wm.EmbedOptions{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range Catalog() {
+		rng := rand.New(rand.NewSource(7))
+		attacked := a.Apply(marked, rng)
+		checkSameBehavior(t, a.Name+"(marked)", marked, attacked)
+	}
+}
+
+func TestCatalogDoesNotMutateInput(t *testing.T) {
+	p := vm.MustAssemble(multiSrc)
+	before := p.String()
+	for _, a := range Catalog() {
+		rng := rand.New(rand.NewSource(1))
+		_ = a.Apply(p, rng)
+		if p.String() != before {
+			t.Fatalf("%s mutated its input program", a.Name)
+		}
+	}
+}
+
+func TestDistortiveAttacksSurvived(t *testing.T) {
+	// The §5.1.2 claim: the watermark survives the distortive catalog.
+	p := vm.MustAssemble(multiSrc)
+	key, err := wm.NewKey([]int64{5}, testCipherKey(), 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := wm.RandomWatermark(128, 2)
+	marked, _, err := wm.Embed(p, w, key, wm.EmbedOptions{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range Distortive() {
+		rng := rand.New(rand.NewSource(11))
+		attacked := a.Apply(marked, rng)
+		rec, err := wm.Recognize(attacked, key)
+		if err != nil {
+			t.Fatalf("%s: recognize: %v", a.Name, err)
+		}
+		if !rec.Matches(w) {
+			t.Errorf("%s: watermark destroyed by a distortive attack", a.Name)
+		}
+	}
+}
+
+func TestDestructiveAttacksDestroy(t *testing.T) {
+	p := vm.MustAssemble(multiSrc)
+	key, err := wm.NewKey([]int64{5}, testCipherKey(), 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := wm.RandomWatermark(128, 4)
+	marked, _, err := wm.Embed(p, w, key, wm.EmbedOptions{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range Catalog() {
+		if !a.Destroys {
+			continue
+		}
+		rng := rand.New(rand.NewSource(13))
+		attacked := a.Apply(marked, rng)
+		rec, err := wm.Recognize(attacked, key)
+		if err != nil {
+			t.Fatalf("%s: recognize: %v", a.Name, err)
+		}
+		if rec.Matches(w) {
+			t.Errorf("%s: expected to destroy the watermark but it survived", a.Name)
+		}
+	}
+}
+
+func TestInsertRandomBranchesGrowsBranchCount(t *testing.T) {
+	p := vm.MustAssemble(multiSrc)
+	rng := rand.New(rand.NewSource(1))
+	before := p.CountCondBranches()
+	attacked := InsertRandomBranches(p, rng, 1.0)
+	after := attacked.CountCondBranches()
+	if after < before+before {
+		t.Errorf("branch count %d -> %d, want at least doubled", before, after)
+	}
+	checkSameBehavior(t, "branch-insert", p, attacked)
+}
+
+func TestInsertRandomBranchesZeroIncrease(t *testing.T) {
+	p := vm.MustAssemble(multiSrc)
+	rng := rand.New(rand.NewSource(1))
+	attacked := InsertRandomBranches(p, rng, 0)
+	if attacked.CodeSize() != p.CodeSize() {
+		t.Error("zero increase changed the program")
+	}
+}
+
+func TestFlatteningDistortsTrace(t *testing.T) {
+	p := vm.MustAssemble(multiSrc)
+	rng := rand.New(rand.NewSource(2))
+	flat := controlFlowFlattening(p, rng)
+	t1, _, err := vm.Collect(p, []int64{5}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err2 := func() (*vm.Trace, error) {
+		tr, _, err := vm.Collect(flat, []int64{5}, 1)
+		return tr, err
+	}()
+	if err2 != nil {
+		t.Fatal(err2)
+	}
+	if t2.NumBranchExecs() <= t1.NumBranchExecs() {
+		t.Errorf("flattening did not add dispatch branches: %d vs %d",
+			t2.NumBranchExecs(), t1.NumBranchExecs())
+	}
+}
+
+func TestReplaceInstrAt(t *testing.T) {
+	src := `
+method main 0 1
+  const 2
+  store 0
+loop:
+  load 0
+  ifeq done
+  load 0
+  const 1
+  sub
+  store 0
+  goto loop
+done:
+  const 9
+  ret
+`
+	p := vm.MustAssemble(src)
+	before, err := vm.Run(p, vm.RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Replace "const 1" (pc 4... find it) with an equivalent sequence.
+	m := p.Methods[0]
+	for pc, in := range m.Code {
+		if in.Op == vm.OpConst && in.A == 1 {
+			replaceInstrAt(m, pc, []vm.Instr{
+				{Op: vm.OpConst, A: 3},
+				{Op: vm.OpConst, A: 2},
+				{Op: vm.OpSub},
+			})
+			break
+		}
+	}
+	if err := vm.Verify(p); err != nil {
+		t.Fatal(err)
+	}
+	after, err := vm.Run(p, vm.RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !vm.SameBehavior(before, after) {
+		t.Error("replaceInstrAt changed behavior")
+	}
+}
+
+func TestCatalogNamesUniqueAndComplete(t *testing.T) {
+	seen := map[string]bool{}
+	destroyers := 0
+	for _, a := range Catalog() {
+		if seen[a.Name] {
+			t.Errorf("duplicate attack name %q", a.Name)
+		}
+		seen[a.Name] = true
+		if a.Destroys {
+			destroyers++
+		}
+	}
+	if destroyers != 2 {
+		t.Errorf("catalog has %d destroying attacks, want 2 (branch insertion, class encryption analog)", destroyers)
+	}
+	if len(seen) < 20 {
+		t.Errorf("catalog has only %d attacks", len(seen))
+	}
+}
+
+func TestComposedAttacks(t *testing.T) {
+	// Chains of distortive attacks must still preserve semantics.
+	p := vm.MustAssemble(multiSrc)
+	rng := rand.New(rand.NewSource(21))
+	attacked := p
+	for _, a := range Distortive() {
+		attacked = a.Apply(attacked, rng)
+	}
+	checkSameBehavior(t, "composed", p, attacked)
+}

@@ -1,0 +1,80 @@
+package attacks
+
+import (
+	"math/rand"
+
+	"pathmark/internal/vm"
+)
+
+// Collusion analysis (paper §5.1.2): an attacker holding two fingerprinted
+// copies of the same program can diff them — everything the copies do NOT
+// share is a watermark-code suspect that can be stripped. The paper's
+// defense is to obfuscate each copy independently *before* watermarking,
+// so the diff contains "much more than just the watermark code".
+//
+// CollusionSuspects quantifies the attack's leverage: the fraction of the
+// first program's instructions that fall outside a per-method longest
+// common subsequence with the second copy. Near 0 means the diff precisely
+// localizes the watermark; large values mean stripping the diff would
+// destroy the program itself.
+func CollusionSuspects(a, b *vm.Program) float64 {
+	totalA := 0
+	common := 0
+	for _, ma := range a.Methods {
+		totalA += len(ma.Code)
+		if mb := b.MethodByName(ma.Name); mb != nil {
+			common += lcsLen(ma.Code, mb.Code)
+		}
+	}
+	if totalA == 0 {
+		return 0
+	}
+	return 1 - float64(common)/float64(totalA)
+}
+
+// lcsLen computes the longest-common-subsequence length over instruction
+// sequences with two-row dynamic programming. Instructions match when
+// their opcodes agree and, for non-branch opcodes, their immediates agree
+// (branch targets legitimately shift between copies).
+func lcsLen(a, b []vm.Instr) int {
+	match := func(x, y vm.Instr) bool {
+		if x.Op != y.Op {
+			return false
+		}
+		if x.Op.IsBranch() {
+			return true
+		}
+		return x.A == y.A
+	}
+	prev := make([]int, len(b)+1)
+	cur := make([]int, len(b)+1)
+	for i := 1; i <= len(a); i++ {
+		for j := 1; j <= len(b); j++ {
+			switch {
+			case match(a[i-1], b[j-1]):
+				cur[j] = prev[j-1] + 1
+			case prev[j] >= cur[j-1]:
+				cur[j] = prev[j]
+			default:
+				cur[j] = cur[j-1]
+			}
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(b)]
+}
+
+// PreObfuscate applies a randomized chain of distortive transformations —
+// the paper's collusion defense, producing a "highly diverse program
+// population" so that per-customer copies differ everywhere, not only in
+// their watermark code. Each copy must use its own seed.
+func PreObfuscate(p *vm.Program, seed int64, rounds int) *vm.Program {
+	rng := rand.New(rand.NewSource(seed))
+	distortive := Distortive()
+	out := p
+	for i := 0; i < rounds; i++ {
+		a := distortive[rng.Intn(len(distortive))]
+		out = a.Apply(out, rng)
+	}
+	return mustVerify(out.Clone())
+}

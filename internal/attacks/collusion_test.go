@@ -1,0 +1,93 @@
+package attacks
+
+import (
+	"testing"
+
+	"pathmark/internal/vm"
+	"pathmark/internal/wm"
+	"pathmark/internal/workloads"
+)
+
+func embedCopy(t *testing.T, host *vm.Program, key *wm.Key, fpSeed uint64, embedSeed int64) *vm.Program {
+	t.Helper()
+	w := wm.RandomWatermark(64, fpSeed)
+	marked, _, err := wm.Embed(host, w, key, wm.EmbedOptions{Seed: embedSeed, Pieces: 8, Policy: wm.GenLoopOnly})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return marked
+}
+
+func collusionHost() *vm.Program {
+	return workloads.JessLike(workloads.JessLikeOptions{Seed: 5, Methods: 30, BlockSize: 100})
+}
+
+func TestCollusionSuspectsIdentical(t *testing.T) {
+	p := workloads.CaffeineMark()
+	if f := CollusionSuspects(p, p); f != 0 {
+		t.Errorf("identical programs suspect fraction = %v, want 0", f)
+	}
+}
+
+func TestCollusionLocalizesUnprotectedWatermarks(t *testing.T) {
+	// Two fingerprinted copies of the same original: the diff pinpoints
+	// the watermark code (§5.1.2's collusive attack) — the suspect
+	// fraction is far below 1 but nonzero.
+	host := collusionHost()
+	key, err := wm.NewKey(nil, testCipherKey(), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	copyA := embedCopy(t, host, key, 1, 100)
+	copyB := embedCopy(t, host, key, 2, 200)
+	f := CollusionSuspects(copyA, copyB)
+	if f <= 0 {
+		t.Fatal("different fingerprints produced identical copies")
+	}
+	if f > 0.4 {
+		t.Errorf("suspect fraction %.2f: diff should localize the mark in unprotected copies", f)
+	}
+}
+
+func TestPreObfuscationDefeatsCollusion(t *testing.T) {
+	// The paper's defense: per-copy pre-obfuscation makes the two copies
+	// differ broadly, so the diff no longer isolates the watermark.
+	host := collusionHost()
+	key, err := wm.NewKey(nil, testCipherKey(), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plainA := embedCopy(t, host, key, 1, 100)
+	plainB := embedCopy(t, host, key, 2, 200)
+	plainSuspects := CollusionSuspects(plainA, plainB)
+
+	obfA := embedCopy(t, PreObfuscate(host, 11, 4), key, 1, 100)
+	obfB := embedCopy(t, PreObfuscate(host, 22, 4), key, 2, 200)
+	obfSuspects := CollusionSuspects(obfA, obfB)
+
+	if obfSuspects <= plainSuspects {
+		t.Errorf("pre-obfuscation did not widen the diff: %.3f vs %.3f", obfSuspects, plainSuspects)
+	}
+
+	// The defense must not hurt recognition or semantics.
+	for i, c := range []*vm.Program{obfA, obfB} {
+		ref, err := vm.Run(host, vm.RunOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := vm.Run(c, vm.RunOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !vm.SameBehavior(ref, got) {
+			t.Errorf("obfuscated copy %d changed behavior", i)
+		}
+		rec, err := wm.Recognize(c, key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rec.Matches(wm.RandomWatermark(64, uint64(i)+1)) {
+			t.Errorf("obfuscated copy %d lost its fingerprint", i)
+		}
+	}
+}

@@ -1,0 +1,7 @@
+package attacks
+
+import "pathmark/internal/feistel"
+
+func testCipherKey() feistel.Key {
+	return feistel.KeyFromUint64(0xa5a5a5a5a5a5a5a5, 0x5a5a5a5a5a5a5a5a)
+}

@@ -1,0 +1,187 @@
+package attacks
+
+import (
+	"math/rand"
+	"testing"
+
+	"pathmark/internal/vm"
+)
+
+func TestLoopPeelingDuplicatesLoopBody(t *testing.T) {
+	src := `
+method main 0 2
+  const 5
+  store 0
+loop:
+  load 0
+  ifle done
+  load 1
+  load 0
+  add
+  store 1
+  load 0
+  const 1
+  sub
+  store 0
+  goto loop
+done:
+  load 1
+  ret
+`
+	p := vm.MustAssemble(src)
+	before, err := vm.Run(p, vm.RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	peeled := loopPeeling(p, rand.New(rand.NewSource(1)))
+	if peeled.CodeSize() <= p.CodeSize() {
+		t.Fatalf("peeling did not grow the code: %d vs %d", peeled.CodeSize(), p.CodeSize())
+	}
+	after, err := vm.Run(peeled, vm.RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !vm.SameBehavior(before, after) {
+		t.Errorf("peeling changed behavior: %d vs %d", before.Return, after.Return)
+	}
+	if after.Return != 15 {
+		t.Errorf("sum = %d, want 15", after.Return)
+	}
+}
+
+func TestLoopPeelingPerturbsBranchIdentity(t *testing.T) {
+	// The peeled copy's branches are new static branches, so the decoded
+	// bit-string changes — peeling is a genuine distortive attack on the
+	// trace, not a no-op.
+	src := `
+method main 0 1
+  const 4
+  store 0
+loop:
+  load 0
+  ifle done
+  load 0
+  const 1
+  sub
+  store 0
+  goto loop
+done:
+  const 0
+  ret
+`
+	p := vm.MustAssemble(src)
+	peeled := loopPeeling(p, rand.New(rand.NewSource(2)))
+	t1, _, err := vm.Collect(p, nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, _, err := vm.Collect(peeled, nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t1.DecodeBits().String() == t2.DecodeBits().String() {
+		t.Error("peeling left the decoded bit-string untouched")
+	}
+}
+
+func TestPeepholeRemovesNopsAndFoldsConstants(t *testing.T) {
+	src := `
+method main 0 1
+  nop
+  const 2
+  const 3
+  add
+  const 4
+  mul
+  store 0
+  nop
+  load 0
+  ret
+`
+	p := vm.MustAssemble(src)
+	before, err := vm.Run(p, vm.RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := peepholeOptimization(p, rand.New(rand.NewSource(1)))
+	if opt.CodeSize() >= p.CodeSize() {
+		t.Fatalf("peephole did not shrink: %d vs %d", opt.CodeSize(), p.CodeSize())
+	}
+	after, err := vm.Run(opt, vm.RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !vm.SameBehavior(before, after) || after.Return != 20 {
+		t.Errorf("peephole broke semantics: %d, want 20", after.Return)
+	}
+	// The chained fold (2+3)*4 should collapse to one constant.
+	m := opt.Methods[0]
+	consts := 0
+	for _, in := range m.Code {
+		if in.Op == vm.OpConst {
+			consts++
+		}
+	}
+	if consts != 1 {
+		t.Errorf("%d const instructions remain, want 1 (full fold)", consts)
+	}
+}
+
+func TestPeepholePreservesBranchTargetsIntoPatterns(t *testing.T) {
+	// A branch targeting the middle of a const-const-op pattern must
+	// suppress the fold.
+	src := `
+method main 0 1
+  const 1
+  ifeq mid2
+  const 7
+mid:
+  const 3
+  add
+  store 0
+  load 0
+  ret
+mid2:
+  const 100
+  goto mid
+`
+	p := vm.MustAssemble(src)
+	before, err := vm.Run(p, vm.RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := peepholeOptimization(p, rand.New(rand.NewSource(1)))
+	after, err := vm.Run(opt, vm.RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !vm.SameBehavior(before, after) {
+		t.Errorf("fold across a branch target changed behavior: %d vs %d", before.Return, after.Return)
+	}
+}
+
+func TestDeleteInstr(t *testing.T) {
+	src := `
+method main 0 1
+  const 1
+  ifeq skip
+  nop
+skip:
+  const 9
+  ret
+`
+	p := vm.MustAssemble(src)
+	m := p.Methods[0]
+	// Delete the nop at pc 2; the branch to pc 3 must retarget to pc 2.
+	deleteInstr(m, 2)
+	if err := vm.Verify(p); err != nil {
+		t.Fatalf("verify after delete: %v", err)
+	}
+	res, err := vm.Run(p, vm.RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Return != 9 {
+		t.Errorf("return %d, want 9", res.Return)
+	}
+}

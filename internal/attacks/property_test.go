@@ -1,0 +1,63 @@
+package attacks
+
+import (
+	"math/rand"
+	"testing"
+
+	"pathmark/internal/vm"
+	"pathmark/internal/workloads"
+)
+
+// TestCatalogPreservesSemanticsOnRandomPrograms is the package's central
+// property test: every attack in the catalog must keep every generated
+// program verified and observationally identical.
+func TestCatalogPreservesSemanticsOnRandomPrograms(t *testing.T) {
+	catalog := Catalog()
+	for seed := int64(0); seed < 8; seed++ {
+		p := workloads.RandomProgram(workloads.RandProgOptions{Seed: seed})
+		ref, err := vm.Run(p, vm.RunOptions{StepLimit: 5_000_000})
+		if err != nil {
+			t.Fatalf("seed %d: baseline: %v", seed, err)
+		}
+		for _, a := range catalog {
+			rng := rand.New(rand.NewSource(seed * 31))
+			attacked := a.Apply(p, rng)
+			if err := vm.Verify(attacked); err != nil {
+				t.Fatalf("seed %d, %s: verify: %v", seed, a.Name, err)
+			}
+			got, err := vm.Run(attacked, vm.RunOptions{StepLimit: 50_000_000})
+			if err != nil {
+				t.Fatalf("seed %d, %s: run: %v", seed, a.Name, err)
+			}
+			if !vm.SameBehavior(ref, got) {
+				t.Errorf("seed %d, %s: behavior changed", seed, a.Name)
+			}
+		}
+	}
+}
+
+// TestRandomAttackChainsOnRandomPrograms composes random attack chains —
+// distortions must stack without breaking semantics.
+func TestRandomAttackChainsOnRandomPrograms(t *testing.T) {
+	distortive := Distortive()
+	for seed := int64(0); seed < 5; seed++ {
+		p := workloads.RandomProgram(workloads.RandProgOptions{Seed: seed + 100})
+		ref, err := vm.Run(p, vm.RunOptions{StepLimit: 5_000_000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(seed))
+		attacked := p
+		for i := 0; i < 5; i++ {
+			a := distortive[rng.Intn(len(distortive))]
+			attacked = a.Apply(attacked, rng)
+		}
+		got, err := vm.Run(attacked, vm.RunOptions{StepLimit: 100_000_000})
+		if err != nil {
+			t.Fatalf("seed %d: chained attacks: %v", seed, err)
+		}
+		if !vm.SameBehavior(ref, got) {
+			t.Errorf("seed %d: chained attacks changed behavior", seed)
+		}
+	}
+}

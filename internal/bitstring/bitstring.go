@@ -1,0 +1,188 @@
+// Package bitstring provides compact bit-vector utilities shared by the
+// trace decoder, the watermark piece codecs, and the recognizer's
+// sliding-window scan.
+//
+// Bits are addressed from 0. Within the watermarking pipeline a "piece" is
+// always a 64-bit block; Word64/PutWord64 convert between bit positions and
+// uint64 values with bit 0 of the block stored at the lowest bit index
+// (LSB-first, matching the loop code generator, which emits the least
+// significant bit of a piece first).
+package bitstring
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Bits is an append-only growable bit vector.
+type Bits struct {
+	words []uint64
+	n     int
+}
+
+// New returns an empty bit vector with capacity for at least n bits.
+func New(n int) *Bits {
+	if n < 0 {
+		n = 0
+	}
+	return &Bits{words: make([]uint64, 0, (n+63)/64)}
+}
+
+// FromString parses a string of '0' and '1' runes into a bit vector.
+// Any other rune is rejected.
+func FromString(s string) (*Bits, error) {
+	b := New(len(s))
+	for i, r := range s {
+		switch r {
+		case '0':
+			b.Append(false)
+		case '1':
+			b.Append(true)
+		default:
+			return nil, fmt.Errorf("bitstring: invalid rune %q at index %d", r, i)
+		}
+	}
+	return b, nil
+}
+
+// FromUint64 returns a 64-bit vector holding v LSB-first.
+func FromUint64(v uint64) *Bits {
+	b := New(64)
+	b.AppendWord64(v)
+	return b
+}
+
+// Len reports the number of bits stored.
+func (b *Bits) Len() int { return b.n }
+
+// Append adds one bit at the end.
+func (b *Bits) Append(bit bool) {
+	word, off := b.n/64, uint(b.n%64)
+	if word == len(b.words) {
+		b.words = append(b.words, 0)
+	}
+	if bit {
+		b.words[word] |= 1 << off
+	}
+	b.n++
+}
+
+// AppendWord64 appends the 64 bits of v, least significant first.
+func (b *Bits) AppendWord64(v uint64) {
+	for i := 0; i < 64; i++ {
+		b.Append(v&(1<<uint(i)) != 0)
+	}
+}
+
+// AppendBits appends all bits of other, in order.
+func (b *Bits) AppendBits(other *Bits) {
+	for i := 0; i < other.n; i++ {
+		b.Append(other.Bit(i))
+	}
+}
+
+// Bit returns the bit at index i. It panics if i is out of range.
+func (b *Bits) Bit(i int) bool {
+	if i < 0 || i >= b.n {
+		panic(fmt.Sprintf("bitstring: index %d out of range [0,%d)", i, b.n))
+	}
+	return b.words[i/64]&(1<<uint(i%64)) != 0
+}
+
+// Set assigns the bit at index i. It panics if i is out of range.
+func (b *Bits) Set(i int, bit bool) {
+	if i < 0 || i >= b.n {
+		panic(fmt.Sprintf("bitstring: index %d out of range [0,%d)", i, b.n))
+	}
+	if bit {
+		b.words[i/64] |= 1 << uint(i%64)
+	} else {
+		b.words[i/64] &^= 1 << uint(i%64)
+	}
+}
+
+// Word64 extracts the 64 bits starting at index i as a uint64, LSB-first.
+// It panics unless 0 <= i and i+64 <= Len().
+func (b *Bits) Word64(i int) uint64 {
+	if i < 0 || i+64 > b.n {
+		panic(fmt.Sprintf("bitstring: window [%d,%d) out of range [0,%d)", i, i+64, b.n))
+	}
+	word, off := i/64, uint(i%64)
+	v := b.words[word] >> off
+	if off != 0 {
+		v |= b.words[word+1] << (64 - off)
+	}
+	return v
+}
+
+// Windows64 calls fn for every 64-bit window of the vector, in order of
+// starting index, stopping early if fn returns false. This is the
+// recognizer's sliding-window scan (B_0 = b_0..b_63, B_1 = b_1..b_64, ...).
+func (b *Bits) Windows64(fn func(start int, window uint64) bool) {
+	for i := 0; i+64 <= b.n; i++ {
+		if !fn(i, b.Word64(i)) {
+			return
+		}
+	}
+}
+
+// Clone returns a deep copy.
+func (b *Bits) Clone() *Bits {
+	c := &Bits{words: make([]uint64, len(b.words)), n: b.n}
+	copy(c.words, b.words)
+	return c
+}
+
+// String renders the vector as a '0'/'1' string, bit 0 first.
+func (b *Bits) String() string {
+	var sb strings.Builder
+	sb.Grow(b.n)
+	for i := 0; i < b.n; i++ {
+		if b.Bit(i) {
+			sb.WriteByte('1')
+		} else {
+			sb.WriteByte('0')
+		}
+	}
+	return sb.String()
+}
+
+// Count returns the number of set bits.
+func (b *Bits) Count() int {
+	c := 0
+	for i := 0; i < b.n; i++ {
+		if b.Bit(i) {
+			c++
+		}
+	}
+	return c
+}
+
+// Stride returns the subsequence of bits at indices phase, phase+k,
+// phase+2k, ... — the de-interleaved view the recognizer scans in addition
+// to the full string, because the rolled loop generator interleaves its
+// constant loop-control bit with the payload at stride 2.
+func (b *Bits) Stride(k, phase int) *Bits {
+	if k <= 0 || phase < 0 || phase >= k {
+		panic(fmt.Sprintf("bitstring: invalid stride %d phase %d", k, phase))
+	}
+	out := New((b.n-phase+k-1)/k + 1)
+	for i := phase; i < b.n; i += k {
+		out.Append(b.Bit(i))
+	}
+	return out
+}
+
+// IndexOfWord64 returns the first starting index whose 64-bit window equals
+// v, or -1 if no window matches.
+func (b *Bits) IndexOfWord64(v uint64) int {
+	found := -1
+	b.Windows64(func(start int, w uint64) bool {
+		if w == v {
+			found = start
+			return false
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,217 @@
+package bitstring
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAppendAndBit(t *testing.T) {
+	b := New(0)
+	pattern := []bool{true, false, true, true, false, false, true}
+	for _, bit := range pattern {
+		b.Append(bit)
+	}
+	if b.Len() != len(pattern) {
+		t.Fatalf("Len = %d, want %d", b.Len(), len(pattern))
+	}
+	for i, want := range pattern {
+		if got := b.Bit(i); got != want {
+			t.Errorf("Bit(%d) = %v, want %v", i, got, want)
+		}
+	}
+}
+
+func TestFromString(t *testing.T) {
+	b, err := FromString("01010110")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := b.String(); got != "01010110" {
+		t.Errorf("String = %q, want %q", got, "01010110")
+	}
+	if b.Count() != 4 {
+		t.Errorf("Count = %d, want 4", b.Count())
+	}
+	if _, err := FromString("01x"); err == nil {
+		t.Error("FromString accepted invalid rune")
+	}
+}
+
+func TestWord64RoundTrip(t *testing.T) {
+	f := func(v uint64) bool {
+		b := FromUint64(v)
+		return b.Len() == 64 && b.Word64(0) == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWord64UnalignedOffsets(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	b := New(0)
+	var ref []bool
+	for i := 0; i < 300; i++ {
+		bit := rng.Intn(2) == 1
+		b.Append(bit)
+		ref = append(ref, bit)
+	}
+	for start := 0; start+64 <= len(ref); start++ {
+		var want uint64
+		for i := 0; i < 64; i++ {
+			if ref[start+i] {
+				want |= 1 << uint(i)
+			}
+		}
+		if got := b.Word64(start); got != want {
+			t.Fatalf("Word64(%d) = %#x, want %#x", start, got, want)
+		}
+	}
+}
+
+func TestWindows64Count(t *testing.T) {
+	b := New(0)
+	for i := 0; i < 100; i++ {
+		b.Append(i%3 == 0)
+	}
+	var n int
+	b.Windows64(func(start int, _ uint64) bool {
+		if start != n {
+			t.Fatalf("window start %d, want %d", start, n)
+		}
+		n++
+		return true
+	})
+	if n != 100-64+1 {
+		t.Errorf("windows = %d, want %d", n, 100-64+1)
+	}
+}
+
+func TestWindows64EarlyStop(t *testing.T) {
+	b := New(0)
+	for i := 0; i < 200; i++ {
+		b.Append(false)
+	}
+	var n int
+	b.Windows64(func(int, uint64) bool {
+		n++
+		return n < 5
+	})
+	if n != 5 {
+		t.Errorf("early stop after %d windows, want 5", n)
+	}
+}
+
+func TestIndexOfWord64(t *testing.T) {
+	b := New(0)
+	for i := 0; i < 17; i++ {
+		b.Append(false)
+	}
+	const v = 0xdeadbeefcafef00d
+	b.AppendWord64(v)
+	for i := 0; i < 9; i++ {
+		b.Append(true)
+	}
+	if got := b.IndexOfWord64(v); got != 17 {
+		t.Errorf("IndexOfWord64 = %d, want 17", got)
+	}
+	if got := b.IndexOfWord64(0xffffffffffffffff); got != -1 {
+		t.Errorf("IndexOfWord64(all ones) = %d, want -1", got)
+	}
+}
+
+func TestSet(t *testing.T) {
+	b := New(0)
+	for i := 0; i < 70; i++ {
+		b.Append(false)
+	}
+	b.Set(65, true)
+	if !b.Bit(65) || b.Bit(64) || b.Bit(66) {
+		t.Error("Set(65) did not flip exactly bit 65")
+	}
+	b.Set(65, false)
+	if b.Count() != 0 {
+		t.Error("Set(65,false) did not clear")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	b, _ := FromString("1010")
+	c := b.Clone()
+	c.Set(0, false)
+	c.Append(true)
+	if b.String() != "1010" {
+		t.Errorf("clone mutated original: %q", b.String())
+	}
+	if c.String() != "00101" {
+		t.Errorf("clone = %q, want %q", c.String(), "00101")
+	}
+}
+
+func TestAppendBits(t *testing.T) {
+	a, _ := FromString("110")
+	b, _ := FromString("01")
+	a.AppendBits(b)
+	if a.String() != "11001" {
+		t.Errorf("AppendBits = %q, want %q", a.String(), "11001")
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Bit out of range did not panic")
+		}
+	}()
+	b := New(0)
+	b.Bit(0)
+}
+
+func TestStride(t *testing.T) {
+	b, _ := FromString("0110101101")
+	even := b.Stride(2, 0)
+	odd := b.Stride(2, 1)
+	if even.String() != "01110" {
+		t.Errorf("Stride(2,0) = %q, want %q", even.String(), "01110")
+	}
+	if odd.String() != "10011" {
+		t.Errorf("Stride(2,1) = %q, want %q", odd.String(), "10011")
+	}
+	if got := b.Stride(3, 2).String(); got != "100" {
+		t.Errorf("Stride(3,2) = %q, want %q", got, "100")
+	}
+}
+
+func TestStrideInterleavedWordRecovery(t *testing.T) {
+	// The recognizer's use case: payload bits interleaved with constant
+	// control bits at stride 2 must be recoverable as a contiguous word
+	// in one phase.
+	const v = 0x0123456789abcdef
+	b := New(0)
+	b.Append(true) // phase shift
+	for i := 0; i < 64; i++ {
+		b.Append(v&(1<<uint(i)) != 0)
+		b.Append(false) // control bit
+	}
+	if b.Stride(2, 1).IndexOfWord64(v) < 0 {
+		t.Error("interleaved payload not found in its stride-2 phase")
+	}
+	if b.IndexOfWord64(v) >= 0 {
+		t.Error("interleaved payload unexpectedly contiguous at stride 1")
+	}
+}
+
+func TestStridePanicsOnBadArgs(t *testing.T) {
+	b, _ := FromString("0101")
+	for _, c := range []struct{ k, phase int }{{0, 0}, {-1, 0}, {2, 2}, {2, -1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Stride(%d,%d) did not panic", c.k, c.phase)
+				}
+			}()
+			b.Stride(c.k, c.phase)
+		}()
+	}
+}

@@ -1,0 +1,101 @@
+package crt
+
+import (
+	"math/big"
+	"testing"
+	"testing/quick"
+)
+
+// TestConsistentMatchesBruteForce checks Consistent against the ground
+// truth "some W satisfies both congruences" on a small basis where
+// exhaustive search is feasible.
+func TestConsistentMatchesBruteForce(t *testing.T) {
+	p := mustParams(t, []uint64{2, 3, 5, 7})
+	maxW := p.MaxWatermark().Int64() // 210
+	stmts := func() []Statement {
+		var out []Statement
+		for k := 0; k < p.NumPairs(); k++ {
+			i, j := p.Pair(k)
+			m := p.Modulus(Statement{I: i, J: j})
+			for x := uint64(0); x < m; x += 3 { // sample every 3rd residue
+				out = append(out, Statement{I: i, J: j, X: x})
+			}
+		}
+		return out
+	}()
+	satisfiable := func(a, b Statement) bool {
+		ma, mb := int64(p.Modulus(a)), int64(p.Modulus(b))
+		for w := int64(0); w < maxW; w++ {
+			if w%ma == int64(a.X) && w%mb == int64(b.X) {
+				return true
+			}
+		}
+		return false
+	}
+	checked := 0
+	for i := 0; i < len(stmts); i += 2 {
+		for j := i; j < len(stmts); j += 3 {
+			a, b := stmts[i], stmts[j]
+			got := p.Consistent(a, b)
+			want := satisfiable(a, b)
+			if got != want {
+				t.Fatalf("Consistent(%+v, %+v) = %v, brute force says %v", a, b, got, want)
+			}
+			checked++
+		}
+	}
+	if checked < 50 {
+		t.Fatalf("only %d pairs checked", checked)
+	}
+}
+
+// TestEncodeDecodeBijection: the enumeration is a bijection between
+// statements and [0, Capacity).
+func TestEncodeDecodeBijection(t *testing.T) {
+	p := mustParams(t, []uint64{3, 5, 7})
+	seen := make(map[uint64]bool)
+	for k := 0; k < p.NumPairs(); k++ {
+		i, j := p.Pair(k)
+		m := p.Modulus(Statement{I: i, J: j})
+		for x := uint64(0); x < m; x++ {
+			enc, err := p.Encode(Statement{I: i, J: j, X: x})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if seen[enc] {
+				t.Fatalf("encoding collision at %d", enc)
+			}
+			seen[enc] = true
+		}
+	}
+	if uint64(len(seen)) != p.Capacity() {
+		t.Fatalf("enumeration covers %d values, capacity %d", len(seen), p.Capacity())
+	}
+}
+
+// TestReconstructAgreesWithModulo (quick): for random W, reconstruction
+// from any subset containing a spanning set returns W.
+func TestReconstructAgreesWithModulo(t *testing.T) {
+	p := mustParams(t, DefaultPrimes(5, 10))
+	maxW := p.MaxWatermark()
+	f := func(seedA, seedB uint32) bool {
+		w := new(big.Int).SetUint64(uint64(seedA)<<32 | uint64(seedB))
+		w.Mod(w, maxW)
+		stmts, err := p.Split(w)
+		if err != nil {
+			return false
+		}
+		// Drop statements deterministically but keep a spanning path.
+		var subset []Statement
+		for _, s := range stmts {
+			if s.J == s.I+1 || (seedA+uint32(s.I*7+s.J))%3 == 0 {
+				subset = append(subset, s)
+			}
+		}
+		v, m, err := p.Reconstruct(subset)
+		return err == nil && m.Cmp(maxW) == 0 && v.Cmp(w) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

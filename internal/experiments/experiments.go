@@ -1,0 +1,79 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§5) on the synthetic substrates. Each Figure*/Table*
+// function returns structured data plus a Render method that prints rows
+// shaped like the paper's plots; cmd/experiments drives them and
+// EXPERIMENTS.md records paper-vs-measured values.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Config scales the experiment suite.
+type Config struct {
+	// Quick shrinks sweeps and trial counts for CI-speed runs.
+	Quick bool
+	// Seed drives all randomized parts; experiments are reproducible.
+	Seed int64
+}
+
+// Table is a rendered experiment result.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// Render formats the table as aligned text.
+func (t *Table) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "== %s ==\n", t.Title)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], cell)
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	for i, w := range widths {
+		if i > 0 {
+			sb.WriteString("  ")
+		}
+		sb.WriteString(strings.Repeat("-", w))
+	}
+	sb.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&sb, "note: %s\n", n)
+	}
+	return sb.String()
+}
+
+func pct(f float64) string  { return fmt.Sprintf("%.1f%%", f*100) }
+func prob(f float64) string { return fmt.Sprintf("%.3f", f) }
+func itoa(v int) string     { return fmt.Sprintf("%d", v) }
+func f64(v float64) string  { return fmt.Sprintf("%.2f", v) }
+func boolStr(b bool) string {
+	if b {
+		return "yes"
+	}
+	return "no"
+}

@@ -1,0 +1,327 @@
+package experiments
+
+import (
+	"math/rand"
+
+	"pathmark/internal/attacks"
+	"pathmark/internal/feistel"
+	"pathmark/internal/vm"
+	"pathmark/internal/wm"
+	"pathmark/internal/workloads"
+)
+
+func cipherKey() feistel.Key {
+	return feistel.KeyFromUint64(0x70617468_6d61726b, 0x504c4449_32303034)
+}
+
+// javaWorkloads returns the two §5.1 hosts: the hot CaffeineMark-like
+// suite and the large cold Jess-like program. hotIters sizes Jess's hot
+// kernel: timing experiments need a realistic dynamic baseline (real Jess
+// runs billions of instructions, dwarfing per-piece emission cost), while
+// resilience experiments only care about the static shape and use a small
+// kernel to keep tracing fast.
+func javaWorkloads(cfg Config, hotIters int) map[string]*vm.Program {
+	jessOpts := workloads.JessLikeOptions{Seed: cfg.Seed, HotIters: hotIters}
+	if cfg.Quick {
+		jessOpts.Methods = 40
+		jessOpts.BlockSize = 120
+	}
+	return map[string]*vm.Program{
+		"CaffeineMark": workloads.CaffeineMark(),
+		"Jess":         workloads.JessLike(jessOpts),
+	}
+}
+
+// jessTimingHotIters gives the Jess-like host a dynamic baseline large
+// enough that cold-piece emissions are negligible, as in the paper.
+func jessTimingHotIters(cfg Config) int {
+	if cfg.Quick {
+		return 300_000
+	}
+	return 2_000_000
+}
+
+// pieceSweep returns the piece counts for a watermark key, skipping counts
+// below the r-1 statements needed to cover the key's prime basis.
+func pieceSweep(cfg Config, key *wm.Key) []int {
+	sweep := []int{8, 32, 64, 128, 256, 384, 512}
+	if cfg.Quick {
+		sweep = []int{8, 32, 96}
+	}
+	minPieces := len(key.Params.Primes()) - 1
+	var out []int
+	for _, p := range sweep {
+		if p >= minPieces {
+			out = append(out, p)
+		}
+	}
+	if len(out) == 0 {
+		out = []int{minPieces}
+	}
+	return out
+}
+
+// Fig8aPoint is one measurement of Figure 8(a): runtime slowdown caused by
+// inserting a number of watermark pieces.
+type Fig8aPoint struct {
+	Workload string
+	WBits    int
+	Pieces   int
+	Slowdown float64 // (steps_marked - steps_orig) / steps_orig
+}
+
+// Figure8a reproduces Figure 8(a): slowdown vs. pieces inserted for the
+// CaffeineMark-like and Jess-like workloads. The deterministic instruction
+// count of the VM is the time metric.
+func Figure8a(cfg Config) ([]Fig8aPoint, *Table) {
+	var points []Fig8aPoint
+	table := &Table{
+		Title:   "Figure 8(a): slowdown vs. number of pieces inserted",
+		Columns: []string{"workload", "wbits", "pieces", "slowdown"},
+		Notes: []string{
+			"time metric = interpreted instruction count",
+			"expected shape: CaffeineMark rises steeply once hot blocks are hit; Jess stays near zero",
+		},
+	}
+	for _, wbits := range []int{128, 256, 512} {
+		if cfg.Quick && wbits != 128 {
+			continue
+		}
+		for name, prog := range javaWorkloads(cfg, jessTimingHotIters(cfg)) {
+			base, err := vm.Run(prog, vm.RunOptions{StepLimit: 2_000_000_000})
+			if err != nil {
+				panic(err)
+			}
+			key, err := wm.NewKey(nil, cipherKey(), wbits)
+			if err != nil {
+				panic(err)
+			}
+			w := wm.RandomWatermark(wbits, uint64(cfg.Seed)+uint64(wbits))
+			for _, pieces := range pieceSweep(cfg, key) {
+				marked, _, err := wm.Embed(prog, w, key, wm.EmbedOptions{
+					Pieces: pieces, Seed: cfg.Seed + int64(pieces),
+				})
+				if err != nil {
+					panic(err)
+				}
+				res, err := vm.Run(marked, vm.RunOptions{StepLimit: 2_000_000_000})
+				if err != nil {
+					panic(err)
+				}
+				p := Fig8aPoint{
+					Workload: name, WBits: wbits, Pieces: pieces,
+					Slowdown: float64(res.Steps-base.Steps) / float64(base.Steps),
+				}
+				points = append(points, p)
+				table.Rows = append(table.Rows, []string{name, itoa(wbits), itoa(pieces), pct(p.Slowdown)})
+			}
+		}
+	}
+	return points, table
+}
+
+// Fig8bPoint is one measurement of Figure 8(b): program growth.
+type Fig8bPoint struct {
+	Workload      string
+	Pieces        int
+	SizeIncrease  float64
+	InstrPerPiece float64
+}
+
+// Figure8b reproduces Figure 8(b): size increase vs. pieces inserted. The
+// paper reports ~5% fixed cost plus ~25 bytes per piece; our unit is VM
+// instructions and the rolled loop generator costs a comparable small
+// constant per piece.
+func Figure8b(cfg Config) ([]Fig8bPoint, *Table) {
+	var points []Fig8bPoint
+	table := &Table{
+		Title:   "Figure 8(b): size increase vs. number of pieces inserted",
+		Columns: []string{"workload", "pieces", "size increase", "instrs/piece"},
+		Notes:   []string{"expected shape: linear in pieces, independent of program size"},
+	}
+	key, err := wm.NewKey(nil, cipherKey(), 512)
+	if err != nil {
+		panic(err)
+	}
+	w := wm.RandomWatermark(512, uint64(cfg.Seed)+99)
+	for name, prog := range javaWorkloads(cfg, 0) {
+		for _, pieces := range pieceSweep(cfg, key) {
+			_, report, err := wm.Embed(prog, w, key, wm.EmbedOptions{
+				Pieces: pieces, Seed: cfg.Seed + int64(pieces),
+			})
+			if err != nil {
+				panic(err)
+			}
+			p := Fig8bPoint{
+				Workload:      name,
+				Pieces:        pieces,
+				SizeIncrease:  report.SizeIncrease(),
+				InstrPerPiece: float64(report.EmbeddedSize-report.OriginalSize) / float64(pieces),
+			}
+			points = append(points, p)
+			table.Rows = append(table.Rows, []string{name, itoa(pieces), pct(p.SizeIncrease), f64(p.InstrPerPiece)})
+		}
+	}
+	return points, table
+}
+
+// Fig8cPoint is one measurement of Figure 8(c): the largest branch
+// insertion the watermark survives.
+type Fig8cPoint struct {
+	WBits               int
+	Pieces              int
+	SurvivableBranchPct float64 // largest tested increase (fraction) survived
+}
+
+// Figure8c reproduces Figure 8(c): survivable random branch insertion vs.
+// pieces inserted, per watermark size, on the Jess-like host. For each
+// configuration the attack strength sweeps upward until recognition fails;
+// the last surviving level is reported.
+func Figure8c(cfg Config) ([]Fig8cPoint, *Table) {
+	var points []Fig8cPoint
+	table := &Table{
+		Title:   "Figure 8(c): survivable branch insertion (%) vs. pieces inserted",
+		Columns: []string{"wbits", "pieces", "survives up to"},
+		Notes: []string{
+			"attack: insert `if (x*(x-1)%2 != 0) x++` at random positions (Jess-like host)",
+			"expected shape: survivable insertion grows with the number of pieces",
+		},
+	}
+	jessOpts := workloads.JessLikeOptions{Seed: cfg.Seed}
+	levels := []float64{0.25, 0.5, 0.75, 1.0, 1.5, 2.0, 2.5, 3.0}
+	sweeps := map[int][]int{
+		128: {16, 48, 128, 256},
+		256: {32, 96, 256},
+		512: {64, 128, 512},
+	}
+	if cfg.Quick {
+		jessOpts.Methods = 40
+		jessOpts.BlockSize = 120
+		levels = []float64{0.5, 1.5}
+		sweeps = map[int][]int{128: {16, 96}}
+	}
+	prog := workloads.JessLike(jessOpts)
+	for _, wbits := range []int{128, 256, 512} {
+		pieceCounts, ok := sweeps[wbits]
+		if !ok {
+			continue
+		}
+		key, err := wm.NewKey(nil, cipherKey(), wbits)
+		if err != nil {
+			panic(err)
+		}
+		w := wm.RandomWatermark(wbits, uint64(cfg.Seed)+uint64(wbits)*3)
+		for _, pieces := range pieceCounts {
+			marked, _, err := wm.Embed(prog, w, key, wm.EmbedOptions{
+				Pieces: pieces, Seed: cfg.Seed + int64(pieces), Policy: wm.GenLoopOnly,
+			})
+			if err != nil {
+				panic(err)
+			}
+			survived := 0.0
+			for _, level := range levels {
+				rng := rand.New(rand.NewSource(cfg.Seed + int64(level*100)))
+				attacked := attacks.InsertRandomBranches(marked, rng, level)
+				rec, err := wm.Recognize(attacked, key)
+				if err != nil {
+					panic(err)
+				}
+				if rec.Matches(w) {
+					survived = level
+				} else {
+					break
+				}
+			}
+			p := Fig8cPoint{WBits: wbits, Pieces: pieces, SurvivableBranchPct: survived}
+			points = append(points, p)
+			table.Rows = append(table.Rows, []string{itoa(wbits), itoa(pieces), pct(survived)})
+		}
+	}
+	return points, table
+}
+
+// Fig8dPoint is one measurement of Figure 8(d): the runtime cost the
+// attacker pays for branch insertion.
+type Fig8dPoint struct {
+	Workload       string
+	BranchIncrease float64
+	Slowdown       float64
+}
+
+// Figure8d reproduces Figure 8(d): slowdown caused by the branch insertion
+// attack, as a function of the branch increase fraction.
+func Figure8d(cfg Config) ([]Fig8dPoint, *Table) {
+	var points []Fig8dPoint
+	table := &Table{
+		Title:   "Figure 8(d): attack cost — slowdown vs. branch increase",
+		Columns: []string{"workload", "branch increase", "slowdown"},
+		Notes:   []string{"the paper's trade-off: destroying a large mark costs the attacker real slowdown"},
+	}
+	levels := []float64{0, 1, 2, 3, 4}
+	if cfg.Quick {
+		levels = []float64{0, 2}
+	}
+	for name, prog := range javaWorkloads(cfg, 0) {
+		base, err := vm.Run(prog, vm.RunOptions{})
+		if err != nil {
+			panic(err)
+		}
+		for _, level := range levels {
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(level)))
+			attacked := attacks.InsertRandomBranches(prog, rng, level)
+			res, err := vm.Run(attacked, vm.RunOptions{StepLimit: 2_000_000_000})
+			if err != nil {
+				panic(err)
+			}
+			p := Fig8dPoint{
+				Workload:       name,
+				BranchIncrease: level,
+				Slowdown:       float64(res.Steps-base.Steps) / float64(base.Steps),
+			}
+			points = append(points, p)
+			table.Rows = append(table.Rows, []string{name, pct(level), pct(p.Slowdown)})
+		}
+	}
+	return points, table
+}
+
+// JavaAttackRow is one row of the §5.1.2 resilience evaluation.
+type JavaAttackRow struct {
+	Attack            string
+	ExpectedToDestroy bool
+	Survived          bool
+}
+
+// JavaAttacksTable reproduces the §5.1.2 finding: of the distortive attack
+// catalog, only branch insertion and the class-encryption analog destroy
+// the watermark.
+func JavaAttacksTable(cfg Config) ([]JavaAttackRow, *Table) {
+	prog := workloads.CaffeineMark()
+	wbits := 128
+	key, err := wm.NewKey(nil, cipherKey(), wbits)
+	if err != nil {
+		panic(err)
+	}
+	w := wm.RandomWatermark(wbits, uint64(cfg.Seed)+5)
+	marked, _, err := wm.Embed(prog, w, key, wm.EmbedOptions{Seed: cfg.Seed})
+	if err != nil {
+		panic(err)
+	}
+	var rows []JavaAttackRow
+	table := &Table{
+		Title:   "§5.1.2: Java-side attack resilience (watermarked CaffeineMark, 128-bit W)",
+		Columns: []string{"attack", "destroys (paper)", "watermark survived"},
+	}
+	for _, a := range attacks.Catalog() {
+		rng := rand.New(rand.NewSource(cfg.Seed + 31))
+		attacked := a.Apply(marked, rng)
+		rec, err := wm.Recognize(attacked, key)
+		if err != nil {
+			panic(err)
+		}
+		row := JavaAttackRow{Attack: a.Name, ExpectedToDestroy: a.Destroys, Survived: rec.Matches(w)}
+		rows = append(rows, row)
+		table.Rows = append(table.Rows, []string{a.Name, boolStr(a.Destroys), boolStr(row.Survived)})
+	}
+	return rows, table
+}

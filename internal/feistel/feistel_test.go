@@ -1,0 +1,106 @@
+package feistel
+
+import (
+	"math/bits"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundTrip(t *testing.T) {
+	c := New(KeyFromUint64(0x0123456789abcdef, 0xfedcba9876543210))
+	f := func(block uint64) bool {
+		return c.Decrypt(c.Encrypt(block)) == block
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRoundTripAllKeysProperty(t *testing.T) {
+	f := func(k0, k1, block uint64) bool {
+		c := New(KeyFromUint64(k0, k1))
+		return c.Decrypt(c.Encrypt(block)) == block
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEncryptIsPermutationSample(t *testing.T) {
+	c := New(KeyFromUint64(1, 2))
+	seen := make(map[uint64]uint64)
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 10000; i++ {
+		p := rng.Uint64()
+		ct := c.Encrypt(p)
+		if prev, ok := seen[ct]; ok && prev != p {
+			t.Fatalf("collision: Encrypt(%#x) == Encrypt(%#x)", prev, p)
+		}
+		seen[ct] = p
+	}
+}
+
+func TestKeySensitivity(t *testing.T) {
+	c1 := New(KeyFromUint64(0, 0))
+	c2 := New(KeyFromUint64(1, 0))
+	if c1.Encrypt(42) == c2.Encrypt(42) {
+		t.Error("different keys produced identical ciphertexts")
+	}
+}
+
+func TestAvalanchePlaintext(t *testing.T) {
+	// Flipping one plaintext bit should flip roughly half the ciphertext
+	// bits on average. Allow a generous band: [20, 44] of 64.
+	c := New(KeyFromUint64(0xdeadbeef, 0xcafebabe))
+	rng := rand.New(rand.NewSource(3))
+	var total, samples int
+	for i := 0; i < 500; i++ {
+		p := rng.Uint64()
+		bit := uint(rng.Intn(64))
+		d := c.Encrypt(p) ^ c.Encrypt(p^(1<<bit))
+		total += bits.OnesCount64(d)
+		samples++
+	}
+	avg := float64(total) / float64(samples)
+	if avg < 20 || avg > 44 {
+		t.Errorf("avalanche average = %.2f bits, want within [20,44]", avg)
+	}
+}
+
+func TestAvalancheKey(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	var total, samples int
+	for i := 0; i < 200; i++ {
+		k0, k1 := rng.Uint64(), rng.Uint64()
+		bit := uint(rng.Intn(64))
+		a := New(KeyFromUint64(k0, k1))
+		b := New(KeyFromUint64(k0^(1<<bit), k1))
+		d := a.Encrypt(12345) ^ b.Encrypt(12345)
+		total += bits.OnesCount64(d)
+		samples++
+	}
+	avg := float64(total) / float64(samples)
+	if avg < 20 || avg > 44 {
+		t.Errorf("key avalanche average = %.2f bits, want within [20,44]", avg)
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	a := New(KeyFromUint64(5, 6))
+	b := New(KeyFromUint64(5, 6))
+	for _, p := range []uint64{0, 1, ^uint64(0), 0x8000000000000000} {
+		if a.Encrypt(p) != b.Encrypt(p) {
+			t.Errorf("nondeterministic encryption of %#x", p)
+		}
+	}
+}
+
+func BenchmarkEncrypt(b *testing.B) {
+	c := New(KeyFromUint64(1, 2))
+	var acc uint64
+	for i := 0; i < b.N; i++ {
+		acc ^= c.Encrypt(uint64(i))
+	}
+	_ = acc
+}

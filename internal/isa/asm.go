@@ -1,0 +1,329 @@
+package isa
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseAsm assembles the textual native assembly format into a Unit:
+//
+//	; comments run to end of line
+//	data 64              ; reserve 64 bytes of data section
+//	start:
+//	  mov eax, 5
+//	  cmp eax, ebx       ; register-register ALU
+//	  je done
+//	  load ecx, [esp+8]  ; base+displacement addressing
+//	  store [esp+8], ecx
+//	  loadabs edx, [0x804a000]
+//	  loadidx edx, [0x804a000 + ecx*4]
+//	  jmpind [0x804a000]
+//	  call helper
+//	  out eax
+//	done:
+//	  hlt
+//
+// Immediate-form ALU ops use the same mnemonic as their register form and
+// are selected by the operand ("add eax, 5" vs "add eax, ebx"); shifts
+// take an immediate count. Labels attach to the next instruction.
+func ParseAsm(src string) (*Unit, error) {
+	u := &Unit{}
+	pending := ""
+	for lineNo, raw := range strings.Split(src, "\n") {
+		line := raw
+		if i := strings.IndexByte(line, ';'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		errf := func(format string, args ...any) error {
+			return fmt.Errorf("isa: line %d: %s", lineNo+1, fmt.Sprintf(format, args...))
+		}
+		if strings.HasSuffix(line, ":") && !strings.ContainsAny(line, " \t") {
+			if pending != "" {
+				return nil, errf("two labels (%s, %s) without an instruction", pending, line)
+			}
+			pending = strings.TrimSuffix(line, ":")
+			continue
+		}
+		mnemonic, rest, _ := strings.Cut(line, " ")
+		ins, err := parseIns(mnemonic, strings.TrimSpace(rest))
+		if err != nil {
+			return nil, errf("%v", err)
+		}
+		if mnemonic == "data" {
+			n, err := strconv.Atoi(strings.TrimSpace(rest))
+			if err != nil || n < 0 {
+				return nil, errf("bad data size %q", rest)
+			}
+			u.Data = append(u.Data, make([]byte, n)...)
+			continue
+		}
+		ins.Label = pending
+		pending = ""
+		u.Instrs = append(u.Instrs, ins)
+	}
+	if pending != "" {
+		return nil, fmt.Errorf("isa: trailing label %q", pending)
+	}
+	if _, err := Assemble(u); err != nil {
+		return nil, err
+	}
+	return u, nil
+}
+
+var asmRegs = func() map[string]byte {
+	m := make(map[string]byte, numRegs)
+	for r := byte(0); r < numRegs; r++ {
+		m[RegName(r)] = r
+	}
+	return m
+}()
+
+func parseReg(s string) (byte, error) {
+	if r, ok := asmRegs[strings.TrimSpace(s)]; ok {
+		return r, nil
+	}
+	return 0, fmt.Errorf("unknown register %q", s)
+}
+
+func parseImm(s string) (int64, error) {
+	return strconv.ParseInt(strings.TrimSpace(s), 0, 64)
+}
+
+// parseMem parses "[reg+disp]", "[reg-disp]", "[reg]", "[addr]", or
+// "[addr + reg*scale]" forms.
+func parseMem(s string) (base byte, hasBase bool, addr int64, idx byte, scale byte, hasIdx bool, err error) {
+	s = strings.TrimSpace(s)
+	if !strings.HasPrefix(s, "[") || !strings.HasSuffix(s, "]") {
+		return 0, false, 0, 0, 0, false, fmt.Errorf("bad memory operand %q", s)
+	}
+	inner := strings.TrimSpace(s[1 : len(s)-1])
+	// addr + reg*scale
+	if i := strings.IndexByte(inner, '*'); i >= 0 {
+		parts := strings.Split(inner, "+")
+		if len(parts) != 2 {
+			return 0, false, 0, 0, 0, false, fmt.Errorf("bad indexed operand %q", s)
+		}
+		addr, err = parseImm(parts[0])
+		if err != nil {
+			return
+		}
+		regScale := strings.Split(parts[1], "*")
+		if len(regScale) != 2 {
+			return 0, false, 0, 0, 0, false, fmt.Errorf("bad index expression %q", parts[1])
+		}
+		idx, err = parseReg(regScale[0])
+		if err != nil {
+			return
+		}
+		var sc int64
+		sc, err = parseImm(regScale[1])
+		if err != nil {
+			return
+		}
+		return 0, false, addr, idx, byte(sc), true, nil
+	}
+	// reg+disp / reg-disp / reg
+	if r, rerr := parseReg(splitBaseDisp(inner)); rerr == nil {
+		base = r
+		hasBase = true
+		rest := strings.TrimSpace(inner[len(splitBaseDisp(inner)):])
+		if rest == "" {
+			return base, true, 0, 0, 0, false, nil
+		}
+		addr, err = parseImm(strings.ReplaceAll(rest, " ", ""))
+		return base, true, addr, 0, 0, false, err
+	}
+	// absolute
+	addr, err = parseImm(inner)
+	return 0, false, addr, 0, 0, false, err
+}
+
+func splitBaseDisp(s string) string {
+	for i, r := range s {
+		if r == '+' || r == '-' || r == ' ' {
+			return s[:i]
+		}
+	}
+	return s
+}
+
+func parseIns(mnemonic, rest string) (Ins, error) {
+	split2 := func() (string, string, error) {
+		a, b, ok := strings.Cut(rest, ",")
+		if !ok {
+			return "", "", fmt.Errorf("%s wants two operands", mnemonic)
+		}
+		return strings.TrimSpace(a), strings.TrimSpace(b), nil
+	}
+	switch mnemonic {
+	case "data":
+		return Ins{}, nil // handled by the caller
+	case "nop":
+		return Ins{Op: ONop}, nil
+	case "hlt":
+		return Ins{Op: OHlt}, nil
+	case "ret":
+		return Ins{Op: ORet}, nil
+	case "pushf":
+		return Ins{Op: OPushF}, nil
+	case "popf":
+		return Ins{Op: OPopF}, nil
+	case "push", "pop", "neg", "not", "in", "out", "jmpreg":
+		r, err := parseReg(rest)
+		if err != nil {
+			return Ins{}, err
+		}
+		ops := map[string]Op{"push": OPush, "pop": OPop, "neg": ONeg, "not": ONot,
+			"in": OIn, "out": OOut, "jmpreg": OJmpReg}
+		return Ins{Op: ops[mnemonic], R1: r}, nil
+	case "jmp", "je", "jne", "jl", "jge", "jg", "jle", "call":
+		ops := map[string]Op{"jmp": OJmp, "je": OJe, "jne": OJne, "jl": OJl,
+			"jge": OJge, "jg": OJg, "jle": OJle, "call": OCall}
+		if rest == "" {
+			return Ins{}, fmt.Errorf("%s wants a label", mnemonic)
+		}
+		return Ins{Op: ops[mnemonic], Target: rest}, nil
+	case "jmpind":
+		_, _, addr, _, _, _, err := parseMem(rest)
+		if err != nil {
+			return Ins{}, err
+		}
+		return Ins{Op: OJmpInd, Imm: addr}, nil
+	case "mov", "movr", "add", "sub", "and", "or", "xor", "mul", "udiv", "umod", "cmp":
+		a, b, err := split2()
+		if err != nil {
+			return Ins{}, err
+		}
+		r1, err := parseReg(a)
+		if err != nil {
+			return Ins{}, err
+		}
+		if r2, rerr := parseReg(b); rerr == nil {
+			regOps := map[string]Op{"mov": OMovReg, "movr": OMovReg, "add": OAdd,
+				"sub": OSub, "and": OAnd, "or": OOr, "xor": OXor, "mul": OMul,
+				"udiv": OUDiv, "umod": OUMod, "cmp": OCmp}
+			return Ins{Op: regOps[mnemonic], R1: r1, R2: r2}, nil
+		}
+		imm, err := parseImm(b)
+		if err != nil {
+			return Ins{}, fmt.Errorf("operand %q is neither register nor immediate", b)
+		}
+		immOps := map[string]Op{"mov": OMovImm, "add": OAddImm, "sub": OSubImm,
+			"and": OAndImm, "or": OOrImm, "xor": OXorImm, "mul": OMulImm, "cmp": OCmpImm}
+		op, ok := immOps[mnemonic]
+		if !ok {
+			return Ins{}, fmt.Errorf("%s has no immediate form", mnemonic)
+		}
+		return Ins{Op: op, R1: r1, Imm: imm}, nil
+	case "shl", "shr":
+		a, b, err := split2()
+		if err != nil {
+			return Ins{}, err
+		}
+		r1, err := parseReg(a)
+		if err != nil {
+			return Ins{}, err
+		}
+		imm, err := parseImm(b)
+		if err != nil {
+			return Ins{}, err
+		}
+		op := OShlImm
+		if mnemonic == "shr" {
+			op = OShrImm
+		}
+		return Ins{Op: op, R1: r1, Imm: imm}, nil
+	case "load", "loadabs", "loadidx":
+		a, b, err := split2()
+		if err != nil {
+			return Ins{}, err
+		}
+		r1, err := parseReg(a)
+		if err != nil {
+			return Ins{}, err
+		}
+		base, hasBase, addr, idx, scale, hasIdx, err := parseMem(b)
+		if err != nil {
+			return Ins{}, err
+		}
+		switch {
+		case hasIdx:
+			return Ins{Op: OLoadIdx, R1: r1, R2: idx, Scale: scale, Imm: addr}, nil
+		case hasBase:
+			return Ins{Op: OLoad, R1: r1, R2: base, Imm: addr}, nil
+		default:
+			return Ins{Op: OLoadAbs, R1: r1, Imm: addr}, nil
+		}
+	case "store", "storeabs", "storeidx":
+		a, b, err := split2()
+		if err != nil {
+			return Ins{}, err
+		}
+		src, err := parseReg(b)
+		if err != nil {
+			return Ins{}, err
+		}
+		base, hasBase, addr, idx, scale, hasIdx, err := parseMem(a)
+		if err != nil {
+			return Ins{}, err
+		}
+		switch {
+		case hasIdx:
+			return Ins{Op: OStoreIdx, R1: src, R2: idx, Scale: scale, Imm: addr}, nil
+		case hasBase:
+			return Ins{Op: OStore, R1: base, R2: src, Imm: addr}, nil
+		default:
+			return Ins{Op: OStoreAbs, R1: src, Imm: addr}, nil
+		}
+	}
+	return Ins{}, fmt.Errorf("unknown mnemonic %q", mnemonic)
+}
+
+// DumpAsm renders the unit in re-parseable textual form. Relative branch
+// targets must be symbolic (which Builder- and ParseAsm-produced units
+// guarantee).
+func DumpAsm(u *Unit) string {
+	var sb strings.Builder
+	if len(u.Data) > 0 {
+		fmt.Fprintf(&sb, "data %d\n", len(u.Data))
+	}
+	for _, in := range u.Instrs {
+		if in.Label != "" {
+			fmt.Fprintf(&sb, "%s:\n", in.Label)
+		}
+		switch in.Op {
+		case OMovReg:
+			fmt.Fprintf(&sb, "  mov %s, %s\n", RegName(in.R1), RegName(in.R2))
+		case OMovImm:
+			fmt.Fprintf(&sb, "  mov %s, %d\n", RegName(in.R1), int32(in.Imm))
+		case OAddImm, OSubImm, OAndImm, OOrImm, OXorImm, OMulImm, OCmpImm:
+			names := map[Op]string{OAddImm: "add", OSubImm: "sub", OAndImm: "and",
+				OOrImm: "or", OXorImm: "xor", OMulImm: "mul", OCmpImm: "cmp"}
+			fmt.Fprintf(&sb, "  %s %s, %d\n", names[in.Op], RegName(in.R1), int32(in.Imm))
+		case OLoad:
+			fmt.Fprintf(&sb, "  load %s, [%s%+d]\n", RegName(in.R1), RegName(in.R2), int32(in.Imm))
+		case OStore:
+			fmt.Fprintf(&sb, "  store [%s%+d], %s\n", RegName(in.R1), int32(in.Imm), RegName(in.R2))
+		case OLoadAbs:
+			fmt.Fprintf(&sb, "  load %s, [%#x]\n", RegName(in.R1), uint32(in.Imm))
+		case OStoreAbs:
+			fmt.Fprintf(&sb, "  store [%#x], %s\n", uint32(in.Imm), RegName(in.R1))
+		case OLoadIdx:
+			fmt.Fprintf(&sb, "  load %s, [%#x + %s*%d]\n", RegName(in.R1), uint32(in.Imm), RegName(in.R2), in.Scale)
+		case OStoreIdx:
+			fmt.Fprintf(&sb, "  store [%#x + %s*%d], %s\n", uint32(in.Imm), RegName(in.R2), in.Scale, RegName(in.R1))
+		case OJmpInd:
+			fmt.Fprintf(&sb, "  jmpind [%#x]\n", uint32(in.Imm))
+		case OJmp, OJe, OJne, OJl, OJge, OJg, OJle, OCall:
+			fmt.Fprintf(&sb, "  %s %s\n", in.Op, in.Target)
+		default:
+			fmt.Fprintf(&sb, "  %s\n", in)
+		}
+	}
+	return sb.String()
+}

@@ -1,0 +1,167 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+)
+
+const asmCountdown = `
+; count down from 5, emitting each value
+  mov eax, 5
+loop:
+  cmp eax, 0
+  je done
+  out eax
+  sub eax, 1
+  jmp loop
+done:
+  hlt
+`
+
+func TestParseAsmCountdown(t *testing.T) {
+	u, err := ParseAsm(asmCountdown)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Execute(u, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int64{5, 4, 3, 2, 1}
+	if len(res.Output) != len(want) {
+		t.Fatalf("output %v, want %v", res.Output, want)
+	}
+	for i := range want {
+		if res.Output[i] != want[i] {
+			t.Fatalf("output %v, want %v", res.Output, want)
+		}
+	}
+}
+
+func TestParseAsmAllForms(t *testing.T) {
+	src := `
+data 16
+  mov eax, 100
+  mov ebx, eax
+  add ebx, 1
+  add ebx, eax
+  sub esp, 16
+  store [esp+4], ebx
+  load ecx, [esp+4]
+  out ecx
+  push ecx
+  pop edx
+  xor edx, edx
+  not edx
+  neg edx
+  shl eax, 2
+  shr eax, 1
+  mul eax, 3
+  udiv eax, ebx
+  umod eax, ebx
+  and eax, 255
+  or eax, 1
+  in esi
+  call sub1
+  out eax
+  hlt
+sub1:
+  add eax, 7
+  ret
+`
+	u, err := ParseAsm(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Execute(u, []int64{3}, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseAsmIndexedAndIndirect(t *testing.T) {
+	// Indexed addressing against the data section plus an indirect jump.
+	src := `
+data 32
+  mov ebx, 2
+  mov ecx, 77
+  store [BASE + ebx*4], ecx
+  load edx, [BASE + ebx*4]
+  out edx
+  hlt
+`
+	u, err := ParseAsm(strings.ReplaceAll(src, "BASE", "0"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := DataAddr(u, 0)
+	for i := range u.Instrs {
+		if u.Instrs[i].Op == OLoadIdx || u.Instrs[i].Op == OStoreIdx {
+			u.Instrs[i].Imm = int64(base)
+		}
+	}
+	res, err := Execute(u, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Output) != 1 || res.Output[0] != 77 {
+		t.Fatalf("output %v, want [77]", res.Output)
+	}
+}
+
+func TestParseAsmErrors(t *testing.T) {
+	bad := []string{
+		"  bogus eax, 1\n  hlt\n",
+		"  mov eax\n  hlt\n",
+		"  mov zzz, 1\n  hlt\n",
+		"  jmp nowhere\n  hlt\n",
+		"lonely:\n",
+		"a:\nb:\n  hlt\n",
+		"  load eax, esp\n  hlt\n",
+		"  movr eax, 5\n  hlt\n", // movr has no immediate form
+	}
+	for i, src := range bad {
+		if _, err := ParseAsm(src); err == nil {
+			t.Errorf("case %d: accepted bad source", i)
+		}
+	}
+}
+
+func TestDumpAsmRoundTrip(t *testing.T) {
+	u, err := ParseAsm(asmCountdown)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dumped := DumpAsm(u)
+	u2, err := ParseAsm(dumped)
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, dumped)
+	}
+	r1, err := Execute(u, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Execute(u2, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !SameOutput(r1, r2) {
+		t.Error("dump/parse changed behavior")
+	}
+}
+
+func TestDumpAsmRoundTripBuilderPrograms(t *testing.T) {
+	u := buildCountdown(4)
+	dumped := DumpAsm(u)
+	u2, err := ParseAsm(dumped)
+	if err != nil {
+		t.Fatalf("reparse builder output: %v\n%s", err, dumped)
+	}
+	r1, _ := Execute(u, nil, 0)
+	r2, err := Execute(u2, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !SameOutput(r1, r2) {
+		t.Error("builder dump/parse changed behavior")
+	}
+}

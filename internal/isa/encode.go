@@ -1,0 +1,191 @@
+package isa
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Memory layout constants (Linux-IA-32-flavored).
+const (
+	TextBase  uint32 = 0x08048000
+	dataAlign uint32 = 0x1000
+	StackTop  uint32 = 0x0c000000
+)
+
+// Image is an assembled, loadable binary.
+type Image struct {
+	Text     []byte
+	Data     []byte
+	TextBase uint32
+	DataBase uint32
+	Entry    uint32
+	// Labels maps every label to its resolved text address.
+	Labels map[string]uint32
+	// InstrAddrs[i] is the address of Unit.Instrs[i], in assembly order.
+	InstrAddrs []uint32
+}
+
+// DataAddr returns the absolute address of a data-section offset.
+func DataAddr(u *Unit, off int) uint32 {
+	return TextBase + alignUp(u.TextSize(), dataAlign) + uint32(off)
+}
+
+func alignUp(v, a uint32) uint32 { return (v + a - 1) &^ (a - 1) }
+
+// Assemble resolves labels and encodes the unit. The entry point is the
+// first instruction.
+func Assemble(u *Unit) (*Image, error) {
+	img := &Image{
+		TextBase: TextBase,
+		Labels:   make(map[string]uint32),
+		Entry:    TextBase,
+	}
+	// Pass 1: addresses.
+	addr := TextBase
+	img.InstrAddrs = make([]uint32, len(u.Instrs))
+	for i, in := range u.Instrs {
+		img.InstrAddrs[i] = addr
+		if in.Label != "" {
+			if _, dup := img.Labels[in.Label]; dup {
+				return nil, fmt.Errorf("isa: duplicate label %q", in.Label)
+			}
+			img.Labels[in.Label] = addr
+		}
+		addr += in.Size()
+	}
+	img.DataBase = TextBase + alignUp(addr-TextBase, dataAlign)
+	// Pass 2: encode.
+	for i, in := range u.Instrs {
+		enc, err := encodeIns(in, img.InstrAddrs[i], img.Labels)
+		if err != nil {
+			return nil, fmt.Errorf("isa: instruction %d (%s): %w", i, in, err)
+		}
+		img.Text = append(img.Text, enc...)
+	}
+	img.Data = append([]byte(nil), u.Data...)
+	return img, nil
+}
+
+func encodeIns(in Ins, addr uint32, labels map[string]uint32) ([]byte, error) {
+	if in.Op >= opCount {
+		return nil, fmt.Errorf("invalid opcode %d", in.Op)
+	}
+	buf := []byte{byte(in.Op)}
+	imm32 := func(v uint32) { buf = binary.LittleEndian.AppendUint32(buf, v) }
+	switch in.Op {
+	case ONop, OHlt, ORet, OPushF, OPopF:
+	case OPush, OPop, ONeg, ONot, OIn, OOut, OJmpReg:
+		buf = append(buf, in.R1)
+	case OMovReg, OAdd, OSub, OAnd, OOr, OXor, OMul, OUDiv, OUMod, OCmp:
+		buf = append(buf, in.R1, in.R2)
+	case OShlImm, OShrImm:
+		buf = append(buf, in.R1, byte(in.Imm))
+	case OMovImm:
+		buf = append(buf, in.R1)
+		imm32(uint32(in.Imm))
+	case OLoadAbs, OStoreAbs:
+		buf = append(buf, in.R1)
+		imm32(uint32(in.Imm))
+	case OJmpInd:
+		buf = append(buf, 0)
+		imm32(uint32(in.Imm))
+	case OLoad, OStore:
+		buf = append(buf, in.R1, in.R2)
+		imm32(uint32(in.Imm))
+	case OAddImm, OSubImm, OAndImm, OOrImm, OXorImm, OMulImm, OCmpImm:
+		buf = append(buf, in.R1, 0)
+		imm32(uint32(in.Imm))
+	case OLoadIdx, OStoreIdx:
+		buf = append(buf, in.R1, in.R2, in.Scale)
+		imm32(uint32(in.Imm))
+	case OJmp, OJe, OJne, OJl, OJge, OJg, OJle, OCall:
+		var target uint32
+		if in.Target != "" {
+			t, ok := labels[in.Target]
+			if !ok {
+				return nil, fmt.Errorf("undefined label %q", in.Target)
+			}
+			target = t
+		} else {
+			target = uint32(int64(addr) + int64(in.Size()) + in.Imm)
+		}
+		rel := int32(target - (addr + in.Size()))
+		imm32(uint32(rel))
+	default:
+		return nil, fmt.Errorf("unhandled opcode %v", in.Op)
+	}
+	if uint32(len(buf)) != in.Size() {
+		return nil, fmt.Errorf("encoded %d bytes, expected %d", len(buf), in.Size())
+	}
+	return buf, nil
+}
+
+// Decoded is a disassembled instruction with its address and raw length.
+type Decoded struct {
+	Addr uint32
+	Len  uint32
+	Ins  Ins // Target empty; relative targets materialized in AbsTarget
+	// AbsTarget is the absolute destination of jmp/jcc/call instructions.
+	AbsTarget uint32
+}
+
+// Disassemble decodes the image's text section.
+func Disassemble(img *Image) ([]Decoded, error) {
+	var out []Decoded
+	addr := img.TextBase
+	for off := uint32(0); off < uint32(len(img.Text)); {
+		d, err := DecodeAt(img.Text, img.TextBase, addr)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, d)
+		off += d.Len
+		addr += d.Len
+	}
+	return out, nil
+}
+
+// DecodeAt decodes a single instruction at the given address.
+func DecodeAt(text []byte, textBase, addr uint32) (Decoded, error) {
+	off := addr - textBase
+	if off >= uint32(len(text)) {
+		return Decoded{}, fmt.Errorf("isa: decode address %#x outside text", addr)
+	}
+	op := Op(text[off])
+	if op >= opCount {
+		return Decoded{}, fmt.Errorf("isa: invalid opcode %d at %#x", op, addr)
+	}
+	in := Ins{Op: op}
+	size := in.Size()
+	if off+size > uint32(len(text)) {
+		return Decoded{}, fmt.Errorf("isa: truncated instruction at %#x", addr)
+	}
+	b := text[off : off+size]
+	u32 := func(i int) uint32 { return binary.LittleEndian.Uint32(b[i:]) }
+	d := Decoded{Addr: addr, Len: size}
+	switch op {
+	case ONop, OHlt, ORet, OPushF, OPopF:
+	case OPush, OPop, ONeg, ONot, OIn, OOut, OJmpReg:
+		in.R1 = b[1]
+	case OMovReg, OAdd, OSub, OAnd, OOr, OXor, OMul, OUDiv, OUMod, OCmp:
+		in.R1, in.R2 = b[1], b[2]
+	case OShlImm, OShrImm:
+		in.R1, in.Imm = b[1], int64(b[2])
+	case OMovImm, OLoadAbs, OStoreAbs:
+		in.R1, in.Imm = b[1], int64(u32(2))
+	case OJmpInd:
+		in.Imm = int64(u32(2))
+	case OLoad, OStore:
+		in.R1, in.R2, in.Imm = b[1], b[2], int64(int32(u32(3)))
+	case OAddImm, OSubImm, OAndImm, OOrImm, OXorImm, OMulImm, OCmpImm:
+		in.R1, in.Imm = b[1], int64(u32(3))
+	case OLoadIdx, OStoreIdx:
+		in.R1, in.R2, in.Scale, in.Imm = b[1], b[2], b[3], int64(u32(4))
+	case OJmp, OJe, OJne, OJl, OJge, OJg, OJle, OCall:
+		rel := int32(u32(1))
+		d.AbsTarget = uint32(int64(addr) + int64(size) + int64(rel))
+		in.Imm = int64(rel)
+	}
+	d.Ins = in
+	return d, nil
+}

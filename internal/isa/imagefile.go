@@ -1,0 +1,127 @@
+package isa
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Image container format — a minimal ELF-like envelope so watermarked
+// binaries can be written to disk, shipped, attacked and traced as files:
+//
+//	magic   "PMRK"            4 bytes
+//	version u32               currently 1
+//	textBase, dataBase, entry u32 each
+//	textLen u32, text bytes
+//	dataLen u32, data bytes
+//	nLabels u32, then per label: nameLen u32, name, addr u32
+//
+// Instruction addresses are not stored: they are recovered by
+// disassembly, exactly as a real binary's would be.
+
+var imageMagic = [4]byte{'P', 'M', 'R', 'K'}
+
+const imageVersion = 1
+
+// WriteImage serializes the image.
+func WriteImage(w io.Writer, img *Image) error {
+	var buf bytes.Buffer
+	buf.Write(imageMagic[:])
+	le := func(v uint32) { _ = binary.Write(&buf, binary.LittleEndian, v) }
+	le(imageVersion)
+	le(img.TextBase)
+	le(img.DataBase)
+	le(img.Entry)
+	le(uint32(len(img.Text)))
+	buf.Write(img.Text)
+	le(uint32(len(img.Data)))
+	buf.Write(img.Data)
+	names := make([]string, 0, len(img.Labels))
+	for name := range img.Labels {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	le(uint32(len(names)))
+	for _, name := range names {
+		le(uint32(len(name)))
+		buf.WriteString(name)
+		le(img.Labels[name])
+	}
+	_, err := w.Write(buf.Bytes())
+	return err
+}
+
+// ReadImage deserializes an image written by WriteImage.
+func ReadImage(r io.Reader) (*Image, error) {
+	all, err := io.ReadAll(io.LimitReader(r, 1<<28))
+	if err != nil {
+		return nil, err
+	}
+	b := bytes.NewReader(all)
+	var magic [4]byte
+	if _, err := io.ReadFull(b, magic[:]); err != nil || magic != imageMagic {
+		return nil, errors.New("isa: not a PMRK image")
+	}
+	u32 := func() (uint32, error) {
+		var v uint32
+		err := binary.Read(b, binary.LittleEndian, &v)
+		return v, err
+	}
+	version, err := u32()
+	if err != nil || version != imageVersion {
+		return nil, fmt.Errorf("isa: unsupported image version %d", version)
+	}
+	img := &Image{Labels: make(map[string]uint32)}
+	if img.TextBase, err = u32(); err != nil {
+		return nil, err
+	}
+	if img.DataBase, err = u32(); err != nil {
+		return nil, err
+	}
+	if img.Entry, err = u32(); err != nil {
+		return nil, err
+	}
+	readBlob := func() ([]byte, error) {
+		n, err := u32()
+		if err != nil {
+			return nil, err
+		}
+		if int64(n) > int64(b.Len()) {
+			return nil, errors.New("isa: truncated image")
+		}
+		blob := make([]byte, n)
+		if _, err := io.ReadFull(b, blob); err != nil {
+			return nil, err
+		}
+		return blob, nil
+	}
+	if img.Text, err = readBlob(); err != nil {
+		return nil, err
+	}
+	if img.Data, err = readBlob(); err != nil {
+		return nil, err
+	}
+	nLabels, err := u32()
+	if err != nil {
+		return nil, err
+	}
+	for i := uint32(0); i < nLabels; i++ {
+		name, err := readBlob()
+		if err != nil {
+			return nil, err
+		}
+		addr, err := u32()
+		if err != nil {
+			return nil, err
+		}
+		img.Labels[string(name)] = addr
+	}
+	// Sanity: text must decode from the entry.
+	if img.Entry < img.TextBase || img.Entry >= img.TextBase+uint32(len(img.Text)) {
+		return nil, errors.New("isa: entry point outside text")
+	}
+	return img, nil
+}

@@ -1,0 +1,81 @@
+package isa
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestImageFileRoundTrip(t *testing.T) {
+	u := buildCountdown(4)
+	u.Data = append(u.Data, 0xde, 0xad, 0xbe, 0xef)
+	img, err := Assemble(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteImage(&buf, img); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadImage(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Text, img.Text) || !bytes.Equal(got.Data, img.Data) {
+		t.Fatal("sections changed in round trip")
+	}
+	if got.TextBase != img.TextBase || got.DataBase != img.DataBase || got.Entry != img.Entry {
+		t.Fatal("layout changed in round trip")
+	}
+	if len(got.Labels) != len(img.Labels) {
+		t.Fatalf("labels: %d vs %d", len(got.Labels), len(img.Labels))
+	}
+	for name, addr := range img.Labels {
+		if got.Labels[name] != addr {
+			t.Fatalf("label %q: %#x vs %#x", name, got.Labels[name], addr)
+		}
+	}
+	// The loaded image must execute identically.
+	r1, err := NewCPU(img, nil).Run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := NewCPU(got, nil).Run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !SameOutput(r1, r2) {
+		t.Fatal("loaded image behaves differently")
+	}
+}
+
+func TestReadImageRejectsGarbage(t *testing.T) {
+	cases := []string{
+		"",
+		"ELF\x7f",
+		"PMRKxxxx",
+		"PMRK\x01\x00\x00\x00", // truncated after version
+	}
+	for i, src := range cases {
+		if _, err := ReadImage(strings.NewReader(src)); err == nil {
+			t.Errorf("case %d: accepted garbage", i)
+		}
+	}
+	// Wrong version.
+	u := buildCountdown(1)
+	img, _ := Assemble(u)
+	var buf bytes.Buffer
+	if err := WriteImage(&buf, img); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	raw[4] = 99 // version
+	if _, err := ReadImage(bytes.NewReader(raw)); err == nil {
+		t.Error("accepted wrong version")
+	}
+	// Truncated text length.
+	raw[4] = 1
+	if _, err := ReadImage(bytes.NewReader(raw[:20])); err == nil {
+		t.Error("accepted truncated image")
+	}
+}

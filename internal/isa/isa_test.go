@@ -1,0 +1,422 @@
+package isa
+
+import (
+	"testing"
+)
+
+// buildCountdown: out(n), n-- until 0, then hlt.
+func buildCountdown(n uint32) *Unit {
+	b := NewBuilder()
+	b.MovImm(EAX, n)
+	b.Label("loop").CmpImm(EAX, 0)
+	b.Je("done")
+	b.Out(EAX)
+	b.SubImm(EAX, 1)
+	b.Jmp("loop")
+	b.Label("done").Hlt()
+	return b.Unit()
+}
+
+func TestCountdown(t *testing.T) {
+	res, err := Execute(buildCountdown(5), nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int64{5, 4, 3, 2, 1}
+	if len(res.Output) != len(want) {
+		t.Fatalf("output %v, want %v", res.Output, want)
+	}
+	for i := range want {
+		if res.Output[i] != want[i] {
+			t.Fatalf("output %v, want %v", res.Output, want)
+		}
+	}
+}
+
+func TestArithmeticAndFlags(t *testing.T) {
+	cases := []struct {
+		name  string
+		build func(b *Builder)
+		want  int64
+	}{
+		{"add", func(b *Builder) { b.MovImm(EAX, 7).MovImm(EBX, 3).Add(EAX, EBX) }, 10},
+		{"sub", func(b *Builder) { b.MovImm(EAX, 7).MovImm(EBX, 3).Sub(EAX, EBX) }, 4},
+		{"mul", func(b *Builder) { b.MovImm(EAX, 7).MovImm(EBX, 3).Mul(EAX, EBX) }, 21},
+		{"udiv", func(b *Builder) { b.MovImm(EAX, 7).MovImm(EBX, 3).UDiv(EAX, EBX) }, 2},
+		{"umod", func(b *Builder) { b.MovImm(EAX, 7).MovImm(EBX, 3).UMod(EAX, EBX) }, 1},
+		{"and", func(b *Builder) { b.MovImm(EAX, 12).AndImm(EAX, 10) }, 8},
+		{"or", func(b *Builder) { b.MovImm(EAX, 12).OrImm(EAX, 10) }, 14},
+		{"xor", func(b *Builder) { b.MovImm(EAX, 12).XorImm(EAX, 10) }, 6},
+		{"shl", func(b *Builder) { b.MovImm(EAX, 3).ShlImm(EAX, 4) }, 48},
+		{"shr", func(b *Builder) { b.MovImm(EAX, 48).ShrImm(EAX, 4) }, 3},
+		{"neg", func(b *Builder) { b.MovImm(EAX, 5).Neg(EAX) }, -5},
+		{"not", func(b *Builder) { b.MovImm(EAX, 0).Not(EAX) }, -1},
+		{"movr", func(b *Builder) { b.MovImm(EBX, 42).MovReg(EAX, EBX) }, 42},
+	}
+	for _, c := range cases {
+		b := NewBuilder()
+		c.build(b)
+		b.Out(EAX).Hlt()
+		res, err := Execute(b.Unit(), nil, 0)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if res.Output[0] != c.want {
+			t.Errorf("%s = %d, want %d", c.name, res.Output[0], c.want)
+		}
+	}
+}
+
+func TestConditionalJumps(t *testing.T) {
+	// Each case: cmp a, b then jcc; output 1 if taken else 0.
+	cases := []struct {
+		op    Op
+		a, b  uint32
+		taken bool
+	}{
+		{OJe, 3, 3, true}, {OJe, 3, 4, false},
+		{OJne, 3, 4, true}, {OJne, 3, 3, false},
+		{OJl, 3, 4, true}, {OJl, 4, 4, false},
+		{OJl, ^uint32(0), 1, true}, // -1 < 1 signed
+		{OJge, 4, 4, true}, {OJge, 3, 4, false},
+		{OJg, 5, 4, true}, {OJg, 4, 4, false},
+		{OJle, 4, 4, true}, {OJle, 5, 4, false},
+	}
+	for i, c := range cases {
+		b := NewBuilder()
+		b.MovImm(EAX, c.a).MovImm(EBX, c.b).Cmp(EAX, EBX)
+		b.Raw(Ins{Op: c.op, Target: "yes"})
+		b.MovImm(ECX, 0).Out(ECX).Hlt()
+		b.Label("yes").MovImm(ECX, 1).Out(ECX).Hlt()
+		res, err := Execute(b.Unit(), nil, 0)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		want := int64(0)
+		if c.taken {
+			want = 1
+		}
+		if res.Output[0] != want {
+			t.Errorf("case %d (%v %d,%d): taken=%d want %d", i, c.op, c.a, c.b, res.Output[0], want)
+		}
+	}
+}
+
+func TestCallRetAndStack(t *testing.T) {
+	b := NewBuilder()
+	b.MovImm(EAX, 6)
+	b.Call("double")
+	b.Out(EAX)
+	b.Hlt()
+	b.Label("double").Add(EAX, EAX)
+	b.Ret()
+	res, err := Execute(b.Unit(), nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Output[0] != 12 {
+		t.Errorf("got %d, want 12", res.Output[0])
+	}
+}
+
+func TestPushPopPushF(t *testing.T) {
+	b := NewBuilder()
+	b.MovImm(EAX, 11).Push(EAX)
+	b.MovImm(EAX, 99)
+	b.CmpImm(EAX, 99) // set ZF
+	b.PushF()
+	b.MovImm(EBX, 1).CmpImm(EBX, 2) // clobber flags
+	b.PopF()
+	b.Je("zf") // restored ZF must be set
+	b.MovImm(ECX, 0).Jmp("join")
+	b.Label("zf").MovImm(ECX, 1)
+	b.Label("join").Pop(EAX)
+	b.Out(EAX).Out(ECX).Hlt()
+	res, err := Execute(b.Unit(), nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Output[0] != 11 || res.Output[1] != 1 {
+		t.Errorf("got %v, want [11 1]", res.Output)
+	}
+}
+
+func TestDataSectionAndIndexedAccess(t *testing.T) {
+	b := NewBuilder()
+	off := b.AllocWords(4)
+	u := b.Unit()
+	// Fill data after the text is final (addresses depend on text size).
+	b.MovImm(EBX, 2)
+	b.LoadIdx(EAX, 0, EBX, 4) // base patched below
+	b.Out(EAX)
+	b.MovImm(ECX, 77)
+	b.Raw(Ins{Op: OStoreIdx, R1: ECX, R2: EBX, Scale: 4, Imm: 0}) // patched
+	b.LoadIdx(EDX, 0, EBX, 4)                                     // patched
+	b.Out(EDX)
+	b.Hlt()
+	base := DataAddr(u, off)
+	for i := range u.Instrs {
+		if u.Instrs[i].Op == OLoadIdx || u.Instrs[i].Op == OStoreIdx {
+			u.Instrs[i].Imm = int64(base)
+		}
+	}
+	for i := 0; i < 4; i++ {
+		b.SetDataWord(off+4*i, uint32(10*i))
+	}
+	res, err := Execute(u, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Output[0] != 20 || res.Output[1] != 77 {
+		t.Errorf("got %v, want [20 77]", res.Output)
+	}
+}
+
+func TestMemoryLoadStore(t *testing.T) {
+	b := NewBuilder()
+	// Use stack memory through ESP-relative addressing.
+	b.SubImm(ESP, 16)
+	b.MovImm(EAX, 1234)
+	b.Store(ESP, 4, EAX)
+	b.Load(EBX, ESP, 4)
+	b.Out(EBX)
+	b.Hlt()
+	res, err := Execute(b.Unit(), nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Output[0] != 1234 {
+		t.Errorf("got %d, want 1234", res.Output[0])
+	}
+}
+
+func TestInputSequence(t *testing.T) {
+	b := NewBuilder()
+	b.In(EAX).In(EBX).Add(EAX, EBX).Out(EAX).In(ECX).Out(ECX).Hlt()
+	res, err := Execute(b.Unit(), []int64{30, 12}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Output[0] != 42 || res.Output[1] != 0 {
+		t.Errorf("got %v, want [42 0]", res.Output)
+	}
+}
+
+func TestJmpIndAndJmpReg(t *testing.T) {
+	b := NewBuilder()
+	slot := b.AllocWords(1)
+	u := b.Unit()
+	b.Jmp("start")
+	b.Label("secret").MovImm(EAX, 7).Out(EAX).Hlt()
+	b.Label("start").JmpInd(0) // patched below
+	b.Hlt()
+	img, err := Assemble(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Patch the slot with the address of "secret" and the jmpind operand
+	// with the slot's address.
+	for i := range u.Instrs {
+		if u.Instrs[i].Op == OJmpInd {
+			u.Instrs[i].Imm = int64(DataAddr(u, slot))
+		}
+	}
+	b.SetDataWord(slot, img.Labels["secret"])
+	res, err := Execute(u, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Output) != 1 || res.Output[0] != 7 {
+		t.Errorf("jmpind output %v, want [7]", res.Output)
+	}
+
+	// jmpreg variant.
+	b2 := NewBuilder()
+	u2 := b2.Unit()
+	b2.Jmp("start")
+	b2.Label("target").MovImm(EAX, 9).Out(EAX).Hlt()
+	b2.Label("start").MovImm(EBX, 0) // patched
+	b2.JmpReg(EBX)
+	b2.Hlt()
+	img2, err := Assemble(u2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range u2.Instrs {
+		if u2.Instrs[i].Op == OMovImm && u2.Instrs[i].R1 == EBX {
+			u2.Instrs[i].Imm = int64(img2.Labels["target"])
+		}
+	}
+	res2, err := Execute(u2, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res2.Output) != 1 || res2.Output[0] != 9 {
+		t.Errorf("jmpreg output %v, want [9]", res2.Output)
+	}
+}
+
+func TestFaults(t *testing.T) {
+	cases := []struct {
+		name  string
+		build func(b *Builder)
+	}{
+		{"div-zero", func(b *Builder) { b.MovImm(EAX, 1).MovImm(EBX, 0).UDiv(EAX, EBX) }},
+		{"mod-zero", func(b *Builder) { b.MovImm(EAX, 1).MovImm(EBX, 0).UMod(EAX, EBX) }},
+		{"unmapped-read", func(b *Builder) { b.LoadAbs(EAX, 0x100) }},
+		{"unmapped-write", func(b *Builder) { b.MovImm(EAX, 1).StoreAbs(0x100, EAX) }},
+		{"text-write", func(b *Builder) { b.MovImm(EAX, 1).StoreAbs(TextBase, EAX) }},
+		{"wild-jmpreg", func(b *Builder) { b.MovImm(EAX, 0x1000).JmpReg(EAX) }},
+	}
+	for _, c := range cases {
+		b := NewBuilder()
+		c.build(b)
+		b.Hlt()
+		if _, err := Execute(b.Unit(), nil, 1000); err == nil {
+			t.Errorf("%s: expected fault", c.name)
+		}
+	}
+}
+
+func TestStepLimit(t *testing.T) {
+	b := NewBuilder()
+	b.Label("spin").Jmp("spin")
+	if _, err := Execute(b.Unit(), nil, 100); err == nil {
+		t.Error("expected step-limit fault")
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	u := buildCountdown(3)
+	img, err := Assemble(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := Disassemble(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(decoded) != len(u.Instrs) {
+		t.Fatalf("decoded %d instructions, want %d", len(decoded), len(u.Instrs))
+	}
+	for i, d := range decoded {
+		if d.Ins.Op != u.Instrs[i].Op {
+			t.Errorf("instr %d: op %v, want %v", i, d.Ins.Op, u.Instrs[i].Op)
+		}
+		if d.Addr != img.InstrAddrs[i] {
+			t.Errorf("instr %d: addr %#x, want %#x", i, d.Addr, img.InstrAddrs[i])
+		}
+	}
+	// Branch targets resolve to label addresses.
+	for i, d := range decoded {
+		if d.Ins.Op.HasRelTarget() {
+			want := img.Labels[u.Instrs[i].Target]
+			if d.AbsTarget != want {
+				t.Errorf("instr %d: target %#x, want %#x", i, d.AbsTarget, want)
+			}
+		}
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	b := NewBuilder()
+	b.Jmp("nowhere").Hlt()
+	if _, err := Assemble(b.Unit()); err == nil {
+		t.Error("undefined label accepted")
+	}
+	b2 := NewBuilder()
+	b2.Label("x").Nop()
+	b2.Label("x").Hlt()
+	if _, err := Assemble(b2.Unit()); err == nil {
+		t.Error("duplicate label accepted")
+	}
+}
+
+func TestVariableLengthSizes(t *testing.T) {
+	// Inserting a nop shifts the addresses of everything after it — the
+	// property the tamper-proofing experiments rely on.
+	u := buildCountdown(2)
+	img1, err := Assemble(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u2 := u.Clone()
+	u2.Instrs = append([]Ins{{Op: ONop}}, u2.Instrs...)
+	img2, err := Assemble(u2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range img1.InstrAddrs {
+		if img2.InstrAddrs[i+1] != img1.InstrAddrs[i]+1 {
+			t.Fatalf("nop insertion did not shift addresses: %#x vs %#x",
+				img2.InstrAddrs[i+1], img1.InstrAddrs[i])
+		}
+	}
+}
+
+func TestCFGAndDominators(t *testing.T) {
+	u := buildCountdown(3)
+	cfg := BuildCFG(u)
+	if len(cfg.Blocks) < 3 {
+		t.Fatalf("blocks = %d, want >= 3", len(cfg.Blocks))
+	}
+	dom := cfg.Dominators()
+	// Entry dominates everything reachable.
+	reach := cfg.Reachable()
+	for b := range cfg.Blocks {
+		if reach[b] && !dom[b][0] {
+			t.Errorf("entry does not dominate reachable block %d", b)
+		}
+	}
+	// The loop head is in a loop; the final hlt block is not.
+	inLoop := cfg.InLoop()
+	anyLoop := false
+	for _, l := range inLoop {
+		anyLoop = anyLoop || l
+	}
+	if !anyLoop {
+		t.Error("no loop detected in countdown")
+	}
+	hltBlock := cfg.BlockOf(len(u.Instrs) - 1)
+	if inLoop[hltBlock] {
+		t.Error("hlt block reported as in a loop")
+	}
+}
+
+func TestCollectProfile(t *testing.T) {
+	u := buildCountdown(5)
+	counts, err := CollectProfile(u, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The loop condition (instr 1) executes 6 times; the out (instr 3) 5.
+	if counts[1] != 6 {
+		t.Errorf("loop head count = %d, want 6", counts[1])
+	}
+	if counts[3] != 5 {
+		t.Errorf("body count = %d, want 5", counts[3])
+	}
+	if counts[0] != 1 {
+		t.Errorf("entry count = %d, want 1", counts[0])
+	}
+}
+
+func TestNegateJcc(t *testing.T) {
+	for _, o := range []Op{OJe, OJne, OJl, OJge, OJg, OJle} {
+		if NegateJcc(NegateJcc(o)) != o {
+			t.Errorf("NegateJcc not involutive for %v", o)
+		}
+	}
+}
+
+func TestSignedOutput(t *testing.T) {
+	b := NewBuilder()
+	b.MovImm(EAX, 0).SubImm(EAX, 5).Out(EAX).Hlt()
+	res, err := Execute(b.Unit(), nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Output[0] != -5 {
+		t.Errorf("got %d, want -5", res.Output[0])
+	}
+}

@@ -1,0 +1,189 @@
+// Package nativeattacks implements the five §5.2.2 attacks against
+// branch-function watermarks, plus the break/survive harness.
+//
+// Unit-level attacks (no-op insertion, branch-sense inversion) model a
+// binary rewriter: they reassemble the program, correctly fixing every
+// visible relative branch — but the XOR table in the data section encodes
+// absolute text addresses the rewriter cannot see, so watermarked binaries
+// break. Image-level attacks (bypass, rerouting) are the byte patches of
+// §5.2.2(4)-(5), applied after the attacker locates the branch function by
+// dynamic tracing. Double watermarking is simply a second nativewm.Embed
+// and lives in the experiment harness.
+package nativeattacks
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"pathmark/internal/isa"
+	"pathmark/internal/nativewm"
+)
+
+// InsertNops inserts n no-op instructions at random positions of the unit
+// (§5.2.2(1)). Reassembly shifts every subsequent address.
+func InsertNops(u *isa.Unit, rng *rand.Rand, n int) *isa.Unit {
+	out := u.Clone()
+	for i := 0; i < n; i++ {
+		pos := rng.Intn(len(out.Instrs) + 1)
+		out.Instrs = append(out.Instrs[:pos],
+			append([]isa.Ins{{Op: isa.ONop}}, out.Instrs[pos:]...)...)
+	}
+	return out
+}
+
+// InsertNopAt inserts a single no-op before instruction index pos; every
+// later address shifts by one byte, which is all §5.2.2(1) needs to break
+// a watermarked binary.
+func InsertNopAt(u *isa.Unit, pos int) *isa.Unit {
+	out := u.Clone()
+	if pos < 0 {
+		pos = 0
+	}
+	if pos > len(out.Instrs) {
+		pos = len(out.Instrs)
+	}
+	out.Instrs = append(out.Instrs[:pos],
+		append([]isa.Ins{{Op: isa.ONop}}, out.Instrs[pos:]...)...)
+	return out
+}
+
+// InvertBranchSenses flips the sense of a fraction of conditional jumps,
+// preserving semantics with an inserted jmp (§5.2.2(2)): `jcc T; next`
+// becomes `j!cc L; jmp T; L: next`.
+func InvertBranchSenses(u *isa.Unit, rng *rand.Rand, fraction float64) *isa.Unit {
+	out := u.Clone()
+	serial := 0
+	for i := 0; i < len(out.Instrs); i++ {
+		in := out.Instrs[i]
+		if !in.Op.IsJcc() || in.Target == "" || rng.Float64() > fraction {
+			continue
+		}
+		skip := fmt.Sprintf("__bsi%d", serial)
+		serial++
+		// Rewrite in place: negate, retarget to the skip label, and insert
+		// the compensating jmp before the (possibly labeled) successor.
+		out.Instrs[i].Op = isa.NegateJcc(in.Op)
+		out.Instrs[i].Target = skip
+		rest := append([]isa.Ins(nil), out.Instrs[i+1:]...)
+		out.Instrs = append(out.Instrs[:i+1],
+			isa.Ins{Op: isa.OJmp, Target: in.Target},
+			isa.Ins{Op: isa.ONop, Label: skip})
+		out.Instrs = append(out.Instrs, rest...)
+		i += 2
+	}
+	return out
+}
+
+// Bypass overwrites calls to the branch function with same-size direct
+// jumps to the destinations the attacker observed dynamically
+// (§5.2.2(4)). The byte patch leaves all addresses unchanged; with
+// tamper-proofing present, the skipped branch-function executions leave
+// stale indirect-jump cells and the program breaks.
+func Bypass(img *isa.Image, events []nativewm.MisReturn) (*isa.Image, error) {
+	out := cloneImage(img)
+	for _, e := range events {
+		off := e.Site - out.TextBase
+		if off+5 > uint32(len(out.Text)) {
+			return nil, fmt.Errorf("nativeattacks: site %#x outside text", e.Site)
+		}
+		if isa.Op(out.Text[off]) != isa.OCall {
+			// Already patched (a site appearing in several traversals).
+			continue
+		}
+		rel := int32(e.Actual - (e.Site + 5))
+		out.Text[off] = byte(isa.OJmp)
+		putLE32(out.Text[off+1:], uint32(rel))
+	}
+	return out, nil
+}
+
+// Reroute implements §5.2.2(5): each call to the branch function becomes a
+// call to a fresh trampoline `jmp bf` appended in the text section's
+// alignment padding, so no existing address changes and the program keeps
+// working — but a tracer that attributes sites to the instruction entering
+// the branch function now sees the trampolines.
+func Reroute(img *isa.Image, events []nativewm.MisReturn) (*isa.Image, error) {
+	out := cloneImage(img)
+	slack := out.DataBase - out.TextBase - uint32(len(out.Text))
+	trampFor := make(map[uint32]uint32) // bf entry -> trampoline address
+	for _, e := range events {
+		off := e.Site - out.TextBase
+		if off+5 > uint32(len(out.Text)) {
+			return nil, fmt.Errorf("nativeattacks: site %#x outside text", e.Site)
+		}
+		if isa.Op(out.Text[off]) != isa.OCall {
+			continue
+		}
+		bfEntry := e.Target
+		tramp, ok := trampFor[bfEntry]
+		if !ok {
+			if slack < 5 {
+				return nil, errors.New("nativeattacks: no alignment slack for trampoline")
+			}
+			tramp = out.TextBase + uint32(len(out.Text))
+			rel := int32(bfEntry - (tramp + 5))
+			out.Text = append(out.Text, byte(isa.OJmp), byte(rel), byte(rel>>8), byte(rel>>16), byte(rel>>24))
+			slack -= 5
+			trampFor[bfEntry] = tramp
+		}
+		rel := int32(tramp - (e.Site + 5))
+		out.Text[off] = byte(isa.OCall)
+		putLE32(out.Text[off+1:], uint32(rel))
+	}
+	return out, nil
+}
+
+func putLE32(b []byte, v uint32) {
+	b[0] = byte(v)
+	b[1] = byte(v >> 8)
+	b[2] = byte(v >> 16)
+	b[3] = byte(v >> 24)
+}
+
+func cloneImage(img *isa.Image) *isa.Image {
+	out := *img
+	out.Text = append([]byte(nil), img.Text...)
+	out.Data = append([]byte(nil), img.Data...)
+	out.Labels = make(map[string]uint32, len(img.Labels))
+	for k, v := range img.Labels {
+		out.Labels[k] = v
+	}
+	out.InstrAddrs = append([]uint32(nil), img.InstrAddrs...)
+	return &out
+}
+
+// Verdict classifies an attacked program against the original.
+type Verdict int
+
+const (
+	// Broken: the attacked program faults or produces different output.
+	Broken Verdict = iota
+	// Working: observationally identical behavior.
+	Working
+)
+
+func (v Verdict) String() string {
+	if v == Broken {
+		return "breaks"
+	}
+	return "works"
+}
+
+// Judge runs both images on the input and classifies the attack result.
+func Judge(original, attacked *isa.Image, input []int64, stepLimit int64) Verdict {
+	ref, err := isa.NewCPU(original, input).Run(stepLimit)
+	if err != nil {
+		// The original must run; treat a broken original as "broken
+		// attack" so callers notice via tests.
+		return Broken
+	}
+	got, err := isa.NewCPU(attacked, input).Run(stepLimit)
+	if err != nil {
+		return Broken
+	}
+	if !isa.SameOutput(ref, got) {
+		return Broken
+	}
+	return Working
+}

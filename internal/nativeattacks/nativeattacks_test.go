@@ -1,0 +1,218 @@
+package nativeattacks
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+
+	"pathmark/internal/isa"
+	"pathmark/internal/nativewm"
+)
+
+func buildHost() *isa.Unit {
+	b := isa.NewBuilder()
+	b.Jmp("start")
+	b.Label("start").In(isa.EAX)
+	b.MovImm(isa.EBX, 0)
+	b.Label("loop").CmpImm(isa.EAX, 0)
+	b.Je("endloop")
+	b.Add(isa.EBX, isa.EAX)
+	b.SubImm(isa.EAX, 1)
+	b.Jmp("loop")
+	b.Label("endloop").CmpImm(isa.EBX, 100)
+	b.Jg("big")
+	b.Out(isa.EBX)
+	b.Jmp("done")
+	b.Label("big").MovReg(isa.ECX, isa.EBX)
+	b.ShrImm(isa.ECX, 1)
+	b.Out(isa.ECX)
+	b.Jmp("done")
+	b.Label("done").MovImm(isa.EDX, 7)
+	b.Out(isa.EDX)
+	b.Hlt()
+	return b.Unit()
+}
+
+var trainInput = []int64{5}
+
+func watermarked(t *testing.T, seed int64) (*isa.Unit, *isa.Image, *nativewm.EmbedReport, *big.Int) {
+	t.Helper()
+	u := buildHost()
+	w := big.NewInt(0xBEEF_CAFE)
+	marked, report, err := nativewm.Embed(u, w, 32, nativewm.EmbedOptions{
+		Seed: seed, TamperProof: true, TrainInput: trainInput, LabelPrefix: "w1_",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := isa.Assemble(marked)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return marked, img, report, w
+}
+
+func mustImage(t *testing.T, u *isa.Unit) *isa.Image {
+	t.Helper()
+	img, err := isa.Assemble(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return img
+}
+
+// --- semantic sanity on unwatermarked programs ---
+
+func TestUnitAttacksPreserveSemanticsOnPlainPrograms(t *testing.T) {
+	u := buildHost()
+	rng := rand.New(rand.NewSource(1))
+	ref, err := isa.Execute(u, trainInput, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, attacked := range map[string]*isa.Unit{
+		"nops":   InsertNops(u, rng, 20),
+		"invert": InvertBranchSenses(u, rng, 1.0),
+	} {
+		got, err := isa.Execute(attacked, trainInput, 0)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !isa.SameOutput(ref, got) {
+			t.Errorf("%s: changed behavior of a plain program", name)
+		}
+	}
+}
+
+// --- the §5.2.2 table ---
+
+func TestNopInsertionBreaksWatermarked(t *testing.T) {
+	marked, img, _, _ := watermarked(t, 1)
+	rng := rand.New(rand.NewSource(2))
+	// Even a single no-op breaks every test program (§5.2.2(1)).
+	attacked := InsertNops(marked, rng, 1)
+	if v := Judge(img, mustImage(t, attacked), trainInput, 2_000_000); v != Broken {
+		t.Errorf("single no-op: %v, want breaks", v)
+	}
+}
+
+func TestBranchInversionBreaksWatermarked(t *testing.T) {
+	marked, img, _, _ := watermarked(t, 3)
+	rng := rand.New(rand.NewSource(4))
+	attacked := InvertBranchSenses(marked, rng, 1.0)
+	if v := Judge(img, mustImage(t, attacked), trainInput, 2_000_000); v != Broken {
+		t.Errorf("branch inversion: %v, want breaks", v)
+	}
+}
+
+func TestDoubleWatermarkBreaks(t *testing.T) {
+	marked, img, _, _ := watermarked(t, 5)
+	second, _, err := nativewm.Embed(marked, big.NewInt(0x1234), 16, nativewm.EmbedOptions{
+		Seed: 6, TamperProof: true, TrainInput: trainInput, LabelPrefix: "w2_",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := Judge(img, mustImage(t, second), trainInput, 2_000_000); v != Broken {
+		t.Errorf("double watermarking: %v, want breaks", v)
+	}
+}
+
+func TestBypassBreaksTamperProofed(t *testing.T) {
+	_, img, _, _ := watermarked(t, 7)
+	events, err := nativewm.TraceMisReturns(img, trainInput, 2_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) == 0 {
+		t.Fatal("no branch-function activity observed")
+	}
+	attacked, err := Bypass(img, events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := Judge(img, attacked, trainInput, 2_000_000); v != Broken {
+		t.Errorf("bypass with tamper-proofing: %v, want breaks", v)
+	}
+}
+
+func TestBypassSucceedsWithoutTamperProofing(t *testing.T) {
+	// The §4.3 motivation: without tamper-proofing, bypassing the branch
+	// function is a successful subtractive attack.
+	u := buildHost()
+	marked, _, err := nativewm.Embed(u, big.NewInt(0xAAAA), 16, nativewm.EmbedOptions{
+		Seed: 8, TamperProof: false, TrainInput: trainInput, LabelPrefix: "w1_",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	img := mustImage(t, marked)
+	events, err := nativewm.TraceMisReturns(img, trainInput, 2_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	attacked, err := Bypass(img, events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := Judge(img, attacked, trainInput, 2_000_000); v != Working {
+		t.Errorf("bypass without tamper-proofing: %v, want works", v)
+	}
+}
+
+func TestRerouteKeepsProgramWorkingFoolsSimpleTracerOnly(t *testing.T) {
+	_, img, report, w := watermarked(t, 9)
+	events, err := nativewm.TraceMisReturns(img, trainInput, 2_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	attacked, err := Reroute(img, events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := Judge(img, attacked, trainInput, 2_000_000); v != Working {
+		t.Fatalf("reroute: %v, want works", v)
+	}
+	smart, err := nativewm.Extract(attacked, trainInput, report.Mark, nativewm.SmartTracer, 2_000_000)
+	if err != nil {
+		t.Fatalf("smart tracer on rerouted: %v", err)
+	}
+	if smart.Watermark.Cmp(w) != 0 {
+		t.Errorf("smart tracer extracted %v, want %v", smart.Watermark, w)
+	}
+	simple, err := nativewm.Extract(attacked, trainInput, report.Mark, nativewm.SimpleTracer, 2_000_000)
+	if err == nil && simple.Watermark.Cmp(w) == 0 {
+		t.Error("simple tracer survived rerouting; the paper's attack should defeat it")
+	}
+}
+
+func TestExtractionSurvivesNoAttack(t *testing.T) {
+	_, img, report, w := watermarked(t, 10)
+	for _, kind := range []nativewm.TracerKind{nativewm.SimpleTracer, nativewm.SmartTracer} {
+		ext, err := nativewm.Extract(img, trainInput, report.Mark, kind, 2_000_000)
+		if err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		if ext.Watermark.Cmp(w) != 0 {
+			t.Errorf("%v tracer: %v, want %v", kind, ext.Watermark, w)
+		}
+	}
+}
+
+func TestJudgeDetectsOutputDifference(t *testing.T) {
+	u := buildHost()
+	img := mustImage(t, u)
+	u2 := u.Clone()
+	// Change a constant: different output.
+	for i := range u2.Instrs {
+		if u2.Instrs[i].Op == isa.OMovImm && u2.Instrs[i].Imm == 7 {
+			u2.Instrs[i].Imm = 8
+		}
+	}
+	if v := Judge(img, mustImage(t, u2), trainInput, 2_000_000); v != Broken {
+		t.Errorf("Judge = %v, want breaks", v)
+	}
+	if v := Judge(img, mustImage(t, u.Clone()), trainInput, 2_000_000); v != Working {
+		t.Errorf("Judge identical = %v, want works", v)
+	}
+}

@@ -1,0 +1,462 @@
+// Package nativewm implements the paper's §4.2: embedding a watermark into
+// a native binary as a chain of branch-function call sites whose address
+// ordering encodes the bits (forward jump = 1, backward jump = 0), plus
+// extraction by dynamic tracing (§4.2.3) with both the naive call-site
+// tracer and the hash-input-tracking tracer of §5.2.2(5).
+package nativewm
+
+import (
+	"errors"
+	"fmt"
+	"math/big"
+	"math/rand"
+	"sort"
+
+	"pathmark/internal/branchfn"
+	"pathmark/internal/isa"
+	"pathmark/internal/perfecthash"
+)
+
+// Mark is the information the extractor needs (supplied "manually" in the
+// paper): the addresses bracketing the watermark chain and the bit count.
+type Mark struct {
+	Begin uint32
+	End   uint32
+	Bits  int
+}
+
+// EmbedOptions tunes native embedding.
+type EmbedOptions struct {
+	// Seed drives site placement, helper frames and M initialization.
+	Seed int64
+	// HelperDepth is the branch-function helper-chain length (§4.1).
+	HelperDepth int
+	// LabelPrefix namespaces the labels of this embedding; it must be
+	// unique within the unit (double watermarking adds a second set).
+	LabelPrefix string
+	// TamperProof enables §4.3 (on by default via NewEmbedOptions; the
+	// zero value disables it so tests can isolate the base scheme).
+	TamperProof bool
+	// TrainInput is the profiling input (the paper's SPEC training runs).
+	TrainInput []int64
+	// StepLimit bounds the profiling run.
+	StepLimit int64
+}
+
+// EmbedReport summarizes a native embedding.
+type EmbedReport struct {
+	Mark        Mark
+	Sites       []uint32 // call-site addresses a_0..a_k in chain order
+	TamperCount int
+	// Size accounting for Figure 9(a): text+data bytes before and after.
+	OriginalBytes int
+	EmbeddedBytes int
+}
+
+// SizeIncrease returns the fractional growth of text+data.
+func (r *EmbedReport) SizeIncrease() float64 {
+	if r.OriginalBytes == 0 {
+		return 0
+	}
+	return float64(r.EmbeddedBytes-r.OriginalBytes) / float64(r.OriginalBytes)
+}
+
+// WatermarkBits extracts the k low bits of w, least significant first.
+func WatermarkBits(w *big.Int, k int) []bool {
+	bits := make([]bool, k)
+	for i := 0; i < k; i++ {
+		bits[i] = w.Bit(i) == 1
+	}
+	return bits
+}
+
+// BitsToInt inverts WatermarkBits.
+func BitsToInt(bits []bool) *big.Int {
+	w := new(big.Int)
+	for i, b := range bits {
+		if b {
+			w.SetBit(w, i, 1)
+		}
+	}
+	return w
+}
+
+// site is a placed call site with its total-order key (gap, sub): gap is
+// the instruction-list insertion index, sub orders sites within one gap.
+// List order equals address order after assembly, which is what the
+// forward/backward bit encoding needs.
+type siteKey struct {
+	gap int
+	sub float64
+}
+
+func (a siteKey) less(b siteKey) bool {
+	if a.gap != b.gap {
+		return a.gap < b.gap
+	}
+	return a.sub < b.sub
+}
+
+// Embed inserts the k = bits low-order bits of w into a copy of the unit.
+// It returns the watermarked unit and a report whose Mark field is the
+// extraction key. The unit must contain at least one unconditional jmp
+// that executes under TrainInput (the begin→end edge of §4.2.2).
+func Embed(u *isa.Unit, w *big.Int, bits int, opts EmbedOptions) (*isa.Unit, *EmbedReport, error) {
+	if bits <= 0 {
+		return nil, nil, errors.New("nativewm: bits must be positive")
+	}
+	if w.BitLen() > bits {
+		return nil, nil, fmt.Errorf("nativewm: watermark needs %d bits, budget is %d", w.BitLen(), bits)
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	out := u.Clone()
+	origBytes := int(u.TextSize()) + len(u.Data)
+
+	profile, err := isa.CollectProfile(out, opts.TrainInput, opts.StepLimit)
+	if err != nil {
+		return nil, nil, fmt.Errorf("nativewm: profiling: %w", err)
+	}
+	cfg := isa.BuildCFG(out)
+
+	// Choose begin: the coldest executed unconditional jmp.
+	beginIdx := -1
+	var beginCount int64
+	for i, in := range out.Instrs {
+		if in.Op != isa.OJmp || in.Target == "" {
+			continue
+		}
+		if c := profile[i]; c >= 1 && (beginIdx < 0 || c < beginCount) {
+			beginIdx, beginCount = i, c
+		}
+	}
+	if beginIdx < 0 {
+		return nil, nil, errors.New("nativewm: no executed unconditional jmp to serve as the begin→end edge")
+	}
+	endLabel := out.Instrs[beginIdx].Target
+	beginBlock := cfg.BlockOf(beginIdx)
+
+	// Tamper-proofing candidates (§4.3): cold unconditional jmps dominated
+	// by begin's block and not inside a loop.
+	type tamperCand struct {
+		idx         int
+		targetLabel string
+		mOff        int // data offset of the M cell
+	}
+	var tampers []tamperCand
+	if opts.TamperProof {
+		dom := cfg.Dominators()
+		reach := cfg.Reachable()
+		inLoop := cfg.InLoop()
+		type scored struct {
+			idx   int
+			count int64
+		}
+		var cands []scored
+		for i, in := range out.Instrs {
+			if i == beginIdx || in.Op != isa.OJmp || in.Target == "" {
+				continue
+			}
+			b := cfg.BlockOf(i)
+			if !reach[b] || inLoop[b] || !dom[b][beginBlock] {
+				continue
+			}
+			cands = append(cands, scored{idx: i, count: profile[i]})
+		}
+		// Prefer executed-but-cold candidates so tamper-proofing is live.
+		sort.Slice(cands, func(a, b int) bool {
+			ca, cb := cands[a].count, cands[b].count
+			if (ca >= 1) != (cb >= 1) {
+				return ca >= 1
+			}
+			if ca != cb {
+				return ca < cb
+			}
+			return cands[a].idx < cands[b].idx
+		})
+		if len(cands) > bits+1 {
+			cands = cands[:bits+1]
+		}
+		for _, c := range cands {
+			mOff := len(out.Data)
+			out.Data = append(out.Data, make([]byte, 4)...)
+			tampers = append(tampers, tamperCand{idx: c.idx, targetLabel: out.Instrs[c.idx].Target, mOff: mOff})
+			// Rewrite jmp -> jmpind through M; the absolute data address
+			// is patched once the text is frozen (marker = offset).
+			out.Instrs[c.idx] = isa.Ins{
+				Op:    isa.OJmpInd,
+				Imm:   jmpIndMarker + int64(mOff),
+				Label: out.Instrs[c.idx].Label,
+			}
+		}
+	}
+
+	// The branch-function entry label is deterministic; sites can target
+	// it before the function is reserved (reservation must come after the
+	// island insertions so its data-patch indices stay valid).
+	bfEntry := opts.LabelPrefix + "bf_entry"
+	if out.FindLabel(bfEntry) >= 0 {
+		return nil, nil, fmt.Errorf("nativewm: label prefix %q already used in this unit", opts.LabelPrefix)
+	}
+
+	// Place a_0 at begin: the jmp end becomes call bf.
+	wBits := WatermarkBits(w, bits)
+	siteLabel := func(i int) string { return fmt.Sprintf("%swm_a%d", opts.LabelPrefix, i) }
+	a0Label := out.Instrs[beginIdx].Label
+	if a0Label == "" {
+		a0Label = siteLabel(0)
+	}
+	out.Instrs[beginIdx] = isa.Ins{Op: isa.OCall, Target: bfEntry, Label: a0Label}
+	siteLabels := []string{a0Label}
+
+	// Choose the total-order keys of a_1..a_k per the bits. a_0 sits at
+	// (beginIdx, 1.5): islands in gap beginIdx precede the instruction at
+	// beginIdx, so only sub < 1 island keys are generated and the
+	// constants never collide.
+	//
+	// Islands cost one executed jmp whenever control falls through their
+	// gap, so placement is restricted to zero-cost gaps — after an
+	// unconditional transfer (the paper's "the instruction immediately
+	// before a_i is an unconditional jump") or where the fall-through
+	// predecessor never executes on the training input — falling back to
+	// arbitrary gaps only when a bit's direction would otherwise be
+	// unencodable.
+	nGaps := len(out.Instrs) // valid insertion indices: 0..nGaps
+	var allowedGaps []int
+	for g := 0; g <= nGaps; g++ {
+		if g == 0 || out.Instrs[g-1].Op.IsUncond() || profile[g-1] == 0 {
+			allowedGaps = append(allowedGaps, g)
+		}
+	}
+	cur := siteKey{gap: beginIdx, sub: 1.5}
+	type island struct {
+		key   siteKey
+		label string
+	}
+	var islands []island
+	for i, bit := range wBits {
+		next, err := nextKeyAllowed(rng, cur, bit, allowedGaps, beginIdx)
+		if err != nil {
+			next, err = nextKey(rng, cur, bit, nGaps, beginIdx)
+		}
+		if err != nil {
+			return nil, nil, err
+		}
+		lbl := siteLabel(i + 1)
+		islands = append(islands, island{key: next, label: lbl})
+		siteLabels = append(siteLabels, lbl)
+		cur = next
+	}
+
+	// Materialize islands: group by gap, sort by sub, insert descending.
+	sort.Slice(islands, func(a, b int) bool { return islands[b].key.less(islands[a].key) })
+	for start := 0; start < len(islands); {
+		end := start
+		for end < len(islands) && islands[end].key.gap == islands[start].key.gap {
+			end++
+		}
+		group := append([]island(nil), islands[start:end]...)
+		// group is sub-descending; emit sub-ascending.
+		var seq []isa.Ins
+		for gi := len(group) - 1; gi >= 0; gi-- {
+			skip := group[gi].label + "_skip"
+			seq = append(seq,
+				isa.Ins{Op: isa.OJmp, Target: skip},
+				isa.Ins{Op: isa.OCall, Target: bfEntry, Label: group[gi].label},
+				isa.Ins{Op: isa.ONop, Label: skip},
+			)
+		}
+		insertAt(out, group[0].key.gap, seq)
+		start = end
+	}
+
+	// Reserve the branch function for k+1 = bits+1 call sites; its code is
+	// appended after every island, so the data-patch indices stay stable.
+	bf, err := branchfn.Reserve(out, bits+1, branchfn.Options{
+		LabelPrefix: opts.LabelPrefix,
+		HelperDepth: opts.HelperDepth,
+		Rng:         rng,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+
+	// Text is frozen: patch data-address placeholders.
+	bf.PatchAddrs(out)
+	for i := range out.Instrs {
+		if out.Instrs[i].Op == isa.OJmpInd && out.Instrs[i].Imm >= jmpIndMarker {
+			off := out.Instrs[i].Imm - jmpIndMarker
+			out.Instrs[i].Imm = int64(isa.DataAddr(out, int(off)))
+		}
+	}
+
+	img, err := isa.Assemble(out)
+	if err != nil {
+		return nil, nil, fmt.Errorf("nativewm: assembling watermarked unit: %w", err)
+	}
+
+	// Build the control transfer map: a_i -> a_{i+1}, a_k -> end.
+	keys := make([]uint32, bits+1)
+	targets := make([]uint32, bits+1)
+	sites := make([]uint32, bits+1)
+	for i, lbl := range siteLabels {
+		addr, ok := img.Labels[lbl]
+		if !ok {
+			return nil, nil, fmt.Errorf("nativewm: site label %q unresolved", lbl)
+		}
+		sites[i] = addr
+		keys[i] = addr + branchfn.CallLen
+	}
+	for i := 0; i < bits; i++ {
+		targets[i] = sites[i+1]
+		// Validate the encoding invariant.
+		if wBits[i] != (sites[i+1] > sites[i]) {
+			return nil, nil, fmt.Errorf("nativewm: bit %d: site order %#x->%#x does not encode %v",
+				i, sites[i], sites[i+1], wBits[i])
+		}
+	}
+	endAddr, ok := img.Labels[endLabel]
+	if !ok {
+		return nil, nil, fmt.Errorf("nativewm: end label %q unresolved", endLabel)
+	}
+	targets[bits] = endAddr
+
+	// Tamper slots: site i fixes candidate i.
+	ph, err := perfecthash.Build(keys)
+	if err != nil {
+		return nil, nil, err
+	}
+	var slots []branchfn.TamperSlot
+	for i, tc := range tampers {
+		if i > bits {
+			break
+		}
+		target, ok := img.Labels[tc.targetLabel]
+		if !ok {
+			return nil, nil, fmt.Errorf("nativewm: tamper target %q unresolved", tc.targetLabel)
+		}
+		// M starts at a random text address; the branch-function call
+		// whose hash index matches fixes it to the real target.
+		init := isa.TextBase + uint32(rng.Intn(len(img.Text)))
+		putDataWord(out, tc.mOff, init)
+		slots = append(slots, branchfn.TamperSlot{
+			Idx:  ph.Lookup(keys[i]),
+			M:    isa.DataAddr(out, tc.mOff),
+			XVal: init ^ target,
+		})
+	}
+	if err := bf.Finalize(out, keys, targets, slots); err != nil {
+		return nil, nil, err
+	}
+
+	report := &EmbedReport{
+		Mark:          Mark{Begin: sites[0], End: endAddr, Bits: bits},
+		Sites:         sites,
+		TamperCount:   len(slots),
+		OriginalBytes: origBytes,
+		EmbeddedBytes: int(out.TextSize()) + len(out.Data),
+	}
+	return out, report, nil
+}
+
+const jmpIndMarker = int64(1) << 41
+
+func putDataWord(u *isa.Unit, off int, v uint32) {
+	u.Data[off] = byte(v)
+	u.Data[off+1] = byte(v >> 8)
+	u.Data[off+2] = byte(v >> 16)
+	u.Data[off+3] = byte(v >> 24)
+}
+
+// nextKeyAllowed samples the next site's key from the zero-cost gap set.
+// Within a single gap, sub-ordering provides both directions, so even one
+// allowed gap suffices once the chain is inside it.
+func nextKeyAllowed(rng *rand.Rand, cur siteKey, forward bool, allowed []int, beginGap int) (siteKey, error) {
+	var gapCands []int
+	if forward {
+		for _, g := range allowed {
+			if g > cur.gap {
+				gapCands = append(gapCands, g)
+			}
+		}
+	} else {
+		for _, g := range allowed {
+			if g < cur.gap {
+				gapCands = append(gapCands, g)
+			}
+		}
+	}
+	// Same-gap movement via sub-ordering; never applicable after a_0's
+	// fixed sub for the forward direction (islands keep sub < 1).
+	sameGapOK := false
+	for _, g := range allowed {
+		if g == cur.gap {
+			sameGapOK = true
+		}
+	}
+	if forward && cur.sub >= 1 {
+		sameGapOK = false
+	}
+	if sameGapOK && (len(gapCands) == 0 || rng.Intn(10) == 0) {
+		if forward {
+			sub := cur.sub + (1-cur.sub)*rng.Float64()
+			if sub > cur.sub && sub < 1 {
+				return siteKey{gap: cur.gap, sub: sub}, nil
+			}
+		} else {
+			sub := cur.sub * rng.Float64()
+			if sub > 0 && sub < cur.sub && sub < 1 {
+				return siteKey{gap: cur.gap, sub: sub}, nil
+			}
+		}
+	}
+	if len(gapCands) == 0 {
+		return siteKey{}, errors.New("nativewm: no zero-cost gap in the required direction")
+	}
+	return siteKey{gap: gapCands[rng.Intn(len(gapCands))], sub: 0.999 * rng.Float64()}, nil
+}
+
+// nextKey samples the next site's total-order key strictly after (bit=1)
+// or before (bit=0) cur. Island keys always use sub in (0,1), so within
+// a_0's gap they sort before a_0's fixed sub of 1.5 — consistent with
+// islands being inserted before the instruction occupying that index.
+func nextKey(rng *rand.Rand, cur siteKey, forward bool, nGaps, beginGap int) (siteKey, error) {
+	for try := 0; try < 10000; try++ {
+		var k siteKey
+		if forward {
+			lo := cur.gap
+			if cur.gap == beginGap && cur.sub >= 1 {
+				lo = cur.gap + 1 // nothing after a_0 inside its own gap
+			}
+			if lo > nGaps {
+				continue
+			}
+			k = siteKey{gap: lo + rng.Intn(nGaps-lo+1), sub: rng.Float64()}
+			if k.gap == cur.gap && k.sub <= cur.sub {
+				k.sub = cur.sub + (1-cur.sub)*rng.Float64()
+				if k.sub <= cur.sub || k.sub >= 1 {
+					continue
+				}
+			}
+		} else {
+			hi := cur.gap
+			k = siteKey{gap: rng.Intn(hi + 1), sub: rng.Float64()}
+			if k.gap == cur.gap && k.sub >= cur.sub {
+				k.sub = cur.sub * rng.Float64()
+				if k.sub <= 0 || k.sub >= cur.sub {
+					continue
+				}
+			}
+		}
+		return k, nil
+	}
+	return siteKey{}, errors.New("nativewm: failed to place a call site (degenerate layout)")
+}
+
+// insertAt splices instructions before list index idx.
+func insertAt(u *isa.Unit, idx int, seq []isa.Ins) {
+	newInstrs := make([]isa.Ins, 0, len(u.Instrs)+len(seq))
+	newInstrs = append(newInstrs, u.Instrs[:idx]...)
+	newInstrs = append(newInstrs, seq...)
+	newInstrs = append(newInstrs, u.Instrs[idx:]...)
+	u.Instrs = newInstrs
+}

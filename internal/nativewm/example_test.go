@@ -1,0 +1,37 @@
+package nativewm_test
+
+import (
+	"fmt"
+	"math/big"
+
+	"pathmark/internal/isa"
+	"pathmark/internal/nativewm"
+	"pathmark/internal/workloads"
+)
+
+// Example embeds a 32-bit fingerprint into the bzip2-like kernel with
+// branch functions and extracts it by dynamic tracing.
+func Example() {
+	k := workloads.NativeKernels()[0] // bzip2
+	fingerprint := big.NewInt(0xFEED)
+
+	marked, report, err := nativewm.Embed(k.Unit, fingerprint, 32, nativewm.EmbedOptions{
+		Seed:        1,
+		TamperProof: true,
+		TrainInput:  k.TrainInput,
+		LabelPrefix: "ex_",
+	})
+	if err != nil {
+		panic(err)
+	}
+	img, err := isa.Assemble(marked)
+	if err != nil {
+		panic(err)
+	}
+	ext, err := nativewm.Extract(img, k.TrainInput, report.Mark, nativewm.SmartTracer, 0)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("sites=%d recovered=0x%x\n", len(report.Sites), ext.Watermark)
+	// Output: sites=33 recovered=0xfeed
+}

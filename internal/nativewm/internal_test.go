@@ -1,0 +1,106 @@
+package nativewm
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestSiteKeyOrdering(t *testing.T) {
+	cases := []struct {
+		a, b siteKey
+		less bool
+	}{
+		{siteKey{1, 0.5}, siteKey{2, 0.1}, true},
+		{siteKey{2, 0.1}, siteKey{1, 0.5}, false},
+		{siteKey{3, 0.2}, siteKey{3, 0.7}, true},
+		{siteKey{3, 0.7}, siteKey{3, 0.2}, false},
+		{siteKey{3, 0.2}, siteKey{3, 0.2}, false},
+	}
+	for _, c := range cases {
+		if got := c.a.less(c.b); got != c.less {
+			t.Errorf("%v < %v = %v, want %v", c.a, c.b, got, c.less)
+		}
+	}
+}
+
+func TestNextKeyAllowedRespectsDirection(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	allowed := []int{0, 3, 7, 12}
+	const beginGap = 3
+	cur := siteKey{gap: beginGap, sub: 1.5} // a_0's fixed key
+	for trial := 0; trial < 500; trial++ {
+		fwd, err := nextKeyAllowed(rng, cur, true, allowed, beginGap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !cur.less(fwd) {
+			t.Fatalf("forward key %v not after %v", fwd, cur)
+		}
+		if fwd.gap == beginGap {
+			t.Fatalf("forward from a_0 landed inside its own gap: %v", fwd)
+		}
+		back, err := nextKeyAllowed(rng, cur, false, allowed, beginGap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !back.less(cur) {
+			t.Fatalf("backward key %v not before %v", back, cur)
+		}
+	}
+}
+
+func TestNextKeyAllowedChainStaysOrdered(t *testing.T) {
+	// A long alternating chain must always find a key, and consecutive
+	// keys must encode their bits correctly.
+	rng := rand.New(rand.NewSource(2))
+	allowed := []int{0, 5, 9}
+	cur := siteKey{gap: 5, sub: 1.5}
+	for i := 0; i < 300; i++ {
+		forward := i%2 == 0
+		next, err := nextKeyAllowed(rng, cur, forward, allowed, 5)
+		if err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+		if forward && !cur.less(next) {
+			t.Fatalf("step %d: forward violated: %v -> %v", i, cur, next)
+		}
+		if !forward && !next.less(cur) {
+			t.Fatalf("step %d: backward violated: %v -> %v", i, cur, next)
+		}
+		cur = next
+	}
+}
+
+func TestNextKeyAllowedFailsWhenImpossible(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	// Only gap 0 allowed, cursor in gap 0 with tiny sub: backward within
+	// the gap still works (sub subdivides), but forward from beyond the
+	// last allowed gap must fail.
+	if _, err := nextKeyAllowed(rng, siteKey{gap: 9, sub: 0.5}, true, []int{0, 5}, -1); err == nil {
+		t.Error("forward past the last allowed gap succeeded")
+	}
+	if _, err := nextKeyAllowed(rng, siteKey{gap: 0, sub: 0.0000001}, false, []int{0}, -1); err == nil {
+		// Backward from an almost-zero sub within the only allowed gap:
+		// still possible in principle (floats subdivide), but the sampler
+		// may give up; accept either outcome — just require no panic.
+		t.Log("backward at the float edge unexpectedly succeeded (fine)")
+	}
+}
+
+func TestWatermarkBitsRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 200; trial++ {
+		k := 1 + rng.Intn(96)
+		bits := make([]bool, k)
+		for i := range bits {
+			bits[i] = rng.Intn(2) == 1
+		}
+		w := BitsToInt(bits)
+		got := WatermarkBits(w, k)
+		for i := range bits {
+			if got[i] != bits[i] {
+				t.Fatalf("trial %d: bit %d mismatch", trial, i)
+			}
+		}
+	}
+}

@@ -1,0 +1,208 @@
+package nativewm
+
+import (
+	"math/big"
+	"testing"
+
+	"pathmark/internal/isa"
+)
+
+// buildHost returns a small input-driven kernel with an executed cold
+// unconditional jmp (the begin→end edge) and further cold jmps that can be
+// tamper-proofed.
+func buildHost() *isa.Unit {
+	b := isa.NewBuilder()
+	b.Jmp("start") // begin→end edge: executed exactly once
+	b.Label("start").In(isa.EAX)
+	b.MovImm(isa.EBX, 0)
+	b.Label("loop").CmpImm(isa.EAX, 0)
+	b.Je("endloop")
+	b.Add(isa.EBX, isa.EAX)
+	b.SubImm(isa.EAX, 1)
+	b.Jmp("loop")
+	b.Label("endloop").CmpImm(isa.EBX, 100)
+	b.Jg("big")
+	b.Out(isa.EBX)
+	b.Jmp("done") // cold candidate
+	b.Label("big").MovReg(isa.ECX, isa.EBX)
+	b.ShrImm(isa.ECX, 1)
+	b.Out(isa.ECX)
+	b.Jmp("done") // cold candidate
+	b.Label("done").MovImm(isa.EDX, 7)
+	b.Out(isa.EDX)
+	b.Hlt()
+	return b.Unit()
+}
+
+var trainInput = []int64{5}
+var evalInputs = [][]int64{{5}, {3}, {20}, {0}, {40}}
+
+func defaultOpts(seed int64) EmbedOptions {
+	return EmbedOptions{Seed: seed, TamperProof: true, TrainInput: trainInput, LabelPrefix: "w1_"}
+}
+
+func TestEmbedExtractRoundTrip(t *testing.T) {
+	for _, bits := range []int{8, 32, 128} {
+		w := big.NewInt(0)
+		w.SetString("2718281828459045235360287471352662497757", 10)
+		w.Mod(w, new(big.Int).Lsh(big.NewInt(1), uint(bits)))
+		u := buildHost()
+		marked, report, err := Embed(u, w, bits, defaultOpts(1))
+		if err != nil {
+			t.Fatalf("bits=%d: %v", bits, err)
+		}
+		if len(report.Sites) != bits+1 {
+			t.Fatalf("bits=%d: %d sites, want %d", bits, len(report.Sites), bits+1)
+		}
+		img, err := isa.Assemble(marked)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, kind := range []TracerKind{SimpleTracer, SmartTracer} {
+			ext, err := Extract(img, trainInput, report.Mark, kind, 0)
+			if err != nil {
+				t.Fatalf("bits=%d %v: %v", bits, kind, err)
+			}
+			if ext.Watermark.Cmp(w) != 0 {
+				t.Errorf("bits=%d %v tracer: extracted %v, want %v", bits, kind, ext.Watermark, w)
+			}
+		}
+	}
+}
+
+func TestEmbedPreservesSemantics(t *testing.T) {
+	u := buildHost()
+	w := big.NewInt(0xDEADBEEF)
+	marked, _, err := Embed(u, w, 32, defaultOpts(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, input := range evalInputs {
+		ref, err := isa.Execute(u, input, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := isa.Execute(marked, input, 0)
+		if err != nil {
+			t.Fatalf("input %v: watermarked run: %v", input, err)
+		}
+		if !isa.SameOutput(ref, got) {
+			t.Errorf("input %v: output %v, want %v", input, got.Output, ref.Output)
+		}
+	}
+}
+
+func TestSiteOrderEncodesBits(t *testing.T) {
+	u := buildHost()
+	w := big.NewInt(0b10110010)
+	_, report, err := Embed(u, w, 8, defaultOpts(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		wantForward := w.Bit(i) == 1
+		if (report.Sites[i+1] > report.Sites[i]) != wantForward {
+			t.Errorf("bit %d: sites %#x -> %#x, want forward=%v",
+				i, report.Sites[i], report.Sites[i+1], wantForward)
+		}
+	}
+}
+
+func TestHelperChainDepths(t *testing.T) {
+	for depth := 0; depth <= 4; depth++ {
+		u := buildHost()
+		w := big.NewInt(0x5A5A)
+		opts := defaultOpts(4)
+		opts.HelperDepth = depth
+		if err := VerifyRoundTrip(u, w, 16, trainInput, opts); err != nil {
+			t.Errorf("helper depth %d: %v", depth, err)
+		}
+	}
+}
+
+func TestTamperProofingActive(t *testing.T) {
+	u := buildHost()
+	w := big.NewInt(0x1234)
+	_, report, err := Embed(u, w, 16, defaultOpts(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.TamperCount == 0 {
+		t.Error("no tamper-proofing slots assigned despite candidates")
+	}
+}
+
+func TestEmbedRejectsBadInput(t *testing.T) {
+	u := buildHost()
+	if _, _, err := Embed(u, big.NewInt(1), 0, defaultOpts(6)); err == nil {
+		t.Error("bits=0 accepted")
+	}
+	if _, _, err := Embed(u, big.NewInt(256), 8, defaultOpts(7)); err == nil {
+		t.Error("oversize watermark accepted")
+	}
+	// A program with no executed unconditional jmp cannot host the mark.
+	b := isa.NewBuilder()
+	b.MovImm(isa.EAX, 1).Out(isa.EAX).Hlt()
+	if _, _, err := Embed(b.Unit(), big.NewInt(1), 4, defaultOpts(8)); err == nil {
+		t.Error("jmp-less program accepted")
+	}
+}
+
+func TestDuplicatePrefixRejected(t *testing.T) {
+	u := buildHost()
+	marked, _, err := Embed(u, big.NewInt(5), 8, defaultOpts(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := defaultOpts(10)
+	if _, _, err := Embed(marked, big.NewInt(6), 8, opts); err == nil {
+		t.Error("same label prefix accepted twice")
+	}
+}
+
+func TestSizeAccounting(t *testing.T) {
+	u := buildHost()
+	_, report, err := Embed(u, big.NewInt(0x77), 8, defaultOpts(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.EmbeddedBytes <= report.OriginalBytes {
+		t.Error("embedding did not grow the binary")
+	}
+	if report.SizeIncrease() <= 0 {
+		t.Error("SizeIncrease not positive")
+	}
+}
+
+func TestBitsHelpers(t *testing.T) {
+	w := big.NewInt(0b1011)
+	bits := WatermarkBits(w, 6)
+	want := []bool{true, true, false, true, false, false}
+	for i := range want {
+		if bits[i] != want[i] {
+			t.Fatalf("WatermarkBits = %v, want %v", bits, want)
+		}
+	}
+	if BitsToInt(bits).Cmp(w) != 0 {
+		t.Error("BitsToInt does not invert WatermarkBits")
+	}
+}
+
+func TestExtractWrongMarkFails(t *testing.T) {
+	u := buildHost()
+	w := big.NewInt(0xABCD)
+	marked, report, err := Embed(u, w, 16, defaultOpts(12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := isa.Assemble(marked)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A begin address that never executes yields no chain events.
+	bad := report.Mark
+	bad.Begin = report.Mark.Begin + 1
+	if _, err := Extract(img, trainInput, bad, SmartTracer, 2_000_000); err == nil {
+		t.Error("extraction with a wrong begin address succeeded")
+	}
+}

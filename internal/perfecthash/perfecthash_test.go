@@ -1,0 +1,130 @@
+package perfecthash
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBuildSmallSets(t *testing.T) {
+	cases := [][]uint32{
+		{42},
+		{1, 2},
+		{0x08048000, 0x08048005, 0x0804800a},
+		{0, 1, 2, 3, 4, 5, 6, 7},
+	}
+	for _, keys := range cases {
+		f, err := Build(keys)
+		if err != nil {
+			t.Fatalf("Build(%v): %v", keys, err)
+		}
+		if err := f.Verify(keys); err != nil {
+			t.Errorf("Verify(%v): %v", keys, err)
+		}
+	}
+}
+
+func TestBuildRejectsBadInput(t *testing.T) {
+	if _, err := Build(nil); err == nil {
+		t.Error("Build(nil) succeeded")
+	}
+	if _, err := Build([]uint32{7, 7}); err == nil {
+		t.Error("Build with duplicates succeeded")
+	}
+}
+
+func TestBuildRandomSetsProperty(t *testing.T) {
+	f := func(seed int64, sizeRaw uint8) bool {
+		size := int(sizeRaw)%512 + 1
+		rng := rand.New(rand.NewSource(seed))
+		keySet := make(map[uint32]bool)
+		for len(keySet) < size {
+			keySet[rng.Uint32()] = true
+		}
+		keys := make([]uint32, 0, size)
+		for k := range keySet {
+			keys = append(keys, k)
+		}
+		ph, err := Build(keys)
+		if err != nil {
+			return false
+		}
+		return ph.Verify(keys) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBuildClusteredAddresses(t *testing.T) {
+	// Branch-function keys are return addresses: clustered, small strides.
+	var keys []uint32
+	addr := uint32(0x08048000)
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < 513; i++ {
+		keys = append(keys, addr)
+		addr += uint32(2 + rng.Intn(9))
+	}
+	f, err := Build(keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Verify(keys); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	keys := []uint32{10, 20, 30, 40, 50}
+	a, err := Build(keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Build(keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Seed1 != b.Seed1 || a.Seed2 != b.Seed2 {
+		t.Error("Build is not deterministic for identical key sets")
+	}
+	for _, k := range keys {
+		if a.Lookup(k) != b.Lookup(k) {
+			t.Errorf("Lookup(%d) differs between builds", k)
+		}
+	}
+}
+
+func TestLookupInRangeForForeignKeys(t *testing.T) {
+	keys := []uint32{100, 200, 300}
+	f, err := Build(keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint32(0); i < 1000; i++ {
+		if got := f.Lookup(i); got >= f.N {
+			t.Fatalf("Lookup(%d) = %d out of range", i, got)
+		}
+	}
+}
+
+func BenchmarkLookup(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	keySet := make(map[uint32]bool)
+	for len(keySet) < 512 {
+		keySet[rng.Uint32()] = true
+	}
+	keys := make([]uint32, 0, 512)
+	for k := range keySet {
+		keys = append(keys, k)
+	}
+	f, err := Build(keys)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var acc uint32
+	for i := 0; i < b.N; i++ {
+		acc ^= f.Lookup(keys[i%len(keys)])
+	}
+	_ = acc
+}

@@ -1,0 +1,236 @@
+package vm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Assemble parses the textual assembly format into a Program. The format:
+//
+//	; comment (also after instructions)
+//	statics 3
+//	entry main
+//	method main 0 2        ; name nargs nlocals
+//	  const 25
+//	  store 0
+//	loop:
+//	  load 0
+//	  ifeq done
+//	  call helper          ; methods are referenced by name
+//	  goto loop
+//	done:
+//	  const 0
+//	  ret
+//
+// Labels are local to a method. Immediates are decimal or 0x-hex.
+func Assemble(src string) (*Program, error) {
+	p := &Program{Entry: -1}
+	var cur *Method
+	type fixup struct {
+		method *Method
+		pc     int
+		label  string
+		line   int
+	}
+	type callFixup struct {
+		method *Method
+		pc     int
+		callee string
+		line   int
+	}
+	var fixups []fixup
+	var callFixups []callFixup
+	labels := make(map[string]int) // labels of the current method
+	entryName := ""
+
+	finishMethod := func() error {
+		if cur == nil {
+			return nil
+		}
+		for _, fx := range fixups {
+			t, ok := labels[fx.label]
+			if !ok {
+				return fmt.Errorf("line %d: undefined label %q in method %s", fx.line, fx.label, fx.method.Name)
+			}
+			fx.method.Code[fx.pc].Target = t
+		}
+		fixups = fixups[:0]
+		labels = make(map[string]int)
+		return nil
+	}
+
+	for lineNo, raw := range strings.Split(src, "\n") {
+		line := raw
+		if i := strings.IndexByte(line, ';'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "statics":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("line %d: statics wants one operand", lineNo+1)
+			}
+			n, err := parseInt(fields[1])
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("line %d: bad statics count %q", lineNo+1, fields[1])
+			}
+			p.NStatics = int(n)
+			continue
+		case "entry":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("line %d: entry wants a method name", lineNo+1)
+			}
+			entryName = fields[1]
+			continue
+		case "method":
+			if err := finishMethod(); err != nil {
+				return nil, err
+			}
+			if len(fields) != 4 {
+				return nil, fmt.Errorf("line %d: method wants name nargs nlocals", lineNo+1)
+			}
+			nargs, err1 := parseInt(fields[2])
+			nlocals, err2 := parseInt(fields[3])
+			if err1 != nil || err2 != nil {
+				return nil, fmt.Errorf("line %d: bad method header", lineNo+1)
+			}
+			cur = &Method{Name: fields[1], NArgs: int(nargs), NLocals: int(nlocals)}
+			p.Methods = append(p.Methods, cur)
+			continue
+		}
+		if strings.HasSuffix(fields[0], ":") && len(fields) == 1 {
+			if cur == nil {
+				return nil, fmt.Errorf("line %d: label outside method", lineNo+1)
+			}
+			name := strings.TrimSuffix(fields[0], ":")
+			if _, dup := labels[name]; dup {
+				return nil, fmt.Errorf("line %d: duplicate label %q", lineNo+1, name)
+			}
+			labels[name] = len(cur.Code)
+			continue
+		}
+		if cur == nil {
+			return nil, fmt.Errorf("line %d: instruction outside method", lineNo+1)
+		}
+		op, ok := opByName(fields[0])
+		if !ok {
+			return nil, fmt.Errorf("line %d: unknown mnemonic %q", lineNo+1, fields[0])
+		}
+		in := Instr{Op: op}
+		switch {
+		case op.IsBranch():
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("line %d: %s wants a label", lineNo+1, op)
+			}
+			fixups = append(fixups, fixup{cur, len(cur.Code), fields[1], lineNo + 1})
+		case op == OpCall:
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("line %d: call wants a method name", lineNo+1)
+			}
+			callFixups = append(callFixups, callFixup{cur, len(cur.Code), fields[1], lineNo + 1})
+		case op == OpConst || op == OpLoad || op == OpStore || op == OpGetStatic || op == OpPutStatic:
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("line %d: %s wants an operand", lineNo+1, op)
+			}
+			v, err := parseInt(fields[1])
+			if err != nil {
+				return nil, fmt.Errorf("line %d: bad operand %q", lineNo+1, fields[1])
+			}
+			in.A = v
+		default:
+			if len(fields) != 1 {
+				return nil, fmt.Errorf("line %d: %s takes no operand", lineNo+1, op)
+			}
+		}
+		cur.Code = append(cur.Code, in)
+	}
+	if err := finishMethod(); err != nil {
+		return nil, err
+	}
+	for _, cf := range callFixups {
+		mi := p.MethodIndex(cf.callee)
+		if mi < 0 {
+			return nil, fmt.Errorf("line %d: call to undefined method %q", cf.line, cf.callee)
+		}
+		cf.method.Code[cf.pc].A = int64(mi)
+	}
+	if entryName == "" {
+		entryName = "main"
+	}
+	p.Entry = p.MethodIndex(entryName)
+	if p.Entry < 0 {
+		return nil, fmt.Errorf("entry method %q not defined", entryName)
+	}
+	if err := Verify(p); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// MustAssemble is Assemble for tests and built-in workloads; it panics on
+// error.
+func MustAssemble(src string) *Program {
+	p, err := Assemble(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func parseInt(s string) (int64, error) {
+	return strconv.ParseInt(s, 0, 64)
+}
+
+var nameToOp = func() map[string]Op {
+	m := make(map[string]Op, opCount)
+	for o := Op(0); o < opCount; o++ {
+		m[o.String()] = o
+	}
+	return m
+}()
+
+func opByName(name string) (Op, bool) {
+	o, ok := nameToOp[name]
+	return o, ok
+}
+
+// Dump renders the program in re-assemblable form, synthesizing labels for
+// branch targets.
+func Dump(p *Program) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "statics %d\n", p.NStatics)
+	fmt.Fprintf(&sb, "entry %s\n", p.Methods[p.Entry].Name)
+	for _, m := range p.Methods {
+		fmt.Fprintf(&sb, "method %s %d %d\n", m.Name, m.NArgs, m.NLocals)
+		targets := make(map[int]string)
+		for _, in := range m.Code {
+			if in.Op.IsBranch() {
+				if _, ok := targets[in.Target]; !ok {
+					targets[in.Target] = fmt.Sprintf("L%d", in.Target)
+				}
+			}
+		}
+		for pc, in := range m.Code {
+			if lbl, ok := targets[pc]; ok {
+				fmt.Fprintf(&sb, "%s:\n", lbl)
+			}
+			switch {
+			case in.Op.IsBranch():
+				fmt.Fprintf(&sb, "  %s %s\n", in.Op, targets[in.Target])
+			case in.Op == OpCall:
+				fmt.Fprintf(&sb, "  call %s\n", p.Methods[in.A].Name)
+			case in.Op == OpConst || in.Op == OpLoad || in.Op == OpStore ||
+				in.Op == OpGetStatic || in.Op == OpPutStatic:
+				fmt.Fprintf(&sb, "  %s %d\n", in.Op, in.A)
+			default:
+				fmt.Fprintf(&sb, "  %s\n", in.Op)
+			}
+		}
+	}
+	return sb.String()
+}

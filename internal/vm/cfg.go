@@ -1,0 +1,108 @@
+package vm
+
+// Block is a basic block: a maximal straight-line instruction sequence
+// [Start, End) within one method. Blocks are numbered densely in method
+// order; the interpreter's tracer reports block entries by (method, block)
+// index pairs.
+type Block struct {
+	Index int
+	Start int // pc of the leader instruction
+	End   int // pc one past the last instruction
+}
+
+// CFG is the per-method control flow graph.
+type CFG struct {
+	Blocks []Block
+	// blockOf maps each pc to the index of its containing block.
+	blockOf []int
+	// Succs[i] lists the block indices reachable from block i by a direct
+	// control transfer (fall-through, branch, or both); returns have none.
+	Succs [][]int
+}
+
+// BuildCFG computes the method's basic blocks and successor lists.
+// Leaders are: pc 0, every branch target, and every instruction following
+// a block-ending instruction (branch or ret). Calls do not end blocks —
+// as in JVM bytecode, an invoke is an ordinary block-internal instruction.
+func BuildCFG(m *Method) *CFG {
+	n := len(m.Code)
+	leader := make([]bool, n+1)
+	if n > 0 {
+		leader[0] = true
+	}
+	for pc, in := range m.Code {
+		if in.Op.IsBranch() {
+			if in.Target >= 0 && in.Target < n {
+				leader[in.Target] = true
+			}
+		}
+		if in.Op.IsBlockEnd() && pc+1 < n {
+			leader[pc+1] = true
+		}
+	}
+	cfg := &CFG{blockOf: make([]int, n)}
+	start := -1
+	for pc := 0; pc <= n; pc++ {
+		if pc == n || leader[pc] {
+			if start >= 0 {
+				cfg.Blocks = append(cfg.Blocks, Block{Index: len(cfg.Blocks), Start: start, End: pc})
+			}
+			start = pc
+		}
+	}
+	for bi, b := range cfg.Blocks {
+		for pc := b.Start; pc < b.End; pc++ {
+			cfg.blockOf[pc] = bi
+		}
+	}
+	cfg.Succs = make([][]int, len(cfg.Blocks))
+	for bi, b := range cfg.Blocks {
+		if b.End == 0 {
+			continue
+		}
+		last := m.Code[b.End-1]
+		switch {
+		case last.Op == OpRet:
+			// no successors
+		case last.Op == OpGoto:
+			cfg.Succs[bi] = append(cfg.Succs[bi], cfg.blockOf[last.Target])
+		case last.Op.IsCondBranch():
+			cfg.Succs[bi] = append(cfg.Succs[bi], cfg.blockOf[last.Target])
+			if b.End < n {
+				cfg.Succs[bi] = append(cfg.Succs[bi], cfg.BlockOf(b.End))
+			}
+		default:
+			if b.End < n {
+				cfg.Succs[bi] = append(cfg.Succs[bi], cfg.BlockOf(b.End))
+			}
+		}
+	}
+	return cfg
+}
+
+// BlockOf returns the index of the block containing pc.
+func (c *CFG) BlockOf(pc int) int { return c.blockOf[pc] }
+
+// NumBlocks returns the block count.
+func (c *CFG) NumBlocks() int { return len(c.Blocks) }
+
+// EndsWithCondBranch reports whether block bi's final instruction is a
+// conditional branch — the blocks whose trace events carry watermark bits.
+func (c *CFG) EndsWithCondBranch(m *Method, bi int) bool {
+	b := c.Blocks[bi]
+	return b.End > b.Start && m.Code[b.End-1].Op.IsCondBranch()
+}
+
+// ProgramCFG caches the CFG of every method.
+type ProgramCFG struct {
+	Methods []*CFG
+}
+
+// BuildProgramCFG computes CFGs for every method of p.
+func BuildProgramCFG(p *Program) *ProgramCFG {
+	pc := &ProgramCFG{Methods: make([]*CFG, len(p.Methods))}
+	for i, m := range p.Methods {
+		pc.Methods[i] = BuildCFG(m)
+	}
+	return pc
+}

@@ -1,0 +1,142 @@
+package vm
+
+// Dominance and natural-loop analysis over method CFGs. The embedder's
+// native counterpart uses dominators for tamper-proofing candidates; on
+// the VM side the analysis backs transformation passes and tooling (e.g.
+// identifying loop structure before peeling or reporting hot paths).
+
+// Dominators computes, for every block, the set of blocks that dominate
+// it, using the standard iterative data-flow algorithm. dom[b][a] reports
+// whether block a dominates block b. Blocks unreachable from the entry
+// keep the conventional "dominated by everything" solution.
+func (c *CFG) Dominators() [][]bool {
+	nb := len(c.Blocks)
+	preds := make([][]int, nb)
+	for b, succs := range c.Succs {
+		for _, s := range succs {
+			preds[s] = append(preds[s], b)
+		}
+	}
+	dom := make([][]bool, nb)
+	for i := range dom {
+		dom[i] = make([]bool, nb)
+		for j := range dom[i] {
+			dom[i][j] = true
+		}
+	}
+	if nb == 0 {
+		return dom
+	}
+	for j := range dom[0] {
+		dom[0][j] = j == 0
+	}
+	changed := true
+	for changed {
+		changed = false
+		for b := 1; b < nb; b++ {
+			if len(preds[b]) == 0 {
+				continue
+			}
+			next := make([]bool, nb)
+			for j := range next {
+				next[j] = true
+			}
+			for _, p := range preds[b] {
+				for j := range next {
+					next[j] = next[j] && dom[p][j]
+				}
+			}
+			next[b] = true
+			for j := range next {
+				if next[j] != dom[b][j] {
+					dom[b] = next
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	return dom
+}
+
+// Loop describes one natural loop: the header block and the set of blocks
+// in the loop body (including the header).
+type Loop struct {
+	Header int
+	Blocks []int
+}
+
+// NaturalLoops finds the method's natural loops: for every back edge
+// t -> h where h dominates t, the loop body is h plus every block that
+// reaches t without passing through h. Loops sharing a header are merged.
+func (c *CFG) NaturalLoops() []Loop {
+	dom := c.Dominators()
+	preds := make([][]int, len(c.Blocks))
+	for b, succs := range c.Succs {
+		for _, s := range succs {
+			preds[s] = append(preds[s], b)
+		}
+	}
+	bodies := make(map[int]map[int]bool) // header -> block set
+	for t, succs := range c.Succs {
+		for _, h := range succs {
+			if !dom[t][h] {
+				continue // not a back edge
+			}
+			body := bodies[h]
+			if body == nil {
+				body = map[int]bool{h: true}
+				bodies[h] = body
+			}
+			// Walk predecessors from t, stopping at h.
+			stack := []int{t}
+			for len(stack) > 0 {
+				b := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				if body[b] {
+					continue
+				}
+				body[b] = true
+				stack = append(stack, preds[b]...)
+			}
+		}
+	}
+	var out []Loop
+	for h, body := range bodies {
+		l := Loop{Header: h}
+		for b := range body {
+			l.Blocks = append(l.Blocks, b)
+		}
+		sortInts(l.Blocks)
+		out = append(out, l)
+	}
+	sortLoops(out)
+	return out
+}
+
+// InLoop returns, per block, whether it belongs to any natural loop.
+func (c *CFG) InLoop() []bool {
+	out := make([]bool, len(c.Blocks))
+	for _, l := range c.NaturalLoops() {
+		for _, b := range l.Blocks {
+			out[b] = true
+		}
+	}
+	return out
+}
+
+func sortInts(xs []int) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+func sortLoops(ls []Loop) {
+	for i := 1; i < len(ls); i++ {
+		for j := i; j > 0 && ls[j].Header < ls[j-1].Header; j-- {
+			ls[j], ls[j-1] = ls[j-1], ls[j]
+		}
+	}
+}

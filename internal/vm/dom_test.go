@@ -1,0 +1,110 @@
+package vm
+
+import "testing"
+
+const nestedLoopSrc = `
+method main 0 3
+  const 3
+  store 0
+outer:
+  load 0
+  ifle done
+  const 2
+  store 1
+inner:
+  load 1
+  ifle outer_dec
+  load 2
+  const 1
+  add
+  store 2
+  load 1
+  const 1
+  sub
+  store 1
+  goto inner
+outer_dec:
+  load 0
+  const 1
+  sub
+  store 0
+  goto outer
+done:
+  load 2
+  ret
+`
+
+func TestDominatorsBasics(t *testing.T) {
+	p := MustAssemble(nestedLoopSrc)
+	cfg := BuildCFG(p.Methods[0])
+	dom := cfg.Dominators()
+	// Entry dominates everything.
+	for b := range cfg.Blocks {
+		if !dom[b][0] {
+			t.Errorf("entry does not dominate block %d", b)
+		}
+		if !dom[b][b] {
+			t.Errorf("block %d does not dominate itself", b)
+		}
+	}
+	// The outer loop header dominates the inner loop header.
+	loops := cfg.NaturalLoops()
+	if len(loops) != 2 {
+		t.Fatalf("found %d loops, want 2", len(loops))
+	}
+	outer, inner := loops[0], loops[1]
+	if outer.Header > inner.Header {
+		outer, inner = inner, outer
+	}
+	if !dom[inner.Header][outer.Header] {
+		t.Error("outer loop header does not dominate inner header")
+	}
+	// The inner loop body is contained in the outer loop body.
+	outerSet := map[int]bool{}
+	for _, b := range outer.Blocks {
+		outerSet[b] = true
+	}
+	for _, b := range inner.Blocks {
+		if !outerSet[b] {
+			t.Errorf("inner loop block %d escapes the outer loop", b)
+		}
+	}
+}
+
+func TestInLoopFlags(t *testing.T) {
+	p := MustAssemble(nestedLoopSrc)
+	cfg := BuildCFG(p.Methods[0])
+	inLoop := cfg.InLoop()
+	// The return block is not in any loop.
+	retBlock := cfg.BlockOf(len(p.Methods[0].Code) - 1)
+	if inLoop[retBlock] {
+		t.Error("return block flagged as in a loop")
+	}
+	// At least three blocks (outer header, inner header, inner body) are.
+	n := 0
+	for _, in := range inLoop {
+		if in {
+			n++
+		}
+	}
+	if n < 3 {
+		t.Errorf("only %d blocks in loops, want >= 3", n)
+	}
+}
+
+func TestLoopFreeMethodHasNoLoops(t *testing.T) {
+	p := MustAssemble(`
+method main 0 1
+  const 1
+  ifeq a
+  const 2
+  store 0
+a:
+  load 0
+  ret
+`)
+	cfg := BuildCFG(p.Methods[0])
+	if loops := cfg.NaturalLoops(); len(loops) != 0 {
+		t.Errorf("loop-free method reported %d loops", len(loops))
+	}
+}

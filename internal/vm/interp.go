@@ -1,0 +1,400 @@
+package vm
+
+import (
+	"errors"
+	"fmt"
+)
+
+// RuntimeError describes a trapped execution fault (division by zero, bad
+// array access, step-limit exhaustion, call-depth overflow). Attacked
+// programs that fault are classified as "broken" by the resilience
+// experiments.
+type RuntimeError struct {
+	Method string
+	PC     int
+	Msg    string
+}
+
+func (e *RuntimeError) Error() string {
+	return fmt.Sprintf("vm: runtime error in %s at pc %d: %s", e.Method, e.PC, e.Msg)
+}
+
+// ErrStepLimit is wrapped by the RuntimeError produced when execution
+// exceeds RunOptions.StepLimit.
+var ErrStepLimit = errors.New("step limit exceeded")
+
+// RunOptions controls execution.
+type RunOptions struct {
+	// Input is the secret input sequence; OpIn consumes it in order and
+	// yields 0 once exhausted.
+	Input []int64
+	// StepLimit bounds executed instructions (0 means the 100M default).
+	StepLimit int64
+	// MaxDepth bounds the call stack (0 means the 10k default).
+	MaxDepth int
+	// Trace, when non-nil, receives block-entry and branch events.
+	Trace *Trace
+	// SnapshotLimit caps, per basic block, how many variable snapshots the
+	// trace stores (0 means the default of 2 — enough for the condition
+	// code generator's priming + first payload execution). Snapshots are
+	// only taken when Trace is non-nil.
+	SnapshotLimit int
+}
+
+// Result is the outcome of a successful run.
+type Result struct {
+	Return int64   // entry method's return value
+	Output []int64 // values printed with OpPrint, in order
+	Steps  int64   // instructions executed — the deterministic time metric
+}
+
+// frame is one activation record.
+type frame struct {
+	method *Method
+	mi     int
+	cfg    *CFG
+	locals []int64
+	stack  []int64
+	pc     int
+}
+
+// Run executes the program's entry method with zero-valued arguments and
+// returns its result. When opts.Trace is set, trace events are appended to
+// it as execution proceeds.
+func Run(p *Program, opts RunOptions) (*Result, error) {
+	stepLimit := opts.StepLimit
+	if stepLimit == 0 {
+		stepLimit = 100_000_000
+	}
+	maxDepth := opts.MaxDepth
+	if maxDepth == 0 {
+		maxDepth = 10_000
+	}
+	snapLimit := opts.SnapshotLimit
+	if snapLimit == 0 {
+		snapLimit = 2
+	}
+
+	cfgs := make([]*CFG, len(p.Methods))
+	cfgOf := func(mi int) *CFG {
+		if cfgs[mi] == nil {
+			cfgs[mi] = BuildCFG(p.Methods[mi])
+		}
+		return cfgs[mi]
+	}
+
+	statics := make([]int64, p.NStatics)
+	var heap [][]int64 // array handle v refers to heap[v-1]
+	input := opts.Input
+	inPos := 0
+	res := &Result{}
+
+	entry := p.Methods[p.Entry]
+	frames := []*frame{{
+		method: entry, mi: p.Entry, cfg: cfgOf(p.Entry),
+		locals: make([]int64, entry.NLocals),
+	}}
+
+	fault := func(f *frame, msg string) error {
+		return &RuntimeError{Method: f.method.Name, PC: f.pc, Msg: msg}
+	}
+
+	enterBlock := func(f *frame, bi int) {
+		if opts.Trace == nil {
+			return
+		}
+		opts.Trace.addBlockEnter(f.mi, bi, f.locals, statics, snapLimit)
+	}
+
+	// Enter the entry block of the entry method.
+	enterBlock(frames[0], 0)
+
+	for {
+		f := frames[len(frames)-1]
+		if f.pc >= len(f.method.Code) {
+			return nil, fault(f, "fell off end of method")
+		}
+		if res.Steps >= stepLimit {
+			return nil, &RuntimeError{Method: f.method.Name, PC: f.pc, Msg: ErrStepLimit.Error()}
+		}
+		res.Steps++
+		in := f.method.Code[f.pc]
+
+		pop := func() int64 {
+			v := f.stack[len(f.stack)-1]
+			f.stack = f.stack[:len(f.stack)-1]
+			return v
+		}
+		pushv := func(v int64) { f.stack = append(f.stack, v) }
+
+		// The verifier guarantees stack discipline for verified programs;
+		// guard anyway so unverified/attacked programs fault cleanly.
+		pops := 0
+		if in.Op == OpCall {
+			pops = p.Methods[in.A].NArgs
+		} else {
+			pops, _ = stackEffect(in.Op)
+		}
+		if len(f.stack) < pops {
+			return nil, fault(f, fmt.Sprintf("stack underflow executing %v", in.Op))
+		}
+
+		advance := func(target int) {
+			f.pc = target
+			if bi := f.cfg.BlockOf(target); f.cfg.Blocks[bi].Start == target {
+				enterBlock(f, bi)
+			}
+		}
+		// next moves to the fall-through instruction, emitting a block
+		// entry when it crosses into a leader (e.g. falling through into
+		// a branch target).
+		next := func() {
+			f.pc++
+			if opts.Trace != nil && f.pc < len(f.method.Code) {
+				if bi := f.cfg.BlockOf(f.pc); f.cfg.Blocks[bi].Start == f.pc {
+					enterBlock(f, bi)
+				}
+			}
+		}
+
+		switch in.Op {
+		case OpNop:
+			next()
+		case OpConst:
+			pushv(in.A)
+			next()
+		case OpLoad:
+			if in.A < 0 || in.A >= int64(len(f.locals)) {
+				return nil, fault(f, "local index out of range")
+			}
+			pushv(f.locals[in.A])
+			next()
+		case OpStore:
+			if in.A < 0 || in.A >= int64(len(f.locals)) {
+				return nil, fault(f, "local index out of range")
+			}
+			f.locals[in.A] = pop()
+			next()
+		case OpGetStatic:
+			if in.A < 0 || in.A >= int64(len(statics)) {
+				return nil, fault(f, "static index out of range")
+			}
+			pushv(statics[in.A])
+			next()
+		case OpPutStatic:
+			if in.A < 0 || in.A >= int64(len(statics)) {
+				return nil, fault(f, "static index out of range")
+			}
+			statics[in.A] = pop()
+			next()
+		case OpDup:
+			v := pop()
+			pushv(v)
+			pushv(v)
+			next()
+		case OpPop:
+			pop()
+			next()
+		case OpSwap:
+			b, a := pop(), pop()
+			pushv(b)
+			pushv(a)
+			next()
+		case OpAdd, OpSub, OpMul, OpDiv, OpRem, OpAnd, OpOr, OpXor, OpShl, OpShr:
+			b, a := pop(), pop()
+			var v int64
+			switch in.Op {
+			case OpAdd:
+				v = a + b
+			case OpSub:
+				v = a - b
+			case OpMul:
+				v = a * b
+			case OpDiv:
+				if b == 0 {
+					return nil, fault(f, "division by zero")
+				}
+				v = a / b
+			case OpRem:
+				if b == 0 {
+					return nil, fault(f, "division by zero")
+				}
+				v = a % b
+			case OpAnd:
+				v = a & b
+			case OpOr:
+				v = a | b
+			case OpXor:
+				v = a ^ b
+			case OpShl:
+				v = a << (uint64(b) & 63)
+			case OpShr:
+				v = a >> (uint64(b) & 63)
+			}
+			pushv(v)
+			next()
+		case OpNeg:
+			pushv(-pop())
+			next()
+		case OpIfEq, OpIfNe, OpIfLt, OpIfGe, OpIfGt, OpIfLe:
+			v := pop()
+			taken := false
+			switch in.Op {
+			case OpIfEq:
+				taken = v == 0
+			case OpIfNe:
+				taken = v != 0
+			case OpIfLt:
+				taken = v < 0
+			case OpIfGe:
+				taken = v >= 0
+			case OpIfGt:
+				taken = v > 0
+			case OpIfLe:
+				taken = v <= 0
+			}
+			if opts.Trace != nil {
+				opts.Trace.addBranchExec(f.mi, f.pc, taken)
+			}
+			if taken {
+				advance(in.Target)
+			} else {
+				advance(f.pc + 1)
+			}
+		case OpIfCmpEq, OpIfCmpNe, OpIfCmpLt, OpIfCmpGe, OpIfCmpGt, OpIfCmpLe:
+			b, a := pop(), pop()
+			taken := false
+			switch in.Op {
+			case OpIfCmpEq:
+				taken = a == b
+			case OpIfCmpNe:
+				taken = a != b
+			case OpIfCmpLt:
+				taken = a < b
+			case OpIfCmpGe:
+				taken = a >= b
+			case OpIfCmpGt:
+				taken = a > b
+			case OpIfCmpLe:
+				taken = a <= b
+			}
+			if opts.Trace != nil {
+				opts.Trace.addBranchExec(f.mi, f.pc, taken)
+			}
+			if taken {
+				advance(in.Target)
+			} else {
+				advance(f.pc + 1)
+			}
+		case OpGoto:
+			advance(in.Target)
+		case OpCall:
+			if in.A < 0 || in.A >= int64(len(p.Methods)) {
+				return nil, fault(f, "callee index out of range")
+			}
+			if len(frames) >= maxDepth {
+				return nil, fault(f, "call depth exceeded")
+			}
+			callee := p.Methods[in.A]
+			nf := &frame{
+				method: callee, mi: int(in.A), cfg: cfgOf(int(in.A)),
+				locals: make([]int64, callee.NLocals),
+			}
+			for i := callee.NArgs - 1; i >= 0; i-- {
+				nf.locals[i] = pop()
+			}
+			frames = append(frames, nf)
+			enterBlock(nf, 0)
+		case OpRet:
+			v := pop()
+			frames = frames[:len(frames)-1]
+			if len(frames) == 0 {
+				res.Return = v
+				return res, nil
+			}
+			caller := frames[len(frames)-1]
+			caller.stack = append(caller.stack, v)
+			// Resume after the call; entering a new block here is a
+			// block *continuation*, not an entry, unless the next pc
+			// happens to start a block (call was block-final is
+			// impossible: calls never end blocks).
+			caller.pc++
+			if bi := caller.cfg.BlockOf(caller.pc); caller.cfg.Blocks[bi].Start == caller.pc {
+				enterBlock(caller, bi)
+			}
+		case OpNewArr:
+			nv := pop()
+			if nv < 0 || nv > 1<<24 {
+				return nil, fault(f, fmt.Sprintf("bad array size %d", nv))
+			}
+			heap = append(heap, make([]int64, nv))
+			pushv(int64(len(heap)))
+			next()
+		case OpALoad:
+			i, ref := pop(), pop()
+			arr, err := heapArr(heap, ref)
+			if err != nil {
+				return nil, fault(f, err.Error())
+			}
+			if i < 0 || i >= int64(len(arr)) {
+				return nil, fault(f, fmt.Sprintf("array index %d out of range [0,%d)", i, len(arr)))
+			}
+			pushv(arr[i])
+			next()
+		case OpAStore:
+			v, i, ref := pop(), pop(), pop()
+			arr, err := heapArr(heap, ref)
+			if err != nil {
+				return nil, fault(f, err.Error())
+			}
+			if i < 0 || i >= int64(len(arr)) {
+				return nil, fault(f, fmt.Sprintf("array index %d out of range [0,%d)", i, len(arr)))
+			}
+			arr[i] = v
+			next()
+		case OpArrLen:
+			ref := pop()
+			arr, err := heapArr(heap, ref)
+			if err != nil {
+				return nil, fault(f, err.Error())
+			}
+			pushv(int64(len(arr)))
+			next()
+		case OpIn:
+			if inPos < len(input) {
+				pushv(input[inPos])
+				inPos++
+			} else {
+				pushv(0)
+			}
+			next()
+		case OpPrint:
+			res.Output = append(res.Output, pop())
+			next()
+		default:
+			return nil, fault(f, fmt.Sprintf("invalid opcode %d", in.Op))
+		}
+	}
+}
+
+func heapArr(heap [][]int64, ref int64) ([]int64, error) {
+	if ref < 1 || ref > int64(len(heap)) {
+		return nil, fmt.Errorf("bad array reference %d", ref)
+	}
+	return heap[ref-1], nil
+}
+
+// SameBehavior reports whether two run results are observationally
+// identical (return value and printed output); it is the semantic
+// equivalence check used by the attack harness.
+func SameBehavior(a, b *Result) bool {
+	if a.Return != b.Return || len(a.Output) != len(b.Output) {
+		return false
+	}
+	for i := range a.Output {
+		if a.Output[i] != b.Output[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,187 @@
+package vm
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Instr is a single instruction. A carries the immediate operand (constant
+// value, local index, static index, or callee method index); Target is the
+// branch destination as an instruction index within the same method.
+type Instr struct {
+	Op     Op
+	A      int64
+	Target int
+}
+
+func (in Instr) String() string {
+	switch {
+	case in.Op.IsBranch():
+		return fmt.Sprintf("%s -> %d", in.Op, in.Target)
+	case in.Op == OpConst || in.Op == OpLoad || in.Op == OpStore ||
+		in.Op == OpGetStatic || in.Op == OpPutStatic || in.Op == OpCall:
+		return fmt.Sprintf("%s %d", in.Op, in.A)
+	default:
+		return in.Op.String()
+	}
+}
+
+// Method is a unit of code. Arguments arrive in locals[0..NArgs-1]; every
+// method returns exactly one value via ret.
+type Method struct {
+	Name    string
+	NArgs   int
+	NLocals int
+	Code    []Instr
+}
+
+// Program is a complete executable: methods, a designated entry point, and
+// a static field area shared by all methods (the analog of the static and
+// instance fields SandMark snapshots during tracing).
+type Program struct {
+	Methods  []*Method
+	Entry    int // index of the entry method, invoked with NArgs zeros
+	NStatics int
+}
+
+// Clone returns a deep copy of the program; transformations and the
+// embedder never mutate the caller's copy.
+func (p *Program) Clone() *Program {
+	q := &Program{Entry: p.Entry, NStatics: p.NStatics}
+	for _, m := range p.Methods {
+		mm := &Method{Name: m.Name, NArgs: m.NArgs, NLocals: m.NLocals,
+			Code: append([]Instr(nil), m.Code...)}
+		q.Methods = append(q.Methods, mm)
+	}
+	return q
+}
+
+// MethodByName returns the first method with the given name, or nil.
+func (p *Program) MethodByName(name string) *Method {
+	for _, m := range p.Methods {
+		if m.Name == name {
+			return m
+		}
+	}
+	return nil
+}
+
+// MethodIndex returns the index of the named method, or -1.
+func (p *Program) MethodIndex(name string) int {
+	for i, m := range p.Methods {
+		if m.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// CodeSize returns the total instruction count across all methods — the
+// program-size metric used by the Figure 8(b) experiment. One instruction
+// is the unit; DESIGN.md documents the bytes-per-instruction convention.
+func (p *Program) CodeSize() int {
+	n := 0
+	for _, m := range p.Methods {
+		n += len(m.Code)
+	}
+	return n
+}
+
+// CountCondBranches returns the number of static conditional branch
+// instructions, the denominator of Figure 8(c)'s branch-increase metric.
+func (p *Program) CountCondBranches() int {
+	n := 0
+	for _, m := range p.Methods {
+		for _, in := range m.Code {
+			if in.Op.IsCondBranch() {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// AllocStatic grows the static area by one slot and returns its index.
+func (p *Program) AllocStatic() int {
+	p.NStatics++
+	return p.NStatics - 1
+}
+
+// InsertAt splices instrs into the method immediately before instruction
+// index at (0 <= at <= len(Code)), rewriting every branch target so that
+// program semantics are preserved and control reaching `at` now executes
+// the inserted code first. Branch targets inside instrs must already be
+// method-relative (i.e. relative to the method after insertion).
+//
+// Target adjustment rule: a pre-existing target t moves to t+len(instrs)
+// when t >= at is false only for t < at; targets exactly at `at` stay,
+// so loops whose body begins at `at` re-execute the inserted code on every
+// iteration — which is exactly what the condition code generator needs.
+func (m *Method) InsertAt(at int, instrs []Instr) {
+	if at < 0 || at > len(m.Code) {
+		panic(fmt.Sprintf("vm: InsertAt(%d) out of range [0,%d]", at, len(m.Code)))
+	}
+	n := len(instrs)
+	for i := range m.Code {
+		// Targets strictly past the insertion point shift; targets equal
+		// to `at` keep pointing at the insertion so the inserted prologue
+		// runs on every entry (loops re-execute it each iteration).
+		if m.Code[i].Op.IsBranch() && m.Code[i].Target > at {
+			m.Code[i].Target += n
+		}
+	}
+	newCode := make([]Instr, 0, len(m.Code)+n)
+	newCode = append(newCode, m.Code[:at]...)
+	newCode = append(newCode, instrs...)
+	newCode = append(newCode, m.Code[at:]...)
+	m.Code = newCode
+}
+
+// InsertAfter splices instrs so they execute after instruction index `at`
+// on the fall-through path; branch targets equal to at+1 are redirected
+// past the insertion (they did not previously execute instruction at).
+func (m *Method) InsertAfter(at int, instrs []Instr) {
+	pos := at + 1
+	if pos < 0 || pos > len(m.Code) {
+		panic(fmt.Sprintf("vm: InsertAfter(%d) out of range", at))
+	}
+	n := len(instrs)
+	for i := range m.Code {
+		if m.Code[i].Op.IsBranch() && m.Code[i].Target >= pos {
+			m.Code[i].Target += n
+		}
+	}
+	newCode := make([]Instr, 0, len(m.Code)+n)
+	newCode = append(newCode, m.Code[:pos]...)
+	newCode = append(newCode, instrs...)
+	newCode = append(newCode, m.Code[pos:]...)
+	m.Code = newCode
+}
+
+// AllocLocal grows the method's local area by one slot and returns its
+// index.
+func (m *Method) AllocLocal() int {
+	m.NLocals++
+	return m.NLocals - 1
+}
+
+// String disassembles the program.
+func (p *Program) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "; entry=%s statics=%d\n", p.Methods[p.Entry].Name, p.NStatics)
+	for _, m := range p.Methods {
+		fmt.Fprintf(&sb, "method %s %d %d\n", m.Name, m.NArgs, m.NLocals)
+		for pc, in := range m.Code {
+			if in.Op == OpCall {
+				callee := "?"
+				if in.A >= 0 && int(in.A) < len(p.Methods) {
+					callee = p.Methods[in.A].Name
+				}
+				fmt.Fprintf(&sb, "  %4d: call %s\n", pc, callee)
+				continue
+			}
+			fmt.Fprintf(&sb, "  %4d: %s\n", pc, in)
+		}
+	}
+	return sb.String()
+}

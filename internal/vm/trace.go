@@ -1,0 +1,168 @@
+package vm
+
+import (
+	"fmt"
+
+	"pathmark/internal/bitstring"
+)
+
+// EventKind distinguishes trace events.
+type EventKind uint8
+
+const (
+	// EvBlockEnter records control entering a basic block.
+	EvBlockEnter EventKind = iota
+	// EvBranchExec records the execution of a conditional branch, emitted
+	// immediately before control transfers to the successor block. The
+	// next EvBlockEnter event is the branch's dynamic successor.
+	EvBranchExec
+)
+
+// Event is a single trace record. For EvBlockEnter, Loc is the block index
+// within the method; for EvBranchExec it is the pc of the branch and Taken
+// records the direction (used only by the naive decode-rule ablation; the
+// paper's rule deliberately ignores it).
+type Event struct {
+	Kind   EventKind
+	Taken  bool
+	Method int32
+	Loc    int32
+}
+
+// BlockKey identifies a basic block program-wide.
+type BlockKey struct {
+	Method int
+	Block  int
+}
+
+// BranchKey identifies a static conditional branch program-wide.
+type BranchKey struct {
+	Method int
+	PC     int
+}
+
+// Snapshot captures the variable environment at a block entry: the
+// containing frame's locals and the program statics (the data SandMark's
+// tracing phase stores at each trace point, §3.1).
+type Snapshot struct {
+	Locals  []int64
+	Statics []int64
+}
+
+// Trace accumulates the dynamic behavior of one run on the secret input.
+type Trace struct {
+	Events []Event
+	// BlockCount is the execution frequency of each block, used for the
+	// inverse-frequency insertion weighting of §3.2.
+	BlockCount map[BlockKey]int64
+	// Snapshots stores up to the per-run snapshot limit of environments
+	// per block, in execution order (index 0 = first execution).
+	Snapshots map[BlockKey][]Snapshot
+}
+
+// NewTrace returns an empty trace.
+func NewTrace() *Trace {
+	return &Trace{
+		BlockCount: make(map[BlockKey]int64),
+		Snapshots:  make(map[BlockKey][]Snapshot),
+	}
+}
+
+func (t *Trace) addBlockEnter(mi, bi int, locals, statics []int64, snapLimit int) {
+	t.Events = append(t.Events, Event{Kind: EvBlockEnter, Method: int32(mi), Loc: int32(bi)})
+	k := BlockKey{Method: mi, Block: bi}
+	t.BlockCount[k]++
+	if len(t.Snapshots[k]) < snapLimit {
+		t.Snapshots[k] = append(t.Snapshots[k], Snapshot{
+			Locals:  append([]int64(nil), locals...),
+			Statics: append([]int64(nil), statics...),
+		})
+	}
+}
+
+func (t *Trace) addBranchExec(mi, pc int, taken bool) {
+	t.Events = append(t.Events, Event{Kind: EvBranchExec, Taken: taken, Method: int32(mi), Loc: int32(pc)})
+}
+
+// NumBranchExecs counts dynamic conditional-branch executions.
+func (t *Trace) NumBranchExecs() int {
+	n := 0
+	for _, e := range t.Events {
+		if e.Kind == EvBranchExec {
+			n++
+		}
+	}
+	return n
+}
+
+// Collect runs the program on the secret input with tracing enabled and
+// returns the trace (the paper's tracing phase). The run must succeed.
+func Collect(p *Program, input []int64, snapshotLimit int) (*Trace, *Result, error) {
+	tr := NewTrace()
+	res, err := Run(p, RunOptions{Input: input, Trace: tr, SnapshotLimit: snapshotLimit})
+	if err != nil {
+		return nil, nil, fmt.Errorf("vm: tracing run failed: %w", err)
+	}
+	return tr, res, nil
+}
+
+// DecodeBits converts a trace into its bit-string per §3.1's rule:
+//
+//	For each conditional branch instruction i that occurs in the trace,
+//	find its first occurrence and the block j that immediately follows it.
+//	Scan the trace writing 0 whenever a conditional branch is immediately
+//	followed by the block by which its first occurrence was followed, and
+//	1 otherwise.
+//
+// Every branch's first dynamic occurrence therefore contributes a 0. The
+// resulting string is invariant under block reordering, branch-sense
+// inversion, and insertion or deletion of non-branch instructions; adding
+// or removing branches perturbs it only locally.
+func (t *Trace) DecodeBits() *bitstring.Bits {
+	bits := bitstring.New(len(t.Events) / 2)
+	first := make(map[BranchKey]BlockKey)
+	for i, e := range t.Events {
+		if e.Kind != EvBranchExec {
+			continue
+		}
+		succ, ok := t.nextBlockEnter(i)
+		if !ok {
+			// Trace ended at this branch (e.g. the run was truncated);
+			// no successor, no bit.
+			continue
+		}
+		bk := BranchKey{Method: int(e.Method), PC: int(e.Loc)}
+		if f, seen := first[bk]; seen {
+			bits.Append(f != succ)
+		} else {
+			first[bk] = succ
+			bits.Append(false)
+		}
+	}
+	return bits
+}
+
+// DecodeBitsBranchSense is the naive bit-string definition §3.1 rejects:
+// write 1 for every taken conditional branch and 0 otherwise. It exists as
+// the ablation baseline — an attacker can toggle its bits at will by
+// negating predicates and exchanging branch targets, which the test suite
+// demonstrates (the paper's first-successor rule is invariant under the
+// same transformation).
+func (t *Trace) DecodeBitsBranchSense() *bitstring.Bits {
+	bits := bitstring.New(len(t.Events) / 2)
+	for _, e := range t.Events {
+		if e.Kind == EvBranchExec {
+			bits.Append(e.Taken)
+		}
+	}
+	return bits
+}
+
+func (t *Trace) nextBlockEnter(i int) (BlockKey, bool) {
+	for j := i + 1; j < len(t.Events); j++ {
+		if t.Events[j].Kind == EvBlockEnter {
+			return BlockKey{Method: int(t.Events[j].Method), Block: int(t.Events[j].Loc)}, true
+		}
+	}
+	return BlockKey{}, false
+}

@@ -1,0 +1,139 @@
+package vm
+
+import "fmt"
+
+// Verify checks structural well-formedness and stack discipline of every
+// method, in the spirit of the JVM bytecode verifier:
+//
+//   - operand indices (locals, statics, callees, branch targets) in range,
+//   - no fall-through off the end of a method,
+//   - every instruction reachable with a single consistent stack height,
+//   - no operand-stack underflow,
+//   - ret with exactly one value available.
+//
+// Both the embedder's code generators and every attack transformation must
+// produce programs that pass Verify; the property tests rely on this.
+func Verify(p *Program) error {
+	if len(p.Methods) == 0 {
+		return fmt.Errorf("vm: program has no methods")
+	}
+	if p.Entry < 0 || p.Entry >= len(p.Methods) {
+		return fmt.Errorf("vm: entry index %d out of range", p.Entry)
+	}
+	names := make(map[string]bool, len(p.Methods))
+	for _, m := range p.Methods {
+		if names[m.Name] {
+			return fmt.Errorf("vm: duplicate method name %q", m.Name)
+		}
+		names[m.Name] = true
+		if err := verifyMethod(p, m); err != nil {
+			return fmt.Errorf("vm: method %s: %w", m.Name, err)
+		}
+	}
+	return nil
+}
+
+func verifyMethod(p *Program, m *Method) error {
+	n := len(m.Code)
+	if n == 0 {
+		return fmt.Errorf("empty code")
+	}
+	if m.NArgs < 0 || m.NLocals < m.NArgs {
+		return fmt.Errorf("NLocals %d < NArgs %d", m.NLocals, m.NArgs)
+	}
+	for pc, in := range m.Code {
+		if in.Op >= opCount {
+			return fmt.Errorf("pc %d: invalid opcode %d", pc, in.Op)
+		}
+		switch in.Op {
+		case OpLoad, OpStore:
+			if in.A < 0 || in.A >= int64(m.NLocals) {
+				return fmt.Errorf("pc %d: local %d out of range [0,%d)", pc, in.A, m.NLocals)
+			}
+		case OpGetStatic, OpPutStatic:
+			if in.A < 0 || in.A >= int64(p.NStatics) {
+				return fmt.Errorf("pc %d: static %d out of range [0,%d)", pc, in.A, p.NStatics)
+			}
+		case OpCall:
+			if in.A < 0 || in.A >= int64(len(p.Methods)) {
+				return fmt.Errorf("pc %d: callee %d out of range", pc, in.A)
+			}
+		}
+		if in.Op.IsBranch() && (in.Target < 0 || in.Target >= n) {
+			return fmt.Errorf("pc %d: branch target %d out of range [0,%d)", pc, in.Target, n)
+		}
+	}
+	last := m.Code[n-1].Op
+	if last != OpRet && last != OpGoto {
+		return fmt.Errorf("pc %d: method may fall off the end (last op %v)", n-1, last)
+	}
+	return verifyStack(p, m)
+}
+
+// verifyStack abstractly interprets the method, assigning each reachable
+// pc a stack height and rejecting inconsistencies and underflow.
+func verifyStack(p *Program, m *Method) error {
+	const unknown = -1
+	height := make([]int, len(m.Code))
+	for i := range height {
+		height[i] = unknown
+	}
+	type workItem struct{ pc, h int }
+	work := []workItem{{0, 0}}
+	push := func(pc, h int) error {
+		if h > 4096 {
+			return fmt.Errorf("pc %d: operand stack exceeds limit", pc)
+		}
+		if height[pc] == unknown {
+			height[pc] = h
+			work = append(work, workItem{pc, h})
+			return nil
+		}
+		if height[pc] != h {
+			return fmt.Errorf("pc %d: inconsistent stack height %d vs %d", pc, height[pc], h)
+		}
+		return nil
+	}
+	height[0] = 0
+	for len(work) > 0 {
+		item := work[len(work)-1]
+		work = work[:len(work)-1]
+		pc, h := item.pc, item.h
+		in := m.Code[pc]
+		var pops, pushes int
+		if in.Op == OpCall {
+			pops, pushes = p.Methods[in.A].NArgs, 1
+		} else {
+			pops, pushes = stackEffect(in.Op)
+		}
+		if h < pops {
+			return fmt.Errorf("pc %d: stack underflow (%v needs %d, has %d)", pc, in.Op, pops, h)
+		}
+		next := h - pops + pushes
+		switch {
+		case in.Op == OpRet:
+			// next is the height after consuming the return value; any
+			// residue is tolerated (like the JVM, we allow dead operands).
+		case in.Op == OpGoto:
+			if err := push(in.Target, next); err != nil {
+				return err
+			}
+		case in.Op.IsCondBranch():
+			if err := push(in.Target, next); err != nil {
+				return err
+			}
+			if pc+1 < len(m.Code) {
+				if err := push(pc+1, next); err != nil {
+					return err
+				}
+			}
+		default:
+			if pc+1 < len(m.Code) {
+				if err := push(pc+1, next); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,295 @@
+package wm
+
+import (
+	"errors"
+	"fmt"
+	"math/big"
+	"math/rand"
+	"sort"
+
+	"pathmark/internal/crt"
+	"pathmark/internal/feistel"
+	"pathmark/internal/vm"
+)
+
+// GeneratorPolicy selects which code generators the embedder may use.
+type GeneratorPolicy int
+
+const (
+	// GenAuto mixes the generators, falling back to the rolled loop
+	// generator at sites executed only once.
+	GenAuto GeneratorPolicy = iota
+	// GenLoopOnly restricts embedding to the rolled loop generator.
+	GenLoopOnly
+	// GenConditionOnly restricts embedding to the condition generator
+	// (sites executed at least twice).
+	GenConditionOnly
+	// GenLoopUnrolledOnly restricts embedding to the unrolled loop
+	// generator.
+	GenLoopUnrolledOnly
+)
+
+// EmbedOptions tunes the embedding phase.
+type EmbedOptions struct {
+	// Pieces is the number of watermark pieces to insert. Zero means one
+	// piece per prime pair. Requesting more than the number of pairs
+	// replicates statements round-robin (redundancy); requesting fewer
+	// inserts a prime-covering subset first (a spanning path over the
+	// prime nodes), so recovery without attacks needs only r-1 pieces.
+	Pieces int
+	// Seed drives all randomized placement and generator choices, making
+	// embeddings reproducible.
+	Seed int64
+	// Policy restricts generator selection.
+	Policy GeneratorPolicy
+	// StepLimit bounds the tracing run (0 = interpreter default).
+	StepLimit int64
+}
+
+// PlacedPiece records one inserted piece for the report.
+type PlacedPiece struct {
+	Statement crt.Statement
+	Encrypted uint64
+	Method    int
+	PC        int // insertion pc in the *original* method body
+	Generator GeneratorKind
+}
+
+// EmbedReport summarizes an embedding.
+type EmbedReport struct {
+	Pieces        []PlacedPiece
+	OriginalSize  int // instructions before embedding
+	EmbeddedSize  int // instructions after embedding
+	TraceEvents   int
+	CandidateSite int // number of distinct candidate insertion blocks
+}
+
+// SizeIncrease returns the fractional code growth.
+func (r *EmbedReport) SizeIncrease() float64 {
+	if r.OriginalSize == 0 {
+		return 0
+	}
+	return float64(r.EmbeddedSize-r.OriginalSize) / float64(r.OriginalSize)
+}
+
+// orderedStatements returns W's statements with a spanning path over the
+// prime nodes first — pairs (0,1),(1,2),...,(r-2,r-1) — so that small
+// piece budgets still cover every prime, then the remaining pairs.
+func orderedStatements(params *crt.Params, w *big.Int) ([]crt.Statement, error) {
+	stmts, err := params.Split(w)
+	if err != nil {
+		return nil, err
+	}
+	byPair := make(map[[2]int]crt.Statement, len(stmts))
+	for _, s := range stmts {
+		byPair[[2]int{s.I, s.J}] = s
+	}
+	r := len(params.Primes())
+	var ordered []crt.Statement
+	seen := make(map[[2]int]bool)
+	for i := 0; i+1 < r; i++ {
+		k := [2]int{i, i + 1}
+		ordered = append(ordered, byPair[k])
+		seen[k] = true
+	}
+	for _, s := range stmts {
+		k := [2]int{s.I, s.J}
+		if !seen[k] {
+			ordered = append(ordered, s)
+			seen[k] = true
+		}
+	}
+	return ordered, nil
+}
+
+// site is a candidate insertion location derived from the trace.
+type site struct {
+	method int
+	pc     int // leader pc of the block
+	count  int64
+	snaps  []vm.Snapshot
+}
+
+// Embed inserts the watermark w into a copy of p using the key and
+// options, returning the watermarked program and a report (§3.2). The
+// original program is not modified.
+func Embed(p *vm.Program, w *big.Int, key *Key, opts EmbedOptions) (*vm.Program, *EmbedReport, error) {
+	if w == nil || w.Sign() < 0 {
+		return nil, nil, errors.New("wm: watermark must be a non-negative integer")
+	}
+	if w.Cmp(key.MaxWatermark()) >= 0 {
+		return nil, nil, fmt.Errorf("wm: watermark too large for key (max %d bits)", key.MaxWatermark().BitLen())
+	}
+	out := p.Clone()
+	rng := rand.New(rand.NewSource(opts.Seed))
+
+	// Tracing phase (§3.1).
+	tr, _, err := vm.Collect(out, key.Input, 2)
+	if err != nil {
+		return nil, nil, fmt.Errorf("wm: tracing phase: %w", err)
+	}
+
+	// Candidate sites: every traced block, weighted 1/frequency.
+	cfgs := vm.BuildProgramCFG(out)
+	var sites []site
+	for bk, count := range tr.BlockCount {
+		blk := cfgs.Methods[bk.Method].Blocks[bk.Block]
+		sites = append(sites, site{
+			method: bk.Method,
+			pc:     blk.Start,
+			count:  count,
+			snaps:  tr.Snapshots[bk],
+		})
+	}
+	if len(sites) == 0 {
+		return nil, nil, errors.New("wm: trace visited no blocks")
+	}
+	sort.Slice(sites, func(a, b int) bool {
+		if sites[a].method != sites[b].method {
+			return sites[a].method < sites[b].method
+		}
+		return sites[a].pc < sites[b].pc
+	})
+	var condSites []int // indices of sites executed at least twice
+	for i, s := range sites {
+		if s.count >= 2 {
+			condSites = append(condSites, i)
+		}
+	}
+	if opts.Policy == GenConditionOnly && len(condSites) == 0 {
+		return nil, nil, errors.New("wm: no site executes twice; condition generator unusable")
+	}
+
+	// Inverse-frequency weights (§3.2: avoid hotspots).
+	pickSite := func(indices []int) int {
+		total := 0.0
+		for _, i := range indices {
+			total += 1.0 / float64(sites[i].count)
+		}
+		x := rng.Float64() * total
+		for _, i := range indices {
+			x -= 1.0 / float64(sites[i].count)
+			if x <= 0 {
+				return i
+			}
+		}
+		return indices[len(indices)-1]
+	}
+	allSites := make([]int, len(sites))
+	for i := range allSites {
+		allSites[i] = i
+	}
+
+	// Split + encrypt pieces (§3.2 steps 1-3).
+	stmts, err := orderedStatements(key.Params, w)
+	if err != nil {
+		return nil, nil, err
+	}
+	nPieces := opts.Pieces
+	if nPieces <= 0 {
+		nPieces = len(stmts)
+	}
+	if minPieces := len(key.Params.Primes()) - 1; nPieces < minPieces {
+		return nil, nil, fmt.Errorf("wm: %d pieces cannot cover the %d-prime basis; need at least %d",
+			nPieces, len(key.Params.Primes()), minPieces)
+	}
+	cipher := feistel.New(key.Cipher)
+
+	origLocals := make([]int, len(out.Methods))
+	for i, m := range out.Methods {
+		origLocals[i] = m.NLocals
+	}
+	origStatics := out.NStatics
+
+	report := &EmbedReport{
+		OriginalSize:  p.CodeSize(),
+		TraceEvents:   len(tr.Events),
+		CandidateSite: len(sites),
+	}
+
+	// Decide every insertion first (sites reference original pcs), then
+	// apply per method in descending pc order so indices stay valid.
+	type insertion struct {
+		method int
+		pc     int
+		code   []vm.Instr
+		piece  PlacedPiece
+	}
+	var insertions []insertion
+	for n := 0; n < nPieces; n++ {
+		st := stmts[n%len(stmts)]
+		enc, err := key.Params.Encode(st)
+		if err != nil {
+			return nil, nil, err
+		}
+		block := cipher.Encrypt(enc)
+
+		var gen GeneratorKind
+		var si int
+		switch opts.Policy {
+		case GenLoopOnly:
+			gen, si = GenLoop, pickSite(allSites)
+		case GenLoopUnrolledOnly:
+			gen, si = GenLoopUnrolled, pickSite(allSites)
+		case GenConditionOnly:
+			gen, si = GenCondition, pickSite(condSites)
+		default:
+			si = pickSite(allSites)
+			switch roll := rng.Intn(10); {
+			case sites[si].count >= 2 && roll < 3:
+				gen = GenCondition
+			case roll < 4:
+				gen = GenLoopUnrolled
+			default:
+				gen = GenLoop
+			}
+		}
+		s := sites[si]
+		env := &hostEnv{
+			prog:        out,
+			method:      out.Methods[s.method],
+			origLocals:  origLocals[s.method],
+			origStatics: origStatics,
+			snaps:       s.snaps,
+		}
+		var code []vm.Instr
+		switch gen {
+		case GenLoop:
+			code = genRolledLoopPiece(rng, env, s.pc, block)
+		case GenLoopUnrolled:
+			code = genLoopPiece(rng, env, s.pc, block)
+		default:
+			code = genConditionPiece(rng, env, s.pc, block)
+		}
+		insertions = append(insertions, insertion{
+			method: s.method, pc: s.pc, code: code,
+			piece: PlacedPiece{Statement: st, Encrypted: block, Method: s.method, PC: s.pc, Generator: gen},
+		})
+		report.Pieces = append(report.Pieces, insertions[len(insertions)-1].piece)
+	}
+
+	// Apply insertions in descending pc order per method. Insertions that
+	// share a pc are applied in reverse decision order, which keeps each
+	// generated fragment contiguous.
+	sort.SliceStable(insertions, func(a, b int) bool {
+		if insertions[a].method != insertions[b].method {
+			return insertions[a].method < insertions[b].method
+		}
+		return insertions[a].pc > insertions[b].pc
+	})
+	for _, ins := range insertions {
+		// Each fragment's internal branch targets were computed relative
+		// to its decided pc. Applying in descending pc order keeps them
+		// valid: later applications happen at pcs <= this one, and
+		// InsertAt shifts every target strictly greater than the
+		// insertion point — including targets inside already-applied
+		// fragments, which all lie past their own leader pc.
+		out.Methods[ins.method].InsertAt(ins.pc, ins.code)
+	}
+
+	report.EmbeddedSize = out.CodeSize()
+	if err := vm.Verify(out); err != nil {
+		return nil, nil, fmt.Errorf("wm: embedded program fails verification: %w", err)
+	}
+	return out, report, nil
+}

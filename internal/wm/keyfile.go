@@ -1,0 +1,55 @@
+package wm
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"pathmark/internal/crt"
+	"pathmark/internal/feistel"
+)
+
+// keyFile is the serialized form of a Key. The secret input, cipher key
+// and prime basis must all travel together: recognition with any component
+// missing or altered fails.
+type keyFile struct {
+	Version int       `json:"version"`
+	Input   []int64   `json:"input"`
+	Cipher  [4]uint32 `json:"cipher"`
+	Primes  []uint64  `json:"primes"`
+}
+
+const keyFileVersion = 1
+
+// SaveKey writes the key in its JSON file format.
+func SaveKey(w io.Writer, k *Key) error {
+	kf := keyFile{
+		Version: keyFileVersion,
+		Input:   k.Input,
+		Cipher:  [4]uint32(k.Cipher),
+		Primes:  k.Params.Primes(),
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(kf)
+}
+
+// LoadKey reads a key previously written by SaveKey.
+func LoadKey(r io.Reader) (*Key, error) {
+	var kf keyFile
+	if err := json.NewDecoder(r).Decode(&kf); err != nil {
+		return nil, fmt.Errorf("wm: reading key file: %w", err)
+	}
+	if kf.Version != keyFileVersion {
+		return nil, fmt.Errorf("wm: unsupported key file version %d", kf.Version)
+	}
+	params, err := crt.NewParams(kf.Primes)
+	if err != nil {
+		return nil, fmt.Errorf("wm: key file prime basis: %w", err)
+	}
+	return &Key{
+		Input:  kf.Input,
+		Cipher: feistel.Key(kf.Cipher),
+		Params: params,
+	}, nil
+}

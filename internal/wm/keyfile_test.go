@@ -1,0 +1,72 @@
+package wm
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"pathmark/internal/vm"
+)
+
+func TestSaveLoadKeyRoundTrip(t *testing.T) {
+	key := testKey(t, []int64{7, 8, 9}, 128)
+	var buf bytes.Buffer
+	if err := SaveKey(&buf, key); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadKey(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded.Input) != 3 || loaded.Input[2] != 9 {
+		t.Errorf("input round trip: %v", loaded.Input)
+	}
+	if loaded.Cipher != key.Cipher {
+		t.Error("cipher key round trip failed")
+	}
+	if loaded.MaxWatermark().Cmp(key.MaxWatermark()) != 0 {
+		t.Error("prime basis round trip failed")
+	}
+}
+
+func TestLoadedKeyRecognizes(t *testing.T) {
+	// A key that has been through serialization must still recognize
+	// watermarks embedded with the original.
+	p := vm.MustAssemble(gcdSrc)
+	key := testKey(t, nil, 64)
+	w := RandomWatermark(64, 41)
+	marked, _, err := Embed(p, w, key, EmbedOptions{Seed: 14})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := SaveKey(&buf, key); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadKey(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := Recognize(marked, loaded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rec.Matches(w) {
+		t.Error("loaded key failed to recognize")
+	}
+}
+
+func TestLoadKeyRejectsGarbage(t *testing.T) {
+	cases := []string{
+		"",
+		"not json",
+		`{"version": 99, "primes": [2,3]}`,
+		`{"version": 1, "primes": [4,6]}`,
+		`{"version": 1, "primes": []}`,
+	}
+	for i, src := range cases {
+		if _, err := LoadKey(strings.NewReader(src)); err == nil {
+			t.Errorf("case %d: LoadKey accepted %q", i, src)
+		}
+	}
+}

@@ -1,0 +1,137 @@
+package wm
+
+import (
+	"math/rand"
+	"testing"
+
+	"pathmark/internal/attacks"
+	"pathmark/internal/vm"
+	"pathmark/internal/workloads"
+)
+
+// TestEmbedRecognizeOnRandomPrograms is the end-to-end property: for
+// generated host programs, embedding preserves behavior and recognition
+// recovers the watermark.
+func TestEmbedRecognizeOnRandomPrograms(t *testing.T) {
+	key := testKey(t, nil, 64)
+	for seed := int64(0); seed < 6; seed++ {
+		p := workloads.RandomProgram(workloads.RandProgOptions{Seed: seed + 500})
+		w := RandomWatermark(64, uint64(seed)+1)
+		marked, _, err := Embed(p, w, key, EmbedOptions{Seed: seed})
+		if err != nil {
+			t.Fatalf("seed %d: embed: %v", seed, err)
+		}
+		ref, err := vm.Run(p, vm.RunOptions{StepLimit: 5_000_000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := vm.Run(marked, vm.RunOptions{StepLimit: 100_000_000})
+		if err != nil {
+			t.Fatalf("seed %d: marked run: %v", seed, err)
+		}
+		if !vm.SameBehavior(ref, got) {
+			t.Errorf("seed %d: embedding changed behavior", seed)
+		}
+		rec, err := Recognize(marked, key)
+		if err != nil {
+			t.Fatalf("seed %d: recognize: %v", seed, err)
+		}
+		if !rec.Matches(w) {
+			t.Errorf("seed %d: watermark not recovered", seed)
+		}
+	}
+}
+
+// TestDistinctWatermarksDistinguishable embeds different fingerprints in
+// copies of the same program (the fingerprinting use case) and checks each
+// copy yields its own value.
+func TestDistinctWatermarksDistinguishable(t *testing.T) {
+	p := workloads.RandomProgram(workloads.RandProgOptions{Seed: 777})
+	key := testKey(t, nil, 64)
+	for _, seed := range []uint64{1, 2, 3} {
+		w := RandomWatermark(64, seed)
+		marked, _, err := Embed(p, w, key, EmbedOptions{Seed: int64(seed)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec, err := Recognize(marked, key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rec.Matches(w) {
+			t.Errorf("copy %d: wrong fingerprint recovered", seed)
+		}
+		other := RandomWatermark(64, seed+50)
+		if rec.Matches(other) {
+			t.Errorf("copy %d: matched a foreign fingerprint", seed)
+		}
+	}
+}
+
+// TestMiniCalcHostKeyedRecognition embeds into the MiniCalc interpreter:
+// the trace is a function of the interpreted program (the secret input),
+// so recognition must succeed under the keyed input and fail under a
+// different interpreted program when the pieces live on input-dependent
+// paths.
+func TestMiniCalcHostKeyedRecognition(t *testing.T) {
+	host := workloads.MiniCalc()
+	secret := workloads.CalcCountdown(12)
+	key := testKey(t, secret, 64)
+	w := RandomWatermark(64, 61)
+	marked, _, err := Embed(host, w, key, EmbedOptions{Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Semantics on several interpreted programs.
+	for _, prog := range [][]int64{secret, workloads.CalcSum(3, 4), workloads.CalcFactorial(5), nil} {
+		ref, err := vm.Run(host, vm.RunOptions{Input: prog})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := vm.Run(marked, vm.RunOptions{Input: prog})
+		if err != nil {
+			t.Fatalf("input %v: %v", prog, err)
+		}
+		if !vm.SameBehavior(ref, got) {
+			t.Errorf("input %v: behavior changed", prog)
+		}
+	}
+	rec, err := Recognize(marked, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rec.Matches(w) {
+		t.Error("recognition under the secret interpreted program failed")
+	}
+}
+
+// TestEndToEndGauntlet is the repository's strongest property: embed into
+// generated programs, run random distortive attack chains, and recognize.
+// The watermark must survive every distortive chain.
+func TestEndToEndGauntlet(t *testing.T) {
+	key := testKey(t, nil, 64)
+	distortive := attacks.Distortive()
+	for seed := int64(0); seed < 3; seed++ {
+		p := workloads.RandomProgram(workloads.RandProgOptions{Seed: seed + 900})
+		w := RandomWatermark(64, uint64(seed)+70)
+		marked, _, err := Embed(p, w, key, EmbedOptions{Seed: seed})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		rng := rand.New(rand.NewSource(seed))
+		attacked := marked
+		var chain []string
+		for i := 0; i < 4; i++ {
+			a := distortive[rng.Intn(len(distortive))]
+			chain = append(chain, a.Name)
+			attacked = a.Apply(attacked, rng)
+		}
+		rec, err := Recognize(attacked, key)
+		if err != nil {
+			t.Fatalf("seed %d (%v): %v", seed, chain, err)
+		}
+		if !rec.Matches(w) {
+			t.Errorf("seed %d: watermark destroyed by chain %v", seed, chain)
+		}
+	}
+}

@@ -1,0 +1,268 @@
+package wm
+
+import (
+	"fmt"
+	"math/big"
+	"sort"
+
+	"pathmark/internal/bitstring"
+	"pathmark/internal/crt"
+	"pathmark/internal/feistel"
+	"pathmark/internal/vm"
+)
+
+// Recognition reports the outcome of the recognition phase (§3.3).
+type Recognition struct {
+	// Watermark is the recovered value mod Modulus; it equals the embedded
+	// watermark when FullCoverage is true and enough uncorrupted pieces
+	// survived.
+	Watermark *big.Int
+	// Modulus is the combined CRT modulus of the surviving statements.
+	Modulus *big.Int
+	// FullCoverage reports whether every prime of the key's basis is
+	// covered, i.e. Modulus equals the key's MaxWatermark bound.
+	FullCoverage bool
+
+	Windows          int // 64-bit windows scanned
+	ValidStatements  int // windows decoding to an in-range statement
+	UniqueStatements int // distinct statements among those
+	VotedOut         int // statements eliminated by the W mod p_i vote
+	Survivors        int // statements surviving the consistency graphs
+	TraceBits        int // length of the decoded bit-string
+}
+
+// maxGraphVertices bounds the consistency-graph size; statements beyond
+// the cap (rarest first) are dropped. Real traces produce few distinct
+// valid statements, so the cap only guards against adversarial inputs.
+const maxGraphVertices = 4096
+
+// Recognize re-traces the program on the key's secret input, decodes the
+// trace into its bit-string, and recombines watermark pieces (§3.3):
+// sliding 64-bit windows are decrypted and inverse-enumerated into
+// statements; a vote on W mod p_i discards contradicted statements; the
+// inconsistency graph G and agreement graph H drive the greedy selection;
+// survivors merge via the Generalized CRT.
+func Recognize(p *vm.Program, key *Key) (*Recognition, error) {
+	tr, _, err := vm.Collect(p, key.Input, 1)
+	if err != nil {
+		return nil, fmt.Errorf("wm: recognition trace failed: %w", err)
+	}
+	bits := tr.DecodeBits()
+	cipher := feistel.New(key.Cipher)
+
+	rec := &Recognition{TraceBits: bits.Len()}
+	counts := make(map[crt.Statement]int)
+	// Scan the full bit-string plus its two stride-2 phases: the rolled
+	// loop generator interleaves one constant control bit between payload
+	// bits, so its pieces are contiguous in a stride-2 phase rather than
+	// in the raw string.
+	//
+	// Degenerate low-entropy windows (long constant runs, e.g. from the
+	// generators' priming passes) are skipped: a genuine cipher block is
+	// pseudorandom and has balanced popcount except with negligible
+	// probability, while a single repeated-run value would otherwise
+	// decode at thousands of positions and hijack the W mod p_i vote.
+	scan := func(b *bitstring.Bits) {
+		b.Windows64(func(_ int, w uint64) bool {
+			rec.Windows++
+			if pc := bits64OnesCount(w); pc < 8 || pc > 56 {
+				return true
+			}
+			if st, ok := key.Params.Decode(cipher.Decrypt(w)); ok {
+				rec.ValidStatements++
+				counts[st]++
+			}
+			return true
+		})
+	}
+	scan(bits)
+	if bits.Len() >= 2 {
+		scan(bits.Stride(2, 0))
+		scan(bits.Stride(2, 1))
+	}
+	// Cap per-statement multiplicity so that no single repetitive pattern
+	// can dominate the vote: self-similar host traces (recursion, loop
+	// nests) repeat identical high-entropy windows verbatim, so raw
+	// occurrence counts are not trustworthy evidence. A cap of 3 keeps
+	// redundancy useful (several *distinct* statements still outvote any
+	// single impostor residue) without letting one repeated pattern win.
+	const countCap = 3
+	for st, c := range counts {
+		if c > countCap {
+			counts[st] = countCap
+		}
+	}
+	if len(counts) == 0 {
+		return rec, nil
+	}
+
+	type cand struct {
+		st    crt.Statement
+		count int
+	}
+	cands := make([]cand, 0, len(counts))
+	for st, c := range counts {
+		cands = append(cands, cand{st, c})
+	}
+	sort.Slice(cands, func(a, b int) bool {
+		if cands[a].count != cands[b].count {
+			return cands[a].count > cands[b].count
+		}
+		ea, _ := key.Params.Encode(cands[a].st)
+		eb, _ := key.Params.Encode(cands[b].st)
+		return ea < eb
+	})
+	if len(cands) > maxGraphVertices {
+		cands = cands[:maxGraphVertices]
+	}
+	rec.UniqueStatements = len(cands)
+
+	// Vote on W mod p_i (weighted by occurrence count); a clear winner —
+	// strictly more than twice the runner-up — eliminates every statement
+	// that contradicts it.
+	primes := key.Params.Primes()
+	winner := make([]int64, len(primes)) // -1 = no clear winner
+	for i := range winner {
+		winner[i] = -1
+	}
+	for pi, prime := range primes {
+		tally := make(map[uint64]int)
+		for _, c := range cands {
+			if c.st.I == pi || c.st.J == pi {
+				tally[c.st.X%prime] += c.count
+			}
+		}
+		var first, second int
+		var firstRes uint64
+		for res, votes := range tally {
+			if votes > first || (votes == first && res < firstRes) {
+				second = first
+				first, firstRes = votes, res
+			} else if votes > second {
+				second = votes
+			}
+		}
+		if first > 2*second {
+			winner[pi] = int64(firstRes)
+		}
+	}
+	var filtered []cand
+	for _, c := range cands {
+		ok := true
+		for _, pi := range []int{c.st.I, c.st.J} {
+			if winner[pi] >= 0 && int64(c.st.X%primes[pi]) != winner[pi] {
+				ok = false
+			}
+		}
+		if ok {
+			filtered = append(filtered, c)
+		}
+	}
+	rec.VotedOut = len(cands) - len(filtered)
+	if len(filtered) == 0 {
+		return rec, nil
+	}
+
+	// Graphs over the remaining statements: G connects inconsistent pairs,
+	// H connects pairs that agree on a shared prime.
+	n := len(filtered)
+	gAdj := make([][]bool, n)
+	hDegIncident := make([][]int, n) // H adjacency lists
+	for i := range gAdj {
+		gAdj[i] = make([]bool, n)
+	}
+	gEdges := 0
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if !key.Params.Consistent(filtered[i].st, filtered[j].st) {
+				gAdj[i][j], gAdj[j][i] = true, true
+				gEdges++
+			} else if key.Params.SharePrime(filtered[i].st, filtered[j].st) {
+				hDegIncident[i] = append(hDegIncident[i], j)
+				hDegIncident[j] = append(hDegIncident[j], i)
+			}
+		}
+	}
+
+	// Greedy elimination (§3.3 step C): repeatedly presume the statement
+	// with the highest H-degree true and delete its G-neighbors, until G
+	// is edgeless.
+	alive := make([]bool, n)
+	inU := make([]bool, n)
+	for i := range alive {
+		alive[i] = true
+	}
+	hDeg := func(i int) int {
+		d := 0
+		for _, j := range hDegIncident[i] {
+			if alive[j] {
+				d++
+			}
+		}
+		return d
+	}
+	for gEdges > 0 {
+		best, bestDeg := -1, -1
+		for i := 0; i < n; i++ {
+			if alive[i] && !inU[i] {
+				if d := hDeg(i); d > bestDeg {
+					best, bestDeg = i, d
+				}
+			}
+		}
+		if best < 0 {
+			// All live vertices are presumed true but G still has edges:
+			// cannot happen (picking a vertex removes its G-neighbors),
+			// guarded for robustness.
+			break
+		}
+		inU[best] = true
+		for j := 0; j < n; j++ {
+			if alive[j] && gAdj[best][j] {
+				alive[j] = false
+				// Every G edge from j to a still-live vertex (including
+				// the edge to best itself) disappears with j.
+				for k := 0; k < n; k++ {
+					if alive[k] && gAdj[j][k] {
+						gEdges--
+					}
+				}
+			}
+		}
+	}
+
+	var survivors []crt.Statement
+	for i := 0; i < n; i++ {
+		if alive[i] {
+			survivors = append(survivors, filtered[i].st)
+		}
+	}
+	rec.Survivors = len(survivors)
+	if len(survivors) == 0 {
+		return rec, nil
+	}
+	value, modulus, err := key.Params.Reconstruct(survivors)
+	if err != nil {
+		// Pairwise consistency should guarantee a solution; treat failure
+		// as recognition failure rather than an error.
+		return rec, nil
+	}
+	rec.Watermark = value
+	rec.Modulus = modulus
+	rec.FullCoverage = modulus.Cmp(key.MaxWatermark()) == 0
+	return rec, nil
+}
+
+// Matches reports whether recognition fully recovered the given watermark.
+func (r *Recognition) Matches(w *big.Int) bool {
+	return r != nil && r.Watermark != nil && r.FullCoverage && r.Watermark.Cmp(w) == 0
+}
+
+func bits64OnesCount(v uint64) int {
+	n := 0
+	for v != 0 {
+		v &= v - 1
+		n++
+	}
+	return n
+}

@@ -1,0 +1,88 @@
+package wm
+
+import (
+	"math"
+
+	"pathmark/internal/vm"
+)
+
+// Stealth analysis (paper §2: "branches are ubiquitous in real programs,
+// hopefully making path-based marks invulnerable to statistical attacks").
+// An attacker without the key can still compare a suspect binary's static
+// statistics against the expected profile of ordinary code; a watermark
+// that visibly skews opcode or branch statistics is findable. StealthReport
+// quantifies the skew an embedding introduces.
+
+// StealthReport compares static statistics of an original and a
+// watermarked program.
+type StealthReport struct {
+	// OpcodeJSD is the Jensen-Shannon divergence (base-2 logarithm, in
+	// [0,1]) between the two programs' opcode distributions; 0 means
+	// statistically indistinguishable opcode mixes.
+	OpcodeJSD float64
+	// BranchDensityBefore/After are static conditional branches per
+	// instruction.
+	BranchDensityBefore float64
+	BranchDensityAfter  float64
+	// SizeRatio is after/before instruction count.
+	SizeRatio float64
+}
+
+// AnalyzeStealth computes the report for a program pair.
+func AnalyzeStealth(original, marked *vm.Program) *StealthReport {
+	p := opcodeHistogram(original)
+	q := opcodeHistogram(marked)
+	return &StealthReport{
+		OpcodeJSD:           jensenShannon(p, q),
+		BranchDensityBefore: branchDensity(original),
+		BranchDensityAfter:  branchDensity(marked),
+		SizeRatio:           float64(marked.CodeSize()) / float64(original.CodeSize()),
+	}
+}
+
+func opcodeHistogram(p *vm.Program) map[vm.Op]float64 {
+	counts := make(map[vm.Op]float64)
+	total := 0.0
+	for _, m := range p.Methods {
+		for _, in := range m.Code {
+			counts[in.Op]++
+			total++
+		}
+	}
+	for op := range counts {
+		counts[op] /= total
+	}
+	return counts
+}
+
+func branchDensity(p *vm.Program) float64 {
+	if p.CodeSize() == 0 {
+		return 0
+	}
+	return float64(p.CountCondBranches()) / float64(p.CodeSize())
+}
+
+// jensenShannon computes the JS divergence between two distributions with
+// base-2 logarithms, giving a value in [0, 1].
+func jensenShannon(p, q map[vm.Op]float64) float64 {
+	keys := make(map[vm.Op]bool)
+	for k := range p {
+		keys[k] = true
+	}
+	for k := range q {
+		keys[k] = true
+	}
+	kl := func(a, b map[vm.Op]float64) float64 {
+		sum := 0.0
+		for k := range keys {
+			pa := a[k]
+			if pa == 0 {
+				continue
+			}
+			mb := (a[k] + b[k]) / 2
+			sum += pa * math.Log2(pa/mb)
+		}
+		return sum
+	}
+	return (kl(p, q) + kl(q, p)) / 2
+}

@@ -1,0 +1,66 @@
+package wm
+
+import (
+	"testing"
+
+	"pathmark/internal/vm"
+	"pathmark/internal/workloads"
+)
+
+func TestAnalyzeStealthIdenticalPrograms(t *testing.T) {
+	p := workloads.CaffeineMark()
+	r := AnalyzeStealth(p, p)
+	if r.OpcodeJSD != 0 {
+		t.Errorf("JSD of identical programs = %v, want 0", r.OpcodeJSD)
+	}
+	if r.SizeRatio != 1 {
+		t.Errorf("SizeRatio = %v, want 1", r.SizeRatio)
+	}
+	if r.BranchDensityBefore != r.BranchDensityAfter {
+		t.Error("branch densities differ for identical programs")
+	}
+}
+
+func TestAnalyzeStealthOfEmbedding(t *testing.T) {
+	// On a large host, a modest embedding must barely move the opcode
+	// statistics — the paper's stealth claim — while a blatant deviation
+	// (all-nop padding) moves them a lot.
+	host := workloads.JessLike(workloads.JessLikeOptions{Seed: 1})
+	key := testKey(t, nil, 128)
+	w := RandomWatermark(128, 3)
+	marked, _, err := Embed(host, w, key, EmbedOptions{Seed: 1, Pieces: 16, Policy: GenLoopOnly})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := AnalyzeStealth(host, marked)
+	if r.OpcodeJSD > 0.02 {
+		t.Errorf("16 rolled pieces skew opcode stats by JSD %.4f, want < 0.02", r.OpcodeJSD)
+	}
+	if r.BranchDensityAfter < r.BranchDensityBefore {
+		t.Error("embedding removed branches?")
+	}
+
+	// Contrast: obviously-unnatural padding.
+	blatant := host.Clone()
+	m := blatant.Methods[0]
+	var nops []vm.Instr
+	for i := 0; i < host.CodeSize()/2; i++ {
+		nops = append(nops, vm.Instr{Op: vm.OpNop})
+	}
+	m.InsertAt(0, nops)
+	r2 := AnalyzeStealth(host, blatant)
+	if r2.OpcodeJSD <= r.OpcodeJSD*2 {
+		t.Errorf("blatant padding JSD %.4f not clearly above embedding JSD %.4f", r2.OpcodeJSD, r.OpcodeJSD)
+	}
+}
+
+func TestJensenShannonBounds(t *testing.T) {
+	p := map[vm.Op]float64{vm.OpAdd: 1}
+	q := map[vm.Op]float64{vm.OpSub: 1}
+	if d := jensenShannon(p, q); d < 0.99 || d > 1.01 {
+		t.Errorf("disjoint distributions JSD = %v, want 1", d)
+	}
+	if d := jensenShannon(p, p); d != 0 {
+		t.Errorf("identical distributions JSD = %v, want 0", d)
+	}
+}

@@ -1,0 +1,440 @@
+package wm
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+
+	"pathmark/internal/feistel"
+	"pathmark/internal/vm"
+)
+
+const gcdSrc = `
+statics 0
+entry main
+method main 0 2
+  const 25
+  store 0
+  const 10
+  store 1
+loop:
+  load 0
+  load 1
+  rem
+  ifeq done
+  load 1
+  load 0
+  load 1
+  rem
+  store 1
+  store 0
+  goto loop
+done:
+  load 1
+  print
+  load 1
+  ret
+`
+
+// secretGateSrc runs a loop only when the first input value is 42; used to
+// show recognition fails under a wrong secret input.
+const secretGateSrc = `
+statics 1
+entry main
+method main 0 2
+  in
+  const 42
+  ifcmpne done
+  const 6
+  store 0
+gate:
+  load 0
+  ifle done
+  getstatic 0
+  load 0
+  add
+  putstatic 0
+  load 0
+  const 1
+  sub
+  store 0
+  goto gate
+done:
+  getstatic 0
+  ret
+`
+
+var testCipher = feistel.KeyFromUint64(0x1122334455667788, 0x99aabbccddeeff00)
+
+func testKey(t testing.TB, input []int64, wBits int) *Key {
+	t.Helper()
+	k, err := NewKey(input, testCipher, wBits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k
+}
+
+func TestRandomWatermark(t *testing.T) {
+	for _, bits := range []int{8, 64, 128, 256, 512, 768} {
+		w := RandomWatermark(bits, 7)
+		if w.BitLen() != bits {
+			t.Errorf("RandomWatermark(%d) has %d bits", bits, w.BitLen())
+		}
+		w2 := RandomWatermark(bits, 7)
+		if w.Cmp(w2) != 0 {
+			t.Errorf("RandomWatermark(%d) not deterministic", bits)
+		}
+		if w3 := RandomWatermark(bits, 8); bits > 32 && w.Cmp(w3) == 0 {
+			t.Errorf("RandomWatermark(%d) ignores seed", bits)
+		}
+	}
+}
+
+func TestNewKeySizesBasis(t *testing.T) {
+	for _, bits := range []int{64, 128, 256, 512, 768} {
+		k := testKey(t, nil, bits)
+		if k.MaxWatermark().BitLen() <= bits {
+			t.Errorf("key for %d bits has max watermark of only %d bits",
+				bits, k.MaxWatermark().BitLen())
+		}
+	}
+	if _, err := NewKey(nil, testCipher, 0); err == nil {
+		t.Error("NewKey accepted zero size")
+	}
+}
+
+func TestEmbedRecognizeRoundTrip(t *testing.T) {
+	p := vm.MustAssemble(gcdSrc)
+	key := testKey(t, nil, 128)
+	w := RandomWatermark(128, 3)
+	marked, report, err := Embed(p, w, key, EmbedOptions{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Pieces) == 0 {
+		t.Fatal("no pieces inserted")
+	}
+	rec, err := Recognize(marked, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rec.Matches(w) {
+		t.Fatalf("recognition failed: %+v (want %v)", rec, w)
+	}
+}
+
+func TestEmbedPreservesSemantics(t *testing.T) {
+	p := vm.MustAssemble(gcdSrc)
+	key := testKey(t, nil, 128)
+	w := RandomWatermark(128, 9)
+	marked, _, err := Embed(p, w, key, EmbedOptions{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, input := range [][]int64{nil, {1}, {42, 7}} {
+		r1, err := vm.Run(p, vm.RunOptions{Input: input})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r2, err := vm.Run(marked, vm.RunOptions{Input: input})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !vm.SameBehavior(r1, r2) {
+			t.Errorf("input %v: behavior changed", input)
+		}
+		if r2.Steps <= r1.Steps {
+			t.Errorf("input %v: watermarked program not slower (%d vs %d steps)", input, r2.Steps, r1.Steps)
+		}
+	}
+}
+
+func TestEmbedPolicies(t *testing.T) {
+	p := vm.MustAssemble(gcdSrc)
+	key := testKey(t, nil, 64)
+	w := RandomWatermark(64, 5)
+	for _, policy := range []GeneratorPolicy{GenLoopOnly, GenConditionOnly, GenLoopUnrolledOnly, GenAuto} {
+		marked, report, err := Embed(p, w, key, EmbedOptions{Seed: 4, Policy: policy})
+		if err != nil {
+			t.Fatalf("policy %d: %v", policy, err)
+		}
+		for _, piece := range report.Pieces {
+			if policy == GenLoopOnly && piece.Generator != GenLoop {
+				t.Errorf("loop-only policy produced %v", piece.Generator)
+			}
+			if policy == GenLoopUnrolledOnly && piece.Generator != GenLoopUnrolled {
+				t.Errorf("unrolled-only policy produced %v", piece.Generator)
+			}
+			if policy == GenConditionOnly && piece.Generator != GenCondition {
+				t.Errorf("condition-only policy produced %v", piece.Generator)
+			}
+		}
+		rec, err := Recognize(marked, key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rec.Matches(w) {
+			t.Errorf("policy %d: recognition failed", policy)
+		}
+	}
+}
+
+func TestEmbedDeterministicForSeed(t *testing.T) {
+	p := vm.MustAssemble(gcdSrc)
+	key := testKey(t, nil, 64)
+	w := RandomWatermark(64, 11)
+	m1, _, err := Embed(p, w, key, EmbedOptions{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, _, err := Embed(p, w, key, EmbedOptions{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1.String() != m2.String() {
+		t.Error("same seed produced different embeddings")
+	}
+	m3, _, err := Embed(p, w, key, EmbedOptions{Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1.String() == m3.String() {
+		t.Error("different seeds produced identical embeddings")
+	}
+}
+
+func TestPieceContiguityInTrace(t *testing.T) {
+	// The encrypted piece must appear as a contiguous 64-bit window of the
+	// decoded bit-string — the invariant the sliding-window recognizer
+	// depends on.
+	p := vm.MustAssemble(gcdSrc)
+	key := testKey(t, nil, 64)
+	w := RandomWatermark(64, 13)
+	for _, policy := range []GeneratorPolicy{GenLoopOnly, GenConditionOnly, GenLoopUnrolledOnly} {
+		marked, report, err := Embed(p, w, key, EmbedOptions{Seed: 3, Pieces: 5, Policy: policy})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr, _, err := vm.Collect(marked, key.Input, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bits := tr.DecodeBits()
+		for _, piece := range report.Pieces {
+			found := bits.IndexOfWord64(piece.Encrypted) >= 0
+			if policy == GenLoopOnly {
+				// Rolled-loop pieces live in a stride-2 phase.
+				found = bits.Stride(2, 0).IndexOfWord64(piece.Encrypted) >= 0 ||
+					bits.Stride(2, 1).IndexOfWord64(piece.Encrypted) >= 0
+			}
+			if !found {
+				t.Errorf("policy %v: piece %#x not contiguous in decoded trace", policy, piece.Encrypted)
+			}
+		}
+	}
+}
+
+func TestSparsePiecesStillRecover(t *testing.T) {
+	// r-1 pieces (the spanning path) suffice without attacks.
+	p := vm.MustAssemble(gcdSrc)
+	key := testKey(t, nil, 128)
+	w := RandomWatermark(128, 17)
+	r := len(key.Params.Primes())
+	marked, report, err := Embed(p, w, key, EmbedOptions{Seed: 5, Pieces: r - 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Pieces) != r-1 {
+		t.Fatalf("inserted %d pieces, want %d", len(report.Pieces), r-1)
+	}
+	rec, err := Recognize(marked, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rec.Matches(w) {
+		t.Error("sparse embedding not recognized")
+	}
+}
+
+func TestManyPiecesRedundant(t *testing.T) {
+	p := vm.MustAssemble(gcdSrc)
+	key := testKey(t, nil, 64)
+	w := RandomWatermark(64, 19)
+	pairs := key.Params.NumPairs()
+	marked, report, err := Embed(p, w, key, EmbedOptions{Seed: 6, Pieces: pairs * 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Pieces) != pairs*3 {
+		t.Fatalf("inserted %d pieces, want %d", len(report.Pieces), pairs*3)
+	}
+	rec, err := Recognize(marked, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rec.Matches(w) {
+		t.Error("redundant embedding not recognized")
+	}
+}
+
+func TestRecognizeUnwatermarked(t *testing.T) {
+	p := vm.MustAssemble(gcdSrc)
+	key := testKey(t, nil, 128)
+	rec, err := Recognize(p, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Matches(RandomWatermark(128, 3)) {
+		t.Error("recognized a watermark in an unwatermarked program")
+	}
+}
+
+func TestRecognizeWrongCipherKeyFails(t *testing.T) {
+	p := vm.MustAssemble(gcdSrc)
+	key := testKey(t, nil, 64)
+	w := RandomWatermark(64, 23)
+	marked, _, err := Embed(p, w, key, EmbedOptions{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrong := *key
+	wrong.Cipher = feistel.KeyFromUint64(1, 1)
+	rec, err := Recognize(marked, &wrong)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Matches(w) {
+		t.Error("recognition succeeded with the wrong cipher key")
+	}
+}
+
+func TestRecognizeWrongInputFails(t *testing.T) {
+	p := vm.MustAssemble(secretGateSrc)
+	key := testKey(t, []int64{42}, 64)
+	w := RandomWatermark(64, 29)
+	marked, _, err := Embed(p, w, key, EmbedOptions{Seed: 10, Policy: GenConditionOnly})
+	if err != nil {
+		t.Fatal(err)
+	}
+	good, err := Recognize(marked, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !good.Matches(w) {
+		t.Fatal("recognition with the correct input failed")
+	}
+	wrong := *key
+	wrong.Input = []int64{7}
+	rec, err := Recognize(marked, &wrong)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Matches(w) {
+		t.Error("recognition succeeded with the wrong secret input")
+	}
+}
+
+func TestEmbedRejectsOversizeWatermark(t *testing.T) {
+	p := vm.MustAssemble(gcdSrc)
+	key := testKey(t, nil, 64)
+	if _, _, err := Embed(p, key.MaxWatermark(), key, EmbedOptions{}); err == nil {
+		t.Error("Embed accepted watermark == max")
+	}
+	if _, _, err := Embed(p, big.NewInt(-3), key, EmbedOptions{}); err == nil {
+		t.Error("Embed accepted negative watermark")
+	}
+}
+
+func TestEmbedReportMetrics(t *testing.T) {
+	p := vm.MustAssemble(gcdSrc)
+	key := testKey(t, nil, 64)
+	w := RandomWatermark(64, 31)
+	_, report, err := Embed(p, w, key, EmbedOptions{Seed: 11, Pieces: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.OriginalSize != p.CodeSize() {
+		t.Error("OriginalSize mismatch")
+	}
+	if report.EmbeddedSize <= report.OriginalSize {
+		t.Error("EmbeddedSize did not grow")
+	}
+	if report.SizeIncrease() <= 0 {
+		t.Error("SizeIncrease not positive")
+	}
+	if report.CandidateSite == 0 || report.TraceEvents == 0 {
+		t.Error("empty trace metrics")
+	}
+}
+
+func TestOpaqueTemplatesAlwaysZero(t *testing.T) {
+	// Execute each template in the VM over a range of inputs and check it
+	// pushes 0, matching the Go mirror used for documentation.
+	rng := rand.New(rand.NewSource(1))
+	inputs := []int64{0, 1, -1, 2, -2, 7, -7, 1 << 62, -(1 << 62), 123456789}
+	for i := 0; i < 200; i++ {
+		inputs = append(inputs, rng.Int63()-rng.Int63())
+	}
+	for ti, tmpl := range opaqueZeroTemplates {
+		for _, x := range inputs {
+			code := tmpl.gen([]vm.Instr{{Op: vm.OpConst, A: x}})
+			code = append(code, vm.Instr{Op: vm.OpRet})
+			p := &vm.Program{Methods: []*vm.Method{{Name: "main", Code: code}}}
+			if err := vm.Verify(p); err != nil {
+				t.Fatalf("template %q does not verify: %v", tmpl.name, err)
+			}
+			res, err := vm.Run(p, vm.RunOptions{})
+			if err != nil {
+				t.Fatalf("template %q run: %v", tmpl.name, err)
+			}
+			if res.Return != 0 {
+				t.Errorf("template %q yields %d for x=%d, want 0", tmpl.name, res.Return, x)
+			}
+			if mirror := opaqueZeroValue(ti, x); mirror != 0 {
+				t.Errorf("mirror %q yields %d for x=%d, want 0", tmpl.name, mirror, x)
+			}
+		}
+	}
+}
+
+func TestOpaqueGuardNeverExecutes(t *testing.T) {
+	// The guarded code would trap (div by zero); the opaquely false guard
+	// must keep it unreachable.
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 20; i++ {
+		guarded := []vm.Instr{{Op: vm.OpConst, A: 1}, {Op: vm.OpConst, A: 0}, {Op: vm.OpDiv}, {Op: vm.OpPop}}
+		code := OpaqueFalseGuard(rng, 0, []vm.Instr{{Op: vm.OpConst, A: int64(i * 17)}}, guarded)
+		code = append(code, vm.Instr{Op: vm.OpConst, A: 0}, vm.Instr{Op: vm.OpRet})
+		p := &vm.Program{Methods: []*vm.Method{{Name: "main", Code: code}}}
+		if err := vm.Verify(p); err != nil {
+			t.Fatalf("guard does not verify: %v", err)
+		}
+		if _, err := vm.Run(p, vm.RunOptions{}); err != nil {
+			t.Fatalf("opaque guard executed its guarded code: %v", err)
+		}
+	}
+}
+
+func TestEmbedIntoInputDrivenProgramKeepsOtherInputsWorking(t *testing.T) {
+	p := vm.MustAssemble(secretGateSrc)
+	key := testKey(t, []int64{42}, 64)
+	w := RandomWatermark(64, 37)
+	marked, _, err := Embed(p, w, key, EmbedOptions{Seed: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, input := range [][]int64{{42}, {7}, {0}, nil} {
+		r1, err := vm.Run(p, vm.RunOptions{Input: input})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r2, err := vm.Run(marked, vm.RunOptions{Input: input})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !vm.SameBehavior(r1, r2) {
+			t.Errorf("input %v: behavior changed", input)
+		}
+	}
+}

@@ -1,0 +1,279 @@
+package workloads
+
+import "pathmark/internal/vm"
+
+// MiniCalc returns a stack-calculator interpreter written in VM assembly —
+// the repository's closest analog to watermarking a real language
+// interpreter (the paper's Jess is one): the *interpreted program arrives
+// on the input stream*, so the dynamic branch trace genuinely depends on
+// the secret input sequence — the property that makes dynamic watermarks
+// keyed (§2: recognition executes the program on a particular secret input
+// sequence).
+//
+// Input encoding (one int64 per token):
+//
+//	1 n  push literal n
+//	2    add        3    sub        4    mul
+//	5    dup        6    swap       9    drop
+//	7    print      (emits the top of stack, which stays put)
+//	8 k  loop: pop c; if c != 0, rewind the token cursor by k tokens
+//	0    halt       (also on unknown opcode or exhausted input)
+//
+// The interpreter is defensive: the 64-slot operand stack saturates
+// instead of overflowing, underflow pops yield 0, and a fuel counter
+// bounds execution, so every input terminates. Loops rewind a recorded
+// token history (the raw input stream cannot be re-read), giving
+// interpreted programs real, input-dependent control flow.
+func MiniCalc() *vm.Program {
+	return vm.MustAssemble(miniCalcSrc)
+}
+
+// Interpreter state lives in statics so the helper methods can reach it:
+// 0=stack ref, 1=sp, 2=fuel, 3=history ref, 4=hlen, 5=cursor.
+const miniCalcSrc = `
+statics 6
+entry main
+
+method main 0 2
+  const 64
+  newarr
+  putstatic 0
+  const 0
+  putstatic 1
+  const 20000
+  putstatic 2
+  const 4096
+  newarr
+  putstatic 3
+  const 0
+  putstatic 4
+  const 0
+  putstatic 5
+
+loop:
+  getstatic 2
+  ifle halt
+  getstatic 2
+  const 1
+  sub
+  putstatic 2
+
+  call nexttoken
+  store 0
+
+  load 0
+  ifeq halt
+  load 0
+  const 1
+  ifcmpeq do_push
+  load 0
+  const 2
+  ifcmpeq do_add
+  load 0
+  const 3
+  ifcmpeq do_sub
+  load 0
+  const 4
+  ifcmpeq do_mul
+  load 0
+  const 5
+  ifcmpeq do_dup
+  load 0
+  const 6
+  ifcmpeq do_swap
+  load 0
+  const 7
+  ifcmpeq do_print
+  load 0
+  const 8
+  ifcmpeq do_loop
+  load 0
+  const 9
+  ifcmpeq do_drop
+  goto halt
+
+do_push:
+  call nexttoken
+  call push
+  pop
+  goto loop
+
+do_add:
+  call popv
+  call popv
+  add
+  call push
+  pop
+  goto loop
+
+do_sub:
+  call popv
+  store 1
+  call popv
+  load 1
+  sub
+  call push
+  pop
+  goto loop
+
+do_mul:
+  call popv
+  call popv
+  mul
+  call push
+  pop
+  goto loop
+
+do_dup:
+  call popv
+  store 1
+  load 1
+  call push
+  pop
+  load 1
+  call push
+  pop
+  goto loop
+
+do_swap:
+  call popv
+  store 0
+  call popv
+  store 1
+  load 0
+  call push
+  pop
+  load 1
+  call push
+  pop
+  goto loop
+
+do_print:
+  call popv
+  dup
+  print
+  call push
+  pop
+  goto loop
+
+do_loop:
+  call nexttoken
+  store 0
+  call popv
+  ifeq loop
+  getstatic 5
+  load 0
+  sub
+  putstatic 5
+  getstatic 5
+  ifge loop
+  const 0
+  putstatic 5
+  goto loop
+
+do_drop:
+  call popv
+  pop
+  goto loop
+
+halt:
+  getstatic 1
+  print
+  getstatic 1
+  ret
+
+; push(v): saturating push; returns 0.
+method push 1 1
+  getstatic 1
+  const 64
+  ifcmpge pfull
+  getstatic 0
+  getstatic 1
+  load 0
+  astore
+  getstatic 1
+  const 1
+  add
+  putstatic 1
+pfull:
+  const 0
+  ret
+
+; popv(): pop, or 0 on underflow.
+method popv 0 1
+  getstatic 1
+  ifle puscore
+  getstatic 1
+  const 1
+  sub
+  putstatic 1
+  getstatic 0
+  getstatic 1
+  aload
+  ret
+puscore:
+  const 0
+  ret
+
+; nexttoken(): replay recorded history at the cursor, else read fresh
+; input, record it, advance. Returns the token.
+method nexttoken 0 1
+  getstatic 5
+  getstatic 4
+  ifcmplt replay
+  in
+  store 0
+  getstatic 4
+  const 4096
+  ifcmpge nospace
+  getstatic 3
+  getstatic 4
+  load 0
+  astore
+  getstatic 4
+  const 1
+  add
+  putstatic 4
+nospace:
+  getstatic 4
+  putstatic 5
+  load 0
+  ret
+replay:
+  getstatic 3
+  getstatic 5
+  aload
+  store 0
+  getstatic 5
+  const 1
+  add
+  putstatic 5
+  load 0
+  ret
+`
+
+// CalcProgram helpers: token streams for MiniCalc.
+
+// CalcSum returns a MiniCalc program computing and printing a+b.
+func CalcSum(a, b int64) []int64 {
+	return []int64{1, a, 1, b, 2, 7, 0}
+}
+
+// CalcFactorial returns a MiniCalc program printing n! as a straight-line
+// multiply chain. Expected output: [n!, 1].
+func CalcFactorial(n int64) []int64 {
+	prog := []int64{1, 1} // acc = 1
+	for i := int64(2); i <= n; i++ {
+		prog = append(prog, 1, i, 4) // push i; mul
+	}
+	prog = append(prog, 7, 0)
+	return prog
+}
+
+// CalcCountdown returns a MiniCalc program that prints n, n-1, ..., 1
+// using the rewind loop. Expected output: [n, n-1, ..., 1, 1] (the final 1
+// is the interpreter's stack-depth report at halt).
+func CalcCountdown(n int64) []int64 {
+	// push n; L: print; push 1; sub; dup; rewind 7 while tos != 0; halt.
+	return []int64{1, n, 7, 1, 1, 3, 5, 8, 7, 0}
+}

@@ -1,0 +1,110 @@
+package workloads
+
+import (
+	"testing"
+
+	"pathmark/internal/vm"
+)
+
+func runCalc(t *testing.T, tokens []int64) *vm.Result {
+	t.Helper()
+	res, err := vm.Run(MiniCalc(), vm.RunOptions{Input: tokens})
+	if err != nil {
+		t.Fatalf("MiniCalc(%v): %v", tokens, err)
+	}
+	return res
+}
+
+func assertOutput(t *testing.T, got *vm.Result, want []int64) {
+	t.Helper()
+	if len(got.Output) != len(want) {
+		t.Fatalf("output %v, want %v", got.Output, want)
+	}
+	for i := range want {
+		if got.Output[i] != want[i] {
+			t.Fatalf("output %v, want %v", got.Output, want)
+		}
+	}
+}
+
+func TestMiniCalcSum(t *testing.T) {
+	res := runCalc(t, CalcSum(30, 12))
+	assertOutput(t, res, []int64{42, 1})
+}
+
+func TestMiniCalcFactorial(t *testing.T) {
+	res := runCalc(t, CalcFactorial(6))
+	assertOutput(t, res, []int64{720, 1})
+}
+
+func TestMiniCalcCountdownLoop(t *testing.T) {
+	res := runCalc(t, CalcCountdown(5))
+	assertOutput(t, res, []int64{5, 4, 3, 2, 1, 1})
+}
+
+func TestMiniCalcOperators(t *testing.T) {
+	cases := []struct {
+		tokens []int64
+		want   []int64
+	}{
+		{[]int64{1, 9, 1, 4, 3, 7, 0}, []int64{5, 1}},     // sub
+		{[]int64{1, 9, 1, 4, 4, 7, 0}, []int64{36, 1}},    // mul
+		{[]int64{1, 3, 5, 2, 7, 0}, []int64{6, 1}},        // dup+add
+		{[]int64{1, 8, 1, 2, 6, 3, 7, 0}, []int64{-6, 1}}, // swap then 2-8
+		{[]int64{1, 7, 1, 3, 9, 7, 0}, []int64{7, 1}},     // drop
+		{[]int64{7, 0}, []int64{0, 1}},                    // print on empty stack
+		{[]int64{0}, []int64{0}},                          // immediate halt: prints sp=0
+		{nil, []int64{0}},                                 // empty input = halt
+	}
+	for i, c := range cases {
+		res := runCalc(t, c.tokens)
+		if len(res.Output) != len(c.want) {
+			t.Errorf("case %d: output %v, want %v", i, res.Output, c.want)
+			continue
+		}
+		for j := range c.want {
+			if res.Output[j] != c.want[j] {
+				t.Errorf("case %d: output %v, want %v", i, res.Output, c.want)
+				break
+			}
+		}
+	}
+}
+
+func TestMiniCalcDefensiveness(t *testing.T) {
+	// Stack overflow saturates rather than faulting.
+	var flood []int64
+	for i := 0; i < 100; i++ {
+		flood = append(flood, 1, int64(i))
+	}
+	flood = append(flood, 0)
+	res := runCalc(t, flood)
+	if res.Output[len(res.Output)-1] != 64 {
+		t.Errorf("saturated sp = %d, want 64", res.Output[len(res.Output)-1])
+	}
+	// Infinite rewind loops run out of fuel instead of hanging:
+	// push 1; L: dup; rewind 3 — tos stays 1 forever.
+	res = runCalc(t, []int64{1, 1, 5, 8, 3, 0})
+	if res.Steps > 5_000_000 {
+		t.Errorf("fuel did not bound execution: %d steps", res.Steps)
+	}
+	// Unknown opcodes halt.
+	res = runCalc(t, []int64{42, 42, 42})
+	assertOutput(t, res, []int64{0})
+}
+
+func TestMiniCalcTraceDependsOnInput(t *testing.T) {
+	// The interpreter's decoded bit-string must differ across interpreted
+	// programs — the property that keys the watermark to the secret input.
+	t1, _, err := vm.Collect(MiniCalc(), CalcSum(1, 2), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, _, err := vm.Collect(MiniCalc(), CalcCountdown(9), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t1.DecodeBits().String() == t2.DecodeBits().String() {
+		t.Error("different interpreted programs produced identical traces")
+	}
+}

@@ -1,0 +1,546 @@
+package workloads
+
+import (
+	"pathmark/internal/isa"
+)
+
+// NativeKernel is one SPEC-int-2000-named benchmark for the native side,
+// with separate training and reference inputs (the paper profiles with
+// SPEC train inputs and evaluates with ref inputs, §5.2).
+type NativeKernel struct {
+	Name       string
+	Unit       *isa.Unit
+	TrainInput []int64
+	RefInput   []int64
+}
+
+// heapBase is scratch memory above the data section used by the kernels.
+const heapBase uint32 = 0x0a000000
+
+// lcg advances reg through a linear congruential generator (the kernels'
+// deterministic pseudo-random source).
+func lcg(b *isa.Builder, reg byte) {
+	b.MulImm(reg, 1664525)
+	b.AddImm(reg, 1013904223)
+}
+
+// kernelEpilogue emits the shared cold tail: a data-dependent cold branch
+// region whose unconditional jumps (tamper-proofing candidates) guard the
+// program's output — corrupting them diverts control before anything is
+// emitted, so a bypassed branch function visibly breaks the run. eax holds
+// the checksum to report.
+func kernelEpilogue(b *isa.Builder) {
+	b.MovReg(isa.EBX, isa.EAX)
+	b.AndImm(isa.EBX, 1)
+	b.CmpImm(isa.EBX, 0)
+	b.Je("even_tail")
+	b.MovImm(isa.ECX, 111)
+	b.Jmp("tail_emit") // cold unconditional jmp (candidate)
+	b.Label("even_tail").MovImm(isa.ECX, 222)
+	b.Jmp("tail_emit") // cold unconditional jmp (candidate)
+	b.Label("tail_emit").Out(isa.EAX)
+	b.Out(isa.ECX)
+	b.Hlt()
+}
+
+// kernelPrologue emits the shared skeleton: the begin→end edge (an
+// executed unconditional jmp) and the input read. esi := scale input.
+func kernelPrologue(b *isa.Builder) {
+	b.Jmp("start") // the begin→end edge the embedder splits
+	b.Label("start").In(isa.ESI)
+}
+
+// Bzip2Like: run-length statistics over a pseudo-random small-alphabet
+// buffer (compression-shaped: generate, scan runs, count).
+func Bzip2Like() NativeKernel {
+	b := isa.NewBuilder()
+	kernelPrologue(b)
+	b.MovImm(isa.EAX, 12345)
+	b.MovImm(isa.ECX, 0)
+	b.Label("gen").Cmp(isa.ECX, isa.ESI)
+	b.Jge("genend")
+	lcg(b, isa.EAX)
+	b.MovReg(isa.EBX, isa.EAX)
+	b.ShrImm(isa.EBX, 16)
+	b.AndImm(isa.EBX, 3)
+	b.StoreIdx(heapBase, isa.ECX, 4, isa.EBX)
+	b.AddImm(isa.ECX, 1)
+	b.Jmp("gen")
+	b.Label("genend").MovImm(isa.EDX, 1) // run count
+	b.MovImm(isa.ECX, 0)
+	b.LoadIdx(isa.EDI, heapBase, isa.ECX, 4) // prev = buf[0]
+	b.MovImm(isa.ECX, 1)
+	b.Label("scan").Cmp(isa.ECX, isa.ESI)
+	b.Jge("scanend")
+	b.LoadIdx(isa.EBX, heapBase, isa.ECX, 4)
+	b.Cmp(isa.EBX, isa.EDI)
+	b.Je("same")
+	b.AddImm(isa.EDX, 1)
+	b.MovReg(isa.EDI, isa.EBX)
+	b.Label("same").AddImm(isa.ECX, 1)
+	b.Jmp("scan")
+	b.Label("scanend").MovReg(isa.EAX, isa.EDX)
+	kernelEpilogue(b)
+	return NativeKernel{Name: "bzip2", Unit: b.Unit(),
+		TrainInput: []int64{600}, RefInput: []int64{60000}}
+}
+
+// CraftyLike: bitboard population counts and shifted attacks
+// (chess-engine-shaped: tight bit manipulation loops).
+func CraftyLike() NativeKernel {
+	b := isa.NewBuilder()
+	kernelPrologue(b)
+	b.MovImm(isa.EAX, 0) // checksum
+	b.MovImm(isa.EDX, 0x9e3779b9)
+	b.MovImm(isa.ECX, 0)
+	b.Label("boards").Cmp(isa.ECX, isa.ESI)
+	b.Jge("bdone")
+	lcg(b, isa.EDX)
+	b.MovReg(isa.EBX, isa.EDX) // bitboard
+	// popcount: while ebx != 0 { ebx &= ebx-1; eax++ }
+	b.Label("pop").CmpImm(isa.EBX, 0)
+	b.Je("popdone")
+	b.MovReg(isa.EDI, isa.EBX)
+	b.SubImm(isa.EDI, 1)
+	b.And(isa.EBX, isa.EDI)
+	b.AddImm(isa.EAX, 1)
+	b.Jmp("pop")
+	b.Label("popdone").MovReg(isa.EBX, isa.EDX)
+	// fold shifted "attack" masks into the checksum.
+	b.ShlImm(isa.EBX, 7)
+	b.Xor(isa.EAX, isa.EBX)
+	b.MovReg(isa.EBX, isa.EDX)
+	b.ShrImm(isa.EBX, 9)
+	b.Xor(isa.EAX, isa.EBX)
+	b.AndImm(isa.EAX, 0xffffff)
+	b.AddImm(isa.ECX, 1)
+	b.Jmp("boards")
+	b.Label("bdone")
+	kernelEpilogue(b)
+	return NativeKernel{Name: "crafty", Unit: b.Unit(),
+		TrainInput: []int64{400}, RefInput: []int64{40000}}
+}
+
+// GapLike: iterated permutation composition over a fixed group
+// (computer-algebra-shaped).
+func GapLike() NativeKernel {
+	const n = 64
+	b := isa.NewBuilder()
+	kernelPrologue(b)
+	// perm[i] = (i*13+7) mod 64 at heapBase; work[i] at heapBase+256.
+	b.MovImm(isa.ECX, 0)
+	b.Label("init").CmpImm(isa.ECX, n)
+	b.Jge("initdone")
+	b.MovReg(isa.EBX, isa.ECX)
+	b.MulImm(isa.EBX, 13)
+	b.AddImm(isa.EBX, 7)
+	b.AndImm(isa.EBX, n-1)
+	b.StoreIdx(heapBase, isa.ECX, 4, isa.EBX)
+	b.StoreIdx(heapBase+4*n, isa.ECX, 4, isa.ECX) // identity
+	b.AddImm(isa.ECX, 1)
+	b.Jmp("init")
+	b.Label("initdone").MovImm(isa.EDX, 0) // iteration
+	b.Label("compose").Cmp(isa.EDX, isa.ESI)
+	b.Jge("cdone")
+	b.MovImm(isa.ECX, 0)
+	b.Label("inner").CmpImm(isa.ECX, n)
+	b.Jge("idone")
+	b.LoadIdx(isa.EBX, heapBase+4*n, isa.ECX, 4) // work[i]
+	b.LoadIdx(isa.EDI, heapBase, isa.EBX, 4)     // perm[work[i]]
+	b.StoreIdx(heapBase+8*n, isa.ECX, 4, isa.EDI)
+	b.AddImm(isa.ECX, 1)
+	b.Jmp("inner")
+	b.Label("idone").MovImm(isa.ECX, 0)
+	b.Label("copy").CmpImm(isa.ECX, n)
+	b.Jge("copydone")
+	b.LoadIdx(isa.EDI, heapBase+8*n, isa.ECX, 4)
+	b.StoreIdx(heapBase+4*n, isa.ECX, 4, isa.EDI)
+	b.AddImm(isa.ECX, 1)
+	b.Jmp("copy")
+	b.Label("copydone").AddImm(isa.EDX, 1)
+	b.Jmp("compose")
+	b.Label("cdone").MovImm(isa.EAX, 0)
+	b.MovImm(isa.ECX, 0)
+	b.Label("sum").CmpImm(isa.ECX, n)
+	b.Jge("sumdone")
+	b.LoadIdx(isa.EBX, heapBase+4*n, isa.ECX, 4)
+	b.MulImm(isa.EBX, 31)
+	b.Add(isa.EAX, isa.EBX)
+	b.AddImm(isa.ECX, 1)
+	b.Jmp("sum")
+	b.Label("sumdone")
+	kernelEpilogue(b)
+	return NativeKernel{Name: "gap", Unit: b.Unit(),
+		TrainInput: []int64{50}, RefInput: []int64{5000}}
+}
+
+// GccLike: greedy graph coloring over a synthetic interference graph
+// (compiler-shaped: irregular data-dependent control flow).
+func GccLike() NativeKernel {
+	const n = 48
+	b := isa.NewBuilder()
+	kernelPrologue(b)
+	// adjacency bitmask rows at heapBase (n words); colors at +4n.
+	b.MovImm(isa.EDX, 777)
+	b.MovImm(isa.ECX, 0)
+	b.Label("ginit").CmpImm(isa.ECX, n)
+	b.Jge("ginitd")
+	lcg(b, isa.EDX)
+	b.MovReg(isa.EBX, isa.EDX)
+	// Sparsify with the scale: row = lcg & (lcg >> input-dependent shift)
+	b.MovReg(isa.EDI, isa.EBX)
+	b.ShrImm(isa.EDI, 3)
+	b.And(isa.EBX, isa.EDI)
+	b.StoreIdx(heapBase, isa.ECX, 4, isa.EBX)
+	b.AddImm(isa.ECX, 1)
+	b.Jmp("ginit")
+	b.Label("ginitd").MovImm(isa.EAX, 0) // checksum
+	b.MovImm(isa.EBP, 0)                 // round counter
+	b.Label("rounds").Cmp(isa.EBP, isa.ESI)
+	b.Jge("rdone")
+	b.MovImm(isa.ECX, 0)
+	b.Label("color").CmpImm(isa.ECX, n)
+	b.Jge("cdone2")
+	b.LoadIdx(isa.EBX, heapBase, isa.ECX, 4) // neighbor mask
+	// find lowest color bit not in mask: edi = 1; while edi & ebx: edi <<= 1
+	b.MovImm(isa.EDI, 1)
+	b.Label("probe").MovReg(isa.EDX, isa.EDI)
+	b.And(isa.EDX, isa.EBX)
+	b.CmpImm(isa.EDX, 0)
+	b.Je("found")
+	b.ShlImm(isa.EDI, 1)
+	b.Jmp("probe")
+	b.Label("found").StoreIdx(heapBase+4*n, isa.ECX, 4, isa.EDI)
+	b.Add(isa.EAX, isa.EDI)
+	b.AndImm(isa.EAX, 0xffffff)
+	b.AddImm(isa.ECX, 1)
+	b.Jmp("color")
+	b.Label("cdone2").AddImm(isa.EBP, 1)
+	b.Jmp("rounds")
+	b.Label("rdone")
+	kernelEpilogue(b)
+	return NativeKernel{Name: "gcc", Unit: b.Unit(),
+		TrainInput: []int64{40}, RefInput: []int64{4000}}
+}
+
+// GzipLike: rolling-hash match finding (LZ-shaped: hash, probe, count
+// matches).
+func GzipLike() NativeKernel {
+	b := isa.NewBuilder()
+	kernelPrologue(b)
+	// buffer of esi pseudo-bytes at heapBase; 256-entry hash table at +heapBase2.
+	const tableBase = heapBase + 0x40000
+	b.MovImm(isa.EAX, 99)
+	b.MovImm(isa.ECX, 0)
+	b.Label("gen").Cmp(isa.ECX, isa.ESI)
+	b.Jge("gend")
+	lcg(b, isa.EAX)
+	b.MovReg(isa.EBX, isa.EAX)
+	b.ShrImm(isa.EBX, 20)
+	b.AndImm(isa.EBX, 15)
+	b.StoreIdx(heapBase, isa.ECX, 4, isa.EBX)
+	b.AddImm(isa.ECX, 1)
+	b.Jmp("gen")
+	b.Label("gend").MovImm(isa.EDX, 0) // match count
+	b.MovImm(isa.ECX, 2)
+	b.Label("scan").Cmp(isa.ECX, isa.ESI)
+	b.Jge("sdone")
+	// h = (b[i-2]*17 + b[i-1]*5 + b[i]) & 255
+	b.MovReg(isa.EBX, isa.ECX)
+	b.SubImm(isa.EBX, 2)
+	b.LoadIdx(isa.EDI, heapBase, isa.EBX, 4)
+	b.MulImm(isa.EDI, 17)
+	b.AddImm(isa.EBX, 1)
+	b.LoadIdx(isa.EBP, heapBase, isa.EBX, 4)
+	b.MulImm(isa.EBP, 5)
+	b.Add(isa.EDI, isa.EBP)
+	b.LoadIdx(isa.EBP, heapBase, isa.ECX, 4)
+	b.Add(isa.EDI, isa.EBP)
+	b.AndImm(isa.EDI, 255)
+	// probe: if table[h] == current byte triple head, count a match
+	b.LoadIdx(isa.EBX, tableBase, isa.EDI, 4)
+	b.Cmp(isa.EBX, isa.EBP)
+	b.Jne("nomatch")
+	b.AddImm(isa.EDX, 1)
+	b.Label("nomatch").StoreIdx(tableBase, isa.EDI, 4, isa.EBP)
+	b.AddImm(isa.ECX, 1)
+	b.Jmp("scan")
+	b.Label("sdone").MovReg(isa.EAX, isa.EDX)
+	kernelEpilogue(b)
+	return NativeKernel{Name: "gzip", Unit: b.Unit(),
+		TrainInput: []int64{600}, RefInput: []int64{60000}}
+}
+
+// McfLike: Bellman-Ford relaxation over a ring-with-chords graph
+// (network-simplex-shaped: pointer-chasing-ish loads).
+func McfLike() NativeKernel {
+	const n = 64
+	b := isa.NewBuilder()
+	kernelPrologue(b)
+	// dist[] at heapBase; init to large.
+	b.MovImm(isa.ECX, 0)
+	b.Label("dinit").CmpImm(isa.ECX, n)
+	b.Jge("dinitd")
+	b.MovImm(isa.EBX, 1<<20)
+	b.StoreIdx(heapBase, isa.ECX, 4, isa.EBX)
+	b.AddImm(isa.ECX, 1)
+	b.Jmp("dinit")
+	b.Label("dinitd").MovImm(isa.EBX, 0)
+	b.MovImm(isa.ECX, 0)
+	b.StoreIdx(heapBase, isa.ECX, 4, isa.EBX) // dist[0] = 0
+	b.MovImm(isa.EBP, 0)
+	b.Label("pass").Cmp(isa.EBP, isa.ESI)
+	b.Jge("pdone")
+	b.MovImm(isa.ECX, 0)
+	b.Label("relax").CmpImm(isa.ECX, n)
+	b.Jge("rdone2")
+	b.LoadIdx(isa.EBX, heapBase, isa.ECX, 4) // d = dist[i]
+	// ring edge i -> (i+1)%n, weight (i%7)+1
+	b.MovReg(isa.EDI, isa.ECX)
+	b.MovImm(isa.EDX, 7)
+	b.UMod(isa.EDI, isa.EDX)
+	b.AddImm(isa.EDI, 1)
+	b.Add(isa.EDI, isa.EBX) // cand = d + w
+	b.MovReg(isa.EDX, isa.ECX)
+	b.AddImm(isa.EDX, 1)
+	b.AndImm(isa.EDX, n-1)
+	b.LoadIdx(isa.EBX, heapBase, isa.EDX, 4)
+	b.Cmp(isa.EDI, isa.EBX)
+	b.Jge("nochord")
+	b.StoreIdx(heapBase, isa.EDX, 4, isa.EDI)
+	b.Label("nochord")
+	// chord edge i -> (i*3+1)%n, weight 9
+	b.LoadIdx(isa.EBX, heapBase, isa.ECX, 4)
+	b.MovReg(isa.EDI, isa.EBX)
+	b.AddImm(isa.EDI, 9)
+	b.MovReg(isa.EDX, isa.ECX)
+	b.MulImm(isa.EDX, 3)
+	b.AddImm(isa.EDX, 1)
+	b.AndImm(isa.EDX, n-1)
+	b.LoadIdx(isa.EBX, heapBase, isa.EDX, 4)
+	b.Cmp(isa.EDI, isa.EBX)
+	b.Jge("skipchord")
+	b.StoreIdx(heapBase, isa.EDX, 4, isa.EDI)
+	b.Label("skipchord").AddImm(isa.ECX, 1)
+	b.Jmp("relax")
+	b.Label("rdone2").AddImm(isa.EBP, 1)
+	b.Jmp("pass")
+	b.Label("pdone").MovImm(isa.EAX, 0)
+	b.MovImm(isa.ECX, 0)
+	b.Label("acc").CmpImm(isa.ECX, n)
+	b.Jge("accd")
+	b.LoadIdx(isa.EBX, heapBase, isa.ECX, 4)
+	b.Add(isa.EAX, isa.EBX)
+	b.AddImm(isa.ECX, 1)
+	b.Jmp("acc")
+	b.Label("accd").AndImm(isa.EAX, 0xffffff)
+	kernelEpilogue(b)
+	return NativeKernel{Name: "mcf", Unit: b.Unit(),
+		TrainInput: []int64{30}, RefInput: []int64{3000}}
+}
+
+// ParserLike: a token-classifying state machine over pseudo-text
+// (parser-shaped: dense unpredictable branching).
+func ParserLike() NativeKernel {
+	b := isa.NewBuilder()
+	kernelPrologue(b)
+	b.MovImm(isa.EAX, 0) // checksum
+	b.MovImm(isa.EDX, 424242)
+	b.MovImm(isa.EBP, 0) // state
+	b.MovImm(isa.ECX, 0)
+	b.Label("tok").Cmp(isa.ECX, isa.ESI)
+	b.Jge("tdone")
+	lcg(b, isa.EDX)
+	b.MovReg(isa.EBX, isa.EDX)
+	b.ShrImm(isa.EBX, 24)
+	b.AndImm(isa.EBX, 127) // "character"
+	// classify: letter (>=65), digit (48..57), space (32), other
+	b.CmpImm(isa.EBX, 65)
+	b.Jge("letter")
+	b.CmpImm(isa.EBX, 48)
+	b.Jl("space_or_other")
+	b.CmpImm(isa.EBX, 58)
+	b.Jge("space_or_other")
+	// digit: state 2, checksum += char
+	b.MovImm(isa.EBP, 2)
+	b.Add(isa.EAX, isa.EBX)
+	b.Jmp("next")
+	b.Label("letter").CmpImm(isa.EBP, 1)
+	b.Je("cont_word")
+	b.MovImm(isa.EBP, 1)
+	b.AddImm(isa.EAX, 1000) // new word
+	b.Jmp("next")
+	b.Label("cont_word").AddImm(isa.EAX, 1)
+	b.Jmp("next")
+	b.Label("space_or_other").CmpImm(isa.EBX, 32)
+	b.Jne("other")
+	b.MovImm(isa.EBP, 0)
+	b.Jmp("next")
+	b.Label("other").MovReg(isa.EDI, isa.EBX)
+	b.ShlImm(isa.EDI, 2)
+	b.Xor(isa.EAX, isa.EDI)
+	b.Label("next").AndImm(isa.EAX, 0xffffff)
+	b.AddImm(isa.ECX, 1)
+	b.Jmp("tok")
+	b.Label("tdone")
+	kernelEpilogue(b)
+	return NativeKernel{Name: "parser", Unit: b.Unit(),
+		TrainInput: []int64{500}, RefInput: []int64{50000}}
+}
+
+// TwolfLike: annealing-style cost improvement with deterministic
+// pseudo-random swaps (placement-shaped).
+func TwolfLike() NativeKernel {
+	const cells = 32
+	b := isa.NewBuilder()
+	kernelPrologue(b)
+	// positions at heapBase: pos[i] = i initially.
+	b.MovImm(isa.ECX, 0)
+	b.Label("pinit").CmpImm(isa.ECX, cells)
+	b.Jge("pinitd")
+	b.StoreIdx(heapBase, isa.ECX, 4, isa.ECX)
+	b.AddImm(isa.ECX, 1)
+	b.Jmp("pinit")
+	b.Label("pinitd").MovImm(isa.EDX, 31337)
+	b.MovImm(isa.EBP, 0)
+	b.Label("anneal").Cmp(isa.EBP, isa.ESI)
+	b.Jge("adone")
+	lcg(b, isa.EDX)
+	b.MovReg(isa.EBX, isa.EDX)
+	b.ShrImm(isa.EBX, 8)
+	b.AndImm(isa.EBX, cells-1) // i
+	b.MovReg(isa.ECX, isa.EDX)
+	b.ShrImm(isa.ECX, 16)
+	b.AndImm(isa.ECX, cells-1) // j
+	// swap if pos[i] > pos[j] (sorting-by-annealing)
+	b.LoadIdx(isa.EDI, heapBase, isa.EBX, 4)
+	b.LoadIdx(isa.EAX, heapBase, isa.ECX, 4)
+	b.Cmp(isa.EDI, isa.EAX)
+	b.Jle("noswap")
+	b.StoreIdx(heapBase, isa.EBX, 4, isa.EAX)
+	b.StoreIdx(heapBase, isa.ECX, 4, isa.EDI)
+	b.Label("noswap").AddImm(isa.EBP, 1)
+	b.Jmp("anneal")
+	b.Label("adone").MovImm(isa.EAX, 0)
+	b.MovImm(isa.ECX, 0)
+	b.Label("cost").CmpImm(isa.ECX, cells)
+	b.Jge("costd")
+	b.LoadIdx(isa.EBX, heapBase, isa.ECX, 4)
+	b.MovReg(isa.EDI, isa.ECX)
+	b.MulImm(isa.EDI, 3)
+	b.Mul(isa.EBX, isa.EDI)
+	b.Add(isa.EAX, isa.EBX)
+	b.AddImm(isa.ECX, 1)
+	b.Jmp("cost")
+	b.Label("costd").AndImm(isa.EAX, 0xffffff)
+	kernelEpilogue(b)
+	return NativeKernel{Name: "twolf", Unit: b.Unit(),
+		TrainInput: []int64{300}, RefInput: []int64{30000}}
+}
+
+// VortexLike: hash-table database insert/lookup mix (OO-database-shaped).
+func VortexLike() NativeKernel {
+	const slots = 128
+	b := isa.NewBuilder()
+	kernelPrologue(b)
+	b.MovImm(isa.EDX, 55555)
+	b.MovImm(isa.EAX, 0) // hit counter / checksum
+	b.MovImm(isa.EBP, 0)
+	b.Label("ops").Cmp(isa.EBP, isa.ESI)
+	b.Jge("odone")
+	lcg(b, isa.EDX)
+	b.MovReg(isa.EBX, isa.EDX)
+	b.ShrImm(isa.EBX, 10)
+	b.AndImm(isa.EBX, slots-1) // slot
+	b.MovReg(isa.EDI, isa.EDX)
+	b.ShrImm(isa.EDI, 3)
+	b.AndImm(isa.EDI, 1) // op: 0 = insert, 1 = lookup
+	b.CmpImm(isa.EDI, 0)
+	b.Jne("lookup")
+	b.MovReg(isa.ECX, isa.EDX)
+	b.ShrImm(isa.ECX, 18)
+	b.AndImm(isa.ECX, 1023)
+	b.StoreIdx(heapBase, isa.EBX, 4, isa.ECX)
+	b.Jmp("opnext")
+	b.Label("lookup").LoadIdx(isa.ECX, heapBase, isa.EBX, 4)
+	b.CmpImm(isa.ECX, 0)
+	b.Je("miss")
+	b.AddImm(isa.EAX, 1)
+	b.Add(isa.EAX, isa.ECX)
+	b.AndImm(isa.EAX, 0xffffff)
+	b.Jmp("opnext")
+	b.Label("miss").AddImm(isa.EAX, 3)
+	b.Label("opnext").AddImm(isa.EBP, 1)
+	b.Jmp("ops")
+	b.Label("odone")
+	kernelEpilogue(b)
+	return NativeKernel{Name: "vortex", Unit: b.Unit(),
+		TrainInput: []int64{500}, RefInput: []int64{50000}}
+}
+
+// VprLike: grid placement wirelength improvement sweeps (FPGA-shaped).
+func VprLike() NativeKernel {
+	const grid = 16
+	b := isa.NewBuilder()
+	kernelPrologue(b)
+	// net endpoints: net i connects cell i and cell (i*5+3)%(grid*grid).
+	b.MovImm(isa.EAX, 0)
+	b.MovImm(isa.EBP, 0)
+	b.Label("sweep").Cmp(isa.EBP, isa.ESI)
+	b.Jge("swdone")
+	b.MovImm(isa.ECX, 0)
+	b.Label("nets").CmpImm(isa.ECX, grid*grid)
+	b.Jge("netsd")
+	b.MovReg(isa.EBX, isa.ECX)
+	b.MulImm(isa.EBX, 5)
+	b.AddImm(isa.EBX, 3)
+	b.AndImm(isa.EBX, grid*grid-1)
+	// manhattan distance between (x1,y1) and (x2,y2)
+	b.MovReg(isa.EDI, isa.ECX)
+	b.AndImm(isa.EDI, grid-1) // x1
+	b.MovReg(isa.EDX, isa.EBX)
+	b.AndImm(isa.EDX, grid-1) // x2
+	b.Cmp(isa.EDI, isa.EDX)
+	b.Jge("dx_pos")
+	b.Sub(isa.EDX, isa.EDI)
+	b.Add(isa.EAX, isa.EDX)
+	b.Jmp("dy")
+	b.Label("dx_pos").Sub(isa.EDI, isa.EDX)
+	b.Add(isa.EAX, isa.EDI)
+	b.Label("dy").MovReg(isa.EDI, isa.ECX)
+	b.ShrImm(isa.EDI, 4) // y1
+	b.MovReg(isa.EDX, isa.EBX)
+	b.ShrImm(isa.EDX, 4) // y2
+	b.Cmp(isa.EDI, isa.EDX)
+	b.Jge("dy_pos")
+	b.Sub(isa.EDX, isa.EDI)
+	b.Add(isa.EAX, isa.EDX)
+	b.Jmp("netnext")
+	b.Label("dy_pos").Sub(isa.EDI, isa.EDX)
+	b.Add(isa.EAX, isa.EDI)
+	b.Label("netnext").AndImm(isa.EAX, 0xffffff)
+	b.AddImm(isa.ECX, 1)
+	b.Jmp("nets")
+	b.Label("netsd").AddImm(isa.EBP, 1)
+	b.Jmp("sweep")
+	b.Label("swdone")
+	kernelEpilogue(b)
+	return NativeKernel{Name: "vpr", Unit: b.Unit(),
+		TrainInput: []int64{20}, RefInput: []int64{2000}}
+}
+
+// NativeKernels returns the ten-kernel suite in SPEC name order.
+func NativeKernels() []NativeKernel {
+	return []NativeKernel{
+		Bzip2Like(),
+		CraftyLike(),
+		GapLike(),
+		GccLike(),
+		GzipLike(),
+		McfLike(),
+		ParserLike(),
+		TwolfLike(),
+		VortexLike(),
+		VprLike(),
+	}
+}

@@ -1,0 +1,73 @@
+package workloads
+
+import (
+	"fmt"
+	"math/rand"
+
+	"pathmark/internal/isa"
+)
+
+// PadKernel appends `instrs` pseudo-instructions of never-executed cold
+// code after the kernel's tail. Real SPEC binaries are hundreds of
+// kilobytes of which a given input touches a small fraction; the padding
+// gives the tiny synthetic kernels the same static/dynamic proportions so
+// that watermark size overheads (Figure 9a) are measured against a
+// realistically sized text section, and call-site islands spread across a
+// large address range as they would in a real binary.
+//
+// The padding is structured like real code — arithmetic runs broken by
+// unconditional jumps and rets — so the embedder finds no-fall-through
+// points and cold-jump tamper candidates inside it.
+func PadKernel(u *isa.Unit, instrs int, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	regs := []byte{isa.EAX, isa.EBX, isa.ECX, isa.EDX, isa.ESI, isa.EDI, isa.EBP}
+	serial := 0
+	for emitted := 0; emitted < instrs; {
+		// One cold "function": a run of arithmetic ending in ret, with
+		// internal jumps over sub-blocks.
+		blockLabel := fmt.Sprintf("__pad%d_%d", seed, serial)
+		serial++
+		u.Instrs = append(u.Instrs, isa.Ins{Op: isa.ONop, Label: blockLabel})
+		lenBlock := 8 + rng.Intn(40)
+		for j := 0; j < lenBlock; j++ {
+			r := regs[rng.Intn(len(regs))]
+			switch rng.Intn(6) {
+			case 0:
+				u.Instrs = append(u.Instrs, isa.Ins{Op: isa.OMovImm, R1: r, Imm: int64(rng.Intn(1 << 16))})
+			case 1:
+				u.Instrs = append(u.Instrs, isa.Ins{Op: isa.OAddImm, R1: r, Imm: int64(rng.Intn(1 << 12))})
+			case 2:
+				u.Instrs = append(u.Instrs, isa.Ins{Op: isa.OXor, R1: r, R2: regs[rng.Intn(len(regs))]})
+			case 3:
+				u.Instrs = append(u.Instrs, isa.Ins{Op: isa.OShlImm, R1: r, Imm: int64(1 + rng.Intn(7))})
+			case 4:
+				u.Instrs = append(u.Instrs, isa.Ins{Op: isa.OMovReg, R1: r, R2: regs[rng.Intn(len(regs))]})
+			default:
+				u.Instrs = append(u.Instrs, isa.Ins{Op: isa.OMulImm, R1: r, Imm: int64(rng.Intn(1<<8) | 1)})
+			}
+			emitted++
+			// Sparse internal unconditional jumps (cold-jump candidates
+			// and no-fall-through insertion points).
+			if rng.Intn(16) == 0 {
+				skip := fmt.Sprintf("__pad%d_%d_s", seed, serial)
+				serial++
+				u.Instrs = append(u.Instrs,
+					isa.Ins{Op: isa.OJmp, Target: skip},
+					isa.Ins{Op: isa.ONop, Label: skip})
+				emitted += 2
+			}
+		}
+		u.Instrs = append(u.Instrs, isa.Ins{Op: isa.ORet})
+		emitted++
+	}
+}
+
+// PaddedNativeKernels returns the kernel suite padded to a realistic text
+// size (the default used by the Figure 9 experiments).
+func PaddedNativeKernels(padInstrs int) []NativeKernel {
+	ks := NativeKernels()
+	for i := range ks {
+		PadKernel(ks[i].Unit, padInstrs, int64(1000+i))
+	}
+	return ks
+}

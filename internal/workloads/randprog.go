@@ -1,0 +1,198 @@
+package workloads
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"pathmark/internal/vm"
+)
+
+// RandProgOptions sizes RandomProgram.
+type RandProgOptions struct {
+	Methods    int // number of methods (default 6)
+	Statements int // statements per method body (default 25)
+	Seed       int64
+}
+
+func (o *RandProgOptions) defaults() {
+	if o.Methods == 0 {
+		o.Methods = 6
+	}
+	if o.Statements == 0 {
+		o.Statements = 25
+	}
+}
+
+// RandomProgram generates a pseudo-random, verified, always-terminating VM
+// program for property-based testing: every attack transformation and
+// every embedding must preserve its behavior and verifiability.
+//
+// Termination is guaranteed by construction: loops are counted with small
+// constant bounds, the call graph is a DAG (method i only calls j > i),
+// divisions have non-zero denominators, and array indices are masked to
+// the array length.
+type randProgGen struct {
+	rng *rand.Rand
+	sb  strings.Builder
+	// per-method state
+	method    int
+	nLocals   int // locals random statements may touch
+	label     int
+	depth     int
+	callsLeft int
+}
+
+// loopCounterSlots reserves one untouchable loop-counter local per nesting
+// depth, guaranteeing counted loops terminate no matter what their bodies
+// store.
+const loopCounterSlots = 3
+
+// RandomProgram builds the program described by opts.
+func RandomProgram(opts RandProgOptions) *vm.Program {
+	opts.defaults()
+	g := &randProgGen{rng: rand.New(rand.NewSource(opts.Seed))}
+	fmt.Fprintf(&g.sb, "statics %d\nentry m0\n", 2+g.rng.Intn(3))
+	for m := 0; m < opts.Methods; m++ {
+		g.method = m
+		g.nLocals = 3 + g.rng.Intn(3)
+		// At most two call statements per method, never inside a loop:
+		// with a DAG call graph this bounds total activations by 2^methods
+		// with small constants, keeping every generated program's runtime
+		// far below the property tests' step limits.
+		g.callsLeft = 2
+		// Arity convention shared with emitCall: method m takes m%3 args.
+		nArgs := 0
+		if m > 0 {
+			nArgs = calleeArity(m)
+		}
+		if g.nLocals < nArgs {
+			g.nLocals = nArgs
+		}
+		fmt.Fprintf(&g.sb, "method m%d %d %d\n", m, nArgs, g.nLocals+loopCounterSlots)
+		// Initialize non-argument locals deterministically.
+		for l := nArgs; l < g.nLocals; l++ {
+			fmt.Fprintf(&g.sb, "  const %d\n  store %d\n", g.rng.Intn(1000), l)
+		}
+		for s := 0; s < opts.Statements; s++ {
+			g.statement(opts.Methods)
+		}
+		// Return a combination of locals.
+		fmt.Fprintf(&g.sb, "  load %d\n  load %d\n  add\n  const 1048575\n  and\n  ret\n",
+			g.rng.Intn(g.nLocals), g.rng.Intn(g.nLocals))
+	}
+	return vm.MustAssemble(g.sb.String())
+}
+
+func (g *randProgGen) local() int { return g.rng.Intn(g.nLocals) }
+func (g *randProgGen) nextLabel() string {
+	g.label++
+	return fmt.Sprintf("L%d_%d", g.method, g.label)
+}
+
+// pushValue emits instructions leaving exactly one value on the stack.
+func (g *randProgGen) pushValue() {
+	switch g.rng.Intn(4) {
+	case 0:
+		fmt.Fprintf(&g.sb, "  const %d\n", g.rng.Intn(1<<16)-(1<<15))
+	case 1:
+		fmt.Fprintf(&g.sb, "  load %d\n", g.local())
+	case 2:
+		fmt.Fprintf(&g.sb, "  getstatic 0\n")
+	default:
+		fmt.Fprintf(&g.sb, "  load %d\n  const %d\n  xor\n", g.local(), g.rng.Intn(255))
+	}
+}
+
+func (g *randProgGen) statement(nMethods int) {
+	choice := g.rng.Intn(10)
+	// Avoid deep nesting.
+	if g.depth >= 2 && choice >= 7 {
+		choice = g.rng.Intn(7)
+	}
+	switch choice {
+	case 0, 1: // arithmetic: local = f(value, value)
+		g.pushValue()
+		g.pushValue()
+		ops := []string{"add", "sub", "mul", "and", "or", "xor"}
+		fmt.Fprintf(&g.sb, "  %s\n  store %d\n", ops[g.rng.Intn(len(ops))], g.local())
+	case 2: // guarded division (denominator (x&7)+1 is never zero)
+		g.pushValue()
+		g.pushValue()
+		fmt.Fprintf(&g.sb, "  const 7\n  and\n  const 1\n  add\n")
+		if g.rng.Intn(2) == 0 {
+			fmt.Fprintf(&g.sb, "  div\n")
+		} else {
+			fmt.Fprintf(&g.sb, "  rem\n")
+		}
+		fmt.Fprintf(&g.sb, "  store %d\n", g.local())
+	case 3: // static update
+		g.pushValue()
+		fmt.Fprintf(&g.sb, "  putstatic 0\n")
+	case 4: // print
+		g.pushValue()
+		fmt.Fprintf(&g.sb, "  print\n")
+	case 5: // shift with masked amount
+		g.pushValue()
+		fmt.Fprintf(&g.sb, "  const %d\n  shr\n  store %d\n", g.rng.Intn(8), g.local())
+	case 6: // call a later method (the call graph is a DAG)
+		if g.method+1 >= nMethods || g.depth > 0 || g.callsLeft == 0 {
+			g.pushValue()
+			fmt.Fprintf(&g.sb, "  pop\n")
+			return
+		}
+		g.callsLeft--
+		g.emitCall(nMethods)
+	case 7: // if/else
+		elseL, endL := g.nextLabel(), g.nextLabel()
+		g.pushValue()
+		conds := []string{"ifeq", "ifne", "iflt", "ifge", "ifgt", "ifle"}
+		fmt.Fprintf(&g.sb, "  %s %s\n", conds[g.rng.Intn(len(conds))], elseL)
+		g.depth++
+		g.statement(nMethods)
+		g.depth--
+		fmt.Fprintf(&g.sb, "  goto %s\n%s:\n", endL, elseL)
+		g.depth++
+		g.statement(nMethods)
+		g.depth--
+		fmt.Fprintf(&g.sb, "%s:\n", endL)
+	case 8: // counted loop, 1..6 iterations, on a reserved counter local
+		loopVar := g.nLocals + g.depth
+		headL, endL := g.nextLabel(), g.nextLabel()
+		n := 1 + g.rng.Intn(6)
+		fmt.Fprintf(&g.sb, "  const %d\n  store %d\n%s:\n  load %d\n  ifle %s\n",
+			n, loopVar, headL, loopVar, endL)
+		g.depth++
+		g.statement(nMethods)
+		g.depth--
+		fmt.Fprintf(&g.sb, "  load %d\n  const 1\n  sub\n  store %d\n  goto %s\n%s:\n",
+			loopVar, loopVar, headL, endL)
+	default: // array round-trip with masked index
+		arr := g.local()
+		fmt.Fprintf(&g.sb, "  const 16\n  newarr\n  store %d\n", arr)
+		fmt.Fprintf(&g.sb, "  load %d\n", arr)
+		g.pushValue()
+		fmt.Fprintf(&g.sb, "  const 15\n  and\n")
+		g.pushValue()
+		fmt.Fprintf(&g.sb, "  astore\n")
+		fmt.Fprintf(&g.sb, "  load %d\n", arr)
+		g.pushValue()
+		fmt.Fprintf(&g.sb, "  const 15\n  and\n  aload\n  store %d\n", g.local())
+	}
+}
+
+// emitCall invokes a later method under the arity convention: method m
+// (m > 0) takes m%3 arguments (matching the generator's declaration).
+func (g *randProgGen) emitCall(nMethods int) {
+	if g.method+1 >= nMethods {
+		return
+	}
+	callee := g.method + 1 + g.rng.Intn(nMethods-g.method-1)
+	for a := 0; a < calleeArity(callee); a++ {
+		g.pushValue()
+	}
+	fmt.Fprintf(&g.sb, "  call m%d\n", callee)
+	fmt.Fprintf(&g.sb, "  store %d\n", g.local())
+}
+
+func calleeArity(m int) int { return m % 3 }

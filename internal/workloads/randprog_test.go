@@ -1,0 +1,65 @@
+package workloads
+
+import (
+	"testing"
+
+	"pathmark/internal/vm"
+)
+
+func TestRandomProgramVerifiesAndTerminates(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		p := RandomProgram(RandProgOptions{Seed: seed})
+		if err := vm.Verify(p); err != nil {
+			t.Fatalf("seed %d: verify: %v", seed, err)
+		}
+		res, err := vm.Run(p, vm.RunOptions{StepLimit: 5_000_000})
+		if err != nil {
+			t.Fatalf("seed %d: run: %v", seed, err)
+		}
+		// Deterministic.
+		res2, err := vm.Run(p, vm.RunOptions{StepLimit: 5_000_000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !vm.SameBehavior(res, res2) {
+			t.Fatalf("seed %d: nondeterministic", seed)
+		}
+	}
+}
+
+func TestRandomProgramDistinctPerSeed(t *testing.T) {
+	a := RandomProgram(RandProgOptions{Seed: 1})
+	b := RandomProgram(RandProgOptions{Seed: 2})
+	if a.String() == b.String() {
+		t.Error("different seeds produced identical programs")
+	}
+}
+
+func TestRandomProgramSizes(t *testing.T) {
+	small := RandomProgram(RandProgOptions{Seed: 3, Methods: 2, Statements: 5})
+	big := RandomProgram(RandProgOptions{Seed: 3, Methods: 10, Statements: 60})
+	if big.CodeSize() <= small.CodeSize()*3 {
+		t.Errorf("size knobs ineffective: %d vs %d", small.CodeSize(), big.CodeSize())
+	}
+}
+
+func TestRandomProgramDumpRoundTrip(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		p := RandomProgram(RandProgOptions{Seed: seed})
+		p2, err := vm.Assemble(vm.Dump(p))
+		if err != nil {
+			t.Fatalf("seed %d: reassemble: %v", seed, err)
+		}
+		r1, err := vm.Run(p, vm.RunOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r2, err := vm.Run(p2, vm.RunOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !vm.SameBehavior(r1, r2) {
+			t.Fatalf("seed %d: dump/assemble changed behavior", seed)
+		}
+	}
+}

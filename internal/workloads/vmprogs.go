@@ -1,0 +1,457 @@
+// Package workloads provides the benchmark programs the experiments run:
+//
+//   - GCD: the paper's Figure 2 demonstration program;
+//   - CaffeineMark: a microbenchmark suite shaped like the CaffeineMark
+//     harness of §5.1 — small, with a high fraction of hot code;
+//   - JessLike: a generated large program shaped like SpecJVM's Jess —
+//     several hundred mostly-cold straight-line methods plus a small hot
+//     kernel, giving the low branch-execution density that makes random
+//     insertion points land in cold code;
+//   - ten SPEC-int-2000-named native kernels (nativeprogs.go) with
+//     distinct computational shapes and separate train/ref inputs.
+package workloads
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"pathmark/internal/vm"
+)
+
+// GCD returns the Figure 2 greatest-common-divisor program; it prints and
+// returns gcd(25, 10) = 5.
+func GCD() *vm.Program {
+	return vm.MustAssemble(`
+statics 0
+entry main
+method main 0 2
+  const 25
+  store 0
+  const 10
+  store 1
+loop:
+  load 0
+  load 1
+  rem
+  ifeq done
+  load 1
+  load 0
+  load 1
+  rem
+  store 1
+  store 0
+  goto loop
+done:
+  load 1
+  print
+  load 1
+  ret
+`)
+}
+
+// CaffeineMark returns the microbenchmark suite: six kernels (sieve, loop,
+// logic, string, method, float) whose scores are printed individually and
+// summed. Nearly all of its code is hot, mirroring the real CaffeineMark's
+// profile (§5.1.1: "a high percentage of the instructions ... are executed
+// frequently").
+func CaffeineMark() *vm.Program {
+	return vm.MustAssemble(caffeineMarkSrc)
+}
+
+const caffeineMarkSrc = `
+statics 1
+entry main
+
+method main 0 1
+  call sieve
+  dup
+  print
+  call loopmark
+  dup
+  print
+  add
+  call logic
+  dup
+  print
+  add
+  call stringmark
+  dup
+  print
+  add
+  call methodmark
+  dup
+  print
+  add
+  call floatmark
+  dup
+  print
+  add
+  dup
+  print
+  ret
+
+; SieveMark: count primes below 1000.
+method sieve 0 4
+  const 1000
+  newarr
+  store 0
+  const 2
+  store 1
+outer:
+  load 1
+  const 1000
+  ifcmpge done
+  load 0
+  load 1
+  aload
+  ifne next
+  load 3
+  const 1
+  add
+  store 3
+  load 1
+  const 2
+  mul
+  store 2
+inner:
+  load 2
+  const 1000
+  ifcmpge next
+  load 0
+  load 2
+  const 1
+  astore
+  load 2
+  load 1
+  add
+  store 2
+  goto inner
+next:
+  load 1
+  const 1
+  add
+  store 1
+  goto outer
+done:
+  load 3
+  ret
+
+; LoopMark: nested counted loops.
+method loopmark 0 3
+  const 0
+  store 0
+  const 0
+  store 1
+l1:
+  load 1
+  const 120
+  ifcmpge end
+  const 0
+  store 2
+l2:
+  load 2
+  const 80
+  ifcmpge l1inc
+  load 0
+  load 1
+  load 2
+  mul
+  add
+  store 0
+  load 2
+  const 1
+  add
+  store 2
+  goto l2
+l1inc:
+  load 1
+  const 1
+  add
+  store 1
+  goto l1
+end:
+  load 0
+  const 1048575
+  and
+  ret
+
+; LogicMark: boolean and shift operations.
+method logic 0 2
+  const 4660
+  store 0
+  const 0
+  store 1
+ll:
+  load 1
+  const 4000
+  ifcmpge ldone
+  load 0
+  const 13
+  xor
+  load 1
+  or
+  store 0
+  load 0
+  const 1
+  shl
+  const 65535
+  and
+  store 0
+  load 1
+  const 1
+  add
+  store 1
+  goto ll
+ldone:
+  load 0
+  ret
+
+; StringMark: build, reverse, and checksum a character array.
+method stringmark 0 5
+  const 256
+  newarr
+  store 0
+  const 0
+  store 1
+build:
+  load 1
+  const 256
+  ifcmpge rev
+  load 0
+  load 1
+  load 1
+  const 7
+  mul
+  const 31
+  add
+  const 255
+  and
+  astore
+  load 1
+  const 1
+  add
+  store 1
+  goto build
+rev:
+  const 0
+  store 1
+  const 255
+  store 2
+revloop:
+  load 1
+  load 2
+  ifcmpge sum
+  load 0
+  load 1
+  aload
+  store 3
+  load 0
+  load 1
+  load 0
+  load 2
+  aload
+  astore
+  load 0
+  load 2
+  load 3
+  astore
+  load 1
+  const 1
+  add
+  store 1
+  load 2
+  const 1
+  sub
+  store 2
+  goto revloop
+sum:
+  const 0
+  store 4
+  const 0
+  store 1
+sumloop:
+  load 1
+  const 256
+  ifcmpge sdone
+  load 4
+  load 0
+  load 1
+  aload
+  add
+  store 4
+  load 1
+  const 1
+  add
+  store 1
+  goto sumloop
+sdone:
+  load 4
+  ret
+
+; MethodMark: recursive call overhead (fib).
+method methodmark 0 0
+  const 17
+  call fib
+  ret
+method fib 1 1
+  load 0
+  const 2
+  ifcmplt fbase
+  load 0
+  const 1
+  sub
+  call fib
+  load 0
+  const 2
+  sub
+  call fib
+  add
+  ret
+fbase:
+  load 0
+  ret
+
+; FloatMark: fixed-point (16.16) multiply-accumulate.
+method floatmark 0 3
+  const 65536
+  store 0
+  const 0
+  store 1
+  const 0
+  store 2
+fl:
+  load 1
+  const 3000
+  ifcmpge fdone
+  load 0
+  const 65543
+  mul
+  const 16
+  shr
+  store 0
+  load 0
+  const 16777215
+  and
+  store 0
+  load 2
+  load 0
+  add
+  store 2
+  load 1
+  const 1
+  add
+  store 1
+  goto fl
+fdone:
+  load 2
+  const 1048575
+  and
+  ret
+`
+
+// JessLikeOptions sizes the generated large program.
+type JessLikeOptions struct {
+	Methods     int // number of cold straight-line methods (default 120)
+	BlockSize   int // arithmetic instructions per method (default 220)
+	HotIters    int // iterations of the small hot kernel (default 400)
+	BranchEvery int // one data-dependent branch per this many instrs (default 45)
+	Seed        int64
+}
+
+func (o *JessLikeOptions) defaults() {
+	if o.Methods == 0 {
+		o.Methods = 120
+	}
+	if o.BlockSize == 0 {
+		o.BlockSize = 220
+	}
+	if o.HotIters == 0 {
+		o.HotIters = 400
+	}
+	if o.BranchEvery == 0 {
+		o.BranchEvery = 45
+	}
+}
+
+// JessLike generates the large mostly-cold program. Every generated method
+// executes exactly once (like Jess's rule-network setup code); only the
+// small `hot` kernel loops. The program prints a deterministic checksum.
+func JessLike(opts JessLikeOptions) *vm.Program {
+	opts.defaults()
+	rng := rand.New(rand.NewSource(opts.Seed))
+	var sb strings.Builder
+	sb.WriteString("statics 1\nentry main\n")
+
+	// main: acc = 0; for each method m_i: acc += m_i(i); acc += hot(); print acc.
+	sb.WriteString("method main 0 1\n  const 0\n  store 0\n")
+	for i := 0; i < opts.Methods; i++ {
+		fmt.Fprintf(&sb, "  load 0\n  const %d\n  call m%d\n  add\n  store 0\n", i*7+1, i)
+	}
+	sb.WriteString("  load 0\n  call hot\n  add\n  store 0\n  load 0\n  print\n  load 0\n  ret\n")
+
+	// hot: small loop kernel.
+	fmt.Fprintf(&sb, `method hot 0 3
+  const 0
+  store 0
+  const 0
+  store 1
+hl:
+  load 1
+  const %d
+  ifcmpge hdone
+  load 0
+  load 1
+  const 3
+  mul
+  add
+  const 1048575
+  and
+  store 0
+  load 1
+  const 1
+  add
+  store 1
+  goto hl
+hdone:
+  load 0
+  ret
+`, opts.HotIters)
+
+	// Cold methods: long straight-line arithmetic with sparse branches.
+	for i := 0; i < opts.Methods; i++ {
+		fmt.Fprintf(&sb, "method m%d 1 4\n", i)
+		// Initialize locals from the argument.
+		sb.WriteString("  load 0\n  store 1\n  load 0\n  const 3\n  mul\n  store 2\n  const 0\n  store 3\n")
+		sinceBranch := 0
+		branchSerial := 0
+		for j := 0; j < opts.BlockSize; j++ {
+			r := rng.Intn(6)
+			v := rng.Intn(1 << 12)
+			switch r {
+			case 0:
+				fmt.Fprintf(&sb, "  load 1\n  const %d\n  add\n  store 1\n", v)
+			case 1:
+				fmt.Fprintf(&sb, "  load 2\n  const %d\n  xor\n  store 2\n", v)
+			case 2:
+				fmt.Fprintf(&sb, "  load 1\n  load 2\n  add\n  const 16777215\n  and\n  store 1\n")
+			case 3:
+				fmt.Fprintf(&sb, "  load 2\n  const %d\n  mul\n  const 16777215\n  and\n  store 2\n", v|1)
+			case 4:
+				fmt.Fprintf(&sb, "  load 3\n  load 1\n  add\n  store 3\n")
+			default:
+				fmt.Fprintf(&sb, "  load 1\n  const %d\n  or\n  const 1\n  shr\n  store 1\n", v)
+			}
+			sinceBranch += 4
+			if sinceBranch >= opts.BranchEvery {
+				sinceBranch = 0
+				// Data-dependent but deterministic branch.
+				fmt.Fprintf(&sb, "  load 1\n  const %d\n  and\n  ifeq b%d_%d\n  load 3\n  const 1\n  add\n  store 3\nb%d_%d:\n",
+					1<<uint(rng.Intn(8)), i, branchSerial, i, branchSerial)
+				branchSerial++
+			}
+		}
+		sb.WriteString("  load 1\n  load 2\n  add\n  load 3\n  add\n  const 1048575\n  and\n  ret\n")
+	}
+	return vm.MustAssemble(sb.String())
+}

@@ -1,0 +1,190 @@
+package workloads
+
+import (
+	"testing"
+
+	"pathmark/internal/isa"
+	"pathmark/internal/vm"
+)
+
+func TestGCD(t *testing.T) {
+	res, err := vm.Run(GCD(), vm.RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Return != 5 || len(res.Output) != 1 || res.Output[0] != 5 {
+		t.Errorf("gcd: return %d output %v, want 5 / [5]", res.Return, res.Output)
+	}
+}
+
+func TestCaffeineMarkRunsAndIsDeterministic(t *testing.T) {
+	p := CaffeineMark()
+	if err := vm.Verify(p); err != nil {
+		t.Fatal(err)
+	}
+	r1, err := vm.Run(p, vm.RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Six kernel scores plus the total.
+	if len(r1.Output) != 7 {
+		t.Fatalf("output has %d entries, want 7: %v", len(r1.Output), r1.Output)
+	}
+	// The sieve kernel counts 168 primes below 1000.
+	if r1.Output[0] != 168 {
+		t.Errorf("sieve score = %d, want 168", r1.Output[0])
+	}
+	// fib(17) = 1597.
+	if r1.Output[4] != 1597 {
+		t.Errorf("method score = %d, want 1597", r1.Output[4])
+	}
+	// Total is the sum of the six.
+	var sum int64
+	for _, v := range r1.Output[:6] {
+		sum += v
+	}
+	if r1.Output[6] != sum || r1.Return != sum {
+		t.Errorf("total %d (return %d), want %d", r1.Output[6], r1.Return, sum)
+	}
+	r2, err := vm.Run(p, vm.RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !vm.SameBehavior(r1, r2) {
+		t.Error("CaffeineMark is not deterministic")
+	}
+	// The suite must be hot: most instructions execute many times.
+	if r1.Steps < int64(p.CodeSize())*20 {
+		t.Errorf("CaffeineMark not hot enough: %d steps for %d instructions", r1.Steps, p.CodeSize())
+	}
+}
+
+func TestJessLikeShape(t *testing.T) {
+	p := JessLike(JessLikeOptions{Seed: 1})
+	if err := vm.Verify(p); err != nil {
+		t.Fatal(err)
+	}
+	r1, err := vm.Run(p, vm.RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r1.Output) != 1 {
+		t.Fatalf("output %v, want one checksum", r1.Output)
+	}
+	// Large and mostly cold: far more instructions than CaffeineMark, and
+	// a low dynamic/static ratio.
+	cm := CaffeineMark()
+	if p.CodeSize() < cm.CodeSize()*10 {
+		t.Errorf("JessLike size %d not >> CaffeineMark size %d", p.CodeSize(), cm.CodeSize())
+	}
+	ratio := float64(r1.Steps) / float64(p.CodeSize())
+	if ratio > 10 {
+		t.Errorf("JessLike dynamic/static ratio %.1f, want mostly-cold (<10)", ratio)
+	}
+	// Deterministic per seed, different across seeds.
+	p2 := JessLike(JessLikeOptions{Seed: 1})
+	r2, err := vm.Run(p2, vm.RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !vm.SameBehavior(r1, r2) {
+		t.Error("JessLike(seed=1) not deterministic")
+	}
+	p3 := JessLike(JessLikeOptions{Seed: 2})
+	r3, err := vm.Run(p3, vm.RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vm.SameBehavior(r1, r3) {
+		t.Error("JessLike ignores its seed")
+	}
+}
+
+func TestJessLikeBranchDensity(t *testing.T) {
+	p := JessLike(JessLikeOptions{Seed: 3})
+	density := float64(p.CountCondBranches()) / float64(p.CodeSize())
+	if density > 0.05 {
+		t.Errorf("branch density %.3f too high for a Jess-like profile", density)
+	}
+	if density == 0 {
+		t.Error("no conditional branches at all")
+	}
+}
+
+func TestNativeKernelsRunOnBothInputs(t *testing.T) {
+	kernels := NativeKernels()
+	if len(kernels) != 10 {
+		t.Fatalf("%d kernels, want 10", len(kernels))
+	}
+	seen := map[string]bool{}
+	for _, k := range kernels {
+		if seen[k.Name] {
+			t.Errorf("duplicate kernel name %q", k.Name)
+		}
+		seen[k.Name] = true
+		for _, input := range [][]int64{k.TrainInput, k.RefInput} {
+			res, err := isa.Execute(k.Unit, input, 0)
+			if err != nil {
+				t.Fatalf("%s input %v: %v", k.Name, input, err)
+			}
+			if len(res.Output) < 2 {
+				t.Errorf("%s: output %v, want checksum + tail marker", k.Name, res.Output)
+			}
+			// Deterministic.
+			res2, err := isa.Execute(k.Unit, input, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !isa.SameOutput(res, res2) {
+				t.Errorf("%s: nondeterministic", k.Name)
+			}
+		}
+		// Ref input must be substantially more work than train.
+		train, _ := isa.Execute(k.Unit, k.TrainInput, 0)
+		ref, _ := isa.Execute(k.Unit, k.RefInput, 0)
+		if ref.Steps < train.Steps*2 {
+			t.Errorf("%s: ref steps %d not >> train steps %d", k.Name, ref.Steps, train.Steps)
+		}
+	}
+}
+
+func TestNativeKernelsHaveEmbeddingPrerequisites(t *testing.T) {
+	for _, k := range NativeKernels() {
+		profile, err := isa.CollectProfile(k.Unit, k.TrainInput, 0)
+		if err != nil {
+			t.Fatalf("%s: profile: %v", k.Name, err)
+		}
+		// At least one executed unconditional jmp (the begin→end edge).
+		found := false
+		for i, in := range k.Unit.Instrs {
+			if in.Op == isa.OJmp && in.Target != "" && profile[i] >= 1 {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s: no executed unconditional jmp for the begin edge", k.Name)
+		}
+	}
+}
+
+func TestNativeKernelShapesDiffer(t *testing.T) {
+	// The kernels must be genuinely distinct workloads, not renames:
+	// compare dynamic profiles coarsely.
+	type shape struct {
+		steps  int64
+		output int64
+	}
+	seen := map[shape]string{}
+	for _, k := range NativeKernels() {
+		res, err := isa.Execute(k.Unit, k.TrainInput, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := shape{steps: res.Steps, output: res.Output[0]}
+		if prev, dup := seen[s]; dup {
+			t.Errorf("%s and %s have identical dynamic shape", k.Name, prev)
+		}
+		seen[s] = k.Name
+	}
+}
