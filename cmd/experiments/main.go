@@ -4,13 +4,18 @@
 //
 // Usage:
 //
-//	experiments [-quick] [-seed N] [-only fig5,fig8a,fig8b,fig8c,fig8d,javaattacks,fig9,nativeattacks]
+//	experiments [-quick] [-seed N] [-jobs N] [-only fig5,fig8a,fig8b,fig8c,fig8d,javaattacks,fig9,nativeattacks]
+//
+// Independent sweep points run concurrently on -jobs workers (0 = one per
+// CPU); every point seeds its RNG from its own index, so tables are
+// identical at every job count.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -20,10 +25,11 @@ import (
 func main() {
 	quick := flag.Bool("quick", false, "shrink sweeps and trial counts")
 	seed := flag.Int64("seed", 42, "experiment seed")
+	jobs := flag.Int("jobs", 0, "concurrent sweep points (0 = one per CPU, 1 = serial)")
 	only := flag.String("only", "", "comma-separated subset of experiments to run")
 	flag.Parse()
 
-	cfg := experiments.Config{Quick: *quick, Seed: *seed}
+	cfg := experiments.Config{Quick: *quick, Seed: *seed, Jobs: *jobs}
 	selected := map[string]bool{}
 	if *only != "" {
 		for _, name := range strings.Split(*only, ",") {
@@ -74,18 +80,30 @@ func main() {
 		}},
 	}
 
+	effectiveJobs := *jobs
+	if effectiveJobs <= 0 {
+		effectiveJobs = runtime.GOMAXPROCS(0)
+	}
 	ran := 0
+	var total time.Duration
 	for _, e := range suite {
 		if !want(e.name) {
 			continue
 		}
 		start := time.Now()
 		tables := e.run()
+		elapsed := time.Since(start).Round(time.Millisecond)
+		total += elapsed
 		for _, t := range tables {
 			fmt.Println(t.Render())
 		}
-		fmt.Printf("[%s completed in %v]\n\n", e.name, time.Since(start).Round(time.Millisecond))
+		// Wall-clock per table: the compute happens in e.run(), so a
+		// multi-table experiment (fig9) amortizes one run across tables.
+		fmt.Printf("[%s: %d table(s) in %v, jobs=%d]\n\n", e.name, len(tables), elapsed, effectiveJobs)
 		ran++
+	}
+	if ran > 1 {
+		fmt.Printf("[suite total: %v, jobs=%d]\n", total.Round(time.Millisecond), effectiveJobs)
 	}
 	if ran == 0 {
 		fmt.Fprintln(os.Stderr, "experiments: nothing selected")

@@ -4,7 +4,7 @@
 // Usage:
 //
 //	pathmark embed   -in prog.pasm -out marked.pasm -w 123456789 -wbits 128 [-pieces N] [-seed S] [-input 1,2,3]
-//	pathmark recognize -in marked.pasm -wbits 128 [-input 1,2,3]
+//	pathmark recognize -in marked.pasm -wbits 128 [-input 1,2,3] [-workers N]
 //	pathmark trace   -in prog.pasm [-input 1,2,3]      # dump the decoded bit-string
 //	pathmark attack  -in marked.pasm -out attacked.pasm -name branch-insertion [-seed S]
 //	pathmark attacks                                    # list the attack catalog
@@ -213,9 +213,10 @@ func cmdRecognize(args []string) {
 	fs := flag.NewFlagSet("recognize", flag.ExitOnError)
 	var c common
 	c.register(fs)
+	workers := fs.Int("workers", 0, "scan goroutines (0 = one per CPU, 1 = serial)")
 	fs.Parse(args)
 	p := c.loadProgram()
-	rec, err := wm.Recognize(p, c.wmKey())
+	rec, err := wm.RecognizeWithOpts(p, c.wmKey(), wm.RecognizeOpts{Workers: *workers})
 	if err != nil {
 		fatal(err)
 	}

@@ -115,13 +115,117 @@ func (b *Bits) Word64(i int) uint64 {
 	return v
 }
 
+// NumWindows64 returns the number of 64-bit windows in the vector:
+// max(0, Len()-63). Window starts range over [0, NumWindows64()).
+func (b *Bits) NumWindows64() int {
+	if b.n < 64 {
+		return 0
+	}
+	return b.n - 63
+}
+
 // Windows64 calls fn for every 64-bit window of the vector, in order of
 // starting index, stopping early if fn returns false. This is the
 // recognizer's sliding-window scan (B_0 = b_0..b_63, B_1 = b_1..b_64, ...).
 func (b *Bits) Windows64(fn func(start int, window uint64) bool) {
-	for i := 0; i+64 <= b.n; i++ {
-		if !fn(i, b.Word64(i)) {
+	b.Windows64Range(0, b.NumWindows64(), fn)
+}
+
+// Windows64Range calls fn for every 64-bit window whose starting index lies
+// in [lo, hi), clamped to the valid range, stopping early if fn returns
+// false. The window is maintained incrementally (one shift+or per step
+// instead of a per-index Word64 reassembly), and disjoint ranges make the
+// scan shardable across workers.
+func (b *Bits) Windows64Range(lo, hi int, fn func(start int, window uint64) bool) {
+	if lo < 0 {
+		lo = 0
+	}
+	if max := b.NumWindows64(); hi > max {
+		hi = max
+	}
+	if lo >= hi {
+		return
+	}
+	w := b.Word64(lo)
+	for start := lo; ; {
+		if !fn(start, w) {
 			return
+		}
+		start++
+		if start >= hi {
+			return
+		}
+		// Roll: drop bit start-1, admit bit start+63 at the top.
+		i := start + 63
+		w >>= 1
+		if b.words[i>>6]&(1<<uint(i&63)) != 0 {
+			w |= 1 << 63
+		}
+	}
+}
+
+// StrideLen returns the length of the stride-k, phase-p subsequence that
+// Stride would materialize, without building it.
+func (b *Bits) StrideLen(k, phase int) int {
+	if k <= 0 || phase < 0 || phase >= k {
+		panic(fmt.Sprintf("bitstring: invalid stride %d phase %d", k, phase))
+	}
+	if phase >= b.n {
+		return 0
+	}
+	return (b.n - phase + k - 1) / k
+}
+
+// StrideNumWindows64 returns the number of 64-bit windows of the stride-k,
+// phase-p subsequence: max(0, StrideLen(k,phase)-63).
+func (b *Bits) StrideNumWindows64(k, phase int) int {
+	if n := b.StrideLen(k, phase); n >= 64 {
+		return n - 63
+	}
+	return 0
+}
+
+// StrideWindows64 calls fn for every 64-bit window of the stride-k,
+// phase-p subsequence, in order. It is equivalent to
+// b.Stride(k, phase).Windows64(fn) but reads bits directly from the
+// underlying words instead of materializing a new vector.
+func (b *Bits) StrideWindows64(k, phase int, fn func(start int, window uint64) bool) {
+	b.StrideWindows64Range(k, phase, 0, b.StrideNumWindows64(k, phase), fn)
+}
+
+// StrideWindows64Range is the [lo, hi)-clamped, shardable variant of
+// StrideWindows64: window start indices are positions in the stride
+// subsequence, so window j covers raw bits phase+k*j .. phase+k*(j+63).
+func (b *Bits) StrideWindows64Range(k, phase, lo, hi int, fn func(start int, window uint64) bool) {
+	if lo < 0 {
+		lo = 0
+	}
+	if max := b.StrideNumWindows64(k, phase); hi > max {
+		hi = max
+	}
+	if lo >= hi {
+		return
+	}
+	// Gather the first window bit-by-bit, then roll.
+	var w uint64
+	for j := 0; j < 64; j++ {
+		i := phase + k*(lo+j)
+		if b.words[i>>6]&(1<<uint(i&63)) != 0 {
+			w |= 1 << uint(j)
+		}
+	}
+	for start := lo; ; {
+		if !fn(start, w) {
+			return
+		}
+		start++
+		if start >= hi {
+			return
+		}
+		i := phase + k*(start+63)
+		w >>= 1
+		if b.words[i>>6]&(1<<uint(i&63)) != 0 {
+			w |= 1 << 63
 		}
 	}
 }
@@ -163,10 +267,7 @@ func (b *Bits) Count() int {
 // to the full string, because the rolled loop generator interleaves its
 // constant loop-control bit with the payload at stride 2.
 func (b *Bits) Stride(k, phase int) *Bits {
-	if k <= 0 || phase < 0 || phase >= k {
-		panic(fmt.Sprintf("bitstring: invalid stride %d phase %d", k, phase))
-	}
-	out := New((b.n-phase+k-1)/k + 1)
+	out := New(b.StrideLen(k, phase))
 	for i := phase; i < b.n; i += k {
 		out.Append(b.Bit(i))
 	}

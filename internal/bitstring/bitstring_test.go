@@ -183,6 +183,148 @@ func TestStride(t *testing.T) {
 	}
 }
 
+func TestStrideExactSizing(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, n := range []int{0, 1, 2, 63, 64, 65, 127, 128, 129, 300} {
+		b := New(n)
+		for i := 0; i < n; i++ {
+			b.Append(rng.Intn(2) == 1)
+		}
+		for _, c := range []struct{ k, phase int }{{1, 0}, {2, 0}, {2, 1}, {3, 2}, {7, 5}} {
+			s := b.Stride(c.k, c.phase)
+			want := b.StrideLen(c.k, c.phase)
+			if s.Len() != want {
+				t.Fatalf("n=%d Stride(%d,%d).Len() = %d, want %d", n, c.k, c.phase, s.Len(), want)
+			}
+			// The pre-sized capacity must be exact: no over-allocation.
+			if wantWords := (want + 63) / 64; cap(s.words) != wantWords {
+				t.Errorf("n=%d Stride(%d,%d) allocated %d words, want %d",
+					n, c.k, c.phase, cap(s.words), wantWords)
+			}
+		}
+	}
+}
+
+// refWindows collects windows via per-index Word64 reassembly — the
+// reference the rolling implementations must match.
+func refWindows(b *Bits) map[int]uint64 {
+	out := map[int]uint64{}
+	for i := 0; i+64 <= b.Len(); i++ {
+		out[i] = b.Word64(i)
+	}
+	return out
+}
+
+func TestWindows64RollingMatchesWord64(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, n := range []int{0, 63, 64, 65, 200, 513} {
+		b := New(n)
+		for i := 0; i < n; i++ {
+			b.Append(rng.Intn(2) == 1)
+		}
+		want := refWindows(b)
+		got := 0
+		b.Windows64(func(start int, w uint64) bool {
+			if want[start] != w {
+				t.Fatalf("n=%d: window %d = %#x, want %#x", n, start, w, want[start])
+			}
+			got++
+			return true
+		})
+		if got != len(want) || got != b.NumWindows64() {
+			t.Errorf("n=%d: %d windows, want %d (NumWindows64=%d)", n, got, len(want), b.NumWindows64())
+		}
+	}
+}
+
+func TestWindows64RangeShardingCoversAll(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	b := New(0)
+	for i := 0; i < 500; i++ {
+		b.Append(rng.Intn(2) == 1)
+	}
+	want := refWindows(b)
+	// Shard the scan into uneven chunks; the union must equal the full scan.
+	seen := map[int]uint64{}
+	for _, r := range [][2]int{{-10, 100}, {100, 101}, {101, 350}, {350, 1 << 30}} {
+		b.Windows64Range(r[0], r[1], func(start int, w uint64) bool {
+			if _, dup := seen[start]; dup {
+				t.Fatalf("window %d visited twice", start)
+			}
+			seen[start] = w
+			return true
+		})
+	}
+	if len(seen) != len(want) {
+		t.Fatalf("sharded scan saw %d windows, want %d", len(seen), len(want))
+	}
+	for start, w := range want {
+		if seen[start] != w {
+			t.Errorf("window %d = %#x, want %#x", start, seen[start], w)
+		}
+	}
+	// Empty and inverted ranges yield nothing.
+	b.Windows64Range(10, 10, func(int, uint64) bool { t.Fatal("empty range"); return false })
+	b.Windows64Range(20, 10, func(int, uint64) bool { t.Fatal("inverted range"); return false })
+}
+
+func TestStrideWindows64MatchesMaterialized(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for _, n := range []int{0, 64, 127, 128, 129, 260, 401} {
+		b := New(n)
+		for i := 0; i < n; i++ {
+			b.Append(rng.Intn(2) == 1)
+		}
+		for _, c := range []struct{ k, phase int }{{1, 0}, {2, 0}, {2, 1}, {3, 1}} {
+			want := refWindows(b.Stride(c.k, c.phase))
+			got := 0
+			b.StrideWindows64(c.k, c.phase, func(start int, w uint64) bool {
+				if want[start] != w {
+					t.Fatalf("n=%d stride(%d,%d): window %d = %#x, want %#x",
+						n, c.k, c.phase, start, w, want[start])
+				}
+				got++
+				return true
+			})
+			if got != len(want) || got != b.StrideNumWindows64(c.k, c.phase) {
+				t.Errorf("n=%d stride(%d,%d): %d windows, want %d", n, c.k, c.phase, got, len(want))
+			}
+		}
+	}
+}
+
+func TestStrideWindows64RangeAndEarlyStop(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	b := New(0)
+	for i := 0; i < 400; i++ {
+		b.Append(rng.Intn(2) == 1)
+	}
+	want := refWindows(b.Stride(2, 1))
+	seen := map[int]uint64{}
+	for _, r := range [][2]int{{0, 50}, {50, 1 << 30}} {
+		b.StrideWindows64Range(2, 1, r[0], r[1], func(start int, w uint64) bool {
+			seen[start] = w
+			return true
+		})
+	}
+	if len(seen) != len(want) {
+		t.Fatalf("sharded stride scan saw %d windows, want %d", len(seen), len(want))
+	}
+	for start, w := range want {
+		if seen[start] != w {
+			t.Errorf("stride window %d = %#x, want %#x", start, seen[start], w)
+		}
+	}
+	n := 0
+	b.StrideWindows64(2, 0, func(int, uint64) bool {
+		n++
+		return n < 3
+	})
+	if n != 3 {
+		t.Errorf("stride early stop after %d windows, want 3", n)
+	}
+}
+
 func TestStrideInterleavedWordRecovery(t *testing.T) {
 	// The recognizer's use case: payload bits interleaved with constant
 	// control bits at stride 2 must be recoverable as a contiguous word

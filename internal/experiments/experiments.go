@@ -7,7 +7,11 @@ package experiments
 
 import (
 	"fmt"
+	"hash/fnv"
+	"runtime"
 	"strings"
+	"sync"
+	"sync/atomic"
 )
 
 // Config scales the experiment suite.
@@ -16,6 +20,64 @@ type Config struct {
 	Quick bool
 	// Seed drives all randomized parts; experiments are reproducible.
 	Seed int64
+	// Jobs bounds the worker pool independent sweep points run on:
+	// 0 picks runtime.GOMAXPROCS(0), 1 forces the serial path. Every
+	// randomized point derives its seed from Seed and its own identity —
+	// pointSeed(Seed, table, index) for Monte-Carlo points, Seed plus the
+	// sweep parameter for figure-8 points — never from a shared rand.Rand,
+	// so tables are identical at every job count.
+	Jobs int
+}
+
+// jobs resolves the effective worker count.
+func (cfg Config) jobs() int {
+	if cfg.Jobs > 0 {
+		return cfg.Jobs
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// forEach runs fn(i) for every i in [0, n) on a bounded pool of cfg.Jobs
+// workers. fn must confine its writes to index-i slots of pre-sized
+// result slices; callers then assemble rows in index order, keeping
+// output deterministic regardless of scheduling.
+func (cfg Config) forEach(n int, fn func(i int)) {
+	workers := cfg.jobs()
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// pointSeed derives the deterministic RNG seed for sweep point `point` of
+// the named table: a hash of (base seed, table name, point index). Points
+// are seeded independently of execution order, which is what lets the
+// pool run them concurrently without changing any table.
+func pointSeed(base int64, table string, point int) int64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d/%s/%d", base, table, point)
+	return int64(h.Sum64() & (1<<63 - 1))
 }
 
 // Table is a rendered experiment result.

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 )
@@ -171,6 +172,46 @@ func TestNativeAttacksTableMatchesPaper(t *testing.T) {
 	}
 	if !strings.Contains(rr.Extra, "smart tracer recovered") {
 		t.Errorf("reroute extra missing tracer outcomes: %q", rr.Extra)
+	}
+}
+
+// TestJobsDeterminism is the concurrency engine's core guarantee: every
+// table renders byte-for-byte identically at any job count, because sweep
+// points seed their RNGs from their own index rather than a shared
+// rand.Rand.
+func TestJobsDeterminism(t *testing.T) {
+	serial := Config{Quick: true, Seed: 42, Jobs: 1}
+	pooled := Config{Quick: true, Seed: 42, Jobs: 4}
+	render := func(cfg Config) []string {
+		_, t5 := Figure5(cfg)
+		_, t8b := Figure8b(cfg)
+		_, t8d := Figure8d(cfg)
+		return []string{t5.Render(), t8b.Render(), t8d.Render()}
+	}
+	a, b := render(serial), render(pooled)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Errorf("table %d differs between jobs=1 and jobs=4:\n--- serial ---\n%s\n--- pooled ---\n%s", i, a[i], b[i])
+		}
+	}
+}
+
+func TestPointSeedStableAndDistinct(t *testing.T) {
+	if pointSeed(42, "fig5", 3) != pointSeed(42, "fig5", 3) {
+		t.Error("pointSeed not deterministic")
+	}
+	seen := map[int64]string{}
+	for _, table := range []string{"fig5", "fig8a", "fig8b"} {
+		for i := 0; i < 50; i++ {
+			s := pointSeed(42, table, i)
+			if s < 0 {
+				t.Fatalf("pointSeed(%s,%d) = %d, want non-negative", table, i, s)
+			}
+			if prev, dup := seen[s]; dup {
+				t.Fatalf("seed collision: %s/%d vs %s", table, i, prev)
+			}
+			seen[s] = fmt.Sprintf("%s/%d", table, i)
+		}
 	}
 }
 

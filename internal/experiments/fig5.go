@@ -23,7 +23,6 @@ type Fig5Point struct {
 // prime basis; a subset of edges (pair statements) survives and recovery
 // succeeds exactly when reconstruction reaches the full modulus.
 func Figure5(cfg Config) ([]Fig5Point, *Table) {
-	rng := rand.New(rand.NewSource(cfg.Seed))
 	key, err := wm.NewKey(nil, cipherKey(), 768)
 	if err != nil {
 		panic(err)
@@ -47,8 +46,16 @@ func Figure5(cfg Config) ([]Fig5Point, *Table) {
 	}
 
 	maxW := key.Params.MaxWatermark()
-	var points []Fig5Point
+	var intacts []int
 	for intact := 0; intact <= total; intact += step {
+		intacts = append(intacts, intact)
+	}
+	// Monte-Carlo points are independent: each x-position gets its own
+	// point-derived RNG and runs on the pool.
+	points := make([]Fig5Point, len(intacts))
+	cfg.forEach(len(intacts), func(pi int) {
+		intact := intacts[pi]
+		rng := rand.New(rand.NewSource(pointSeed(cfg.Seed, "fig5", pi)))
 		hits := 0
 		for t := 0; t < trials; t++ {
 			idx := rng.Perm(total)[:intact]
@@ -64,12 +71,12 @@ func Figure5(cfg Config) ([]Fig5Point, *Table) {
 				hits++
 			}
 		}
-		points = append(points, Fig5Point{
+		points[pi] = Fig5Point{
 			Intact:      intact,
 			Empirical:   float64(hits) / float64(trials),
 			Theoretical: stats.RecoveryProbability(r, intact),
-		})
-	}
+		}
+	})
 
 	table := &Table{
 		Title:   "Figure 5: pieces recovered intact vs. probability of successful recovery (768-bit W)",

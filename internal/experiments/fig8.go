@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"math/big"
 	"math/rand"
 
 	"pathmark/internal/attacks"
@@ -14,21 +15,28 @@ func cipherKey() feistel.Key {
 	return feistel.KeyFromUint64(0x70617468_6d61726b, 0x504c4449_32303034)
 }
 
+// namedProg pairs a workload with its display name; experiments iterate a
+// slice (not a map) so row order is deterministic.
+type namedProg struct {
+	name string
+	prog *vm.Program
+}
+
 // javaWorkloads returns the two §5.1 hosts: the hot CaffeineMark-like
 // suite and the large cold Jess-like program. hotIters sizes Jess's hot
 // kernel: timing experiments need a realistic dynamic baseline (real Jess
 // runs billions of instructions, dwarfing per-piece emission cost), while
 // resilience experiments only care about the static shape and use a small
 // kernel to keep tracing fast.
-func javaWorkloads(cfg Config, hotIters int) map[string]*vm.Program {
+func javaWorkloads(cfg Config, hotIters int) []namedProg {
 	jessOpts := workloads.JessLikeOptions{Seed: cfg.Seed, HotIters: hotIters}
 	if cfg.Quick {
 		jessOpts.Methods = 40
 		jessOpts.BlockSize = 120
 	}
-	return map[string]*vm.Program{
-		"CaffeineMark": workloads.CaffeineMark(),
-		"Jess":         workloads.JessLike(jessOpts),
+	return []namedProg{
+		{"CaffeineMark", workloads.CaffeineMark()},
+		{"Jess", workloads.JessLike(jessOpts)},
 	}
 }
 
@@ -72,9 +80,10 @@ type Fig8aPoint struct {
 
 // Figure8a reproduces Figure 8(a): slowdown vs. pieces inserted for the
 // CaffeineMark-like and Jess-like workloads. The deterministic instruction
-// count of the VM is the time metric.
+// count of the VM is the time metric. Baselines run once per workload;
+// the (wbits, workload, pieces) sweep points are independent and run on
+// the job pool.
 func Figure8a(cfg Config) ([]Fig8aPoint, *Table) {
-	var points []Fig8aPoint
 	table := &Table{
 		Title:   "Figure 8(a): slowdown vs. number of pieces inserted",
 		Columns: []string{"workload", "wbits", "pieces", "slowdown"},
@@ -83,39 +92,59 @@ func Figure8a(cfg Config) ([]Fig8aPoint, *Table) {
 			"expected shape: CaffeineMark rises steeply once hot blocks are hit; Jess stays near zero",
 		},
 	}
+	hosts := javaWorkloads(cfg, jessTimingHotIters(cfg))
+	bases := make([]int64, len(hosts))
+	cfg.forEach(len(hosts), func(hi int) {
+		res, err := vm.Run(hosts[hi].prog, vm.RunOptions{StepLimit: 2_000_000_000})
+		if err != nil {
+			panic(err)
+		}
+		bases[hi] = res.Steps
+	})
+
+	type job struct {
+		host   int
+		wbits  int
+		key    *wm.Key
+		w      *big.Int
+		pieces int
+	}
+	var jobs []job
 	for _, wbits := range []int{128, 256, 512} {
 		if cfg.Quick && wbits != 128 {
 			continue
 		}
-		for name, prog := range javaWorkloads(cfg, jessTimingHotIters(cfg)) {
-			base, err := vm.Run(prog, vm.RunOptions{StepLimit: 2_000_000_000})
-			if err != nil {
-				panic(err)
-			}
-			key, err := wm.NewKey(nil, cipherKey(), wbits)
-			if err != nil {
-				panic(err)
-			}
-			w := wm.RandomWatermark(wbits, uint64(cfg.Seed)+uint64(wbits))
+		key, err := wm.NewKey(nil, cipherKey(), wbits)
+		if err != nil {
+			panic(err)
+		}
+		w := wm.RandomWatermark(wbits, uint64(cfg.Seed)+uint64(wbits))
+		for hi := range hosts {
 			for _, pieces := range pieceSweep(cfg, key) {
-				marked, _, err := wm.Embed(prog, w, key, wm.EmbedOptions{
-					Pieces: pieces, Seed: cfg.Seed + int64(pieces),
-				})
-				if err != nil {
-					panic(err)
-				}
-				res, err := vm.Run(marked, vm.RunOptions{StepLimit: 2_000_000_000})
-				if err != nil {
-					panic(err)
-				}
-				p := Fig8aPoint{
-					Workload: name, WBits: wbits, Pieces: pieces,
-					Slowdown: float64(res.Steps-base.Steps) / float64(base.Steps),
-				}
-				points = append(points, p)
-				table.Rows = append(table.Rows, []string{name, itoa(wbits), itoa(pieces), pct(p.Slowdown)})
+				jobs = append(jobs, job{hi, wbits, key, w, pieces})
 			}
 		}
+	}
+	points := make([]Fig8aPoint, len(jobs))
+	cfg.forEach(len(jobs), func(ji int) {
+		j := jobs[ji]
+		marked, _, err := wm.Embed(hosts[j.host].prog, j.w, j.key, wm.EmbedOptions{
+			Pieces: j.pieces, Seed: cfg.Seed + int64(j.pieces),
+		})
+		if err != nil {
+			panic(err)
+		}
+		res, err := vm.Run(marked, vm.RunOptions{StepLimit: 2_000_000_000})
+		if err != nil {
+			panic(err)
+		}
+		points[ji] = Fig8aPoint{
+			Workload: hosts[j.host].name, WBits: j.wbits, Pieces: j.pieces,
+			Slowdown: float64(res.Steps-bases[j.host]) / float64(bases[j.host]),
+		}
+	})
+	for _, p := range points {
+		table.Rows = append(table.Rows, []string{p.Workload, itoa(p.WBits), itoa(p.Pieces), pct(p.Slowdown)})
 	}
 	return points, table
 }
@@ -133,7 +162,6 @@ type Fig8bPoint struct {
 // instructions and the rolled loop generator costs a comparable small
 // constant per piece.
 func Figure8b(cfg Config) ([]Fig8bPoint, *Table) {
-	var points []Fig8bPoint
 	table := &Table{
 		Title:   "Figure 8(b): size increase vs. number of pieces inserted",
 		Columns: []string{"workload", "pieces", "size increase", "instrs/piece"},
@@ -144,23 +172,33 @@ func Figure8b(cfg Config) ([]Fig8bPoint, *Table) {
 		panic(err)
 	}
 	w := wm.RandomWatermark(512, uint64(cfg.Seed)+99)
-	for name, prog := range javaWorkloads(cfg, 0) {
-		for _, pieces := range pieceSweep(cfg, key) {
-			_, report, err := wm.Embed(prog, w, key, wm.EmbedOptions{
-				Pieces: pieces, Seed: cfg.Seed + int64(pieces),
-			})
-			if err != nil {
-				panic(err)
-			}
-			p := Fig8bPoint{
-				Workload:      name,
-				Pieces:        pieces,
-				SizeIncrease:  report.SizeIncrease(),
-				InstrPerPiece: float64(report.EmbeddedSize-report.OriginalSize) / float64(pieces),
-			}
-			points = append(points, p)
-			table.Rows = append(table.Rows, []string{name, itoa(pieces), pct(p.SizeIncrease), f64(p.InstrPerPiece)})
+	hosts := javaWorkloads(cfg, 0)
+	sweep := pieceSweep(cfg, key)
+	type job struct{ host, pieces int }
+	var jobs []job
+	for hi := range hosts {
+		for _, pieces := range sweep {
+			jobs = append(jobs, job{hi, pieces})
 		}
+	}
+	points := make([]Fig8bPoint, len(jobs))
+	cfg.forEach(len(jobs), func(ji int) {
+		j := jobs[ji]
+		_, report, err := wm.Embed(hosts[j.host].prog, w, key, wm.EmbedOptions{
+			Pieces: j.pieces, Seed: cfg.Seed + int64(j.pieces),
+		})
+		if err != nil {
+			panic(err)
+		}
+		points[ji] = Fig8bPoint{
+			Workload:      hosts[j.host].name,
+			Pieces:        j.pieces,
+			SizeIncrease:  report.SizeIncrease(),
+			InstrPerPiece: float64(report.EmbeddedSize-report.OriginalSize) / float64(j.pieces),
+		}
+	})
+	for _, p := range points {
+		table.Rows = append(table.Rows, []string{p.Workload, itoa(p.Pieces), pct(p.SizeIncrease), f64(p.InstrPerPiece)})
 	}
 	return points, table
 }
@@ -176,9 +214,10 @@ type Fig8cPoint struct {
 // Figure8c reproduces Figure 8(c): survivable random branch insertion vs.
 // pieces inserted, per watermark size, on the Jess-like host. For each
 // configuration the attack strength sweeps upward until recognition fails;
-// the last surviving level is reported.
+// the last surviving level is reported. Configurations are independent and
+// run on the job pool; the attack stream at a given level is derived from
+// (seed, level) so every configuration faces the same escalation.
 func Figure8c(cfg Config) ([]Fig8cPoint, *Table) {
-	var points []Fig8cPoint
 	table := &Table{
 		Title:   "Figure 8(c): survivable branch insertion (%) vs. pieces inserted",
 		Columns: []string{"wbits", "pieces", "survives up to"},
@@ -201,6 +240,13 @@ func Figure8c(cfg Config) ([]Fig8cPoint, *Table) {
 		sweeps = map[int][]int{128: {16, 96}}
 	}
 	prog := workloads.JessLike(jessOpts)
+	type job struct {
+		wbits  int
+		key    *wm.Key
+		w      *big.Int
+		pieces int
+	}
+	var jobs []job
 	for _, wbits := range []int{128, 256, 512} {
 		pieceCounts, ok := sweeps[wbits]
 		if !ok {
@@ -212,30 +258,36 @@ func Figure8c(cfg Config) ([]Fig8cPoint, *Table) {
 		}
 		w := wm.RandomWatermark(wbits, uint64(cfg.Seed)+uint64(wbits)*3)
 		for _, pieces := range pieceCounts {
-			marked, _, err := wm.Embed(prog, w, key, wm.EmbedOptions{
-				Pieces: pieces, Seed: cfg.Seed + int64(pieces), Policy: wm.GenLoopOnly,
-			})
+			jobs = append(jobs, job{wbits, key, w, pieces})
+		}
+	}
+	points := make([]Fig8cPoint, len(jobs))
+	cfg.forEach(len(jobs), func(ji int) {
+		j := jobs[ji]
+		marked, _, err := wm.Embed(prog, j.w, j.key, wm.EmbedOptions{
+			Pieces: j.pieces, Seed: cfg.Seed + int64(j.pieces), Policy: wm.GenLoopOnly,
+		})
+		if err != nil {
+			panic(err)
+		}
+		survived := 0.0
+		for _, level := range levels {
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(level*100)))
+			attacked := attacks.InsertRandomBranches(marked, rng, level)
+			rec, err := wm.Recognize(attacked, j.key)
 			if err != nil {
 				panic(err)
 			}
-			survived := 0.0
-			for _, level := range levels {
-				rng := rand.New(rand.NewSource(cfg.Seed + int64(level*100)))
-				attacked := attacks.InsertRandomBranches(marked, rng, level)
-				rec, err := wm.Recognize(attacked, key)
-				if err != nil {
-					panic(err)
-				}
-				if rec.Matches(w) {
-					survived = level
-				} else {
-					break
-				}
+			if rec.Matches(j.w) {
+				survived = level
+			} else {
+				break
 			}
-			p := Fig8cPoint{WBits: wbits, Pieces: pieces, SurvivableBranchPct: survived}
-			points = append(points, p)
-			table.Rows = append(table.Rows, []string{itoa(wbits), itoa(pieces), pct(survived)})
 		}
+		points[ji] = Fig8cPoint{WBits: j.wbits, Pieces: j.pieces, SurvivableBranchPct: survived}
+	})
+	for _, p := range points {
+		table.Rows = append(table.Rows, []string{itoa(p.WBits), itoa(p.Pieces), pct(p.SurvivableBranchPct)})
 	}
 	return points, table
 }
@@ -251,7 +303,6 @@ type Fig8dPoint struct {
 // Figure8d reproduces Figure 8(d): slowdown caused by the branch insertion
 // attack, as a function of the branch increase fraction.
 func Figure8d(cfg Config) ([]Fig8dPoint, *Table) {
-	var points []Fig8dPoint
 	table := &Table{
 		Title:   "Figure 8(d): attack cost — slowdown vs. branch increase",
 		Columns: []string{"workload", "branch increase", "slowdown"},
@@ -261,26 +312,42 @@ func Figure8d(cfg Config) ([]Fig8dPoint, *Table) {
 	if cfg.Quick {
 		levels = []float64{0, 2}
 	}
-	for name, prog := range javaWorkloads(cfg, 0) {
-		base, err := vm.Run(prog, vm.RunOptions{})
+	hosts := javaWorkloads(cfg, 0)
+	bases := make([]int64, len(hosts))
+	cfg.forEach(len(hosts), func(hi int) {
+		res, err := vm.Run(hosts[hi].prog, vm.RunOptions{})
 		if err != nil {
 			panic(err)
 		}
+		bases[hi] = res.Steps
+	})
+	type job struct {
+		host  int
+		level float64
+	}
+	var jobs []job
+	for hi := range hosts {
 		for _, level := range levels {
-			rng := rand.New(rand.NewSource(cfg.Seed + int64(level)))
-			attacked := attacks.InsertRandomBranches(prog, rng, level)
-			res, err := vm.Run(attacked, vm.RunOptions{StepLimit: 2_000_000_000})
-			if err != nil {
-				panic(err)
-			}
-			p := Fig8dPoint{
-				Workload:       name,
-				BranchIncrease: level,
-				Slowdown:       float64(res.Steps-base.Steps) / float64(base.Steps),
-			}
-			points = append(points, p)
-			table.Rows = append(table.Rows, []string{name, pct(level), pct(p.Slowdown)})
+			jobs = append(jobs, job{hi, level})
 		}
+	}
+	points := make([]Fig8dPoint, len(jobs))
+	cfg.forEach(len(jobs), func(ji int) {
+		j := jobs[ji]
+		rng := rand.New(rand.NewSource(cfg.Seed + int64(j.level)))
+		attacked := attacks.InsertRandomBranches(hosts[j.host].prog, rng, j.level)
+		res, err := vm.Run(attacked, vm.RunOptions{StepLimit: 2_000_000_000})
+		if err != nil {
+			panic(err)
+		}
+		points[ji] = Fig8dPoint{
+			Workload:       hosts[j.host].name,
+			BranchIncrease: j.level,
+			Slowdown:       float64(res.Steps-bases[j.host]) / float64(bases[j.host]),
+		}
+	})
+	for _, p := range points {
+		table.Rows = append(table.Rows, []string{p.Workload, pct(p.BranchIncrease), pct(p.Slowdown)})
 	}
 	return points, table
 }
@@ -294,7 +361,8 @@ type JavaAttackRow struct {
 
 // JavaAttacksTable reproduces the §5.1.2 finding: of the distortive attack
 // catalog, only branch insertion and the class-encryption analog destroy
-// the watermark.
+// the watermark. Attacks are independent (each gets a fresh RNG with the
+// same derived seed, as before) and run on the job pool.
 func JavaAttacksTable(cfg Config) ([]JavaAttackRow, *Table) {
 	prog := workloads.CaffeineMark()
 	wbits := 128
@@ -307,21 +375,24 @@ func JavaAttacksTable(cfg Config) ([]JavaAttackRow, *Table) {
 	if err != nil {
 		panic(err)
 	}
-	var rows []JavaAttackRow
 	table := &Table{
 		Title:   "§5.1.2: Java-side attack resilience (watermarked CaffeineMark, 128-bit W)",
 		Columns: []string{"attack", "destroys (paper)", "watermark survived"},
 	}
-	for _, a := range attacks.Catalog() {
+	catalog := attacks.Catalog()
+	rows := make([]JavaAttackRow, len(catalog))
+	cfg.forEach(len(catalog), func(ai int) {
+		a := catalog[ai]
 		rng := rand.New(rand.NewSource(cfg.Seed + 31))
 		attacked := a.Apply(marked, rng)
 		rec, err := wm.Recognize(attacked, key)
 		if err != nil {
 			panic(err)
 		}
-		row := JavaAttackRow{Attack: a.Name, ExpectedToDestroy: a.Destroys, Survived: rec.Matches(w)}
-		rows = append(rows, row)
-		table.Rows = append(table.Rows, []string{a.Name, boolStr(a.Destroys), boolStr(row.Survived)})
+		rows[ai] = JavaAttackRow{Attack: a.Name, ExpectedToDestroy: a.Destroys, Survived: rec.Matches(w)}
+	})
+	for _, row := range rows {
+		table.Rows = append(table.Rows, []string{row.Attack, boolStr(row.ExpectedToDestroy), boolStr(row.Survived)})
 	}
 	return rows, table
 }

@@ -53,14 +53,24 @@ func Figure9(cfg Config) ([]Fig9Point, *Table, *Table) {
 		Notes:   []string{"cell = instruction-count slowdown; the paper's means are -0.65%..0.85%"},
 	}
 	wbitsList := nativeWBitSweep(cfg)
-	type cell struct{ size, time string }
-	for _, k := range paddedKernels(cfg) {
+	kernels := paddedKernels(cfg)
+	// Per-kernel runs are independent (each owns its unit): fan them out
+	// on the job pool and assemble rows in kernel order afterward.
+	type kernelResult struct {
+		points           []Fig9Point
+		sizeRow, timeRow []string
+	}
+	results := make([]kernelResult, len(kernels))
+	cfg.forEach(len(kernels), func(ki int) {
+		k := kernels[ki]
 		base, err := isa.Execute(k.Unit, k.RefInput, 0)
 		if err != nil {
 			panic(fmt.Sprintf("%s baseline: %v", k.Name, err))
 		}
-		sizeRow := []string{k.Name, "-", "-", "-"}
-		timeRow := []string{k.Name, "-", "-", "-"}
+		r := kernelResult{
+			sizeRow: []string{k.Name, "-", "-", "-"},
+			timeRow: []string{k.Name, "-", "-", "-"},
+		}
 		for wi, wbits := range []int{128, 256, 512} {
 			inSweep := false
 			for _, b := range wbitsList {
@@ -92,12 +102,16 @@ func Figure9(cfg Config) ([]Fig9Point, *Table, *Table) {
 				SizeIncrease: report.SizeIncrease(),
 				Slowdown:     float64(res.Steps-base.Steps) / float64(base.Steps),
 			}
-			points = append(points, p)
-			sizeRow[1+wi] = pct(p.SizeIncrease)
-			timeRow[1+wi] = pct(p.Slowdown)
+			r.points = append(r.points, p)
+			r.sizeRow[1+wi] = pct(p.SizeIncrease)
+			r.timeRow[1+wi] = pct(p.Slowdown)
 		}
-		sizeTable.Rows = append(sizeTable.Rows, sizeRow)
-		timeTable.Rows = append(timeTable.Rows, timeRow)
+		results[ki] = r
+	})
+	for _, r := range results {
+		points = append(points, r.points...)
+		sizeTable.Rows = append(sizeTable.Rows, r.sizeRow)
+		timeTable.Rows = append(timeTable.Rows, r.timeRow)
 	}
 	// Mean rows.
 	for wi, wbits := range []int{128, 256, 512} {
@@ -148,8 +162,17 @@ func NativeAttacksTable(cfg Config) ([]NativeAttackRow, *Table) {
 	for _, name := range order {
 		rows[name] = &NativeAttackRow{Attack: name}
 	}
-	var rerouteSimpleFooled, rerouteSmartOK int
-	for ki, k := range kernels {
+	// Each kernel's attack round is independent (seeds derive from the
+	// kernel index); kernels run on the job pool, each collecting its own
+	// verdicts, merged in kernel order afterward.
+	type kernelVerdicts struct {
+		broken, total                map[string]int
+		rerouteFooled, rerouteSmart int
+	}
+	verdicts := make([]kernelVerdicts, len(kernels))
+	cfg.forEach(len(kernels), func(ki int) {
+		k := kernels[ki]
+		v := kernelVerdicts{broken: map[string]int{}, total: map[string]int{}}
 		w := wm.RandomWatermark(wbits, uint64(cfg.Seed)+uint64(ki))
 		marked, report, err := nativewm.Embed(k.Unit, w, wbits, nativewm.EmbedOptions{
 			Seed: cfg.Seed + int64(ki), TamperProof: true,
@@ -163,9 +186,9 @@ func NativeAttacksTable(cfg Config) ([]NativeAttackRow, *Table) {
 			panic(err)
 		}
 		judge := func(name string, attacked *isa.Image) {
-			rows[name].Total++
+			v.total[name]++
 			if nativeattacks.Judge(img, attacked, k.RefInput, 0) == nativeattacks.Broken {
-				rows[name].Broken++
+				v.broken[name]++
 			}
 		}
 		rng := rand.New(rand.NewSource(cfg.Seed + int64(ki)*17))
@@ -203,11 +226,21 @@ func NativeAttacksTable(cfg Config) ([]NativeAttackRow, *Table) {
 		}
 		judge("reroute entries", rerouted)
 		if simple, err := nativewm.Extract(rerouted, k.TrainInput, report.Mark, nativewm.SimpleTracer, 0); err != nil || simple.Watermark.Cmp(w) != 0 {
-			rerouteSimpleFooled++
+			v.rerouteFooled++
 		}
 		if smart, err := nativewm.Extract(rerouted, k.TrainInput, report.Mark, nativewm.SmartTracer, 0); err == nil && smart.Watermark.Cmp(w) == 0 {
-			rerouteSmartOK++
+			v.rerouteSmart++
 		}
+		verdicts[ki] = v
+	})
+	var rerouteSimpleFooled, rerouteSmartOK int
+	for _, v := range verdicts {
+		for _, name := range order {
+			rows[name].Broken += v.broken[name]
+			rows[name].Total += v.total[name]
+		}
+		rerouteSimpleFooled += v.rerouteFooled
+		rerouteSmartOK += v.rerouteSmart
 	}
 	table := &Table{
 		Title:   "§5.2.2: native attack resilience (128-bit W, tamper-proofed)",

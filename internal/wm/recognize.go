@@ -3,7 +3,11 @@ package wm
 import (
 	"fmt"
 	"math/big"
+	"math/bits"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"pathmark/internal/bitstring"
 	"pathmark/internal/crt"
@@ -31,55 +35,68 @@ type Recognition struct {
 	TraceBits        int // length of the decoded bit-string
 }
 
+// RecognizeOpts tunes the recognition pipeline.
+type RecognizeOpts struct {
+	// Workers is the number of goroutines the sliding-window scan fans out
+	// over: 0 picks runtime.GOMAXPROCS(0), 1 forces the serial path. The
+	// Recognition result is bit-for-bit identical at any worker count.
+	Workers int
+}
+
 // maxGraphVertices bounds the consistency-graph size; statements beyond
 // the cap (rarest first) are dropped. Real traces produce few distinct
 // valid statements, so the cap only guards against adversarial inputs.
 const maxGraphVertices = 4096
 
+// scanChunkWindows is the shard granularity of the parallel scan: each
+// work unit covers this many window positions. Small enough to balance
+// load across workers on skewed traces, large enough that the per-chunk
+// dispatch overhead (one atomic add) is negligible against ~2k cipher
+// decryptions per chunk.
+const scanChunkWindows = 2048
+
 // Recognize re-traces the program on the key's secret input, decodes the
-// trace into its bit-string, and recombines watermark pieces (§3.3):
-// sliding 64-bit windows are decrypted and inverse-enumerated into
-// statements; a vote on W mod p_i discards contradicted statements; the
-// inconsistency graph G and agreement graph H drive the greedy selection;
-// survivors merge via the Generalized CRT.
+// trace into its bit-string, and recombines watermark pieces (§3.3). It is
+// RecognizeWithOpts with automatic worker selection.
 func Recognize(p *vm.Program, key *Key) (*Recognition, error) {
+	return RecognizeWithOpts(p, key, RecognizeOpts{})
+}
+
+// RecognizeWithOpts runs the recognition pipeline in three stages:
+//
+//  1. trace: re-run the program on the key's secret input and decode the
+//     trace into its bit-string (§3.1) — inherently serial;
+//  2. scan: slide 64-bit windows over the bit-string plus its two stride-2
+//     phases, decrypting and inverse-enumerating each window into a
+//     candidate statement (§3.3 step A) — the dominant cost, fanned out
+//     over opts.Workers goroutines on disjoint window ranges, each with a
+//     private statement-count map merged (summed) afterward;
+//  3. vote/graph: the W mod p_i vote, the inconsistency/agreement graphs,
+//     greedy selection, and the Generalized-CRT merge (§3.3 steps B–D) —
+//     serial on the handful of surviving statements.
+//
+// Window counts and per-statement occurrence counts are sums over disjoint
+// shards, so the merged result — and everything derived from it — is
+// identical at every worker count.
+func RecognizeWithOpts(p *vm.Program, key *Key, opts RecognizeOpts) (*Recognition, error) {
+	// Stage 1: trace.
 	tr, _, err := vm.Collect(p, key.Input, 1)
 	if err != nil {
 		return nil, fmt.Errorf("wm: recognition trace failed: %w", err)
 	}
 	bits := tr.DecodeBits()
-	cipher := feistel.New(key.Cipher)
 
 	rec := &Recognition{TraceBits: bits.Len()}
-	counts := make(map[crt.Statement]int)
-	// Scan the full bit-string plus its two stride-2 phases: the rolled
-	// loop generator interleaves one constant control bit between payload
-	// bits, so its pieces are contiguous in a stride-2 phase rather than
-	// in the raw string.
-	//
-	// Degenerate low-entropy windows (long constant runs, e.g. from the
-	// generators' priming passes) are skipped: a genuine cipher block is
-	// pseudorandom and has balanced popcount except with negligible
-	// probability, while a single repeated-run value would otherwise
-	// decode at thousands of positions and hijack the W mod p_i vote.
-	scan := func(b *bitstring.Bits) {
-		b.Windows64(func(_ int, w uint64) bool {
-			rec.Windows++
-			if pc := bits64OnesCount(w); pc < 8 || pc > 56 {
-				return true
-			}
-			if st, ok := key.Params.Decode(cipher.Decrypt(w)); ok {
-				rec.ValidStatements++
-				counts[st]++
-			}
-			return true
-		})
+
+	// Stage 2: scan.
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
 	}
-	scan(bits)
-	if bits.Len() >= 2 {
-		scan(bits.Stride(2, 0))
-		scan(bits.Stride(2, 1))
-	}
+	acc := scanBits(bits, key, workers)
+	rec.Windows = acc.windows
+	rec.ValidStatements = acc.valid
+
 	// Cap per-statement multiplicity so that no single repetitive pattern
 	// can dominate the vote: self-similar host traces (recursion, loop
 	// nests) repeat identical high-entropy windows verbatim, so raw
@@ -87,15 +104,145 @@ func Recognize(p *vm.Program, key *Key) (*Recognition, error) {
 	// redundancy useful (several *distinct* statements still outvote any
 	// single impostor residue) without letting one repeated pattern win.
 	const countCap = 3
-	for st, c := range counts {
+	for st, c := range acc.counts {
 		if c > countCap {
-			counts[st] = countCap
+			acc.counts[st] = countCap
 		}
 	}
-	if len(counts) == 0 {
+	if len(acc.counts) == 0 {
 		return rec, nil
 	}
 
+	// Stage 3: vote + consistency graphs + CRT merge.
+	resolveStatements(rec, acc.counts, key)
+	return rec, nil
+}
+
+// scanTask describes one shardable window source of the scan stage. The
+// raw bit-string is scanned alongside its two stride-2 phases: the rolled
+// loop generator interleaves one constant control bit between payload
+// bits, so its pieces are contiguous in a stride-2 phase rather than in
+// the raw string.
+type scanTask struct {
+	stride, phase int // stride=1: raw scan
+	numWindows    int
+}
+
+// scanAccum accumulates one worker's share of the scan.
+type scanAccum struct {
+	windows int
+	valid   int
+	counts  map[crt.Statement]int
+}
+
+// scanRange scans windows [lo, hi) of one task, decrypting each candidate
+// window and recording decoded statements.
+//
+// Degenerate low-entropy windows (long constant runs, e.g. from the
+// generators' priming passes) are skipped: a genuine cipher block is
+// pseudorandom and has balanced popcount except with negligible
+// probability, while a single repeated-run value would otherwise decode
+// at thousands of positions and hijack the W mod p_i vote.
+func (a *scanAccum) scanRange(b *bitstring.Bits, t scanTask, lo, hi int, cipher *feistel.Cipher, params *crt.Params) {
+	visit := func(_ int, w uint64) bool {
+		a.windows++
+		if pc := bits.OnesCount64(w); pc < 8 || pc > 56 {
+			return true
+		}
+		if st, ok := params.Decode(cipher.Decrypt(w)); ok {
+			a.valid++
+			a.counts[st]++
+		}
+		return true
+	}
+	if t.stride == 1 {
+		b.Windows64Range(lo, hi, visit)
+	} else {
+		b.StrideWindows64Range(t.stride, t.phase, lo, hi, visit)
+	}
+}
+
+// scanBits runs the scan stage over the raw bit-string and its two
+// stride-2 phases, sharded across the given number of workers.
+func scanBits(b *bitstring.Bits, key *Key, workers int) *scanAccum {
+	tasks := []scanTask{{stride: 1, numWindows: b.NumWindows64()}}
+	if b.Len() >= 2 {
+		tasks = append(tasks,
+			scanTask{stride: 2, phase: 0, numWindows: b.StrideNumWindows64(2, 0)},
+			scanTask{stride: 2, phase: 1, numWindows: b.StrideNumWindows64(2, 1)})
+	}
+
+	if workers == 1 {
+		acc := &scanAccum{counts: make(map[crt.Statement]int)}
+		cipher := feistel.New(key.Cipher)
+		for _, t := range tasks {
+			acc.scanRange(b, t, 0, t.numWindows, cipher, key.Params)
+		}
+		return acc
+	}
+
+	// Chunk every task's window range into fixed-size shards; workers pull
+	// shards off a shared atomic cursor. Scheduling order is arbitrary but
+	// the merged counts are sums over disjoint ranges, hence deterministic.
+	type chunk struct {
+		task   scanTask
+		lo, hi int
+	}
+	var chunks []chunk
+	for _, t := range tasks {
+		for lo := 0; lo < t.numWindows; lo += scanChunkWindows {
+			hi := lo + scanChunkWindows
+			if hi > t.numWindows {
+				hi = t.numWindows
+			}
+			chunks = append(chunks, chunk{t, lo, hi})
+		}
+	}
+	if workers > len(chunks) {
+		workers = len(chunks)
+	}
+	if len(chunks) == 0 {
+		return &scanAccum{counts: make(map[crt.Statement]int)}
+	}
+
+	accs := make([]*scanAccum, workers)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for wi := 0; wi < workers; wi++ {
+		acc := &scanAccum{counts: make(map[crt.Statement]int)}
+		accs[wi] = acc
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cipher := feistel.New(key.Cipher)
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(chunks) {
+					return
+				}
+				c := chunks[i]
+				acc.scanRange(b, c.task, c.lo, c.hi, cipher, key.Params)
+			}
+		}()
+	}
+	wg.Wait()
+
+	merged := accs[0]
+	for _, acc := range accs[1:] {
+		merged.windows += acc.windows
+		merged.valid += acc.valid
+		for st, c := range acc.counts {
+			merged.counts[st] += c
+		}
+	}
+	return merged
+}
+
+// resolveStatements runs the serial tail of the pipeline on the merged
+// statement counts: the W mod p_i vote, the consistency graphs, and the
+// Generalized-CRT reconstruction, filling the remaining Recognition
+// fields.
+func resolveStatements(rec *Recognition, counts map[crt.Statement]int, key *Key) {
 	type cand struct {
 		st    crt.Statement
 		count int
@@ -160,7 +307,7 @@ func Recognize(p *vm.Program, key *Key) (*Recognition, error) {
 	}
 	rec.VotedOut = len(cands) - len(filtered)
 	if len(filtered) == 0 {
-		return rec, nil
+		return
 	}
 
 	// Graphs over the remaining statements: G connects inconsistent pairs,
@@ -239,30 +386,20 @@ func Recognize(p *vm.Program, key *Key) (*Recognition, error) {
 	}
 	rec.Survivors = len(survivors)
 	if len(survivors) == 0 {
-		return rec, nil
+		return
 	}
 	value, modulus, err := key.Params.Reconstruct(survivors)
 	if err != nil {
 		// Pairwise consistency should guarantee a solution; treat failure
 		// as recognition failure rather than an error.
-		return rec, nil
+		return
 	}
 	rec.Watermark = value
 	rec.Modulus = modulus
 	rec.FullCoverage = modulus.Cmp(key.MaxWatermark()) == 0
-	return rec, nil
 }
 
 // Matches reports whether recognition fully recovered the given watermark.
 func (r *Recognition) Matches(w *big.Int) bool {
 	return r != nil && r.Watermark != nil && r.FullCoverage && r.Watermark.Cmp(w) == 0
-}
-
-func bits64OnesCount(v uint64) int {
-	n := 0
-	for v != 0 {
-		v &= v - 1
-		n++
-	}
-	return n
 }

@@ -1,0 +1,87 @@
+package wm
+
+import (
+	"fmt"
+	"testing"
+
+	"pathmark/internal/workloads"
+)
+
+// sameRecognition compares every field of two Recognition results,
+// including the big.Int fields (nil-safe).
+func sameRecognition(a, b *Recognition) error {
+	if (a.Watermark == nil) != (b.Watermark == nil) {
+		return fmt.Errorf("Watermark nil-ness differs: %v vs %v", a.Watermark, b.Watermark)
+	}
+	if a.Watermark != nil && a.Watermark.Cmp(b.Watermark) != 0 {
+		return fmt.Errorf("Watermark %v vs %v", a.Watermark, b.Watermark)
+	}
+	if (a.Modulus == nil) != (b.Modulus == nil) {
+		return fmt.Errorf("Modulus nil-ness differs: %v vs %v", a.Modulus, b.Modulus)
+	}
+	if a.Modulus != nil && a.Modulus.Cmp(b.Modulus) != 0 {
+		return fmt.Errorf("Modulus %v vs %v", a.Modulus, b.Modulus)
+	}
+	if a.FullCoverage != b.FullCoverage {
+		return fmt.Errorf("FullCoverage %v vs %v", a.FullCoverage, b.FullCoverage)
+	}
+	type counters struct{ w, v, u, vo, s, t int }
+	ca := counters{a.Windows, a.ValidStatements, a.UniqueStatements, a.VotedOut, a.Survivors, a.TraceBits}
+	cb := counters{b.Windows, b.ValidStatements, b.UniqueStatements, b.VotedOut, b.Survivors, b.TraceBits}
+	if ca != cb {
+		return fmt.Errorf("counters %+v vs %+v", ca, cb)
+	}
+	return nil
+}
+
+// TestRecognizeWorkerEquivalence is the determinism property of the
+// parallel scan: for random host programs, Recognize returns an identical
+// Recognition struct (all counters, watermark, modulus) at every worker
+// count, and the auto path agrees with the serial one.
+func TestRecognizeWorkerEquivalence(t *testing.T) {
+	key := testKey(t, nil, 64)
+	for seed := int64(0); seed < 5; seed++ {
+		p := workloads.RandomProgram(workloads.RandProgOptions{Seed: seed + 4100})
+		w := RandomWatermark(64, uint64(seed)+31)
+		marked, _, err := Embed(p, w, key, EmbedOptions{Seed: seed})
+		if err != nil {
+			t.Fatalf("seed %d: embed: %v", seed, err)
+		}
+		serial, err := RecognizeWithOpts(marked, key, RecognizeOpts{Workers: 1})
+		if err != nil {
+			t.Fatalf("seed %d: serial recognize: %v", seed, err)
+		}
+		if !serial.Matches(w) {
+			t.Errorf("seed %d: serial recognition failed to recover the watermark", seed)
+		}
+		for _, workers := range []int{2, 8, 0} {
+			par, err := RecognizeWithOpts(marked, key, RecognizeOpts{Workers: workers})
+			if err != nil {
+				t.Fatalf("seed %d workers %d: %v", seed, workers, err)
+			}
+			if err := sameRecognition(serial, par); err != nil {
+				t.Errorf("seed %d: workers=%d diverges from serial: %v", seed, workers, err)
+			}
+		}
+	}
+}
+
+// TestRecognizeWorkerEquivalenceUnmarked covers the degenerate paths
+// (no valid statements, tiny traces) at several worker counts.
+func TestRecognizeWorkerEquivalenceUnmarked(t *testing.T) {
+	key := testKey(t, nil, 64)
+	p := workloads.RandomProgram(workloads.RandProgOptions{Seed: 4999})
+	serial, err := RecognizeWithOpts(p, key, RecognizeOpts{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 8} {
+		par, err := RecognizeWithOpts(p, key, RecognizeOpts{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sameRecognition(serial, par); err != nil {
+			t.Errorf("unmarked program: workers=%d diverges: %v", workers, err)
+		}
+	}
+}

@@ -1,0 +1,57 @@
+package wm
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"pathmark/internal/feistel"
+	"pathmark/internal/vm"
+	"pathmark/internal/workloads"
+)
+
+// BenchmarkScanStage isolates the scan stage of the recognition pipeline
+// (window iteration + popcount filter + decrypt + inverse enumeration)
+// from tracing and voting: the trace is decoded once, then scanBits runs
+// per iteration at several worker counts. This is the stage the worker
+// fan-out accelerates; windows/s is the throughput the EXPERIMENTS.md
+// speedup table records.
+func BenchmarkScanStage(b *testing.B) {
+	key, err := NewKey(nil, feistel.KeyFromUint64(21, 34), 128)
+	if err != nil {
+		b.Fatal(err)
+	}
+	prog := workloads.JessLike(workloads.JessLikeOptions{Seed: 8, Methods: 60, BlockSize: 150})
+	w := RandomWatermark(128, 23)
+	marked, _, err := Embed(prog, w, key, EmbedOptions{Pieces: 128, Seed: 11, Policy: GenLoopOnly})
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr, _, err := vm.Collect(marked, key.Input, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	bits := tr.DecodeBits()
+	serial := scanBits(bits, key, 1)
+	for _, workers := range scanBenchWorkers() {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				acc := scanBits(bits, key, workers)
+				if acc.windows != serial.windows || acc.valid != serial.valid {
+					b.Fatalf("worker count changed scan result: %d/%d vs %d/%d",
+						acc.windows, acc.valid, serial.windows, serial.valid)
+				}
+			}
+			b.ReportMetric(float64(serial.windows)*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mwindows/s")
+		})
+	}
+}
+
+func scanBenchWorkers() []int {
+	ws := []int{1, 2, 4}
+	if n := runtime.GOMAXPROCS(0); n > 4 {
+		ws = append(ws, n)
+	}
+	return ws
+}
