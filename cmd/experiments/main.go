@@ -9,6 +9,12 @@
 // Independent sweep points run concurrently on -jobs workers (0 = one per
 // CPU); every point seeds its RNG from its own index, so tables are
 // identical at every job count.
+//
+// The shared observability flags -stats, -stats-json FILE,
+// -stats-deterministic, -cpuprofile and -memprofile (see cmd/pathmark)
+// record a span per experiment plus per-sweep-point timing histograms
+// (exp.<table>.point_us) and point counters. Table contents never depend
+// on these flags.
 package main
 
 import (
@@ -20,6 +26,7 @@ import (
 	"time"
 
 	"pathmark/internal/experiments"
+	"pathmark/internal/obs"
 )
 
 func main() {
@@ -27,9 +34,16 @@ func main() {
 	seed := flag.Int64("seed", 42, "experiment seed")
 	jobs := flag.Int("jobs", 0, "concurrent sweep points (0 = one per CPU, 1 = serial)")
 	only := flag.String("only", "", "comma-separated subset of experiments to run")
+	var cli obs.CLI
+	cli.Register(flag.CommandLine)
 	flag.Parse()
 
-	cfg := experiments.Config{Quick: *quick, Seed: *seed, Jobs: *jobs}
+	reg, err := cli.Begin("experiments")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+	cfg := experiments.Config{Quick: *quick, Seed: *seed, Jobs: *jobs, Obs: reg}
 	selected := map[string]bool{}
 	if *only != "" {
 		for _, name := range strings.Split(*only, ",") {
@@ -90,9 +104,18 @@ func main() {
 		if !want(e.name) {
 			continue
 		}
+		// The span subsumes the old ad-hoc wall-clock print: its Finish
+		// duration feeds both the [name: ... in Xs] line and the metrics
+		// sinks. With stats off (nil registry) it falls back to time.Now.
+		span := reg.Start("exp." + e.name)
 		start := time.Now()
 		tables := e.run()
-		elapsed := time.Since(start).Round(time.Millisecond)
+		elapsed := span.Finish()
+		if reg == nil {
+			elapsed = time.Since(start)
+		}
+		span.Set("tables", int64(len(tables)))
+		elapsed = elapsed.Round(time.Millisecond)
 		total += elapsed
 		for _, t := range tables {
 			fmt.Println(t.Render())
@@ -108,5 +131,8 @@ func main() {
 	if ran == 0 {
 		fmt.Fprintln(os.Stderr, "experiments: nothing selected")
 		os.Exit(2)
+	}
+	if err := cli.Finish(); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments: stats:", err)
 	}
 }

@@ -12,6 +12,11 @@
 // end, bits), extracts it back with both tracers, and reports costs.
 // attack watermarks the kernel, applies one §5.2.2 attack, and reports
 // whether the program breaks and whether extraction still succeeds.
+//
+// Every subcommand accepts the shared observability flags -stats,
+// -stats-json FILE, -stats-deterministic, -cpuprofile and -memprofile
+// (see cmd/pathmark for their meaning); the embed pipeline's
+// nativewm.profile/sites/assemble/finalize spans land in the output.
 package main
 
 import (
@@ -27,6 +32,7 @@ import (
 	"pathmark/internal/isa"
 	"pathmark/internal/nativeattacks"
 	"pathmark/internal/nativewm"
+	"pathmark/internal/obs"
 	"pathmark/internal/wm"
 	"pathmark/internal/workloads"
 )
@@ -57,9 +63,33 @@ func usage() {
 	os.Exit(2)
 }
 
+// obsFlush, when set, flushes profiles and metric sinks; fatal runs it so
+// a failed run still leaves its CPU profile and partial metrics behind.
+var obsFlush func()
+
 func fatal(err error) {
+	if obsFlush != nil {
+		obsFlush()
+	}
 	fmt.Fprintln(os.Stderr, "nativemark:", err)
 	os.Exit(1)
+}
+
+// beginObs starts profiling per the registered CLI flags and returns the
+// metrics registry (nil unless -stats/-stats-json was given).
+func beginObs(cli *obs.CLI) *obs.Registry {
+	reg, err := cli.Begin("nativemark")
+	if err != nil {
+		fatal(err)
+	}
+	obsFlush = func() { cli.Finish() }
+	return reg
+}
+
+func finishObs(cli *obs.CLI) {
+	if err := cli.Finish(); err != nil {
+		fmt.Fprintln(os.Stderr, "nativemark: stats:", err)
+	}
 }
 
 func findKernel(name string, pad int) workloads.NativeKernel {
@@ -83,7 +113,10 @@ func cmdDemo(args []string) {
 	pad := fs.Int("pad", 4000, "cold-code padding instructions")
 	out := fs.String("out", "", "write the watermarked binary (.pmrk image) here")
 	markOut := fs.String("markout", "", "write the extraction mark (begin/end/bits JSON) here")
+	var cli obs.CLI
+	cli.Register(fs)
 	fs.Parse(args)
+	reg := beginObs(&cli)
 
 	k := findKernel(*kernel, *pad)
 	w := new(big.Int)
@@ -92,7 +125,7 @@ func cmdDemo(args []string) {
 	}
 	marked, report, err := nativewm.Embed(k.Unit, w, *wbits, nativewm.EmbedOptions{
 		Seed: *seed, TamperProof: *tamper, TrainInput: k.TrainInput,
-		LabelPrefix: "w1_", HelperDepth: *helpers,
+		LabelPrefix: "w1_", HelperDepth: *helpers, Obs: reg,
 	})
 	if err != nil {
 		fatal(err)
@@ -122,7 +155,9 @@ func cmdDemo(args []string) {
 		base.Steps, res.Steps, 100*float64(res.Steps-base.Steps)/float64(base.Steps))
 
 	for _, kind := range []nativewm.TracerKind{nativewm.SimpleTracer, nativewm.SmartTracer} {
+		span := reg.Start(fmt.Sprintf("nativewm.extract.%s", kind))
 		ext, err := nativewm.Extract(img, k.TrainInput, report.Mark, kind, 0)
+		span.Finish()
 		if err != nil {
 			fatal(err)
 		}
@@ -156,6 +191,7 @@ func cmdDemo(args []string) {
 		}
 		fmt.Printf("mark written to %s (keep it secret)\n", *markOut)
 	}
+	finishObs(&cli)
 }
 
 func cmdExtract(args []string) {
@@ -164,10 +200,13 @@ func cmdExtract(args []string) {
 	markFile := fs.String("mark", "", "extraction mark JSON (from demo -markout)")
 	tracer := fs.String("tracer", "smart", "tracer kind: simple|smart")
 	input := fs.String("input", "", "comma-separated run input (must drive execution through begin)")
+	var cli obs.CLI
+	cli.Register(fs)
 	fs.Parse(args)
 	if *in == "" || *markFile == "" {
 		fatal(fmt.Errorf("extract needs -in and -mark"))
 	}
+	reg := beginObs(&cli)
 	f, err := os.Open(*in)
 	if err != nil {
 		fatal(err)
@@ -201,11 +240,14 @@ func cmdExtract(args []string) {
 		}
 		runInput = append(runInput, v)
 	}
+	span := reg.Start(fmt.Sprintf("nativewm.extract.%s", kind))
 	ext, err := nativewm.Extract(img, runInput, mark, kind, 0)
+	span.Set("bits", int64(mark.Bits)).Finish()
 	if err != nil {
 		fatal(err)
 	}
 	fmt.Printf("watermark: 0x%x (%d bits, %s tracer)\n", ext.Watermark, mark.Bits, kind)
+	finishObs(&cli)
 }
 
 func cmdAttack(args []string) {
@@ -214,12 +256,15 @@ func cmdAttack(args []string) {
 	name := fs.String("name", "bypass", "attack: nops|invert|double|bypass|reroute")
 	seed := fs.Int64("seed", 1, "seed")
 	pad := fs.Int("pad", 4000, "cold-code padding instructions")
+	var cli obs.CLI
+	cli.Register(fs)
 	fs.Parse(args)
+	reg := beginObs(&cli)
 
 	k := findKernel(*kernel, *pad)
 	w := wm.RandomWatermark(32, uint64(*seed))
 	marked, report, err := nativewm.Embed(k.Unit, w, 32, nativewm.EmbedOptions{
-		Seed: *seed, TamperProof: true, TrainInput: k.TrainInput, LabelPrefix: "w1_",
+		Seed: *seed, TamperProof: true, TrainInput: k.TrainInput, LabelPrefix: "w1_", Obs: reg,
 	})
 	if err != nil {
 		fatal(err)
@@ -239,7 +284,7 @@ func cmdAttack(args []string) {
 	case "double":
 		second, _, err := nativewm.Embed(marked, wm.RandomWatermark(32, 99), 32,
 			nativewm.EmbedOptions{Seed: *seed + 1, TamperProof: true,
-				TrainInput: k.TrainInput, LabelPrefix: "w2_"})
+				TrainInput: k.TrainInput, LabelPrefix: "w2_", Obs: reg})
 		if err != nil {
 			fatal(err)
 		}
@@ -276,6 +321,7 @@ func cmdAttack(args []string) {
 			}
 		}
 	}
+	finishObs(&cli)
 }
 
 func mustImg(u *isa.Unit) *isa.Image {

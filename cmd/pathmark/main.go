@@ -5,15 +5,28 @@
 //
 //	pathmark embed   -in prog.pasm -out marked.pasm -w 123456789 -wbits 128 [-pieces N] [-seed S] [-input 1,2,3]
 //	pathmark recognize -in marked.pasm -wbits 128 [-input 1,2,3] [-workers N]
-//	pathmark trace   -in prog.pasm [-input 1,2,3]      # dump the decoded bit-string
+//	pathmark trace   -in prog.pasm [-input 1,2,3] [-level N]  # dump the decoded bit-string
 //	pathmark attack  -in marked.pasm -out attacked.pasm -name branch-insertion [-seed S]
 //	pathmark attacks                                    # list the attack catalog
-//	pathmark run     -in prog.pasm [-input 1,2,3]
+//	pathmark run     -in prog.pasm [-input 1,2,3] [-vmprofile N]
 //
 // Programs are read and written in the textual assembly format of
 // internal/vm (see examples/). The cipher key is derived from -key (two
 // 64-bit halves, "hi:lo" hex); the prime basis from -wbits. Keep all of
 // -key, -input and -wbits secret and stable between embed and recognize.
+//
+// Observability: every subcommand accepts
+//
+//	-stats               per-stage timing/counter summary on stderr
+//	-stats-json FILE     the same metrics as a JSONL event stream
+//	-stats-deterministic omit wall times/timing histograms from the JSONL
+//	                     (byte-stable across runs, workers, and machines)
+//	-cpuprofile FILE     runtime/pprof CPU profile
+//	-memprofile FILE     runtime/pprof heap profile
+//
+// With -stats, `run` additionally enables the VM profiler and reports the
+// dynamic opcode mix and hottest basic blocks; -vmprofile N bounds the
+// hot-block listing.
 package main
 
 import (
@@ -27,6 +40,7 @@ import (
 
 	"pathmark/internal/attacks"
 	"pathmark/internal/feistel"
+	"pathmark/internal/obs"
 	"pathmark/internal/vm"
 	"pathmark/internal/wm"
 )
@@ -65,7 +79,14 @@ func usage() {
 	os.Exit(2)
 }
 
+// obsFlush, when set, flushes profiles and metric sinks; fatal runs it so
+// a failed run still leaves its CPU profile and partial metrics behind.
+var obsFlush func()
+
 func fatal(err error) {
+	if obsFlush != nil {
+		obsFlush()
+	}
 	fmt.Fprintln(os.Stderr, "pathmark:", err)
 	os.Exit(1)
 }
@@ -76,6 +97,7 @@ type common struct {
 	key     string
 	keyfile string
 	wbits   int
+	obs     obs.CLI
 }
 
 func (c *common) register(fs *flag.FlagSet) {
@@ -84,6 +106,25 @@ func (c *common) register(fs *flag.FlagSet) {
 	fs.StringVar(&c.key, "key", "6b72616d68746170:504c444932303034", "cipher key as hi:lo hex halves")
 	fs.StringVar(&c.keyfile, "keyfile", "", "load the watermark key from this file (overrides -key/-input/-wbits)")
 	fs.IntVar(&c.wbits, "wbits", 128, "watermark size in bits (fixes the prime basis)")
+	c.obs.Register(fs)
+}
+
+// beginObs starts profiling and returns the metrics registry (nil unless
+// -stats/-stats-json was given). Call finishObs before exiting; fatal
+// also flushes via obsFlush.
+func (c *common) beginObs() *obs.Registry {
+	reg, err := c.obs.Begin("pathmark")
+	if err != nil {
+		fatal(err)
+	}
+	obsFlush = func() { c.obs.Finish() }
+	return reg
+}
+
+func (c *common) finishObs() {
+	if err := c.obs.Finish(); err != nil {
+		fmt.Fprintln(os.Stderr, "pathmark: stats:", err)
+	}
 }
 
 func (c *common) loadProgram() *vm.Program {
@@ -159,6 +200,10 @@ func cmdEmbed(args []string) {
 	saveKey := fs.String("savekey", "", "write the watermark key to this file for later recognition")
 	policy := fs.String("generator", "auto", "code generator: auto|loop|loop-unrolled|condition")
 	fs.Parse(args)
+	if *out == "" {
+		fatal(fmt.Errorf("missing -out"))
+	}
+	reg := c.beginObs()
 	p := c.loadProgram()
 	key := c.wmKey()
 	w := new(big.Int)
@@ -179,13 +224,10 @@ func cmdEmbed(args []string) {
 		fatal(fmt.Errorf("unknown -generator %q", *policy))
 	}
 	marked, report, err := wm.Embed(p, w, key, wm.EmbedOptions{
-		Pieces: *pieces, Seed: *seed, Policy: pol,
+		Pieces: *pieces, Seed: *seed, Policy: pol, Obs: reg,
 	})
 	if err != nil {
 		fatal(err)
-	}
-	if *out == "" {
-		fatal(fmt.Errorf("missing -out"))
 	}
 	if err := os.WriteFile(*out, []byte(vm.Dump(marked)), 0o644); err != nil {
 		fatal(err)
@@ -207,6 +249,7 @@ func cmdEmbed(args []string) {
 		len(report.Pieces), report.CandidateSite, report.TraceEvents)
 	fmt.Printf("size: %d -> %d instructions (+%.1f%%)\n",
 		report.OriginalSize, report.EmbeddedSize, report.SizeIncrease()*100)
+	c.finishObs()
 }
 
 func cmdRecognize(args []string) {
@@ -215,8 +258,9 @@ func cmdRecognize(args []string) {
 	c.register(fs)
 	workers := fs.Int("workers", 0, "scan goroutines (0 = one per CPU, 1 = serial)")
 	fs.Parse(args)
+	reg := c.beginObs()
 	p := c.loadProgram()
-	rec, err := wm.RecognizeWithOpts(p, c.wmKey(), wm.RecognizeOpts{Workers: *workers})
+	rec, err := wm.RecognizeWithOpts(p, c.wmKey(), wm.RecognizeOpts{Workers: *workers, Obs: reg})
 	if err != nil {
 		fatal(err)
 	}
@@ -225,19 +269,27 @@ func cmdRecognize(args []string) {
 	fmt.Printf("voted out: %d, survivors: %d\n", rec.VotedOut, rec.Survivors)
 	if rec.Watermark == nil {
 		fmt.Println("no watermark recovered")
+		c.finishObs()
 		os.Exit(1)
 	}
 	fmt.Printf("full coverage: %v\n", rec.FullCoverage)
 	fmt.Printf("watermark: %d (0x%x)\n", rec.Watermark, rec.Watermark)
+	c.finishObs()
 }
 
 func cmdTrace(args []string) {
 	fs := flag.NewFlagSet("trace", flag.ExitOnError)
 	var c common
 	c.register(fs)
+	// The default matches the embedder's tracing phase, which keeps two
+	// state snapshots per block (priming + payload) for codegen. Recognize
+	// only decodes the bit-string and keeps one, so `-level 1` reproduces
+	// its view; the decoded bits are identical either way — the level only
+	// changes how much per-block state the trace retains.
+	level := fs.Int("level", 2, "snapshots kept per block: 2 = embed's view, 1 = recognize's view")
 	fs.Parse(args)
 	p := c.loadProgram()
-	tr, res, err := vm.Collect(p, c.secretInput(), 2)
+	tr, res, err := vm.Collect(p, c.secretInput(), *level)
 	if err != nil {
 		fatal(err)
 	}
@@ -255,35 +307,72 @@ func cmdAttack(args []string) {
 	name := fs.String("name", "", "attack name (see `pathmark attacks`)")
 	seed := fs.Int64("seed", 1, "attack randomness seed")
 	fs.Parse(args)
-	p := c.loadProgram()
-	for _, a := range attacks.Catalog() {
-		if a.Name != *name {
-			continue
-		}
-		attacked := a.Apply(p, rand.New(rand.NewSource(*seed)))
-		if *out == "" {
-			fatal(fmt.Errorf("missing -out"))
-		}
-		if err := os.WriteFile(*out, []byte(vm.Dump(attacked)), 0o644); err != nil {
-			fatal(err)
-		}
-		fmt.Printf("applied %s: %d -> %d instructions\n", a.Name, p.CodeSize(), attacked.CodeSize())
-		return
+	// Validate everything before the (possibly slow) attack runs: the
+	// output path must be given, and the name must be in the catalog.
+	if *out == "" {
+		fatal(fmt.Errorf("missing -out"))
 	}
-	fatal(fmt.Errorf("unknown attack %q", *name))
+	atk, err := findAttack(*name)
+	if err != nil {
+		fatal(err)
+	}
+	p := c.loadProgram()
+	attacked := atk.Apply(p, rand.New(rand.NewSource(*seed)))
+	if err := os.WriteFile(*out, []byte(vm.Dump(attacked)), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("applied %s: %d -> %d instructions\n", atk.Name, p.CodeSize(), attacked.CodeSize())
+}
+
+// findAttack resolves an attack by name; an unknown name's error lists
+// every catalog entry so the user need not run `pathmark attacks` first.
+func findAttack(name string) (attacks.Attack, error) {
+	catalog := attacks.Catalog()
+	for _, a := range catalog {
+		if a.Name == name {
+			return a, nil
+		}
+	}
+	names := make([]string, len(catalog))
+	for i, a := range catalog {
+		names[i] = a.Name
+	}
+	return attacks.Attack{}, fmt.Errorf("unknown attack %q (available: %s)", name, strings.Join(names, ", "))
 }
 
 func cmdRun(args []string) {
 	fs := flag.NewFlagSet("run", flag.ExitOnError)
 	var c common
 	c.register(fs)
+	hot := fs.Int("vmprofile", 10, "hot blocks to list when profiling (with -stats)")
 	fs.Parse(args)
+	reg := c.beginObs()
 	p := c.loadProgram()
-	res, err := vm.Run(p, vm.RunOptions{Input: c.secretInput()})
+	var prof *vm.Profile
+	if reg != nil {
+		prof = vm.NewProfile()
+	}
+	span := reg.Start("run")
+	res, err := vm.Run(p, vm.RunOptions{Input: c.secretInput(), Profile: prof})
+	span.Finish()
 	if err != nil {
 		fatal(err)
 	}
 	fmt.Printf("return: %d\n", res.Return)
 	fmt.Printf("output: %v\n", res.Output)
 	fmt.Printf("steps: %d\n", res.Steps)
+	if prof != nil {
+		span.Set("steps", prof.Steps).Set("calls", prof.Calls).
+			Set("max_depth", int64(prof.MaxObservedDepth))
+		for _, e := range prof.OpMix() {
+			reg.Counter("vm.op." + e.Op.String()).Add(e.Count)
+		}
+		fmt.Fprintf(os.Stderr, "vm profile: %d steps, %d calls, max depth %d\n",
+			prof.Steps, prof.Calls, prof.MaxObservedDepth)
+		fmt.Fprintln(os.Stderr, "hottest blocks (method:block count):")
+		for _, b := range prof.TopBlocks(*hot) {
+			fmt.Fprintf(os.Stderr, "  %s:%d  %d\n", p.Methods[b.Key.Method].Name, b.Key.Block, b.Count)
+		}
+	}
+	c.finishObs()
 }

@@ -1,0 +1,93 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"pathmark/internal/vm"
+	"pathmark/internal/workloads"
+)
+
+// TestStatsJSONSmoke drives the embed → recognize pipeline through the
+// real command functions and checks the acceptance property of -stats-json:
+// the file is parseable JSONL and contains the three recognition stage
+// spans (trace/scan/vote) with their counters.
+func TestStatsJSONSmoke(t *testing.T) {
+	dir := t.TempDir()
+	host := filepath.Join(dir, "host.pasm")
+	if err := os.WriteFile(host, []byte(vm.Dump(workloads.MiniCalc())), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	input := "1,10,20,0" // CalcSum(10, 20)
+	marked := filepath.Join(dir, "marked.pasm")
+	cmdEmbed([]string{"-in", host, "-out", marked,
+		"-w", "0xBEEF", "-wbits", "64", "-input", input, "-seed", "7"})
+
+	statsFile := filepath.Join(dir, "metrics.json")
+	cmdRecognize([]string{"-in", marked, "-wbits", "64", "-input", input,
+		"-stats-json", statsFile})
+
+	f, err := os.Open(statsFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	spans := map[string]map[string]any{}
+	lines := 0
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		lines++
+		var ev map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("line %d is not valid JSON: %v\n%s", lines, err, sc.Text())
+		}
+		if ev["type"] == "span" {
+			spans[ev["name"].(string)] = ev
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if lines == 0 {
+		t.Fatal("stats file is empty")
+	}
+	for span, counter := range map[string]string{
+		"recognize.trace": "trace_bits",
+		"recognize.scan":  "windows",
+		"recognize.vote":  "survivors",
+	} {
+		ev, ok := spans[span]
+		if !ok {
+			t.Errorf("missing span %q in %v", span, spans)
+			continue
+		}
+		if _, ok := ev["wall_ns"].(float64); !ok {
+			t.Errorf("span %q has no wall_ns", span)
+		}
+		counters, _ := ev["counters"].(map[string]any)
+		if _, ok := counters[counter]; !ok {
+			t.Errorf("span %q missing counter %q (got %v)", span, counter, counters)
+		}
+	}
+}
+
+// TestFindAttack covers the name resolution used by `pathmark attack`:
+// known names resolve, unknown names fail with the catalog in the error.
+func TestFindAttack(t *testing.T) {
+	if _, err := findAttack("branch-insertion"); err != nil {
+		t.Errorf("branch-insertion should resolve: %v", err)
+	}
+	_, err := findAttack("no-such-attack")
+	if err == nil {
+		t.Fatal("expected an error for an unknown attack")
+	}
+	for _, want := range []string{`"no-such-attack"`, "branch-insertion", "loop-peeling"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q should mention %s", err, want)
+		}
+	}
+}

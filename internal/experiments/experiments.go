@@ -12,6 +12,9 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"pathmark/internal/obs"
 )
 
 // Config scales the experiment suite.
@@ -27,6 +30,10 @@ type Config struct {
 	// sweep parameter for figure-8 points — never from a shared rand.Rand,
 	// so tables are identical at every job count.
 	Jobs int
+	// Obs, when non-nil, receives per-sweep-point timing histograms
+	// (exp.<table>.point_us, a timing histogram) and point counters
+	// (exp.<table>.points). Table contents never depend on Obs.
+	Obs *obs.Registry
 }
 
 // jobs resolves the effective worker count.
@@ -41,14 +48,30 @@ func (cfg Config) jobs() int {
 // workers. fn must confine its writes to index-i slots of pre-sized
 // result slices; callers then assemble rows in index order, keeping
 // output deterministic regardless of scheduling.
-func (cfg Config) forEach(n int, fn func(i int)) {
+//
+// table names the sweep for observability: when cfg.Obs is set, each
+// point's wall time lands in the exp.<table>.point_us timing histogram
+// (Observe is atomic-free but mutex-cheap, negligible against a sweep
+// point's seconds of work) and the point count in exp.<table>.points.
+func (cfg Config) forEach(table string, n int, fn func(i int)) {
+	run := fn
+	if cfg.Obs != nil {
+		hist := cfg.Obs.TimingHistogram("exp." + table + ".point_us")
+		points := cfg.Obs.Counter("exp." + table + ".points")
+		run = func(i int) {
+			t0 := time.Now()
+			fn(i)
+			hist.Observe(time.Since(t0).Microseconds())
+			points.Add(1)
+		}
+	}
 	workers := cfg.jobs()
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
-			fn(i)
+			run(i)
 		}
 		return
 	}
@@ -63,7 +86,7 @@ func (cfg Config) forEach(n int, fn func(i int)) {
 				if i >= n {
 					return
 				}
-				fn(i)
+				run(i)
 			}
 		}()
 	}

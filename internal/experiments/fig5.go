@@ -53,7 +53,7 @@ func Figure5(cfg Config) ([]Fig5Point, *Table) {
 	// Monte-Carlo points are independent: each x-position gets its own
 	// point-derived RNG and runs on the pool.
 	points := make([]Fig5Point, len(intacts))
-	cfg.forEach(len(intacts), func(pi int) {
+	cfg.forEach("fig5", len(intacts), func(pi int) {
 		intact := intacts[pi]
 		rng := rand.New(rand.NewSource(pointSeed(cfg.Seed, "fig5", pi)))
 		hits := 0

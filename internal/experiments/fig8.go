@@ -94,7 +94,7 @@ func Figure8a(cfg Config) ([]Fig8aPoint, *Table) {
 	}
 	hosts := javaWorkloads(cfg, jessTimingHotIters(cfg))
 	bases := make([]int64, len(hosts))
-	cfg.forEach(len(hosts), func(hi int) {
+	cfg.forEach("fig8a", len(hosts), func(hi int) {
 		res, err := vm.Run(hosts[hi].prog, vm.RunOptions{StepLimit: 2_000_000_000})
 		if err != nil {
 			panic(err)
@@ -126,7 +126,7 @@ func Figure8a(cfg Config) ([]Fig8aPoint, *Table) {
 		}
 	}
 	points := make([]Fig8aPoint, len(jobs))
-	cfg.forEach(len(jobs), func(ji int) {
+	cfg.forEach("fig8a", len(jobs), func(ji int) {
 		j := jobs[ji]
 		marked, _, err := wm.Embed(hosts[j.host].prog, j.w, j.key, wm.EmbedOptions{
 			Pieces: j.pieces, Seed: cfg.Seed + int64(j.pieces),
@@ -182,7 +182,7 @@ func Figure8b(cfg Config) ([]Fig8bPoint, *Table) {
 		}
 	}
 	points := make([]Fig8bPoint, len(jobs))
-	cfg.forEach(len(jobs), func(ji int) {
+	cfg.forEach("fig8b", len(jobs), func(ji int) {
 		j := jobs[ji]
 		_, report, err := wm.Embed(hosts[j.host].prog, w, key, wm.EmbedOptions{
 			Pieces: j.pieces, Seed: cfg.Seed + int64(j.pieces),
@@ -262,7 +262,7 @@ func Figure8c(cfg Config) ([]Fig8cPoint, *Table) {
 		}
 	}
 	points := make([]Fig8cPoint, len(jobs))
-	cfg.forEach(len(jobs), func(ji int) {
+	cfg.forEach("fig8c", len(jobs), func(ji int) {
 		j := jobs[ji]
 		marked, _, err := wm.Embed(prog, j.w, j.key, wm.EmbedOptions{
 			Pieces: j.pieces, Seed: cfg.Seed + int64(j.pieces), Policy: wm.GenLoopOnly,
@@ -314,7 +314,7 @@ func Figure8d(cfg Config) ([]Fig8dPoint, *Table) {
 	}
 	hosts := javaWorkloads(cfg, 0)
 	bases := make([]int64, len(hosts))
-	cfg.forEach(len(hosts), func(hi int) {
+	cfg.forEach("fig8d", len(hosts), func(hi int) {
 		res, err := vm.Run(hosts[hi].prog, vm.RunOptions{})
 		if err != nil {
 			panic(err)
@@ -332,7 +332,7 @@ func Figure8d(cfg Config) ([]Fig8dPoint, *Table) {
 		}
 	}
 	points := make([]Fig8dPoint, len(jobs))
-	cfg.forEach(len(jobs), func(ji int) {
+	cfg.forEach("fig8d", len(jobs), func(ji int) {
 		j := jobs[ji]
 		rng := rand.New(rand.NewSource(cfg.Seed + int64(j.level)))
 		attacked := attacks.InsertRandomBranches(hosts[j.host].prog, rng, j.level)
@@ -381,7 +381,7 @@ func JavaAttacksTable(cfg Config) ([]JavaAttackRow, *Table) {
 	}
 	catalog := attacks.Catalog()
 	rows := make([]JavaAttackRow, len(catalog))
-	cfg.forEach(len(catalog), func(ai int) {
+	cfg.forEach("javaattacks", len(catalog), func(ai int) {
 		a := catalog[ai]
 		rng := rand.New(rand.NewSource(cfg.Seed + 31))
 		attacked := a.Apply(marked, rng)

@@ -61,7 +61,7 @@ func Figure9(cfg Config) ([]Fig9Point, *Table, *Table) {
 		sizeRow, timeRow []string
 	}
 	results := make([]kernelResult, len(kernels))
-	cfg.forEach(len(kernels), func(ki int) {
+	cfg.forEach("fig9", len(kernels), func(ki int) {
 		k := kernels[ki]
 		base, err := isa.Execute(k.Unit, k.RefInput, 0)
 		if err != nil {
@@ -170,7 +170,7 @@ func NativeAttacksTable(cfg Config) ([]NativeAttackRow, *Table) {
 		rerouteFooled, rerouteSmart int
 	}
 	verdicts := make([]kernelVerdicts, len(kernels))
-	cfg.forEach(len(kernels), func(ki int) {
+	cfg.forEach("nativeattacks", len(kernels), func(ki int) {
 		k := kernels[ki]
 		v := kernelVerdicts{broken: map[string]int{}, total: map[string]int{}}
 		w := wm.RandomWatermark(wbits, uint64(cfg.Seed)+uint64(ki))

@@ -14,6 +14,7 @@ import (
 
 	"pathmark/internal/branchfn"
 	"pathmark/internal/isa"
+	"pathmark/internal/obs"
 	"pathmark/internal/perfecthash"
 )
 
@@ -41,6 +42,9 @@ type EmbedOptions struct {
 	TrainInput []int64
 	// StepLimit bounds the profiling run.
 	StepLimit int64
+	// Obs, when non-nil, receives per-stage spans (nativewm.profile/
+	// sites/assemble/finalize) and counters. nil costs a pointer check.
+	Obs *obs.Registry
 }
 
 // EmbedReport summarizes a native embedding.
@@ -111,12 +115,20 @@ func Embed(u *isa.Unit, w *big.Int, bits int, opts EmbedOptions) (*isa.Unit, *Em
 	rng := rand.New(rand.NewSource(opts.Seed))
 	out := u.Clone()
 	origBytes := int(u.TextSize()) + len(u.Data)
+	total := opts.Obs.Start("nativewm.embed")
+	defer total.Finish()
+	opts.Obs.Counter("nativewm.embed.calls").Add(1)
 
+	span := opts.Obs.Start("nativewm.profile")
 	profile, err := isa.CollectProfile(out, opts.TrainInput, opts.StepLimit)
 	if err != nil {
+		span.Finish()
 		return nil, nil, fmt.Errorf("nativewm: profiling: %w", err)
 	}
 	cfg := isa.BuildCFG(out)
+	span.Set("text_instrs", int64(len(out.Instrs))).Finish()
+
+	span = opts.Obs.Start("nativewm.sites")
 
 	// Choose begin: the coldest executed unconditional jmp.
 	beginIdx := -1
@@ -130,6 +142,7 @@ func Embed(u *isa.Unit, w *big.Int, bits int, opts EmbedOptions) (*isa.Unit, *Em
 		}
 	}
 	if beginIdx < 0 {
+		span.Finish()
 		return nil, nil, errors.New("nativewm: no executed unconditional jmp to serve as the begin→end edge")
 	}
 	endLabel := out.Instrs[beginIdx].Target
@@ -195,6 +208,7 @@ func Embed(u *isa.Unit, w *big.Int, bits int, opts EmbedOptions) (*isa.Unit, *Em
 	// island insertions so its data-patch indices stay valid).
 	bfEntry := opts.LabelPrefix + "bf_entry"
 	if out.FindLabel(bfEntry) >= 0 {
+		span.Finish()
 		return nil, nil, fmt.Errorf("nativewm: label prefix %q already used in this unit", opts.LabelPrefix)
 	}
 
@@ -239,6 +253,7 @@ func Embed(u *isa.Unit, w *big.Int, bits int, opts EmbedOptions) (*isa.Unit, *Em
 			next, err = nextKey(rng, cur, bit, nGaps, beginIdx)
 		}
 		if err != nil {
+			span.Finish()
 			return nil, nil, err
 		}
 		lbl := siteLabel(i + 1)
@@ -269,14 +284,20 @@ func Embed(u *isa.Unit, w *big.Int, bits int, opts EmbedOptions) (*isa.Unit, *Em
 		start = end
 	}
 
+	span.Set("allowed_gaps", int64(len(allowedGaps))).
+		Set("islands", int64(len(islands))).
+		Set("tamper_candidates", int64(len(tampers))).Finish()
+
 	// Reserve the branch function for k+1 = bits+1 call sites; its code is
 	// appended after every island, so the data-patch indices stay stable.
+	span = opts.Obs.Start("nativewm.assemble")
 	bf, err := branchfn.Reserve(out, bits+1, branchfn.Options{
 		LabelPrefix: opts.LabelPrefix,
 		HelperDepth: opts.HelperDepth,
 		Rng:         rng,
 	})
 	if err != nil {
+		span.Finish()
 		return nil, nil, err
 	}
 
@@ -291,10 +312,17 @@ func Embed(u *isa.Unit, w *big.Int, bits int, opts EmbedOptions) (*isa.Unit, *Em
 
 	img, err := isa.Assemble(out)
 	if err != nil {
+		span.Finish()
 		return nil, nil, fmt.Errorf("nativewm: assembling watermarked unit: %w", err)
 	}
+	span.Set("text_bytes", int64(len(img.Text))).
+		Set("data_bytes", int64(len(out.Data))).Finish()
 
 	// Build the control transfer map: a_i -> a_{i+1}, a_k -> end.
+	// (This span is the last stage, so a deferred Finish covers the
+	// invariant-violation error returns below.)
+	span = opts.Obs.Start("nativewm.finalize")
+	defer span.Finish()
 	keys := make([]uint32, bits+1)
 	targets := make([]uint32, bits+1)
 	sites := make([]uint32, bits+1)
@@ -355,6 +383,11 @@ func Embed(u *isa.Unit, w *big.Int, bits int, opts EmbedOptions) (*isa.Unit, *Em
 		OriginalBytes: origBytes,
 		EmbeddedBytes: int(out.TextSize()) + len(out.Data),
 	}
+	span.Set("tamper_slots", int64(len(slots))).
+		Set("call_sites", int64(len(sites)))
+	opts.Obs.Counter("nativewm.bits_total").Add(int64(bits))
+	opts.Obs.Histogram("nativewm.size_increase_bp").
+		Observe(int64(report.SizeIncrease() * 10_000))
 	return out, report, nil
 }
 

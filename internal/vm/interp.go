@@ -39,6 +39,10 @@ type RunOptions struct {
 	// code generator's priming + first payload execution). Snapshots are
 	// only taken when Trace is non-nil.
 	SnapshotLimit int
+	// Profile, when non-nil, accumulates the dynamic opcode mix and
+	// per-block execution counts. Disabled (nil) it costs one hoisted
+	// nil-check per instruction.
+	Profile *Profile
 }
 
 // Result is the outcome of a successful run.
@@ -74,6 +78,10 @@ func Run(p *Program, opts RunOptions) (*Result, error) {
 	if snapLimit == 0 {
 		snapLimit = 2
 	}
+	prof := opts.Profile
+	if prof != nil && prof.BlockCount == nil {
+		prof.BlockCount = make(map[BlockKey]int64)
+	}
 
 	cfgs := make([]*CFG, len(p.Methods))
 	cfgOf := func(mi int) *CFG {
@@ -100,6 +108,9 @@ func Run(p *Program, opts RunOptions) (*Result, error) {
 	}
 
 	enterBlock := func(f *frame, bi int) {
+		if prof != nil {
+			prof.enterBlock(f.mi, bi)
+		}
 		if opts.Trace == nil {
 			return
 		}
@@ -119,6 +130,12 @@ func Run(p *Program, opts RunOptions) (*Result, error) {
 		}
 		res.Steps++
 		in := f.method.Code[f.pc]
+		if prof != nil {
+			prof.Steps++
+			if int(in.Op) < len(prof.OpCount) {
+				prof.OpCount[in.Op]++
+			}
+		}
 
 		pop := func() int64 {
 			v := f.stack[len(f.stack)-1]
@@ -150,7 +167,7 @@ func Run(p *Program, opts RunOptions) (*Result, error) {
 		// a branch target).
 		next := func() {
 			f.pc++
-			if opts.Trace != nil && f.pc < len(f.method.Code) {
+			if (opts.Trace != nil || prof != nil) && f.pc < len(f.method.Code) {
 				if bi := f.cfg.BlockOf(f.pc); f.cfg.Blocks[bi].Start == f.pc {
 					enterBlock(f, bi)
 				}
@@ -304,6 +321,12 @@ func Run(p *Program, opts RunOptions) (*Result, error) {
 				nf.locals[i] = pop()
 			}
 			frames = append(frames, nf)
+			if prof != nil {
+				prof.Calls++
+				if len(frames) > prof.MaxObservedDepth {
+					prof.MaxObservedDepth = len(frames)
+				}
+			}
 			enterBlock(nf, 0)
 		case OpRet:
 			v := pop()

@@ -9,6 +9,7 @@ import (
 
 	"pathmark/internal/crt"
 	"pathmark/internal/feistel"
+	"pathmark/internal/obs"
 	"pathmark/internal/vm"
 )
 
@@ -44,6 +45,9 @@ type EmbedOptions struct {
 	Policy GeneratorPolicy
 	// StepLimit bounds the tracing run (0 = interpreter default).
 	StepLimit int64
+	// Obs, when non-nil, receives per-stage spans (embed.trace/sites/
+	// split/codegen/apply) and counters. nil costs a pointer check.
+	Obs *obs.Registry
 }
 
 // PlacedPiece records one inserted piece for the report.
@@ -122,14 +126,21 @@ func Embed(p *vm.Program, w *big.Int, key *Key, opts EmbedOptions) (*vm.Program,
 	}
 	out := p.Clone()
 	rng := rand.New(rand.NewSource(opts.Seed))
+	total := opts.Obs.Start("embed")
+	defer total.Finish()
+	opts.Obs.Counter("embed.calls").Add(1)
 
 	// Tracing phase (§3.1).
+	span := opts.Obs.Start("embed.trace")
 	tr, _, err := vm.Collect(out, key.Input, 2)
 	if err != nil {
+		span.Finish()
 		return nil, nil, fmt.Errorf("wm: tracing phase: %w", err)
 	}
+	span.Set("trace_events", int64(len(tr.Events))).Finish()
 
 	// Candidate sites: every traced block, weighted 1/frequency.
+	span = opts.Obs.Start("embed.sites")
 	cfgs := vm.BuildProgramCFG(out)
 	var sites []site
 	for bk, count := range tr.BlockCount {
@@ -142,6 +153,7 @@ func Embed(p *vm.Program, w *big.Int, key *Key, opts EmbedOptions) (*vm.Program,
 		})
 	}
 	if len(sites) == 0 {
+		span.Finish()
 		return nil, nil, errors.New("wm: trace visited no blocks")
 	}
 	sort.Slice(sites, func(a, b int) bool {
@@ -157,6 +169,7 @@ func Embed(p *vm.Program, w *big.Int, key *Key, opts EmbedOptions) (*vm.Program,
 		}
 	}
 	if opts.Policy == GenConditionOnly && len(condSites) == 0 {
+		span.Finish()
 		return nil, nil, errors.New("wm: no site executes twice; condition generator unusable")
 	}
 
@@ -179,12 +192,17 @@ func Embed(p *vm.Program, w *big.Int, key *Key, opts EmbedOptions) (*vm.Program,
 	for i := range allSites {
 		allSites[i] = i
 	}
+	span.Set("candidate_sites", int64(len(sites))).
+		Set("condition_sites", int64(len(condSites))).Finish()
 
 	// Split + encrypt pieces (§3.2 steps 1-3).
+	span = opts.Obs.Start("embed.split")
 	stmts, err := orderedStatements(key.Params, w)
 	if err != nil {
+		span.Finish()
 		return nil, nil, err
 	}
+	span.Set("statements", int64(len(stmts))).Finish()
 	nPieces := opts.Pieces
 	if nPieces <= 0 {
 		nPieces = len(stmts)
@@ -215,11 +233,13 @@ func Embed(p *vm.Program, w *big.Int, key *Key, opts EmbedOptions) (*vm.Program,
 		code   []vm.Instr
 		piece  PlacedPiece
 	}
+	span = opts.Obs.Start("embed.codegen")
 	var insertions []insertion
 	for n := 0; n < nPieces; n++ {
 		st := stmts[n%len(stmts)]
 		enc, err := key.Params.Encode(st)
 		if err != nil {
+			span.Finish()
 			return nil, nil, err
 		}
 		block := cipher.Encrypt(enc)
@@ -266,11 +286,14 @@ func Embed(p *vm.Program, w *big.Int, key *Key, opts EmbedOptions) (*vm.Program,
 			piece: PlacedPiece{Statement: st, Encrypted: block, Method: s.method, PC: s.pc, Generator: gen},
 		})
 		report.Pieces = append(report.Pieces, insertions[len(insertions)-1].piece)
+		span.Add("generated_instrs", int64(len(code)))
 	}
+	span.Set("pieces", int64(nPieces)).Finish()
 
 	// Apply insertions in descending pc order per method. Insertions that
 	// share a pc are applied in reverse decision order, which keeps each
 	// generated fragment contiguous.
+	span = opts.Obs.Start("embed.apply")
 	sort.SliceStable(insertions, func(a, b int) bool {
 		if insertions[a].method != insertions[b].method {
 			return insertions[a].method < insertions[b].method
@@ -288,8 +311,14 @@ func Embed(p *vm.Program, w *big.Int, key *Key, opts EmbedOptions) (*vm.Program,
 	}
 
 	report.EmbeddedSize = out.CodeSize()
-	if err := vm.Verify(out); err != nil {
+	err = vm.Verify(out)
+	span.Set("original_size", int64(report.OriginalSize)).
+		Set("embedded_size", int64(report.EmbeddedSize)).Finish()
+	if err != nil {
 		return nil, nil, fmt.Errorf("wm: embedded program fails verification: %w", err)
 	}
+	opts.Obs.Counter("embed.pieces_total").Add(int64(nPieces))
+	opts.Obs.Histogram("embed.size_increase_bp").
+		Observe(int64(report.SizeIncrease() * 10_000))
 	return out, report, nil
 }

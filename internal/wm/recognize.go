@@ -12,6 +12,7 @@ import (
 	"pathmark/internal/bitstring"
 	"pathmark/internal/crt"
 	"pathmark/internal/feistel"
+	"pathmark/internal/obs"
 	"pathmark/internal/vm"
 )
 
@@ -41,6 +42,12 @@ type RecognizeOpts struct {
 	// over: 0 picks runtime.GOMAXPROCS(0), 1 forces the serial path. The
 	// Recognition result is bit-for-bit identical at any worker count.
 	Workers int
+	// Obs, when non-nil, receives per-stage spans (recognize.trace/scan/
+	// vote) and pipeline counters/histograms. All recorded metric values
+	// are input-derived — per-worker scan counters are summed over
+	// disjoint shards at the join — so the registry content is identical
+	// at every worker count; only span wall times differ.
+	Obs *obs.Registry
 }
 
 // maxGraphVertices bounds the consistency-graph size; statements beyond
@@ -79,12 +86,21 @@ func Recognize(p *vm.Program, key *Key) (*Recognition, error) {
 // shards, so the merged result — and everything derived from it — is
 // identical at every worker count.
 func RecognizeWithOpts(p *vm.Program, key *Key, opts RecognizeOpts) (*Recognition, error) {
+	total := opts.Obs.Start("recognize")
+	defer total.Finish()
+	opts.Obs.Counter("recognize.calls").Add(1)
+
 	// Stage 1: trace.
+	span := opts.Obs.Start("recognize.trace")
 	tr, _, err := vm.Collect(p, key.Input, 1)
 	if err != nil {
+		span.Finish()
 		return nil, fmt.Errorf("wm: recognition trace failed: %w", err)
 	}
 	bits := tr.DecodeBits()
+	span.Set("trace_events", int64(len(tr.Events))).
+		Set("trace_bits", int64(bits.Len())).Finish()
+	opts.Obs.Histogram("recognize.trace_bits").Observe(int64(bits.Len()))
 
 	rec := &Recognition{TraceBits: bits.Len()}
 
@@ -93,9 +109,20 @@ func RecognizeWithOpts(p *vm.Program, key *Key, opts RecognizeOpts) (*Recognitio
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	span = opts.Obs.Start("recognize.scan")
 	acc := scanBits(bits, key, workers)
 	rec.Windows = acc.windows
 	rec.ValidStatements = acc.valid
+	span.Set("windows", int64(acc.windows)).
+		Set("valid_statements", int64(acc.valid)).Finish()
+	opts.Obs.Counter("recognize.windows_total").Add(int64(acc.windows))
+	opts.Obs.Counter("recognize.valid_total").Add(int64(acc.valid))
+	if acc.windows > 0 {
+		// Valid-statement hit rate in parts per million: integer-valued,
+		// hence deterministic across worker counts and machines.
+		opts.Obs.Histogram("recognize.valid_ppm").
+			Observe(int64(acc.valid) * 1_000_000 / int64(acc.windows))
+	}
 
 	// Cap per-statement multiplicity so that no single repetitive pattern
 	// can dominate the vote: self-similar host traces (recursion, loop
@@ -114,7 +141,11 @@ func RecognizeWithOpts(p *vm.Program, key *Key, opts RecognizeOpts) (*Recognitio
 	}
 
 	// Stage 3: vote + consistency graphs + CRT merge.
+	span = opts.Obs.Start("recognize.vote")
 	resolveStatements(rec, acc.counts, key)
+	span.Set("unique_statements", int64(rec.UniqueStatements)).
+		Set("voted_out", int64(rec.VotedOut)).
+		Set("survivors", int64(rec.Survivors)).Finish()
 	return rec, nil
 }
 

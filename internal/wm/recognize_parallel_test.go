@@ -1,11 +1,29 @@
 package wm
 
 import (
+	"bytes"
 	"fmt"
 	"testing"
 
+	"pathmark/internal/obs"
 	"pathmark/internal/workloads"
 )
+
+// deterministicMetrics runs fn against a fresh registry and returns the
+// deterministic JSONL stream (wall times and timing histograms omitted)
+// — the metric content that must be byte-identical at every worker count.
+func deterministicMetrics(t *testing.T, fn func(reg *obs.Registry) error) []byte {
+	t.Helper()
+	reg := obs.NewRegistry()
+	if err := fn(reg); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := reg.WriteJSONL(&buf, obs.JSONLOptions{Deterministic: true}); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
 
 // sameRecognition compares every field of two Recognition results,
 // including the big.Int fields (nil-safe).
@@ -47,20 +65,31 @@ func TestRecognizeWorkerEquivalence(t *testing.T) {
 		if err != nil {
 			t.Fatalf("seed %d: embed: %v", seed, err)
 		}
-		serial, err := RecognizeWithOpts(marked, key, RecognizeOpts{Workers: 1})
-		if err != nil {
-			t.Fatalf("seed %d: serial recognize: %v", seed, err)
-		}
+		var serial *Recognition
+		serialMetrics := deterministicMetrics(t, func(reg *obs.Registry) error {
+			var err error
+			serial, err = RecognizeWithOpts(marked, key, RecognizeOpts{Workers: 1, Obs: reg})
+			return err
+		})
 		if !serial.Matches(w) {
 			t.Errorf("seed %d: serial recognition failed to recover the watermark", seed)
 		}
 		for _, workers := range []int{2, 8, 0} {
-			par, err := RecognizeWithOpts(marked, key, RecognizeOpts{Workers: workers})
-			if err != nil {
-				t.Fatalf("seed %d workers %d: %v", seed, workers, err)
-			}
+			workers := workers
+			var par *Recognition
+			parMetrics := deterministicMetrics(t, func(reg *obs.Registry) error {
+				var err error
+				par, err = RecognizeWithOpts(marked, key, RecognizeOpts{Workers: workers, Obs: reg})
+				return err
+			})
 			if err := sameRecognition(serial, par); err != nil {
 				t.Errorf("seed %d: workers=%d diverges from serial: %v", seed, workers, err)
+			}
+			// The merged per-worker scan counters — and every other metric
+			// — must be byte-identical to the serial path's.
+			if !bytes.Equal(serialMetrics, parMetrics) {
+				t.Errorf("seed %d: workers=%d metrics diverge from serial:\n%s\nvs\n%s",
+					seed, workers, serialMetrics, parMetrics)
 			}
 		}
 	}
