@@ -18,6 +18,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -34,6 +35,7 @@ func main() {
 	seed := flag.Int64("seed", 42, "experiment seed")
 	jobs := flag.Int("jobs", 0, "concurrent sweep points (0 = one per CPU, 1 = serial)")
 	only := flag.String("only", "", "comma-separated subset of experiments to run")
+	timeout := flag.Duration("timeout", 0, "overall suite deadline; sweeps stop between points once it passes (0 = none)")
 	var cli obs.CLI
 	cli.Register(flag.CommandLine)
 	flag.Parse()
@@ -43,7 +45,13 @@ func main() {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
-	cfg := experiments.Config{Quick: *quick, Seed: *seed, Jobs: *jobs, Obs: reg}
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	cfg := experiments.Config{Quick: *quick, Seed: *seed, Jobs: *jobs, Ctx: ctx, Obs: reg}
 	selected := map[string]bool{}
 	if *only != "" {
 		for _, name := range strings.Split(*only, ",") {
@@ -134,5 +142,9 @@ func main() {
 	}
 	if err := cli.Finish(); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments: stats:", err)
+	}
+	if ctx.Err() != nil {
+		fmt.Fprintln(os.Stderr, "experiments: deadline exceeded; remaining sweep points were skipped and the printed tables may be incomplete")
+		os.Exit(1)
 	}
 }

@@ -9,11 +9,18 @@
 //	pathmark attack  -in marked.pasm -out attacked.pasm -name branch-insertion [-seed S]
 //	pathmark attacks                                    # list the attack catalog
 //	pathmark run     -in prog.pasm [-input 1,2,3] [-vmprofile N]
+//	pathmark inject  {-fault NAME | -all | -list} [-in prog.pasm] [-seed S]
 //
 // Programs are read and written in the textual assembly format of
 // internal/vm (see examples/). The cipher key is derived from -key (two
 // 64-bit halves, "hi:lo" hex); the prime basis from -wbits. Keep all of
 // -key, -input and -wbits secret and stable between embed and recognize.
+//
+// Robustness: every subcommand accepts -timeout D (overall pipeline
+// deadline; the run degrades or fails with a typed error instead of
+// hanging) and -max-steps N (interpreter fuel for tracing runs). The
+// inject subcommand drives the internal/faults catalog against a marked
+// host and reports survive/degrade/fail per fault.
 //
 // Observability: every subcommand accepts
 //
@@ -30,6 +37,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math/big"
@@ -37,8 +45,10 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"pathmark/internal/attacks"
+	"pathmark/internal/faults"
 	"pathmark/internal/feistel"
 	"pathmark/internal/obs"
 	"pathmark/internal/vm"
@@ -69,13 +79,15 @@ func main() {
 		}
 	case "run":
 		cmdRun(args)
+	case "inject":
+		cmdInject(args)
 	default:
 		usage()
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: pathmark {embed|recognize|trace|attack|attacks|run} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: pathmark {embed|recognize|trace|attack|attacks|run|inject} [flags]")
 	os.Exit(2)
 }
 
@@ -92,12 +104,14 @@ func fatal(err error) {
 }
 
 type common struct {
-	in      string
-	input   string
-	key     string
-	keyfile string
-	wbits   int
-	obs     obs.CLI
+	in       string
+	input    string
+	key      string
+	keyfile  string
+	wbits    int
+	timeout  time.Duration
+	maxSteps int64
+	obs      obs.CLI
 }
 
 func (c *common) register(fs *flag.FlagSet) {
@@ -106,7 +120,18 @@ func (c *common) register(fs *flag.FlagSet) {
 	fs.StringVar(&c.key, "key", "6b72616d68746170:504c444932303034", "cipher key as hi:lo hex halves")
 	fs.StringVar(&c.keyfile, "keyfile", "", "load the watermark key from this file (overrides -key/-input/-wbits)")
 	fs.IntVar(&c.wbits, "wbits", 128, "watermark size in bits (fixes the prime basis)")
+	fs.DurationVar(&c.timeout, "timeout", 0, "overall deadline for the command's pipeline (0 = none)")
+	fs.Int64Var(&c.maxSteps, "max-steps", 0, "interpreter step budget for tracing runs (0 = default)")
 	c.obs.Register(fs)
+}
+
+// ctx returns the command's context: background, or deadline-bounded when
+// -timeout was given. The cancel func is always non-nil.
+func (c *common) ctx() (context.Context, context.CancelFunc) {
+	if c.timeout > 0 {
+		return context.WithTimeout(context.Background(), c.timeout)
+	}
+	return context.Background(), func() {}
 }
 
 // beginObs starts profiling and returns the metrics registry (nil unless
@@ -223,8 +248,11 @@ func cmdEmbed(args []string) {
 	default:
 		fatal(fmt.Errorf("unknown -generator %q", *policy))
 	}
+	ctx, cancel := c.ctx()
+	defer cancel()
 	marked, report, err := wm.Embed(p, w, key, wm.EmbedOptions{
-		Pieces: *pieces, Seed: *seed, Policy: pol, Obs: reg,
+		Pieces: *pieces, Seed: *seed, Policy: pol,
+		Ctx: ctx, StepLimit: c.maxSteps, Obs: reg,
 	})
 	if err != nil {
 		fatal(err)
@@ -260,13 +288,30 @@ func cmdRecognize(args []string) {
 	fs.Parse(args)
 	reg := c.beginObs()
 	p := c.loadProgram()
-	rec, err := wm.RecognizeWithOpts(p, c.wmKey(), wm.RecognizeOpts{Workers: *workers, Obs: reg})
-	if err != nil {
+	ctx, cancel := c.ctx()
+	defer cancel()
+	rec, err := wm.RecognizeWithOpts(p, c.wmKey(), wm.RecognizeOpts{
+		Workers: *workers, Ctx: ctx, StepLimit: c.maxSteps, Obs: reg,
+	})
+	if rec == nil && err != nil {
 		fatal(err)
+	}
+	// A non-nil Recognition alongside an error is a degraded run (e.g. a
+	// recovered scan-worker crash): report the partial evidence instead of
+	// discarding it.
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pathmark: degraded:", err)
 	}
 	fmt.Printf("trace bits: %d, windows: %d, valid statements: %d (unique %d)\n",
 		rec.TraceBits, rec.Windows, rec.ValidStatements, rec.UniqueStatements)
 	fmt.Printf("voted out: %d, survivors: %d\n", rec.VotedOut, rec.Survivors)
+	if rec.Degraded {
+		fmt.Printf("degraded: true, confidence: %.4f (%d surviving statements)\n",
+			rec.Confidence, len(rec.Surviving))
+		for _, se := range rec.StageErrors {
+			fmt.Fprintln(os.Stderr, "pathmark: stage error:", se)
+		}
+	}
 	if rec.Watermark == nil {
 		fmt.Println("no watermark recovered")
 		c.finishObs()
@@ -340,6 +385,84 @@ func findAttack(name string) (attacks.Attack, error) {
 	return attacks.Attack{}, fmt.Errorf("unknown attack %q (available: %s)", name, strings.Join(names, ", "))
 }
 
+// cmdInject runs the fault-injection harness: it embeds a fresh watermark
+// into the host program (MiniCalc by default), then injects catalog
+// faults and reports survive/degrade/fail per fault. Exit status is 0
+// when every injection honored the graceful-degradation contract, 1 if
+// any panic escaped the pipeline.
+func cmdInject(args []string) {
+	fs := flag.NewFlagSet("inject", flag.ExitOnError)
+	var c common
+	c.register(fs)
+	name := fs.String("fault", "", "inject a single catalog fault by name")
+	all := fs.Bool("all", false, "inject every catalog fault")
+	list := fs.Bool("list", false, "list the fault catalog and exit")
+	seed := fs.Int64("seed", 1, "injection randomness seed")
+	workers := fs.Int("workers", 0, "scan goroutines for the recognition runs")
+	fs.Parse(args)
+
+	if *list {
+		for _, f := range faults.Catalog() {
+			fmt.Printf("%-22s %-8s worst=%-8s %s\n", f.Name, f.Kind, f.Expect, f.Description)
+		}
+		return
+	}
+	var selected []faults.Fault
+	switch {
+	case *all:
+		selected = faults.Catalog()
+	case *name != "":
+		f, ok := faults.Find(*name)
+		if !ok {
+			catalog := faults.Catalog()
+			names := make([]string, len(catalog))
+			for i, cf := range catalog {
+				names[i] = cf.Name
+			}
+			fatal(fmt.Errorf("unknown fault %q (available: %s)", *name, strings.Join(names, ", ")))
+		}
+		selected = []faults.Fault{f}
+	default:
+		fatal(fmt.Errorf("need -fault NAME, -all, or -list"))
+	}
+
+	reg := c.beginObs()
+	var host *faults.Host
+	var err error
+	if c.in == "" {
+		host, err = faults.DefaultHost(*seed)
+	} else {
+		host, err = faults.NewHost(c.loadProgram(), c.secretInput(), c.wbits, *seed)
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	timeout := c.timeout
+	if timeout <= 0 {
+		timeout = 30 * time.Second
+	}
+	violations := 0
+	for _, f := range selected {
+		rep := faults.Assess(host, f, faults.Options{
+			Seed: *seed, Timeout: timeout, Workers: *workers, Obs: reg,
+		})
+		line := fmt.Sprintf("%-22s %-8s confidence=%.4f", rep.Fault, rep.Outcome, rep.Confidence)
+		if rep.Err != nil {
+			line += "  err=" + rep.Err.Error()
+		}
+		fmt.Println(line)
+		if rep.Recovered {
+			violations++
+			fmt.Fprintf(os.Stderr, "pathmark: CONTRACT VIOLATION: %s let a panic escape the pipeline\n", rep.Fault)
+		}
+	}
+	c.finishObs()
+	if violations > 0 {
+		os.Exit(1)
+	}
+}
+
 func cmdRun(args []string) {
 	fs := flag.NewFlagSet("run", flag.ExitOnError)
 	var c common
@@ -352,8 +475,13 @@ func cmdRun(args []string) {
 	if reg != nil {
 		prof = vm.NewProfile()
 	}
+	ctx, cancel := c.ctx()
+	defer cancel()
 	span := reg.Start("run")
-	res, err := vm.Run(p, vm.RunOptions{Input: c.secretInput(), Profile: prof})
+	res, err := vm.Run(p, vm.RunOptions{
+		Input: c.secretInput(), Profile: prof,
+		Ctx: ctx, StepLimit: c.maxSteps,
+	})
 	span.Finish()
 	if err != nil {
 		fatal(err)

@@ -91,3 +91,51 @@ func TestFindAttack(t *testing.T) {
 		}
 	}
 }
+
+// TestInjectCLISmoke drives the inject subcommand over the whole catalog
+// and checks every fault reports one of the three contract outcomes.
+func TestInjectCLISmoke(t *testing.T) {
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	done := make(chan string)
+	go func() {
+		var sb strings.Builder
+		buf := make([]byte, 4096)
+		for {
+			n, err := r.Read(buf)
+			sb.Write(buf[:n])
+			if err != nil {
+				break
+			}
+		}
+		done <- sb.String()
+	}()
+	cmdInject([]string{"-all", "-seed", "5"})
+	w.Close()
+	os.Stdout = old
+	out := <-done
+
+	for _, fault := range []string{"trace-bitflip", "key-truncate", "vm-fuel", "worker-panic", "cancelled-context"} {
+		line := ""
+		for _, l := range strings.Split(out, "\n") {
+			if strings.HasPrefix(l, fault+" ") {
+				line = l
+				break
+			}
+		}
+		if line == "" {
+			t.Errorf("no report line for fault %q in output:\n%s", fault, out)
+			continue
+		}
+		if !strings.Contains(line, "survive") && !strings.Contains(line, "degrade") && !strings.Contains(line, "fail") {
+			t.Errorf("fault %q line has no outcome: %q", fault, line)
+		}
+	}
+	if !strings.Contains(out, "confidence=") {
+		t.Errorf("inject output carries no confidence scores:\n%s", out)
+	}
+}

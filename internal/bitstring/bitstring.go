@@ -52,6 +52,27 @@ func FromUint64(v uint64) *Bits {
 	return b
 }
 
+// FromWords builds a vector of exactly n bits over the given backing words,
+// validating the shape instead of trusting the caller: len(words) must be
+// ceil(n/64), and bits of the last word beyond n are cleared so the result
+// satisfies the package invariant that unused tail bits are zero. The words
+// slice is copied. This is the bounds-validating constructor adversarial
+// inputs (deserialized or corrupted traces) must come through.
+func FromWords(words []uint64, n int) (*Bits, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("bitstring: negative length %d", n)
+	}
+	if want := (n + 63) / 64; len(words) != want {
+		return nil, fmt.Errorf("bitstring: %d bits need %d words, got %d", n, want, len(words))
+	}
+	b := &Bits{words: make([]uint64, len(words)), n: n}
+	copy(b.words, words)
+	if off := uint(n % 64); off != 0 {
+		b.words[len(b.words)-1] &= (1 << off) - 1
+	}
+	return b, nil
+}
+
 // Len reports the number of bits stored.
 func (b *Bits) Len() int { return b.n }
 
@@ -81,12 +102,23 @@ func (b *Bits) AppendBits(other *Bits) {
 	}
 }
 
-// Bit returns the bit at index i. It panics if i is out of range.
+// Bit returns the bit at index i. It panics if i is out of range; code
+// handling untrusted indices should use TryBit instead.
 func (b *Bits) Bit(i int) bool {
 	if i < 0 || i >= b.n {
 		panic(fmt.Sprintf("bitstring: index %d out of range [0,%d)", i, b.n))
 	}
 	return b.words[i/64]&(1<<uint(i%64)) != 0
+}
+
+// TryBit is the checked form of Bit: out-of-range indices — including
+// indices derived from attacked or corrupted traces — return an error
+// instead of panicking.
+func (b *Bits) TryBit(i int) (bool, error) {
+	if i < 0 || i >= b.n {
+		return false, fmt.Errorf("bitstring: index %d out of range [0,%d)", i, b.n)
+	}
+	return b.words[i/64]&(1<<uint(i%64)) != 0, nil
 }
 
 // Set assigns the bit at index i. It panics if i is out of range.
@@ -113,6 +145,55 @@ func (b *Bits) Word64(i int) uint64 {
 		v |= b.words[word+1] << (64 - off)
 	}
 	return v
+}
+
+// TryWord64 is the checked form of Word64: windows that fall outside the
+// vector return an error instead of panicking.
+func (b *Bits) TryWord64(i int) (uint64, error) {
+	if i < 0 || i+64 > b.n {
+		return 0, fmt.Errorf("bitstring: window [%d,%d) out of range [0,%d)", i, i+64, b.n)
+	}
+	return b.Word64(i), nil
+}
+
+// Validate checks the internal invariants that the window iterators rely
+// on: a non-negative length, a backing array of exactly ceil(n/64) words,
+// and zeroed tail bits beyond the length. Vectors built through the
+// package API always validate; Validate exists so code paths fed by
+// deserialized or fault-injected vectors can reject a corrupt shape with
+// an error instead of panicking (or silently reading garbage) inside the
+// scan loops.
+func (b *Bits) Validate() error {
+	if b == nil {
+		return fmt.Errorf("bitstring: nil vector")
+	}
+	if b.n < 0 {
+		return fmt.Errorf("bitstring: negative length %d", b.n)
+	}
+	if want := (b.n + 63) / 64; len(b.words) < want {
+		return fmt.Errorf("bitstring: %d bits need %d backing words, have %d", b.n, want, len(b.words))
+	}
+	if off := uint(b.n % 64); off != 0 {
+		if tail := b.words[b.n/64] &^ ((1 << off) - 1); tail != 0 {
+			return fmt.Errorf("bitstring: nonzero tail bits %#x beyond length %d", tail, b.n)
+		}
+	}
+	return nil
+}
+
+// Truncate shortens the vector to n bits, clearing the dropped tail so the
+// zero-tail invariant holds. Truncating to more than Len() or to a
+// negative length is an error.
+func (b *Bits) Truncate(n int) error {
+	if n < 0 || n > b.n {
+		return fmt.Errorf("bitstring: cannot truncate %d-bit vector to %d bits", b.n, n)
+	}
+	b.n = n
+	b.words = b.words[:(n+63)/64]
+	if off := uint(n % 64); off != 0 {
+		b.words[len(b.words)-1] &= (1 << off) - 1
+	}
+	return nil
 }
 
 // NumWindows64 returns the number of 64-bit windows in the vector:

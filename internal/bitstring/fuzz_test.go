@@ -1,0 +1,89 @@
+package bitstring
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzWindows64 cross-checks the incremental window iterators — the
+// recognizer's hot path — against the direct Word64/Stride reference on
+// arbitrary bit vectors and (possibly nonsensical) range bounds. The
+// iterators must never panic, must clamp ranges, and must produce exactly
+// the windows the per-index reference produces.
+func FuzzWindows64(f *testing.F) {
+	f.Add([]byte{}, 0, 0, 0)
+	f.Add([]byte{0xFF, 0x00, 0xAA}, 0, 100, 3)
+	f.Add(bytes.Repeat([]byte{0x5A}, 20), 5, 60, 0)
+	f.Add(bytes.Repeat([]byte{0xC3, 0x17}, 12), -4, 1<<20, 1)
+	f.Fuzz(func(t *testing.T, data []byte, lo, hi, phase int) {
+		b := New(len(data) * 8)
+		for _, by := range data {
+			for i := 0; i < 8; i++ {
+				b.Append(by&(1<<i) != 0)
+			}
+		}
+		if err := b.Validate(); err != nil {
+			t.Fatalf("built vector does not validate: %v", err)
+		}
+
+		// Raw windows: iterator vs Word64 reference.
+		var got []uint64
+		var starts []int
+		b.Windows64Range(lo, hi, func(start int, w uint64) bool {
+			got = append(got, w)
+			starts = append(starts, start)
+			return true
+		})
+		clo, chi := lo, hi
+		if clo < 0 {
+			clo = 0
+		}
+		if max := b.NumWindows64(); chi > max {
+			chi = max
+		}
+		want := 0
+		for s := clo; s < chi; s++ {
+			ref, err := b.TryWord64(s)
+			if err != nil {
+				t.Fatalf("TryWord64(%d) inside clamped range failed: %v", s, err)
+			}
+			if want >= len(got) || got[want] != ref || starts[want] != s {
+				t.Fatalf("window %d: iterator disagrees with Word64", s)
+			}
+			want++
+		}
+		if want != len(got) {
+			t.Fatalf("iterator produced %d windows, reference %d", len(got), want)
+		}
+
+		// Stride-2 windows: zero-copy iterator vs materialized Stride.
+		p := phase & 1
+		ref := b.Stride(2, p)
+		var sGot []uint64
+		b.StrideWindows64Range(2, p, lo, hi, func(start int, w uint64) bool {
+			sGot = append(sGot, w)
+			return true
+		})
+		slo, shi := lo, hi
+		if slo < 0 {
+			slo = 0
+		}
+		if max := b.StrideNumWindows64(2, p); shi > max {
+			shi = max
+		}
+		i := 0
+		for s := slo; s < shi; s++ {
+			rw, err := ref.TryWord64(s)
+			if err != nil {
+				t.Fatalf("stride reference TryWord64(%d): %v", s, err)
+			}
+			if i >= len(sGot) || sGot[i] != rw {
+				t.Fatalf("stride window %d: iterator disagrees with materialized Stride", s)
+			}
+			i++
+		}
+		if i != len(sGot) {
+			t.Fatalf("stride iterator produced %d windows, reference %d", len(sGot), i)
+		}
+	})
+}

@@ -6,6 +6,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"hash/fnv"
 	"runtime"
@@ -30,6 +31,12 @@ type Config struct {
 	// sweep parameter for figure-8 points — never from a shared rand.Rand,
 	// so tables are identical at every job count.
 	Jobs int
+	// Ctx, when non-nil, cancels a sweep between points: workers check it
+	// before pulling the next point, so a deadline abandons the remaining
+	// points promptly (already-started points run to completion). Tables
+	// built from a cancelled sweep are incomplete; callers should check
+	// Ctx.Err() before trusting them.
+	Ctx context.Context
 	// Obs, when non-nil, receives per-sweep-point timing histograms
 	// (exp.<table>.point_us, a timing histogram) and point counters
 	// (exp.<table>.points). Table contents never depend on Obs.
@@ -71,6 +78,9 @@ func (cfg Config) forEach(table string, n int, fn func(i int)) {
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
+			if cfg.Ctx != nil && cfg.Ctx.Err() != nil {
+				return
+			}
 			run(i)
 		}
 		return
@@ -82,6 +92,9 @@ func (cfg Config) forEach(table string, n int, fn func(i int)) {
 		go func() {
 			defer wg.Done()
 			for {
+				if cfg.Ctx != nil && cfg.Ctx.Err() != nil {
+					return
+				}
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return

@@ -1,8 +1,10 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
+	"sync/atomic"
 	"testing"
 )
 
@@ -259,5 +261,33 @@ func TestAblations(t *testing.T) {
 	}
 	if !strings.Contains(redundantRow, "3/3") {
 		t.Errorf("redundant embedding did not reliably survive: %s", redundantRow)
+	}
+}
+
+func TestForEachContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, jobs := range []int{1, 4} {
+		cfg := Config{Seed: 1, Jobs: jobs, Ctx: ctx}
+		var ran atomic.Int64
+		cfg.forEach("cancelled", 1000, func(i int) { ran.Add(1) })
+		if n := ran.Load(); n != 0 {
+			t.Errorf("jobs=%d: pre-cancelled sweep ran %d points, want 0", jobs, n)
+		}
+	}
+
+	// Mid-sweep cancellation stops between points: with a serial pool the
+	// point that cancels is the last one to run.
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	defer cancel2()
+	cfg := Config{Seed: 1, Jobs: 1, Ctx: ctx2}
+	var ran atomic.Int64
+	cfg.forEach("midcancel", 1000, func(i int) {
+		if ran.Add(1) == 3 {
+			cancel2()
+		}
+	})
+	if n := ran.Load(); n != 3 {
+		t.Errorf("serial sweep ran %d points after cancellation at the 3rd, want 3", n)
 	}
 }

@@ -1,0 +1,278 @@
+// Package faults implements a deterministic fault-injection catalog and
+// assessment harness for the recognition stack. Where internal/attacks
+// models an adversary transforming the *program*, this package models the
+// environment failing around it: corrupted trace bit-strings, damaged
+// key files, exhausted interpreter budgets, crashing scan workers, and
+// cancelled contexts. Every fault is seeded and reproducible, and the
+// harness guarantees the tri-state failure contract — each injection ends
+// in a surviving recognition, a degraded recognition with a confidence
+// score, or a typed error; never a panic and never a hang.
+package faults
+
+import (
+	"bytes"
+	"context"
+	"math/rand"
+
+	"pathmark/internal/bitstring"
+	"pathmark/internal/wm"
+)
+
+// Kind classifies where in the stack a fault strikes.
+type Kind int
+
+const (
+	// KindTrace faults corrupt the decoded trace bit-string between the
+	// trace and scan stages.
+	KindTrace Kind = iota
+	// KindKeyfile faults damage the serialized key before loading.
+	KindKeyfile
+	// KindRuntime faults constrain or sabotage the pipeline's execution:
+	// fuel budgets, induced worker panics, cancelled contexts.
+	KindRuntime
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindTrace:
+		return "trace"
+	case KindKeyfile:
+		return "keyfile"
+	default:
+		return "runtime"
+	}
+}
+
+// Fault is one catalog entry. Exactly one of Bits, Keyfile, or Opts is
+// non-nil; the harness applies it to the corresponding pipeline input.
+// Implementations never mutate their arguments.
+type Fault struct {
+	// Name identifies the fault in reports and on the pathmark inject CLI.
+	Name string
+	// Description is the one-line catalog documentation.
+	Description string
+	// Kind locates the fault in the stack.
+	Kind Kind
+	// Expect is the worst acceptable outcome: assessments must classify at
+	// or below it (Survive < Degrade < Fail). The catalog test enforces
+	// this bound for every entry.
+	Expect Outcome
+	// Bits corrupts a copy of the decoded trace bit-string.
+	Bits func(rng *rand.Rand, b *bitstring.Bits) *bitstring.Bits
+	// Keyfile corrupts the serialized key bytes.
+	Keyfile func(rng *rand.Rand, data []byte) []byte
+	// Opts sabotages the recognition options (budgets, hooks, contexts).
+	Opts func(rng *rand.Rand, o *wm.RecognizeOpts)
+}
+
+// cancelledContext is pre-cancelled at package init so the catalog entry
+// needs no deferred cancel and injections are perfectly deterministic.
+var cancelledContext = func() context.Context {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	return ctx
+}()
+
+// Catalog returns the full fault catalog in a stable order, mirroring
+// internal/attacks.Catalog. Names are stable identifiers: the CLI, the
+// EXPERIMENTS.md table, and the obs counters (inject.<name>.<outcome>)
+// all key on them.
+func Catalog() []Fault {
+	return []Fault{
+		{
+			Name:        "trace-bitflip",
+			Description: "flip ~0.01% of trace bits (at least one)",
+			Kind:        KindTrace, Expect: Degrade,
+			Bits: bitflip(10_000),
+		},
+		{
+			Name:        "trace-bitflip-heavy",
+			Description: "flip ~2% of trace bits",
+			Kind:        KindTrace, Expect: Degrade,
+			Bits: bitflip(50),
+		},
+		{
+			Name:        "trace-truncate",
+			Description: "keep only the first 3/4 of the trace",
+			Kind:        KindTrace, Expect: Degrade,
+			Bits: truncateTo(3, 4),
+		},
+		{
+			Name:        "trace-truncate-heavy",
+			Description: "keep only the first 1/20 of the trace",
+			Kind:        KindTrace, Expect: Degrade,
+			Bits: truncateTo(1, 20),
+		},
+		{
+			Name:        "trace-dup-segment",
+			Description: "append a duplicate of a random 1/8 segment",
+			Kind:        KindTrace, Expect: Degrade,
+			Bits: dupSegment,
+		},
+		{
+			Name:        "trace-zero-segment",
+			Description: "zero out a random 1/16 segment",
+			Kind:        KindTrace, Expect: Degrade,
+			Bits: zeroSegment,
+		},
+		{
+			Name:        "key-truncate",
+			Description: "truncate the key file to its first third",
+			Kind:        KindKeyfile, Expect: Fail,
+			Keyfile: func(rng *rand.Rand, data []byte) []byte {
+				return append([]byte(nil), data[:len(data)/3]...)
+			},
+		},
+		{
+			Name:        "key-field-cipher",
+			Description: "damage the cipher field name (required field lost)",
+			Kind:        KindKeyfile, Expect: Fail,
+			Keyfile: renameField("cipher"),
+		},
+		{
+			Name:        "key-field-primes",
+			Description: "damage the primes field name (required field lost)",
+			Kind:        KindKeyfile, Expect: Fail,
+			Keyfile: renameField("primes"),
+		},
+		{
+			Name:        "key-field-input",
+			Description: "damage the input field name (secret input lost)",
+			Kind:        KindKeyfile, Expect: Degrade,
+			Keyfile: renameField("input"),
+		},
+		{
+			Name:        "key-flip-byte",
+			Description: "XOR one random key-file byte with 0x20",
+			Kind:        KindKeyfile, Expect: Fail,
+			Keyfile: func(rng *rand.Rand, data []byte) []byte {
+				out := append([]byte(nil), data...)
+				if len(out) > 0 {
+					out[rng.Intn(len(out))] ^= 0x20
+				}
+				return out
+			},
+		},
+		{
+			Name:        "vm-fuel",
+			Description: "starve the tracing run to a 100-step budget",
+			Kind:        KindRuntime, Expect: Fail,
+			Opts: func(rng *rand.Rand, o *wm.RecognizeOpts) { o.StepLimit = 100 },
+		},
+		{
+			Name:        "vm-heap",
+			Description: "starve the tracing run to a 16-cell heap budget",
+			Kind:        KindRuntime, Expect: Fail,
+			Opts: func(rng *rand.Rand, o *wm.RecognizeOpts) { o.MaxHeap = 16 },
+		},
+		{
+			Name:        "worker-panic",
+			Description: "crash whichever scan worker pulls the first chunk",
+			Kind:        KindRuntime, Expect: Degrade,
+			Opts: func(rng *rand.Rand, o *wm.RecognizeOpts) {
+				o.Workers = 4
+				o.ScanHook = func(worker, chunk int) {
+					if chunk == 0 {
+						panic("faults: injected worker crash")
+					}
+				}
+			},
+		},
+		{
+			Name:        "cancelled-context",
+			Description: "run the pipeline under an already-cancelled context",
+			Kind:        KindRuntime, Expect: Fail,
+			Opts: func(rng *rand.Rand, o *wm.RecognizeOpts) { o.Ctx = cancelledContext },
+		},
+	}
+}
+
+// Find returns the named catalog entry.
+func Find(name string) (Fault, bool) {
+	for _, f := range Catalog() {
+		if f.Name == name {
+			return f, true
+		}
+	}
+	return Fault{}, false
+}
+
+// bitflip flips max(1, n/div) bits at seeded positions.
+func bitflip(div int) func(rng *rand.Rand, b *bitstring.Bits) *bitstring.Bits {
+	return func(rng *rand.Rand, b *bitstring.Bits) *bitstring.Bits {
+		n := b.Len()
+		if n == 0 {
+			return b.Clone()
+		}
+		flips := n / div
+		if flips < 1 {
+			flips = 1
+		}
+		out := b.Clone()
+		for i := 0; i < flips; i++ {
+			pos := rng.Intn(n)
+			out.Set(pos, !out.Bit(pos))
+		}
+		return out
+	}
+}
+
+// truncateTo keeps the first num/den of the bit-string.
+func truncateTo(num, den int) func(rng *rand.Rand, b *bitstring.Bits) *bitstring.Bits {
+	return func(rng *rand.Rand, b *bitstring.Bits) *bitstring.Bits {
+		out := b.Clone()
+		// Truncate only shrinks, so the error path is unreachable here;
+		// ignore it rather than fail the injection.
+		_ = out.Truncate(b.Len() * num / den)
+		return out
+	}
+}
+
+// dupSegment appends a duplicate of a random 1/8 segment to the end —
+// the redundancy-friendly corruption: duplicated pieces only add votes.
+func dupSegment(rng *rand.Rand, b *bitstring.Bits) *bitstring.Bits {
+	n := b.Len()
+	out := b.Clone()
+	if n == 0 {
+		return out
+	}
+	seg := n / 8
+	if seg < 1 {
+		seg = n
+	}
+	start := rng.Intn(n - seg + 1)
+	for i := 0; i < seg; i++ {
+		out.Append(b.Bit(start + i))
+	}
+	return out
+}
+
+// zeroSegment clears a random 1/16 segment in place (on the copy).
+func zeroSegment(rng *rand.Rand, b *bitstring.Bits) *bitstring.Bits {
+	n := b.Len()
+	out := b.Clone()
+	if n == 0 {
+		return out
+	}
+	seg := n / 16
+	if seg < 1 {
+		seg = n
+	}
+	start := rng.Intn(n - seg + 1)
+	for i := 0; i < seg; i++ {
+		out.Set(start+i, false)
+	}
+	return out
+}
+
+// renameField damages a JSON field's key so the loader sees it as
+// missing (required fields) or absent (optional ones). The replacement
+// preserves length, keeping all other offsets intact.
+func renameField(name string) func(rng *rand.Rand, data []byte) []byte {
+	return func(rng *rand.Rand, data []byte) []byte {
+		old := []byte(`"` + name + `"`)
+		damaged := append([]byte(nil), old...)
+		damaged[1] ^= 0x20 // flip the case of the first letter
+		return bytes.Replace(append([]byte(nil), data...), old, damaged, 1)
+	}
+}

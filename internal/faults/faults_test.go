@@ -1,0 +1,183 @@
+package faults
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"pathmark/internal/obs"
+	"pathmark/internal/vm"
+	"pathmark/internal/wm"
+)
+
+var (
+	hostOnce sync.Once
+	hostVal  *Host
+	hostErr  error
+)
+
+// sharedHost builds the default host once: embedding plus the baseline
+// recognition dominate the package's test time.
+func sharedHost(t *testing.T) *Host {
+	t.Helper()
+	hostOnce.Do(func() { hostVal, hostErr = DefaultHost(7) })
+	if hostErr != nil {
+		t.Fatal(hostErr)
+	}
+	return hostVal
+}
+
+// TestCatalogContract is the headline acceptance test: every catalog
+// fault, injected into the default host, must end in Survive, Degrade
+// (with a confidence score), or a typed error — never a panic escaping
+// the pipeline and never a hang.
+func TestCatalogContract(t *testing.T) {
+	h := sharedHost(t)
+	for _, f := range Catalog() {
+		f := f
+		t.Run(f.Name, func(t *testing.T) {
+			rep := Assess(h, f, Options{Seed: 11, Timeout: 30 * time.Second})
+			if rep.Recovered {
+				t.Fatalf("panic escaped the pipeline: %v", rep.Err)
+			}
+			if rep.Outcome > f.Expect {
+				t.Errorf("outcome %v exceeds the catalog bound %v (err=%v)", rep.Outcome, f.Expect, rep.Err)
+			}
+			switch rep.Outcome {
+			case Fail:
+				if rep.Err == nil {
+					t.Error("Fail outcome must carry a typed error")
+				}
+				if rep.Rec != nil {
+					t.Error("Fail outcome must not carry a Recognition")
+				}
+			case Degrade:
+				if rep.Rec == nil {
+					t.Error("Degrade outcome must carry a Recognition")
+				}
+				if rep.Confidence < 0 || rep.Confidence > 1 {
+					t.Errorf("confidence %v outside [0,1]", rep.Confidence)
+				}
+			case Survive:
+				if !rep.Rec.Matches(h.Watermark) {
+					t.Error("Survive outcome must fully match the watermark")
+				}
+			}
+			// Typed-error discipline: whatever surfaced must be one of the
+			// stack's error types, not an anonymous failure.
+			if rep.Err != nil {
+				var se *wm.StageError
+				var kfe *wm.KeyFileError
+				var re *vm.ResourceError
+				if !errors.As(rep.Err, &se) && !errors.As(rep.Err, &kfe) && !errors.As(rep.Err, &re) {
+					t.Errorf("untyped error: %T: %v", rep.Err, rep.Err)
+				}
+			}
+		})
+	}
+}
+
+// TestCatalogDeterminism re-runs a trace fault with the same seed and
+// checks the injection reproduces bit-for-bit.
+func TestCatalogDeterminism(t *testing.T) {
+	h := sharedHost(t)
+	f, ok := Find("trace-bitflip-heavy")
+	if !ok {
+		t.Fatal("catalog entry missing")
+	}
+	a := Assess(h, f, Options{Seed: 3})
+	b := Assess(h, f, Options{Seed: 3})
+	if a.Outcome != b.Outcome || a.Confidence != b.Confidence {
+		t.Errorf("same seed diverged: %v/%v vs %v/%v", a.Outcome, a.Confidence, b.Outcome, b.Confidence)
+	}
+	if a.Rec != nil && b.Rec != nil && a.Rec.ValidStatements != b.Rec.ValidStatements {
+		t.Errorf("same seed, different scans: %d vs %d valid statements",
+			a.Rec.ValidStatements, b.Rec.ValidStatements)
+	}
+}
+
+// TestFaultSpecificContracts pins the exact typed error each runtime
+// fault must surface.
+func TestFaultSpecificContracts(t *testing.T) {
+	h := sharedHost(t)
+	t.Run("worker-panic", func(t *testing.T) {
+		f, _ := Find("worker-panic")
+		rep := Assess(h, f, Options{Seed: 1})
+		var se *wm.StageError
+		if rep.Err == nil || !errors.As(rep.Err, &se) {
+			t.Fatalf("want *wm.StageError, got %v", rep.Err)
+		}
+		if se.Stage != "scan" {
+			t.Errorf("want scan stage, got %q", se.Stage)
+		}
+		if rep.Rec == nil {
+			t.Fatal("worker panic must preserve the partial Recognition")
+		}
+	})
+	t.Run("vm-fuel", func(t *testing.T) {
+		f, _ := Find("vm-fuel")
+		rep := Assess(h, f, Options{Seed: 1})
+		var re *vm.ResourceError
+		if !errors.As(rep.Err, &re) || !errors.Is(rep.Err, vm.ErrStepLimit) {
+			t.Fatalf("want ResourceError wrapping ErrStepLimit, got %v", rep.Err)
+		}
+	})
+	t.Run("vm-heap", func(t *testing.T) {
+		f, _ := Find("vm-heap")
+		rep := Assess(h, f, Options{Seed: 1})
+		if !errors.Is(rep.Err, vm.ErrHeapLimit) {
+			t.Fatalf("want ErrHeapLimit, got %v", rep.Err)
+		}
+	})
+	t.Run("cancelled-context", func(t *testing.T) {
+		f, _ := Find("cancelled-context")
+		rep := Assess(h, f, Options{Seed: 1})
+		if !errors.Is(rep.Err, context.Canceled) {
+			t.Fatalf("want context.Canceled, got %v", rep.Err)
+		}
+	})
+	t.Run("key-truncate", func(t *testing.T) {
+		f, _ := Find("key-truncate")
+		rep := Assess(h, f, Options{Seed: 1})
+		var kfe *wm.KeyFileError
+		if !errors.As(rep.Err, &kfe) {
+			t.Fatalf("want *wm.KeyFileError, got %v", rep.Err)
+		}
+	})
+}
+
+// TestLightFaultsPreserveRecognition checks the redundancy claim: the
+// gentle trace corruptions leave enough pieces for full recovery.
+func TestLightFaultsPreserveRecognition(t *testing.T) {
+	h := sharedHost(t)
+	for _, name := range []string{"trace-bitflip", "trace-dup-segment"} {
+		f, ok := Find(name)
+		if !ok {
+			t.Fatalf("catalog entry %q missing", name)
+		}
+		rep := Assess(h, f, Options{Seed: 5})
+		if rep.Outcome != Survive {
+			t.Errorf("%s: expected the redundancy to absorb the fault, got %v (confidence %v, err %v)",
+				name, rep.Outcome, rep.Confidence, rep.Err)
+		}
+	}
+}
+
+// TestAssessAllRecordsCounters checks the obs wiring: every assessment
+// lands exactly one inject.<fault>.<outcome> counter.
+func TestAssessAllRecordsCounters(t *testing.T) {
+	h := sharedHost(t)
+	reg := obs.NewRegistry()
+	reports := AssessAll(h, Options{Seed: 2, Obs: reg})
+	if len(reports) != len(Catalog()) {
+		t.Fatalf("got %d reports for %d catalog entries", len(reports), len(Catalog()))
+	}
+	for _, rep := range reports {
+		name := "inject." + rep.Fault + "." + rep.Outcome.String()
+		if v := reg.Counter(name).Value(); v != 1 {
+			t.Errorf("counter %q = %d, want 1", name, v)
+		}
+	}
+}

@@ -1,0 +1,66 @@
+package nativewm
+
+import (
+	"context"
+	"errors"
+	"math/big"
+	"testing"
+	"time"
+
+	"pathmark/internal/isa"
+)
+
+// cancelledCtx is pre-cancelled so tests exercise the prompt-return path
+// without racing a timer.
+func cancelledCtx() context.Context {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	return ctx
+}
+
+func TestEmbedContextCancellation(t *testing.T) {
+	u := buildHost()
+	_, _, err := Embed(u, big.NewInt(0xBEEF), 16, EmbedOptions{
+		Seed: 41, TrainInput: trainInput, LabelPrefix: "wc_", Ctx: cancelledCtx(),
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+}
+
+func TestExtractContextCancellation(t *testing.T) {
+	u := buildHost()
+	w := big.NewInt(0xBEEF)
+	marked, report, err := Embed(u, w, 16, defaultOpts(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := isa.Assemble(marked)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	start := time.Now()
+	_, err = ExtractContext(cancelledCtx(), img, trainInput, report.Mark, SmartTracer, 0)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("extract: want context.Canceled, got %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("cancelled extraction took %v", elapsed)
+	}
+
+	_, err = ExtractFramedContext(cancelledCtx(), img, trainInput, SmartTracer, 0)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("framed extract: want context.Canceled, got %v", err)
+	}
+
+	// A nil context must not change behavior: the delegating wrappers
+	// still extract the watermark.
+	ext, err := Extract(img, trainInput, report.Mark, SmartTracer, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ext.Watermark.Cmp(w) != 0 {
+		t.Fatalf("extracted %v, want %v", ext.Watermark, w)
+	}
+}

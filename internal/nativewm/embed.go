@@ -6,6 +6,7 @@
 package nativewm
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/big"
@@ -42,6 +43,10 @@ type EmbedOptions struct {
 	TrainInput []int64
 	// StepLimit bounds the profiling run.
 	StepLimit int64
+	// Ctx, when non-nil, cancels the embedding: it is checked at every
+	// stage boundary (after profiling, before assembly, before
+	// finalization), so a deadline cuts the pipeline off between stages.
+	Ctx context.Context
 	// Obs, when non-nil, receives per-stage spans (nativewm.profile/
 	// sites/assemble/finalize) and counters. nil costs a pointer check.
 	Obs *obs.Registry
@@ -127,6 +132,9 @@ func Embed(u *isa.Unit, w *big.Int, bits int, opts EmbedOptions) (*isa.Unit, *Em
 	}
 	cfg := isa.BuildCFG(out)
 	span.Set("text_instrs", int64(len(out.Instrs))).Finish()
+	if err := ctxErr(opts.Ctx); err != nil {
+		return nil, nil, fmt.Errorf("nativewm: embedding cancelled after profiling: %w", err)
+	}
 
 	span = opts.Obs.Start("nativewm.sites")
 
@@ -288,6 +296,10 @@ func Embed(u *isa.Unit, w *big.Int, bits int, opts EmbedOptions) (*isa.Unit, *Em
 		Set("islands", int64(len(islands))).
 		Set("tamper_candidates", int64(len(tampers))).Finish()
 
+	if err := ctxErr(opts.Ctx); err != nil {
+		return nil, nil, fmt.Errorf("nativewm: embedding cancelled before assembly: %w", err)
+	}
+
 	// Reserve the branch function for k+1 = bits+1 call sites; its code is
 	// appended after every island, so the data-patch indices stay stable.
 	span = opts.Obs.Start("nativewm.assemble")
@@ -317,6 +329,10 @@ func Embed(u *isa.Unit, w *big.Int, bits int, opts EmbedOptions) (*isa.Unit, *Em
 	}
 	span.Set("text_bytes", int64(len(img.Text))).
 		Set("data_bytes", int64(len(out.Data))).Finish()
+
+	if err := ctxErr(opts.Ctx); err != nil {
+		return nil, nil, fmt.Errorf("nativewm: embedding cancelled before finalization: %w", err)
+	}
 
 	// Build the control transfer map: a_i -> a_{i+1}, a_k -> end.
 	// (This span is the last stage, so a deferred Finish covers the

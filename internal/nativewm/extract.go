@@ -1,12 +1,27 @@
 package nativewm
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/big"
 
 	"pathmark/internal/isa"
 )
+
+// ctxCheckSteps is how often the single-stepping tracers poll their
+// context: every few thousand machine steps, cheap enough to be invisible
+// against the decode+step cost yet prompt enough (well under a
+// millisecond of work) that cancellation and deadlines feel immediate.
+const ctxCheckSteps = 4096
+
+// ctxErr reports a nil-safe context error.
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Err()
+}
 
 // TracerKind selects the §4.2.3 extraction strategy.
 type TracerKind int
@@ -40,8 +55,17 @@ type MisReturn struct {
 
 // TraceMisReturns single-steps the image on the input and records every
 // mis-returning call — the §4.2.3 observation that identifies the branch
-// function. It stops at the step limit or when the machine halts.
+// function. It stops at the step limit or when the machine halts. It is
+// TraceMisReturnsContext with no cancellation.
 func TraceMisReturns(img *isa.Image, input []int64, stepLimit int64) ([]MisReturn, error) {
+	return TraceMisReturnsContext(nil, img, input, stepLimit)
+}
+
+// TraceMisReturnsContext is TraceMisReturns bounded by a context: the
+// step loop polls ctx every ctxCheckSteps machine steps and returns the
+// events observed so far together with the context's error once it is
+// done. A nil ctx disables the checks.
+func TraceMisReturnsContext(ctx context.Context, img *isa.Image, input []int64, stepLimit int64) ([]MisReturn, error) {
 	if stepLimit == 0 {
 		stepLimit = 50_000_000
 	}
@@ -52,6 +76,11 @@ func TraceMisReturns(img *isa.Image, input []int64, stepLimit int64) ([]MisRetur
 	var shadow []frame
 	var events []MisReturn
 	for !cpu.Halted() && cpu.Steps < stepLimit {
+		if ctx != nil && cpu.Steps%ctxCheckSteps == 0 {
+			if err := ctx.Err(); err != nil {
+				return events, fmt.Errorf("nativewm: trace cancelled after %d steps: %w", cpu.Steps, err)
+			}
+		}
 		d, err := isa.DecodeAt(img.Text, img.TextBase, cpu.EIP)
 		if err != nil {
 			return events, err
@@ -88,8 +117,18 @@ type Extraction struct {
 
 // Extract recovers the watermark from a (possibly attacked) image by
 // dynamic tracing between mark.Begin and mark.End (§4.2.3). The input
-// must drive execution through the begin→end edge.
+// must drive execution through the begin→end edge. It is ExtractContext
+// with no cancellation.
 func Extract(img *isa.Image, input []int64, mark Mark, kind TracerKind, stepLimit int64) (*Extraction, error) {
+	return ExtractContext(nil, img, input, mark, kind, stepLimit)
+}
+
+// ExtractContext is Extract bounded by a context: the step loop polls ctx
+// every ctxCheckSteps machine steps, so an attacked image that spins
+// without reaching the end marker degrades into a prompt cancellation
+// error instead of burning the whole step budget. A nil ctx disables the
+// checks.
+func ExtractContext(ctx context.Context, img *isa.Image, input []int64, mark Mark, kind TracerKind, stepLimit int64) (*Extraction, error) {
 	if stepLimit == 0 {
 		stepLimit = 50_000_000
 	}
@@ -102,6 +141,11 @@ func Extract(img *isa.Image, input []int64, mark Mark, kind TracerKind, stepLimi
 	type pair struct{ a, b uint32 }
 	var events []pair
 	for !cpu.Halted() && cpu.Steps < stepLimit {
+		if ctx != nil && cpu.Steps%ctxCheckSteps == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("nativewm: extraction cancelled after %d steps: %w", cpu.Steps, err)
+			}
+		}
 		if cpu.EIP == mark.Begin {
 			tracking = true
 		}

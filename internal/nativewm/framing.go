@@ -1,6 +1,7 @@
 package nativewm
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/big"
@@ -58,9 +59,18 @@ func EmbedFramed(u *isa.Unit, w *big.Int, bits int, opts EmbedOptions) (*isa.Uni
 
 // ExtractFramed recovers a framed watermark with no begin/end knowledge:
 // it collects every branch-function dispatch in execution order and scans
-// the bit sequence for the frame header.
+// the bit sequence for the frame header. It is ExtractFramedContext with
+// no cancellation.
 func ExtractFramed(img *isa.Image, input []int64, kind TracerKind, stepLimit int64) (*Extraction, error) {
-	events, err := TraceMisReturns(img, input, stepLimit)
+	return ExtractFramedContext(nil, img, input, kind, stepLimit)
+}
+
+// ExtractFramedContext is ExtractFramed bounded by a context: the tracing
+// run polls ctx periodically, so a deadline converts a spinning (or
+// attacked) image into a prompt error instead of a step-budget burn. A
+// nil ctx disables the checks.
+func ExtractFramedContext(ctx context.Context, img *isa.Image, input []int64, kind TracerKind, stepLimit int64) (*Extraction, error) {
+	events, err := TraceMisReturnsContext(ctx, img, input, stepLimit)
 	if err != nil && len(events) == 0 {
 		return nil, fmt.Errorf("nativewm: framed extraction trace: %w", err)
 	}
@@ -74,7 +84,25 @@ func ExtractFramed(img *isa.Image, input []int64, kind TracerKind, stepLimit int
 		}
 		bits = append(bits, e.Actual > a)
 	}
-	for off := 0; off+frameMagicBits+frameLenBits <= len(bits); off++ {
+	payload, _, ok := scanFrame(bits)
+	if !ok {
+		return nil, errors.New("nativewm: no frame header found in the trace")
+	}
+	return &Extraction{
+		Bits:      payload,
+		Watermark: BitsToInt(payload),
+	}, nil
+}
+
+// scanFrame scans a bit sequence for a framed watermark: the first offset
+// whose next 16 bits decode (LSB-first) to the frame magic, followed by a
+// 12-bit length field describing a payload that fits in the remaining
+// bits, wins. It returns the payload, the header's bit offset, and
+// whether a frame was found. The scan is the decode half of EmbedFramed's
+// header assembly and is shared by the extractor and the fuzz target; it
+// never panics on any input shape.
+func scanFrame(bits []bool) (payload []bool, off int, ok bool) {
+	for off = 0; off+frameMagicBits+frameLenBits <= len(bits); off++ {
 		magic := bitsToUint(bits[off : off+frameMagicBits])
 		if magic != frameMagic {
 			continue
@@ -84,13 +112,9 @@ func ExtractFramed(img *isa.Image, input []int64, kind TracerKind, stepLimit int
 		if n == 0 || start+n > len(bits) {
 			continue
 		}
-		payload := bits[start : start+n]
-		return &Extraction{
-			Bits:      payload,
-			Watermark: BitsToInt(payload),
-		}, nil
+		return bits[start : start+n], off, true
 	}
-	return nil, errors.New("nativewm: no frame header found in the trace")
+	return nil, -1, false
 }
 
 func bitsToUint(bits []bool) uint64 {

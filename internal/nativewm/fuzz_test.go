@@ -1,0 +1,97 @@
+package nativewm
+
+import (
+	"bytes"
+	"testing"
+)
+
+// bytesToBits expands data into a bit sequence, LSB-first within each
+// byte, truncated to n bits (n <= 8*len(data)).
+func bytesToBits(data []byte, n int) []bool {
+	if n > 8*len(data) {
+		n = 8 * len(data)
+	}
+	bits := make([]bool, 0, n)
+	for i := 0; i < n; i++ {
+		bits = append(bits, data[i/8]&(1<<uint(i%8)) != 0)
+	}
+	return bits
+}
+
+// frameBits assembles a well-formed frame header followed by the payload,
+// mirroring EmbedFramed's LSB-first layout.
+func frameBits(payload []bool) []bool {
+	out := make([]bool, 0, frameMagicBits+frameLenBits+len(payload))
+	for i := 0; i < frameMagicBits; i++ {
+		out = append(out, frameMagic&(1<<uint(i)) != 0)
+	}
+	for i := 0; i < frameLenBits; i++ {
+		out = append(out, len(payload)&(1<<uint(i)) != 0)
+	}
+	return append(out, payload...)
+}
+
+// FuzzFramingDecode drives scanFrame — the decode half of the §4.2.3
+// framing scheme — with arbitrary bit sequences. Invariants checked:
+//
+//  1. scanFrame never panics, whatever the input shape;
+//  2. when it reports a frame, the reported offset really holds the magic
+//     and a length field matching the returned payload, which lies fully
+//     inside the input;
+//  3. a well-formed frame prepended to arbitrary noise is always found,
+//     at offset 0, with the payload intact (encode/decode round trip).
+func FuzzFramingDecode(f *testing.F) {
+	f.Add([]byte{}, 0, false)
+	f.Add([]byte{0xC3, 0xA5, 0x08, 0x00, 0xFF}, 40, false)
+	f.Add(bytes.Repeat([]byte{0xA5, 0xC3}, 40), 640, true)
+	f.Add([]byte{0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08}, 64, true)
+
+	f.Fuzz(func(t *testing.T, data []byte, n int, wrap bool) {
+		if n < 0 {
+			n = -n
+		}
+		if n > 8*len(data) {
+			n = 8 * len(data)
+		}
+		noise := bytesToBits(data, n)
+
+		// Invariants 1+2: arbitrary input.
+		if payload, off, ok := scanFrame(noise); ok {
+			if off < 0 || off+frameMagicBits+frameLenBits+len(payload) > len(noise) {
+				t.Fatalf("frame [off %d, %d payload bits] overruns %d input bits", off, len(payload), len(noise))
+			}
+			if m := bitsToUint(noise[off : off+frameMagicBits]); m != frameMagic {
+				t.Fatalf("reported offset %d holds %#x, not the magic", off, m)
+			}
+			if l := bitsToUint(noise[off+frameMagicBits : off+frameMagicBits+frameLenBits]); int(l) != len(payload) {
+				t.Fatalf("length field says %d, payload has %d bits", l, len(payload))
+			}
+		} else if payload != nil || off != -1 {
+			t.Fatalf("no-frame result must be (nil, -1): got (%v, %d)", payload, off)
+		}
+
+		// Invariant 3: a valid frame survives arbitrary trailing noise.
+		if wrap {
+			want := noise
+			if len(want) > MaxFramedBits {
+				want = want[:MaxFramedBits]
+			}
+			if len(want) == 0 {
+				want = []bool{true}
+			}
+			framed := append(frameBits(want), noise...)
+			got, off, ok := scanFrame(framed)
+			if !ok || off != 0 {
+				t.Fatalf("well-formed frame not found at offset 0 (ok=%v off=%d)", ok, off)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("payload length %d, want %d", len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("payload bit %d flipped in round trip", i)
+				}
+			}
+		}
+	})
+}

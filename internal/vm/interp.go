@@ -1,14 +1,14 @@
 package vm
 
 import (
+	"context"
 	"errors"
 	"fmt"
 )
 
 // RuntimeError describes a trapped execution fault (division by zero, bad
-// array access, step-limit exhaustion, call-depth overflow). Attacked
-// programs that fault are classified as "broken" by the resilience
-// experiments.
+// array access, call-depth overflow). Attacked programs that fault are
+// classified as "broken" by the resilience experiments.
 type RuntimeError struct {
 	Method string
 	PC     int
@@ -19,9 +19,45 @@ func (e *RuntimeError) Error() string {
 	return fmt.Sprintf("vm: runtime error in %s at pc %d: %s", e.Method, e.PC, e.Msg)
 }
 
-// ErrStepLimit is wrapped by the RuntimeError produced when execution
+// ErrStepLimit is wrapped by the ResourceError produced when execution
 // exceeds RunOptions.StepLimit.
 var ErrStepLimit = errors.New("step limit exceeded")
+
+// ErrHeapLimit is wrapped by the ResourceError produced when cumulative
+// array allocation exceeds RunOptions.MaxHeap.
+var ErrHeapLimit = errors.New("heap limit exceeded")
+
+// ResourceError reports fuel exhaustion: the run was aborted not because
+// the program faulted but because it outran a budget (steps, heap cells)
+// or its context was cancelled. It is the graceful-degradation boundary
+// for runaway or adversarial programs: callers distinguish it from
+// RuntimeError to tell "the program is broken" from "the program was cut
+// off".
+type ResourceError struct {
+	// Resource names the exhausted budget: "steps", "heap", or "context".
+	Resource string
+	// Limit is the configured budget; Used the consumption at abort time.
+	Limit, Used int64
+	// Method/PC locate the instruction about to execute at the abort.
+	Method string
+	PC     int
+	// Cause is the sentinel (ErrStepLimit, ErrHeapLimit) or the context's
+	// error; errors.Is/As unwrap to it.
+	Cause error
+}
+
+func (e *ResourceError) Error() string {
+	return fmt.Sprintf("vm: %v in %s at pc %d (used %d of %d)",
+		e.Cause, e.Method, e.PC, e.Used, e.Limit)
+}
+
+func (e *ResourceError) Unwrap() error { return e.Cause }
+
+// ctxCheckInterval is how many instructions execute between context
+// cancellation checks: frequent enough that cancellation is prompt (a few
+// microseconds of VM work), rare enough that the per-step cost is one
+// counter mask.
+const ctxCheckInterval = 4096
 
 // RunOptions controls execution.
 type RunOptions struct {
@@ -29,7 +65,16 @@ type RunOptions struct {
 	// yields 0 once exhausted.
 	Input []int64
 	// StepLimit bounds executed instructions (0 means the 100M default).
+	// Exhaustion returns a *ResourceError wrapping ErrStepLimit.
 	StepLimit int64
+	// MaxHeap bounds the cumulative number of array cells allocated over
+	// the run (0 means the 64M default). Exhaustion returns a
+	// *ResourceError wrapping ErrHeapLimit.
+	MaxHeap int64
+	// Ctx, when non-nil, aborts the run with a *ResourceError wrapping the
+	// context's error once the context is done. Checked every
+	// ctxCheckInterval instructions.
+	Ctx context.Context
 	// MaxDepth bounds the call stack (0 means the 10k default).
 	MaxDepth int
 	// Trace, when non-nil, receives block-entry and branch events.
@@ -70,6 +115,10 @@ func Run(p *Program, opts RunOptions) (*Result, error) {
 	if stepLimit == 0 {
 		stepLimit = 100_000_000
 	}
+	maxHeap := opts.MaxHeap
+	if maxHeap == 0 {
+		maxHeap = 64 << 20
+	}
 	maxDepth := opts.MaxDepth
 	if maxDepth == 0 {
 		maxDepth = 10_000
@@ -93,9 +142,14 @@ func Run(p *Program, opts RunOptions) (*Result, error) {
 
 	statics := make([]int64, p.NStatics)
 	var heap [][]int64 // array handle v refers to heap[v-1]
+	var heapCells int64
 	input := opts.Input
 	inPos := 0
 	res := &Result{}
+	var ctxDone <-chan struct{}
+	if opts.Ctx != nil {
+		ctxDone = opts.Ctx.Done()
+	}
 
 	entry := p.Methods[p.Entry]
 	frames := []*frame{{
@@ -126,7 +180,20 @@ func Run(p *Program, opts RunOptions) (*Result, error) {
 			return nil, fault(f, "fell off end of method")
 		}
 		if res.Steps >= stepLimit {
-			return nil, &RuntimeError{Method: f.method.Name, PC: f.pc, Msg: ErrStepLimit.Error()}
+			return nil, &ResourceError{
+				Resource: "steps", Limit: stepLimit, Used: res.Steps,
+				Method: f.method.Name, PC: f.pc, Cause: ErrStepLimit,
+			}
+		}
+		if ctxDone != nil && res.Steps%ctxCheckInterval == 0 {
+			select {
+			case <-ctxDone:
+				return nil, &ResourceError{
+					Resource: "context", Limit: stepLimit, Used: res.Steps,
+					Method: f.method.Name, PC: f.pc, Cause: opts.Ctx.Err(),
+				}
+			default:
+			}
 		}
 		res.Steps++
 		in := f.method.Code[f.pc]
@@ -350,6 +417,13 @@ func Run(p *Program, opts RunOptions) (*Result, error) {
 			if nv < 0 || nv > 1<<24 {
 				return nil, fault(f, fmt.Sprintf("bad array size %d", nv))
 			}
+			if heapCells+nv > maxHeap {
+				return nil, &ResourceError{
+					Resource: "heap", Limit: maxHeap, Used: heapCells + nv,
+					Method: f.method.Name, PC: f.pc, Cause: ErrHeapLimit,
+				}
+			}
+			heapCells += nv
 			heap = append(heap, make([]int64, nv))
 			pushv(int64(len(heap)))
 			next()

@@ -1,0 +1,109 @@
+package vm
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// spin is an infinite loop; every budget test cuts it off one way or
+// another.
+const spinSrc = "method main 0 0\nspin:\n  goto spin\n"
+
+func TestStepLimitResourceError(t *testing.T) {
+	p := MustAssemble(spinSrc)
+	_, err := Run(p, RunOptions{StepLimit: 1000})
+	var re *ResourceError
+	if !errors.As(err, &re) {
+		t.Fatalf("want *ResourceError, got %T: %v", err, err)
+	}
+	if re.Resource != "steps" || re.Limit != 1000 {
+		t.Errorf("got resource %q limit %d, want steps/1000", re.Resource, re.Limit)
+	}
+	if !errors.Is(err, ErrStepLimit) {
+		t.Error("step exhaustion should unwrap to ErrStepLimit")
+	}
+}
+
+func TestHeapLimit(t *testing.T) {
+	// Allocate 100-cell arrays forever; a 250-cell budget dies on the
+	// third allocation.
+	src := `
+method main 0 0
+loop:
+  const 100
+  newarr
+  pop
+  goto loop
+`
+	p := MustAssemble(src)
+	_, err := Run(p, RunOptions{MaxHeap: 250})
+	var re *ResourceError
+	if !errors.As(err, &re) {
+		t.Fatalf("want *ResourceError, got %T: %v", err, err)
+	}
+	if re.Resource != "heap" || !errors.Is(err, ErrHeapLimit) {
+		t.Errorf("got resource %q (%v), want heap wrapping ErrHeapLimit", re.Resource, err)
+	}
+	if re.Used != 300 || re.Limit != 250 {
+		t.Errorf("got used %d limit %d, want 300/250", re.Used, re.Limit)
+	}
+	// Within budget the same program bounded by steps still allocates.
+	if _, err := Run(p, RunOptions{MaxHeap: 1 << 20, StepLimit: 100}); !errors.Is(err, ErrStepLimit) {
+		t.Errorf("want step exhaustion with a big heap budget, got %v", err)
+	}
+}
+
+func TestContextCancellation(t *testing.T) {
+	p := MustAssemble(spinSrc)
+
+	t.Run("pre-cancelled", func(t *testing.T) {
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		start := time.Now()
+		_, err := Run(p, RunOptions{Ctx: ctx})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("want context.Canceled, got %v", err)
+		}
+		var re *ResourceError
+		if !errors.As(err, &re) || re.Resource != "context" {
+			t.Errorf("want *ResourceError{Resource: context}, got %v", err)
+		}
+		if elapsed := time.Since(start); elapsed > time.Second {
+			t.Errorf("cancellation took %v, want prompt return", elapsed)
+		}
+	})
+
+	t.Run("deadline", func(t *testing.T) {
+		ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+		defer cancel()
+		_, err := Run(p, RunOptions{Ctx: ctx, StepLimit: 1 << 62})
+		if !errors.Is(err, context.DeadlineExceeded) {
+			t.Fatalf("want context.DeadlineExceeded, got %v", err)
+		}
+	})
+
+	t.Run("no-interference", func(t *testing.T) {
+		// A live context must not perturb a normal run.
+		ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+		defer cancel()
+		q := MustAssemble("method main 0 0\n  const 7\n  ret\n")
+		res, err := Run(q, RunOptions{Ctx: ctx})
+		if err != nil || res.Return != 7 {
+			t.Errorf("got %v, %v; want return 7", res, err)
+		}
+	})
+}
+
+func TestCollectWithPropagatesBudgets(t *testing.T) {
+	p := MustAssemble(spinSrc)
+	_, _, err := CollectWith(p, RunOptions{StepLimit: 500})
+	if !errors.Is(err, ErrStepLimit) {
+		t.Fatalf("want ErrStepLimit through CollectWith, got %v", err)
+	}
+	var re *ResourceError
+	if !errors.As(err, &re) {
+		t.Fatalf("ResourceError should survive CollectWith's wrapping: %v", err)
+	}
+}

@@ -98,8 +98,19 @@ func (t *Trace) NumBranchExecs() int {
 // Collect runs the program on the secret input with tracing enabled and
 // returns the trace (the paper's tracing phase). The run must succeed.
 func Collect(p *Program, input []int64, snapshotLimit int) (*Trace, *Result, error) {
+	return CollectWith(p, RunOptions{Input: input, SnapshotLimit: snapshotLimit})
+}
+
+// CollectWith is Collect with full control over the run: callers use it to
+// bound the tracing run with a step budget, heap budget, or cancellable
+// context (opts.Trace is overwritten with a fresh trace). A *ResourceError
+// from the run propagates unwrapped-able through the returned error so
+// callers can distinguish fuel exhaustion from a genuinely faulting
+// program.
+func CollectWith(p *Program, opts RunOptions) (*Trace, *Result, error) {
 	tr := NewTrace()
-	res, err := Run(p, RunOptions{Input: input, Trace: tr, SnapshotLimit: snapshotLimit})
+	opts.Trace = tr
+	res, err := Run(p, opts)
 	if err != nil {
 		return nil, nil, fmt.Errorf("vm: tracing run failed: %w", err)
 	}

@@ -1,6 +1,7 @@
 package wm
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/big"
@@ -43,8 +44,15 @@ type EmbedOptions struct {
 	Seed int64
 	// Policy restricts generator selection.
 	Policy GeneratorPolicy
-	// StepLimit bounds the tracing run (0 = interpreter default).
+	// StepLimit bounds the tracing run (0 = interpreter default);
+	// exhaustion surfaces as a *StageError wrapping vm.ResourceError.
 	StepLimit int64
+	// MaxHeap bounds the tracing run's cumulative array allocation
+	// (0 = interpreter default).
+	MaxHeap int64
+	// Ctx, when non-nil, cancels the embedding: the tracing run checks it
+	// continuously and the later stages check it at their boundaries.
+	Ctx context.Context
 	// Obs, when non-nil, receives per-stage spans (embed.trace/sites/
 	// split/codegen/apply) and counters. nil costs a pointer check.
 	Obs *obs.Registry
@@ -106,6 +114,14 @@ func orderedStatements(params *crt.Params, w *big.Int) ([]crt.Statement, error) 
 	return ordered, nil
 }
 
+// ctxErr reports a nil-safe context error.
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Err()
+}
+
 // site is a candidate insertion location derived from the trace.
 type site struct {
 	method int
@@ -130,12 +146,19 @@ func Embed(p *vm.Program, w *big.Int, key *Key, opts EmbedOptions) (*vm.Program,
 	defer total.Finish()
 	opts.Obs.Counter("embed.calls").Add(1)
 
-	// Tracing phase (§3.1).
+	// Tracing phase (§3.1). The step/heap budgets and context bound the
+	// run: a host program that spins forever (or is attacked into doing
+	// so) surfaces a typed StageError instead of consuming the default
+	// 100M-step budget.
 	span := opts.Obs.Start("embed.trace")
-	tr, _, err := vm.Collect(out, key.Input, 2)
+	tr, _, err := vm.CollectWith(out, vm.RunOptions{
+		Input: key.Input, SnapshotLimit: 2,
+		Ctx: opts.Ctx, StepLimit: opts.StepLimit, MaxHeap: opts.MaxHeap,
+	})
 	if err != nil {
 		span.Finish()
-		return nil, nil, fmt.Errorf("wm: tracing phase: %w", err)
+		return nil, nil, &StageError{Stage: "trace", Worker: -1,
+			Cause: fmt.Errorf("tracing phase: %w", err)}
 	}
 	span.Set("trace_events", int64(len(tr.Events))).Finish()
 
@@ -194,6 +217,10 @@ func Embed(p *vm.Program, w *big.Int, key *Key, opts EmbedOptions) (*vm.Program,
 	}
 	span.Set("candidate_sites", int64(len(sites))).
 		Set("condition_sites", int64(len(condSites))).Finish()
+
+	if err := ctxErr(opts.Ctx); err != nil {
+		return nil, nil, &StageError{Stage: "split", Worker: -1, Cause: err}
+	}
 
 	// Split + encrypt pieces (§3.2 steps 1-3).
 	span = opts.Obs.Start("embed.split")
@@ -289,6 +316,10 @@ func Embed(p *vm.Program, w *big.Int, key *Key, opts EmbedOptions) (*vm.Program,
 		span.Add("generated_instrs", int64(len(code)))
 	}
 	span.Set("pieces", int64(nPieces)).Finish()
+
+	if err := ctxErr(opts.Ctx); err != nil {
+		return nil, nil, &StageError{Stage: "apply", Worker: -1, Cause: err}
+	}
 
 	// Apply insertions in descending pc order per method. Insertions that
 	// share a pc are applied in reverse decision order, which keeps each

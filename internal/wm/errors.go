@@ -1,0 +1,62 @@
+package wm
+
+import "fmt"
+
+// StageError locates a failure inside the recognition (or embedding)
+// pipeline: which stage broke, which scan worker (when the failure is
+// worker-specific), and the underlying cause. Worker panics recovered in
+// the scan pool surface as StageErrors so one poisoned chunk cannot take
+// down a worker pool — the other workers' partial counts survive and the
+// pipeline completes in degraded mode.
+type StageError struct {
+	// Stage is the pipeline stage: "trace", "scan", or "vote".
+	Stage string
+	// Worker is the scan-worker index, or -1 when the failure is not
+	// attributable to a single worker.
+	Worker int
+	// Cause is the underlying error; a recovered panic is wrapped in a
+	// plain error carrying the panic value.
+	Cause error
+}
+
+func (e *StageError) Error() string {
+	if e.Worker >= 0 {
+		return fmt.Sprintf("wm: %s stage, worker %d: %v", e.Stage, e.Worker, e.Cause)
+	}
+	return fmt.Sprintf("wm: %s stage: %v", e.Stage, e.Cause)
+}
+
+func (e *StageError) Unwrap() error { return e.Cause }
+
+// KeyFileError reports a malformed or corrupted key file with enough
+// structure to say what broke where: the offending field (empty when the
+// damage is not attributable to one) and the byte offset the decoder had
+// reached. Loading never yields a partially zero-valued key — any damage
+// is an error.
+type KeyFileError struct {
+	// Field names the malformed key-file field, if identifiable.
+	Field string
+	// Offset is the input byte offset at the failure (-1 if unknown).
+	Offset int64
+	// Msg describes the problem.
+	Msg string
+	// Cause is the underlying decode error, if any.
+	Cause error
+}
+
+func (e *KeyFileError) Error() string {
+	s := "wm: key file"
+	if e.Field != "" {
+		s += fmt.Sprintf(": field %q", e.Field)
+	}
+	if e.Offset >= 0 {
+		s += fmt.Sprintf(" at offset %d", e.Offset)
+	}
+	s += ": " + e.Msg
+	if e.Cause != nil {
+		s += ": " + e.Cause.Error()
+	}
+	return s
+}
+
+func (e *KeyFileError) Unwrap() error { return e.Cause }

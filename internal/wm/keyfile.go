@@ -2,6 +2,7 @@ package wm
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 
@@ -34,18 +35,66 @@ func SaveKey(w io.Writer, k *Key) error {
 	return enc.Encode(kf)
 }
 
-// LoadKey reads a key previously written by SaveKey.
+// LoadKey reads a key previously written by SaveKey. Malformed input —
+// truncated files, type-confused or missing fields, trailing garbage, an
+// invalid prime basis — is rejected with a *KeyFileError naming the field
+// and byte offset; a load never produces a partially zero-valued key,
+// which would make recognition fail silently instead of loudly.
 func LoadKey(r io.Reader) (*Key, error) {
-	var kf keyFile
-	if err := json.NewDecoder(r).Decode(&kf); err != nil {
-		return nil, fmt.Errorf("wm: reading key file: %w", err)
+	dec := json.NewDecoder(r)
+
+	// Decode to raw messages first so each field's damage is attributable:
+	// a single-pass struct decode reports only "cannot unmarshal" without
+	// saying which component of the key is gone.
+	var raw map[string]json.RawMessage
+	if err := dec.Decode(&raw); err != nil {
+		msg := "malformed JSON"
+		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+			msg = "truncated"
+		}
+		return nil, &KeyFileError{Offset: dec.InputOffset(), Msg: msg, Cause: err}
 	}
+	if dec.More() {
+		return nil, &KeyFileError{Offset: dec.InputOffset(), Msg: "trailing data after key object"}
+	}
+
+	field := func(name string, required bool, dst any) error {
+		rm, ok := raw[name]
+		if !ok {
+			if required {
+				return &KeyFileError{Field: name, Offset: -1, Msg: "missing"}
+			}
+			return nil
+		}
+		if err := json.Unmarshal(rm, dst); err != nil {
+			return &KeyFileError{Field: name, Offset: dec.InputOffset(), Msg: "malformed", Cause: err}
+		}
+		return nil
+	}
+
+	var kf keyFile
+	// The secret input may legitimately be empty (programs whose trace
+	// does not depend on input), so only its type is validated.
+	if err := field("version", true, &kf.Version); err != nil {
+		return nil, err
+	}
+	if err := field("input", false, &kf.Input); err != nil {
+		return nil, err
+	}
+	if err := field("cipher", true, &kf.Cipher); err != nil {
+		return nil, err
+	}
+	if err := field("primes", true, &kf.Primes); err != nil {
+		return nil, err
+	}
+
 	if kf.Version != keyFileVersion {
-		return nil, fmt.Errorf("wm: unsupported key file version %d", kf.Version)
+		return nil, &KeyFileError{Field: "version", Offset: -1,
+			Msg: fmt.Sprintf("unsupported version %d (want %d)", kf.Version, keyFileVersion)}
 	}
 	params, err := crt.NewParams(kf.Primes)
 	if err != nil {
-		return nil, fmt.Errorf("wm: key file prime basis: %w", err)
+		return nil, &KeyFileError{Field: "primes", Offset: -1, Msg: "invalid prime basis", Cause: err}
 	}
 	return &Key{
 		Input:  kf.Input,

@@ -1,6 +1,7 @@
 package wm
 
 import (
+	"context"
 	"fmt"
 	"math/big"
 	"math/bits"
@@ -34,6 +35,25 @@ type Recognition struct {
 	VotedOut         int // statements eliminated by the W mod p_i vote
 	Survivors        int // statements surviving the consistency graphs
 	TraceBits        int // length of the decoded bit-string
+
+	// Surviving holds the CRT statements that survived the vote and
+	// consistency graphs — the partial-recovery evidence. When the full
+	// watermark cannot be reconstructed (damaged trace, lost pieces), the
+	// survivors still pin W modulo their combined modulus.
+	Surviving []crt.Statement
+	// Confidence is the fraction of the key's prime basis covered by the
+	// surviving statements: 1.0 means full coverage, 0 means nothing
+	// survived. It is the graceful-degradation score — how much of the
+	// watermark's residue system the damaged input still supports.
+	Confidence float64
+	// Degraded reports that the pipeline completed but lost something on
+	// the way: a scan worker crashed, the vote stage was cut short, or the
+	// survivors cover only part of the prime basis.
+	Degraded bool
+	// StageErrors records recovered per-stage failures (worker panics,
+	// vote-stage cutoffs), capped at a small number; see the
+	// recognize.scan_panics counter for the uncapped total.
+	StageErrors []*StageError
 }
 
 // RecognizeOpts tunes the recognition pipeline.
@@ -42,11 +62,29 @@ type RecognizeOpts struct {
 	// over: 0 picks runtime.GOMAXPROCS(0), 1 forces the serial path. The
 	// Recognition result is bit-for-bit identical at any worker count.
 	Workers int
+	// Ctx, when non-nil, cancels the pipeline: the tracing run, the scan
+	// workers (checked per chunk), and the vote stage all return promptly
+	// with a *StageError wrapping the context's error once it is done.
+	Ctx context.Context
+	// StepLimit bounds the tracing run (0 = interpreter default);
+	// exhaustion surfaces as a trace StageError wrapping vm.ResourceError.
+	StepLimit int64
+	// MaxHeap bounds the tracing run's cumulative array allocation
+	// (0 = interpreter default).
+	MaxHeap int64
+	// ScanHook, when non-nil, is called by the scan stage before every
+	// chunk with the worker index and chunk index. It exists for fault
+	// injection: a panicking hook simulates a worker crash, which the pool
+	// converts into a StageError without losing other workers' counts.
+	// Production callers leave it nil.
+	ScanHook func(worker, chunk int)
 	// Obs, when non-nil, receives per-stage spans (recognize.trace/scan/
 	// vote) and pipeline counters/histograms. All recorded metric values
 	// are input-derived — per-worker scan counters are summed over
 	// disjoint shards at the join — so the registry content is identical
-	// at every worker count; only span wall times differ.
+	// at every worker count; only span wall times differ. Degradation
+	// events additionally land in recognize.degraded and
+	// recognize.scan_panics.
 	Obs *obs.Registry
 }
 
@@ -55,12 +93,17 @@ type RecognizeOpts struct {
 // valid statements, so the cap only guards against adversarial inputs.
 const maxGraphVertices = 4096
 
-// scanChunkWindows is the shard granularity of the parallel scan: each
-// work unit covers this many window positions. Small enough to balance
-// load across workers on skewed traces, large enough that the per-chunk
-// dispatch overhead (one atomic add) is negligible against ~2k cipher
-// decryptions per chunk.
+// scanChunkWindows is the shard granularity of the scan: each work unit
+// covers this many window positions. Small enough to balance load across
+// workers on skewed traces and to make per-chunk cancellation checks
+// prompt, large enough that the per-chunk dispatch overhead (one atomic
+// add) is negligible against ~2k cipher decryptions per chunk.
 const scanChunkWindows = 2048
+
+// maxStageErrors caps how many recovered failures a Recognition retains;
+// beyond it only the counters grow. A hook or corruption that poisons
+// every chunk would otherwise allocate one error per chunk.
+const maxStageErrors = 8
 
 // Recognize re-traces the program on the key's secret input, decodes the
 // trace into its bit-string, and recombines watermark pieces (§3.3). It is
@@ -85,6 +128,15 @@ func Recognize(p *vm.Program, key *Key) (*Recognition, error) {
 // Window counts and per-statement occurrence counts are sums over disjoint
 // shards, so the merged result — and everything derived from it — is
 // identical at every worker count.
+//
+// Failure contract: a failing or cut-off tracing run returns (nil, error)
+// where the error is a *StageError (wrapping vm.ResourceError for fuel
+// exhaustion or the context error for cancellation). A crashed scan worker
+// does NOT abort the pipeline: the panic is recovered, the remaining
+// workers' counts survive, and the call returns a *partial* Recognition
+// with Degraded set alongside the first *StageError. Callers that only
+// check err therefore fail safe; callers that also look at the Recognition
+// get everything the damaged run still supports.
 func RecognizeWithOpts(p *vm.Program, key *Key, opts RecognizeOpts) (*Recognition, error) {
 	total := opts.Obs.Start("recognize")
 	defer total.Finish()
@@ -92,29 +144,58 @@ func RecognizeWithOpts(p *vm.Program, key *Key, opts RecognizeOpts) (*Recognitio
 
 	// Stage 1: trace.
 	span := opts.Obs.Start("recognize.trace")
-	tr, _, err := vm.Collect(p, key.Input, 1)
+	tr, _, err := vm.CollectWith(p, vm.RunOptions{
+		Input: key.Input, SnapshotLimit: 1,
+		Ctx: opts.Ctx, StepLimit: opts.StepLimit, MaxHeap: opts.MaxHeap,
+	})
 	if err != nil {
 		span.Finish()
-		return nil, fmt.Errorf("wm: recognition trace failed: %w", err)
+		return nil, &StageError{Stage: "trace", Worker: -1,
+			Cause: fmt.Errorf("recognition trace failed: %w", err)}
 	}
 	bits := tr.DecodeBits()
 	span.Set("trace_events", int64(len(tr.Events))).
 		Set("trace_bits", int64(bits.Len())).Finish()
 	opts.Obs.Histogram("recognize.trace_bits").Observe(int64(bits.Len()))
 
-	rec := &Recognition{TraceBits: bits.Len()}
+	return RecognizeBits(bits, key, opts)
+}
+
+// RecognizeBits runs recognition stages 2–3 (scan, vote/graph) over an
+// already-decoded trace bit-string. It is the entry point for callers that
+// obtain — or corrupt — the bit-string themselves, such as the
+// fault-injection harness, and for recognizing traces captured elsewhere.
+// The vector is validated up front so adversarial shapes fail with an
+// error rather than a panic in the scan loops. The Recognition's TraceBits
+// field is taken from the vector's length.
+func RecognizeBits(b *bitstring.Bits, key *Key, opts RecognizeOpts) (*Recognition, error) {
+	if err := b.Validate(); err != nil {
+		return nil, &StageError{Stage: "scan", Worker: -1,
+			Cause: fmt.Errorf("invalid trace bit-string: %w", err)}
+	}
+	rec := &Recognition{TraceBits: b.Len()}
 
 	// Stage 2: scan.
 	workers := opts.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	span = opts.Obs.Start("recognize.scan")
-	acc := scanBits(bits, key, workers)
+	span := opts.Obs.Start("recognize.scan")
+	acc, scanErrs, err := scanBits(opts.Ctx, b, key, workers, opts.ScanHook)
+	if err != nil {
+		span.Finish()
+		return nil, &StageError{Stage: "scan", Worker: -1, Cause: err}
+	}
+	if n := len(scanErrs); n > 0 {
+		rec.Degraded = true
+		rec.StageErrors = append(rec.StageErrors, scanErrs...)
+		opts.Obs.Counter("recognize.scan_panics").Add(int64(acc.panics))
+	}
 	rec.Windows = acc.windows
 	rec.ValidStatements = acc.valid
 	span.Set("windows", int64(acc.windows)).
-		Set("valid_statements", int64(acc.valid)).Finish()
+		Set("valid_statements", int64(acc.valid)).
+		Set("recovered_panics", int64(acc.panics)).Finish()
 	opts.Obs.Counter("recognize.windows_total").Add(int64(acc.windows))
 	opts.Obs.Counter("recognize.valid_total").Add(int64(acc.valid))
 	if acc.windows > 0 {
@@ -136,16 +217,21 @@ func RecognizeWithOpts(p *vm.Program, key *Key, opts RecognizeOpts) (*Recognitio
 			acc.counts[st] = countCap
 		}
 	}
-	if len(acc.counts) == 0 {
-		return rec, nil
+	if len(acc.counts) > 0 {
+		// Stage 3: vote + consistency graphs + CRT merge.
+		span = opts.Obs.Start("recognize.vote")
+		resolveStatements(opts.Ctx, rec, acc.counts, key)
+		span.Set("unique_statements", int64(rec.UniqueStatements)).
+			Set("voted_out", int64(rec.VotedOut)).
+			Set("survivors", int64(rec.Survivors)).
+			Set("confidence_bp", int64(rec.Confidence*10_000)).Finish()
 	}
-
-	// Stage 3: vote + consistency graphs + CRT merge.
-	span = opts.Obs.Start("recognize.vote")
-	resolveStatements(rec, acc.counts, key)
-	span.Set("unique_statements", int64(rec.UniqueStatements)).
-		Set("voted_out", int64(rec.VotedOut)).
-		Set("survivors", int64(rec.Survivors)).Finish()
+	if rec.Degraded {
+		opts.Obs.Counter("recognize.degraded").Add(1)
+	}
+	if len(rec.StageErrors) > 0 {
+		return rec, rec.StageErrors[0]
+	}
 	return rec, nil
 }
 
@@ -163,6 +249,7 @@ type scanTask struct {
 type scanAccum struct {
 	windows int
 	valid   int
+	panics  int
 	counts  map[crt.Statement]int
 }
 
@@ -193,9 +280,40 @@ func (a *scanAccum) scanRange(b *bitstring.Bits, t scanTask, lo, hi int, cipher 
 	}
 }
 
+// scanChunk is one shard of the scan work list.
+type scanChunk struct {
+	task   scanTask
+	lo, hi int
+}
+
+// runChunk processes one chunk with panic containment: a panic — from the
+// fault-injection hook or from corrupted state — is recovered and reported
+// as a *StageError instead of unwinding the worker, so one poisoned chunk
+// costs at most its own partial counts.
+func (a *scanAccum) runChunk(b *bitstring.Bits, c scanChunk, worker, chunk int,
+	cipher *feistel.Cipher, params *crt.Params, hook func(worker, chunk int)) (serr *StageError) {
+	defer func() {
+		if r := recover(); r != nil {
+			a.panics++
+			serr = &StageError{Stage: "scan", Worker: worker,
+				Cause: fmt.Errorf("recovered scan panic on chunk %d: %v", chunk, r)}
+		}
+	}()
+	if hook != nil {
+		hook(worker, chunk)
+	}
+	a.scanRange(b, c.task, c.lo, c.hi, cipher, params)
+	return nil
+}
+
 // scanBits runs the scan stage over the raw bit-string and its two
-// stride-2 phases, sharded across the given number of workers.
-func scanBits(b *bitstring.Bits, key *Key, workers int) *scanAccum {
+// stride-2 phases, sharded into fixed-size chunks processed by the given
+// number of workers (1 = inline, no goroutines). The returned slice holds
+// recovered per-chunk failures (capped at maxStageErrors; scanAccum.panics
+// has the true count); the error is non-nil only for cancellation, in
+// which case the scan is abandoned.
+func scanBits(ctx context.Context, b *bitstring.Bits, key *Key, workers int,
+	hook func(worker, chunk int)) (*scanAccum, []*StageError, error) {
 	tasks := []scanTask{{stride: 1, numWindows: b.NumWindows64()}}
 	if b.Len() >= 2 {
 		tasks = append(tasks,
@@ -203,43 +321,51 @@ func scanBits(b *bitstring.Bits, key *Key, workers int) *scanAccum {
 			scanTask{stride: 2, phase: 1, numWindows: b.StrideNumWindows64(2, 1)})
 	}
 
-	if workers == 1 {
-		acc := &scanAccum{counts: make(map[crt.Statement]int)}
-		cipher := feistel.New(key.Cipher)
-		for _, t := range tasks {
-			acc.scanRange(b, t, 0, t.numWindows, cipher, key.Params)
-		}
-		return acc
-	}
-
-	// Chunk every task's window range into fixed-size shards; workers pull
-	// shards off a shared atomic cursor. Scheduling order is arbitrary but
-	// the merged counts are sums over disjoint ranges, hence deterministic.
-	type chunk struct {
-		task   scanTask
-		lo, hi int
-	}
-	var chunks []chunk
+	// Chunk every task's window range into fixed-size shards. Scheduling
+	// order is arbitrary but the merged counts are sums over disjoint
+	// ranges, hence deterministic.
+	var chunks []scanChunk
 	for _, t := range tasks {
 		for lo := 0; lo < t.numWindows; lo += scanChunkWindows {
 			hi := lo + scanChunkWindows
 			if hi > t.numWindows {
 				hi = t.numWindows
 			}
-			chunks = append(chunks, chunk{t, lo, hi})
+			chunks = append(chunks, scanChunk{t, lo, hi})
 		}
+	}
+	if len(chunks) == 0 {
+		return &scanAccum{counts: make(map[crt.Statement]int)}, nil, nil
 	}
 	if workers > len(chunks) {
 		workers = len(chunks)
 	}
-	if len(chunks) == 0 {
-		return &scanAccum{counts: make(map[crt.Statement]int)}
+
+	if workers <= 1 {
+		acc := &scanAccum{counts: make(map[crt.Statement]int)}
+		cipher := feistel.New(key.Cipher)
+		var errs []*StageError
+		for i, c := range chunks {
+			if ctx != nil && ctx.Err() != nil {
+				return nil, nil, ctx.Err()
+			}
+			if serr := acc.runChunk(b, c, 0, i, cipher, key.Params, hook); serr != nil {
+				if len(errs) < maxStageErrors {
+					errs = append(errs, serr)
+				}
+			}
+		}
+		return acc, errs, nil
 	}
 
+	// Workers pull chunks off a shared atomic cursor; each keeps a private
+	// accumulator and error list merged at the join.
 	accs := make([]*scanAccum, workers)
+	errLists := make([][]*StageError, workers)
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	for wi := 0; wi < workers; wi++ {
+		wi := wi
 		acc := &scanAccum{counts: make(map[crt.Statement]int)}
 		accs[wi] = acc
 		wg.Add(1)
@@ -247,33 +373,54 @@ func scanBits(b *bitstring.Bits, key *Key, workers int) *scanAccum {
 			defer wg.Done()
 			cipher := feistel.New(key.Cipher)
 			for {
+				if ctx != nil && ctx.Err() != nil {
+					return
+				}
 				i := int(next.Add(1)) - 1
 				if i >= len(chunks) {
 					return
 				}
-				c := chunks[i]
-				acc.scanRange(b, c.task, c.lo, c.hi, cipher, key.Params)
+				if serr := acc.runChunk(b, chunks[i], wi, i, cipher, key.Params, hook); serr != nil {
+					if len(errLists[wi]) < maxStageErrors {
+						errLists[wi] = append(errLists[wi], serr)
+					}
+				}
 			}
 		}()
 	}
 	wg.Wait()
+	if ctx != nil && ctx.Err() != nil {
+		return nil, nil, ctx.Err()
+	}
 
 	merged := accs[0]
 	for _, acc := range accs[1:] {
 		merged.windows += acc.windows
 		merged.valid += acc.valid
+		merged.panics += acc.panics
 		for st, c := range acc.counts {
 			merged.counts[st] += c
 		}
 	}
-	return merged
+	var errs []*StageError
+	for _, list := range errLists {
+		for _, serr := range list {
+			if len(errs) < maxStageErrors {
+				errs = append(errs, serr)
+			}
+		}
+	}
+	return merged, errs, nil
 }
 
 // resolveStatements runs the serial tail of the pipeline on the merged
 // statement counts: the W mod p_i vote, the consistency graphs, and the
 // Generalized-CRT reconstruction, filling the remaining Recognition
-// fields.
-func resolveStatements(rec *Recognition, counts map[crt.Statement]int, key *Key) {
+// fields. The context bounds the greedy graph elimination, whose
+// worst-case cost on adversarial inputs is cubic in the (capped) vertex
+// count: on cancellation the stage stops early, records a vote
+// StageError, and leaves whatever evidence it had — degraded, not hung.
+func resolveStatements(ctx context.Context, rec *Recognition, counts map[crt.Statement]int, key *Key) {
 	type cand struct {
 		st    crt.Statement
 		count int
@@ -379,7 +526,12 @@ func resolveStatements(rec *Recognition, counts map[crt.Statement]int, key *Key)
 		}
 		return d
 	}
+	cutOff := false
 	for gEdges > 0 {
+		if ctx != nil && ctx.Err() != nil {
+			cutOff = true
+			break
+		}
 		best, bestDeg := -1, -1
 		for i := 0; i < n; i++ {
 			if alive[i] && !inU[i] {
@@ -408,6 +560,18 @@ func resolveStatements(rec *Recognition, counts map[crt.Statement]int, key *Key)
 			}
 		}
 	}
+	if cutOff {
+		rec.Degraded = true
+		if len(rec.StageErrors) < maxStageErrors {
+			rec.StageErrors = append(rec.StageErrors, &StageError{
+				Stage: "vote", Worker: -1,
+				Cause: fmt.Errorf("graph elimination cut short: %w", ctx.Err()),
+			})
+		}
+		// A cut-short G may still hold inconsistent pairs; reconstruction
+		// over them would be wrong, so keep nothing.
+		return
+	}
 
 	var survivors []crt.Statement
 	for i := 0; i < n; i++ {
@@ -419,15 +583,31 @@ func resolveStatements(rec *Recognition, counts map[crt.Statement]int, key *Key)
 	if len(survivors) == 0 {
 		return
 	}
+	rec.Surviving = survivors
+
+	// Degradation score: the fraction of the key's prime basis the
+	// survivors still cover. Full coverage ⇒ 1.0.
+	covered := make(map[int]bool)
+	for _, s := range survivors {
+		covered[s.I] = true
+		covered[s.J] = true
+	}
+	rec.Confidence = float64(len(covered)) / float64(len(primes))
+
 	value, modulus, err := key.Params.Reconstruct(survivors)
 	if err != nil {
 		// Pairwise consistency should guarantee a solution; treat failure
-		// as recognition failure rather than an error.
+		// as degraded recognition (the surviving statements remain usable
+		// evidence) rather than an error.
+		rec.Degraded = true
 		return
 	}
 	rec.Watermark = value
 	rec.Modulus = modulus
 	rec.FullCoverage = modulus.Cmp(key.MaxWatermark()) == 0
+	if !rec.FullCoverage {
+		rec.Degraded = true
+	}
 }
 
 // Matches reports whether recognition fully recovered the given watermark.

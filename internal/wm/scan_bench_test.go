@@ -32,12 +32,18 @@ func BenchmarkScanStage(b *testing.B) {
 		b.Fatal(err)
 	}
 	bits := tr.DecodeBits()
-	serial := scanBits(bits, key, 1)
+	serial, _, err := scanBits(nil, bits, key, 1, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
 	for _, workers := range scanBenchWorkers() {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				acc := scanBits(bits, key, workers)
+				acc, _, err := scanBits(nil, bits, key, workers, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
 				if acc.windows != serial.windows || acc.valid != serial.valid {
 					b.Fatalf("worker count changed scan result: %d/%d vs %d/%d",
 						acc.windows, acc.valid, serial.windows, serial.valid)
