@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	experiments [-quick] [-seed N] [-jobs N] [-only fig5,fig8a,fig8b,fig8c,fig8d,javaattacks,fig9,nativeattacks]
+//	experiments [-quick] [-seed N] [-jobs N] [-only fig5,fig8a,fig8b,fig8c,fig8d,javaattacks,fig9,nativeattacks,ablations,fleet]
 //
 // Independent sweep points run concurrently on -jobs workers (0 = one per
 // CPU); every point seeds its RNG from its own index, so tables are
@@ -99,6 +99,10 @@ func main() {
 		}},
 		{"ablations", func() []*experiments.Table {
 			return []*experiments.Table{experiments.Ablations(cfg)}
+		}},
+		{"fleet", func() []*experiments.Table {
+			_, t := experiments.FleetIdentification(cfg)
+			return []*experiments.Table{t}
 		}},
 	}
 

@@ -1,0 +1,410 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/big"
+	"os"
+	"path/filepath"
+	"time"
+
+	"pathmark/internal/cache"
+	"pathmark/internal/feistel"
+	"pathmark/internal/vm"
+	"pathmark/internal/wm"
+	"pathmark/internal/workloads"
+)
+
+// demoCipher is the default -key cipher ("pathmark":"PLDI2004" as hex),
+// used by the in-memory demo and bench modes that take no -key flag.
+func demoCipher() feistel.Key {
+	return feistel.KeyFromUint64(0x6b72616d68746170, 0x504c444932303034)
+}
+
+// fleetManifest is the public half of a shipped fleet: which watermark
+// went to which customer copy. It carries no secrets — recognition still
+// needs the keyfile (input, cipher, primes), which fleet embed writes
+// separately via -savekey.
+type fleetManifest struct {
+	Version    int      `json:"version"`
+	Base       string   `json:"base"`       // source program file (informational)
+	Copies     []string `json:"copies"`     // per-customer output file names
+	Watermarks []string `json:"watermarks"` // decimal, parallel to Copies
+}
+
+const fleetManifestVersion = 1
+
+// cmdFleet dispatches the fleet modes and returns the process exit code.
+func cmdFleet(args []string) int {
+	if len(args) < 1 {
+		fmt.Fprintln(os.Stderr, "usage: pathmark fleet {embed|identify|demo|bench} [flags]")
+		return exitUsage
+	}
+	switch args[0] {
+	case "embed":
+		return cmdFleetEmbed(args[1:])
+	case "identify":
+		return cmdFleetIdentify(args[1:])
+	case "demo":
+		return cmdFleetDemo(args[1:])
+	case "bench":
+		return cmdFleetBench(args[1:])
+	default:
+		fmt.Fprintln(os.Stderr, "usage: pathmark fleet {embed|identify|demo|bench} [flags]")
+		return exitUsage
+	}
+}
+
+// cmdFleetEmbed embeds n distinct fingerprints into one base program —
+// the batch path, which traces and analyzes the host once — and writes
+// the copies, a manifest, and (with -savekey) the shared keyfile.
+func cmdFleetEmbed(args []string) int {
+	fs := flag.NewFlagSet("fleet embed", flag.ExitOnError)
+	var c common
+	c.register(fs)
+	outdir := fs.String("outdir", "", "directory for the fingerprinted copies and manifest")
+	n := fs.Int("n", 4, "fleet size (number of fingerprinted copies)")
+	pieces := fs.Int("pieces", 0, "pieces per copy (0 = one per prime pair)")
+	seed := fs.Int64("seed", 1, "base randomness seed (copy i uses seed+i)")
+	wseed := fs.Int64("wseed", 1, "watermark generation seed")
+	workers := fs.Int("workers", 0, "embedding goroutines (0 = one per CPU)")
+	saveKey := fs.String("savekey", "", "write the shared watermark key to this file")
+	fs.Parse(args)
+	if *outdir == "" {
+		fatal(fmt.Errorf("missing -outdir"))
+	}
+	if *n < 1 {
+		fatal(fmt.Errorf("-n must be at least 1"))
+	}
+	reg := c.beginObs()
+	p := c.loadProgram()
+	key := c.wmKey()
+	ctx, cancel := c.ctx()
+	defer cancel()
+
+	ws := make([]*big.Int, *n)
+	for i := range ws {
+		ws[i] = wm.RandomWatermark(c.wbits, uint64(*wseed)+uint64(i))
+	}
+	t0 := time.Now()
+	copies, err := wm.EmbedBatch(p, ws, key, wm.BatchOptions{
+		EmbedOptions: wm.EmbedOptions{
+			Pieces: *pieces, Seed: *seed,
+			Ctx: ctx, StepLimit: c.maxSteps, Obs: reg,
+		},
+		Workers: *workers,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	elapsed := time.Since(t0)
+
+	if err := os.MkdirAll(*outdir, 0o755); err != nil {
+		fatal(err)
+	}
+	man := fleetManifest{Version: fleetManifestVersion, Base: c.in}
+	for _, cp := range copies {
+		name := fmt.Sprintf("copy-%03d.pasm", cp.Index)
+		if err := os.WriteFile(filepath.Join(*outdir, name), []byte(vm.Dump(cp.Program)), 0o644); err != nil {
+			fatal(err)
+		}
+		man.Copies = append(man.Copies, name)
+		man.Watermarks = append(man.Watermarks, cp.Watermark.String())
+	}
+	manBytes, err := json.MarshalIndent(man, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(*outdir, "fleet.json"), append(manBytes, '\n'), 0o644); err != nil {
+		fatal(err)
+	}
+	if *saveKey != "" {
+		if err := wm.SaveKeyFile(*saveKey, key); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("key written to %s (keep it secret)\n", *saveKey)
+	}
+	fmt.Printf("embedded %d fingerprinted copies in %v (%v/copy amortized) into %s\n",
+		len(copies), elapsed.Round(time.Millisecond),
+		(elapsed / time.Duration(len(copies))).Round(time.Millisecond), *outdir)
+	c.finishObs()
+	return exitOK
+}
+
+// loadManifest reads and sanity-checks a fleet manifest.
+func loadManifest(path string) (*fleetManifest, []*big.Int) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	var man fleetManifest
+	if err := json.Unmarshal(data, &man); err != nil {
+		fatal(fmt.Errorf("manifest %s: %w", path, err))
+	}
+	if man.Version != fleetManifestVersion {
+		fatal(fmt.Errorf("manifest %s: unsupported version %d", path, man.Version))
+	}
+	if len(man.Watermarks) == 0 || len(man.Copies) != len(man.Watermarks) {
+		fatal(fmt.Errorf("manifest %s: %d copies vs %d watermarks", path, len(man.Copies), len(man.Watermarks)))
+	}
+	ws := make([]*big.Int, len(man.Watermarks))
+	for i, s := range man.Watermarks {
+		w, ok := new(big.Int).SetString(s, 10)
+		if !ok {
+			fatal(fmt.Errorf("manifest %s: bad watermark %q", path, s))
+		}
+		ws[i] = w
+	}
+	return &man, ws
+}
+
+// cmdFleetIdentify recognizes a suspect program under the fleet's shared
+// key and names the customer whose watermark it carries. Exit codes: 0
+// identified, 3 no customer matched, 1 hard error.
+func cmdFleetIdentify(args []string) int {
+	fs := flag.NewFlagSet("fleet identify", flag.ExitOnError)
+	var c common
+	c.register(fs)
+	manifest := fs.String("manifest", "", "fleet manifest (fleet.json) naming each customer's watermark")
+	workers := fs.Int("workers", 0, "scan goroutines (0 = one per CPU)")
+	fs.Parse(args)
+	if *manifest == "" {
+		fatal(fmt.Errorf("missing -manifest"))
+	}
+	reg := c.beginObs()
+	man, ws := loadManifest(*manifest)
+	p := c.loadProgram()
+	ctx, cancel := c.ctx()
+	defer cancel()
+	rec, err := wm.RecognizeWithOpts(p, c.wmKey(), wm.RecognizeOpts{
+		Workers: *workers, Ctx: ctx, StepLimit: c.maxSteps, Obs: reg,
+		DecryptCache: cache.NewCache64(0),
+	})
+	if rec == nil && err != nil {
+		fatal(err)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pathmark: degraded:", err)
+	}
+	for i, w := range ws {
+		if rec.Matches(w) {
+			fmt.Printf("suspect matches copy %s (customer %d, watermark %d)\n", man.Copies[i], i, w)
+			c.finishObs()
+			return exitOK
+		}
+	}
+	if rec.Watermark != nil {
+		fmt.Printf("recovered watermark %d matches no customer in the manifest\n", rec.Watermark)
+	} else {
+		fmt.Println("no watermark recovered")
+	}
+	c.finishObs()
+	return exitNoMatch
+}
+
+// cmdFleetDemo runs the whole fingerprinting story in memory against the
+// MiniCalc workload: batch-embed a fleet, "leak" one copy, identify it by
+// corpus recognition, and verify an unmarked copy stays clean. It is the
+// CI smoke test for the fleet layer; any discrepancy exits 1.
+func cmdFleetDemo(args []string) int {
+	fs := flag.NewFlagSet("fleet demo", flag.ExitOnError)
+	n := fs.Int("n", 6, "fleet size")
+	leak := fs.Int("leak", 0, "customer index whose copy 'leaks' (default: last)")
+	seed := fs.Int64("seed", 1, "randomness seed")
+	fs.Parse(args)
+	if *n < 2 {
+		fatal(fmt.Errorf("-n must be at least 2"))
+	}
+	if *leak == 0 {
+		*leak = *n - 1
+	}
+	if *leak < 0 || *leak >= *n {
+		fatal(fmt.Errorf("-leak out of range [0,%d)", *n))
+	}
+
+	host := workloads.MiniCalc()
+	input := workloads.CalcSum(10, 20)
+	key, err := wm.NewKey(input, demoCipher(), 64)
+	if err != nil {
+		fatal(err)
+	}
+	ws := make([]*big.Int, *n)
+	for i := range ws {
+		ws[i] = wm.RandomWatermark(64, uint64(*seed)*1000+uint64(i))
+	}
+
+	t0 := time.Now()
+	copies, err := wm.EmbedBatch(host, ws, key, wm.BatchOptions{
+		EmbedOptions: wm.EmbedOptions{Seed: *seed},
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("fleet: embedded %d fingerprinted MiniCalc copies in %v (one shared trace/analysis)\n",
+		*n, time.Since(t0).Round(time.Millisecond))
+
+	// The leak: match the suspect (plus a clean decoy) against the fleet
+	// key with shared caches — the corpus path.
+	fc := wm.NewFleetCaches(0, 0)
+	suspects := []*vm.Program{copies[*leak].Program, host}
+	res, err := wm.RecognizeCorpus(suspects, []*wm.Key{key}, wm.CorpusOpts{Caches: fc})
+	if err != nil {
+		fatal(err)
+	}
+	leaked := res.Recognitions[0][0]
+	identified := -1
+	for i, w := range ws {
+		if leaked.Matches(w) {
+			identified = i
+			break
+		}
+	}
+	if identified != *leak {
+		fmt.Fprintf(os.Stderr, "pathmark: demo FAILED: leaked copy identified as %d, want %d\n", identified, *leak)
+		return exitError
+	}
+	fmt.Printf("fleet: leaked copy identified as customer %d (watermark %d)\n", identified, ws[identified])
+	clean := res.Recognitions[1][0]
+	for _, w := range ws {
+		if clean.Matches(w) {
+			fmt.Fprintln(os.Stderr, "pathmark: demo FAILED: unmarked host matched a customer")
+			return exitError
+		}
+	}
+	fmt.Println("fleet: unmarked host matches no customer (as it should)")
+	fmt.Printf("fleet: caches — traces %d run / %d reused, decrypts %d distinct / %d repeats answered from cache\n",
+		res.TraceStats.Misses, res.TraceStats.Hits,
+		res.DecryptStats.Misses, res.DecryptStats.Hits)
+	return exitOK
+}
+
+// benchRecord is one line of BENCH_fleet.json: a benchstat-style
+// old-vs-new comparison (uncached vs cached, or per-copy single vs
+// batch), appended as JSONL so CI runs accumulate.
+type benchRecord struct {
+	Name    string  `json:"name"`
+	OldNS   int64   `json:"old_ns"`
+	NewNS   int64   `json:"new_ns"`
+	Delta   string  `json:"delta"` // benchstat-style percent change
+	Speedup float64 `json:"speedup"`
+	Note    string  `json:"note,omitempty"`
+}
+
+func compareNS(name string, oldNS, newNS int64, note string) benchRecord {
+	r := benchRecord{Name: name, OldNS: oldNS, NewNS: newNS, Note: note}
+	if oldNS > 0 {
+		r.Speedup = float64(oldNS) / float64(newNS)
+		r.Delta = fmt.Sprintf("%+.1f%%", (float64(newNS)-float64(oldNS))/float64(oldNS)*100)
+	}
+	return r
+}
+
+// cmdFleetBench measures the fleet layer's two amortizations on the
+// MiniCalc workload — batch embedding vs N standalone embeds, and
+// cached vs uncached recognition of one suspect against the fleet key —
+// and appends the comparisons to a JSONL file (default BENCH_fleet.json).
+func cmdFleetBench(args []string) int {
+	fs := flag.NewFlagSet("fleet bench", flag.ExitOnError)
+	out := fs.String("json", "BENCH_fleet.json", "append benchmark comparison records to this JSONL file")
+	n := fs.Int("n", 16, "fleet size for the embed comparison")
+	rounds := fs.Int("rounds", 3, "measurement rounds (best is kept)")
+	seed := fs.Int64("seed", 1, "randomness seed")
+	fs.Parse(args)
+
+	// The Jess-like host is large enough that tracing and site analysis —
+	// the work EmbedBatch shares across copies — dominate a single embed;
+	// on a toy host codegen dominates and the amortization is invisible.
+	host := workloads.JessLike(workloads.JessLikeOptions{Seed: 8, Methods: 60, BlockSize: 150})
+	key, err := wm.NewKey(nil, demoCipher(), 128)
+	if err != nil {
+		fatal(err)
+	}
+	ws := make([]*big.Int, *n)
+	for i := range ws {
+		ws[i] = wm.RandomWatermark(128, 2000+uint64(i))
+	}
+	// Minimum prime-cover pieces — the lean fingerprinting config, where
+	// per-copy codegen is small and the shared trace/analysis dominates.
+	embedOpts := wm.EmbedOptions{Seed: *seed, Pieces: len(key.Params.Primes()) - 1}
+
+	best := func(f func() error) int64 {
+		bestNS := int64(0)
+		for r := 0; r < *rounds; r++ {
+			t0 := time.Now()
+			if err := f(); err != nil {
+				fatal(err)
+			}
+			if ns := time.Since(t0).Nanoseconds(); bestNS == 0 || ns < bestNS {
+				bestNS = ns
+			}
+		}
+		return bestNS
+	}
+
+	// Embed: N standalone calls (re-tracing every time) vs one batch.
+	singleNS := best(func() error {
+		for i := range ws {
+			if _, _, err := wm.Embed(host, ws[i], key, wm.EmbedOptions{Seed: embedOpts.Seed + int64(i), Pieces: embedOpts.Pieces}); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	var copies []wm.Fingerprint
+	batchNS := best(func() error {
+		var err error
+		copies, err = wm.EmbedBatch(host, ws, key, wm.BatchOptions{
+			EmbedOptions: embedOpts,
+		})
+		return err
+	})
+	singleOneNS := best(func() error {
+		_, _, err := wm.Embed(host, ws[0], key, embedOpts)
+		return err
+	})
+
+	// Recognize: uncached vs warm per-key decrypt cache on one suspect.
+	suspect := copies[len(copies)-1].Program
+	uncachedNS := best(func() error {
+		_, err := wm.RecognizeWithOpts(suspect, key, wm.RecognizeOpts{Workers: 1})
+		return err
+	})
+	warm := cache.NewCache64(0)
+	if _, err := wm.RecognizeWithOpts(suspect, key, wm.RecognizeOpts{Workers: 1, DecryptCache: warm}); err != nil {
+		fatal(err)
+	}
+	cachedNS := best(func() error {
+		_, err := wm.RecognizeWithOpts(suspect, key, wm.RecognizeOpts{Workers: 1, DecryptCache: warm})
+		return err
+	})
+
+	records := []benchRecord{
+		compareNS(fmt.Sprintf("fleet/embed-%d/standalone-vs-batch", *n), singleNS, batchNS,
+			fmt.Sprintf("one shared trace+analysis for %d copies", *n)),
+		compareNS(fmt.Sprintf("fleet/embed-%d/batch-vs-4x-single", *n), 4*singleOneNS, batchNS,
+			"acceptance bound: batch of 16 must beat 4x one embed"),
+		compareNS("fleet/recognize/uncached-vs-cached", uncachedNS, cachedNS,
+			"warm per-key decrypt cache, serial scan"),
+	}
+	f, err := os.OpenFile(*out, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	for _, r := range records {
+		if err := enc.Encode(r); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%-40s old=%-12v new=%-12v %-8s (%.2fx)\n",
+			r.Name, time.Duration(r.OldNS).Round(time.Microsecond),
+			time.Duration(r.NewNS).Round(time.Microsecond), r.Delta, r.Speedup)
+	}
+	fmt.Printf("appended %d records to %s\n", len(records), *out)
+	if batchNS >= 4*singleOneNS {
+		fmt.Fprintf(os.Stderr, "pathmark: WARNING: batch of %d took %.1fx a single embed (acceptance bound is 4x)\n",
+			*n, float64(batchNS)/float64(singleOneNS))
+	}
+	return exitOK
+}

@@ -5,6 +5,10 @@
 //
 //	pathmark embed   -in prog.pasm -out marked.pasm -w 123456789 -wbits 128 [-pieces N] [-seed S] [-input 1,2,3]
 //	pathmark recognize -in marked.pasm -wbits 128 [-input 1,2,3] [-workers N]
+//	pathmark fleet embed    -in prog.pasm -outdir DIR -n N [-savekey DIR/fleet.key]
+//	pathmark fleet identify -in suspect.pasm -manifest DIR/fleet.json -keyfile DIR/fleet.key
+//	pathmark fleet demo     [-n N]          # in-memory end-to-end fingerprinting demo
+//	pathmark fleet bench    [-json FILE]    # cached-vs-uncached comparisons, appended as JSONL
 //	pathmark trace   -in prog.pasm [-input 1,2,3] [-level N]  # dump the decoded bit-string
 //	pathmark attack  -in marked.pasm -out attacked.pasm -name branch-insertion [-seed S]
 //	pathmark attacks                                    # list the attack catalog
@@ -21,6 +25,11 @@
 // hanging) and -max-steps N (interpreter fuel for tracing runs). The
 // inject subcommand drives the internal/faults catalog against a marked
 // host and reports survive/degrade/fail per fault.
+//
+// Exit codes: 0 success (a watermark was found, where applicable), 1 hard
+// error, 2 usage, 3 no-match — `recognize` and `fleet identify` ran fine
+// but recovered no watermark. Shell pipelines can therefore distinguish a
+// clean suspect (3) from a broken invocation (1).
 //
 // Observability: every subcommand accepts
 //
@@ -55,6 +64,16 @@ import (
 	"pathmark/internal/wm"
 )
 
+// Exit codes. No-match gets its own code so shell pipelines can tell "the
+// suspect is clean" (3) from "the tool failed" (1) — grading a fleet of
+// suspects with `pathmark recognize` in a loop needs the distinction.
+const (
+	exitOK      = 0
+	exitError   = 1 // hard error (fatal)
+	exitUsage   = 2
+	exitNoMatch = 3 // pipeline ran fine but recovered no watermark
+)
+
 func main() {
 	if len(os.Args) < 2 {
 		usage()
@@ -64,7 +83,9 @@ func main() {
 	case "embed":
 		cmdEmbed(args)
 	case "recognize":
-		cmdRecognize(args)
+		os.Exit(cmdRecognize(args))
+	case "fleet":
+		os.Exit(cmdFleet(args))
 	case "trace":
 		cmdTrace(args)
 	case "attack":
@@ -87,8 +108,8 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: pathmark {embed|recognize|trace|attack|attacks|run|inject} [flags]")
-	os.Exit(2)
+	fmt.Fprintln(os.Stderr, "usage: pathmark {embed|recognize|fleet|trace|attack|attacks|run|inject} [flags]")
+	os.Exit(exitUsage)
 }
 
 // obsFlush, when set, flushes profiles and metric sinks; fatal runs it so
@@ -100,7 +121,7 @@ func fatal(err error) {
 		obsFlush()
 	}
 	fmt.Fprintln(os.Stderr, "pathmark:", err)
-	os.Exit(1)
+	os.Exit(exitError)
 }
 
 type common struct {
@@ -261,14 +282,9 @@ func cmdEmbed(args []string) {
 		fatal(err)
 	}
 	if *saveKey != "" {
-		f, err := os.Create(*saveKey)
-		if err != nil {
-			fatal(err)
-		}
-		if err := wm.SaveKey(f, key); err != nil {
-			fatal(err)
-		}
-		if err := f.Close(); err != nil {
+		// Atomic temp-then-rename: a crash mid-save must never tear an
+		// existing keyfile, which would orphan every copy embedded under it.
+		if err := wm.SaveKeyFile(*saveKey, key); err != nil {
 			fatal(err)
 		}
 		fmt.Printf("key written to %s (keep it secret)\n", *saveKey)
@@ -280,7 +296,10 @@ func cmdEmbed(args []string) {
 	c.finishObs()
 }
 
-func cmdRecognize(args []string) {
+// cmdRecognize returns the process exit code: exitOK when a watermark was
+// recovered, exitNoMatch when the pipeline ran but found nothing, and
+// never returns on hard errors (fatal exits with exitError).
+func cmdRecognize(args []string) int {
 	fs := flag.NewFlagSet("recognize", flag.ExitOnError)
 	var c common
 	c.register(fs)
@@ -315,11 +334,12 @@ func cmdRecognize(args []string) {
 	if rec.Watermark == nil {
 		fmt.Println("no watermark recovered")
 		c.finishObs()
-		os.Exit(1)
+		return exitNoMatch
 	}
 	fmt.Printf("full coverage: %v\n", rec.FullCoverage)
 	fmt.Printf("watermark: %d (0x%x)\n", rec.Watermark, rec.Watermark)
 	c.finishObs()
+	return exitOK
 }
 
 func cmdTrace(args []string) {

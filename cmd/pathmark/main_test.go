@@ -75,6 +75,143 @@ func TestStatsJSONSmoke(t *testing.T) {
 	}
 }
 
+// captureStdout runs f with os.Stdout redirected to a pipe and returns
+// everything it printed.
+func captureStdout(t *testing.T, f func()) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	done := make(chan string)
+	go func() {
+		var sb strings.Builder
+		buf := make([]byte, 4096)
+		for {
+			n, err := r.Read(buf)
+			sb.Write(buf[:n])
+			if err != nil {
+				break
+			}
+		}
+		done <- sb.String()
+	}()
+	defer func() {
+		os.Stdout = old
+	}()
+	f()
+	w.Close()
+	os.Stdout = old
+	return <-done
+}
+
+// writeMiniCalc dumps the MiniCalc workload to dir and returns its path
+// plus the -input string that exercises CalcSum(10, 20).
+func writeMiniCalc(t *testing.T, dir string) (path, input string) {
+	t.Helper()
+	path = filepath.Join(dir, "host.pasm")
+	if err := os.WriteFile(path, []byte(vm.Dump(workloads.MiniCalc())), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path, "1,10,20,0"
+}
+
+// TestRecognizeExitCodes pins the exit-code contract of `pathmark
+// recognize`: 0 when a watermark is recovered, and the dedicated no-match
+// code — distinct from the hard-error code 1 — when the pipeline runs
+// clean but finds nothing.
+func TestRecognizeExitCodes(t *testing.T) {
+	dir := t.TempDir()
+	host, input := writeMiniCalc(t, dir)
+	marked := filepath.Join(dir, "marked.pasm")
+	cmdEmbed([]string{"-in", host, "-out", marked,
+		"-w", "0xBEEF", "-wbits", "64", "-input", input, "-seed", "7"})
+
+	if code := cmdRecognize([]string{"-in", marked, "-wbits", "64", "-input", input}); code != exitOK {
+		t.Errorf("recognize on a marked program: exit %d, want %d", code, exitOK)
+	}
+	code := cmdRecognize([]string{"-in", host, "-wbits", "64", "-input", input})
+	if code != exitNoMatch {
+		t.Errorf("recognize on an unmarked program: exit %d, want %d", code, exitNoMatch)
+	}
+	if exitNoMatch == exitError || exitNoMatch == exitUsage {
+		t.Errorf("no-match code %d must be distinct from hard-error %d and usage %d",
+			exitNoMatch, exitError, exitUsage)
+	}
+}
+
+// TestFleetCLIRoundTrip drives fleet embed → fleet identify through the
+// command functions: each shipped copy identifies as its own customer, an
+// unmarked suspect exits with the no-match code, and the manifest +
+// keyfile land on disk.
+func TestFleetCLIRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	host, input := writeMiniCalc(t, dir)
+	outdir := filepath.Join(dir, "fleet")
+	keyfile := filepath.Join(outdir, "fleet.key")
+	code := cmdFleetEmbed([]string{"-in", host, "-outdir", outdir, "-n", "3",
+		"-wbits", "64", "-input", input, "-savekey", keyfile})
+	if code != exitOK {
+		t.Fatalf("fleet embed: exit %d", code)
+	}
+	manifest := filepath.Join(outdir, "fleet.json")
+	for _, f := range []string{manifest, keyfile, "copy-000.pasm", "copy-001.pasm", "copy-002.pasm"} {
+		if !filepath.IsAbs(f) {
+			f = filepath.Join(outdir, f)
+		}
+		if _, err := os.Stat(f); err != nil {
+			t.Fatalf("fleet embed did not write %s: %v", f, err)
+		}
+	}
+
+	for i := 0; i < 3; i++ {
+		copyPath := filepath.Join(outdir, "copy-00"+string(rune('0'+i))+".pasm")
+		out := captureStdout(t, func() {
+			code = cmdFleetIdentify([]string{"-in", copyPath,
+				"-manifest", manifest, "-keyfile", keyfile})
+		})
+		if code != exitOK {
+			t.Errorf("identify copy %d: exit %d\n%s", i, code, out)
+		}
+		want := "customer " + string(rune('0'+i))
+		if !strings.Contains(out, want) {
+			t.Errorf("identify copy %d: output does not name %q:\n%s", i, want, out)
+		}
+	}
+
+	out := captureStdout(t, func() {
+		code = cmdFleetIdentify([]string{"-in", host,
+			"-manifest", manifest, "-keyfile", keyfile})
+	})
+	if code != exitNoMatch {
+		t.Errorf("identify unmarked host: exit %d, want %d\n%s", code, exitNoMatch, out)
+	}
+}
+
+// TestFleetDemoSmoke runs the in-memory demo end to end — the same
+// invocation CI uses — and checks it tells the full story.
+func TestFleetDemoSmoke(t *testing.T) {
+	var code int
+	out := captureStdout(t, func() {
+		code = cmdFleetDemo([]string{"-n", "4"})
+	})
+	if code != exitOK {
+		t.Fatalf("fleet demo: exit %d\n%s", code, out)
+	}
+	for _, want := range []string{
+		"embedded 4 fingerprinted",
+		"leaked copy identified as customer 3",
+		"unmarked host matches no customer",
+		"caches",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("demo output missing %q:\n%s", want, out)
+		}
+	}
+}
+
 // TestFindAttack covers the name resolution used by `pathmark attack`:
 // known names resolve, unknown names fail with the catalog in the error.
 func TestFindAttack(t *testing.T) {

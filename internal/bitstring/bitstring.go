@@ -212,19 +212,32 @@ func (b *Bits) Windows64(fn func(start int, window uint64) bool) {
 	b.Windows64Range(0, b.NumWindows64(), fn)
 }
 
+// clampWindowRange clamps a [lo, hi) window-start range to the valid
+// [0, max) range, reporting whether any windows remain. Every window
+// iterator funnels its requested range through this single helper rather
+// than trusting callers (or re-implementing the clamp per iterator):
+// lo < 0 and hi beyond the window count — easy to produce when sharding a
+// scan or probing a stride phase of an odd-length string — silently
+// tighten to the valid span instead of panicking or reading past the
+// subsequence.
+func clampWindowRange(lo, hi, max int) (int, int, bool) {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > max {
+		hi = max
+	}
+	return lo, hi, lo < hi
+}
+
 // Windows64Range calls fn for every 64-bit window whose starting index lies
 // in [lo, hi), clamped to the valid range, stopping early if fn returns
 // false. The window is maintained incrementally (one shift+or per step
 // instead of a per-index Word64 reassembly), and disjoint ranges make the
 // scan shardable across workers.
 func (b *Bits) Windows64Range(lo, hi int, fn func(start int, window uint64) bool) {
-	if lo < 0 {
-		lo = 0
-	}
-	if max := b.NumWindows64(); hi > max {
-		hi = max
-	}
-	if lo >= hi {
+	lo, hi, ok := clampWindowRange(lo, hi, b.NumWindows64())
+	if !ok {
 		return
 	}
 	w := b.Word64(lo)
@@ -278,13 +291,8 @@ func (b *Bits) StrideWindows64(k, phase int, fn func(start int, window uint64) b
 // StrideWindows64: window start indices are positions in the stride
 // subsequence, so window j covers raw bits phase+k*j .. phase+k*(j+63).
 func (b *Bits) StrideWindows64Range(k, phase, lo, hi int, fn func(start int, window uint64) bool) {
-	if lo < 0 {
-		lo = 0
-	}
-	if max := b.StrideNumWindows64(k, phase); hi > max {
-		hi = max
-	}
-	if lo >= hi {
+	lo, hi, ok := clampWindowRange(lo, hi, b.StrideNumWindows64(k, phase))
+	if !ok {
 		return
 	}
 	// Gather the first window bit-by-bit, then roll.

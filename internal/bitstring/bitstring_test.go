@@ -357,3 +357,84 @@ func TestStridePanicsOnBadArgs(t *testing.T) {
 		}()
 	}
 }
+
+// randomBits builds a deterministic pseudo-random vector of n bits.
+func randomBits(seed int64, n int) *Bits {
+	rng := rand.New(rand.NewSource(seed))
+	b := New(n)
+	for i := 0; i < n; i++ {
+		b.Append(rng.Intn(2) == 1)
+	}
+	return b
+}
+
+// collectWindows runs the ranged iterator and records (start, window)
+// pairs.
+func collectWindows(iter func(fn func(int, uint64) bool)) (starts []int, windows []uint64) {
+	iter(func(start int, w uint64) bool {
+		starts = append(starts, start)
+		windows = append(windows, w)
+		return true
+	})
+	return
+}
+
+// TestStrideWindows64RangeClamping is the boundary-safety contract of the
+// ranged window iterators: out-of-range [lo, hi) arguments — negative lo,
+// hi past the phase's window count, inverted or empty ranges — clamp to
+// the valid span instead of panicking or fabricating windows, on
+// odd-length strings at both stride-2 phases (where the two phases have
+// different lengths, so an hi valid for phase 0 overruns phase 1).
+func TestStrideWindows64RangeClamping(t *testing.T) {
+	for _, n := range []int{127, 128, 129, 131, 191} {
+		b := randomBits(int64(n), n)
+		for phase := 0; phase < 2; phase++ {
+			count := b.StrideNumWindows64(2, phase)
+			wantStarts, wantWindows := collectWindows(func(fn func(int, uint64) bool) {
+				b.StrideWindows64Range(2, phase, 0, count, fn)
+			})
+			if len(wantStarts) != count {
+				t.Fatalf("n=%d phase=%d: full range yields %d windows, want %d",
+					n, phase, len(wantStarts), count)
+			}
+			for _, bounds := range [][2]int{
+				{-5, count},     // negative lo
+				{0, count + 7},  // hi past the window count
+				{-100, 1 << 30}, // both wild
+				{-1, count + 1}, // one past each edge
+				{0, count},      // exact
+			} {
+				gotStarts, gotWindows := collectWindows(func(fn func(int, uint64) bool) {
+					b.StrideWindows64Range(2, phase, bounds[0], bounds[1], fn)
+				})
+				if len(gotStarts) != len(wantStarts) {
+					t.Errorf("n=%d phase=%d range %v: %d windows, want %d",
+						n, phase, bounds, len(gotStarts), len(wantStarts))
+					continue
+				}
+				for i := range gotStarts {
+					if gotStarts[i] != wantStarts[i] || gotWindows[i] != wantWindows[i] {
+						t.Errorf("n=%d phase=%d range %v: window %d differs", n, phase, bounds, i)
+						break
+					}
+				}
+			}
+			// Empty and inverted ranges visit nothing.
+			for _, bounds := range [][2]int{{count, count + 10}, {5, 5}, {7, 3}, {count, 0}} {
+				if starts, _ := collectWindows(func(fn func(int, uint64) bool) {
+					b.StrideWindows64Range(2, phase, bounds[0], bounds[1], fn)
+				}); len(starts) != 0 {
+					t.Errorf("n=%d phase=%d range %v: visited %d windows, want none",
+						n, phase, bounds, len(starts))
+				}
+			}
+		}
+		// The raw iterator shares the clamp.
+		count := b.NumWindows64()
+		full, _ := collectWindows(func(fn func(int, uint64) bool) { b.Windows64Range(0, count, fn) })
+		wild, _ := collectWindows(func(fn func(int, uint64) bool) { b.Windows64Range(-9, count+9, fn) })
+		if len(full) != count || len(wild) != count {
+			t.Errorf("n=%d: raw clamp broken: %d / %d windows, want %d", n, len(full), len(wild), count)
+		}
+	}
+}

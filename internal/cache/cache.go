@@ -1,0 +1,273 @@
+// Package cache provides the shared caching layer under the fleet-scale
+// fingerprinting paths: a sharded memo table for 64-bit window decryption
+// (the recognizer's hot loop decrypts the same loop-generated window
+// thousands of times per trace) and a content-addressed, singleflight
+// keyed cache for decoded trace bit-strings (corpus recognition matches
+// one suspect against many candidate keys, and every key sharing a secret
+// input can reuse the same trace).
+//
+// Both caches are pure memo tables: GetOrCompute always returns exactly
+// what the compute function would return, whether or not the result was
+// (or could be) stored, so enabling a cache never changes results — only
+// how often the underlying function runs. Both are safe for concurrent
+// use and nil-safe (a nil cache degenerates to calling the function), so
+// call sites need no flags around them.
+package cache
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"sync"
+	"sync/atomic"
+)
+
+// Stats is a point-in-time snapshot of a cache's traffic counters.
+type Stats struct {
+	// Hits counts lookups answered from the table (including lookups
+	// coalesced onto an in-flight computation, for the keyed cache).
+	Hits int64
+	// Misses counts lookups that ran the compute function and stored the
+	// result.
+	Misses int64
+	// Bypassed counts lookups that ran the compute function WITHOUT
+	// storing the result because the table was at capacity. A bypassed
+	// key may be computed again later; within capacity every distinct key
+	// is computed at most once.
+	Bypassed int64
+}
+
+// Lookups returns the total number of GetOrCompute calls the stats cover.
+func (s Stats) Lookups() int64 { return s.Hits + s.Misses + s.Bypassed }
+
+// HitRate returns Hits / Lookups, or 0 for an untouched cache.
+func (s Stats) HitRate() float64 {
+	if n := s.Lookups(); n > 0 {
+		return float64(s.Hits) / float64(n)
+	}
+	return 0
+}
+
+// Sub returns the delta s - prior, for attributing traffic to one
+// pipeline phase of a long-lived cache.
+func (s Stats) Sub(prior Stats) Stats {
+	return Stats{
+		Hits:     s.Hits - prior.Hits,
+		Misses:   s.Misses - prior.Misses,
+		Bypassed: s.Bypassed - prior.Bypassed,
+	}
+}
+
+// cache64Shards is the shard count of Cache64. Power of two so shard
+// selection is a mask; 128 shards keep lock contention negligible at any
+// realistic scan worker count.
+const cache64Shards = 128
+
+type cache64Shard struct {
+	mu sync.Mutex
+	m  map[uint64]uint64
+}
+
+// Cache64 is a bounded, sharded, concurrency-safe memo table from uint64
+// keys to uint64 values, built for the recognizer's per-key decrypt
+// cache: key = 64-bit trace window, value = its decryption.
+//
+// The compute function runs while the key's shard lock is held, so within
+// capacity each distinct key is computed AT MOST ONCE regardless of how
+// many workers look it up concurrently — the property that makes
+// "decrypts per distinct window" an invariant rather than a race. The
+// compute function must therefore be fast (a block-cipher call, not I/O)
+// and must not touch the cache reentrantly.
+type Cache64 struct {
+	shards      [cache64Shards]cache64Shard
+	maxPerShard int
+	hits        atomic.Int64
+	misses      atomic.Int64
+	bypassed    atomic.Int64
+}
+
+// NewCache64 returns a Cache64 holding at most maxEntries values
+// (rounded up to a multiple of the shard count); maxEntries <= 0 means
+// unbounded. Once a shard is full, new keys are computed but not stored
+// (counted as Bypassed) — results stay correct, only the at-most-once
+// guarantee is relinquished for the overflow keys.
+func NewCache64(maxEntries int) *Cache64 {
+	c := &Cache64{}
+	if maxEntries > 0 {
+		c.maxPerShard = (maxEntries + cache64Shards - 1) / cache64Shards
+	}
+	return c
+}
+
+// mix64 is the splitmix64 finalizer: trace windows are highly structured
+// (long runs, strided payloads), so shard selection needs real avalanche
+// to spread them across shards.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// GetOrCompute returns the cached value for k, computing and storing it
+// via f on a miss. On a nil receiver it simply returns f(k).
+func (c *Cache64) GetOrCompute(k uint64, f func(uint64) uint64) uint64 {
+	if c == nil {
+		return f(k)
+	}
+	s := &c.shards[mix64(k)&(cache64Shards-1)]
+	s.mu.Lock()
+	if v, ok := s.m[k]; ok {
+		s.mu.Unlock()
+		c.hits.Add(1)
+		return v
+	}
+	// Compute under the shard lock: concurrent callers of the same key
+	// block here and then hit, so the key is computed exactly once.
+	v := f(k)
+	if c.maxPerShard > 0 && len(s.m) >= c.maxPerShard {
+		s.mu.Unlock()
+		c.bypassed.Add(1)
+		return v
+	}
+	if s.m == nil {
+		s.m = make(map[uint64]uint64)
+	}
+	s.m[k] = v
+	s.mu.Unlock()
+	c.misses.Add(1)
+	return v
+}
+
+// Len returns the number of stored entries (0 on nil).
+func (c *Cache64) Len() int {
+	if c == nil {
+		return 0
+	}
+	n := 0
+	for i := range c.shards {
+		c.shards[i].mu.Lock()
+		n += len(c.shards[i].m)
+		c.shards[i].mu.Unlock()
+	}
+	return n
+}
+
+// Stats snapshots the traffic counters (zero on nil).
+func (c *Cache64) Stats() Stats {
+	if c == nil {
+		return Stats{}
+	}
+	return Stats{Hits: c.hits.Load(), Misses: c.misses.Load(), Bypassed: c.bypassed.Load()}
+}
+
+// keyedEntry holds one Keyed value; Once gives singleflight semantics
+// (concurrent callers of the same key block until the first compute
+// finishes, then share its result).
+type keyedEntry[V any] struct {
+	once sync.Once
+	val  V
+	err  error
+}
+
+// Keyed is a bounded, concurrency-safe, singleflight memo table from a
+// comparable key to an arbitrary value — the shape of the trace cache,
+// whose keys are (program digest, input digest) pairs and whose values
+// are decoded bit-strings. Compute functions may fail; errors are cached
+// alongside values (recomputing a deterministic failure would not change
+// it). A nil *Keyed computes directly.
+type Keyed[K comparable, V any] struct {
+	mu         sync.Mutex
+	m          map[K]*keyedEntry[V]
+	maxEntries int
+	hits       atomic.Int64
+	misses     atomic.Int64
+	bypassed   atomic.Int64
+}
+
+// NewKeyed returns a Keyed cache holding at most maxEntries entries
+// (<= 0 = unbounded); at capacity new keys compute without storing.
+func NewKeyed[K comparable, V any](maxEntries int) *Keyed[K, V] {
+	return &Keyed[K, V]{m: make(map[K]*keyedEntry[V]), maxEntries: maxEntries}
+}
+
+// GetOrCompute returns the value for k, computing it via f at most once
+// per stored key. Concurrent callers of an absent key coalesce: one runs
+// f, the rest block and share the outcome.
+func (c *Keyed[K, V]) GetOrCompute(k K, f func() (V, error)) (V, error) {
+	if c == nil {
+		return f()
+	}
+	c.mu.Lock()
+	e, ok := c.m[k]
+	if !ok {
+		if c.maxEntries > 0 && len(c.m) >= c.maxEntries {
+			c.mu.Unlock()
+			c.bypassed.Add(1)
+			return f()
+		}
+		e = &keyedEntry[V]{}
+		c.m[k] = e
+	}
+	c.mu.Unlock()
+	if ok {
+		c.hits.Add(1)
+	} else {
+		c.misses.Add(1)
+	}
+	e.once.Do(func() { e.val, e.err = f() })
+	return e.val, e.err
+}
+
+// Len returns the number of stored entries (0 on nil).
+func (c *Keyed[K, V]) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}
+
+// Stats snapshots the traffic counters (zero on nil).
+func (c *Keyed[K, V]) Stats() Stats {
+	if c == nil {
+		return Stats{}
+	}
+	return Stats{Hits: c.hits.Load(), Misses: c.misses.Load(), Bypassed: c.bypassed.Load()}
+}
+
+// Digest is the content-address used by the keyed caches: a SHA-256 hash.
+type Digest [sha256.Size]byte
+
+// DigestBytes hashes a sequence of byte slices into one Digest. Each part
+// is length-prefixed, so part boundaries are unambiguous ("ab","c" and
+// "a","bc" digest differently).
+func DigestBytes(parts ...[]byte) Digest {
+	h := sha256.New()
+	var lenBuf [8]byte
+	for _, p := range parts {
+		binary.LittleEndian.PutUint64(lenBuf[:], uint64(len(p)))
+		h.Write(lenBuf[:])
+		h.Write(p)
+	}
+	var d Digest
+	h.Sum(d[:0])
+	return d
+}
+
+// DigestInt64s hashes an int64 sequence (e.g. a secret input vector).
+func DigestInt64s(vs []int64) Digest {
+	h := sha256.New()
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(len(vs)))
+	h.Write(buf[:])
+	for _, v := range vs {
+		binary.LittleEndian.PutUint64(buf[:], uint64(v))
+		h.Write(buf[:])
+	}
+	var d Digest
+	h.Sum(d[:0])
+	return d
+}

@@ -181,6 +181,37 @@ func TestNativeAttacksTableMatchesPaper(t *testing.T) {
 // table renders byte-for-byte identically at any job count, because sweep
 // points seed their RNGs from their own index rather than a shared
 // rand.Rand.
+// TestFleetIdentification checks the §1 fingerprinting experiment: every
+// leaked copy identifies as its own customer, the clean control stays
+// clean, suspects are traced once per input (not once per key), and a
+// warm corpus re-grade needs zero new decrypts.
+func TestFleetIdentification(t *testing.T) {
+	points, table := FleetIdentification(quick)
+	if len(points) == 0 {
+		t.Fatal("no points")
+	}
+	for _, p := range points {
+		if p.Identified != p.FleetSize {
+			t.Errorf("fleet %d: only %d/%d copies identified", p.FleetSize, p.Identified, p.FleetSize)
+		}
+		if !p.CleanOK {
+			t.Errorf("fleet %d: clean control matched a customer or a decoy key matched", p.FleetSize)
+		}
+		if p.TracesRun >= p.Pairs {
+			t.Errorf("fleet %d: %d traces for %d pairs — no amortization", p.FleetSize, p.TracesRun, p.Pairs)
+		}
+		if p.WarmDecrypts != 0 {
+			t.Errorf("fleet %d: warm re-grade decrypted %d windows, want 0", p.FleetSize, p.WarmDecrypts)
+		}
+		if p.ColdDecrypts == 0 {
+			t.Errorf("fleet %d: cold pass decrypted nothing", p.FleetSize)
+		}
+	}
+	if !strings.Contains(table.Render(), "Fleet identification") {
+		t.Error("table render broken")
+	}
+}
+
 func TestJobsDeterminism(t *testing.T) {
 	serial := Config{Quick: true, Seed: 42, Jobs: 1}
 	pooled := Config{Quick: true, Seed: 42, Jobs: 4}

@@ -44,16 +44,33 @@ type Program struct {
 	NStatics int
 }
 
+// Clone returns a deep copy of the method.
+func (m *Method) Clone() *Method {
+	return &Method{Name: m.Name, NArgs: m.NArgs, NLocals: m.NLocals,
+		Code: append([]Instr(nil), m.Code...)}
+}
+
 // Clone returns a deep copy of the program; transformations and the
 // embedder never mutate the caller's copy.
 func (p *Program) Clone() *Program {
 	q := &Program{Entry: p.Entry, NStatics: p.NStatics}
 	for _, m := range p.Methods {
-		mm := &Method{Name: m.Name, NArgs: m.NArgs, NLocals: m.NLocals,
-			Code: append([]Instr(nil), m.Code...)}
-		q.Methods = append(q.Methods, mm)
+		q.Methods = append(q.Methods, m.Clone())
 	}
 	return q
+}
+
+// CloneShared returns a copy-on-write clone: a fresh Program struct (own
+// Methods slice, Entry, NStatics) whose method objects still alias the
+// receiver's. Mutating a shared method corrupts both programs — callers
+// must swap in a Method.Clone() before touching one (see wm's batch
+// embedder, which deep-copies only the handful of methods it modifies).
+func (p *Program) CloneShared() *Program {
+	return &Program{
+		Methods:  append([]*Method(nil), p.Methods...),
+		Entry:    p.Entry,
+		NStatics: p.NStatics,
+	}
 }
 
 // MethodByName returns the first method with the given name, or nil.

@@ -33,6 +33,21 @@ func Verify(p *Program) error {
 	return nil
 }
 
+// VerifyMethod re-checks a single method against the program's current
+// tables (statics, callees). It is the incremental counterpart of Verify
+// for transformations that modify only a few methods of an
+// already-verified program: statics and methods only ever grow, so
+// untouched methods stay valid and need no re-verification.
+func VerifyMethod(p *Program, i int) error {
+	if i < 0 || i >= len(p.Methods) {
+		return fmt.Errorf("vm: method index %d out of range", i)
+	}
+	if err := verifyMethod(p, p.Methods[i]); err != nil {
+		return fmt.Errorf("vm: method %s: %w", p.Methods[i].Name, err)
+	}
+	return nil
+}
+
 func verifyMethod(p *Program, m *Method) error {
 	n := len(m.Code)
 	if n == 0 {

@@ -130,41 +130,56 @@ type site struct {
 	snaps  []vm.Snapshot
 }
 
-// Embed inserts the watermark w into a copy of p using the key and
-// options, returning the watermarked program and a report (§3.2). The
-// original program is not modified.
-func Embed(p *vm.Program, w *big.Int, key *Key, opts EmbedOptions) (*vm.Program, *EmbedReport, error) {
-	if w == nil || w.Sign() < 0 {
-		return nil, nil, errors.New("wm: watermark must be a non-negative integer")
-	}
-	if w.Cmp(key.MaxWatermark()) >= 0 {
-		return nil, nil, fmt.Errorf("wm: watermark too large for key (max %d bits)", key.MaxWatermark().BitLen())
-	}
-	out := p.Clone()
-	rng := rand.New(rand.NewSource(opts.Seed))
-	total := opts.Obs.Start("embed")
-	defer total.Finish()
-	opts.Obs.Counter("embed.calls").Add(1)
+// hostAnalysis is the watermark-independent half of embedding: the traced
+// insertion sites (with their inverse-frequency weights and snapshots) and
+// the host program's original local/static layout. It depends only on the
+// host program and the key's secret input, never on the watermark or the
+// placement seed, so one analysis can back any number of embedOne calls —
+// the amortization EmbedBatch exploits. The snapshots are read-only to the
+// generators, making concurrent embedOne calls over a shared analysis safe.
+type hostAnalysis struct {
+	sites       []site
+	condSites   []int // indices of sites executed at least twice
+	allSites    []int
+	weights     []float64 // per-site 1/count, the §3.2 inverse-frequency weight
+	allTotal    float64   // sum of weights over allSites, in index order
+	condTotal   float64   // sum of weights over condSites, in index order
+	origLocals  []int     // per-method NLocals before any insertion
+	origStatics int
+	traceEvents int
+}
 
+// analyzeHost runs the tracing phase (§3.1) and insertion-site analysis on
+// the host program. It consumes no randomness: Embed(p, w, key, opts) is
+// byte-for-byte analyzeHost(p, key, opts) followed by embedOne with the
+// same options.
+func analyzeHost(p *vm.Program, key *Key, opts EmbedOptions) (*hostAnalysis, error) {
+	// Verify the host once up front. embedOne then re-verifies only the
+	// methods it modified — sound because statics and methods only grow —
+	// which keeps per-copy verification cost proportional to the insertion,
+	// not the whole program.
+	if err := vm.Verify(p); err != nil {
+		return nil, fmt.Errorf("wm: host program fails verification: %w", err)
+	}
 	// Tracing phase (§3.1). The step/heap budgets and context bound the
 	// run: a host program that spins forever (or is attacked into doing
 	// so) surfaces a typed StageError instead of consuming the default
 	// 100M-step budget.
 	span := opts.Obs.Start("embed.trace")
-	tr, _, err := vm.CollectWith(out, vm.RunOptions{
+	tr, _, err := vm.CollectWith(p, vm.RunOptions{
 		Input: key.Input, SnapshotLimit: 2,
 		Ctx: opts.Ctx, StepLimit: opts.StepLimit, MaxHeap: opts.MaxHeap,
 	})
 	if err != nil {
 		span.Finish()
-		return nil, nil, &StageError{Stage: "trace", Worker: -1,
+		return nil, &StageError{Stage: "trace", Worker: -1,
 			Cause: fmt.Errorf("tracing phase: %w", err)}
 	}
 	span.Set("trace_events", int64(len(tr.Events))).Finish()
 
 	// Candidate sites: every traced block, weighted 1/frequency.
 	span = opts.Obs.Start("embed.sites")
-	cfgs := vm.BuildProgramCFG(out)
+	cfgs := vm.BuildProgramCFG(p)
 	var sites []site
 	for bk, count := range tr.BlockCount {
 		blk := cfgs.Methods[bk.Method].Blocks[bk.Block]
@@ -177,7 +192,7 @@ func Embed(p *vm.Program, w *big.Int, key *Key, opts EmbedOptions) (*vm.Program,
 	}
 	if len(sites) == 0 {
 		span.Finish()
-		return nil, nil, errors.New("wm: trace visited no blocks")
+		return nil, errors.New("wm: trace visited no blocks")
 	}
 	sort.Slice(sites, func(a, b int) bool {
 		if sites[a].method != sites[b].method {
@@ -185,7 +200,7 @@ func Embed(p *vm.Program, w *big.Int, key *Key, opts EmbedOptions) (*vm.Program,
 		}
 		return sites[a].pc < sites[b].pc
 	})
-	var condSites []int // indices of sites executed at least twice
+	var condSites []int
 	for i, s := range sites {
 		if s.count >= 2 {
 			condSites = append(condSites, i)
@@ -193,37 +208,123 @@ func Embed(p *vm.Program, w *big.Int, key *Key, opts EmbedOptions) (*vm.Program,
 	}
 	if opts.Policy == GenConditionOnly && len(condSites) == 0 {
 		span.Finish()
-		return nil, nil, errors.New("wm: no site executes twice; condition generator unusable")
+		return nil, errors.New("wm: no site executes twice; condition generator unusable")
 	}
+	allSites := make([]int, len(sites))
+	for i := range allSites {
+		allSites[i] = i
+	}
+	// Precompute the inverse-frequency weights and their totals once; the
+	// per-piece weighted pick in embedOne then only scans, never divides.
+	// Summation order matches the scan order, so the totals are bit-equal
+	// to summing on every pick.
+	weights := make([]float64, len(sites))
+	allTotal := 0.0
+	for i, s := range sites {
+		weights[i] = 1.0 / float64(s.count)
+		allTotal += weights[i]
+	}
+	condTotal := 0.0
+	for _, i := range condSites {
+		condTotal += weights[i]
+	}
+	span.Set("candidate_sites", int64(len(sites))).
+		Set("condition_sites", int64(len(condSites))).Finish()
 
-	// Inverse-frequency weights (§3.2: avoid hotspots).
-	pickSite := func(indices []int) int {
-		total := 0.0
-		for _, i := range indices {
-			total += 1.0 / float64(sites[i].count)
+	origLocals := make([]int, len(p.Methods))
+	for i, m := range p.Methods {
+		origLocals[i] = m.NLocals
+	}
+	return &hostAnalysis{
+		sites:       sites,
+		condSites:   condSites,
+		allSites:    allSites,
+		weights:     weights,
+		allTotal:    allTotal,
+		condTotal:   condTotal,
+		origLocals:  origLocals,
+		origStatics: p.NStatics,
+		traceEvents: len(tr.Events),
+	}, nil
+}
+
+// validateWatermark checks w against the key's capacity.
+func validateWatermark(w *big.Int, key *Key) error {
+	if w == nil || w.Sign() < 0 {
+		return errors.New("wm: watermark must be a non-negative integer")
+	}
+	if w.Cmp(key.MaxWatermark()) >= 0 {
+		return fmt.Errorf("wm: watermark too large for key (max %d bits)", key.MaxWatermark().BitLen())
+	}
+	return nil
+}
+
+// Embed inserts the watermark w into a copy of p using the key and
+// options, returning the watermarked program and a report (§3.2). The
+// original program is not modified.
+func Embed(p *vm.Program, w *big.Int, key *Key, opts EmbedOptions) (*vm.Program, *EmbedReport, error) {
+	if err := validateWatermark(w, key); err != nil {
+		return nil, nil, err
+	}
+	total := opts.Obs.Start("embed")
+	defer total.Finish()
+	opts.Obs.Counter("embed.calls").Add(1)
+	ha, err := analyzeHost(p, key, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	return embedOne(p, ha, w, key, opts)
+}
+
+// embedOne is the watermark-dependent half of embedding: split w into CRT
+// statements, encrypt them, generate stealthy code at seed-chosen sites of
+// the shared analysis, and apply the insertions to a fresh clone of p. All
+// randomness (site choice, generator roll, operand shapes) comes from a
+// rand.Rand seeded with opts.Seed, consumed in the exact order the
+// monolithic Embed used, so embedOne over a precomputed analysis produces
+// byte-identical output to Embed with the same seed.
+func embedOne(p *vm.Program, ha *hostAnalysis, w *big.Int, key *Key, opts EmbedOptions) (*vm.Program, *EmbedReport, error) {
+	if err := validateWatermark(w, key); err != nil {
+		return nil, nil, err
+	}
+	if err := ctxErr(opts.Ctx); err != nil {
+		return nil, nil, &StageError{Stage: "split", Worker: -1, Cause: err}
+	}
+	// Copy-on-write clone: share every method with p, deep-copy a method
+	// only when a piece lands in it. A batch of fingerprints over a large
+	// host then pays per copy only for the few methods it modifies, not a
+	// full program clone. Safe because all program transformations in this
+	// codebase Clone before mutating; the embedder itself mutates methods
+	// only through touch.
+	out := p.CloneShared()
+	touched := make(map[int]bool)
+	touch := func(i int) *vm.Method {
+		if !touched[i] {
+			out.Methods[i] = out.Methods[i].Clone()
+			touched[i] = true
 		}
+		return out.Methods[i]
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	sites := ha.sites
+
+	// Inverse-frequency weights (§3.2: avoid hotspots). The weights and
+	// their total come precomputed from the analysis; the subtract-and-scan
+	// arithmetic is unchanged, so site choices are bit-identical to
+	// recomputing the weights on every pick.
+	pickSite := func(indices []int, total float64) int {
 		x := rng.Float64() * total
 		for _, i := range indices {
-			x -= 1.0 / float64(sites[i].count)
+			x -= ha.weights[i]
 			if x <= 0 {
 				return i
 			}
 		}
 		return indices[len(indices)-1]
 	}
-	allSites := make([]int, len(sites))
-	for i := range allSites {
-		allSites[i] = i
-	}
-	span.Set("candidate_sites", int64(len(sites))).
-		Set("condition_sites", int64(len(condSites))).Finish()
-
-	if err := ctxErr(opts.Ctx); err != nil {
-		return nil, nil, &StageError{Stage: "split", Worker: -1, Cause: err}
-	}
 
 	// Split + encrypt pieces (§3.2 steps 1-3).
-	span = opts.Obs.Start("embed.split")
+	span := opts.Obs.Start("embed.split")
 	stmts, err := orderedStatements(key.Params, w)
 	if err != nil {
 		span.Finish()
@@ -240,15 +341,9 @@ func Embed(p *vm.Program, w *big.Int, key *Key, opts EmbedOptions) (*vm.Program,
 	}
 	cipher := feistel.New(key.Cipher)
 
-	origLocals := make([]int, len(out.Methods))
-	for i, m := range out.Methods {
-		origLocals[i] = m.NLocals
-	}
-	origStatics := out.NStatics
-
 	report := &EmbedReport{
 		OriginalSize:  p.CodeSize(),
-		TraceEvents:   len(tr.Events),
+		TraceEvents:   ha.traceEvents,
 		CandidateSite: len(sites),
 	}
 
@@ -275,13 +370,13 @@ func Embed(p *vm.Program, w *big.Int, key *Key, opts EmbedOptions) (*vm.Program,
 		var si int
 		switch opts.Policy {
 		case GenLoopOnly:
-			gen, si = GenLoop, pickSite(allSites)
+			gen, si = GenLoop, pickSite(ha.allSites, ha.allTotal)
 		case GenLoopUnrolledOnly:
-			gen, si = GenLoopUnrolled, pickSite(allSites)
+			gen, si = GenLoopUnrolled, pickSite(ha.allSites, ha.allTotal)
 		case GenConditionOnly:
-			gen, si = GenCondition, pickSite(condSites)
+			gen, si = GenCondition, pickSite(ha.condSites, ha.condTotal)
 		default:
-			si = pickSite(allSites)
+			si = pickSite(ha.allSites, ha.allTotal)
 			switch roll := rng.Intn(10); {
 			case sites[si].count >= 2 && roll < 3:
 				gen = GenCondition
@@ -294,9 +389,9 @@ func Embed(p *vm.Program, w *big.Int, key *Key, opts EmbedOptions) (*vm.Program,
 		s := sites[si]
 		env := &hostEnv{
 			prog:        out,
-			method:      out.Methods[s.method],
-			origLocals:  origLocals[s.method],
-			origStatics: origStatics,
+			method:      touch(s.method),
+			origLocals:  ha.origLocals[s.method],
+			origStatics: ha.origStatics,
 			snaps:       s.snaps,
 		}
 		var code []vm.Instr
@@ -342,12 +437,22 @@ func Embed(p *vm.Program, w *big.Int, key *Key, opts EmbedOptions) (*vm.Program,
 	}
 
 	report.EmbeddedSize = out.CodeSize()
-	err = vm.Verify(out)
+	// Re-verify only the methods this embedding modified; analyzeHost
+	// already verified the rest (and statics/methods only grow, so they
+	// stay valid). Sorted for a deterministic first error.
+	methods := make([]int, 0, len(touched))
+	for i := range touched {
+		methods = append(methods, i)
+	}
+	sort.Ints(methods)
+	for _, i := range methods {
+		if err := vm.VerifyMethod(out, i); err != nil {
+			span.Finish()
+			return nil, nil, fmt.Errorf("wm: embedded program fails verification: %w", err)
+		}
+	}
 	span.Set("original_size", int64(report.OriginalSize)).
 		Set("embedded_size", int64(report.EmbeddedSize)).Finish()
-	if err != nil {
-		return nil, nil, fmt.Errorf("wm: embedded program fails verification: %w", err)
-	}
 	opts.Obs.Counter("embed.pieces_total").Add(int64(nPieces))
 	opts.Obs.Histogram("embed.size_increase_bp").
 		Observe(int64(report.SizeIncrease() * 10_000))

@@ -1,0 +1,457 @@
+package wm
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/big"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"pathmark/internal/bitstring"
+	"pathmark/internal/cache"
+	"pathmark/internal/feistel"
+	"pathmark/internal/obs"
+	"pathmark/internal/vm"
+)
+
+// This file is the fleet layer (§1: fingerprinting): embedding a distinct
+// watermark into every shipped copy of one program, and matching suspect
+// copies against a whole fleet of candidate keys. Both directions amortize
+// the watermark-independent work — EmbedBatch runs the base trace and
+// insertion-site analysis once for N fingerprints, RecognizeCorpus traces
+// each suspect once per distinct secret input and shares one decrypt cache
+// per candidate key across all suspects.
+
+// BatchOptions tunes EmbedBatch. The embedded EmbedOptions apply to every
+// copy, except that copy i uses Seed+int64(i) — each fingerprint gets its
+// own placement, and EmbedBatch(p, ws, key, o)[i] is byte-identical to
+// Embed(p, ws[i], key, o.EmbedOptions) with that per-copy seed.
+type BatchOptions struct {
+	EmbedOptions
+	// Workers bounds the goroutines embedding copies concurrently:
+	// 0 picks runtime.GOMAXPROCS(0), 1 forces the serial path. The output
+	// is identical at any worker count (each copy's randomness is an
+	// independent rng seeded from Seed+index).
+	Workers int
+}
+
+// Fingerprint is one embedded copy of a fleet: the customer index, the
+// watermark identifying the customer, and the watermarked program.
+type Fingerprint struct {
+	Index     int
+	Watermark *big.Int
+	Program   *vm.Program
+	Report    *EmbedReport
+}
+
+// EmbedBatch embeds each watermark in ws into its own copy of p, running
+// the tracing phase and insertion-site analysis once and reusing them for
+// every copy (the per-copy work is only split/encrypt/codegen/apply). The
+// watermarks need not be distinct, but fingerprinting wants them distinct —
+// see RandomWatermark for generating a fleet's worth.
+//
+// On error the whole batch fails: either a watermark is out of range
+// (reported before any embedding), the shared analysis fails, or some
+// copy's embedding fails (the lowest failing index is reported, so the
+// error is deterministic at any worker count).
+func EmbedBatch(p *vm.Program, ws []*big.Int, key *Key, opts BatchOptions) ([]Fingerprint, error) {
+	if len(ws) == 0 {
+		return nil, errors.New("wm: EmbedBatch needs at least one watermark")
+	}
+	for i, w := range ws {
+		if err := validateWatermark(w, key); err != nil {
+			return nil, fmt.Errorf("wm: batch watermark %d: %w", i, err)
+		}
+	}
+	total := opts.Obs.Start("embed.batch")
+	defer total.Finish()
+	opts.Obs.Counter("embed.batch.calls").Add(1)
+	opts.Obs.Counter("embed.batch.copies").Add(int64(len(ws)))
+
+	ha, err := analyzeHost(p, key, opts.EmbedOptions)
+	if err != nil {
+		return nil, err
+	}
+
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(ws) {
+		workers = len(ws)
+	}
+
+	copies := make([]Fingerprint, len(ws))
+	errs := make([]error, len(ws))
+	embedCopy := func(i int) {
+		// Per-copy options: shifted seed, no registry — concurrent copies
+		// would interleave their stage spans nondeterministically, so the
+		// batch records only batch-level metrics.
+		one := opts.EmbedOptions
+		one.Seed += int64(i)
+		one.Obs = nil
+		prog, report, err := embedOne(p, ha, ws[i], key, one)
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		copies[i] = Fingerprint{Index: i, Watermark: ws[i], Program: prog, Report: report}
+	}
+	if workers <= 1 {
+		for i := range ws {
+			if err := ctxErr(opts.Ctx); err != nil {
+				return nil, &StageError{Stage: "batch", Worker: -1, Cause: err}
+			}
+			embedCopy(i)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					if ctxErr(opts.Ctx) != nil {
+						return
+					}
+					i := int(next.Add(1)) - 1
+					if i >= len(ws) {
+						return
+					}
+					embedCopy(i)
+				}
+			}()
+		}
+		wg.Wait()
+		if err := ctxErr(opts.Ctx); err != nil {
+			return nil, &StageError{Stage: "batch", Worker: -1, Cause: err}
+		}
+	}
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("wm: batch copy %d: %w", i, err)
+		}
+	}
+	total.Set("copies", int64(len(ws))).
+		Set("candidate_sites", int64(len(ha.sites)))
+	return copies, nil
+}
+
+// ProgramDigest content-addresses a program: the SHA-256 of its canonical
+// disassembly. Two programs digest equal iff they disassemble identically,
+// which is exactly the granularity at which traces (and hence recognition
+// inputs) can be shared.
+func ProgramDigest(p *vm.Program) cache.Digest {
+	return cache.DigestBytes([]byte(vm.Dump(p)))
+}
+
+// TraceKey is the content address of a decoded trace bit-string: the
+// program and the secret input fully determine the trace, so two corpus
+// pairs whose keys share an input — the common fingerprinting setup, one
+// input for the whole fleet — hit the same entry. Invalidation is
+// automatic: any change to the program or input changes the key.
+type TraceKey struct {
+	Program cache.Digest
+	Input   cache.Digest
+}
+
+// FleetCaches bundles the shared state of fleet-scale recognition: a
+// content-addressed trace cache (TraceKey -> decoded bit-string) and one
+// decrypt memo table per distinct cipher key. A long-lived FleetCaches can
+// span many RecognizeCorpus calls — entries never go stale because every
+// key is a content address. The zero value is not usable; a nil
+// *FleetCaches degrades every lookup to a direct computation.
+type FleetCaches struct {
+	traces *cache.Keyed[TraceKey, *bitstring.Bits]
+
+	mu         sync.Mutex
+	decrypt    map[feistel.Key]*cache.Cache64
+	maxWindows int
+}
+
+// NewFleetCaches builds a FleetCaches holding at most maxTraces decoded
+// bit-strings and maxWindowsPerKey decrypt entries per distinct cipher key
+// (<= 0 = unbounded; beyond capacity lookups compute without storing).
+func NewFleetCaches(maxTraces, maxWindowsPerKey int) *FleetCaches {
+	return &FleetCaches{
+		traces:     cache.NewKeyed[TraceKey, *bitstring.Bits](maxTraces),
+		decrypt:    make(map[feistel.Key]*cache.Cache64),
+		maxWindows: maxWindowsPerKey,
+	}
+}
+
+// DecryptCacheFor returns the decrypt memo table for one cipher key,
+// creating it on first use. Keys are the cipher key itself: decryption
+// depends on nothing else, so the table is safely shared by every
+// recognition using that key — across suspects, corpus calls, and scan
+// workers. Returns nil on a nil receiver (callers pass it straight to
+// RecognizeOpts.DecryptCache, which treats nil as "no cache").
+func (f *FleetCaches) DecryptCacheFor(k feistel.Key) *cache.Cache64 {
+	if f == nil {
+		return nil
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	c, ok := f.decrypt[k]
+	if !ok {
+		c = cache.NewCache64(f.maxWindows)
+		f.decrypt[k] = c
+	}
+	return c
+}
+
+// TraceStats snapshots the trace cache's traffic (zero on nil).
+func (f *FleetCaches) TraceStats() cache.Stats {
+	if f == nil {
+		return cache.Stats{}
+	}
+	return f.traces.Stats()
+}
+
+// DecryptStats snapshots the summed traffic of every per-key decrypt
+// table (zero on nil).
+func (f *FleetCaches) DecryptStats() cache.Stats {
+	if f == nil {
+		return cache.Stats{}
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var s cache.Stats
+	for _, c := range f.decrypt {
+		cs := c.Stats()
+		s.Hits += cs.Hits
+		s.Misses += cs.Misses
+		s.Bypassed += cs.Bypassed
+	}
+	return s
+}
+
+// traceBits returns the decoded trace bit-string for (p, input), from the
+// cache when possible. Concurrent callers of the same TraceKey coalesce
+// onto one tracing run (singleflight); trace failures are cached too — a
+// suspect that exhausts its step budget does so deterministically, so
+// retrying per candidate key would only repeat the failure.
+func (f *FleetCaches) traceBits(p *vm.Program, k TraceKey, input []int64,
+	ctx context.Context, stepLimit, maxHeap int64) (*bitstring.Bits, error) {
+	compute := func() (*bitstring.Bits, error) {
+		tr, _, err := vm.CollectWith(p, vm.RunOptions{
+			Input: input, SnapshotLimit: 1,
+			Ctx: ctx, StepLimit: stepLimit, MaxHeap: maxHeap,
+		})
+		if err != nil {
+			return nil, &StageError{Stage: "trace", Worker: -1,
+				Cause: fmt.Errorf("corpus trace failed: %w", err)}
+		}
+		return tr.DecodeBits(), nil
+	}
+	if f == nil {
+		return compute()
+	}
+	return f.traces.GetOrCompute(k, compute)
+}
+
+// CorpusOpts tunes RecognizeCorpus.
+type CorpusOpts struct {
+	// Workers bounds the goroutines processing (suspect, key) pairs:
+	// 0 picks runtime.GOMAXPROCS(0), 1 forces the serial path. Results are
+	// identical at any worker count.
+	Workers int
+	// ScanWorkers is the per-pair scan fan-out (RecognizeOpts.Workers).
+	// 0 means 1: with many pairs in flight the corpus-level parallelism
+	// already saturates the machine, and nested fan-out only adds
+	// scheduling overhead.
+	ScanWorkers int
+	// StepLimit / MaxHeap bound each tracing run (0 = interpreter default).
+	StepLimit int64
+	MaxHeap   int64
+	// Prefilter overrides the scan popcount band for every pair (nil =
+	// DefaultPrefilter).
+	Prefilter *PopcountBand
+	// Ctx, when non-nil, cancels the corpus run.
+	Ctx context.Context
+	// Obs, when non-nil, receives the recognize.corpus span and
+	// corpus-level counters, including this call's cache-traffic deltas
+	// (cache.trace.* and cache.decrypt.*). Per-pair recognitions run
+	// without a registry: concurrent pairs would interleave their stage
+	// spans nondeterministically.
+	Obs *obs.Registry
+	// Caches, when non-nil, supplies long-lived shared caches so traces
+	// and decryptions persist across corpus calls. nil builds fresh
+	// caches scoped to this call (still shared across its pairs).
+	Caches *FleetCaches
+}
+
+// CorpusResult is the M×K outcome matrix of a corpus recognition.
+type CorpusResult struct {
+	// Recognitions[s][k] is the recognition of suspect s against key k,
+	// bit-identical to RecognizeWithOpts(suspects[s], keys[k], ...) with
+	// the same scan options; nil when that pair failed hard (see Errors).
+	Recognitions [][]*Recognition
+	// Errors[s][k] holds the pair's error: a trace failure (shared by
+	// every pair of that suspect and input) or a degraded recognition's
+	// first StageError. A pair can have both a Recognition and an error —
+	// same contract as RecognizeWithOpts.
+	Errors [][]error
+	// TraceStats and DecryptStats are this call's cache-traffic deltas.
+	// With fresh caches, TraceStats.Misses is the number of distinct
+	// (suspect, input) traces run and DecryptStats.Misses the number of
+	// distinct (cipher key, window) decryptions — the amortization
+	// evidence.
+	TraceStats   cache.Stats
+	DecryptStats cache.Stats
+}
+
+// MatchFor returns the index of the first key whose recognition of
+// suspect s fully recovered the expected watermark ws[k], or -1. It is
+// the fleet-identification step: keys typically share input and cipher
+// and differ only in the watermark each customer received.
+func (r *CorpusResult) MatchFor(s int, ws []*big.Int) int {
+	if r == nil || s < 0 || s >= len(r.Recognitions) {
+		return -1
+	}
+	for k, rec := range r.Recognitions[s] {
+		if k < len(ws) && rec.Matches(ws[k]) {
+			return k
+		}
+	}
+	return -1
+}
+
+// RecognizeCorpus matches every suspect program against every candidate
+// key. Each suspect is traced once per distinct secret input — keys
+// sharing an input (the whole-fleet-one-input setup) reuse the decoded
+// bit-string — and each candidate key's decrypt cache is shared across
+// all suspects, so every distinct 64-bit window is run through that key's
+// cipher at most once per corpus (within cache capacity). Results are
+// bit-identical to calling RecognizeWithOpts per pair: the caches are
+// pure memo tables and the scan counters are shard sums.
+//
+// Hard errors on one pair (a suspect whose trace dies) do not abort the
+// corpus; they land in the result's Errors matrix. The returned error is
+// non-nil only when the whole run is unusable (bad arguments or
+// cancellation).
+func RecognizeCorpus(suspects []*vm.Program, keys []*Key, opts CorpusOpts) (*CorpusResult, error) {
+	if len(suspects) == 0 {
+		return nil, errors.New("wm: RecognizeCorpus needs at least one suspect")
+	}
+	if len(keys) == 0 {
+		return nil, errors.New("wm: RecognizeCorpus needs at least one candidate key")
+	}
+	total := opts.Obs.Start("recognize.corpus")
+	defer total.Finish()
+	opts.Obs.Counter("recognize.corpus.calls").Add(1)
+
+	fc := opts.Caches
+	if fc == nil {
+		fc = NewFleetCaches(0, 0)
+	}
+	traceBefore := fc.TraceStats()
+	decryptBefore := fc.DecryptStats()
+
+	// Content addresses and per-key caches, computed once up front.
+	progDigests := make([]cache.Digest, len(suspects))
+	for i, p := range suspects {
+		progDigests[i] = ProgramDigest(p)
+	}
+	inputDigests := make([]cache.Digest, len(keys))
+	decCaches := make([]*cache.Cache64, len(keys))
+	for i, k := range keys {
+		inputDigests[i] = cache.DigestInt64s(k.Input)
+		decCaches[i] = fc.DecryptCacheFor(k.Cipher)
+	}
+
+	scanWorkers := opts.ScanWorkers
+	if scanWorkers <= 0 {
+		scanWorkers = 1
+	}
+	res := &CorpusResult{
+		Recognitions: make([][]*Recognition, len(suspects)),
+		Errors:       make([][]error, len(suspects)),
+	}
+	for s := range suspects {
+		res.Recognitions[s] = make([]*Recognition, len(keys))
+		res.Errors[s] = make([]error, len(keys))
+	}
+
+	type pair struct{ s, k int }
+	pairs := make([]pair, 0, len(suspects)*len(keys))
+	for s := range suspects {
+		for k := range keys {
+			pairs = append(pairs, pair{s, k})
+		}
+	}
+	runPair := func(pr pair) {
+		key := keys[pr.k]
+		b, err := fc.traceBits(suspects[pr.s],
+			TraceKey{Program: progDigests[pr.s], Input: inputDigests[pr.k]},
+			key.Input, opts.Ctx, opts.StepLimit, opts.MaxHeap)
+		if err != nil {
+			res.Errors[pr.s][pr.k] = err
+			return
+		}
+		rec, err := RecognizeBits(b, key, RecognizeOpts{
+			Workers:      scanWorkers,
+			Ctx:          opts.Ctx,
+			Prefilter:    opts.Prefilter,
+			DecryptCache: decCaches[pr.k],
+		})
+		res.Recognitions[pr.s][pr.k] = rec
+		res.Errors[pr.s][pr.k] = err
+	}
+
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(pairs) {
+		workers = len(pairs)
+	}
+	if workers <= 1 {
+		for _, pr := range pairs {
+			if err := ctxErr(opts.Ctx); err != nil {
+				return nil, &StageError{Stage: "corpus", Worker: -1, Cause: err}
+			}
+			runPair(pr)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					if ctxErr(opts.Ctx) != nil {
+						return
+					}
+					i := int(next.Add(1)) - 1
+					if i >= len(pairs) {
+						return
+					}
+					runPair(pairs[i])
+				}
+			}()
+		}
+		wg.Wait()
+		if err := ctxErr(opts.Ctx); err != nil {
+			return nil, &StageError{Stage: "corpus", Worker: -1, Cause: err}
+		}
+	}
+
+	res.TraceStats = fc.TraceStats().Sub(traceBefore)
+	res.DecryptStats = fc.DecryptStats().Sub(decryptBefore)
+	opts.Obs.Counter("recognize.corpus.pairs").Add(int64(len(pairs)))
+	opts.Obs.Counter("cache.trace.hits").Add(res.TraceStats.Hits)
+	opts.Obs.Counter("cache.trace.misses").Add(res.TraceStats.Misses)
+	opts.Obs.Counter("cache.decrypt.hits").Add(res.DecryptStats.Hits)
+	opts.Obs.Counter("cache.decrypt.misses").Add(res.DecryptStats.Misses)
+	opts.Obs.Counter("cache.decrypt.bypassed").Add(res.DecryptStats.Bypassed)
+	total.Set("suspects", int64(len(suspects))).
+		Set("keys", int64(len(keys))).
+		Set("pairs", int64(len(pairs))).
+		Set("traces_run", int64(res.TraceStats.Misses))
+	return res, nil
+}

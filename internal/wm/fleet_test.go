@@ -1,0 +1,523 @@
+package wm
+
+import (
+	"fmt"
+	"math/big"
+	mathbits "math/bits"
+	"testing"
+
+	"pathmark/internal/bitstring"
+	"pathmark/internal/cache"
+	"pathmark/internal/feistel"
+	"pathmark/internal/obs"
+	"pathmark/internal/vm"
+	"pathmark/internal/workloads"
+)
+
+// fleetWatermarks builds n distinct fingerprints for the key.
+func fleetWatermarks(n, bits int) []*big.Int {
+	ws := make([]*big.Int, n)
+	for i := range ws {
+		ws[i] = RandomWatermark(bits, uint64(1000+i))
+	}
+	return ws
+}
+
+// TestEmbedBatchMatchesEmbed is the batch-equivalence property: copy i of
+// EmbedBatch is byte-identical (canonical disassembly) to a standalone
+// Embed with seed base+i, at serial and parallel worker counts.
+func TestEmbedBatchMatchesEmbed(t *testing.T) {
+	p := workloads.RandomProgram(workloads.RandProgOptions{Seed: 7100})
+	key := testKey(t, nil, 64)
+	ws := fleetWatermarks(6, 64)
+	const baseSeed = 33
+
+	want := make([]string, len(ws))
+	for i, w := range ws {
+		prog, _, err := Embed(p, w, key, EmbedOptions{Seed: baseSeed + int64(i)})
+		if err != nil {
+			t.Fatalf("embed %d: %v", i, err)
+		}
+		want[i] = vm.Dump(prog)
+	}
+	for _, workers := range []int{1, 4, 0} {
+		copies, err := EmbedBatch(p, ws, key, BatchOptions{
+			EmbedOptions: EmbedOptions{Seed: baseSeed}, Workers: workers,
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: EmbedBatch: %v", workers, err)
+		}
+		if len(copies) != len(ws) {
+			t.Fatalf("workers=%d: got %d copies, want %d", workers, len(copies), len(ws))
+		}
+		for i, c := range copies {
+			if c.Index != i || c.Watermark.Cmp(ws[i]) != 0 {
+				t.Errorf("workers=%d: copy %d mislabeled", workers, i)
+			}
+			if got := vm.Dump(c.Program); got != want[i] {
+				t.Errorf("workers=%d: copy %d differs from standalone Embed(seed=%d)",
+					workers, i, baseSeed+int64(i))
+			}
+			if rec, err := Recognize(c.Program, key); err != nil || !rec.Matches(ws[i]) {
+				t.Errorf("workers=%d: copy %d does not recognize back (err=%v)", workers, i, err)
+			}
+		}
+	}
+}
+
+// TestEmbedBatchAmortizesAnalysis proves the batch runs the tracing phase
+// and site analysis exactly once, structurally rather than by wall-clock:
+// the registry records one embed.trace and one embed.sites span for the
+// whole batch.
+func TestEmbedBatchAmortizesAnalysis(t *testing.T) {
+	p := workloads.RandomProgram(workloads.RandProgOptions{Seed: 7200})
+	key := testKey(t, nil, 64)
+	reg := obs.NewRegistry()
+	if _, err := EmbedBatch(p, fleetWatermarks(8, 64), key, BatchOptions{
+		EmbedOptions: EmbedOptions{Seed: 5, Obs: reg}, Workers: 4,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	for _, s := range reg.Snapshot().Spans {
+		counts[s.Name]++
+	}
+	if counts["embed.trace"] != 1 || counts["embed.sites"] != 1 {
+		t.Errorf("batch traced/analyzed more than once: %v", counts)
+	}
+	if counts["embed.batch"] != 1 {
+		t.Errorf("missing embed.batch span: %v", counts)
+	}
+}
+
+func TestEmbedBatchValidation(t *testing.T) {
+	p := workloads.RandomProgram(workloads.RandProgOptions{Seed: 7300})
+	key := testKey(t, nil, 64)
+	if _, err := EmbedBatch(p, nil, key, BatchOptions{}); err == nil {
+		t.Error("empty batch accepted")
+	}
+	tooBig := new(big.Int).Lsh(big.NewInt(1), 4096)
+	ws := []*big.Int{RandomWatermark(64, 1), tooBig}
+	if _, err := EmbedBatch(p, ws, key, BatchOptions{}); err == nil {
+		t.Error("out-of-range watermark accepted")
+	}
+}
+
+// corpusFixture builds a small fleet scenario: three suspects (two
+// fingerprinted copies and the unmarked host) and three candidate keys —
+// the fleet's real key, a decoy with a different cipher, and a decoy with
+// a different secret input (sharing the real cipher, so its decrypt table
+// is shared too).
+func corpusFixture(t *testing.T) (suspects []*vm.Program, keys []*Key, ws []*big.Int) {
+	t.Helper()
+	host := workloads.RandomProgram(workloads.RandProgOptions{Seed: 7400})
+	real := testKey(t, nil, 64)
+	ws = fleetWatermarks(2, 64)
+	copies, err := EmbedBatch(host, ws, real, BatchOptions{
+		EmbedOptions: EmbedOptions{Seed: 9},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	decoyCipher, err := NewKey(nil, feistel.KeyFromUint64(1, 2), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decoyInput, err := NewKey([]int64{5, 6}, testCipher, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	suspects = []*vm.Program{copies[0].Program, copies[1].Program, host}
+	keys = []*Key{real, decoyCipher, decoyInput}
+	return suspects, keys, ws
+}
+
+// TestRecognizeCorpusMatchesPerPair is the corpus-equivalence half of the
+// acceptance criteria: every cell of the corpus matrix is bit-identical to
+// a standalone RecognizeWithOpts on that pair (run without any cache), at
+// serial and parallel corpus worker counts.
+func TestRecognizeCorpusMatchesPerPair(t *testing.T) {
+	suspects, keys, ws := corpusFixture(t)
+
+	want := make([][]*Recognition, len(suspects))
+	for s, p := range suspects {
+		want[s] = make([]*Recognition, len(keys))
+		for k, key := range keys {
+			rec, err := RecognizeWithOpts(p, key, RecognizeOpts{Workers: 1})
+			if err != nil {
+				t.Fatalf("pair (%d,%d): %v", s, k, err)
+			}
+			want[s][k] = rec
+		}
+	}
+	for _, workers := range []int{1, 4, 0} {
+		res, err := RecognizeCorpus(suspects, keys, CorpusOpts{Workers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for s := range suspects {
+			for k := range keys {
+				rec := res.Recognitions[s][k]
+				if rec == nil {
+					t.Fatalf("workers=%d: pair (%d,%d) missing: %v", workers, s, k, res.Errors[s][k])
+				}
+				if err := sameRecognition(want[s][k], rec); err != nil {
+					t.Errorf("workers=%d: pair (%d,%d) diverges: %v", workers, s, k, err)
+				}
+				if rec.PrefilterRejected != want[s][k].PrefilterRejected {
+					t.Errorf("workers=%d: pair (%d,%d) PrefilterRejected %d vs %d",
+						workers, s, k, rec.PrefilterRejected, want[s][k].PrefilterRejected)
+				}
+			}
+		}
+		// Fleet identification: each fingerprinted copy resolves to its own
+		// watermark under the real key and to nothing under the decoys; the
+		// unmarked host matches nobody.
+		expect := []*big.Int{ws[0], nil, nil}
+		for s, wantW := range expect {
+			rec := res.Recognitions[s][0]
+			if s == 1 {
+				wantW = ws[1]
+			}
+			if wantW != nil && !rec.Matches(wantW) {
+				t.Errorf("workers=%d: suspect %d not identified by the real key", workers, s)
+			}
+			if s == 2 && (rec.Matches(ws[0]) || rec.Matches(ws[1])) {
+				t.Errorf("workers=%d: unmarked host falsely identified", workers)
+			}
+			// The wrong-cipher decoy never matches. The wrong-input key
+			// DOES match here: the host ignores its input, so the trace —
+			// and with the shared cipher, everything downstream — is
+			// identical. Input secrecy only bites on input-sensitive hosts.
+			if res.Recognitions[s][1].Matches(ws[0]) || res.Recognitions[s][1].Matches(ws[1]) {
+				t.Errorf("workers=%d: suspect %d matched the wrong-cipher decoy", workers, s)
+			}
+			if s < 2 && !res.Recognitions[s][2].Matches(ws[s]) {
+				t.Errorf("workers=%d: input-insensitive host should match under the shared cipher", workers)
+			}
+		}
+		// Trace amortization: 3 suspects × 2 distinct secret inputs = 6
+		// traces for 9 pairs.
+		if res.TraceStats.Misses != 6 {
+			t.Errorf("workers=%d: ran %d traces, want 6", workers, res.TraceStats.Misses)
+		}
+		if res.TraceStats.Hits != 3 {
+			t.Errorf("workers=%d: trace hits %d, want 3", workers, res.TraceStats.Hits)
+		}
+	}
+}
+
+// distinctInBand adds every band-surviving window of b (raw scan plus both
+// stride-2 phases — exactly the window sources scanBits visits) to set.
+func distinctInBand(b *bitstring.Bits, band PopcountBand, set map[uint64]bool) {
+	visit := func(_ int, w uint64) bool {
+		if !band.rejects(mathbits.OnesCount64(w)) {
+			set[w] = true
+		}
+		return true
+	}
+	b.Windows64Range(0, b.NumWindows64(), visit)
+	if b.Len() >= 2 {
+		b.StrideWindows64Range(2, 0, 0, b.StrideNumWindows64(2, 0), visit)
+		b.StrideWindows64Range(2, 1, 0, b.StrideNumWindows64(2, 1), visit)
+	}
+}
+
+// TestCorpusDecryptAtMostOnce is the at-most-once half of the acceptance
+// criteria: across a whole corpus, each candidate cipher decrypts each
+// distinct (band-surviving) window exactly once — the per-cipher cache's
+// miss count equals the independently-enumerated distinct-window count,
+// with zero bypasses. A second corpus run over warm caches runs zero
+// traces and zero decryptions.
+func TestCorpusDecryptAtMostOnce(t *testing.T) {
+	suspects, keys, _ := corpusFixture(t)
+	fc := NewFleetCaches(0, 0)
+	res, err := RecognizeCorpus(suspects, keys, CorpusOpts{Workers: 4, Caches: fc})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Independently enumerate the distinct in-band windows each cipher
+	// key scanned: all (suspect, input) bit-strings of the keys sharing
+	// that cipher. keys[0] and keys[2] share testCipher, so their decrypt
+	// table is one and covers both secret inputs.
+	bitsFor := func(p *vm.Program, input []int64) *bitstring.Bits {
+		tr, _, err := vm.Collect(p, input, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tr.DecodeBits()
+	}
+	wantDistinct := map[feistel.Key]map[uint64]bool{}
+	for _, key := range keys {
+		set, ok := wantDistinct[key.Cipher]
+		if !ok {
+			set = map[uint64]bool{}
+			wantDistinct[key.Cipher] = set
+		}
+		for _, p := range suspects {
+			distinctInBand(bitsFor(p, key.Input), DefaultPrefilter, set)
+		}
+	}
+	var wantMisses int64
+	for cipherKey, set := range wantDistinct {
+		st := fc.DecryptCacheFor(cipherKey).Stats()
+		if st.Misses != int64(len(set)) {
+			t.Errorf("cipher %v: %d decryptions for %d distinct windows", cipherKey, st.Misses, len(set))
+		}
+		if st.Bypassed != 0 {
+			t.Errorf("cipher %v: %d bypassed lookups in an unbounded cache", cipherKey, st.Bypassed)
+		}
+		wantMisses += int64(len(set))
+	}
+	if res.DecryptStats.Misses != wantMisses {
+		t.Errorf("corpus decrypted %d distinct windows, want %d", res.DecryptStats.Misses, wantMisses)
+	}
+
+	// Warm rerun: everything is answered from the caches.
+	res2, err := RecognizeCorpus(suspects, keys, CorpusOpts{Workers: 4, Caches: fc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.TraceStats.Misses != 0 || res2.DecryptStats.Misses != 0 {
+		t.Errorf("warm corpus still computed: traces=%d decrypts=%d",
+			res2.TraceStats.Misses, res2.DecryptStats.Misses)
+	}
+	for s := range suspects {
+		for k := range keys {
+			if err := sameRecognition(res.Recognitions[s][k], res2.Recognitions[s][k]); err != nil {
+				t.Errorf("warm pair (%d,%d) diverges: %v", s, k, err)
+			}
+		}
+	}
+}
+
+// TestRecognizeCacheEquivalence is the cache-equivalence property of the
+// satellite list: for random programs and keys, RecognizeWithOpts with the
+// decrypt cache enabled and disabled yields identical Recognition results
+// (all statement counts included) at 1, 4, and 8 workers, and the cache's
+// traffic accounts for every window the prefilter let through.
+func TestRecognizeCacheEquivalence(t *testing.T) {
+	key := testKey(t, nil, 64)
+	for seed := int64(0); seed < 3; seed++ {
+		p := workloads.RandomProgram(workloads.RandProgOptions{Seed: seed + 7500})
+		w := RandomWatermark(64, uint64(seed)+77)
+		marked, _, err := Embed(p, w, key, EmbedOptions{Seed: seed})
+		if err != nil {
+			t.Fatalf("seed %d: embed: %v", seed, err)
+		}
+		// The unmarked host exercises the no-valid-statements paths too.
+		for name, prog := range map[string]*vm.Program{"marked": marked, "unmarked": p} {
+			base, err := RecognizeWithOpts(prog, key, RecognizeOpts{Workers: 1})
+			if err != nil {
+				t.Fatalf("seed %d %s: baseline: %v", seed, name, err)
+			}
+			for _, workers := range []int{1, 4, 8} {
+				for _, cached := range []bool{false, true} {
+					var dc *cache.Cache64
+					if cached {
+						dc = cache.NewCache64(0)
+					}
+					rec, err := RecognizeWithOpts(prog, key, RecognizeOpts{Workers: workers, DecryptCache: dc})
+					if err != nil {
+						t.Fatalf("seed %d %s workers=%d cached=%v: %v", seed, name, workers, cached, err)
+					}
+					if err := sameRecognition(base, rec); err != nil {
+						t.Errorf("seed %d %s workers=%d cached=%v diverges: %v", seed, name, workers, cached, err)
+					}
+					if rec.PrefilterRejected != base.PrefilterRejected {
+						t.Errorf("seed %d %s workers=%d cached=%v: PrefilterRejected %d vs %d",
+							seed, name, workers, cached, rec.PrefilterRejected, base.PrefilterRejected)
+					}
+					if cached {
+						if got := dc.Stats().Lookups(); got != int64(rec.Windows-rec.PrefilterRejected) {
+							t.Errorf("seed %d %s workers=%d: %d cache lookups for %d surviving windows",
+								seed, name, workers, got, rec.Windows-rec.PrefilterRejected)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPrefilterBandEdges is the regression test for the popcount
+// prefilter: pieces whose ciphertexts sit exactly at the band edges are
+// kept (the band is inclusive), tightening the band past an edge rejects
+// them, and the rejection is visible in PrefilterRejected instead of
+// silent. A band excluding every piece defeats recognition entirely.
+func TestPrefilterBandEdges(t *testing.T) {
+	p := workloads.RandomProgram(workloads.RandProgOptions{Seed: 7600})
+	key := testKey(t, nil, 64)
+	w := RandomWatermark(64, 55)
+	marked, report, err := Embed(p, w, key, EmbedOptions{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	minPc, maxPc := 64, 0
+	for _, piece := range report.Pieces {
+		pc := mathbits.OnesCount64(piece.Encrypted)
+		if pc < minPc {
+			minPc = pc
+		}
+		if pc > maxPc {
+			maxPc = pc
+		}
+	}
+	if minPc < DefaultPrefilter.Lo || maxPc > DefaultPrefilter.Hi {
+		t.Fatalf("fixture pieces (popcounts %d..%d) escape the default band", minPc, maxPc)
+	}
+
+	recognize := func(band PopcountBand) *Recognition {
+		t.Helper()
+		rec, err := RecognizeWithOpts(marked, key, RecognizeOpts{Workers: 1, Prefilter: &band})
+		if err != nil {
+			t.Fatalf("band %+v: %v", band, err)
+		}
+		return rec
+	}
+
+	// Exact band: both edge pieces survive (edges are inclusive).
+	exact := recognize(PopcountBand{Lo: minPc, Hi: maxPc})
+	if !exact.Matches(w) {
+		t.Errorf("band [%d,%d] hugging the pieces lost the watermark", minPc, maxPc)
+	}
+	// No filter: nothing rejected, still matches.
+	open := recognize(NoPrefilter)
+	if !open.Matches(w) || open.PrefilterRejected != 0 {
+		t.Errorf("NoPrefilter: matches=%v rejected=%d", open.Matches(w), open.PrefilterRejected)
+	}
+	// Tightening past either edge rejects strictly more windows — the
+	// edge pieces' occurrences among them — and the rejections are
+	// counted, not silent.
+	if minPc > 0 {
+		tight := recognize(PopcountBand{Lo: minPc + 1, Hi: maxPc})
+		if tight.PrefilterRejected <= exact.PrefilterRejected {
+			t.Errorf("raising Lo past the lightest piece rejected nothing extra (%d vs %d)",
+				tight.PrefilterRejected, exact.PrefilterRejected)
+		}
+	}
+	if maxPc < 64 && maxPc > minPc {
+		tight := recognize(PopcountBand{Lo: minPc, Hi: maxPc - 1})
+		if tight.PrefilterRejected <= exact.PrefilterRejected {
+			t.Errorf("lowering Hi past the heaviest piece rejected nothing extra (%d vs %d)",
+				tight.PrefilterRejected, exact.PrefilterRejected)
+		}
+	}
+	// A band excluding every piece defeats recognition and accounts for
+	// the loss in the counter.
+	none := recognize(PopcountBand{Lo: maxPc + 1, Hi: 64})
+	if none.Matches(w) {
+		t.Error("band excluding every piece still matched")
+	}
+	if none.PrefilterRejected == 0 {
+		t.Error("band excluding every piece reported zero rejections")
+	}
+
+	// The counter reaches the obs registry under scan.prefilter_rejected.
+	reg := obs.NewRegistry()
+	band := PopcountBand{Lo: maxPc + 1, Hi: 64}
+	if _, err := RecognizeWithOpts(marked, key, RecognizeOpts{Workers: 1, Prefilter: &band, Obs: reg}); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, c := range reg.Snapshot().Counters {
+		if c.Name == "scan.prefilter_rejected" && c.Value == int64(none.PrefilterRejected) {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("scan.prefilter_rejected counter missing or wrong (want %d)", none.PrefilterRejected)
+	}
+}
+
+// BenchmarkEmbedBatch quantifies the batch amortization the acceptance
+// criteria demand: embedding 16 fingerprints in one batch versus 16
+// standalone Embed calls (per-copy time reported for both). Two piece
+// budgets are measured: the minimum prime-cover (r-1 pieces — the lean
+// fingerprinting config, where the shared trace/analysis dominates and
+// the batch must come in well under 4× a single Embed) and the default
+// full pair redundancy (where per-copy codegen is the legitimate bulk of
+// the work and amortization buys proportionally less).
+func BenchmarkEmbedBatch(b *testing.B) {
+	prog := workloads.JessLike(workloads.JessLikeOptions{Seed: 8, Methods: 60, BlockSize: 150})
+	key, err := NewKey(nil, testCipher, 128)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ws := fleetWatermarks(16, 128)
+	minPieces := len(key.Params.Primes()) - 1
+	for _, cfg := range []struct {
+		name   string
+		pieces int
+	}{
+		{fmt.Sprintf("pieces=%d", minPieces), minPieces},
+		{"pieces=default", 0},
+	} {
+		opts := EmbedOptions{Seed: 11, Policy: GenLoopOnly, Pieces: cfg.pieces}
+		b.Run(cfg.name+"/single-embed", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := Embed(prog, ws[0], key, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		for _, workers := range []int{1, 4} {
+			b.Run(fmt.Sprintf("%s/batch16/workers=%d", cfg.name, workers), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := EmbedBatch(prog, ws, key, BatchOptions{
+						EmbedOptions: opts, Workers: workers,
+					}); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(b.Elapsed().Seconds()/float64(b.N*len(ws))*1e3, "ms/copy")
+			})
+		}
+	}
+}
+
+// BenchmarkRecognizeCorpus compares cold, warm, and cache-free corpus
+// recognition on a small fleet.
+func BenchmarkRecognizeCorpus(b *testing.B) {
+	host := workloads.JessLike(workloads.JessLikeOptions{Seed: 8, Methods: 40, BlockSize: 120})
+	key, err := NewKey(nil, testCipher, 128)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ws := fleetWatermarks(4, 128)
+	copies, err := EmbedBatch(host, ws, key, BatchOptions{
+		EmbedOptions: EmbedOptions{Seed: 11, Policy: GenLoopOnly},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	suspects := make([]*vm.Program, len(copies))
+	for i, c := range copies {
+		suspects[i] = c.Program
+	}
+	decoy, err := NewKey(nil, feistel.KeyFromUint64(3, 4), 128)
+	if err != nil {
+		b.Fatal(err)
+	}
+	keys := []*Key{key, decoy}
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := RecognizeCorpus(suspects, keys, CorpusOpts{Workers: 4}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		fc := NewFleetCaches(0, 0)
+		if _, err := RecognizeCorpus(suspects, keys, CorpusOpts{Workers: 4, Caches: fc}); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := RecognizeCorpus(suspects, keys, CorpusOpts{Workers: 4, Caches: fc}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,10 +1,13 @@
 package wm
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
+	"os"
+	"path/filepath"
 
 	"pathmark/internal/crt"
 	"pathmark/internal/feistel"
@@ -33,6 +36,71 @@ func SaveKey(w io.Writer, k *Key) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(kf)
+}
+
+// keyFileCommitHook, when non-nil, runs after SaveKeyFile has fully
+// written and synced the temp file but before the rename that publishes
+// it. It exists for fault injection only: a hook that truncates the temp
+// file or returns an error simulates a crash mid-save, letting tests
+// verify that an existing keyfile at the destination survives untouched.
+// Production code leaves it nil.
+var keyFileCommitHook func(tmpPath string) error
+
+// SaveKeyFile writes the key to path atomically: the serialized form goes
+// to a temp file in the destination directory first (mode 0600 — the file
+// holds the secret input and cipher key) and is renamed over path only
+// after a successful write and sync. A crash or write error mid-save can
+// therefore never leave a torn keyfile at path — the strict LoadKey would
+// reject one, silently severing recognition from every copy embedded
+// under the key — and any previous keyfile at path survives a failed
+// save intact.
+func SaveKeyFile(path string, k *Key) error {
+	var buf bytes.Buffer
+	if err := SaveKey(&buf, k); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("wm: save keyfile: %w", err)
+	}
+	tmpName := tmp.Name()
+	fail := func(err error) error {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("wm: save keyfile: %w", err)
+	}
+	if _, err := tmp.Write(buf.Bytes()); err != nil {
+		return fail(err)
+	}
+	if err := tmp.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("wm: save keyfile: %w", err)
+	}
+	if keyFileCommitHook != nil {
+		if err := keyFileCommitHook(tmpName); err != nil {
+			os.Remove(tmpName)
+			return fmt.Errorf("wm: save keyfile: %w", err)
+		}
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("wm: save keyfile: %w", err)
+	}
+	return nil
+}
+
+// LoadKeyFile reads a key from the file SaveKeyFile (or any SaveKey
+// caller) wrote at path.
+func LoadKeyFile(path string) (*Key, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("wm: load keyfile: %w", err)
+	}
+	defer f.Close()
+	return LoadKey(f)
 }
 
 // LoadKey reads a key previously written by SaveKey. Malformed input —

@@ -2,6 +2,9 @@ package wm
 
 import (
 	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -68,5 +71,91 @@ func TestLoadKeyRejectsGarbage(t *testing.T) {
 		if _, err := LoadKey(strings.NewReader(src)); err == nil {
 			t.Errorf("case %d: LoadKey accepted %q", i, src)
 		}
+	}
+}
+
+func TestSaveKeyFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wm.key")
+	key := testKey(t, []int64{1, 2}, 128)
+	if err := SaveKeyFile(path, key); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadKeyFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Cipher != key.Cipher || len(loaded.Input) != 2 ||
+		loaded.MaxWatermark().Cmp(key.MaxWatermark()) != 0 {
+		t.Error("keyfile round trip lost a component")
+	}
+	if fi, err := os.Stat(path); err != nil || fi.Mode().Perm()&0o077 != 0 {
+		t.Errorf("keyfile must not be group/world readable: %v %v", fi.Mode(), err)
+	}
+}
+
+// TestSaveKeyFileAtomic simulates crashes mid-save — a partial write of
+// the new content, and a plain failure before the rename — and verifies
+// the existing keyfile at the destination is never corrupted: the strict
+// loader still returns the ORIGINAL key, and no temp debris is left
+// behind.
+func TestSaveKeyFileAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "wm.key")
+	original := testKey(t, []int64{42}, 128)
+	if err := SaveKeyFile(path, original); err != nil {
+		t.Fatal(err)
+	}
+	replacement := testKey(t, []int64{7, 7, 7}, 64)
+
+	defer func() { keyFileCommitHook = nil }()
+	for name, hook := range map[string]func(string) error{
+		// The save dies after writing only half the payload.
+		"partial-write": func(tmp string) error {
+			data, err := os.ReadFile(tmp)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(tmp, data[:len(data)/2], 0o600); err != nil {
+				t.Fatal(err)
+			}
+			return errors.New("simulated crash mid-write")
+		},
+		// The save dies between write and rename.
+		"pre-rename-crash": func(string) error {
+			return errors.New("simulated crash before rename")
+		},
+	} {
+		keyFileCommitHook = hook
+		if err := SaveKeyFile(path, replacement); err == nil {
+			t.Fatalf("%s: simulated crash did not surface as an error", name)
+		}
+		keyFileCommitHook = nil
+
+		loaded, err := LoadKeyFile(path)
+		if err != nil {
+			t.Fatalf("%s: existing keyfile corrupted: %v", name, err)
+		}
+		if loaded.Cipher != original.Cipher || len(loaded.Input) != 1 || loaded.Input[0] != 42 {
+			t.Fatalf("%s: loaded key is not the original", name)
+		}
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(entries) != 1 {
+			t.Errorf("%s: temp debris left in directory: %v", name, entries)
+		}
+	}
+
+	// With the hook gone the replacement lands, fully.
+	if err := SaveKeyFile(path, replacement); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadKeyFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Cipher != replacement.Cipher || len(loaded.Input) != 3 {
+		t.Error("replacement key did not land after a clean save")
 	}
 }

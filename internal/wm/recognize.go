@@ -11,6 +11,7 @@ import (
 	"sync/atomic"
 
 	"pathmark/internal/bitstring"
+	"pathmark/internal/cache"
 	"pathmark/internal/crt"
 	"pathmark/internal/feistel"
 	"pathmark/internal/obs"
@@ -35,6 +36,10 @@ type Recognition struct {
 	VotedOut         int // statements eliminated by the W mod p_i vote
 	Survivors        int // statements surviving the consistency graphs
 	TraceBits        int // length of the decoded bit-string
+	// PrefilterRejected counts windows dropped by the popcount prefilter
+	// before decryption (see RecognizeOpts.Prefilter). A sum over disjoint
+	// scan shards, hence identical at every worker count.
+	PrefilterRejected int
 
 	// Surviving holds the CRT statements that survived the vote and
 	// consistency graphs — the partial-recovery evidence. When the full
@@ -55,6 +60,31 @@ type Recognition struct {
 	// recognize.scan_panics counter for the uncapped total.
 	StageErrors []*StageError
 }
+
+// PopcountBand is the scan stage's prefilter: a window is decrypted only
+// when its popcount lies in [Lo, Hi] (inclusive on both edges). Degenerate
+// low-entropy windows — long constant runs from the generators' priming
+// passes — would otherwise decode at thousands of positions and hijack the
+// W mod p_i vote, while a genuine cipher block is pseudorandom and sits
+// near popcount 32 except with tiny probability. The filter is lossy by
+// construction: with the default band a genuine encrypted piece is
+// rejected with probability ~7.6e-11 (the two binomial tails), so a
+// recognizer that comes up empty can retry with a wider band; rejected
+// windows are counted in Recognition.PrefilterRejected and the
+// scan.prefilter_rejected obs counter rather than dropped silently.
+type PopcountBand struct {
+	Lo, Hi int
+}
+
+// DefaultPrefilter is the band used when RecognizeOpts.Prefilter is nil.
+var DefaultPrefilter = PopcountBand{Lo: 8, Hi: 56}
+
+// NoPrefilter accepts every window (the band covers all 65 popcounts);
+// use it to rule the prefilter out when hunting for lost pieces.
+var NoPrefilter = PopcountBand{Lo: 0, Hi: 64}
+
+// rejects reports whether the band drops a window with popcount pc.
+func (b PopcountBand) rejects(pc int) bool { return pc < b.Lo || pc > b.Hi }
 
 // RecognizeOpts tunes the recognition pipeline.
 type RecognizeOpts struct {
@@ -78,6 +108,18 @@ type RecognizeOpts struct {
 	// converts into a StageError without losing other workers' counts.
 	// Production callers leave it nil.
 	ScanHook func(worker, chunk int)
+	// Prefilter overrides the scan's popcount band (nil = the
+	// DefaultPrefilter band [8, 56]; NoPrefilter disables filtering).
+	Prefilter *PopcountBand
+	// DecryptCache, when non-nil, memoizes window decryption across the
+	// scan: each distinct 64-bit window is run through the cipher at most
+	// once (within the cache's capacity) and repeats are answered from the
+	// table. Real traces are loop-heavy and repeat identical windows
+	// thousands of times, so corpus recognition shares one cache per
+	// candidate key across suspects (see FleetCaches). The cache is a pure
+	// memo table — results are bit-identical with it on or off, at every
+	// worker count.
+	DecryptCache *cache.Cache64
 	// Obs, when non-nil, receives per-stage spans (recognize.trace/scan/
 	// vote) and pipeline counters/histograms. All recorded metric values
 	// are input-derived — per-worker scan counters are summed over
@@ -180,8 +222,15 @@ func RecognizeBits(b *bitstring.Bits, key *Key, opts RecognizeOpts) (*Recognitio
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	band := DefaultPrefilter
+	if opts.Prefilter != nil {
+		band = *opts.Prefilter
+	}
 	span := opts.Obs.Start("recognize.scan")
-	acc, scanErrs, err := scanBits(opts.Ctx, b, key, workers, opts.ScanHook)
+	cacheBefore := opts.DecryptCache.Stats()
+	acc, scanErrs, err := scanBits(opts.Ctx, b, key, workers, scanConfig{
+		hook: opts.ScanHook, band: band, decryptCache: opts.DecryptCache,
+	})
 	if err != nil {
 		span.Finish()
 		return nil, &StageError{Stage: "scan", Worker: -1, Cause: err}
@@ -193,11 +242,24 @@ func RecognizeBits(b *bitstring.Bits, key *Key, opts RecognizeOpts) (*Recognitio
 	}
 	rec.Windows = acc.windows
 	rec.ValidStatements = acc.valid
+	rec.PrefilterRejected = acc.rejected
 	span.Set("windows", int64(acc.windows)).
 		Set("valid_statements", int64(acc.valid)).
 		Set("recovered_panics", int64(acc.panics)).Finish()
 	opts.Obs.Counter("recognize.windows_total").Add(int64(acc.windows))
 	opts.Obs.Counter("recognize.valid_total").Add(int64(acc.valid))
+	opts.Obs.Counter("scan.prefilter_rejected").Add(int64(acc.rejected))
+	if opts.DecryptCache != nil {
+		// Delta, not absolute: the cache typically outlives one call. The
+		// hit/miss split is schedule-independent as long as the cache stays
+		// within capacity and is not shared with concurrent scans (misses =
+		// distinct windows, an input property); bypasses beyond capacity
+		// are the one schedule-dependent count.
+		d := opts.DecryptCache.Stats().Sub(cacheBefore)
+		opts.Obs.Counter("cache.decrypt.hits").Add(d.Hits)
+		opts.Obs.Counter("cache.decrypt.misses").Add(d.Misses)
+		opts.Obs.Counter("cache.decrypt.bypassed").Add(d.Bypassed)
+	}
 	if acc.windows > 0 {
 		// Valid-statement hit rate in parts per million: integer-valued,
 		// hence deterministic across worker counts and machines.
@@ -247,27 +309,68 @@ type scanTask struct {
 
 // scanAccum accumulates one worker's share of the scan.
 type scanAccum struct {
-	windows int
-	valid   int
-	panics  int
-	counts  map[crt.Statement]int
+	windows  int
+	valid    int
+	rejected int // windows dropped by the popcount prefilter
+	panics   int
+	counts   map[crt.Statement]int
+}
+
+// scanConfig bundles the scan stage's tuning knobs so scanBits keeps a
+// stable signature as knobs accrue.
+type scanConfig struct {
+	hook         func(worker, chunk int)
+	band         PopcountBand
+	decryptCache *cache.Cache64
+}
+
+// scanEnv is one worker's per-goroutine scan state: its private cipher
+// instance (expanded subkeys), the shared read-only decode parameters,
+// and the (shared, concurrency-safe) decrypt cache.
+type scanEnv struct {
+	cipher  *feistel.Cipher
+	decrypt func(uint64) uint64 // cipher.Decrypt as a bound method value
+	params  *crt.Params
+	band    PopcountBand
+	cache   *cache.Cache64
+}
+
+func newScanEnv(key *Key, cfg scanConfig) *scanEnv {
+	c := feistel.New(key.Cipher)
+	return &scanEnv{
+		cipher:  c,
+		decrypt: c.Decrypt,
+		params:  key.Params,
+		band:    cfg.band,
+		cache:   cfg.decryptCache,
+	}
 }
 
 // scanRange scans windows [lo, hi) of one task, decrypting each candidate
 // window and recording decoded statements.
 //
 // Degenerate low-entropy windows (long constant runs, e.g. from the
-// generators' priming passes) are skipped: a genuine cipher block is
-// pseudorandom and has balanced popcount except with negligible
-// probability, while a single repeated-run value would otherwise decode
-// at thousands of positions and hijack the W mod p_i vote.
-func (a *scanAccum) scanRange(b *bitstring.Bits, t scanTask, lo, hi int, cipher *feistel.Cipher, params *crt.Params) {
+// generators' priming passes) are dropped by the popcount band before
+// decryption — see PopcountBand for the filter's rationale and
+// false-negative rate — and counted per shard so the total is
+// deterministic. With a decrypt cache, each distinct surviving window
+// runs through the cipher at most once; the memo value is the raw
+// decryption, whose in-range check (params.Decode) is cheap enough to
+// redo per occurrence.
+func (a *scanAccum) scanRange(b *bitstring.Bits, t scanTask, lo, hi int, env *scanEnv) {
 	visit := func(_ int, w uint64) bool {
 		a.windows++
-		if pc := bits.OnesCount64(w); pc < 8 || pc > 56 {
+		if env.band.rejects(bits.OnesCount64(w)) {
+			a.rejected++
 			return true
 		}
-		if st, ok := params.Decode(cipher.Decrypt(w)); ok {
+		var dec uint64
+		if env.cache != nil {
+			dec = env.cache.GetOrCompute(w, env.decrypt)
+		} else {
+			dec = env.cipher.Decrypt(w)
+		}
+		if st, ok := env.params.Decode(dec); ok {
 			a.valid++
 			a.counts[st]++
 		}
@@ -291,7 +394,7 @@ type scanChunk struct {
 // as a *StageError instead of unwinding the worker, so one poisoned chunk
 // costs at most its own partial counts.
 func (a *scanAccum) runChunk(b *bitstring.Bits, c scanChunk, worker, chunk int,
-	cipher *feistel.Cipher, params *crt.Params, hook func(worker, chunk int)) (serr *StageError) {
+	env *scanEnv, hook func(worker, chunk int)) (serr *StageError) {
 	defer func() {
 		if r := recover(); r != nil {
 			a.panics++
@@ -302,7 +405,7 @@ func (a *scanAccum) runChunk(b *bitstring.Bits, c scanChunk, worker, chunk int,
 	if hook != nil {
 		hook(worker, chunk)
 	}
-	a.scanRange(b, c.task, c.lo, c.hi, cipher, params)
+	a.scanRange(b, c.task, c.lo, c.hi, env)
 	return nil
 }
 
@@ -313,7 +416,7 @@ func (a *scanAccum) runChunk(b *bitstring.Bits, c scanChunk, worker, chunk int,
 // has the true count); the error is non-nil only for cancellation, in
 // which case the scan is abandoned.
 func scanBits(ctx context.Context, b *bitstring.Bits, key *Key, workers int,
-	hook func(worker, chunk int)) (*scanAccum, []*StageError, error) {
+	cfg scanConfig) (*scanAccum, []*StageError, error) {
 	tasks := []scanTask{{stride: 1, numWindows: b.NumWindows64()}}
 	if b.Len() >= 2 {
 		tasks = append(tasks,
@@ -343,13 +446,13 @@ func scanBits(ctx context.Context, b *bitstring.Bits, key *Key, workers int,
 
 	if workers <= 1 {
 		acc := &scanAccum{counts: make(map[crt.Statement]int)}
-		cipher := feistel.New(key.Cipher)
+		env := newScanEnv(key, cfg)
 		var errs []*StageError
 		for i, c := range chunks {
 			if ctx != nil && ctx.Err() != nil {
 				return nil, nil, ctx.Err()
 			}
-			if serr := acc.runChunk(b, c, 0, i, cipher, key.Params, hook); serr != nil {
+			if serr := acc.runChunk(b, c, 0, i, env, cfg.hook); serr != nil {
 				if len(errs) < maxStageErrors {
 					errs = append(errs, serr)
 				}
@@ -371,7 +474,7 @@ func scanBits(ctx context.Context, b *bitstring.Bits, key *Key, workers int,
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			cipher := feistel.New(key.Cipher)
+			env := newScanEnv(key, cfg)
 			for {
 				if ctx != nil && ctx.Err() != nil {
 					return
@@ -380,7 +483,7 @@ func scanBits(ctx context.Context, b *bitstring.Bits, key *Key, workers int,
 				if i >= len(chunks) {
 					return
 				}
-				if serr := acc.runChunk(b, chunks[i], wi, i, cipher, key.Params, hook); serr != nil {
+				if serr := acc.runChunk(b, chunks[i], wi, i, env, cfg.hook); serr != nil {
 					if len(errLists[wi]) < maxStageErrors {
 						errLists[wi] = append(errLists[wi], serr)
 					}
@@ -397,6 +500,7 @@ func scanBits(ctx context.Context, b *bitstring.Bits, key *Key, workers int,
 	for _, acc := range accs[1:] {
 		merged.windows += acc.windows
 		merged.valid += acc.valid
+		merged.rejected += acc.rejected
 		merged.panics += acc.panics
 		for st, c := range acc.counts {
 			merged.counts[st] += c

@@ -5,6 +5,7 @@ import (
 	"runtime"
 	"testing"
 
+	"pathmark/internal/cache"
 	"pathmark/internal/feistel"
 	"pathmark/internal/vm"
 	"pathmark/internal/workloads"
@@ -32,7 +33,7 @@ func BenchmarkScanStage(b *testing.B) {
 		b.Fatal(err)
 	}
 	bits := tr.DecodeBits()
-	serial, _, err := scanBits(nil, bits, key, 1, nil)
+	serial, _, err := scanBits(nil, bits, key, 1, scanConfig{band: DefaultPrefilter})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -40,7 +41,7 @@ func BenchmarkScanStage(b *testing.B) {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				acc, _, err := scanBits(nil, bits, key, workers, nil)
+				acc, _, err := scanBits(nil, bits, key, workers, scanConfig{band: DefaultPrefilter})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -52,6 +53,60 @@ func BenchmarkScanStage(b *testing.B) {
 			b.ReportMetric(float64(serial.windows)*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mwindows/s")
 		})
 	}
+}
+
+// BenchmarkScanCache measures the decrypt cache's effect on the scan
+// stage: off (every window decrypted), cold (fresh cache per scan — the
+// single-suspect case), and warm (cache reused across scans — the corpus
+// case, where repeats are answered from the table). The CI fleet-bench
+// step records the off-vs-warm ratio in BENCH_fleet.json.
+func BenchmarkScanCache(b *testing.B) {
+	key, err := NewKey(nil, feistel.KeyFromUint64(21, 34), 128)
+	if err != nil {
+		b.Fatal(err)
+	}
+	prog := workloads.JessLike(workloads.JessLikeOptions{Seed: 8, Methods: 60, BlockSize: 150})
+	w := RandomWatermark(128, 23)
+	marked, _, err := Embed(prog, w, key, EmbedOptions{Pieces: 128, Seed: 11, Policy: GenLoopOnly})
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr, _, err := vm.Collect(marked, key.Input, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	bits := tr.DecodeBits()
+	run := func(b *testing.B, c *cache.Cache64) {
+		b.Helper()
+		b.ReportAllocs()
+		var windows int
+		for i := 0; i < b.N; i++ {
+			acc, _, err := scanBits(nil, bits, key, 1, scanConfig{band: DefaultPrefilter, decryptCache: c})
+			if err != nil {
+				b.Fatal(err)
+			}
+			windows = acc.windows
+		}
+		b.ReportMetric(float64(windows)*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mwindows/s")
+	}
+	b.Run("cache=off", func(b *testing.B) { run(b, nil) })
+	b.Run("cache=cold", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			c := cache.NewCache64(0)
+			if _, _, err := scanBits(nil, bits, key, 1, scanConfig{band: DefaultPrefilter, decryptCache: c}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("cache=warm", func(b *testing.B) {
+		c := cache.NewCache64(0)
+		if _, _, err := scanBits(nil, bits, key, 1, scanConfig{band: DefaultPrefilter, decryptCache: c}); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		run(b, c)
+	})
 }
 
 func scanBenchWorkers() []int {
