@@ -1,12 +1,16 @@
 package main
 
 import (
+	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"math/big"
 	"os"
 	"path/filepath"
+	"strconv"
+	"strings"
 	"time"
 
 	"pathmark/internal/cache"
@@ -26,19 +30,62 @@ func demoCipher() feistel.Key {
 // went to which customer copy. It carries no secrets — recognition still
 // needs the keyfile (input, cipher, primes), which fleet embed writes
 // separately via -savekey.
+//
+// Version 2 adds two parallel arrays: Customers (human-readable IDs,
+// unique across the fleet) and Digests (hex SHA-256 of each shipped
+// copy, as computed by wm.ProgramDigest). Version 1 manifests — no
+// customers, no digests — still load; the extra validation simply does
+// not apply.
 type fleetManifest struct {
 	Version    int      `json:"version"`
 	Base       string   `json:"base"`       // source program file (informational)
 	Copies     []string `json:"copies"`     // per-customer output file names
 	Watermarks []string `json:"watermarks"` // decimal, parallel to Copies
+	Customers  []string `json:"customers,omitempty"`
+	Digests    []string `json:"digests,omitempty"` // hex program digests, parallel to Copies
 }
 
-const fleetManifestVersion = 1
+const fleetManifestVersion = 2
+
+// manifestError is a content problem in a fleet manifest (duplicate
+// customer IDs, mismatched digests, torn parallel arrays). It is a
+// usage-class failure — the invocation named a bad manifest — so the
+// CLI maps it to exit code 2, distinct from hard errors (1).
+type manifestError struct {
+	Path string
+	Msg  string
+}
+
+func (e *manifestError) Error() string {
+	return fmt.Sprintf("fleet manifest %s: %s", e.Path, e.Msg)
+}
+
+// manifestExit terminates the command on a manifest load failure:
+// content errors print and return exitUsage, everything else (I/O,
+// permissions) is a hard error.
+func manifestExit(err error) int {
+	var me *manifestError
+	if errors.As(err, &me) {
+		fmt.Fprintln(os.Stderr, "pathmark:", me)
+		return exitUsage
+	}
+	fatal(err)
+	return exitError // unreachable; fatal exits
+}
+
+// customerName labels copy i for output: the manifest's customer ID
+// when present, the bare index otherwise (v1 manifests).
+func (m *fleetManifest) customerName(i int) string {
+	if i < len(m.Customers) {
+		return m.Customers[i]
+	}
+	return "customer " + strconv.Itoa(i)
+}
 
 // cmdFleet dispatches the fleet modes and returns the process exit code.
 func cmdFleet(args []string) int {
 	if len(args) < 1 {
-		fmt.Fprintln(os.Stderr, "usage: pathmark fleet {embed|identify|demo|bench} [flags]")
+		fmt.Fprintln(os.Stderr, "usage: pathmark fleet {embed|identify|grade|demo|bench} [flags]")
 		return exitUsage
 	}
 	switch args[0] {
@@ -46,12 +93,14 @@ func cmdFleet(args []string) int {
 		return cmdFleetEmbed(args[1:])
 	case "identify":
 		return cmdFleetIdentify(args[1:])
+	case "grade":
+		return cmdFleetGrade(args[1:])
 	case "demo":
 		return cmdFleetDemo(args[1:])
 	case "bench":
 		return cmdFleetBench(args[1:])
 	default:
-		fmt.Fprintln(os.Stderr, "usage: pathmark fleet {embed|identify|demo|bench} [flags]")
+		fmt.Fprintln(os.Stderr, "usage: pathmark fleet {embed|identify|grade|demo|bench} [flags]")
 		return exitUsage
 	}
 }
@@ -70,12 +119,32 @@ func cmdFleetEmbed(args []string) int {
 	wseed := fs.Int64("wseed", 1, "watermark generation seed")
 	workers := fs.Int("workers", 0, "embedding goroutines (0 = one per CPU)")
 	saveKey := fs.String("savekey", "", "write the shared watermark key to this file")
+	customers := fs.String("customers", "", "comma-separated customer IDs, one per copy (default customer-000...)")
 	fs.Parse(args)
 	if *outdir == "" {
 		fatal(fmt.Errorf("missing -outdir"))
 	}
 	if *n < 1 {
 		fatal(fmt.Errorf("-n must be at least 1"))
+	}
+	ids := make([]string, *n)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("customer-%03d", i)
+	}
+	if *customers != "" {
+		given := strings.Split(*customers, ",")
+		if len(given) != *n {
+			fatal(fmt.Errorf("-customers names %d IDs for %d copies", len(given), *n))
+		}
+		seen := map[string]bool{}
+		for i, id := range given {
+			id = strings.TrimSpace(id)
+			if id == "" || seen[id] {
+				fatal(fmt.Errorf("-customers: empty or duplicate ID %q", id))
+			}
+			seen[id] = true
+			ids[i] = id
+		}
 	}
 	reg := c.beginObs()
 	p := c.loadProgram()
@@ -109,8 +178,11 @@ func cmdFleetEmbed(args []string) int {
 		if err := os.WriteFile(filepath.Join(*outdir, name), []byte(vm.Dump(cp.Program)), 0o644); err != nil {
 			fatal(err)
 		}
+		digest := wm.ProgramDigest(cp.Program)
 		man.Copies = append(man.Copies, name)
 		man.Watermarks = append(man.Watermarks, cp.Watermark.String())
+		man.Customers = append(man.Customers, ids[cp.Index])
+		man.Digests = append(man.Digests, hex.EncodeToString(digest[:]))
 	}
 	manBytes, err := json.MarshalIndent(man, "", "  ")
 	if err != nil {
@@ -132,31 +204,82 @@ func cmdFleetEmbed(args []string) int {
 	return exitOK
 }
 
-// loadManifest reads and sanity-checks a fleet manifest.
-func loadManifest(path string) (*fleetManifest, []*big.Int) {
+// loadManifest reads and validates a fleet manifest. Content problems —
+// torn parallel arrays, duplicate customer IDs, malformed digests or
+// watermarks — come back as *manifestError so callers can exit with the
+// usage code instead of masquerading them as hard failures; only the
+// file read itself returns an untyped error.
+func loadManifest(path string) (*fleetManifest, []*big.Int, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
-		fatal(err)
+		return nil, nil, err
+	}
+	bad := func(format string, args ...any) error {
+		return &manifestError{Path: path, Msg: fmt.Sprintf(format, args...)}
 	}
 	var man fleetManifest
 	if err := json.Unmarshal(data, &man); err != nil {
-		fatal(fmt.Errorf("manifest %s: %w", path, err))
+		return nil, nil, bad("not valid JSON: %v", err)
 	}
-	if man.Version != fleetManifestVersion {
-		fatal(fmt.Errorf("manifest %s: unsupported version %d", path, man.Version))
+	if man.Version < 1 || man.Version > fleetManifestVersion {
+		return nil, nil, bad("unsupported version %d (this build reads 1..%d)", man.Version, fleetManifestVersion)
 	}
 	if len(man.Watermarks) == 0 || len(man.Copies) != len(man.Watermarks) {
-		fatal(fmt.Errorf("manifest %s: %d copies vs %d watermarks", path, len(man.Copies), len(man.Watermarks)))
+		return nil, nil, bad("%d copies vs %d watermarks", len(man.Copies), len(man.Watermarks))
+	}
+	if len(man.Customers) > 0 {
+		if len(man.Customers) != len(man.Copies) {
+			return nil, nil, bad("%d customers vs %d copies", len(man.Customers), len(man.Copies))
+		}
+		seen := make(map[string]int, len(man.Customers))
+		for i, id := range man.Customers {
+			if id == "" {
+				return nil, nil, bad("customer %d has an empty ID", i)
+			}
+			if j, dup := seen[id]; dup {
+				return nil, nil, bad("duplicate customer ID %q (copies %d and %d)", id, j, i)
+			}
+			seen[id] = i
+		}
+	}
+	if len(man.Digests) > 0 {
+		if len(man.Digests) != len(man.Copies) {
+			return nil, nil, bad("%d digests vs %d copies", len(man.Digests), len(man.Copies))
+		}
+		for i, d := range man.Digests {
+			raw, err := hex.DecodeString(d)
+			if err != nil || len(raw) != len(cache.Digest{}) {
+				return nil, nil, bad("copy %d: malformed program digest %q", i, d)
+			}
+		}
 	}
 	ws := make([]*big.Int, len(man.Watermarks))
 	for i, s := range man.Watermarks {
 		w, ok := new(big.Int).SetString(s, 10)
 		if !ok {
-			fatal(fmt.Errorf("manifest %s: bad watermark %q", path, s))
+			return nil, nil, bad("bad watermark %q", s)
 		}
 		ws[i] = w
 	}
-	return &man, ws
+	return &man, ws, nil
+}
+
+// verifyCopyDigest checks a loaded copy against the manifest's recorded
+// program digest (v2 manifests; v1 has none and passes vacuously). A
+// mismatch means the file on disk is not the program that was shipped —
+// grading it against the manifest's watermark table would attribute
+// results to the wrong customer, so it is refused as a manifest error.
+func verifyCopyDigest(man *fleetManifest, manifestPath string, i int, p *vm.Program) error {
+	if i >= len(man.Digests) {
+		return nil
+	}
+	got := wm.ProgramDigest(p)
+	if want := man.Digests[i]; hex.EncodeToString(got[:]) != want {
+		return &manifestError{Path: manifestPath, Msg: fmt.Sprintf(
+			"copy %s: program digest mismatch (manifest %s, file %s) — file changed since embedding",
+			man.Copies[i], want, hex.EncodeToString(got[:]))}
+	}
+	return nil
 }
 
 // cmdFleetIdentify recognizes a suspect program under the fleet's shared
@@ -173,7 +296,10 @@ func cmdFleetIdentify(args []string) int {
 		fatal(fmt.Errorf("missing -manifest"))
 	}
 	reg := c.beginObs()
-	man, ws := loadManifest(*manifest)
+	man, ws, err := loadManifest(*manifest)
+	if err != nil {
+		return manifestExit(err)
+	}
 	p := c.loadProgram()
 	ctx, cancel := c.ctx()
 	defer cancel()
@@ -189,7 +315,7 @@ func cmdFleetIdentify(args []string) int {
 	}
 	for i, w := range ws {
 		if rec.Matches(w) {
-			fmt.Printf("suspect matches copy %s (customer %d, watermark %d)\n", man.Copies[i], i, w)
+			fmt.Printf("suspect matches copy %s (%s, watermark %d)\n", man.Copies[i], man.customerName(i), w)
 			c.finishObs()
 			return exitOK
 		}

@@ -7,8 +7,10 @@
 //	pathmark recognize -in marked.pasm -wbits 128 [-input 1,2,3] [-workers N]
 //	pathmark fleet embed    -in prog.pasm -outdir DIR -n N [-savekey DIR/fleet.key]
 //	pathmark fleet identify -in suspect.pasm -manifest DIR/fleet.json -keyfile DIR/fleet.key
+//	pathmark fleet grade    -manifest DIR/fleet.json -keyfile DIR/fleet.key -job JOBDIR [-suspects a.pasm,b.pasm]
 //	pathmark fleet demo     [-n N]          # in-memory end-to-end fingerprinting demo
 //	pathmark fleet bench    [-json FILE]    # cached-vs-uncached comparisons, appended as JSONL
+//	pathmark serve   -dir JOBROOT [-addr HOST:PORT]   # crash-safe recognition daemon (HTTP)
 //	pathmark trace   -in prog.pasm [-input 1,2,3] [-level N]  # dump the decoded bit-string
 //	pathmark attack  -in marked.pasm -out attacked.pasm -name branch-insertion [-seed S]
 //	pathmark attacks                                    # list the attack catalog
@@ -24,7 +26,11 @@
 // deadline; the run degrades or fails with a typed error instead of
 // hanging) and -max-steps N (interpreter fuel for tracing runs). The
 // inject subcommand drives the internal/faults catalog against a marked
-// host and reports survive/degrade/fail per fault.
+// host and reports survive/degrade/fail per fault. `fleet grade` and
+// `serve` run corpus recognition through the journaled jobs engine
+// (internal/jobs): finished grades are fsynced to a write-ahead journal,
+// so a killed run resumes where it stopped and produces a result
+// manifest byte-identical to an uninterrupted one.
 //
 // Exit codes: 0 success (a watermark was found, where applicable), 1 hard
 // error, 2 usage, 3 no-match — `recognize` and `fleet identify` ran fine
@@ -86,6 +92,8 @@ func main() {
 		os.Exit(cmdRecognize(args))
 	case "fleet":
 		os.Exit(cmdFleet(args))
+	case "serve":
+		os.Exit(cmdServe(args))
 	case "trace":
 		cmdTrace(args)
 	case "attack":
@@ -108,7 +116,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: pathmark {embed|recognize|fleet|trace|attack|attacks|run|inject} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: pathmark {embed|recognize|fleet|serve|trace|attack|attacks|run|inject} [flags]")
 	os.Exit(exitUsage)
 }
 

@@ -175,7 +175,7 @@ func TestFleetCLIRoundTrip(t *testing.T) {
 		if code != exitOK {
 			t.Errorf("identify copy %d: exit %d\n%s", i, code, out)
 		}
-		want := "customer " + string(rune('0'+i))
+		want := "customer-00" + string(rune('0'+i))
 		if !strings.Contains(out, want) {
 			t.Errorf("identify copy %d: output does not name %q:\n%s", i, want, out)
 		}

@@ -1,0 +1,517 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"pathmark/internal/jobs"
+	"pathmark/internal/obs"
+	"pathmark/internal/vm"
+	"pathmark/internal/wm"
+)
+
+// The recognition service: `pathmark serve` turns the journaled jobs
+// engine into a long-lived daemon. Clients POST a corpus job (suspect
+// programs plus candidate keyfiles), poll its status, and fetch the
+// canonical result manifest when it finishes. Every accepted job lives
+// in its own directory under the job root — request.json (the submitted
+// spec), journal.jsonl (the fsynced write-ahead grade log), result.json
+// (the finished manifest) — so the daemon can be killed at any moment
+// and the next start resumes every unfinished job from its journal,
+// re-running only the grades that were in flight.
+//
+// Robustness posture:
+//   - admission control: a semaphore bounds concurrently *running* jobs
+//     (each job in turn bounds its own trace workers), and a cap on
+//     tracked jobs refuses new submissions with 429 instead of queueing
+//     without bound;
+//   - per-request deadlines: the whole handler chain runs under
+//     http.TimeoutHandler, so a stuck client or handler cannot pin a
+//     connection forever — job execution is asynchronous and never tied
+//     to a request's lifetime;
+//   - graceful drain: SIGINT/SIGTERM flips /readyz to 503, stops
+//     accepting connections, cancels the shared job context (running
+//     jobs checkpoint — their journals are already durable through the
+//     last finished grade) and waits for the runners to exit.
+
+// serveRequest is the POST /jobs body: programs and keys travel as
+// text (the .pasm dump and the keyfile JSON document respectively), so
+// a job can be submitted with curl and reproduced byte-for-byte later.
+type serveRequest struct {
+	Suspects []string            `json:"suspects"` // .pasm program texts
+	Keys     []string            `json:"keys"`     // keyfile JSON documents
+	Options  serveRequestOptions `json:"options"`
+}
+
+// serveRequestOptions is the result-affecting and scheduling subset of
+// jobs.Options a client may set; everything else is server policy.
+type serveRequestOptions struct {
+	Workers        int   `json:"workers,omitempty"`
+	StepLimit      int64 `json:"step_limit,omitempty"`
+	Retries        int   `json:"retries,omitempty"`
+	RetryDelayMS   int64 `json:"retry_delay_ms,omitempty"`
+	Breaker        int   `json:"breaker,omitempty"`
+	Wave           int   `json:"wave,omitempty"`
+	GradeTimeoutMS int64 `json:"grade_timeout_ms,omitempty"`
+}
+
+// jobStatus is the GET /jobs/{id} response.
+type jobStatus struct {
+	ID        string `json:"id"`
+	Status    string `json:"status"` // queued | running | done | failed | interrupted
+	Completed int64  `json:"completed"`
+	Total     int    `json:"total"`
+	Error     string `json:"error,omitempty"`
+}
+
+// serveJob is one tracked job: its directory on disk plus live status.
+type serveJob struct {
+	id        string
+	dir       string
+	total     int
+	completed atomic.Int64
+	done      chan struct{}
+
+	mu     sync.Mutex
+	status string
+	errMsg string
+}
+
+func (j *serveJob) setStatus(status, errMsg string) {
+	j.mu.Lock()
+	j.status, j.errMsg = status, errMsg
+	j.mu.Unlock()
+}
+
+func (j *serveJob) snapshot() jobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return jobStatus{
+		ID: j.id, Status: j.status,
+		Completed: j.completed.Load(), Total: j.total,
+		Error: j.errMsg,
+	}
+}
+
+type serveConfig struct {
+	root       string
+	maxActive  int // concurrently running jobs (0 = GOMAXPROCS)
+	maxJobs    int // tracked jobs before submissions get 429
+	reqTimeout time.Duration
+	noSync     bool
+	reg        *obs.Registry
+}
+
+type server struct {
+	cfg     serveConfig
+	sem     chan struct{}
+	baseCtx context.Context
+	cancel  context.CancelFunc
+	wg      sync.WaitGroup
+
+	draining atomic.Bool
+
+	mu   sync.Mutex
+	jobs map[string]*serveJob
+}
+
+// newServer builds the service state and resumes every job directory
+// found under the root: finished jobs are registered so their results
+// stay fetchable, unfinished ones are re-submitted from their persisted
+// request.json and pick up at their journal's high-water mark.
+func newServer(cfg serveConfig) (*server, error) {
+	if cfg.maxActive <= 0 {
+		cfg.maxActive = runtime.GOMAXPROCS(0)
+	}
+	if cfg.maxJobs <= 0 {
+		cfg.maxJobs = 64
+	}
+	if err := os.MkdirAll(cfg.root, 0o755); err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &server{
+		cfg:     cfg,
+		sem:     make(chan struct{}, cfg.maxActive),
+		baseCtx: ctx,
+		cancel:  cancel,
+		jobs:    map[string]*serveJob{},
+	}
+	if err := s.resumePending(); err != nil {
+		cancel()
+		return nil, err
+	}
+	return s, nil
+}
+
+// buildSpec turns a request into a jobs.Spec, validating programs and
+// keys. Errors are client errors (bad request).
+func (s *server) buildSpec(req *serveRequest) (jobs.Spec, error) {
+	if len(req.Suspects) == 0 || len(req.Keys) == 0 {
+		return jobs.Spec{}, fmt.Errorf("need at least one suspect and one key")
+	}
+	progs := make([]*vm.Program, len(req.Suspects))
+	for i, src := range req.Suspects {
+		p, err := vm.Assemble(src)
+		if err != nil {
+			return jobs.Spec{}, fmt.Errorf("suspect %d: %w", i, err)
+		}
+		progs[i] = p
+	}
+	keys := make([]*wm.Key, len(req.Keys))
+	for i, doc := range req.Keys {
+		k, err := wm.LoadKey(strings.NewReader(doc))
+		if err != nil {
+			return jobs.Spec{}, fmt.Errorf("key %d: %w", i, err)
+		}
+		keys[i] = k
+	}
+	o := req.Options
+	return jobs.Spec{
+		Suspects: progs,
+		Keys:     keys,
+		Opts: jobs.Options{
+			Workers:      o.Workers,
+			StepLimit:    o.StepLimit,
+			GradeTimeout: time.Duration(o.GradeTimeoutMS) * time.Millisecond,
+			Retry: jobs.RetryPolicy{
+				MaxAttempts: o.Retries,
+				BaseDelay:   time.Duration(o.RetryDelayMS) * time.Millisecond,
+			},
+			Breaker: jobs.BreakerPolicy{Threshold: o.Breaker, Wave: o.Wave},
+			Obs:     s.cfg.reg,
+			NoSync:  s.cfg.noSync,
+		},
+	}, nil
+}
+
+// submit registers a job for a validated spec and starts its runner.
+// Submission is idempotent: the job ID is the spec's content digest, so
+// re-POSTing the same corpus returns the existing job (finished or not)
+// instead of re-grading it.
+func (s *server) submit(rawRequest []byte, spec jobs.Spec) (*serveJob, int, error) {
+	id, err := jobs.SpecID(spec)
+	if err != nil {
+		return nil, http.StatusBadRequest, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if j, ok := s.jobs[id]; ok {
+		return j, http.StatusOK, nil
+	}
+	if len(s.jobs) >= s.cfg.maxJobs {
+		return nil, http.StatusTooManyRequests,
+			fmt.Errorf("job table full (%d jobs); retry after some finish or restart with a fresh root", s.cfg.maxJobs)
+	}
+	dir := filepath.Join(s.cfg.root, id)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, http.StatusInternalServerError, err
+	}
+	// Persist the request before acknowledging it: a daemon restart
+	// rebuilds the spec from this file and resumes the journal.
+	reqPath := filepath.Join(dir, "request.json")
+	if _, err := os.Stat(reqPath); errors.Is(err, os.ErrNotExist) {
+		tmp := reqPath + ".tmp"
+		if err := os.WriteFile(tmp, rawRequest, 0o644); err != nil {
+			return nil, http.StatusInternalServerError, err
+		}
+		if err := os.Rename(tmp, reqPath); err != nil {
+			return nil, http.StatusInternalServerError, err
+		}
+	}
+	j := s.startLocked(id, dir, spec)
+	s.cfg.reg.Counter("serve.jobs.submitted").Add(1)
+	return j, http.StatusAccepted, nil
+}
+
+// startLocked creates the tracked job and launches its runner; the
+// caller holds s.mu.
+func (s *server) startLocked(id, dir string, spec jobs.Spec) *serveJob {
+	j := &serveJob{
+		id: id, dir: dir,
+		total:  len(spec.Suspects) * len(spec.Keys),
+		done:   make(chan struct{}),
+		status: "queued",
+	}
+	spec.Opts.OnGrade = func(completed int) { j.completed.Store(int64(completed)) }
+	s.jobs[id] = j
+	s.wg.Add(1)
+	go s.runJob(j, spec)
+	return j
+}
+
+func (s *server) runJob(j *serveJob, spec jobs.Spec) {
+	defer s.wg.Done()
+	defer close(j.done)
+	select {
+	case s.sem <- struct{}{}:
+	case <-s.baseCtx.Done():
+		// Never started; the journal (if any) is untouched and the job
+		// resumes on the next daemon start.
+		j.setStatus("interrupted", "daemon draining before the job started")
+		return
+	}
+	defer func() { <-s.sem }()
+	j.setStatus("running", "")
+	_, err := jobs.Execute(s.baseCtx, j.dir, spec)
+	switch {
+	case err != nil && s.baseCtx.Err() != nil:
+		// Drain checkpoint: every finished grade is journaled, the next
+		// start re-runs only what was in flight.
+		j.setStatus("interrupted", err.Error())
+		s.cfg.reg.Counter("serve.jobs.interrupted").Add(1)
+	case err != nil:
+		j.setStatus("failed", err.Error())
+		s.cfg.reg.Counter("serve.jobs.failed").Add(1)
+	default:
+		j.completed.Store(int64(j.total))
+		j.setStatus("done", "")
+		s.cfg.reg.Counter("serve.jobs.completed").Add(1)
+	}
+}
+
+// resumePending walks the job root at startup: directories with a
+// result.json register as finished (results stay fetchable across
+// restarts), directories with only a request.json are re-submitted and
+// resume from their journal.
+func (s *server) resumePending() error {
+	entries, err := os.ReadDir(s.cfg.root)
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		id := e.Name()
+		dir := filepath.Join(s.cfg.root, id)
+		raw, err := os.ReadFile(filepath.Join(dir, "request.json"))
+		if err != nil {
+			continue // not a job directory
+		}
+		if data, err := os.ReadFile(jobs.ResultPath(dir)); err == nil {
+			// Finished before the restart: recover the dimensions from the
+			// result manifest and register it as done.
+			var dims struct {
+				Suspects int `json:"suspects"`
+				Keys     int `json:"keys"`
+			}
+			if json.Unmarshal(data, &dims) != nil {
+				continue
+			}
+			j := &serveJob{id: id, dir: dir, total: dims.Suspects * dims.Keys,
+				done: make(chan struct{}), status: "done"}
+			j.completed.Store(int64(j.total))
+			close(j.done)
+			s.jobs[id] = j
+			continue
+		}
+		var req serveRequest
+		if err := json.Unmarshal(raw, &req); err != nil {
+			fmt.Fprintf(os.Stderr, "pathmark: serve: job %s: unreadable request.json: %v\n", id, err)
+			continue
+		}
+		spec, err := s.buildSpec(&req)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pathmark: serve: job %s: stale request: %v\n", id, err)
+			continue
+		}
+		if got, err := jobs.SpecID(spec); err != nil || got != id {
+			fmt.Fprintf(os.Stderr, "pathmark: serve: job %s: request does not digest to its directory name; skipping\n", id)
+			continue
+		}
+		s.startLocked(id, dir, spec)
+		s.cfg.reg.Counter("serve.jobs.resumed").Add(1)
+	}
+	return nil
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, errors.New("draining"))
+		return
+	}
+	raw, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 64<<20))
+	if err != nil {
+		writeError(w, http.StatusRequestEntityTooLarge, err)
+		return
+	}
+	var req serveRequest
+	if err := json.Unmarshal(raw, &req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	spec, err := s.buildSpec(&req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	j, code, err := s.submit(raw, spec)
+	if err != nil {
+		writeError(w, code, err)
+		return
+	}
+	writeJSON(w, code, j.snapshot())
+}
+
+func (s *server) lookup(r *http.Request) (*serveJob, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[r.PathValue("id")]
+	return j, ok
+}
+
+func (s *server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(r)
+	if !ok {
+		writeError(w, http.StatusNotFound, errors.New("unknown job"))
+		return
+	}
+	writeJSON(w, http.StatusOK, j.snapshot())
+}
+
+func (s *server) handleResult(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(r)
+	if !ok {
+		writeError(w, http.StatusNotFound, errors.New("unknown job"))
+		return
+	}
+	if st := j.snapshot(); st.Status != "done" {
+		writeError(w, http.StatusConflict, fmt.Errorf("job is %s, not done", st.Status))
+		return
+	}
+	data, err := os.ReadFile(jobs.ResultPath(j.dir))
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(data)
+}
+
+// handler assembles the HTTP surface. Everything except the health
+// probes runs under the per-request deadline.
+func (s *server) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /jobs", s.handleSubmit)
+	mux.HandleFunc("GET /jobs/{id}", s.handleStatus)
+	mux.HandleFunc("GET /jobs/{id}/result", s.handleResult)
+	var h http.Handler = mux
+	if s.cfg.reqTimeout > 0 {
+		h = http.TimeoutHandler(h, s.cfg.reqTimeout, `{"error":"request deadline exceeded"}`)
+	}
+	outer := http.NewServeMux()
+	outer.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		io.WriteString(w, "ok\n")
+	})
+	outer.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		if s.draining.Load() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			io.WriteString(w, "draining\n")
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+		io.WriteString(w, "ready\n")
+	})
+	outer.Handle("/", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.cfg.reg.Counter("serve.requests").Add(1)
+		h.ServeHTTP(w, r)
+	}))
+	return outer
+}
+
+// drain flips readiness off, cancels the shared job context so running
+// jobs checkpoint at their journals, and waits for every runner.
+func (s *server) drain() {
+	s.draining.Store(true)
+	s.cancel()
+	s.wg.Wait()
+}
+
+// cmdServe runs the recognition daemon until SIGINT/SIGTERM.
+func cmdServe(args []string) int {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:8947", "listen address")
+	dir := fs.String("dir", "", "job root directory (journals, results; required)")
+	maxActive := fs.Int("max-active", 0, "concurrently running jobs (0 = one per CPU)")
+	maxJobs := fs.Int("max-jobs", 64, "tracked jobs before submissions are refused with 429")
+	reqTimeout := fs.Duration("request-timeout", 10*time.Second, "per-request handler deadline")
+	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "deadline for in-flight HTTP requests on shutdown")
+	noSync := fs.Bool("no-sync", false, "skip the per-record journal fsync (faster, loses tail grades on a crash)")
+	var ocli obs.CLI
+	ocli.Register(fs)
+	fs.Parse(args)
+	if *dir == "" {
+		fatal(fmt.Errorf("missing -dir"))
+	}
+	reg, err := ocli.Begin("pathmark")
+	if err != nil {
+		fatal(err)
+	}
+	obsFlush = func() { ocli.Finish() }
+
+	srv, err := newServer(serveConfig{
+		root: *dir, maxActive: *maxActive, maxJobs: *maxJobs,
+		reqTimeout: *reqTimeout, noSync: *noSync, reg: reg,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal(err)
+	}
+	httpSrv := &http.Server{Handler: srv.handler(), ReadHeaderTimeout: 5 * time.Second}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	shutdownDone := make(chan struct{})
+	go func() {
+		defer close(shutdownDone)
+		<-ctx.Done()
+		fmt.Fprintln(os.Stderr, "pathmark: serve: draining (readyz now 503; running jobs checkpoint to their journals)")
+		srv.draining.Store(true)
+		sctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		httpSrv.Shutdown(sctx)
+		srv.drain()
+	}()
+
+	fmt.Fprintf(os.Stderr, "pathmark: serve: listening on %s, job root %s\n", ln.Addr(), *dir)
+	if err := httpSrv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fatal(err)
+	}
+	<-shutdownDone
+	if err := ocli.Finish(); err != nil {
+		fmt.Fprintln(os.Stderr, "pathmark: stats:", err)
+	}
+	return exitOK
+}

@@ -30,10 +30,17 @@ type Stats struct {
 	// result.
 	Misses int64
 	// Bypassed counts lookups that ran the compute function WITHOUT
-	// storing the result because the table was at capacity. A bypassed
-	// key may be computed again later; within capacity every distinct key
-	// is computed at most once.
+	// storing the result because the table was at capacity and held no
+	// evictable entry (for the keyed cache, every resident entry still
+	// in flight). A bypassed key may be computed again later; within
+	// capacity every distinct key is computed at most once.
 	Bypassed int64
+	// Evictions counts resident entries discarded to make room for a new
+	// key once the table reached capacity. An evicted key that returns
+	// recomputes (a fresh miss), so beyond capacity the miss count is a
+	// function of the access sequence — memory stays bounded and results
+	// stay exact, only the amortization weakens.
+	Evictions int64
 }
 
 // Lookups returns the total number of GetOrCompute calls the stats cover.
@@ -51,9 +58,10 @@ func (s Stats) HitRate() float64 {
 // pipeline phase of a long-lived cache.
 func (s Stats) Sub(prior Stats) Stats {
 	return Stats{
-		Hits:     s.Hits - prior.Hits,
-		Misses:   s.Misses - prior.Misses,
-		Bypassed: s.Bypassed - prior.Bypassed,
+		Hits:      s.Hits - prior.Hits,
+		Misses:    s.Misses - prior.Misses,
+		Bypassed:  s.Bypassed - prior.Bypassed,
+		Evictions: s.Evictions - prior.Evictions,
 	}
 }
 
@@ -83,13 +91,16 @@ type Cache64 struct {
 	hits        atomic.Int64
 	misses      atomic.Int64
 	bypassed    atomic.Int64
+	evictions   atomic.Int64
 }
 
 // NewCache64 returns a Cache64 holding at most maxEntries values
 // (rounded up to a multiple of the shard count); maxEntries <= 0 means
-// unbounded. Once a shard is full, new keys are computed but not stored
-// (counted as Bypassed) — results stay correct, only the at-most-once
-// guarantee is relinquished for the overflow keys.
+// unbounded. Once a shard is full, inserting a new key evicts an
+// arbitrary resident entry (counted as an Eviction) — memory stays
+// bounded for arbitrarily long-lived caches, results stay correct, and
+// only the at-most-once guarantee is relinquished for keys that churn
+// past capacity.
 func NewCache64(maxEntries int) *Cache64 {
 	c := &Cache64{}
 	if maxEntries > 0 {
@@ -126,10 +137,18 @@ func (c *Cache64) GetOrCompute(k uint64, f func(uint64) uint64) uint64 {
 	// Compute under the shard lock: concurrent callers of the same key
 	// block here and then hit, so the key is computed exactly once.
 	v := f(k)
+	evicted := int64(0)
 	if c.maxPerShard > 0 && len(s.m) >= c.maxPerShard {
-		s.mu.Unlock()
-		c.bypassed.Add(1)
-		return v
+		// Evict an arbitrary resident key (map iteration order) so the
+		// new, presumably hotter key gets cached. Loop in case the map
+		// somehow overshot the bound; normally one deletion suffices.
+		for victim := range s.m {
+			delete(s.m, victim)
+			evicted++
+			if len(s.m) < c.maxPerShard {
+				break
+			}
+		}
 	}
 	if s.m == nil {
 		s.m = make(map[uint64]uint64)
@@ -137,6 +156,9 @@ func (c *Cache64) GetOrCompute(k uint64, f func(uint64) uint64) uint64 {
 	s.m[k] = v
 	s.mu.Unlock()
 	c.misses.Add(1)
+	if evicted > 0 {
+		c.evictions.Add(evicted)
+	}
 	return v
 }
 
@@ -159,14 +181,20 @@ func (c *Cache64) Stats() Stats {
 	if c == nil {
 		return Stats{}
 	}
-	return Stats{Hits: c.hits.Load(), Misses: c.misses.Load(), Bypassed: c.bypassed.Load()}
+	return Stats{
+		Hits: c.hits.Load(), Misses: c.misses.Load(),
+		Bypassed: c.bypassed.Load(), Evictions: c.evictions.Load(),
+	}
 }
 
 // keyedEntry holds one Keyed value; Once gives singleflight semantics
 // (concurrent callers of the same key block until the first compute
-// finishes, then share its result).
+// finishes, then share its result). done flips to true after the compute
+// finishes: only done entries are eviction candidates, so coalesced
+// waiters can never lose the entry they are blocked on.
 type keyedEntry[V any] struct {
 	once sync.Once
+	done atomic.Bool
 	val  V
 	err  error
 }
@@ -184,10 +212,13 @@ type Keyed[K comparable, V any] struct {
 	hits       atomic.Int64
 	misses     atomic.Int64
 	bypassed   atomic.Int64
+	evictions  atomic.Int64
 }
 
 // NewKeyed returns a Keyed cache holding at most maxEntries entries
-// (<= 0 = unbounded); at capacity new keys compute without storing.
+// (<= 0 = unbounded). At capacity a new key evicts an arbitrary
+// completed entry; when every resident entry is still being computed the
+// new key computes without storing (Bypassed).
 func NewKeyed[K comparable, V any](maxEntries int) *Keyed[K, V] {
 	return &Keyed[K, V]{m: make(map[K]*keyedEntry[V]), maxEntries: maxEntries}
 }
@@ -203,9 +234,23 @@ func (c *Keyed[K, V]) GetOrCompute(k K, f func() (V, error)) (V, error) {
 	e, ok := c.m[k]
 	if !ok {
 		if c.maxEntries > 0 && len(c.m) >= c.maxEntries {
-			c.mu.Unlock()
-			c.bypassed.Add(1)
-			return f()
+			evicted := false
+			for victim, ve := range c.m {
+				if ve.done.Load() {
+					delete(c.m, victim)
+					evicted = true
+					break
+				}
+			}
+			if !evicted {
+				// Every resident entry is mid-compute and must stay
+				// reachable for its coalesced waiters: compute without
+				// storing rather than grow past the bound.
+				c.mu.Unlock()
+				c.bypassed.Add(1)
+				return f()
+			}
+			c.evictions.Add(1)
 		}
 		e = &keyedEntry[V]{}
 		c.m[k] = e
@@ -216,8 +261,31 @@ func (c *Keyed[K, V]) GetOrCompute(k K, f func() (V, error)) (V, error) {
 	} else {
 		c.misses.Add(1)
 	}
-	e.once.Do(func() { e.val, e.err = f() })
+	e.once.Do(func() {
+		e.val, e.err = f()
+		e.done.Store(true)
+	})
 	return e.val, e.err
+}
+
+// Forget drops k's entry so the next lookup recomputes, reporting
+// whether an entry was present. It exists for retry loops: the keyed
+// cache memoizes deterministic failures on purpose, so a caller that has
+// reason to believe a failure was transient (a timeout, a fault
+// injection) must explicitly invalidate before retrying. Coalesced
+// waiters of an in-flight entry are unaffected — they hold the entry
+// pointer and still receive its outcome; only the table forgets it.
+func (c *Keyed[K, V]) Forget(k K) bool {
+	if c == nil {
+		return false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.m[k]; ok {
+		delete(c.m, k)
+		return true
+	}
+	return false
 }
 
 // Len returns the number of stored entries (0 on nil).
@@ -235,7 +303,10 @@ func (c *Keyed[K, V]) Stats() Stats {
 	if c == nil {
 		return Stats{}
 	}
-	return Stats{Hits: c.hits.Load(), Misses: c.misses.Load(), Bypassed: c.bypassed.Load()}
+	return Stats{
+		Hits: c.hits.Load(), Misses: c.misses.Load(),
+		Bypassed: c.bypassed.Load(), Evictions: c.evictions.Load(),
+	}
 }
 
 // Digest is the content-address used by the keyed caches: a SHA-256 hash.

@@ -85,10 +85,10 @@ func TestCache64AtMostOncePerKey(t *testing.T) {
 	}
 }
 
-// TestCache64BoundedBypass checks the capacity contract: results stay
-// correct beyond capacity, overflow traffic is counted as bypassed, and
-// the table never exceeds its (shard-rounded) bound.
-func TestCache64BoundedBypass(t *testing.T) {
+// TestCache64BoundedEviction checks the capacity contract: results stay
+// correct beyond capacity, overflow inserts evict resident entries (and
+// are counted), and the table never exceeds its (shard-rounded) bound.
+func TestCache64BoundedEviction(t *testing.T) {
 	c := NewCache64(cache64Shards) // one entry per shard
 	const keys = 10_000
 	for k := uint64(0); k < keys; k++ {
@@ -100,17 +100,24 @@ func TestCache64BoundedBypass(t *testing.T) {
 		t.Errorf("Len %d exceeds capacity %d", c.Len(), cache64Shards)
 	}
 	st := c.Stats()
-	if st.Bypassed == 0 {
-		t.Error("expected bypassed lookups beyond capacity")
+	if st.Evictions == 0 {
+		t.Error("expected evictions beyond capacity")
 	}
-	if st.Misses+st.Bypassed != keys {
-		t.Errorf("misses+bypassed = %d, want %d", st.Misses+st.Bypassed, keys)
+	// Every distinct key computes (and stores) exactly once on this pass.
+	if st.Misses != keys {
+		t.Errorf("misses = %d, want %d", st.Misses, keys)
 	}
-	// Stored keys still hit and still return the right value.
+	if got := int64(c.Len()) + st.Evictions; got != keys {
+		t.Errorf("Len+Evictions = %d, want %d (every stored key is resident or evicted)", got, keys)
+	}
+	// Rereads still return the right value whether resident or evicted.
 	for k := uint64(0); k < keys; k++ {
 		if v := c.GetOrCompute(k, func(k uint64) uint64 { return k + 5 }); v != k+5 {
 			t.Fatalf("key %d: wrong value on reread: %d", k, v)
 		}
+	}
+	if c.Len() > cache64Shards {
+		t.Errorf("Len %d exceeds capacity %d after rereads", c.Len(), cache64Shards)
 	}
 }
 
@@ -159,7 +166,7 @@ func TestKeyedCachesErrors(t *testing.T) {
 	}
 }
 
-func TestKeyedBoundedBypass(t *testing.T) {
+func TestKeyedBoundedEviction(t *testing.T) {
 	c := NewKeyed[int, int](2)
 	for k := 0; k < 10; k++ {
 		k := k
@@ -171,8 +178,48 @@ func TestKeyedBoundedBypass(t *testing.T) {
 	if c.Len() != 2 {
 		t.Errorf("Len = %d, want 2", c.Len())
 	}
-	if st := c.Stats(); st.Bypassed != 8 || st.Misses != 2 {
-		t.Errorf("stats %+v, want 2 misses / 8 bypassed", st)
+	if st := c.Stats(); st.Evictions != 8 || st.Misses != 10 || st.Bypassed != 0 {
+		t.Errorf("stats %+v, want 10 misses / 8 evictions / 0 bypassed", st)
+	}
+	// An evicted key recomputes and is stored again (a fresh miss, with
+	// another eviction to make room).
+	if v, err := c.GetOrCompute(0, func() (int, error) { return 0, nil }); err != nil || v != 0 {
+		t.Fatalf("evicted key reread: got (%d, %v)", v, err)
+	}
+}
+
+// TestKeyedEvictionSparesInflight pins the singleflight-safety property:
+// when every resident entry is still being computed, a new key bypasses
+// instead of evicting the entry concurrent waiters are blocked on.
+func TestKeyedEvictionSparesInflight(t *testing.T) {
+	c := NewKeyed[int, int](1)
+	inFlight := make(chan struct{})
+	release := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.GetOrCompute(1, func() (int, error) {
+			close(inFlight)
+			<-release
+			return 11, nil
+		})
+		done <- err
+	}()
+	<-inFlight
+	// Key 2 arrives while key 1 (the only resident entry) is mid-compute:
+	// it must bypass, not evict.
+	if v, err := c.GetOrCompute(2, func() (int, error) { return 22, nil }); err != nil || v != 22 {
+		t.Fatalf("got (%d, %v), want (22, nil)", v, err)
+	}
+	if st := c.Stats(); st.Bypassed != 1 || st.Evictions != 0 {
+		t.Errorf("stats %+v, want 1 bypass / 0 evictions while sole entry is in flight", st)
+	}
+	close(release)
+	if err := <-done; err != nil {
+		t.Fatalf("in-flight compute failed: %v", err)
+	}
+	// Key 1 finished and was stored; a reread hits.
+	if v, err := c.GetOrCompute(1, func() (int, error) { return -1, nil }); err != nil || v != 11 {
+		t.Fatalf("stored in-flight result lost: got (%d, %v)", v, err)
 	}
 }
 

@@ -1,0 +1,119 @@
+package jobs
+
+import "fmt"
+
+// The circuit breaker protects a corpus job from a poisoned candidate
+// key — one whose grades fail hard against suspect after suspect (a key
+// file pointing at the wrong secret input makes every trace blow its
+// step budget, at full trace cost each time). After Threshold
+// consecutive hard failures the key's breaker opens and its remaining
+// grades are recorded as skips instead of executed.
+//
+// Determinism is the delicate part: "consecutive" must not depend on the
+// execution schedule, or results would vary with the worker count and a
+// resumed run could disagree with an uninterrupted one. The runner
+// therefore processes suspects in fixed-size waves: grades within a wave
+// run fully parallel, and breaker state advances only at wave
+// boundaries, from completed outcomes walked in suspect order. Skip
+// decisions for wave w are a pure function of waves < w — identical at
+// any worker count and across crash/resume.
+
+// BreakerPolicy configures the per-key circuit breaker.
+type BreakerPolicy struct {
+	// Threshold is the consecutive hard-failure count that opens a key's
+	// breaker: 0 means DefaultBreakerThreshold, < 0 disables the breaker.
+	Threshold int
+	// Wave is the number of suspects graded between breaker evaluations:
+	// 0 means DefaultBreakerWave. Smaller waves react faster but cap the
+	// suspect-level parallelism per barrier.
+	Wave int
+}
+
+// DefaultBreakerThreshold and DefaultBreakerWave are the policy values
+// used when BreakerPolicy leaves them zero.
+const (
+	DefaultBreakerThreshold = 3
+	DefaultBreakerWave      = 8
+)
+
+func (p BreakerPolicy) threshold() int {
+	if p.Threshold == 0 {
+		return DefaultBreakerThreshold
+	}
+	return p.Threshold
+}
+
+func (p BreakerPolicy) wave() int {
+	if p.Wave <= 0 {
+		return DefaultBreakerWave
+	}
+	return p.Wave
+}
+
+// BreakerOpenError marks a grade that was skipped because its key's
+// circuit breaker had tripped. It lands in the result's Errors matrix
+// (and, as a string, in the journal), so skips are first-class recorded
+// outcomes, not holes.
+type BreakerOpenError struct {
+	// Key is the candidate-key index whose breaker was open.
+	Key int
+	// Failures is the consecutive hard-failure count that tripped it.
+	Failures int
+}
+
+func (e *BreakerOpenError) Error() string {
+	return fmt.Sprintf("jobs: key %d skipped: circuit breaker open after %d consecutive hard failures", e.Key, e.Failures)
+}
+
+// breaker tracks per-key consecutive hard failures. Not safe for
+// concurrent use; the runner touches it only between waves.
+type breaker struct {
+	threshold int   // <= 0: disabled
+	consec    []int // consecutive hard failures, per key
+	open      []bool
+	trips     int
+}
+
+func newBreaker(keys int, p BreakerPolicy) *breaker {
+	t := p.threshold()
+	if t < 0 {
+		t = 0
+	}
+	return &breaker{threshold: t, consec: make([]int, keys), open: make([]bool, keys)}
+}
+
+// observe folds the outcomes of suspects [lo, hi) into the breaker
+// state, walking suspects in index order. A hard failure (no
+// recognition, not a skip) increments the key's run; a completed grade —
+// even a degraded one — resets it; skips leave it untouched (they are
+// consequences of the breaker, not evidence for it).
+func (b *breaker) observe(outcomes [][]*outcome, lo, hi int) {
+	if b.threshold <= 0 {
+		return
+	}
+	for s := lo; s < hi; s++ {
+		for k, o := range outcomes[s] {
+			if o == nil || o.skipped {
+				continue
+			}
+			if o.rec == nil && o.errStr != "" {
+				b.consec[k]++
+				if !b.open[k] && b.consec[k] >= b.threshold {
+					b.open[k] = true
+					b.trips++
+				}
+			} else {
+				b.consec[k] = 0
+			}
+		}
+	}
+}
+
+// skip returns the typed error for a grade skipped by key k's open
+// breaker, or nil when the breaker is closed.
+func (b *breaker) skip(k int) *BreakerOpenError {
+	if !b.open[k] {
+		return nil
+	}
+	return &BreakerOpenError{Key: k, Failures: b.consec[k]}
+}

@@ -1,0 +1,126 @@
+package jobs
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"math/rand"
+	"os"
+	"testing"
+
+	"pathmark/internal/vm"
+	"pathmark/internal/wm"
+)
+
+// This file is the assess-style robustness harness for the jobs layer:
+// a deterministic fault plan (transient trace faults that clear on
+// retry, persistent resource faults, terminal key-file faults) is
+// combined with randomized checkpoint kills and journal-tail corruption,
+// and every trial must satisfy the survive/degrade/fail contract:
+//
+//   - survive: cells with transient faults end clean — identical to an
+//     unfaulted run of that cell;
+//   - degrade: cells with persistent-but-typed faults end as recorded
+//     hard failures (typed error in the matrix), never aborting the job;
+//   - fail: only the job-level invariants may stop a run — and an
+//     interrupted run, resumed, always converges to the same manifest.
+//
+// Everything is seeded: the same plan replays identically across the
+// reference run, every crash trial, and every resume, which is what
+// makes byte-equality the oracle.
+
+// faultPlan is the deterministic injection schedule shared by reference
+// and trials.
+type faultPlan struct{}
+
+func (faultPlan) hook(s, k, attempt int) error {
+	switch {
+	case s == 1 && k == 0 && attempt == 1:
+		// Transient: first attempt fails retryably, retry clears it.
+		return &wm.StageError{Stage: "scan", Worker: 0,
+			Cause: errors.New("injected transient scan fault")}
+	case s == 3 && k == 2:
+		// Persistent resource fault: retried to exhaustion, recorded.
+		return &wm.StageError{Stage: "trace", Worker: -1,
+			Cause: &vm.ResourceError{Resource: "steps", Limit: 7, Used: 7, Cause: vm.ErrStepLimit}}
+	case s == 4 && k == 1:
+		// Terminal: key-file damage, never retried.
+		return &wm.KeyFileError{Field: "input", Offset: 9, Msg: "injected key damage"}
+	}
+	return nil
+}
+
+func (faultPlan) spec(t testing.TB, workers int) Spec {
+	spec := baseSpec(t)
+	spec.Opts.Workers = workers
+	spec.Opts.Retry = RetryPolicy{MaxAttempts: 2}
+	spec.Opts.Breaker = BreakerPolicy{Threshold: 2, Wave: 2}
+	spec.Opts.gradeHook = faultPlan{}.hook
+	return spec
+}
+
+func TestCrashResumeUnderFaults(t *testing.T) {
+	var plan faultPlan
+
+	ref := mustExecute(t, t.TempDir(), plan.spec(t, 2))
+	refBytes := mustEncode(t, ref)
+
+	// The contract on the reference run itself.
+	if ref.Corpus.Recognitions[1][0] == nil || ref.Corpus.Errors[1][0] != nil {
+		t.Fatalf("transient cell (1,0) did not survive: err=%v", ref.Corpus.Errors[1][0])
+	}
+	if ref.Attempts[1][0] != 2 {
+		t.Errorf("transient cell took %d attempts, want 2", ref.Attempts[1][0])
+	}
+	if !errors.Is(ref.Corpus.Errors[3][2], vm.ErrStepLimit) || ref.Attempts[3][2] != 2 {
+		t.Errorf("persistent cell (3,2): err=%v attempts=%d, want typed failure after 2 attempts",
+			ref.Corpus.Errors[3][2], ref.Attempts[3][2])
+	}
+	var kfe *wm.KeyFileError
+	if !errors.As(ref.Corpus.Errors[4][1], &kfe) || ref.Attempts[4][1] != 1 {
+		t.Errorf("terminal cell (4,1): err=%v attempts=%d, want KeyFileError after 1 attempt",
+			ref.Corpus.Errors[4][1], ref.Attempts[4][1])
+	}
+
+	total := ref.Suspects * ref.Keys
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 4; trial++ {
+		checkpoint := 1 + rng.Intn(total-1)
+		dir := t.TempDir()
+		abortAt(t, dir, plan.spec(t, 1+rng.Intn(3)), checkpoint)
+
+		if trial%2 == 0 {
+			// Half the trials additionally corrupt the journal tail with
+			// random bytes, torn-write style.
+			junk := make([]byte, 1+rng.Intn(40))
+			rng.Read(junk)
+			f, err := os.OpenFile(JournalPath(dir), os.O_APPEND|os.O_WRONLY, 0o644)
+			if err != nil {
+				t.Fatal(err)
+			}
+			f.Write(junk)
+			f.Close()
+		}
+
+		res, err := Execute(context.Background(), dir, plan.spec(t, 1+rng.Intn(3)))
+		if err != nil {
+			t.Fatalf("trial %d (checkpoint %d): resume failed: %v", trial, checkpoint, err)
+		}
+		if got := mustEncode(t, res); !bytes.Equal(got, refBytes) {
+			t.Errorf("trial %d (checkpoint %d): manifest diverged from reference", trial, checkpoint)
+		}
+	}
+
+	// Double interruption: kill, resume, kill again, resume — still
+	// converges.
+	dir := t.TempDir()
+	abortAt(t, dir, plan.spec(t, 2), 3)
+	abortAt(t, dir, plan.spec(t, 2), 9)
+	res, err := Execute(context.Background(), dir, plan.spec(t, 2))
+	if err != nil {
+		t.Fatalf("after double interruption: %v", err)
+	}
+	if got := mustEncode(t, res); !bytes.Equal(got, refBytes) {
+		t.Error("double-interrupted job diverged from reference")
+	}
+}

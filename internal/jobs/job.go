@@ -1,0 +1,650 @@
+package jobs
+
+import (
+	"bytes"
+	"context"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pathmark/internal/cache"
+	"pathmark/internal/obs"
+	"pathmark/internal/vm"
+	"pathmark/internal/wm"
+)
+
+// Options tunes one corpus job. The zero value is usable: default retry
+// and breaker policies, GOMAXPROCS workers, fsync on every record.
+type Options struct {
+	// Workers bounds the grades running concurrently within a wave:
+	// 0 picks runtime.GOMAXPROCS(0), 1 forces the serial path. Results
+	// are bit-identical at any worker count.
+	Workers int
+	// ScanWorkers, StepLimit, MaxHeap and Prefilter are passed through
+	// to every grade (see wm.CorpusOpts).
+	ScanWorkers int
+	StepLimit   int64
+	MaxHeap     int64
+	Prefilter   *wm.PopcountBand
+	// GradeTimeout, when > 0, deadlines each grade attempt. A timed-out
+	// attempt surfaces as a retryable resource/stage error.
+	GradeTimeout time.Duration
+	// Retry and Breaker set the per-grade retry policy and the per-key
+	// circuit breaker.
+	Retry   RetryPolicy
+	Breaker BreakerPolicy
+	// Obs, when non-nil, receives the jobs.run span and the jobs.*
+	// counters (grades, retries, breaker trips, journal traffic, resume
+	// savings).
+	Obs *obs.Registry
+	// Caches, when non-nil, supplies long-lived fleet caches shared
+	// across jobs; nil builds caches scoped to this job.
+	Caches *wm.FleetCaches
+	// NoSync skips the per-record fsync. Only for tests and throwaway
+	// jobs: without the sync, a crash can lose the last grades (never
+	// corrupt the journal — replay still recovers the synced prefix).
+	NoSync bool
+	// OnGrade, when non-nil, runs after each grade record has been
+	// journaled, with the cumulative number of journaled grades
+	// (restored + new). It exists for progress reporting and for
+	// checkpoint fault injection — a hook that calls os.Exit simulates
+	// kill -9 at an exact checkpoint, which is how the crash-resume
+	// tests and the fleet grade -crash-after flag work.
+	OnGrade func(completed int)
+
+	// gradeHook, when non-nil, runs before every grade attempt and may
+	// return an error to inject in place of the real grade. In-package
+	// fault-injection tests only.
+	gradeHook func(s, k, attempt int) error
+}
+
+// Spec is the job's identity: what to grade, against what, under which
+// result-affecting options. Two Specs digest equal exactly when their
+// suspects, keys, and result-affecting options (step/heap limits,
+// prefilter band, breaker policy) match — scheduling knobs like Workers
+// or retry pacing are excluded, since they must not change results.
+type Spec struct {
+	Suspects []*vm.Program
+	Keys     []*wm.Key
+	Opts     Options
+}
+
+// digest content-addresses the spec; the journal header pins it so a
+// resume over a journal from a different job is refused.
+func (sp *Spec) digest(progDigests []cache.Digest) (cache.Digest, error) {
+	parts := [][]byte{[]byte("pathmark.job.v1")}
+	num := func(v int64) { parts = append(parts, strconv.AppendInt(nil, v, 10)) }
+	num(int64(len(sp.Suspects)))
+	num(int64(len(sp.Keys)))
+	for _, d := range progDigests {
+		parts = append(parts, append([]byte(nil), d[:]...))
+	}
+	for i, k := range sp.Keys {
+		var buf bytes.Buffer
+		if err := wm.SaveKey(&buf, k); err != nil {
+			return cache.Digest{}, fmt.Errorf("jobs: digesting key %d: %w", i, err)
+		}
+		parts = append(parts, buf.Bytes())
+	}
+	num(sp.Opts.StepLimit)
+	num(sp.Opts.MaxHeap)
+	pf := sp.Opts.Prefilter
+	if pf == nil {
+		pf = &wm.DefaultPrefilter
+	}
+	num(int64(pf.Lo))
+	num(int64(pf.Hi))
+	num(int64(sp.Opts.Breaker.threshold()))
+	num(int64(sp.Opts.Breaker.wave()))
+	return cache.DigestBytes(parts...), nil
+}
+
+// SpecID returns the job ID (hex content digest) a Spec would get from
+// Open, without touching disk — callers that name job directories after
+// the ID need it first.
+func SpecID(spec Spec) (string, error) {
+	progDigests := make([]cache.Digest, len(spec.Suspects))
+	for i, p := range spec.Suspects {
+		progDigests[i] = wm.ProgramDigest(p)
+	}
+	d, err := spec.digest(progDigests)
+	if err != nil {
+		return "", err
+	}
+	return hex.EncodeToString(d[:]), nil
+}
+
+// outcome is one settled grade.
+type outcome struct {
+	rec      *wm.Recognition
+	err      error // live error when executed this process, else rebuilt from errStr
+	errStr   string
+	attempts int
+	skipped  bool
+}
+
+// Job is a journaled corpus job bound to a directory. Open it, Run it
+// (possibly across several processes — each Run picks up where the
+// journal ends), then write the result manifest.
+type Job struct {
+	dir         string
+	spec        Spec
+	digest      cache.Digest
+	progDigests []cache.Digest
+	journal     *journal
+	caches      *wm.FleetCaches
+
+	mu        sync.Mutex
+	outcomes  [][]*outcome
+	completed int // journaled grades, restored + new
+	reused    int // grades restored from the journal at Open
+}
+
+// Open binds a job to dir, creating the directory and journal on first
+// use and replaying an existing journal on resume. A journal written by
+// a different spec (other suspects, keys, or result-affecting options)
+// fails with ErrJournalMismatch.
+func Open(dir string, spec Spec) (*Job, error) {
+	if len(spec.Suspects) == 0 {
+		return nil, errors.New("jobs: a job needs at least one suspect")
+	}
+	if len(spec.Keys) == 0 {
+		return nil, errors.New("jobs: a job needs at least one candidate key")
+	}
+	progDigests := make([]cache.Digest, len(spec.Suspects))
+	for i, p := range spec.Suspects {
+		progDigests[i] = wm.ProgramDigest(p)
+	}
+	digest, err := spec.digest(progDigests)
+	if err != nil {
+		return nil, err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("jobs: create job dir: %w", err)
+	}
+
+	j := &Job{
+		dir: dir, spec: spec, digest: digest, progDigests: progDigests,
+		caches: spec.Opts.Caches,
+	}
+	if j.caches == nil {
+		j.caches = wm.NewFleetCaches(0, 0)
+	}
+	j.outcomes = make([][]*outcome, len(spec.Suspects))
+	for s := range j.outcomes {
+		j.outcomes[s] = make([]*outcome, len(spec.Keys))
+	}
+
+	path := JournalPath(dir)
+	if _, statErr := os.Stat(path); statErr == nil {
+		jr, h, recs, err := openJournal(path, !spec.Opts.NoSync)
+		if err != nil {
+			return nil, err
+		}
+		if h.Job != j.ID() || h.Suspects != len(spec.Suspects) || h.Keys != len(spec.Keys) {
+			jr.Close()
+			return nil, fmt.Errorf("%w: journal job %s (%dx%d), spec job %s (%dx%d)",
+				ErrJournalMismatch, h.Job, h.Suspects, h.Keys,
+				j.ID(), len(spec.Suspects), len(spec.Keys))
+		}
+		for _, r := range recs {
+			rec, err := decodeRecognition(r.Rec)
+			if err != nil {
+				jr.Close()
+				return nil, fmt.Errorf("jobs: journal grade (%d,%d): %w", r.S, r.K, err)
+			}
+			o := &outcome{rec: rec, errStr: r.Err, attempts: r.Attempts, skipped: r.Skipped}
+			if r.Err != "" {
+				o.err = errors.New(r.Err)
+			}
+			// Duplicates can only arise from journals stitched together
+			// by hand; last record wins, matching append order.
+			if j.outcomes[r.S][r.K] == nil {
+				j.completed++
+				j.reused++
+			}
+			j.outcomes[r.S][r.K] = o
+		}
+		j.journal = jr
+		return j, nil
+	}
+
+	jr, err := createJournal(path, journalHeader{
+		V: journalVersion, Type: "header", Job: j.ID(),
+		Suspects: len(spec.Suspects), Keys: len(spec.Keys),
+	}, !spec.Opts.NoSync)
+	if err != nil {
+		return nil, err
+	}
+	j.journal = jr
+	return j, nil
+}
+
+// ID is the job's content address in hex — stable across processes for
+// the same spec.
+func (j *Job) ID() string { return hex.EncodeToString(j.digest[:]) }
+
+// Dir returns the job's directory.
+func (j *Job) Dir() string { return j.dir }
+
+// Reused reports how many grades this process restored from the journal
+// instead of executing — the resume savings.
+func (j *Job) Reused() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.reused
+}
+
+// Progress reports journaled grades vs the matrix size.
+func (j *Job) Progress() (completed, total int) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.completed, len(j.spec.Suspects) * len(j.spec.Keys)
+}
+
+// Close releases the journal. The job directory and its contents stay.
+func (j *Job) Close() error { return j.journal.Close() }
+
+// settle journals one grade and records it in memory; the journal write
+// comes first (write-ahead), so a crash between the two re-reads it from
+// disk next time.
+func (j *Job) settle(s, k int, o *outcome) error {
+	rec := gradeRecord{
+		Type: "grade", S: s, K: k,
+		Attempts: o.attempts, Skipped: o.skipped, Err: o.errStr,
+		Rec: encodeRecognition(o.rec),
+	}
+	if err := j.journal.Append(rec); err != nil {
+		return err
+	}
+	j.mu.Lock()
+	if j.outcomes[s][k] == nil {
+		j.completed++
+	}
+	j.outcomes[s][k] = o
+	n := j.completed
+	j.mu.Unlock()
+	if j.spec.Opts.OnGrade != nil {
+		j.spec.Opts.OnGrade(n)
+	}
+	return nil
+}
+
+// runGrade executes one grade with the retry policy: bounded attempts,
+// exponential backoff with deterministic jitter, cached-failure
+// invalidation before each retry (otherwise a retry would replay the
+// memoized trace error instead of retracing). Returns nil when the job
+// context was cancelled mid-grade — the grade is left unsettled and
+// re-runs on resume.
+func (j *Job) runGrade(ctx context.Context, s, k int) *outcome {
+	opts := j.spec.Opts
+	maxAttempts := opts.Retry.attempts()
+	var rec *wm.Recognition
+	var err error
+	attempt := 0
+	for attempt = 1; ; attempt++ {
+		gctx := ctx
+		cancel := context.CancelFunc(nil)
+		if opts.GradeTimeout > 0 {
+			gctx, cancel = context.WithTimeout(ctx, opts.GradeTimeout)
+		}
+		if opts.gradeHook != nil {
+			if herr := opts.gradeHook(s, k, attempt); herr != nil {
+				rec, err = nil, herr
+			} else {
+				rec, err = j.gradeOnce(gctx, s, k)
+			}
+		} else {
+			rec, err = j.gradeOnce(gctx, s, k)
+		}
+		if cancel != nil {
+			cancel()
+		}
+		if err == nil {
+			break
+		}
+		if ctx != nil && ctx.Err() != nil {
+			return nil // interruption, not failure
+		}
+		if attempt >= maxAttempts || !Retryable(err) {
+			break
+		}
+		if rec == nil {
+			// The failure happened at (or before) the trace: drop the
+			// memoized failure so the retry actually retraces.
+			j.caches.ForgetTrace(j.traceKey(s, k))
+		}
+		opts.Obs.Counter("jobs.retries").Add(1)
+		sleepCtx(ctx, opts.Retry.backoff(j.digest, s, k, attempt))
+	}
+	o := &outcome{rec: rec, err: err, attempts: attempt}
+	if err != nil {
+		o.errStr = err.Error()
+	}
+	return o
+}
+
+func (j *Job) gradeOnce(ctx context.Context, s, k int) (*wm.Recognition, error) {
+	opts := j.spec.Opts
+	return wm.GradePair(j.spec.Suspects[s], j.progDigests[s], j.spec.Keys[k], j.caches, wm.CorpusOpts{
+		ScanWorkers: opts.ScanWorkers,
+		StepLimit:   opts.StepLimit,
+		MaxHeap:     opts.MaxHeap,
+		Prefilter:   opts.Prefilter,
+		Ctx:         ctx,
+	})
+}
+
+func (j *Job) traceKey(s, k int) wm.TraceKey {
+	return wm.TraceKey{
+		Program: j.progDigests[s],
+		Input:   cache.DigestInt64s(j.spec.Keys[k].Input),
+	}
+}
+
+// Run executes every grade the journal does not already hold and
+// returns the assembled result. It is safe to call again after an
+// interruption (in a new process via Open, or the same one): completed
+// grades are never re-executed, and the final Result is bit-identical to
+// an uninterrupted run's. The error is non-nil only when the run could
+// not finish — cancellation (wrapping ctx.Err()) or journal I/O failure;
+// per-grade failures land in the result matrices instead.
+func (j *Job) Run(ctx context.Context) (*Result, error) {
+	opts := j.spec.Opts
+	span := opts.Obs.Start("jobs.run")
+	defer span.Finish()
+
+	M, K := len(j.spec.Suspects), len(j.spec.Keys)
+	traceBefore := j.caches.TraceStats()
+	decryptBefore := j.caches.DecryptStats()
+	reused := j.Reused()
+	opts.Obs.Counter("jobs.grades.total").Add(int64(M * K))
+	opts.Obs.Counter("jobs.resume.reused").Add(int64(reused))
+
+	br := newBreaker(K, opts.Breaker)
+	wave := opts.Breaker.wave()
+	var ran, skipped int64
+
+	type cell struct{ s, k int }
+	var appendErr error
+	var appendOnce sync.Once
+	fail := func(err error) {
+		appendOnce.Do(func() { appendErr = err })
+	}
+
+	for lo := 0; lo < M; lo += wave {
+		hi := lo + wave
+		if hi > M {
+			hi = M
+		}
+		// Breaker state is a pure function of the waves before this one,
+		// walked in suspect order — deterministic at any worker count.
+		br.observe(j.outcomes, max(lo-wave, 0), lo)
+
+		var pending []cell
+		for s := lo; s < hi; s++ {
+			for k := 0; k < K; k++ {
+				if j.outcomes[s][k] != nil {
+					continue
+				}
+				if serr := br.skip(k); serr != nil {
+					o := &outcome{err: serr, errStr: serr.Error(), skipped: true}
+					if err := j.settle(s, k, o); err != nil {
+						return nil, err
+					}
+					skipped++
+					continue
+				}
+				pending = append(pending, cell{s, k})
+			}
+		}
+
+		workers := opts.Workers
+		if workers <= 0 {
+			workers = defaultWorkers()
+		}
+		if workers > len(pending) {
+			workers = len(pending)
+		}
+		if workers <= 1 {
+			for _, c := range pending {
+				if ctx != nil && ctx.Err() != nil {
+					break
+				}
+				if o := j.runGrade(ctx, c.s, c.k); o != nil {
+					if err := j.settle(c.s, c.k, o); err != nil {
+						fail(err)
+						break
+					}
+					ran++
+				}
+			}
+		} else {
+			var next atomic.Int64
+			var wg sync.WaitGroup
+			var ranShard atomic.Int64
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for {
+						if ctx != nil && ctx.Err() != nil {
+							return
+						}
+						i := int(next.Add(1)) - 1
+						if i >= len(pending) {
+							return
+						}
+						c := pending[i]
+						if o := j.runGrade(ctx, c.s, c.k); o != nil {
+							if err := j.settle(c.s, c.k, o); err != nil {
+								fail(err)
+								return
+							}
+							ranShard.Add(1)
+						}
+					}
+				}()
+			}
+			wg.Wait()
+			ran += ranShard.Load()
+		}
+		if appendErr != nil {
+			return nil, appendErr
+		}
+		if ctx != nil && ctx.Err() != nil {
+			return nil, fmt.Errorf("jobs: job %s interrupted: %w", j.ID(), ctx.Err())
+		}
+	}
+
+	opts.Obs.Counter("jobs.grades.run").Add(ran)
+	opts.Obs.Counter("jobs.grades.skipped").Add(skipped)
+	opts.Obs.Counter("jobs.breaker.trips").Add(int64(br.trips))
+	opts.Obs.Counter("jobs.journal.bytes").Add(j.journal.Bytes())
+	opts.Obs.Counter("jobs.journal.records").Add(j.journal.Records())
+
+	res := j.assemble()
+	res.Corpus.TraceStats = j.caches.TraceStats().Sub(traceBefore)
+	res.Corpus.DecryptStats = j.caches.DecryptStats().Sub(decryptBefore)
+	opts.Obs.Counter("jobs.grades.failed").Add(int64(res.Failed))
+	span.Set("suspects", int64(M)).
+		Set("keys", int64(K)).
+		Set("ran", ran).
+		Set("reused", int64(reused)).
+		Set("skipped", skipped).
+		Set("breaker_trips", int64(br.trips))
+	return res, nil
+}
+
+func defaultWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// Result is a finished job: the corpus matrices plus the job-level
+// bookkeeping (attempts, skips, resume savings).
+type Result struct {
+	// Job is the spec's content digest in hex.
+	Job string
+	// Suspects and Keys are the matrix dimensions.
+	Suspects, Keys int
+	// Corpus carries the Recognitions/Errors matrices, bit-identical to
+	// a RecognizeCorpus over the same spec except that breaker-skipped
+	// cells hold a *BreakerOpenError, and cells restored from a journal
+	// carry string-rebuilt errors (message preserved, chain gone). The
+	// cache stats are this Run's deltas — on a resumed run they show
+	// only the traces actually re-run.
+	Corpus *wm.CorpusResult
+	// Attempts[s][k] is how many attempts the grade took (0 for skips).
+	Attempts [][]int
+	// Skipped[s][k] marks breaker skips.
+	Skipped [][]bool
+	// Failed counts cells with no recognition (hard failures + skips);
+	// Reused counts grades restored from the journal by this process.
+	Failed int
+	Reused int
+}
+
+func (j *Job) assemble() *Result {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	M, K := len(j.spec.Suspects), len(j.spec.Keys)
+	res := &Result{
+		Job: j.ID(), Suspects: M, Keys: K,
+		Corpus: &wm.CorpusResult{
+			Recognitions: make([][]*wm.Recognition, M),
+			Errors:       make([][]error, M),
+		},
+		Attempts: make([][]int, M),
+		Skipped:  make([][]bool, M),
+		Reused:   j.reused,
+	}
+	for s := 0; s < M; s++ {
+		res.Corpus.Recognitions[s] = make([]*wm.Recognition, K)
+		res.Corpus.Errors[s] = make([]error, K)
+		res.Attempts[s] = make([]int, K)
+		res.Skipped[s] = make([]bool, K)
+		for k, o := range j.outcomes[s] {
+			if o == nil {
+				continue
+			}
+			res.Corpus.Recognitions[s][k] = o.rec
+			res.Corpus.Errors[s][k] = o.err
+			res.Attempts[s][k] = o.attempts
+			res.Skipped[s][k] = o.skipped
+			if o.rec == nil {
+				res.Failed++
+			}
+		}
+	}
+	return res
+}
+
+// resultFileVersion versions the result manifest format.
+const resultFileVersion = 1
+
+// resultFile is the canonical serialized Result. It deliberately
+// excludes anything that may differ between an uninterrupted run and a
+// crash-resumed one (attempt counts, resume savings, cache stats): the
+// manifest is the artifact two such runs are byte-compared on.
+type resultFile struct {
+	Version  int           `json:"version"`
+	Job      string        `json:"job"`
+	Suspects int           `json:"suspects"`
+	Keys     int           `json:"keys"`
+	Grades   []resultGrade `json:"grades"`
+}
+
+type resultGrade struct {
+	S       int              `json:"s"`
+	K       int              `json:"k"`
+	Skipped bool             `json:"skipped,omitempty"`
+	Err     string           `json:"err,omitempty"`
+	Rec     *recognitionJSON `json:"rec,omitempty"`
+}
+
+// EncodeResult renders the canonical result manifest: grades in (s,k)
+// order, schedule-dependent fields excluded, so the bytes are identical
+// for any two runs (interrupted or not) of the same job.
+func EncodeResult(r *Result) ([]byte, error) {
+	rf := resultFile{
+		Version: resultFileVersion, Job: r.Job,
+		Suspects: r.Suspects, Keys: r.Keys,
+	}
+	for s := 0; s < r.Suspects; s++ {
+		for k := 0; k < r.Keys; k++ {
+			g := resultGrade{
+				S: s, K: k,
+				Skipped: r.Skipped[s][k],
+				Rec:     encodeRecognition(r.Corpus.Recognitions[s][k]),
+			}
+			if err := r.Corpus.Errors[s][k]; err != nil {
+				g.Err = err.Error()
+			}
+			rf.Grades = append(rf.Grades, g)
+		}
+	}
+	b, err := json.MarshalIndent(rf, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("jobs: encode result: %w", err)
+	}
+	return append(b, '\n'), nil
+}
+
+// WriteResultFile publishes the result manifest atomically — temp file,
+// write, sync, rename — in the style of wm.SaveKeyFile: a crash
+// mid-write can never leave a torn manifest at path.
+func WriteResultFile(path string, r *Result) error {
+	b, err := EncodeResult(r)
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("jobs: write result: %w", err)
+	}
+	tmpName := tmp.Name()
+	fail := func(err error) error {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("jobs: write result: %w", err)
+	}
+	if _, err := tmp.Write(b); err != nil {
+		return fail(err)
+	}
+	if err := tmp.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("jobs: write result: %w", err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("jobs: write result: %w", err)
+	}
+	return nil
+}
+
+// Execute is the one-shot convenience the CLI and daemon share: open
+// (or resume) the job in dir, run it, write the result manifest, close.
+func Execute(ctx context.Context, dir string, spec Spec) (*Result, error) {
+	j, err := Open(dir, spec)
+	if err != nil {
+		return nil, err
+	}
+	defer j.Close()
+	res, err := j.Run(ctx)
+	if err != nil {
+		return nil, err
+	}
+	if err := WriteResultFile(ResultPath(dir), res); err != nil {
+		return nil, err
+	}
+	return res, nil
+}

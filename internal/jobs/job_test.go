@@ -1,0 +1,334 @@
+package jobs
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"math/rand"
+	"os"
+	"testing"
+
+	"pathmark/internal/obs"
+	"pathmark/internal/wm"
+)
+
+// TestJobMatchesRecognizeCorpus is the parity contract: a journaled job
+// over a spec produces Recognitions bit-identical to RecognizeCorpus
+// over the same suspects, keys, and options — the jobs layer changes
+// durability, never results.
+func TestJobMatchesRecognizeCorpus(t *testing.T) {
+	suspects, keys, ws := fixture(t)
+	res := mustExecute(t, t.TempDir(), baseSpec(t))
+
+	corpus, err := wm.RecognizeCorpus(suspects, keys, wm.CorpusOpts{})
+	if err != nil {
+		t.Fatalf("RecognizeCorpus: %v", err)
+	}
+	for s := range suspects {
+		for k := range keys {
+			if !sameRec(res.Corpus.Recognitions[s][k], corpus.Recognitions[s][k]) {
+				t.Errorf("cell (%d,%d): job and corpus recognitions differ", s, k)
+			}
+			jobErr, corpusErr := res.Corpus.Errors[s][k], corpus.Errors[s][k]
+			if (jobErr == nil) != (corpusErr == nil) {
+				t.Errorf("cell (%d,%d): error presence differs: job %v, corpus %v", s, k, jobErr, corpusErr)
+			}
+		}
+	}
+	// Sanity: the fingerprinted copies actually recognize under the real
+	// key and not under the decoys.
+	for s := range ws {
+		if !res.Corpus.Recognitions[s][0].Matches(ws[s]) {
+			t.Errorf("copy %d does not recognize its watermark via the job path", s)
+		}
+		if res.Corpus.Recognitions[s][1].Matches(ws[s]) {
+			t.Errorf("copy %d matches under the wrong-cipher decoy", s)
+		}
+	}
+	if res.Failed != 0 || res.Reused != 0 {
+		t.Errorf("clean run: Failed=%d Reused=%d, want 0,0", res.Failed, res.Reused)
+	}
+}
+
+// TestJobDeterministicAcrossWorkers: the result manifest is
+// byte-identical at any worker count.
+func TestJobDeterministicAcrossWorkers(t *testing.T) {
+	var ref []byte
+	for _, workers := range []int{1, 4} {
+		spec := baseSpec(t)
+		spec.Opts.Workers = workers
+		b := mustEncode(t, mustExecute(t, t.TempDir(), spec))
+		if ref == nil {
+			ref = b
+		} else if !bytes.Equal(ref, b) {
+			t.Errorf("workers=%d: result manifest differs from workers=1", workers)
+		}
+	}
+}
+
+// abortAt runs the job in dir, cancelling the run once n grades have
+// been journaled — the in-process stand-in for kill -9 at a checkpoint
+// (the on-disk state is the same: a journal with >= n records and no
+// result manifest). Returns the number of grades journaled at exit.
+func abortAt(t *testing.T, dir string, spec Spec, n int) int {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	spec.Opts.OnGrade = func(done int) {
+		if done >= n {
+			cancel()
+		}
+	}
+	j, err := Open(dir, spec)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer j.Close()
+	if _, err := j.Run(ctx); err == nil {
+		t.Fatal("aborted run reported success")
+	} else if !errors.Is(err, context.Canceled) {
+		t.Fatalf("aborted run: want context.Canceled in chain, got %v", err)
+	}
+	done, _ := j.Progress()
+	return done
+}
+
+// TestJobCrashResumeBitIdentical is the acceptance property: interrupt a
+// job at a randomized checkpoint, resume it in a fresh Job (fresh
+// caches, as a new process would have), and the final result manifest is
+// byte-identical to an uninterrupted run's — with completed grades never
+// re-executed and each executed grade tracing exactly once.
+func TestJobCrashResumeBitIdentical(t *testing.T) {
+	refDir := t.TempDir()
+	ref := mustExecute(t, refDir, baseSpec(t))
+	refBytes := mustEncode(t, ref)
+	onDisk, err := os.ReadFile(ResultPath(refDir))
+	if err != nil || !bytes.Equal(onDisk, refBytes) {
+		t.Fatalf("result manifest on disk differs from EncodeResult (err=%v)", err)
+	}
+
+	total := ref.Suspects * ref.Keys
+	rng := rand.New(rand.NewSource(20260806))
+	for trial := 0; trial < 3; trial++ {
+		checkpoint := 1 + rng.Intn(total-1)
+		dir := t.TempDir()
+		spec := baseSpec(t)
+		spec.Opts.Workers = 1 + rng.Intn(4)
+		journaled := abortAt(t, dir, spec, checkpoint)
+
+		if trial == 0 {
+			// Harden one trial further: tear the journal tail, as a crash
+			// mid-append would.
+			f, err := os.OpenFile(JournalPath(dir), os.O_APPEND|os.O_WRONLY, 0o644)
+			if err != nil {
+				t.Fatal(err)
+			}
+			f.WriteString(`{"type":"grade","s":0,"k":`)
+			f.Close()
+		}
+
+		reg := obs.NewRegistry()
+		resumeSpec := baseSpec(t)
+		resumeSpec.Opts.Workers = 1 + rng.Intn(4)
+		resumeSpec.Opts.Obs = reg
+		res, err := Execute(context.Background(), dir, resumeSpec)
+		if err != nil {
+			t.Fatalf("trial %d: resume: %v", trial, err)
+		}
+
+		if got := mustEncode(t, res); !bytes.Equal(got, refBytes) {
+			t.Errorf("trial %d (checkpoint %d): resumed result differs from uninterrupted run", trial, checkpoint)
+		}
+		if fileBytes, err := os.ReadFile(ResultPath(dir)); err != nil || !bytes.Equal(fileBytes, refBytes) {
+			t.Errorf("trial %d: published manifest differs (err=%v)", trial, err)
+		}
+
+		// No duplicated grades: journal-restored + executed-this-run
+		// covers the matrix exactly once.
+		reused := int(reg.Counter("jobs.resume.reused").Value())
+		ran := int(reg.Counter("jobs.grades.run").Value())
+		if reused < checkpoint || reused > journaled {
+			t.Errorf("trial %d: reused %d grades, journaled %d at checkpoint %d", trial, reused, journaled, checkpoint)
+		}
+		if reused+ran != total {
+			t.Errorf("trial %d: reused %d + ran %d != total %d (grades duplicated or lost)", trial, reused, ran, total)
+		}
+		// No re-tracing of completed grades: every trace lookup this run
+		// came from an executed grade (restored grades never touch the
+		// trace cache), and lookups dedupe to at most one trace per
+		// distinct (suspect, input) pair.
+		ts := res.Corpus.TraceStats
+		if ts.Lookups() != int64(ran) {
+			t.Errorf("trial %d: %d trace lookups for %d executed grades — journaled grades were re-traced", trial, ts.Lookups(), ran)
+		}
+		if res.Reused != reused {
+			t.Errorf("trial %d: Result.Reused=%d, counter says %d", trial, res.Reused, reused)
+		}
+	}
+}
+
+// TestJobResumeAfterCompletion: re-running a finished job executes
+// nothing and reproduces the manifest.
+func TestJobResumeAfterCompletion(t *testing.T) {
+	dir := t.TempDir()
+	refBytes := mustEncode(t, mustExecute(t, dir, baseSpec(t)))
+
+	reg := obs.NewRegistry()
+	spec := baseSpec(t)
+	spec.Opts.Obs = reg
+	res, err := Execute(context.Background(), dir, spec)
+	if err != nil {
+		t.Fatalf("re-run: %v", err)
+	}
+	if got := mustEncode(t, res); !bytes.Equal(got, refBytes) {
+		t.Error("re-run of finished job changed the manifest")
+	}
+	if ran := reg.Counter("jobs.grades.run").Value(); ran != 0 {
+		t.Errorf("re-run executed %d grades, want 0", ran)
+	}
+	if res.Corpus.TraceStats.Lookups() != 0 {
+		t.Errorf("re-run touched the trace cache: %+v", res.Corpus.TraceStats)
+	}
+}
+
+// TestJournalMismatchRefused: resuming over a journal written by a
+// different spec fails with the typed error rather than mixing results.
+func TestJournalMismatchRefused(t *testing.T) {
+	dir := t.TempDir()
+	mustExecute(t, dir, baseSpec(t))
+
+	// Different result-affecting option -> different job digest.
+	other := baseSpec(t)
+	other.Opts.StepLimit = 12345
+	if _, err := Open(dir, other); !errors.Is(err, ErrJournalMismatch) {
+		t.Errorf("step-limit change: got %v, want ErrJournalMismatch", err)
+	}
+
+	// Different key set.
+	fewer := baseSpec(t)
+	fewer.Keys = fewer.Keys[:2]
+	if _, err := Open(dir, fewer); !errors.Is(err, ErrJournalMismatch) {
+		t.Errorf("key-set change: got %v, want ErrJournalMismatch", err)
+	}
+
+	// Scheduling knobs are NOT part of the identity: same job, different
+	// workers resumes fine.
+	sched := baseSpec(t)
+	sched.Opts.Workers = 7
+	j, err := Open(dir, sched)
+	if err != nil {
+		t.Errorf("worker-count change refused: %v", err)
+	} else {
+		j.Close()
+	}
+}
+
+// TestJobBreaker drives the circuit breaker with an injected poisoned
+// key: after Threshold consecutive hard failures (in suspect order,
+// evaluated at wave boundaries) the key's remaining grades are recorded
+// as typed skips — deterministically at any worker count, and stably
+// across crash/resume.
+func TestJobBreaker(t *testing.T) {
+	poison := func(s, k, attempt int) error {
+		if k == 1 {
+			return &wm.StageError{Stage: "trace", Worker: -1, Cause: errors.New("injected poison")}
+		}
+		return nil
+	}
+	mkSpec := func(workers int) Spec {
+		spec := baseSpec(t)
+		spec.Opts.Workers = workers
+		spec.Opts.Retry = RetryPolicy{MaxAttempts: 1}
+		spec.Opts.Breaker = BreakerPolicy{Threshold: 2, Wave: 2}
+		spec.Opts.gradeHook = poison
+		return spec
+	}
+
+	reg := obs.NewRegistry()
+	spec := mkSpec(1)
+	spec.Opts.Obs = reg
+	res := mustExecute(t, t.TempDir(), spec)
+	refBytes := mustEncode(t, res)
+
+	// Waves of 2 suspects: suspects 0-1 fail key 1 (threshold reached),
+	// so suspects 2..5 skip it — 4 skips, 2 hard failures.
+	skips := 0
+	for s := 0; s < res.Suspects; s++ {
+		for k := 0; k < res.Keys; k++ {
+			if res.Skipped[s][k] {
+				skips++
+				var boe *BreakerOpenError
+				if !errors.As(res.Corpus.Errors[s][k], &boe) || boe.Key != 1 {
+					t.Errorf("skip (%d,%d): want BreakerOpenError for key 1, got %v", s, k, res.Corpus.Errors[s][k])
+				}
+				if s < 2 || k != 1 {
+					t.Errorf("unexpected skip at (%d,%d)", s, k)
+				}
+			}
+		}
+	}
+	if skips != 4 {
+		t.Errorf("got %d skips, want 4", skips)
+	}
+	if res.Corpus.Recognitions[0][1] != nil || res.Corpus.Errors[0][1] == nil {
+		t.Error("poisoned grades before the trip must record their hard failure")
+	}
+	if trips := reg.Counter("jobs.breaker.trips").Value(); trips != 1 {
+		t.Errorf("jobs.breaker.trips = %d, want 1", trips)
+	}
+	if skipped := reg.Counter("jobs.grades.skipped").Value(); skipped != 4 {
+		t.Errorf("jobs.grades.skipped = %d, want 4", skipped)
+	}
+
+	// Deterministic at other worker counts.
+	if b := mustEncode(t, mustExecute(t, t.TempDir(), mkSpec(4))); !bytes.Equal(b, refBytes) {
+		t.Error("breaker outcome differs at workers=4")
+	}
+
+	// And across crash/resume: abort mid-run, resume, same bytes.
+	dir := t.TempDir()
+	abortAt(t, dir, mkSpec(2), 5)
+	resumed, err := Execute(context.Background(), dir, mkSpec(3))
+	if err != nil {
+		t.Fatalf("resume with breaker: %v", err)
+	}
+	if b := mustEncode(t, resumed); !bytes.Equal(b, refBytes) {
+		t.Error("breaker outcome differs after crash/resume")
+	}
+}
+
+// TestBreakerDisabled: Threshold < 0 turns the breaker off — every grade
+// runs, even against a fully poisoned key.
+func TestBreakerDisabled(t *testing.T) {
+	spec := baseSpec(t)
+	spec.Opts.Retry = RetryPolicy{MaxAttempts: 1}
+	spec.Opts.Breaker = BreakerPolicy{Threshold: -1, Wave: 2}
+	spec.Opts.gradeHook = func(s, k, attempt int) error {
+		if k == 1 {
+			return &wm.StageError{Stage: "trace", Worker: -1, Cause: errors.New("injected poison")}
+		}
+		return nil
+	}
+	res := mustExecute(t, t.TempDir(), spec)
+	for s := 0; s < res.Suspects; s++ {
+		if res.Skipped[s][1] {
+			t.Fatalf("disabled breaker still skipped (%d,1)", s)
+		}
+		if res.Corpus.Errors[s][1] == nil {
+			t.Fatalf("poisoned grade (%d,1) lost its failure", s)
+		}
+	}
+	if res.Failed != res.Suspects {
+		t.Errorf("Failed = %d, want %d", res.Failed, res.Suspects)
+	}
+}
+
+func TestOpenValidation(t *testing.T) {
+	suspects, keys, _ := fixture(t)
+	if _, err := Open(t.TempDir(), Spec{Keys: keys}); err == nil {
+		t.Error("no suspects accepted")
+	}
+	if _, err := Open(t.TempDir(), Spec{Suspects: suspects}); err == nil {
+		t.Error("no keys accepted")
+	}
+}

@@ -1,0 +1,100 @@
+package jobs
+
+import (
+	"context"
+	"math/big"
+	"reflect"
+	"sync"
+	"testing"
+
+	"pathmark/internal/feistel"
+	"pathmark/internal/vm"
+	"pathmark/internal/wm"
+	"pathmark/internal/workloads"
+)
+
+// The shared corpus fixture: six suspects (five fingerprinted copies of
+// one host plus the unmarked host itself) against three candidate keys
+// (the fleet's real key, a wrong-cipher decoy, and a wrong-input decoy).
+// Built once per test binary — embedding is the expensive part.
+var (
+	fixOnce     sync.Once
+	fixErr      error
+	fixSuspects []*vm.Program
+	fixKeys     []*wm.Key
+	fixWs       []*big.Int
+)
+
+func fixture(t testing.TB) ([]*vm.Program, []*wm.Key, []*big.Int) {
+	t.Helper()
+	fixOnce.Do(func() {
+		host := workloads.RandomProgram(workloads.RandProgOptions{Seed: 9100})
+		real, err := wm.NewKey(nil, feistel.KeyFromUint64(11, 22), 64)
+		if err != nil {
+			fixErr = err
+			return
+		}
+		for i := 0; i < 5; i++ {
+			fixWs = append(fixWs, wm.RandomWatermark(64, uint64(2000+i)))
+		}
+		copies, err := wm.EmbedBatch(host, fixWs, real, wm.BatchOptions{
+			EmbedOptions: wm.EmbedOptions{Seed: 17},
+		})
+		if err != nil {
+			fixErr = err
+			return
+		}
+		for _, c := range copies {
+			fixSuspects = append(fixSuspects, c.Program)
+		}
+		fixSuspects = append(fixSuspects, host)
+
+		decoyCipher, err := wm.NewKey(nil, feistel.KeyFromUint64(99, 7), 64)
+		if err != nil {
+			fixErr = err
+			return
+		}
+		decoyInput, err := wm.NewKey([]int64{5, 6}, feistel.KeyFromUint64(11, 22), 64)
+		if err != nil {
+			fixErr = err
+			return
+		}
+		fixKeys = []*wm.Key{real, decoyCipher, decoyInput}
+	})
+	if fixErr != nil {
+		t.Fatalf("building corpus fixture: %v", fixErr)
+	}
+	return fixSuspects, fixKeys, fixWs
+}
+
+// baseSpec returns a fresh spec over the fixture with fast test options
+// (no fsync, serial scans).
+func baseSpec(t testing.TB) Spec {
+	suspects, keys, _ := fixture(t)
+	return Spec{Suspects: suspects, Keys: keys, Opts: Options{NoSync: true}}
+}
+
+// mustEncode encodes a result or fails the test.
+func mustEncode(t testing.TB, r *Result) []byte {
+	t.Helper()
+	b, err := EncodeResult(r)
+	if err != nil {
+		t.Fatalf("EncodeResult: %v", err)
+	}
+	return b
+}
+
+// mustExecute runs a job end to end in dir.
+func mustExecute(t testing.TB, dir string, spec Spec) *Result {
+	t.Helper()
+	res, err := Execute(context.Background(), dir, spec)
+	if err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	return res
+}
+
+// sameRec compares two recognitions via their canonical serialized form.
+func sameRec(a, b *wm.Recognition) bool {
+	return reflect.DeepEqual(encodeRecognition(a), encodeRecognition(b))
+}

@@ -1,0 +1,227 @@
+package jobs
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// The journal is the job's write-ahead log: one JSON object per line,
+// first a header identifying the job (content digest + matrix
+// dimensions), then one grade record per completed (suspect, key) cell,
+// appended and fsync'd the moment the grade finishes. Crash recovery is
+// line-oriented: a process killed mid-append leaves at most one torn
+// line at the tail, which replay discards (and truncates away before the
+// next append, so the file never accretes garbage mid-stream). Records
+// carry everything needed to reconstruct the grade's outcome — the
+// serialized recognition, the error string, the attempt count — so a
+// resumed run re-executes only the cells with no record.
+
+// journalVersion is bumped on any incompatible format change; replay
+// refuses other versions rather than guessing.
+const journalVersion = 1
+
+// maxJournalDim bounds the suspect/key counts a journal header may
+// declare. Replay allocates an outcome matrix from these dimensions, so
+// an unvalidated header in a corrupted file could demand gigabytes; no
+// realistic corpus comes near 2^20 on a side.
+const maxJournalDim = 1 << 20
+
+// journalHeader is the journal's first line.
+type journalHeader struct {
+	V        int    `json:"v"`
+	Type     string `json:"type"` // "header"
+	Job      string `json:"job"`  // hex spec digest
+	Suspects int    `json:"suspects"`
+	Keys     int    `json:"keys"`
+}
+
+// gradeRecord journals one completed grade. Skipped marks a breaker
+// skip; Err is the final attempt's error message ("" = clean success).
+type gradeRecord struct {
+	Type     string           `json:"type"` // "grade"
+	S        int              `json:"s"`
+	K        int              `json:"k"`
+	Attempts int              `json:"attempts,omitempty"`
+	Skipped  bool             `json:"skipped,omitempty"`
+	Err      string           `json:"err,omitempty"`
+	Rec      *recognitionJSON `json:"rec,omitempty"`
+}
+
+// ErrJournalMismatch reports a journal whose header does not match the
+// job spec being opened over it — a different corpus, key set, or
+// grading options. Resuming over it would silently mix two jobs'
+// results, so Open refuses.
+var ErrJournalMismatch = errors.New("jobs: journal belongs to a different job")
+
+// decodeJournal parses journal bytes into the header and grade records,
+// tolerating a torn tail: parsing stops at the first malformed or
+// unterminated line and good reports the byte length of the valid
+// prefix. Grade records with out-of-range coordinates also stop the
+// replay (they cannot belong to this job, so everything after them is
+// suspect). The error is non-nil only when no usable header exists —
+// partial grade data is recoverable state, a missing header is not.
+func decodeJournal(data []byte) (h journalHeader, recs []gradeRecord, good int64, err error) {
+	line, rest, ok := cutLine(data)
+	if !ok {
+		return h, nil, 0, errors.New("jobs: journal has no complete header line")
+	}
+	if err := json.Unmarshal(line, &h); err != nil {
+		return h, nil, 0, fmt.Errorf("jobs: journal header: %w", err)
+	}
+	switch {
+	case h.Type != "header":
+		return h, nil, 0, errors.New("jobs: journal does not start with a header record")
+	case h.V != journalVersion:
+		return h, nil, 0, fmt.Errorf("jobs: journal version %d, want %d", h.V, journalVersion)
+	case h.Suspects <= 0 || h.Suspects > maxJournalDim || h.Keys <= 0 || h.Keys > maxJournalDim:
+		return h, nil, 0, fmt.Errorf("jobs: journal dimensions %dx%d out of range", h.Suspects, h.Keys)
+	}
+	good = int64(len(data) - len(rest))
+	data = rest
+	for {
+		line, rest, ok := cutLine(data)
+		if !ok {
+			return h, recs, good, nil // torn or absent tail — done
+		}
+		var r gradeRecord
+		if json.Unmarshal(line, &r) != nil || r.Type != "grade" ||
+			r.S < 0 || r.S >= h.Suspects || r.K < 0 || r.K >= h.Keys {
+			return h, recs, good, nil // corruption — discard the rest
+		}
+		recs = append(recs, r)
+		good += int64(len(data) - len(rest))
+		data = rest
+	}
+}
+
+// cutLine splits data at the first newline; ok is false when no complete
+// (newline-terminated) line remains.
+func cutLine(data []byte) (line, rest []byte, ok bool) {
+	i := bytes.IndexByte(data, '\n')
+	if i < 0 {
+		return nil, nil, false
+	}
+	return data[:i], data[i+1:], true
+}
+
+// journal is the append side of the write-ahead log. Append is
+// serialized by a mutex — grades from concurrent workers interleave at
+// record granularity, never mid-line.
+type journal struct {
+	mu      sync.Mutex
+	f       *os.File
+	sync    bool
+	bytes   int64
+	records int64
+}
+
+// createJournal starts a fresh journal at path with the given header.
+// The header is synced before the first grade can be appended, so a
+// journal on disk always identifies its job.
+func createJournal(path string, h journalHeader, syncEach bool) (*journal, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("jobs: create journal: %w", err)
+	}
+	j := &journal{f: f, sync: syncEach}
+	if err := j.appendLine(h); err != nil {
+		f.Close()
+		os.Remove(path)
+		return nil, err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("jobs: sync journal header: %w", err)
+	}
+	return j, nil
+}
+
+// openJournal replays an existing journal and reopens it for append,
+// truncating any torn tail first so new records never concatenate onto a
+// partial line.
+func openJournal(path string, syncEach bool) (*journal, journalHeader, []gradeRecord, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, journalHeader{}, nil, fmt.Errorf("jobs: read journal: %w", err)
+	}
+	h, recs, good, err := decodeJournal(data)
+	if err != nil {
+		return nil, h, nil, err
+	}
+	if good < int64(len(data)) {
+		if err := os.Truncate(path, good); err != nil {
+			return nil, h, nil, fmt.Errorf("jobs: truncate torn journal tail: %w", err)
+		}
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, h, nil, fmt.Errorf("jobs: reopen journal: %w", err)
+	}
+	return &journal{f: f, sync: syncEach, bytes: good, records: int64(len(recs))}, h, recs, nil
+}
+
+// Append journals one grade record, fsync'ing before returning (unless
+// the journal was opened with sync off). Once Append returns, the grade
+// survives kill -9.
+func (j *journal) Append(r gradeRecord) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if err := j.appendLine(r); err != nil {
+		return err
+	}
+	if j.sync {
+		if err := j.f.Sync(); err != nil {
+			return fmt.Errorf("jobs: sync journal: %w", err)
+		}
+	}
+	j.records++
+	return nil
+}
+
+func (j *journal) appendLine(v any) error {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("jobs: encode journal record: %w", err)
+	}
+	b = append(b, '\n')
+	if _, err := j.f.Write(b); err != nil {
+		return fmt.Errorf("jobs: append journal record: %w", err)
+	}
+	j.bytes += int64(len(b))
+	return nil
+}
+
+// Bytes and Records report the journal's current size, for the
+// jobs.journal.* observability counters.
+func (j *journal) Bytes() int64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.bytes
+}
+
+func (j *journal) Records() int64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.records
+}
+
+func (j *journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	err := j.f.Close()
+	j.f = nil
+	return err
+}
+
+// JournalPath and ResultPath name the two files a job keeps in its
+// directory.
+func JournalPath(dir string) string { return filepath.Join(dir, "journal.jsonl") }
+func ResultPath(dir string) string  { return filepath.Join(dir, "result.json") }

@@ -1,0 +1,146 @@
+// Package jobs wraps corpus recognition into a crash-safe, journaled
+// job: every (suspect, key) grade is appended to a write-ahead JSONL
+// journal the moment it completes, so a process killed mid-scan resumes
+// from the journal and produces a result bit-identical to an
+// uninterrupted run — completed grades are never re-traced, in-flight
+// ones are retried. Per-grade execution gets a bounded retry policy with
+// deterministic backoff jitter, and a per-key circuit breaker stops
+// burning trace budget on keys that fail hard across consecutive
+// suspects. The pathmark serve daemon and the fleet grade CLI are thin
+// shells over this package.
+package jobs
+
+import (
+	"errors"
+	"math/big"
+
+	"pathmark/internal/crt"
+	"pathmark/internal/wm"
+)
+
+// This file defines the canonical JSON form of a recognition — the shape
+// stored in journal records and result manifests. The encoding must
+// round-trip exactly: resume equivalence is judged on serialized bytes,
+// so any field that decodes differently than it encoded would make a
+// resumed run diverge from an uninterrupted one. big.Ints travel as
+// decimal strings (JSON numbers would lose precision past 2^53), and
+// errors travel as their strings (the journal cannot resurrect live Go
+// values, only evidence).
+
+// statementJSON is crt.Statement: watermark ≡ X (mod primes[I..J]).
+type statementJSON struct {
+	I int    `json:"i"`
+	J int    `json:"j"`
+	X uint64 `json:"x"`
+}
+
+// stageErrorJSON is a recovered wm.StageError; Cause is flattened to its
+// message since a journal replay cannot rebuild the original error chain.
+type stageErrorJSON struct {
+	Stage  string `json:"stage"`
+	Worker int    `json:"worker"`
+	Cause  string `json:"cause,omitempty"`
+}
+
+// recognitionJSON is the canonical serialized wm.Recognition.
+type recognitionJSON struct {
+	Watermark         string           `json:"watermark,omitempty"` // decimal; "" = nil
+	Modulus           string           `json:"modulus,omitempty"`   // decimal; "" = nil
+	FullCoverage      bool             `json:"full_coverage,omitempty"`
+	Windows           int              `json:"windows,omitempty"`
+	ValidStatements   int              `json:"valid_statements,omitempty"`
+	UniqueStatements  int              `json:"unique_statements,omitempty"`
+	VotedOut          int              `json:"voted_out,omitempty"`
+	Survivors         int              `json:"survivors,omitempty"`
+	TraceBits         int              `json:"trace_bits,omitempty"`
+	PrefilterRejected int              `json:"prefilter_rejected,omitempty"`
+	Surviving         []statementJSON  `json:"surviving,omitempty"`
+	Confidence        float64          `json:"confidence,omitempty"`
+	Degraded          bool             `json:"degraded,omitempty"`
+	StageErrors       []stageErrorJSON `json:"stage_errors,omitempty"`
+}
+
+func encodeRecognition(r *wm.Recognition) *recognitionJSON {
+	if r == nil {
+		return nil
+	}
+	j := &recognitionJSON{
+		FullCoverage:      r.FullCoverage,
+		Windows:           r.Windows,
+		ValidStatements:   r.ValidStatements,
+		UniqueStatements:  r.UniqueStatements,
+		VotedOut:          r.VotedOut,
+		Survivors:         r.Survivors,
+		TraceBits:         r.TraceBits,
+		PrefilterRejected: r.PrefilterRejected,
+		Confidence:        r.Confidence,
+		Degraded:          r.Degraded,
+	}
+	if r.Watermark != nil {
+		j.Watermark = r.Watermark.String()
+	}
+	if r.Modulus != nil {
+		j.Modulus = r.Modulus.String()
+	}
+	for _, s := range r.Surviving {
+		j.Surviving = append(j.Surviving, statementJSON{I: s.I, J: s.J, X: s.X})
+	}
+	for _, se := range r.StageErrors {
+		ej := stageErrorJSON{Stage: se.Stage, Worker: se.Worker}
+		if se.Cause != nil {
+			ej.Cause = se.Cause.Error()
+		}
+		j.StageErrors = append(j.StageErrors, ej)
+	}
+	return j
+}
+
+// decodeRecognition rebuilds a wm.Recognition from its canonical form.
+// The result re-encodes to identical JSON; StageError causes come back
+// as plain string errors (message preserved, chain gone).
+func decodeRecognition(j *recognitionJSON) (*wm.Recognition, error) {
+	if j == nil {
+		return nil, nil
+	}
+	r := &wm.Recognition{
+		FullCoverage:      j.FullCoverage,
+		Windows:           j.Windows,
+		ValidStatements:   j.ValidStatements,
+		UniqueStatements:  j.UniqueStatements,
+		VotedOut:          j.VotedOut,
+		Survivors:         j.Survivors,
+		TraceBits:         j.TraceBits,
+		PrefilterRejected: j.PrefilterRejected,
+		Confidence:        j.Confidence,
+		Degraded:          j.Degraded,
+	}
+	var err error
+	if r.Watermark, err = decodeBig(j.Watermark); err != nil {
+		return nil, errors.New("jobs: recognition watermark is not a decimal integer")
+	}
+	if r.Modulus, err = decodeBig(j.Modulus); err != nil {
+		return nil, errors.New("jobs: recognition modulus is not a decimal integer")
+	}
+	for _, s := range j.Surviving {
+		r.Surviving = append(r.Surviving, crt.Statement{I: s.I, J: s.J, X: s.X})
+	}
+	for _, se := range j.StageErrors {
+		rse := &wm.StageError{Stage: se.Stage, Worker: se.Worker}
+		if se.Cause != "" {
+			rse.Cause = errors.New(se.Cause)
+		}
+		r.StageErrors = append(r.StageErrors, rse)
+	}
+	return r, nil
+}
+
+func decodeBig(s string) (*big.Int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	v, ok := new(big.Int).SetString(s, 10)
+	if !ok {
+		return nil, errors.New("bad integer")
+	}
+	return v, nil
+}

@@ -1,0 +1,166 @@
+package wm
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+
+	"pathmark/internal/vm"
+)
+
+// TestTypedErrorsSurviveWrapping is the retry-boundary contract: every
+// typed error in the catalog must stay classifiable via errors.Is /
+// errors.As after being wrapped in multiple fmt.Errorf("%w") layers — the
+// exact shape the jobs retry loop produces ("grade attempt 2/3: ...").
+// A typed error that loses its identity under wrapping silently turns a
+// terminal failure into an infinitely-retried one (or vice versa).
+func TestTypedErrorsSurviveWrapping(t *testing.T) {
+	// rewrap buries err under three layers of the kinds of wrapping the
+	// pipeline and the jobs layer apply.
+	rewrap := func(err error) error {
+		err = fmt.Errorf("corpus trace failed: %w", err)
+		err = fmt.Errorf("jobs: grade (3,1) attempt 2/3: %w", err)
+		return fmt.Errorf("jobs: job j-abc: %w", err)
+	}
+
+	stepErr := &vm.ResourceError{Resource: "steps", Limit: 100, Used: 100, Cause: vm.ErrStepLimit}
+	heapErr := &vm.ResourceError{Resource: "heap", Limit: 16, Used: 17, Cause: vm.ErrHeapLimit}
+	ctxErr := &vm.ResourceError{Resource: "context", Cause: context.DeadlineExceeded}
+
+	cases := []struct {
+		name string
+		err  error
+		// what errors.As must still find, and errors.Is sentinels that
+		// must still hold, through the rewrap chain
+		asStage    bool
+		asResource bool
+		asKeyFile  bool
+		isSentinel error
+	}{
+		{
+			name:       "stage wrapping step-limit resource error",
+			err:        &StageError{Stage: "trace", Worker: -1, Cause: fmt.Errorf("recognition trace failed: %w", stepErr)},
+			asStage:    true,
+			asResource: true,
+			isSentinel: vm.ErrStepLimit,
+		},
+		{
+			name:       "stage wrapping heap-limit resource error",
+			err:        &StageError{Stage: "trace", Worker: -1, Cause: heapErr},
+			asStage:    true,
+			asResource: true,
+			isSentinel: vm.ErrHeapLimit,
+		},
+		{
+			name:       "bare resource error (context deadline)",
+			err:        ctxErr,
+			asResource: true,
+			isSentinel: context.DeadlineExceeded,
+		},
+		{
+			name:       "stage wrapping cancelled context",
+			err:        &StageError{Stage: "corpus", Worker: -1, Cause: context.Canceled},
+			asStage:    true,
+			isSentinel: context.Canceled,
+		},
+		{
+			name:      "key file error with cause",
+			err:       &KeyFileError{Field: "primes", Offset: 42, Msg: "invalid prime basis", Cause: errors.New("not prime")},
+			asKeyFile: true,
+		},
+		{
+			name:      "key file error without cause",
+			err:       &KeyFileError{Offset: -1, Msg: "truncated"},
+			asKeyFile: true,
+		},
+		{
+			name:    "scan worker stage error",
+			err:     &StageError{Stage: "scan", Worker: 3, Cause: errors.New("recovered scan panic on chunk 7: boom")},
+			asStage: true,
+		},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			wrapped := rewrap(tc.err)
+
+			var se *StageError
+			if got := errors.As(wrapped, &se); got != tc.asStage {
+				t.Errorf("errors.As(*StageError) = %v, want %v (err: %v)", got, tc.asStage, wrapped)
+			} else if got && se.Stage == "" {
+				t.Errorf("recovered StageError lost its stage: %+v", se)
+			}
+
+			var re *vm.ResourceError
+			if got := errors.As(wrapped, &re); got != tc.asResource {
+				t.Errorf("errors.As(*vm.ResourceError) = %v, want %v (err: %v)", got, tc.asResource, wrapped)
+			} else if got && re.Resource == "" {
+				t.Errorf("recovered ResourceError lost its resource: %+v", re)
+			}
+
+			var kfe *KeyFileError
+			if got := errors.As(wrapped, &kfe); got != tc.asKeyFile {
+				t.Errorf("errors.As(*KeyFileError) = %v, want %v (err: %v)", got, tc.asKeyFile, wrapped)
+			}
+
+			if tc.isSentinel != nil && !errors.Is(wrapped, tc.isSentinel) {
+				t.Errorf("errors.Is(%v) lost through wrapping: %v", tc.isSentinel, wrapped)
+			}
+		})
+	}
+}
+
+// TestPipelineErrorsAreWrappedTyped drives the real pipeline into each
+// failure mode and asserts the error that comes out the far end is still
+// the typed one — no fmt.Errorf("%v") flattening anywhere on the path.
+func TestPipelineErrorsAreWrappedTyped(t *testing.T) {
+	host := vm.MustAssemble(gcdSrc)
+	key := testKey(t, nil, 64)
+
+	t.Run("fuel exhaustion is StageError+ResourceError+ErrStepLimit", func(t *testing.T) {
+		_, err := RecognizeWithOpts(host, key, RecognizeOpts{StepLimit: 1})
+		if err == nil {
+			t.Fatal("starved trace should fail")
+		}
+		err = fmt.Errorf("retry boundary: %w", err)
+		var se *StageError
+		var re *vm.ResourceError
+		if !errors.As(err, &se) || se.Stage != "trace" {
+			t.Errorf("want trace StageError, got %v", err)
+		}
+		if !errors.As(err, &re) || !errors.Is(err, vm.ErrStepLimit) {
+			t.Errorf("want ResourceError wrapping ErrStepLimit, got %v", err)
+		}
+	})
+
+	t.Run("cancelled corpus is StageError+context.Canceled", func(t *testing.T) {
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		_, err := RecognizeCorpus([]*vm.Program{host}, []*Key{key}, CorpusOpts{Ctx: ctx})
+		if err == nil {
+			t.Fatal("cancelled corpus should fail")
+		}
+		err = fmt.Errorf("retry boundary: %w", err)
+		var se *StageError
+		if !errors.As(err, &se) || !errors.Is(err, context.Canceled) {
+			t.Errorf("want StageError wrapping context.Canceled, got %v", err)
+		}
+	})
+
+	t.Run("corpus trace failure lands typed in the Errors matrix", func(t *testing.T) {
+		res, err := RecognizeCorpus([]*vm.Program{host}, []*Key{key}, CorpusOpts{StepLimit: 1})
+		if err != nil {
+			t.Fatalf("per-pair trace failures must not abort the corpus: %v", err)
+		}
+		cellErr := res.Errors[0][0]
+		if cellErr == nil {
+			t.Fatal("starved pair should carry an error")
+		}
+		cellErr = fmt.Errorf("retry boundary: %w", cellErr)
+		var re *vm.ResourceError
+		if !errors.As(cellErr, &re) || !errors.Is(cellErr, vm.ErrStepLimit) {
+			t.Errorf("corpus cell error lost its ResourceError: %v", cellErr)
+		}
+	})
+}

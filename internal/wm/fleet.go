@@ -203,6 +203,18 @@ func (f *FleetCaches) DecryptCacheFor(k feistel.Key) *cache.Cache64 {
 	return c
 }
 
+// ForgetTrace drops one cached trace (value or memoized failure) so the
+// next grade of that (program, input) pair retraces, reporting whether an
+// entry was present. The retry layer calls it before re-attempting a
+// grade whose trace failed: without the invalidation a retry would only
+// replay the cached error.
+func (f *FleetCaches) ForgetTrace(k TraceKey) bool {
+	if f == nil {
+		return false
+	}
+	return f.traces.Forget(k)
+}
+
 // TraceStats snapshots the trace cache's traffic (zero on nil).
 func (f *FleetCaches) TraceStats() cache.Stats {
 	if f == nil {
@@ -225,6 +237,7 @@ func (f *FleetCaches) DecryptStats() cache.Stats {
 		s.Hits += cs.Hits
 		s.Misses += cs.Misses
 		s.Bypassed += cs.Bypassed
+		s.Evictions += cs.Evictions
 	}
 	return s
 }
@@ -251,6 +264,36 @@ func (f *FleetCaches) traceBits(p *vm.Program, k TraceKey, input []int64,
 		return compute()
 	}
 	return f.traces.GetOrCompute(k, compute)
+}
+
+// GradePair grades one (suspect, key) pair through the fleet caches: the
+// trace comes from (or lands in) fc's content-addressed trace cache and
+// the scan uses fc's per-cipher decrypt table. It is the unit of work of
+// RecognizeCorpus — the corpus call is exactly an M×K fan-out of
+// GradePair — exported so layers that schedule grades themselves (the
+// journaled jobs runner, which checkpoints after every grade) produce
+// Recognitions bit-identical to a RecognizeCorpus over the same matrix.
+// progDigest must be ProgramDigest(p), hoisted out so callers grading one
+// suspect against many keys hash the program once. A nil fc degrades to
+// uncached computation; only the Workers/Obs fields of opts are ignored
+// (per-grade scheduling belongs to the caller).
+func GradePair(p *vm.Program, progDigest cache.Digest, key *Key, fc *FleetCaches, opts CorpusOpts) (*Recognition, error) {
+	b, err := fc.traceBits(p,
+		TraceKey{Program: progDigest, Input: cache.DigestInt64s(key.Input)},
+		key.Input, opts.Ctx, opts.StepLimit, opts.MaxHeap)
+	if err != nil {
+		return nil, err
+	}
+	scanWorkers := opts.ScanWorkers
+	if scanWorkers <= 0 {
+		scanWorkers = 1
+	}
+	return RecognizeBits(b, key, RecognizeOpts{
+		Workers:      scanWorkers,
+		Ctx:          opts.Ctx,
+		Prefilter:    opts.Prefilter,
+		DecryptCache: fc.DecryptCacheFor(key.Cipher),
+	})
 }
 
 // CorpusOpts tunes RecognizeCorpus.
@@ -351,22 +394,12 @@ func RecognizeCorpus(suspects []*vm.Program, keys []*Key, opts CorpusOpts) (*Cor
 	traceBefore := fc.TraceStats()
 	decryptBefore := fc.DecryptStats()
 
-	// Content addresses and per-key caches, computed once up front.
+	// Content addresses, computed once up front.
 	progDigests := make([]cache.Digest, len(suspects))
 	for i, p := range suspects {
 		progDigests[i] = ProgramDigest(p)
 	}
-	inputDigests := make([]cache.Digest, len(keys))
-	decCaches := make([]*cache.Cache64, len(keys))
-	for i, k := range keys {
-		inputDigests[i] = cache.DigestInt64s(k.Input)
-		decCaches[i] = fc.DecryptCacheFor(k.Cipher)
-	}
 
-	scanWorkers := opts.ScanWorkers
-	if scanWorkers <= 0 {
-		scanWorkers = 1
-	}
 	res := &CorpusResult{
 		Recognitions: make([][]*Recognition, len(suspects)),
 		Errors:       make([][]error, len(suspects)),
@@ -384,20 +417,7 @@ func RecognizeCorpus(suspects []*vm.Program, keys []*Key, opts CorpusOpts) (*Cor
 		}
 	}
 	runPair := func(pr pair) {
-		key := keys[pr.k]
-		b, err := fc.traceBits(suspects[pr.s],
-			TraceKey{Program: progDigests[pr.s], Input: inputDigests[pr.k]},
-			key.Input, opts.Ctx, opts.StepLimit, opts.MaxHeap)
-		if err != nil {
-			res.Errors[pr.s][pr.k] = err
-			return
-		}
-		rec, err := RecognizeBits(b, key, RecognizeOpts{
-			Workers:      scanWorkers,
-			Ctx:          opts.Ctx,
-			Prefilter:    opts.Prefilter,
-			DecryptCache: decCaches[pr.k],
-		})
+		rec, err := GradePair(suspects[pr.s], progDigests[pr.s], keys[pr.k], fc, opts)
 		res.Recognitions[pr.s][pr.k] = rec
 		res.Errors[pr.s][pr.k] = err
 	}
@@ -446,9 +466,11 @@ func RecognizeCorpus(suspects []*vm.Program, keys []*Key, opts CorpusOpts) (*Cor
 	opts.Obs.Counter("recognize.corpus.pairs").Add(int64(len(pairs)))
 	opts.Obs.Counter("cache.trace.hits").Add(res.TraceStats.Hits)
 	opts.Obs.Counter("cache.trace.misses").Add(res.TraceStats.Misses)
+	opts.Obs.Counter("cache.trace.evictions").Add(res.TraceStats.Evictions)
 	opts.Obs.Counter("cache.decrypt.hits").Add(res.DecryptStats.Hits)
 	opts.Obs.Counter("cache.decrypt.misses").Add(res.DecryptStats.Misses)
 	opts.Obs.Counter("cache.decrypt.bypassed").Add(res.DecryptStats.Bypassed)
+	opts.Obs.Counter("cache.decrypt.evictions").Add(res.DecryptStats.Evictions)
 	total.Set("suspects", int64(len(suspects))).
 		Set("keys", int64(len(keys))).
 		Set("pairs", int64(len(pairs))).

@@ -292,6 +292,45 @@ func TestCorpusDecryptAtMostOnce(t *testing.T) {
 	}
 }
 
+// TestRecognizeCorpusCappedCaches is the bounded-memory regression test:
+// FleetCaches squeezed far below the working set (1 trace entry, 256
+// decrypt windows) must churn — evictions observable via cache.Stats —
+// while every cell of the CorpusResult stays bit-identical to the
+// unbounded run. Eviction may only cost recomputation, never correctness.
+func TestRecognizeCorpusCappedCaches(t *testing.T) {
+	suspects, keys, _ := corpusFixture(t)
+	base, err := RecognizeCorpus(suspects, keys, CorpusOpts{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 4} {
+		fc := NewFleetCaches(1, 256)
+		res, err := RecognizeCorpus(suspects, keys, CorpusOpts{Workers: workers, Caches: fc})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for s := range suspects {
+			for k := range keys {
+				if err := sameRecognition(base.Recognitions[s][k], res.Recognitions[s][k]); err != nil {
+					t.Errorf("workers=%d: capped pair (%d,%d) diverges: %v", workers, s, k, err)
+				}
+			}
+		}
+		// The fixture has 6 distinct (suspect, input) traces churning
+		// through a single-entry cache: evictions must show up, and the
+		// resident count must respect the bound.
+		if ts := fc.TraceStats(); ts.Evictions == 0 {
+			t.Errorf("workers=%d: single-entry trace cache recorded no evictions: %+v", workers, ts)
+		}
+		if n := fc.traces.Len(); n > 1 {
+			t.Errorf("workers=%d: capped trace cache holds %d entries", workers, n)
+		}
+		if ds := fc.DecryptStats(); ds.Evictions == 0 {
+			t.Errorf("workers=%d: 256-window decrypt caches recorded no evictions: %+v", workers, ds)
+		}
+	}
+}
+
 // TestRecognizeCacheEquivalence is the cache-equivalence property of the
 // satellite list: for random programs and keys, RecognizeWithOpts with the
 // decrypt cache enabled and disabled yields identical Recognition results

@@ -259,6 +259,7 @@ func RecognizeBits(b *bitstring.Bits, key *Key, opts RecognizeOpts) (*Recognitio
 		opts.Obs.Counter("cache.decrypt.hits").Add(d.Hits)
 		opts.Obs.Counter("cache.decrypt.misses").Add(d.Misses)
 		opts.Obs.Counter("cache.decrypt.bypassed").Add(d.Bypassed)
+		opts.Obs.Counter("cache.decrypt.evictions").Add(d.Evictions)
 	}
 	if acc.windows > 0 {
 		// Valid-statement hit rate in parts per million: integer-valued,
