@@ -415,6 +415,12 @@ type benchRecord struct {
 	Delta   string  `json:"delta"` // benchstat-style percent change
 	Speedup float64 `json:"speedup"`
 	Note    string  `json:"note,omitempty"`
+	// Scan-kernel throughput, set only on the scan-kernel record: windows
+	// graded per second by the new (batched) and old (scalar popcount-only)
+	// kernels. Absolute figures are machine-specific; the regression gate
+	// compares the speedup ratio, which is not.
+	WindowsPerSec    float64 `json:"windows_per_sec,omitempty"`
+	WindowsPerSecOld float64 `json:"windows_per_sec_old,omitempty"`
 }
 
 func compareNS(name string, oldNS, newNS int64, note string) benchRecord {
@@ -436,6 +442,7 @@ func cmdFleetBench(args []string) int {
 	n := fs.Int("n", 16, "fleet size for the embed comparison")
 	rounds := fs.Int("rounds", 3, "measurement rounds (best is kept)")
 	seed := fs.Int64("seed", 1, "randomness seed")
+	gate := fs.Bool("gate", false, "fail if the scan-kernel speedup regressed >10% vs the last recorded run")
 	fs.Parse(args)
 
 	// The Jess-like host is large enough that tracing and site analysis —
@@ -505,7 +512,50 @@ func cmdFleetBench(args []string) int {
 		return err
 	})
 
+	// Scan kernel: the pre-rebuild kernel (wm.ScanBaselinePR5 — the frozen
+	// replica of the closure-driven loop with its popcount-only prefilter,
+	// per-window bound-method decrypt, and full statement decode on every
+	// decrypted window) against the rebuilt scan stage (stacked prefilters,
+	// word screen, batched block decryption, batched framing check). The
+	// trace is decoded once outside the timed region and both legs run only
+	// the scan stage — no vote/CRT tail — so the comparison is the kernel
+	// and nothing else; serial, uncached. The suspect for this leg carries
+	// a full redundant embedding (128 pieces, the recognition benchmarks'
+	// configuration) rather than the fleet's lean fingerprints: kernel
+	// throughput is measured on the densely marked traces the scan is
+	// sized for, not on the shortest trace the embedder can produce.
+	scanSuspect, _, err := wm.Embed(host, ws[0], key, wm.EmbedOptions{Seed: *seed, Pieces: 128})
+	if err != nil {
+		fatal(err)
+	}
+	suspectTrace, _, err := vm.Collect(scanSuspect, key.Input, 1)
+	if err != nil {
+		fatal(err)
+	}
+	suspectBits := suspectTrace.DecodeBits()
+	var scanWindows int
+	oldKernelNS := best(func() error {
+		st := wm.ScanBaselinePR5(suspectBits, key)
+		scanWindows = st.Windows
+		return nil
+	})
+	batchedNS := best(func() error {
+		st, err := wm.ScanOnly(suspectBits, key, wm.RecognizeOpts{
+			Workers: 1, Kernel: wm.KernelBatched,
+		})
+		if err == nil && st.Windows != scanWindows {
+			return fmt.Errorf("scan-kernel legs disagree on window count: %d vs %d",
+				st.Windows, scanWindows)
+		}
+		return err
+	})
+	scanRec := compareNS("fleet/recognize/scan-kernel", oldKernelNS, batchedNS,
+		"pre-rebuild kernel replica vs batched stacked-prefilter kernel, scan stage only, serial, uncached")
+	scanRec.WindowsPerSec = float64(scanWindows) / (float64(batchedNS) / 1e9)
+	scanRec.WindowsPerSecOld = float64(scanWindows) / (float64(oldKernelNS) / 1e9)
+
 	records := []benchRecord{
+		scanRec,
 		compareNS(fmt.Sprintf("fleet/embed-%d/standalone-vs-batch", *n), singleNS, batchNS,
 			fmt.Sprintf("one shared trace+analysis for %d copies", *n)),
 		compareNS(fmt.Sprintf("fleet/embed-%d/batch-vs-4x-single", *n), 4*singleOneNS, batchNS,
@@ -513,6 +563,10 @@ func cmdFleetBench(args []string) int {
 		compareNS("fleet/recognize/uncached-vs-cached", uncachedNS, cachedNS,
 			"warm per-key decrypt cache, serial scan"),
 	}
+	// The regression baseline is the last scan-kernel record already in
+	// the file, read before this run's records are appended.
+	baseline, haveBaseline := lastScanKernelRecord(*out)
+
 	f, err := os.OpenFile(*out, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		fatal(err)
@@ -527,10 +581,54 @@ func cmdFleetBench(args []string) int {
 			r.Name, time.Duration(r.OldNS).Round(time.Microsecond),
 			time.Duration(r.NewNS).Round(time.Microsecond), r.Delta, r.Speedup)
 	}
+	fmt.Printf("scan kernel: %.0f windows/s batched vs %.0f windows/s pre-rebuild (%d windows)\n",
+		scanRec.WindowsPerSec, scanRec.WindowsPerSecOld, scanWindows)
 	fmt.Printf("appended %d records to %s\n", len(records), *out)
 	if batchNS >= 4*singleOneNS {
 		fmt.Fprintf(os.Stderr, "pathmark: WARNING: batch of %d took %.1fx a single embed (acceptance bound is 4x)\n",
 			*n, float64(batchNS)/float64(singleOneNS))
 	}
+	if *gate && haveBaseline {
+		// Gate on the speedup ratio, not absolute windows/sec: the ratio
+		// cancels out machine speed, so a recorded run on fast hardware
+		// does not fail every CI box. A >10% ratio drop means the batched
+		// kernel itself regressed relative to the scalar reference.
+		if scanRec.Speedup < 0.9*baseline.Speedup {
+			fmt.Fprintf(os.Stderr,
+				"pathmark: FAIL: scan-kernel speedup %.2fx regressed >10%% vs recorded %.2fx\n",
+				scanRec.Speedup, baseline.Speedup)
+			return exitError
+		}
+		fmt.Printf("gate: scan-kernel speedup %.2fx vs recorded %.2fx — ok\n",
+			scanRec.Speedup, baseline.Speedup)
+	} else if *gate {
+		fmt.Printf("gate: no recorded scan-kernel baseline in %s, gate passes vacuously\n", *out)
+	}
 	return exitOK
+}
+
+// lastScanKernelRecord scans a BENCH_fleet.json JSONL file for the most
+// recent scan-kernel comparison, used as the -gate regression baseline.
+// Unparseable lines are skipped: the file accumulates across versions
+// and old shapes must not wedge the gate.
+func lastScanKernelRecord(path string) (benchRecord, bool) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return benchRecord{}, false
+	}
+	var last benchRecord
+	found := false
+	for _, line := range strings.Split(string(data), "\n") {
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		var r benchRecord
+		if json.Unmarshal([]byte(line), &r) != nil {
+			continue
+		}
+		if r.Name == "fleet/recognize/scan-kernel" && r.Speedup > 0 {
+			last, found = r, true
+		}
+	}
+	return last, found
 }

@@ -162,6 +162,69 @@ func (c *Cache64) GetOrCompute(k uint64, f func(uint64) uint64) uint64 {
 	return v
 }
 
+// Peek returns the cached value for k without computing anything. A
+// found key counts as a Hit; an absent key counts nothing — the caller
+// is expected to follow up with Put after computing, which records the
+// Miss, so a Peek-miss/Put pair accounts exactly like one GetOrCompute
+// miss. Nil receivers never hold anything.
+//
+// Peek/Put exist for batch users (the block-decrypt scan kernel) that
+// want to gather all missing keys first and compute them in one
+// vectorized call instead of one compute closure per key.
+func (c *Cache64) Peek(k uint64) (uint64, bool) {
+	if c == nil {
+		return 0, false
+	}
+	s := &c.shards[mix64(k)&(cache64Shards-1)]
+	s.mu.Lock()
+	v, ok := s.m[k]
+	s.mu.Unlock()
+	if ok {
+		c.hits.Add(1)
+	}
+	return v, ok
+}
+
+// Put stores v for k, completing a Peek-miss. If the key is already
+// resident (another worker computed it between Peek and Put, or the
+// batch held a duplicate) the resident value is returned and the call
+// counts as a Hit — mirroring GetOrCompute, where the second caller of a
+// key hits; otherwise v is stored (evicting at capacity, like a miss in
+// GetOrCompute) and returned, counting as a Miss. On a nil receiver Put
+// just returns v.
+func (c *Cache64) Put(k, v uint64) uint64 {
+	if c == nil {
+		return v
+	}
+	s := &c.shards[mix64(k)&(cache64Shards-1)]
+	s.mu.Lock()
+	if resident, ok := s.m[k]; ok {
+		s.mu.Unlock()
+		c.hits.Add(1)
+		return resident
+	}
+	evicted := int64(0)
+	if c.maxPerShard > 0 && len(s.m) >= c.maxPerShard {
+		for victim := range s.m {
+			delete(s.m, victim)
+			evicted++
+			if len(s.m) < c.maxPerShard {
+				break
+			}
+		}
+	}
+	if s.m == nil {
+		s.m = make(map[uint64]uint64)
+	}
+	s.m[k] = v
+	s.mu.Unlock()
+	c.misses.Add(1)
+	if evicted > 0 {
+		c.evictions.Add(evicted)
+	}
+	return v
+}
+
 // Len returns the number of stored entries (0 on nil).
 func (c *Cache64) Len() int {
 	if c == nil {

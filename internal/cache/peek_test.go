@@ -1,0 +1,83 @@
+package cache
+
+import "testing"
+
+// TestPeekPutAccounting checks that a Peek-miss/Put pair accounts like a
+// GetOrCompute miss and later Peeks like hits, so mixing the batch API
+// with GetOrCompute keeps the per-distinct-key invariants.
+func TestPeekPutAccounting(t *testing.T) {
+	c := NewCache64(0)
+	if _, ok := c.Peek(7); ok {
+		t.Fatal("Peek found a value in an empty cache")
+	}
+	if got := c.Stats(); got.Lookups() != 0 {
+		t.Fatalf("Peek miss counted a lookup: %+v", got)
+	}
+	if got := c.Put(7, 70); got != 70 {
+		t.Fatalf("Put returned %d, want 70", got)
+	}
+	if got := c.Stats(); got.Misses != 1 || got.Hits != 0 {
+		t.Fatalf("after Put: %+v, want 1 miss", got)
+	}
+	if v, ok := c.Peek(7); !ok || v != 70 {
+		t.Fatalf("Peek(7) = %d, %v; want 70, true", v, ok)
+	}
+	if got := c.Stats(); got.Hits != 1 {
+		t.Fatalf("Peek hit not counted: %+v", got)
+	}
+	// GetOrCompute must see the Put value without recomputing.
+	v := c.GetOrCompute(7, func(uint64) uint64 {
+		t.Fatal("GetOrCompute recomputed a Put key")
+		return 0
+	})
+	if v != 70 {
+		t.Fatalf("GetOrCompute(7) = %d, want 70", v)
+	}
+}
+
+// TestPutDuplicateKeepsResident pins the duplicate semantics: the second
+// Put of a key returns the resident value and counts a Hit, exactly like
+// the second GetOrCompute of a key.
+func TestPutDuplicateKeepsResident(t *testing.T) {
+	c := NewCache64(0)
+	c.Put(3, 30)
+	if got := c.Put(3, 999); got != 30 {
+		t.Fatalf("duplicate Put returned %d, want resident 30", got)
+	}
+	if got := c.Stats(); got.Hits != 1 || got.Misses != 1 {
+		t.Fatalf("after duplicate Put: %+v, want 1 hit + 1 miss", got)
+	}
+	if v, _ := c.Peek(3); v != 30 {
+		t.Fatalf("resident value overwritten: %d", v)
+	}
+}
+
+// TestPutEvictsAtCapacity checks Put honors the bound like GetOrCompute.
+func TestPutEvictsAtCapacity(t *testing.T) {
+	c := NewCache64(cache64Shards) // one entry per shard
+	n := 4 * cache64Shards
+	for i := 0; i < n; i++ {
+		c.Put(uint64(i), uint64(i))
+	}
+	if got := c.Len(); got > cache64Shards {
+		t.Fatalf("cache grew to %d entries, bound is %d", got, cache64Shards)
+	}
+	st := c.Stats()
+	if st.Misses != int64(n) {
+		t.Fatalf("stored %d keys, counted %d misses", n, st.Misses)
+	}
+	if st.Evictions == 0 {
+		t.Fatal("no evictions counted past capacity")
+	}
+}
+
+// TestPeekPutNil confirms the nil-receiver degradation.
+func TestPeekPutNil(t *testing.T) {
+	var c *Cache64
+	if _, ok := c.Peek(1); ok {
+		t.Fatal("nil cache Peek reported a value")
+	}
+	if got := c.Put(1, 11); got != 11 {
+		t.Fatalf("nil cache Put returned %d, want 11", got)
+	}
+}

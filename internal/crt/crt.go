@@ -16,6 +16,7 @@ import (
 	"errors"
 	"fmt"
 	"math/big"
+	mathbits "math/bits"
 	"sort"
 )
 
@@ -31,6 +32,14 @@ type Params struct {
 	primes  []uint64
 	offsets []uint64 // offsets[k] = Σ of p_i*p_j over the first k pairs
 	pairs   [][2]int // lexicographic pair order: (0,1),(0,2),...,(r-2,r-1)
+
+	// Framing constants, fixed by the capacity and memoized here because
+	// Unframe runs on every decrypted window in the scan hot loop (see
+	// framing.go).
+	frameShift     uint   // payload width = bits.Len64(Capacity()-1)
+	framePayload   uint64 // low-bit mask selecting the payload field
+	frameCheckMask uint64 // check field truncated to the available headroom
+	frameCap       uint64 // Capacity(), denormalized out of the offsets slice
 }
 
 // NewParams validates the prime basis: at least two moduli, each > 1,
@@ -71,6 +80,13 @@ func NewParams(primes []uint64) (*Params, error) {
 		return nil, errors.New("crt: enumeration capacity exceeds 63 bits")
 	}
 	pr.offsets = append(pr.offsets, total)
+	pr.frameCap = total
+	pr.frameShift = uint(mathbits.Len64(total - 1))
+	pr.framePayload = 1<<pr.frameShift - 1
+	pr.frameCheckMask = 0xffff
+	if headroom := 64 - pr.frameShift; headroom < 16 {
+		pr.frameCheckMask = 1<<headroom - 1
+	}
 	return pr, nil
 }
 

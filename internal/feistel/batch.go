@@ -1,0 +1,67 @@
+package feistel
+
+// Batched decryption for the recognizer's scan kernel: the sliding-window
+// scan gathers the windows that survive its prefilters into contiguous
+// []uint64 buffers and decrypts them in one call, instead of one
+// bound-method call per window. The win is mechanical — no per-call
+// dispatch, subkeys hot in registers, and four (or, with AVX2, sixteen)
+// independent Feistel chains in flight at once to hide the round
+// function's add/xor latency.
+
+// DecryptBlocks decrypts src[i] into dst[i] for every i, exactly as if
+// each block had gone through Decrypt individually. dst must be at least
+// as long as src; dst and src may be the same slice (each block is read
+// before its slot is written), but must not otherwise overlap.
+//
+// On amd64 with AVX2 the bulk of the batch runs through a vectorized
+// kernel (16 blocks per iteration, two 8-block register groups); the
+// remainder — and every other platform — takes the portable batch loop.
+func (c *Cipher) DecryptBlocks(dst, src []uint64) {
+	if len(dst) < len(src) {
+		panic("feistel: DecryptBlocks dst shorter than src")
+	}
+	decryptBlocks(c, dst[:len(src)], src)
+}
+
+// decryptBlocksGeneric is the portable batch path: four independent
+// blocks interleaved per iteration (the chains have no data dependencies,
+// so the CPU overlaps their round latencies) with a specialized inner
+// loop unrolled four rounds deep (rounds == 32 is a multiple of 4).
+func decryptBlocksGeneric(c *Cipher, dst, src []uint64) {
+	k := &c.subkeys
+	n := len(src)
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		b0, b1, b2, b3 := src[i], src[i+1], src[i+2], src[i+3]
+		l0, r0 := uint32(b0>>32), uint32(b0)
+		l1, r1 := uint32(b1>>32), uint32(b1)
+		l2, r2 := uint32(b2>>32), uint32(b2)
+		l3, r3 := uint32(b3>>32), uint32(b3)
+		for j := rounds - 1; j >= 3; j -= 4 {
+			ka, kb, kc, kd := k[j], k[j-1], k[j-2], k[j-3]
+			l0, r0 = r0^round(l0, ka), l0
+			l1, r1 = r1^round(l1, ka), l1
+			l2, r2 = r2^round(l2, ka), l2
+			l3, r3 = r3^round(l3, ka), l3
+			l0, r0 = r0^round(l0, kb), l0
+			l1, r1 = r1^round(l1, kb), l1
+			l2, r2 = r2^round(l2, kb), l2
+			l3, r3 = r3^round(l3, kb), l3
+			l0, r0 = r0^round(l0, kc), l0
+			l1, r1 = r1^round(l1, kc), l1
+			l2, r2 = r2^round(l2, kc), l2
+			l3, r3 = r3^round(l3, kc), l3
+			l0, r0 = r0^round(l0, kd), l0
+			l1, r1 = r1^round(l1, kd), l1
+			l2, r2 = r2^round(l2, kd), l2
+			l3, r3 = r3^round(l3, kd), l3
+		}
+		dst[i] = uint64(l0)<<32 | uint64(r0)
+		dst[i+1] = uint64(l1)<<32 | uint64(r1)
+		dst[i+2] = uint64(l2)<<32 | uint64(r2)
+		dst[i+3] = uint64(l3)<<32 | uint64(r3)
+	}
+	for ; i < n; i++ {
+		dst[i] = c.Decrypt(src[i])
+	}
+}

@@ -1,0 +1,63 @@
+//go:build amd64 && !purego
+
+package feistel
+
+// The AVX2 batch kernel works on 16 blocks per iteration and is only
+// profitable once the deinterleave/reinterleave shuffles amortize, so
+// short batches and tails take the portable loop.
+const avx2BatchBlocks = 16
+
+// The assembly hardcodes the round count (16 two-round iterations) and
+// the subkey array layout; fail the build rather than corrupt ciphertext
+// if either ever changes.
+var _ [rounds - 32]byte
+var _ [32 - rounds]byte
+
+var hasAVX2 = detectAVX2()
+
+// HasAVX2 reports whether the AVX2 batch kernels are usable on this
+// machine (CPU and OS support). Exported because it is the repo's one
+// CPU-feature probe: other packages with AVX2 kernels (the scan gather
+// filter in internal/wm) share this detection instead of redoing CPUID.
+func HasAVX2() bool { return hasAVX2 }
+
+func decryptBlocks(c *Cipher, dst, src []uint64) {
+	if hasAVX2 && len(src) >= avx2BatchBlocks {
+		n := len(src) &^ (avx2BatchBlocks - 1)
+		decryptBlocksAVX2(&c.subkeys, &dst[0], &src[0], n)
+		dst, src = dst[n:], src[n:]
+	}
+	decryptBlocksGeneric(c, dst, src)
+}
+
+// decryptBlocksAVX2 decrypts n blocks (n a positive multiple of 16) from
+// src into dst. Implemented in batch_amd64.s.
+//
+//go:noescape
+func decryptBlocksAVX2(subkeys *[rounds]uint32, dst, src *uint64, n int)
+
+// cpuid and xgetbv are tiny assembly shims (batch_amd64.s); the standard
+// library's feature flags live in internal/cpu, which external packages
+// cannot import, so detection is done here from scratch.
+func cpuid(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
+func xgetbv() (eax, edx uint32)
+
+// detectAVX2 reports whether both the CPU and the OS support AVX2:
+// CPUID.1 must advertise OSXSAVE+AVX, XCR0 must show the OS saves
+// XMM+YMM state on context switches, and CPUID.7 must advertise AVX2.
+func detectAVX2() bool {
+	maxID, _, _, _ := cpuid(0, 0)
+	if maxID < 7 {
+		return false
+	}
+	_, _, ecx1, _ := cpuid(1, 0)
+	const osxsaveAndAVX = 1<<27 | 1<<28
+	if ecx1&osxsaveAndAVX != osxsaveAndAVX {
+		return false
+	}
+	if xcr0, _ := xgetbv(); xcr0&6 != 6 { // XMM and YMM state enabled
+		return false
+	}
+	_, ebx7, _, _ := cpuid(7, 0)
+	return ebx7&(1<<5) != 0 // AVX2
+}

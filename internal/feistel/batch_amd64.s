@@ -1,0 +1,177 @@
+//go:build amd64 && !purego
+
+#include "textflag.h"
+
+// AVX2 batch decryption.
+//
+// A block is uint64(l)<<32 | uint64(r), so in (little-endian) memory each
+// block is the dword pair [r, l]. Four ymm loads pick up 8 blocks; two
+// VSHUFPS passes split them into an R vector and an L vector of 8 dwords
+// each. The lane order after the shuffle is scrambled (per 128-bit lane),
+// but the round function is elementwise, so the scramble is harmless —
+// and VPUNPCKL/HDQ on the scrambled R/L pair happens to reassemble the
+// blocks in their original order, so no permute is needed on either side.
+//
+// Per decrypt round (subkeys walked 31..0):
+//
+//	F    = (((L << 4) ^ (L >> 5)) + L) ^ subkey
+//	L, R = R ^ F, L
+//
+// All operations are 32-bit lanewise (VPSLLD/VPSRLD/VPADDD/VPXOR) with
+// the subkey broadcast to every lane. The round function's ~5-cycle
+// dependency chain makes a single 8-block group latency-bound, so four
+// independent groups (32 blocks) are kept in flight per iteration —
+// enough chains to cover the latency — with a two-group (16-block)
+// variant for the tail. Scratch registers are shared between groups;
+// register renaming untangles them. The register swap implied by
+// "L, R = R^F, L" is folded into a two-round unroll that alternates
+// the roles of the L and R registers (32 rounds = 16 double-rounds, so
+// the halves end up back in their home registers).
+
+// ROUND computes R ^= F(L, K): after it, R holds the next round's L and
+// L holds the next round's R. T and U are scratch.
+#define ROUND(L, R, K, T, U) \
+	VPSLLD $4, L, T  \
+	VPSRLD $5, L, U  \
+	VPXOR  U, T, T   \
+	VPADDD L, T, T   \
+	VPXOR  K, T, T   \
+	VPXOR  T, R, R
+
+// func decryptBlocksAVX2(subkeys *[32]uint32, dst, src *uint64, n int)
+// n must be a positive multiple of 16.
+TEXT ·decryptBlocksAVX2(SB), NOSPLIT, $0-32
+	MOVQ subkeys+0(FP), DX
+	MOVQ dst+8(FP), DI
+	MOVQ src+16(FP), SI
+	MOVQ n+24(FP), CX
+
+	CMPQ CX, $32
+	JL   blocks16
+
+blocks32:
+	// Load 32 blocks and deinterleave into four (R, L) pairs.
+	VMOVDQU (SI), Y0
+	VMOVDQU 32(SI), Y1
+	VMOVDQU 64(SI), Y2
+	VMOVDQU 96(SI), Y3
+	VSHUFPS $0x88, Y1, Y0, Y4  // R group 0
+	VSHUFPS $0xDD, Y1, Y0, Y5  // L group 0
+	VSHUFPS $0x88, Y3, Y2, Y6  // R group 1
+	VSHUFPS $0xDD, Y3, Y2, Y7  // L group 1
+	VMOVDQU 128(SI), Y0
+	VMOVDQU 160(SI), Y1
+	VMOVDQU 192(SI), Y2
+	VMOVDQU 224(SI), Y3
+	VSHUFPS $0x88, Y1, Y0, Y8  // R group 2
+	VSHUFPS $0xDD, Y1, Y0, Y9  // L group 2
+	VSHUFPS $0x88, Y3, Y2, Y10 // R group 3
+	VSHUFPS $0xDD, Y3, Y2, Y11 // L group 3
+
+	LEAQ 124(DX), R8 // &subkeys[31]
+	MOVQ $16, BX
+
+rounds4x2:
+	VPBROADCASTD (R8), Y12
+	ROUND(Y5, Y4, Y12, Y13, Y14)
+	ROUND(Y7, Y6, Y12, Y13, Y14)
+	ROUND(Y9, Y8, Y12, Y13, Y14)
+	ROUND(Y11, Y10, Y12, Y13, Y14)
+	VPBROADCASTD -4(R8), Y12
+	ROUND(Y4, Y5, Y12, Y13, Y14)
+	ROUND(Y6, Y7, Y12, Y13, Y14)
+	ROUND(Y8, Y9, Y12, Y13, Y14)
+	ROUND(Y10, Y11, Y12, Y13, Y14)
+	SUBQ $8, R8
+	DECQ BX
+	JNZ  rounds4x2
+
+	VPUNPCKLDQ Y5, Y4, Y0
+	VPUNPCKHDQ Y5, Y4, Y1
+	VPUNPCKLDQ Y7, Y6, Y2
+	VPUNPCKHDQ Y7, Y6, Y3
+	VMOVDQU    Y0, (DI)
+	VMOVDQU    Y1, 32(DI)
+	VMOVDQU    Y2, 64(DI)
+	VMOVDQU    Y3, 96(DI)
+	VPUNPCKLDQ Y9, Y8, Y0
+	VPUNPCKHDQ Y9, Y8, Y1
+	VPUNPCKLDQ Y11, Y10, Y2
+	VPUNPCKHDQ Y11, Y10, Y3
+	VMOVDQU    Y0, 128(DI)
+	VMOVDQU    Y1, 160(DI)
+	VMOVDQU    Y2, 192(DI)
+	VMOVDQU    Y3, 224(DI)
+
+	ADDQ $256, SI
+	ADDQ $256, DI
+	SUBQ $32, CX
+	CMPQ CX, $32
+	JGE  blocks32
+	TESTQ CX, CX
+	JZ   done
+
+blocks16:
+	// Load 16 blocks and deinterleave into two (R, L) dword-vector pairs.
+	VMOVDQU (SI), Y0
+	VMOVDQU 32(SI), Y1
+	VMOVDQU 64(SI), Y2
+	VMOVDQU 96(SI), Y3
+	VSHUFPS $0x88, Y1, Y0, Y4 // R group 0 (even dwords)
+	VSHUFPS $0xDD, Y1, Y0, Y5 // L group 0 (odd dwords)
+	VSHUFPS $0x88, Y3, Y2, Y6 // R group 1
+	VSHUFPS $0xDD, Y3, Y2, Y7 // L group 1
+
+	// 32 rounds, subkeys high to low, two rounds per iteration.
+	LEAQ 124(DX), R8 // &subkeys[31]
+	MOVQ $16, BX
+
+rounds2:
+	VPBROADCASTD (R8), Y8
+	ROUND(Y5, Y4, Y8, Y10, Y11)
+	ROUND(Y7, Y6, Y8, Y12, Y13)
+	VPBROADCASTD -4(R8), Y8
+	ROUND(Y4, Y5, Y8, Y10, Y11)
+	ROUND(Y6, Y7, Y8, Y12, Y13)
+	SUBQ $8, R8
+	DECQ BX
+	JNZ  rounds2
+
+	// Reinterleave [r, l] dword pairs and store; the unpack of the
+	// VSHUFPS-scrambled vectors restores the original block order.
+	VPUNPCKLDQ Y5, Y4, Y0
+	VPUNPCKHDQ Y5, Y4, Y1
+	VPUNPCKLDQ Y7, Y6, Y2
+	VPUNPCKHDQ Y7, Y6, Y3
+	VMOVDQU    Y0, (DI)
+	VMOVDQU    Y1, 32(DI)
+	VMOVDQU    Y2, 64(DI)
+	VMOVDQU    Y3, 96(DI)
+
+	ADDQ $128, SI
+	ADDQ $128, DI
+	SUBQ $16, CX
+	JNZ  blocks16
+
+done:
+	VZEROUPPER
+	RET
+
+// func cpuid(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuid(SB), NOSPLIT, $0-24
+	MOVL eaxIn+0(FP), AX
+	MOVL ecxIn+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// func xgetbv() (eax, edx uint32)
+TEXT ·xgetbv(SB), NOSPLIT, $0-8
+	XORL CX, CX
+	XGETBV
+	MOVL AX, eax+0(FP)
+	MOVL DX, edx+4(FP)
+	RET

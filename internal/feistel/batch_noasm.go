@@ -1,0 +1,11 @@
+//go:build !amd64 || purego
+
+package feistel
+
+func decryptBlocks(c *Cipher, dst, src []uint64) {
+	decryptBlocksGeneric(c, dst, src)
+}
+
+// HasAVX2 reports whether the AVX2 batch kernels are usable; never on
+// non-amd64 or purego builds.
+func HasAVX2() bool { return false }

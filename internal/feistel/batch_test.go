@@ -1,0 +1,199 @@
+package feistel
+
+import (
+	"encoding/binary"
+	"math/rand"
+	"testing"
+)
+
+// batchTestKeys covers degenerate and representative key material.
+func batchTestKeys() []Key {
+	return []Key{
+		{},
+		{1, 0, 0, 0},
+		{0xffffffff, 0xffffffff, 0xffffffff, 0xffffffff},
+		KeyFromUint64(21, 34),
+		KeyFromUint64(0x6b72616d68746170, 0x504c444932303034),
+		KeyFromUint64(0xdeadbeefcafebabe, 0x0123456789abcdef),
+	}
+}
+
+// TestDecryptBlocksMatchesScalar checks the batch path (whatever
+// dispatch picks on this machine) against per-block Decrypt across batch
+// lengths that exercise the vector kernel, its tail, and the
+// shorter-than-one-group cases.
+func TestDecryptBlocksMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, key := range batchTestKeys() {
+		c := New(key)
+		for _, n := range []int{0, 1, 2, 3, 4, 5, 7, 8, 15, 16, 17, 31, 32, 33, 48, 63, 64, 100, 257} {
+			src := make([]uint64, n)
+			for i := range src {
+				src[i] = rng.Uint64()
+			}
+			// Structured blocks too: the scan feeds low-entropy windows.
+			if n > 2 {
+				src[0] = 0
+				src[1] = ^uint64(0)
+				src[2] = 0x5555555555555555
+			}
+			dst := make([]uint64, n)
+			c.DecryptBlocks(dst, src)
+			for i := range src {
+				if want := c.Decrypt(src[i]); dst[i] != want {
+					t.Fatalf("key %v n=%d block %d: DecryptBlocks %#x, Decrypt %#x (src %#x)",
+						key, n, i, dst[i], want, src[i])
+				}
+			}
+		}
+	}
+}
+
+// TestDecryptBlocksGenericMatchesScalar pins the portable batch loop
+// independently of what decryptBlocks dispatches to, so the fallback is
+// covered even on machines where the vector kernel runs.
+func TestDecryptBlocksGenericMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	c := New(KeyFromUint64(99, 1234))
+	for _, n := range []int{0, 1, 3, 4, 5, 9, 64} {
+		src := make([]uint64, n)
+		for i := range src {
+			src[i] = rng.Uint64()
+		}
+		dst := make([]uint64, n)
+		decryptBlocksGeneric(c, dst, src)
+		for i := range src {
+			if want := c.Decrypt(src[i]); dst[i] != want {
+				t.Fatalf("n=%d block %d: generic %#x, Decrypt %#x", n, i, dst[i], want)
+			}
+		}
+	}
+}
+
+// TestDecryptBlocksInPlace checks the documented dst == src aliasing.
+func TestDecryptBlocksInPlace(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	c := New(KeyFromUint64(5, 8))
+	buf := make([]uint64, 53)
+	want := make([]uint64, len(buf))
+	for i := range buf {
+		buf[i] = rng.Uint64()
+		want[i] = c.Decrypt(buf[i])
+	}
+	c.DecryptBlocks(buf, buf)
+	for i := range buf {
+		if buf[i] != want[i] {
+			t.Fatalf("in-place block %d: got %#x, want %#x", i, buf[i], want[i])
+		}
+	}
+}
+
+// TestDecryptBlocksRoundTrip confirms batch decryption inverts Encrypt.
+func TestDecryptBlocksRoundTrip(t *testing.T) {
+	c := New(KeyFromUint64(42, 77))
+	src := make([]uint64, 40)
+	plain := make([]uint64, len(src))
+	for i := range src {
+		plain[i] = uint64(i) * 0x9e3779b97f4a7c15
+		src[i] = c.Encrypt(plain[i])
+	}
+	dst := make([]uint64, len(src))
+	c.DecryptBlocks(dst, src)
+	for i := range dst {
+		if dst[i] != plain[i] {
+			t.Fatalf("block %d: round trip %#x, want %#x", i, dst[i], plain[i])
+		}
+	}
+}
+
+func TestDecryptBlocksShortDstPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for short dst")
+		}
+	}()
+	c := New(KeyFromUint64(1, 2))
+	c.DecryptBlocks(make([]uint64, 1), make([]uint64, 2))
+}
+
+// FuzzDecryptBlocks drives arbitrary block material through both the
+// dispatch path and the portable loop and demands agreement with the
+// scalar cipher — the batch kernels must be drop-in replacements.
+func FuzzDecryptBlocks(f *testing.F) {
+	f.Add(uint64(21), uint64(34), []byte{0, 1, 2, 3, 4, 5, 6, 7})
+	f.Add(uint64(0), uint64(0), make([]byte, 8*20))
+	f.Add(^uint64(0), uint64(1), []byte{0xff})
+	f.Fuzz(func(t *testing.T, ka, kb uint64, raw []byte) {
+		if len(raw) > 8*1024 {
+			raw = raw[:8*1024]
+		}
+		src := make([]uint64, (len(raw)+7)/8)
+		for i := range src {
+			var block [8]byte
+			copy(block[:], raw[i*8:])
+			src[i] = binary.LittleEndian.Uint64(block[:])
+		}
+		c := New(KeyFromUint64(ka, kb))
+		dst := make([]uint64, len(src))
+		gen := make([]uint64, len(src))
+		c.DecryptBlocks(dst, src)
+		decryptBlocksGeneric(c, gen, src)
+		for i := range src {
+			want := c.Decrypt(src[i])
+			if dst[i] != want {
+				t.Fatalf("dispatch block %d: %#x vs scalar %#x", i, dst[i], want)
+			}
+			if gen[i] != want {
+				t.Fatalf("generic block %d: %#x vs scalar %#x", i, gen[i], want)
+			}
+		}
+	})
+}
+
+func BenchmarkDecryptScalar(b *testing.B) {
+	c := New(KeyFromUint64(21, 34))
+	src := make([]uint64, 4096)
+	rng := rand.New(rand.NewSource(3))
+	for i := range src {
+		src[i] = rng.Uint64()
+	}
+	b.SetBytes(8 * int64(len(src)))
+	b.ResetTimer()
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		for _, w := range src {
+			sink ^= c.Decrypt(w)
+		}
+	}
+	_ = sink
+}
+
+func BenchmarkDecryptBlocks(b *testing.B) {
+	c := New(KeyFromUint64(21, 34))
+	src := make([]uint64, 4096)
+	rng := rand.New(rand.NewSource(3))
+	for i := range src {
+		src[i] = rng.Uint64()
+	}
+	dst := make([]uint64, len(src))
+	b.SetBytes(8 * int64(len(src)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.DecryptBlocks(dst, src)
+	}
+}
+
+func BenchmarkDecryptBlocksGeneric(b *testing.B) {
+	c := New(KeyFromUint64(21, 34))
+	src := make([]uint64, 4096)
+	rng := rand.New(rand.NewSource(3))
+	for i := range src {
+		src[i] = rng.Uint64()
+	}
+	dst := make([]uint64, len(src))
+	b.SetBytes(8 * int64(len(src)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		decryptBlocksGeneric(c, dst, src)
+	}
+}

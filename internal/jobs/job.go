@@ -28,12 +28,22 @@ type Options struct {
 	// 0 picks runtime.GOMAXPROCS(0), 1 forces the serial path. Results
 	// are bit-identical at any worker count.
 	Workers int
-	// ScanWorkers, StepLimit, MaxHeap and Prefilter are passed through
-	// to every grade (see wm.CorpusOpts).
+	// ScanWorkers, StepLimit, MaxHeap, Filters and Prefilter are passed
+	// through to every grade (see wm.CorpusOpts). ScanWorkers is a
+	// floor, not a fixed value: when a wave has fewer pending grades
+	// than Workers, the idle worker tier is folded into each grade's
+	// scan fan-out (intra-suspect sharding), so a single huge suspect
+	// still uses the whole tier. Scan results are bit-identical at any
+	// scan worker count, so the adaptive fan-out never changes results.
 	ScanWorkers int
 	StepLimit   int64
 	MaxHeap     int64
+	Filters     *wm.FilterStack
 	Prefilter   *wm.PopcountBand
+	// Kernel selects the scan kernel for every grade (wm.KernelAuto =
+	// batched). Results are bit-identical across kernels, so the knob is
+	// excluded from the job digest.
+	Kernel wm.ScanKernel
 	// GradeTimeout, when > 0, deadlines each grade attempt. A timed-out
 	// attempt surfaces as a retryable resource/stage error.
 	GradeTimeout time.Duration
@@ -69,8 +79,9 @@ type Options struct {
 // Spec is the job's identity: what to grade, against what, under which
 // result-affecting options. Two Specs digest equal exactly when their
 // suspects, keys, and result-affecting options (step/heap limits,
-// prefilter band, breaker policy) match — scheduling knobs like Workers
-// or retry pacing are excluded, since they must not change results.
+// effective filter stack, breaker policy) match — scheduling knobs like
+// Workers, retry pacing, or the scan kernel are excluded, since they
+// must not change results.
 type Spec struct {
 	Suspects []*vm.Program
 	Keys     []*wm.Key
@@ -80,7 +91,9 @@ type Spec struct {
 // digest content-addresses the spec; the journal header pins it so a
 // resume over a journal from a different job is refused.
 func (sp *Spec) digest(progDigests []cache.Digest) (cache.Digest, error) {
-	parts := [][]byte{[]byte("pathmark.job.v1")}
+	// v2: the prefilter band ints were replaced by the six ints of the
+	// effective filter stack (popcount, transitions, phase bands).
+	parts := [][]byte{[]byte("pathmark.job.v2")}
 	num := func(v int64) { parts = append(parts, strconv.AppendInt(nil, v, 10)) }
 	num(int64(len(sp.Suspects)))
 	num(int64(len(sp.Keys)))
@@ -96,12 +109,13 @@ func (sp *Spec) digest(progDigests []cache.Digest) (cache.Digest, error) {
 	}
 	num(sp.Opts.StepLimit)
 	num(sp.Opts.MaxHeap)
-	pf := sp.Opts.Prefilter
-	if pf == nil {
-		pf = &wm.DefaultPrefilter
-	}
-	num(int64(pf.Lo))
-	num(int64(pf.Hi))
+	f := wm.ResolveFilters(sp.Opts.Filters, sp.Opts.Prefilter)
+	num(int64(f.Popcount.Lo))
+	num(int64(f.Popcount.Hi))
+	num(int64(f.Transitions.Lo))
+	num(int64(f.Transitions.Hi))
+	num(int64(f.Phase.Lo))
+	num(int64(f.Phase.Hi))
 	num(int64(sp.Opts.Breaker.threshold()))
 	num(int64(sp.Opts.Breaker.wave()))
 	return cache.DigestBytes(parts...), nil
@@ -284,7 +298,7 @@ func (j *Job) settle(s, k int, o *outcome) error {
 // memoized trace error instead of retracing). Returns nil when the job
 // context was cancelled mid-grade — the grade is left unsettled and
 // re-runs on resume.
-func (j *Job) runGrade(ctx context.Context, s, k int) *outcome {
+func (j *Job) runGrade(ctx context.Context, s, k, scanWorkers int) *outcome {
 	opts := j.spec.Opts
 	maxAttempts := opts.Retry.attempts()
 	var rec *wm.Recognition
@@ -300,10 +314,10 @@ func (j *Job) runGrade(ctx context.Context, s, k int) *outcome {
 			if herr := opts.gradeHook(s, k, attempt); herr != nil {
 				rec, err = nil, herr
 			} else {
-				rec, err = j.gradeOnce(gctx, s, k)
+				rec, err = j.gradeOnce(gctx, s, k, scanWorkers)
 			}
 		} else {
-			rec, err = j.gradeOnce(gctx, s, k)
+			rec, err = j.gradeOnce(gctx, s, k, scanWorkers)
 		}
 		if cancel != nil {
 			cancel()
@@ -332,13 +346,15 @@ func (j *Job) runGrade(ctx context.Context, s, k int) *outcome {
 	return o
 }
 
-func (j *Job) gradeOnce(ctx context.Context, s, k int) (*wm.Recognition, error) {
+func (j *Job) gradeOnce(ctx context.Context, s, k, scanWorkers int) (*wm.Recognition, error) {
 	opts := j.spec.Opts
 	return wm.GradePair(j.spec.Suspects[s], j.progDigests[s], j.spec.Keys[k], j.caches, wm.CorpusOpts{
-		ScanWorkers: opts.ScanWorkers,
+		ScanWorkers: scanWorkers,
 		StepLimit:   opts.StepLimit,
 		MaxHeap:     opts.MaxHeap,
+		Filters:     opts.Filters,
 		Prefilter:   opts.Prefilter,
+		Kernel:      opts.Kernel,
 		Ctx:         ctx,
 	})
 }
@@ -411,6 +427,22 @@ func (j *Job) Run(ctx context.Context) (*Result, error) {
 		if workers <= 0 {
 			workers = defaultWorkers()
 		}
+		// Intra-suspect sharding: when the wave has fewer pending grades
+		// than workers, fold the idle tier into each grade's scan fan-out.
+		// A single huge suspect then shards its own window ranges across
+		// the whole tier instead of scanning on one goroutine while the
+		// rest idle. The boost is computed before clamping workers to the
+		// pending count, and the scan's deterministic merge keeps results
+		// bit-identical at every effective fan-out.
+		scanWorkers := opts.ScanWorkers
+		if scanWorkers <= 0 {
+			scanWorkers = 1
+		}
+		if n := len(pending); n > 0 && n < workers {
+			if boost := workers / n; boost > scanWorkers {
+				scanWorkers = boost
+			}
+		}
 		if workers > len(pending) {
 			workers = len(pending)
 		}
@@ -419,7 +451,7 @@ func (j *Job) Run(ctx context.Context) (*Result, error) {
 				if ctx != nil && ctx.Err() != nil {
 					break
 				}
-				if o := j.runGrade(ctx, c.s, c.k); o != nil {
+				if o := j.runGrade(ctx, c.s, c.k, scanWorkers); o != nil {
 					if err := j.settle(c.s, c.k, o); err != nil {
 						fail(err)
 						break
@@ -444,7 +476,7 @@ func (j *Job) Run(ctx context.Context) (*Result, error) {
 							return
 						}
 						c := pending[i]
-						if o := j.runGrade(ctx, c.s, c.k); o != nil {
+						if o := j.runGrade(ctx, c.s, c.k, scanWorkers); o != nil {
 							if err := j.settle(c.s, c.k, o); err != nil {
 								fail(err)
 								return

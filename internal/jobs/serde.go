@@ -54,6 +54,11 @@ type recognitionJSON struct {
 	Survivors         int              `json:"survivors,omitempty"`
 	TraceBits         int              `json:"trace_bits,omitempty"`
 	PrefilterRejected int              `json:"prefilter_rejected,omitempty"`
+	RejectPopcount    int              `json:"reject_popcount,omitempty"`
+	RejectTransitions int              `json:"reject_transitions,omitempty"`
+	RejectPhase       int              `json:"reject_phase,omitempty"`
+	RejectFraming     int              `json:"reject_framing,omitempty"`
+	Decrypted         int              `json:"decrypted,omitempty"`
 	Surviving         []statementJSON  `json:"surviving,omitempty"`
 	Confidence        float64          `json:"confidence,omitempty"`
 	Degraded          bool             `json:"degraded,omitempty"`
@@ -73,6 +78,11 @@ func encodeRecognition(r *wm.Recognition) *recognitionJSON {
 		Survivors:         r.Survivors,
 		TraceBits:         r.TraceBits,
 		PrefilterRejected: r.PrefilterRejected,
+		RejectPopcount:    r.RejectedByLayer.Popcount,
+		RejectTransitions: r.RejectedByLayer.Transitions,
+		RejectPhase:       r.RejectedByLayer.Phase,
+		RejectFraming:     r.RejectedByLayer.Framing,
+		Decrypted:         r.Decrypted,
 		Confidence:        r.Confidence,
 		Degraded:          r.Degraded,
 	}
@@ -111,8 +121,15 @@ func decodeRecognition(j *recognitionJSON) (*wm.Recognition, error) {
 		Survivors:         j.Survivors,
 		TraceBits:         j.TraceBits,
 		PrefilterRejected: j.PrefilterRejected,
-		Confidence:        j.Confidence,
-		Degraded:          j.Degraded,
+		RejectedByLayer: wm.LayerRejects{
+			Popcount:    j.RejectPopcount,
+			Transitions: j.RejectTransitions,
+			Phase:       j.RejectPhase,
+			Framing:     j.RejectFraming,
+		},
+		Decrypted:  j.Decrypted,
+		Confidence: j.Confidence,
+		Degraded:   j.Degraded,
 	}
 	var err error
 	if r.Watermark, err = decodeBig(j.Watermark); err != nil {

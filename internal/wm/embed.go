@@ -364,7 +364,10 @@ func embedOne(p *vm.Program, ha *hostAnalysis, w *big.Int, key *Key, opts EmbedO
 			span.Finish()
 			return nil, nil, err
 		}
-		block := cipher.Encrypt(enc)
+		// Frame before encrypting: the headroom bits above the payload
+		// carry the structural check the recognizer's framing layer
+		// verifies after decryption (see crt.Params.Frame).
+		block := cipher.Encrypt(key.Params.Frame(enc))
 
 		var gen GeneratorKind
 		var si int

@@ -291,7 +291,9 @@ func GradePair(p *vm.Program, progDigest cache.Digest, key *Key, fc *FleetCaches
 	return RecognizeBits(b, key, RecognizeOpts{
 		Workers:      scanWorkers,
 		Ctx:          opts.Ctx,
+		Filters:      opts.Filters,
 		Prefilter:    opts.Prefilter,
+		Kernel:       opts.Kernel,
 		DecryptCache: fc.DecryptCacheFor(key.Cipher),
 	})
 }
@@ -310,9 +312,15 @@ type CorpusOpts struct {
 	// StepLimit / MaxHeap bound each tracing run (0 = interpreter default).
 	StepLimit int64
 	MaxHeap   int64
-	// Prefilter overrides the scan popcount band for every pair (nil =
-	// DefaultPrefilter).
+	// Filters overrides the scan's lossy filter stack for every pair;
+	// Prefilter is the legacy popcount-only form. See
+	// wm.ResolveFilters for the precedence (Filters wins, then
+	// Prefilter, then DefaultFilters).
+	Filters   *FilterStack
 	Prefilter *PopcountBand
+	// Kernel selects the scan kernel for every pair (KernelAuto =
+	// batched); results are bit-identical across kernels.
+	Kernel ScanKernel
 	// Ctx, when non-nil, cancels the corpus run.
 	Ctx context.Context
 	// Obs, when non-nil, receives the recognize.corpus span and

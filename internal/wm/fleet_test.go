@@ -207,11 +207,13 @@ func TestRecognizeCorpusMatchesPerPair(t *testing.T) {
 	}
 }
 
-// distinctInBand adds every band-surviving window of b (raw scan plus both
-// stride-2 phases — exactly the window sources scanBits visits) to set.
-func distinctInBand(b *bitstring.Bits, band PopcountBand, set map[uint64]bool) {
+// distinctInBand adds every filter-surviving window of b (raw scan plus
+// both stride-2 phases — exactly the window sources scanBits visits) to
+// set.
+func distinctInBand(b *bitstring.Bits, f FilterStack, set map[uint64]bool) {
 	visit := func(_ int, w uint64) bool {
-		if !band.rejects(mathbits.OnesCount64(w)) {
+		pc, tr, ev := windowStats(w)
+		if !f.Popcount.rejects(pc) && !f.Transitions.rejects(tr) && !f.Phase.rejects(ev) {
 			set[w] = true
 		}
 		return true
@@ -256,7 +258,7 @@ func TestCorpusDecryptAtMostOnce(t *testing.T) {
 			wantDistinct[key.Cipher] = set
 		}
 		for _, p := range suspects {
-			distinctInBand(bitsFor(p, key.Input), DefaultPrefilter, set)
+			distinctInBand(bitsFor(p, key.Input), DefaultFilters, set)
 		}
 	}
 	var wantMisses int64

@@ -1,0 +1,263 @@
+package wm
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"pathmark/internal/bitstring"
+	"pathmark/internal/cache"
+	"pathmark/internal/feistel"
+	"pathmark/internal/vm"
+	"pathmark/internal/workloads"
+)
+
+// equivTraces builds the bit-strings the kernel-equivalence tests scan:
+// a genuinely watermarked trace (real structure, real pieces), a
+// pseudorandom string (worst case for the prefilters), a heavily
+// structured string (best case), and short edge-length strings.
+func equivTraces(t testing.TB, key *Key) map[string]*bitstring.Bits {
+	t.Helper()
+	prog := workloads.JessLike(workloads.JessLikeOptions{Seed: 3, Methods: 20, BlockSize: 80})
+	w := RandomWatermark(64, 77)
+	marked, _, err := Embed(prog, w, key, EmbedOptions{Pieces: 32, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, _, err := vm.Collect(marked, key.Input, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(41))
+	randomBits := func(n int) *bitstring.Bits {
+		words := make([]uint64, (n+63)/64)
+		for i := range words {
+			words[i] = rng.Uint64()
+		}
+		b, err := bitstring.FromWords(words, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	structured := bitstring.New(3000)
+	for i := 0; i < 3000; i++ {
+		structured.Append(i%2 == 0 || i%97 < 11)
+	}
+	return map[string]*bitstring.Bits{
+		"marked-trace": tr.DecodeBits(),
+		"random-5000":  randomBits(5000),
+		"random-4097":  randomBits(4097),
+		"structured":   structured,
+		"len-64":       randomBits(64),
+		"len-65":       randomBits(65),
+		"len-129":      randomBits(129),
+		"len-63":       randomBits(63), // below one window: scan is empty
+	}
+}
+
+// TestKernelEquivalence is the scan rebuild's core property: the batched
+// kernel (packed strides, incremental filters, block decryption, cache
+// Peek/Put) produces a Recognition bit-identical to the scalar reference
+// kernel, for every trace shape, filter configuration (including the
+// legacy popcount-only band and no filtering at all), worker count, and
+// cache mode.
+func TestKernelEquivalence(t *testing.T) {
+	key, err := NewKey(nil, feistel.KeyFromUint64(21, 34), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	traces := equivTraces(t, key)
+
+	narrow := Band{Lo: 24, Hi: 40}
+	customStack := FilterStack{
+		Popcount:    Band{Lo: 10, Hi: 54},
+		Transitions: Band{Lo: 16, Hi: 48},
+		Phase:       Band{Lo: 7, Hi: 25},
+	}
+	filterCases := []struct {
+		name      string
+		filters   *FilterStack
+		prefilter *PopcountBand
+	}{
+		{"default", nil, nil},
+		{"no-filters", &NoFilters, nil},
+		{"legacy-no-prefilter", nil, &NoPrefilter},
+		{"legacy-band", nil, &narrow},
+		{"custom-stack", &customStack, nil},
+	}
+
+	for name, b := range traces {
+		for _, fc := range filterCases {
+			baseOpts := RecognizeOpts{
+				Workers: 1, Kernel: KernelScalar,
+				Filters: fc.filters, Prefilter: fc.prefilter,
+			}
+			want, wantErr := RecognizeBits(b, key, baseOpts)
+			if wantErr != nil {
+				t.Fatalf("%s/%s: scalar reference failed: %v", name, fc.name, wantErr)
+			}
+			for _, kernel := range []ScanKernel{KernelScalar, KernelBatched, KernelAuto} {
+				for _, workers := range []int{1, 4, 8} {
+					for _, cached := range []bool{false, true} {
+						opts := baseOpts
+						opts.Kernel = kernel
+						opts.Workers = workers
+						if cached {
+							opts.DecryptCache = cache.NewCache64(0)
+						}
+						got, err := RecognizeBits(b, key, opts)
+						if err != nil {
+							t.Fatalf("%s/%s kernel=%d workers=%d cached=%v: %v",
+								name, fc.name, kernel, workers, cached, err)
+						}
+						if !reflect.DeepEqual(got, want) {
+							t.Errorf("%s/%s kernel=%d workers=%d cached=%v: Recognition diverged\n got %+v\nwant %+v",
+								name, fc.name, kernel, workers, cached, got, want)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestKernelEquivalenceSharedCache runs both kernels against the same
+// long-lived cache (the fleet topology: many scans, one memo table per
+// cipher) and checks results stay identical when the table is already
+// warm — the memoized decryptions must be exactly what each kernel would
+// compute.
+func TestKernelEquivalenceSharedCache(t *testing.T) {
+	key, err := NewKey(nil, feistel.KeyFromUint64(9, 2), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	traces := equivTraces(t, key)
+	c := cache.NewCache64(0)
+	for name, b := range traces {
+		scalar, err := RecognizeBits(b, key, RecognizeOpts{
+			Workers: 2, Kernel: KernelScalar, DecryptCache: c})
+		if err != nil {
+			t.Fatalf("%s scalar: %v", name, err)
+		}
+		batched, err := RecognizeBits(b, key, RecognizeOpts{
+			Workers: 2, Kernel: KernelBatched, DecryptCache: c})
+		if err != nil {
+			t.Fatalf("%s batched: %v", name, err)
+		}
+		if !reflect.DeepEqual(scalar, batched) {
+			t.Errorf("%s: warm-cache divergence\n scalar %+v\nbatched %+v", name, scalar, batched)
+		}
+	}
+}
+
+// TestKernelEquivalenceBounded exercises the eviction path: a cache far
+// smaller than the distinct-window count must still leave results
+// bit-identical across kernels and worker counts (the memo table is pure
+// amortization, never semantics).
+func TestKernelEquivalenceBounded(t *testing.T) {
+	key, err := NewKey(nil, feistel.KeyFromUint64(5, 6), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(99))
+	words := make([]uint64, 120)
+	for i := range words {
+		words[i] = rng.Uint64()
+	}
+	b, err := bitstring.FromWords(words, len(words)*64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := RecognizeBits(b, key, RecognizeOpts{Workers: 1, Kernel: KernelScalar})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, kernel := range []ScanKernel{KernelScalar, KernelBatched} {
+		for _, workers := range []int{1, 4} {
+			got, err := RecognizeBits(b, key, RecognizeOpts{
+				Workers: workers, Kernel: kernel,
+				DecryptCache: cache.NewCache64(256),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("kernel=%d workers=%d bounded cache: Recognition diverged", kernel, workers)
+			}
+		}
+	}
+}
+
+// TestEmbeddedPiecesSurviveFilters pins the lossless half of the filter
+// contract end to end: every piece actually embedded by Embed passes the
+// default filter stack and the framing check, so recognition with
+// defaults recovers the watermark exactly (ValidStatements > 0, full
+// coverage).
+func TestEmbeddedPiecesSurviveFilters(t *testing.T) {
+	key, err := NewKey(nil, feistel.KeyFromUint64(21, 34), 96)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := workloads.JessLike(workloads.JessLikeOptions{Seed: 12, Methods: 24, BlockSize: 90})
+	w := RandomWatermark(96, 13)
+	marked, _, err := Embed(prog, w, key, EmbedOptions{Pieces: 48, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, kernel := range []ScanKernel{KernelScalar, KernelBatched} {
+		rec, err := RecognizeWithOpts(marked, key, RecognizeOpts{Kernel: kernel})
+		if err != nil {
+			t.Fatalf("kernel=%d: %v", kernel, err)
+		}
+		if !rec.Matches(w) {
+			t.Fatalf("kernel=%d: watermark not recovered: %+v", kernel, rec)
+		}
+		if rec.ValidStatements == 0 || rec.Decrypted == 0 {
+			t.Fatalf("kernel=%d: no statements decoded (valid=%d decrypted=%d)",
+				kernel, rec.ValidStatements, rec.Decrypted)
+		}
+	}
+}
+
+// BenchmarkRecognizeKernels is the old-vs-new comparison at the
+// RecognizeBits level: scalar kernel with the legacy popcount-only band
+// (the pre-rebuild configuration) against the batched kernel with the
+// default stack (the production configuration).
+func BenchmarkRecognizeKernels(b *testing.B) {
+	key, err := NewKey(nil, feistel.KeyFromUint64(21, 34), 128)
+	if err != nil {
+		b.Fatal(err)
+	}
+	prog := workloads.JessLike(workloads.JessLikeOptions{Seed: 8, Methods: 60, BlockSize: 150})
+	w := RandomWatermark(128, 23)
+	marked, _, err := Embed(prog, w, key, EmbedOptions{Pieces: 128, Seed: 11, Policy: GenLoopOnly})
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr, _, err := vm.Collect(marked, key.Input, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	bits := tr.DecodeBits()
+	for _, bc := range []struct {
+		name string
+		opts RecognizeOpts
+	}{
+		{"legacy-scalar", RecognizeOpts{Workers: 1, Kernel: KernelScalar, Prefilter: &DefaultPrefilter}},
+		{"batched-stack", RecognizeOpts{Workers: 1, Kernel: KernelBatched}},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			var windows int
+			for i := 0; i < b.N; i++ {
+				rec, err := RecognizeBits(bits, key, bc.opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				windows = rec.Windows
+			}
+			b.ReportMetric(float64(windows)*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mwindows/s")
+		})
+	}
+}

@@ -4,7 +4,6 @@ import (
 	"context"
 	"fmt"
 	"math/big"
-	"math/bits"
 	"runtime"
 	"sort"
 	"sync"
@@ -36,10 +35,20 @@ type Recognition struct {
 	VotedOut         int // statements eliminated by the W mod p_i vote
 	Survivors        int // statements surviving the consistency graphs
 	TraceBits        int // length of the decoded bit-string
-	// PrefilterRejected counts windows dropped by the popcount prefilter
-	// before decryption (see RecognizeOpts.Prefilter). A sum over disjoint
-	// scan shards, hence identical at every worker count.
+	// PrefilterRejected counts windows dropped by the lossy statistical
+	// filter stack before decryption (see RecognizeOpts.Filters) — the
+	// sum of the pre-decrypt layers of RejectedByLayer. A sum over
+	// disjoint scan shards, hence identical at every worker count.
 	PrefilterRejected int
+	// RejectedByLayer breaks the rejections down by filter layer,
+	// including the post-decrypt framing check; see LayerRejects.
+	RejectedByLayer LayerRejects
+	// Decrypted counts windows that survived every pre-decrypt filter
+	// and were submitted to the cipher — the denominator of the framing
+	// layer and the true unit of scan kernel work. (With a decrypt
+	// cache, repeats of a window are answered from the memo table; this
+	// counts submissions, not cipher executions.)
+	Decrypted int
 
 	// Surviving holds the CRT statements that survived the vote and
 	// consistency graphs — the partial-recovery evidence. When the full
@@ -60,31 +69,6 @@ type Recognition struct {
 	// recognize.scan_panics counter for the uncapped total.
 	StageErrors []*StageError
 }
-
-// PopcountBand is the scan stage's prefilter: a window is decrypted only
-// when its popcount lies in [Lo, Hi] (inclusive on both edges). Degenerate
-// low-entropy windows — long constant runs from the generators' priming
-// passes — would otherwise decode at thousands of positions and hijack the
-// W mod p_i vote, while a genuine cipher block is pseudorandom and sits
-// near popcount 32 except with tiny probability. The filter is lossy by
-// construction: with the default band a genuine encrypted piece is
-// rejected with probability ~7.6e-11 (the two binomial tails), so a
-// recognizer that comes up empty can retry with a wider band; rejected
-// windows are counted in Recognition.PrefilterRejected and the
-// scan.prefilter_rejected obs counter rather than dropped silently.
-type PopcountBand struct {
-	Lo, Hi int
-}
-
-// DefaultPrefilter is the band used when RecognizeOpts.Prefilter is nil.
-var DefaultPrefilter = PopcountBand{Lo: 8, Hi: 56}
-
-// NoPrefilter accepts every window (the band covers all 65 popcounts);
-// use it to rule the prefilter out when hunting for lost pieces.
-var NoPrefilter = PopcountBand{Lo: 0, Hi: 64}
-
-// rejects reports whether the band drops a window with popcount pc.
-func (b PopcountBand) rejects(pc int) bool { return pc < b.Lo || pc > b.Hi }
 
 // RecognizeOpts tunes the recognition pipeline.
 type RecognizeOpts struct {
@@ -108,9 +92,22 @@ type RecognizeOpts struct {
 	// converts into a StageError without losing other workers' counts.
 	// Production callers leave it nil.
 	ScanHook func(worker, chunk int)
-	// Prefilter overrides the scan's popcount band (nil = the
-	// DefaultPrefilter band [8, 56]; NoPrefilter disables filtering).
+	// Filters overrides the scan's lossy pre-decrypt filter stack
+	// (nil = DefaultFilters unless the legacy Prefilter is set;
+	// NoFilters disables the lossy layers). See ResolveFilters for the
+	// precedence between Filters and Prefilter.
+	Filters *FilterStack
+	// Prefilter is the legacy popcount-only filter option: when set (and
+	// Filters is nil) the scan runs exactly the historic popcount band,
+	// with the newer transition and phase layers wide open. NoPrefilter
+	// disables the lossy stack entirely.
 	Prefilter *PopcountBand
+	// Kernel selects the scan's inner-loop implementation. The zero
+	// value (KernelAuto) picks the batched kernel; KernelScalar forces
+	// the one-window-at-a-time reference kernel. Recognition results are
+	// bit-identical across kernels — the knob exists for differential
+	// tests and old-vs-new benchmarks.
+	Kernel ScanKernel
 	// DecryptCache, when non-nil, memoizes window decryption across the
 	// scan: each distinct 64-bit window is run through the cipher at most
 	// once (within the cache's capacity) and repeats are answered from the
@@ -222,14 +219,13 @@ func RecognizeBits(b *bitstring.Bits, key *Key, opts RecognizeOpts) (*Recognitio
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	band := DefaultPrefilter
-	if opts.Prefilter != nil {
-		band = *opts.Prefilter
-	}
 	span := opts.Obs.Start("recognize.scan")
 	cacheBefore := opts.DecryptCache.Stats()
 	acc, scanErrs, err := scanBits(opts.Ctx, b, key, workers, scanConfig{
-		hook: opts.ScanHook, band: band, decryptCache: opts.DecryptCache,
+		hook:         opts.ScanHook,
+		filters:      ResolveFilters(opts.Filters, opts.Prefilter),
+		kernel:       opts.Kernel.resolve(),
+		decryptCache: opts.DecryptCache,
 	})
 	if err != nil {
 		span.Finish()
@@ -242,13 +238,20 @@ func RecognizeBits(b *bitstring.Bits, key *Key, opts RecognizeOpts) (*Recognitio
 	}
 	rec.Windows = acc.windows
 	rec.ValidStatements = acc.valid
-	rec.PrefilterRejected = acc.rejected
+	rec.RejectedByLayer = acc.rej
+	rec.PrefilterRejected = acc.rej.preDecrypt()
+	rec.Decrypted = acc.decrypted
 	span.Set("windows", int64(acc.windows)).
 		Set("valid_statements", int64(acc.valid)).
 		Set("recovered_panics", int64(acc.panics)).Finish()
 	opts.Obs.Counter("recognize.windows_total").Add(int64(acc.windows))
 	opts.Obs.Counter("recognize.valid_total").Add(int64(acc.valid))
-	opts.Obs.Counter("scan.prefilter_rejected").Add(int64(acc.rejected))
+	opts.Obs.Counter("scan.prefilter_rejected").Add(int64(rec.PrefilterRejected))
+	opts.Obs.Counter("scan.reject.popcount").Add(int64(acc.rej.Popcount))
+	opts.Obs.Counter("scan.reject.transitions").Add(int64(acc.rej.Transitions))
+	opts.Obs.Counter("scan.reject.phase").Add(int64(acc.rej.Phase))
+	opts.Obs.Counter("scan.reject.framing").Add(int64(acc.rej.Framing))
+	opts.Obs.Counter("scan.decrypted").Add(int64(acc.decrypted))
 	if opts.DecryptCache != nil {
 		// Delta, not absolute: the cache typically outlives one call. The
 		// hit/miss split is schedule-independent as long as the cache stays
@@ -302,78 +305,192 @@ func RecognizeBits(b *bitstring.Bits, key *Key, opts RecognizeOpts) (*Recognitio
 // raw bit-string is scanned alongside its two stride-2 phases: the rolled
 // loop generator interleaves one constant control bit between payload
 // bits, so its pieces are contiguous in a stride-2 phase rather than in
-// the raw string.
+// the raw string. The scalar kernel reads the phases through the strided
+// window iterator over the raw string (src = the trace, stride = 2); the
+// batched kernel materializes each phase once (bitstring.PackStride2)
+// and scans the packed vector stride-1 (src = the packed phase). Window
+// counts and contents are identical either way.
 type scanTask struct {
-	stride, phase int // stride=1: raw scan
+	src           *bitstring.Bits
+	stride, phase int // stride=1: scan src directly
 	numWindows    int
+}
+
+// statementCountHint pre-sizes a scan accumulator's statement-count map.
+// A marked trace yields at most a few hundred distinct valid statements
+// (bounded by the embedding's piece count plus coincidental decodes), and
+// growing a struct-keyed map incrementally costs more than the scan's
+// whole decode pass — rehashing showed up at ~7% of the batched kernel's
+// profile before the hint.
+const statementCountHint = 256
+
+func newScanAccum() *scanAccum {
+	return &scanAccum{counts: make(map[crt.Statement]int, statementCountHint)}
 }
 
 // scanAccum accumulates one worker's share of the scan.
 type scanAccum struct {
-	windows  int
-	valid    int
-	rejected int // windows dropped by the popcount prefilter
-	panics   int
-	counts   map[crt.Statement]int
+	windows   int
+	valid     int
+	rej       LayerRejects // windows dropped, by filter layer
+	decrypted int          // windows submitted to the decrypt layer
+	panics    int
+	counts    map[crt.Statement]int
 }
 
 // scanConfig bundles the scan stage's tuning knobs so scanBits keeps a
 // stable signature as knobs accrue.
 type scanConfig struct {
 	hook         func(worker, chunk int)
-	band         PopcountBand
+	filters      FilterStack
+	kernel       ScanKernel
 	decryptCache *cache.Cache64
 }
 
 // scanEnv is one worker's per-goroutine scan state: its private cipher
 // instance (expanded subkeys), the shared read-only decode parameters,
-// and the (shared, concurrency-safe) decrypt cache.
+// the (shared, concurrency-safe) decrypt cache, and the batched kernel's
+// reusable gather buffers.
 type scanEnv struct {
 	cipher  *feistel.Cipher
-	decrypt func(uint64) uint64 // cipher.Decrypt as a bound method value
+	decrypt func(uint64) uint64 // cipher.Decrypt, bound once
 	params  *crt.Params
-	band    PopcountBand
+	filters FilterStack
 	cache   *cache.Cache64
+	// Batched-kernel scratch, sized to the chunk granularity and reused
+	// across chunks so the gather loop never allocates.
+	winBuf  []uint64 // filter survivors of the current chunk
+	decBuf  []uint64 // their decryptions, same indexing
+	missBuf []uint64 // cache misses, gathered contiguously
+	missIdx []int    // winBuf index of each cache miss
+	// AVX2 gather dispatch: set when the CPU has the kernel and the
+	// stack's bands fit its byte arithmetic (see bandsPackable).
+	useGather   bool
+	gatherBands uint64
+	// AVX2 framing-check dispatch for pass 3, with the flattened
+	// framing constants and the passing-index scratch it needs.
+	useUnframe  bool
+	frameConsts crt.FrameConsts
+	passBuf     []int32
+	// bufs is the pooled backing of the scratch slices above; returned
+	// to scanBufPool when the worker finishes (releaseBufs).
+	bufs *scanEnvBufs
+}
+
+// scanEnvBufs bundles one worker's batched-kernel scratch so it can be
+// recycled through scanBufPool: the buffers total ~70KB per worker, and
+// fleet/bench callers run many scans per second, so allocating (and
+// zeroing) them per scan shows up. The buffers are pure scratch —
+// fully written before they are read within each chunk — so reuse
+// cannot leak state between scans, keys, or workers.
+type scanEnvBufs struct {
+	win, dec, miss []uint64
+	missIdx        []int
+	pass           []int32
+}
+
+// packedPool recycles the batched kernel's stride-2 packed vectors
+// (PackStride2Into overwrites every word, so reuse carries no state).
+var packedPool = sync.Pool{New: func() any { return new(bitstring.Bits) }}
+
+var scanBufPool = sync.Pool{New: func() any {
+	return &scanEnvBufs{
+		win:     make([]uint64, 0, scanChunkWindows),
+		dec:     make([]uint64, scanChunkWindows),
+		miss:    make([]uint64, 0, scanChunkWindows),
+		missIdx: make([]int, 0, scanChunkWindows),
+		pass:    make([]int32, scanChunkWindows),
+	}
+}}
+
+// releaseBufs returns the worker's scratch to the pool; the env must
+// not touch the buffers afterwards.
+func (env *scanEnv) releaseBufs() {
+	if env.bufs == nil {
+		return
+	}
+	scanBufPool.Put(env.bufs)
+	env.bufs = nil
+	env.winBuf, env.decBuf, env.missBuf, env.missIdx, env.passBuf = nil, nil, nil, nil, nil
 }
 
 func newScanEnv(key *Key, cfg scanConfig) *scanEnv {
 	c := feistel.New(key.Cipher)
-	return &scanEnv{
+	env := &scanEnv{
 		cipher:  c,
 		decrypt: c.Decrypt,
 		params:  key.Params,
-		band:    cfg.band,
+		filters: cfg.filters,
 		cache:   cfg.decryptCache,
+	}
+	if cfg.kernel == KernelBatched {
+		env.bufs = scanBufPool.Get().(*scanEnvBufs)
+		env.winBuf = env.bufs.win
+		env.decBuf = env.bufs.dec
+		env.missBuf = env.bufs.miss
+		env.missIdx = env.bufs.missIdx
+		env.passBuf = env.bufs.pass
+		if env.useGather = gatherAvailable && bandsPackable(cfg.filters); env.useGather {
+			env.gatherBands = packBands(cfg.filters)
+		}
+		if env.useUnframe = gatherAvailable; env.useUnframe {
+			env.frameConsts = key.Params.FrameConstants()
+		}
+	}
+	return env
+}
+
+// decryptOne is the scalar kernel's single decryption path: through the
+// memo table when a cache is configured (each distinct window runs the
+// cipher at most once within capacity), directly otherwise.
+func (env *scanEnv) decryptOne(w uint64) uint64 {
+	if env.cache != nil {
+		return env.cache.GetOrCompute(w, env.decrypt)
+	}
+	return env.decrypt(w)
+}
+
+// decode runs the post-decrypt layers on one decrypted window: the
+// lossless framing check (structural reject, counted per layer) and the
+// statement codec. Shared by both kernels — the kernels differ only in
+// how windows are filtered and decrypted, never in what a decryption
+// means.
+func (a *scanAccum) decode(env *scanEnv, dec uint64) {
+	enc, ok := env.params.Unframe(dec)
+	if !ok {
+		a.rej.Framing++
+		return
+	}
+	if st, ok := env.params.Decode(enc); ok {
+		a.valid++
+		a.counts[st]++
 	}
 }
 
-// scanRange scans windows [lo, hi) of one task, decrypting each candidate
-// window and recording decoded statements.
+// scanRange is the scalar (reference) kernel: it scans windows [lo, hi)
+// of one task, filtering, decrypting, and decoding one window at a time.
 //
-// Degenerate low-entropy windows (long constant runs, e.g. from the
-// generators' priming passes) are dropped by the popcount band before
-// decryption — see PopcountBand for the filter's rationale and
-// false-negative rate — and counted per shard so the total is
-// deterministic. With a decrypt cache, each distinct surviving window
-// runs through the cipher at most once; the memo value is the raw
-// decryption, whose in-range check (params.Decode) is cheap enough to
-// redo per occurrence.
+// Degenerate low-entropy windows (long constant runs, strided patterns —
+// e.g. from the generators' priming passes) are dropped by the
+// statistical filter stack before decryption — see FilterStack for the
+// layers and their false-negative rates — and counted per layer, per
+// shard, so the totals are deterministic. Windows that decrypt but fail
+// the framing check are counted in the framing layer.
 func (a *scanAccum) scanRange(b *bitstring.Bits, t scanTask, lo, hi int, env *scanEnv) {
+	f := env.filters
 	visit := func(_ int, w uint64) bool {
 		a.windows++
-		if env.band.rejects(bits.OnesCount64(w)) {
-			a.rejected++
-			return true
-		}
-		var dec uint64
-		if env.cache != nil {
-			dec = env.cache.GetOrCompute(w, env.decrypt)
-		} else {
-			dec = env.cipher.Decrypt(w)
-		}
-		if st, ok := env.params.Decode(dec); ok {
-			a.valid++
-			a.counts[st]++
+		pc, tr, ev := windowStats(w)
+		switch {
+		case f.Popcount.rejects(pc):
+			a.rej.Popcount++
+		case f.Transitions.rejects(tr):
+			a.rej.Transitions++
+		case f.Phase.rejects(ev):
+			a.rej.Phase++
+		default:
+			a.decrypted++
+			a.decode(env, env.decryptOne(w))
 		}
 		return true
 	}
@@ -394,8 +511,8 @@ type scanChunk struct {
 // fault-injection hook or from corrupted state — is recovered and reported
 // as a *StageError instead of unwinding the worker, so one poisoned chunk
 // costs at most its own partial counts.
-func (a *scanAccum) runChunk(b *bitstring.Bits, c scanChunk, worker, chunk int,
-	env *scanEnv, hook func(worker, chunk int)) (serr *StageError) {
+func (a *scanAccum) runChunk(c scanChunk, worker, chunk int,
+	env *scanEnv, cfg scanConfig) (serr *StageError) {
 	defer func() {
 		if r := recover(); r != nil {
 			a.panics++
@@ -403,10 +520,14 @@ func (a *scanAccum) runChunk(b *bitstring.Bits, c scanChunk, worker, chunk int,
 				Cause: fmt.Errorf("recovered scan panic on chunk %d: %v", chunk, r)}
 		}
 	}()
-	if hook != nil {
-		hook(worker, chunk)
+	if cfg.hook != nil {
+		cfg.hook(worker, chunk)
 	}
-	a.scanRange(b, c.task, c.lo, c.hi, env)
+	if cfg.kernel == KernelBatched {
+		a.scanRangeBatched(c.task.src, c.lo, c.hi, env)
+	} else {
+		a.scanRange(c.task.src, c.task, c.lo, c.hi, env)
+	}
 	return nil
 }
 
@@ -418,11 +539,30 @@ func (a *scanAccum) runChunk(b *bitstring.Bits, c scanChunk, worker, chunk int,
 // which case the scan is abandoned.
 func scanBits(ctx context.Context, b *bitstring.Bits, key *Key, workers int,
 	cfg scanConfig) (*scanAccum, []*StageError, error) {
-	tasks := []scanTask{{stride: 1, numWindows: b.NumWindows64()}}
+	cfg.kernel = cfg.kernel.resolve()
+	tasks := []scanTask{{src: b, stride: 1, numWindows: b.NumWindows64()}}
 	if b.Len() >= 2 {
-		tasks = append(tasks,
-			scanTask{stride: 2, phase: 0, numWindows: b.StrideNumWindows64(2, 0)},
-			scanTask{stride: 2, phase: 1, numWindows: b.StrideNumWindows64(2, 1)})
+		if cfg.kernel == KernelBatched {
+			// The batched kernel scans each stride-2 phase as a packed
+			// contiguous vector (one word-parallel pass to build, then the
+			// same stride-1 gather loop as the raw scan). Window counts and
+			// contents match the strided iterator exactly, so the chunk
+			// grid — and every merged counter — is kernel-independent.
+			// The vectors are pooled scratch: private to this call while
+			// workers run, recycled once every worker has joined.
+			for phase := 0; phase < 2; phase++ {
+				packed := b.PackStride2Into(packedPool.Get().(*bitstring.Bits), phase)
+				defer packedPool.Put(packed)
+				tasks = append(tasks, scanTask{
+					src: packed, stride: 2, phase: phase,
+					numWindows: packed.NumWindows64(),
+				})
+			}
+		} else {
+			tasks = append(tasks,
+				scanTask{src: b, stride: 2, phase: 0, numWindows: b.StrideNumWindows64(2, 0)},
+				scanTask{src: b, stride: 2, phase: 1, numWindows: b.StrideNumWindows64(2, 1)})
+		}
 	}
 
 	// Chunk every task's window range into fixed-size shards. Scheduling
@@ -439,21 +579,22 @@ func scanBits(ctx context.Context, b *bitstring.Bits, key *Key, workers int,
 		}
 	}
 	if len(chunks) == 0 {
-		return &scanAccum{counts: make(map[crt.Statement]int)}, nil, nil
+		return newScanAccum(), nil, nil
 	}
 	if workers > len(chunks) {
 		workers = len(chunks)
 	}
 
 	if workers <= 1 {
-		acc := &scanAccum{counts: make(map[crt.Statement]int)}
+		acc := newScanAccum()
 		env := newScanEnv(key, cfg)
+		defer env.releaseBufs()
 		var errs []*StageError
 		for i, c := range chunks {
 			if ctx != nil && ctx.Err() != nil {
 				return nil, nil, ctx.Err()
 			}
-			if serr := acc.runChunk(b, c, 0, i, env, cfg.hook); serr != nil {
+			if serr := acc.runChunk(c, 0, i, env, cfg); serr != nil {
 				if len(errs) < maxStageErrors {
 					errs = append(errs, serr)
 				}
@@ -470,12 +611,13 @@ func scanBits(ctx context.Context, b *bitstring.Bits, key *Key, workers int,
 	var wg sync.WaitGroup
 	for wi := 0; wi < workers; wi++ {
 		wi := wi
-		acc := &scanAccum{counts: make(map[crt.Statement]int)}
+		acc := newScanAccum()
 		accs[wi] = acc
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			env := newScanEnv(key, cfg)
+			defer env.releaseBufs()
 			for {
 				if ctx != nil && ctx.Err() != nil {
 					return
@@ -484,7 +626,7 @@ func scanBits(ctx context.Context, b *bitstring.Bits, key *Key, workers int,
 				if i >= len(chunks) {
 					return
 				}
-				if serr := acc.runChunk(b, chunks[i], wi, i, env, cfg.hook); serr != nil {
+				if serr := acc.runChunk(chunks[i], wi, i, env, cfg); serr != nil {
 					if len(errLists[wi]) < maxStageErrors {
 						errLists[wi] = append(errLists[wi], serr)
 					}
@@ -501,7 +643,8 @@ func scanBits(ctx context.Context, b *bitstring.Bits, key *Key, workers int,
 	for _, acc := range accs[1:] {
 		merged.windows += acc.windows
 		merged.valid += acc.valid
-		merged.rejected += acc.rejected
+		merged.rej.add(acc.rej)
+		merged.decrypted += acc.decrypted
 		merged.panics += acc.panics
 		for st, c := range acc.counts {
 			merged.counts[st] += c
@@ -594,20 +737,50 @@ func resolveStatements(ctx context.Context, rec *Recognition, counts map[crt.Sta
 	}
 
 	// Graphs over the remaining statements: G connects inconsistent pairs,
-	// H connects pairs that agree on a shared prime.
+	// H connects pairs that agree on a shared prime. Either relation can
+	// only hold between statements whose prime pairs intersect — disjoint
+	// moduli are coprime, so the CRT makes such statements vacuously
+	// consistent and never H-adjacent. Instead of the all-pairs gcd test
+	// (quadratic in n with modular arithmetic per pair, the dominant cost
+	// of this stage on large scans), statements are bucketed by incident
+	// prime and residues compared within buckets: a mismatch on any shared
+	// prime is a G edge, agreement on every shared prime an H edge. A pair
+	// sharing both primes meets in two buckets, so agreement is tentative
+	// until all buckets are processed and G has claimed its pairs.
 	n := len(filtered)
 	gAdj := make([][]bool, n)
-	hDegIncident := make([][]int, n) // H adjacency lists
+	hTent := make([][]bool, n)
 	for i := range gAdj {
 		gAdj[i] = make([]bool, n)
+		hTent[i] = make([]bool, n)
+	}
+	type incidence struct {
+		idx int
+		res uint64
+	}
+	buckets := make([][]incidence, len(primes))
+	for i, c := range filtered {
+		buckets[c.st.I] = append(buckets[c.st.I], incidence{i, c.st.X % primes[c.st.I]})
+		buckets[c.st.J] = append(buckets[c.st.J], incidence{i, c.st.X % primes[c.st.J]})
 	}
 	gEdges := 0
+	for _, b := range buckets {
+		for x := 0; x < len(b); x++ {
+			for y := x + 1; y < len(b); y++ {
+				i, j := b[x].idx, b[y].idx
+				if b[x].res == b[y].res {
+					hTent[i][j], hTent[j][i] = true, true
+				} else if !gAdj[i][j] {
+					gAdj[i][j], gAdj[j][i] = true, true
+					gEdges++
+				}
+			}
+		}
+	}
+	hDegIncident := make([][]int, n) // H adjacency lists
 	for i := 0; i < n; i++ {
 		for j := i + 1; j < n; j++ {
-			if !key.Params.Consistent(filtered[i].st, filtered[j].st) {
-				gAdj[i][j], gAdj[j][i] = true, true
-				gEdges++
-			} else if key.Params.SharePrime(filtered[i].st, filtered[j].st) {
+			if hTent[i][j] && !gAdj[i][j] {
 				hDegIncident[i] = append(hDegIncident[i], j)
 				hDegIncident[j] = append(hDegIncident[j], i)
 			}

@@ -1,0 +1,619 @@
+//go:build amd64 && !purego
+
+#include "textflag.h"
+
+// AVX2 gather/filter kernel for the batched scan (pass 1).
+//
+// The portable rolling loop pays a loop-carried dependency per window:
+// each window's statistics derive from the previous window's. This
+// kernel breaks the chain by processing 32 consecutive windows per
+// block and deriving all 32 statistic triples with byte-lane prefix
+// sums of boundary-bit deltas:
+//
+//	pc(s+j) = pc(s) + Σ_{m<j} d_m        d_m = b[s+64+m] - b[s+m]
+//	tr(s+j) = tr(s) + Σ_{m<j} e_m        e_m = t[s+63+m] - t[s+m]
+//	ev(s+j) = ev(s)          + Σ_{m<j, m even} d_m   (j even)
+//	          (pc(s)-ev(s))  + Σ_{m<j, m odd}  d_m   (j odd)
+//
+// where t[i] = b[i] ^ b[i+1] and ev counts the window's even positions
+// (sliding by one swaps bit parity, so the odd-lane seed is the first
+// window's odd-position count pc-ev). The three seeds come from three
+// scalar POPCNTs on the block's base window; the deltas come from the
+// low 32 bits of four 64-bit extractions (the base window, the window
+// 64 bits later, and the two transition words they induce), expanded
+// to 0x00/0xFF byte lanes. Exclusive prefix sums are the standard
+// log-step VPSLLDQ/VPADDB ladder run per 128-bit lane, then made
+// global by broadcasting each lane's inclusive total to its bytes
+// (VPSHUFB of byte 15) and adding the low lane's total into the high
+// lane only (VPERM2I128 $8 zeroes the low lane while routing the low
+// lane's value high). The odd-lane chain is derived as
+// (prefix of d) - (prefix of even-masked d), saving a third ladder.
+//
+// Band tests are unsigned byte range checks via the sign-bias trick:
+// unsigned(v-lo) > range  <=>  ((v-lo)^0x80) >signed (range^0x80).
+// Band bytes are broadcast once per call into stack slots. VPMOVMSKB
+// turns the three reject masks into bitmasks and POPCNT accumulates the
+// per-layer counters with the scalar kernel's short-circuit priority
+// (popcount claims a window first, then transitions, then phase).
+//
+// Survivor extraction: marked regions pass most windows, so the
+// extraction path is hot and must pay neither per-survivor shifts nor a
+// serial bit-scan chain. When any window survives, all 32 windows of
+// the block are materialized at once with variable-count vector shifts
+// — four lanes of (w0 >> j) | (w64s << (63-j)) per YMM — and either
+// stored straight to the output when the whole block survives (the
+// common case inside a marked region) or spilled to a stack buffer
+// for a branchless compress: every lane is stored to the output cursor
+// unconditionally, advancing the cursor only when the lane's mask bit
+// is set (a rejected lane's store is overwritten by the next lane).
+// The compress may touch one slot past the final survivor, which the
+// output buffer's n-window capacity always covers.
+
+DATA shufdup<>+0(SB)/8, $0x0000000000000000 // lanes 0-7 <- byte 0
+DATA shufdup<>+8(SB)/8, $0x0101010101010101 // lanes 8-15 <- byte 1
+DATA shufdup<>+16(SB)/8, $0x0202020202020202 // lanes 16-23 <- byte 2
+DATA shufdup<>+24(SB)/8, $0x0303030303030303 // lanes 24-31 <- byte 3
+GLOBL shufdup<>(SB), RODATA|NOPTR, $32
+
+DATA bitsel<>+0(SB)/8, $0x8040201008040201 // bit i selector in lane i%8
+DATA bitsel<>+8(SB)/8, $0x8040201008040201
+DATA bitsel<>+16(SB)/8, $0x8040201008040201
+DATA bitsel<>+24(SB)/8, $0x8040201008040201
+GLOBL bitsel<>(SB), RODATA|NOPTR, $32
+
+DATA evenlane<>+0(SB)/8, $0x00ff00ff00ff00ff // 0xFF in even lanes
+DATA evenlane<>+8(SB)/8, $0x00ff00ff00ff00ff
+DATA evenlane<>+16(SB)/8, $0x00ff00ff00ff00ff
+DATA evenlane<>+24(SB)/8, $0x00ff00ff00ff00ff
+GLOBL evenlane<>(SB), RODATA|NOPTR, $32
+
+DATA bias80<>+0(SB)/8, $0x8080808080808080
+DATA bias80<>+8(SB)/8, $0x8080808080808080
+DATA bias80<>+16(SB)/8, $0x8080808080808080
+DATA bias80<>+24(SB)/8, $0x8080808080808080
+GLOBL bias80<>(SB), RODATA|NOPTR, $32
+
+DATA bcast15<>+0(SB)/8, $0x0f0f0f0f0f0f0f0f // in-lane byte-15 broadcast
+DATA bcast15<>+8(SB)/8, $0x0f0f0f0f0f0f0f0f
+DATA bcast15<>+16(SB)/8, $0x0f0f0f0f0f0f0f0f
+DATA bcast15<>+24(SB)/8, $0x0f0f0f0f0f0f0f0f
+GLOBL bcast15<>(SB), RODATA|NOPTR, $32
+
+// Per-lane shift counts for window materialization: window s+j is
+// (w0 >> j) | (w64s << (63-j)) with w64s = w64<<1.
+DATA shiftj<>+0(SB)/8, $0
+DATA shiftj<>+8(SB)/8, $1
+DATA shiftj<>+16(SB)/8, $2
+DATA shiftj<>+24(SB)/8, $3
+DATA shiftj<>+32(SB)/8, $4
+DATA shiftj<>+40(SB)/8, $5
+DATA shiftj<>+48(SB)/8, $6
+DATA shiftj<>+56(SB)/8, $7
+DATA shiftj<>+64(SB)/8, $8
+DATA shiftj<>+72(SB)/8, $9
+DATA shiftj<>+80(SB)/8, $10
+DATA shiftj<>+88(SB)/8, $11
+DATA shiftj<>+96(SB)/8, $12
+DATA shiftj<>+104(SB)/8, $13
+DATA shiftj<>+112(SB)/8, $14
+DATA shiftj<>+120(SB)/8, $15
+DATA shiftj<>+128(SB)/8, $16
+DATA shiftj<>+136(SB)/8, $17
+DATA shiftj<>+144(SB)/8, $18
+DATA shiftj<>+152(SB)/8, $19
+DATA shiftj<>+160(SB)/8, $20
+DATA shiftj<>+168(SB)/8, $21
+DATA shiftj<>+176(SB)/8, $22
+DATA shiftj<>+184(SB)/8, $23
+DATA shiftj<>+192(SB)/8, $24
+DATA shiftj<>+200(SB)/8, $25
+DATA shiftj<>+208(SB)/8, $26
+DATA shiftj<>+216(SB)/8, $27
+DATA shiftj<>+224(SB)/8, $28
+DATA shiftj<>+232(SB)/8, $29
+DATA shiftj<>+240(SB)/8, $30
+DATA shiftj<>+248(SB)/8, $31
+GLOBL shiftj<>(SB), RODATA|NOPTR, $256
+
+DATA shiftk<>+0(SB)/8, $63
+DATA shiftk<>+8(SB)/8, $62
+DATA shiftk<>+16(SB)/8, $61
+DATA shiftk<>+24(SB)/8, $60
+DATA shiftk<>+32(SB)/8, $59
+DATA shiftk<>+40(SB)/8, $58
+DATA shiftk<>+48(SB)/8, $57
+DATA shiftk<>+56(SB)/8, $56
+DATA shiftk<>+64(SB)/8, $55
+DATA shiftk<>+72(SB)/8, $54
+DATA shiftk<>+80(SB)/8, $53
+DATA shiftk<>+88(SB)/8, $52
+DATA shiftk<>+96(SB)/8, $51
+DATA shiftk<>+104(SB)/8, $50
+DATA shiftk<>+112(SB)/8, $49
+DATA shiftk<>+120(SB)/8, $48
+DATA shiftk<>+128(SB)/8, $47
+DATA shiftk<>+136(SB)/8, $46
+DATA shiftk<>+144(SB)/8, $45
+DATA shiftk<>+152(SB)/8, $44
+DATA shiftk<>+160(SB)/8, $43
+DATA shiftk<>+168(SB)/8, $42
+DATA shiftk<>+176(SB)/8, $41
+DATA shiftk<>+184(SB)/8, $40
+DATA shiftk<>+192(SB)/8, $39
+DATA shiftk<>+200(SB)/8, $38
+DATA shiftk<>+208(SB)/8, $37
+DATA shiftk<>+216(SB)/8, $36
+DATA shiftk<>+224(SB)/8, $35
+DATA shiftk<>+232(SB)/8, $34
+DATA shiftk<>+240(SB)/8, $33
+DATA shiftk<>+248(SB)/8, $32
+GLOBL shiftk<>(SB), RODATA|NOPTR, $256
+
+// EXPAND broadcasts the low 32 bits of a GPR to 32 byte lanes as
+// 0x00/0xFF masks: lane j = (bit j set ? 0xFF : 0x00).
+#define EXPAND(SRC, XD, YD) \
+	VMOVD        SRC, XD     \
+	VPBROADCASTD XD, YD      \
+	VPSHUFB      Y15, YD, YD \
+	VPAND        Y14, YD, YD \
+	VPCMPEQB     Y14, YD, YD
+
+// PREFIX computes into YP the exclusive byte-lane prefix sum of YD
+// (lane j = sum of lanes m < j), preserving YD and clobbering YT: the
+// log-step ladder runs per 128-bit lane, then the low lane's inclusive
+// total (byte 15, broadcast in-lane and routed high by VPERM2I128 $8,
+// which zeroes the low lane) is added to the high lane.
+#define PREFIX(YD, YP, YT) \
+	VPSLLDQ    $1, YD, YP            \
+	VPSLLDQ    $1, YP, YT            \
+	VPADDB     YT, YP, YP            \
+	VPSLLDQ    $2, YP, YT            \
+	VPADDB     YT, YP, YP            \
+	VPSLLDQ    $4, YP, YT            \
+	VPADDB     YT, YP, YP            \
+	VPSLLDQ    $8, YP, YT            \
+	VPADDB     YT, YP, YP            \
+	VPADDB     YD, YP, YT            \
+	VPSHUFB    bcast15<>(SB), YT, YT \
+	VPERM2I128 $8, YT, YT, YT        \
+	VPADDB     YT, YP, YP
+
+// BANDSLOT broadcasts one band byte (shifted into BX by the caller) to
+// a 32-lane vector in a stack slot; ranges are pre-biased with 0x80.
+#define BANDSLOT(OFF) \
+	VMOVD        BX, X0     \
+	VPBROADCASTB X0, Y0     \
+	VMOVDQU      Y0, OFF(SP)
+
+// CLANE compress-stores one materialized window (stack offset OFF from
+// the buffer base at 208(SP)): store at the cursor, shift the next mask
+// bit into CX, advance the cursor by 8 iff it is set.
+#define CLANE(OFF) \
+	MOVQ 208+OFF(SP), AX \
+	MOVQ AX, (DI)        \
+	MOVL BX, CX          \
+	ANDL $1, CX          \
+	SHRL $1, BX          \
+	LEAQ (DI)(CX*8), DI
+
+// func gatherFilterAVX2(words *uint64, lo, n int64, bands uint64, out *uint64, res *gatherCounts)
+TEXT ·gatherFilterAVX2(SB), NOSPLIT, $464-48
+	MOVQ words+0(FP), SI
+	MOVQ lo+8(FP), R8
+	MOVQ n+16(FP), R9
+	MOVQ bands+24(FP), AX
+	MOVQ out+32(FP), DI
+	MOVQ DI, 192(SP) // original out, for the survivor count
+
+	// Shared constants.
+	VMOVDQU shufdup<>(SB), Y15
+	VMOVDQU bitsel<>(SB), Y14
+	VMOVDQU evenlane<>(SB), Y13
+	VMOVDQU bias80<>(SB), Y12
+
+	// Unpack the six band bytes (lo, range per filter) into broadcast
+	// vectors: 0(SP) pcLo, 32(SP) pcRange^80, 64(SP) trLo,
+	// 96(SP) trRange^80, 128(SP) phLo, 160(SP) phRange^80.
+	MOVL AX, BX
+	ANDL $0xFF, BX
+	BANDSLOT(0)
+	MOVQ AX, BX
+	SHRQ $8, BX
+	ANDL $0xFF, BX
+	XORL $0x80, BX
+	BANDSLOT(32)
+	MOVQ AX, BX
+	SHRQ $16, BX
+	ANDL $0xFF, BX
+	BANDSLOT(64)
+	MOVQ AX, BX
+	SHRQ $24, BX
+	ANDL $0xFF, BX
+	XORL $0x80, BX
+	BANDSLOT(96)
+	MOVQ AX, BX
+	SHRQ $32, BX
+	ANDL $0xFF, BX
+	BANDSLOT(128)
+	MOVQ AX, BX
+	SHRQ $40, BX
+	ANDL $0xFF, BX
+	XORL $0x80, BX
+	BANDSLOT(160)
+
+	// Per-layer reject counters.
+	XORQ R13, R13 // popcount
+	XORQ R14, R14 // transitions
+	XORQ R15, R15 // phase
+
+block:
+	// Load the three source words covering windows [s, s+32) and their
+	// +64-bit partners, and extract w0 = bits[s..s+64) and
+	// w64 = bits[s+64..s+128) with a funnel shift each.
+	MOVQ R8, BX
+	SHRQ $6, BX
+	MOVQ R8, CX
+	ANDQ $63, CX             // CL = off
+	MOVQ (SI)(BX*8), R10     // A
+	MOVQ 8(SI)(BX*8), R11    // B
+	MOVQ 16(SI)(BX*8), R12   // C
+	MOVQ R11, AX
+	SHRQ CX, R10             // A >> off
+	SHRQ CX, AX              // B >> off
+	NEGQ CX
+	ADDQ $63, CX             // CL = 63-off
+	LEAQ (R11)(R11*1), R11
+	SHLQ CX, R11             // (B<<1) << (63-off)
+	LEAQ (R12)(R12*1), R12
+	SHLQ CX, R12             // (C<<1) << (63-off)
+	ORQ  R11, R10            // R10 = w0
+	ORQ  R12, AX             // AX  = w64
+	MOVQ AX, R11             // R11 = w64
+
+	// Transition words: wt covers t[s..s+63) (bit 63 bogus, unused);
+	// w63 = bits[s+63..s+127) feeds wt63 = t[s+63..s+95) in its low 32.
+	MOVQ R10, BX
+	SHRQ $1, BX
+	XORQ R10, BX             // BX = wt
+	MOVQ R10, DX
+	SHRQ $63, DX
+	LEAQ (R11)(R11*1), R12   // R12 = w64<<1, kept for extraction
+	ORQ  R12, DX             // DX = w63
+	MOVQ DX, CX
+	SHRQ $1, CX
+	XORQ DX, CX              // CX = wt63
+
+	// Delta bit vectors from the low 32 bits of each.
+	EXPAND(R10, X0, Y0)      // b[s+m]
+	EXPAND(R11, X1, Y1)      // b[s+64+m]
+	EXPAND(BX, X2, Y2)       // t[s+m]
+	EXPAND(CX, X3, Y3)       // t[s+63+m]
+
+	// Scalar seeds from the base window.
+	POPCNTQ R10, AX          // pc0
+	MOVQ    $0x5555555555555555, DX
+	ANDQ    R10, DX
+	POPCNTQ DX, DX           // ev0
+	MOVQ    $0x7FFFFFFFFFFFFFFF, R11
+	ANDQ    BX, R11
+	POPCNTQ R11, R11         // tr0
+	MOVL    AX, BX
+	SUBL    DX, BX           // ev1 = pc0 - ev0 (the odd-lane seed)
+
+	// Deltas as signed bytes (masks are -bit, so mask0 - mask64 =
+	// bit64 - bit0) and their exclusive prefix sums.
+	VPSUBB Y1, Y0, Y4        // d
+	VPSUBB Y3, Y2, Y5        // e (transition deltas)
+	VPAND  Y13, Y4, Y6       // d, even lanes only
+	PREFIX(Y4, Y7, Y8)       // Y7 = prefix d
+	PREFIX(Y5, Y4, Y8)       // Y4 = prefix e
+	PREFIX(Y6, Y5, Y8)       // Y5 = prefix d_even
+	VPSUBB Y5, Y7, Y6        // Y6 = prefix d_odd = prefix d - prefix d_even
+
+	// Statistics per lane: seed + prefix.
+	VMOVD        AX, X8
+	VPBROADCASTB X8, Y8
+	VPADDB       Y7, Y8, Y8  // pcV
+	VMOVD        R11, X9
+	VPBROADCASTB X9, Y9
+	VPADDB       Y4, Y9, Y9  // trV
+	VMOVD        DX, X10
+	VPBROADCASTB X10, Y10
+	VPADDB       Y5, Y10, Y10 // ev0 + prefix_even
+	VMOVD        BX, X0
+	VPBROADCASTB X0, Y0
+	VPADDB       Y6, Y0, Y0  // ev1 + prefix_odd
+	VPAND        Y13, Y10, Y10
+	VPANDN       Y0, Y13, Y1
+	VPOR         Y1, Y10, Y10 // evV, lane-parity blend
+
+	// Band range checks -> 32-bit reject masks.
+	VPSUBB    0(SP), Y8, Y1
+	VPXOR     Y12, Y1, Y1
+	VPCMPGTB  32(SP), Y1, Y1
+	VPMOVMSKB Y1, AX         // mP
+	VPSUBB    64(SP), Y9, Y2
+	VPXOR     Y12, Y2, Y2
+	VPCMPGTB  96(SP), Y2, Y2
+	VPMOVMSKB Y2, BX         // mT
+	VPSUBB    128(SP), Y10, Y3
+	VPXOR     Y12, Y3, Y3
+	VPCMPGTB  160(SP), Y3, Y3
+	VPMOVMSKB Y3, DX         // mH
+
+	// Short-circuit accounting: popcount claims first, then
+	// transitions, then phase; the rest survive.
+	POPCNTL AX, CX
+	ADDQ    CX, R13
+	MOVL    AX, R11
+	NOTL    R11
+	ANDL    BX, R11          // mT &^ mP
+	POPCNTL R11, CX
+	ADDQ    CX, R14
+	ORL     AX, BX           // mP|mT
+	MOVL    BX, R11
+	NOTL    R11
+	ANDL    DX, R11          // mH &^ (mP|mT)
+	POPCNTL R11, CX
+	ADDQ    CX, R15
+	ORL     DX, BX
+	NOTL    BX               // survivor mask (all 32 bits are lanes)
+
+	// Materialize all 32 windows of the block — four variable-shift
+	// lanes per YMM — then store them out: whole vectors directly to the
+	// output when the block is all-survivors (the common case inside a
+	// marked region), else via a stack buffer and a per-lane
+	// compress-store against the survivor mask. Skipped entirely when
+	// nothing survived.
+	TESTL BX, BX
+	JZ    nextblock
+	VMOVQ        R10, X8
+	VPBROADCASTQ X8, Y8      // w0 in all lanes
+	VMOVQ        R12, X9
+	VPBROADCASTQ X9, Y9      // w64s in all lanes
+	VPSRLVQ      shiftj<>+0(SB), Y8, Y0
+	VPSLLVQ      shiftk<>+0(SB), Y9, Y10
+	VPOR         Y10, Y0, Y0
+	VPSRLVQ      shiftj<>+32(SB), Y8, Y1
+	VPSLLVQ      shiftk<>+32(SB), Y9, Y10
+	VPOR         Y10, Y1, Y1
+	VPSRLVQ      shiftj<>+64(SB), Y8, Y2
+	VPSLLVQ      shiftk<>+64(SB), Y9, Y10
+	VPOR         Y10, Y2, Y2
+	VPSRLVQ      shiftj<>+96(SB), Y8, Y3
+	VPSLLVQ      shiftk<>+96(SB), Y9, Y10
+	VPOR         Y10, Y3, Y3
+	VPSRLVQ      shiftj<>+128(SB), Y8, Y4
+	VPSLLVQ      shiftk<>+128(SB), Y9, Y10
+	VPOR         Y10, Y4, Y4
+	VPSRLVQ      shiftj<>+160(SB), Y8, Y5
+	VPSLLVQ      shiftk<>+160(SB), Y9, Y10
+	VPOR         Y10, Y5, Y5
+	VPSRLVQ      shiftj<>+192(SB), Y8, Y6
+	VPSLLVQ      shiftk<>+192(SB), Y9, Y10
+	VPOR         Y10, Y6, Y6
+	VPSRLVQ      shiftj<>+224(SB), Y8, Y7
+	VPSLLVQ      shiftk<>+224(SB), Y9, Y10
+	VPOR         Y10, Y7, Y7
+	CMPL BX, $-1
+	JNE  compress
+	VMOVDQU Y0, (DI)
+	VMOVDQU Y1, 32(DI)
+	VMOVDQU Y2, 64(DI)
+	VMOVDQU Y3, 96(DI)
+	VMOVDQU Y4, 128(DI)
+	VMOVDQU Y5, 160(DI)
+	VMOVDQU Y6, 192(DI)
+	VMOVDQU Y7, 224(DI)
+	ADDQ    $256, DI
+	JMP     nextblock
+
+compress:
+	VMOVDQU Y0, 208(SP)
+	VMOVDQU Y1, 240(SP)
+	VMOVDQU Y2, 272(SP)
+	VMOVDQU Y3, 304(SP)
+	VMOVDQU Y4, 336(SP)
+	VMOVDQU Y5, 368(SP)
+	VMOVDQU Y6, 400(SP)
+	VMOVDQU Y7, 432(SP)
+	CLANE(0)
+	CLANE(8)
+	CLANE(16)
+	CLANE(24)
+	CLANE(32)
+	CLANE(40)
+	CLANE(48)
+	CLANE(56)
+	CLANE(64)
+	CLANE(72)
+	CLANE(80)
+	CLANE(88)
+	CLANE(96)
+	CLANE(104)
+	CLANE(112)
+	CLANE(120)
+	CLANE(128)
+	CLANE(136)
+	CLANE(144)
+	CLANE(152)
+	CLANE(160)
+	CLANE(168)
+	CLANE(176)
+	CLANE(184)
+	CLANE(192)
+	CLANE(200)
+	CLANE(208)
+	CLANE(216)
+	CLANE(224)
+	CLANE(232)
+	CLANE(240)
+	CLANE(248)
+
+nextblock:
+	ADDQ $32, R8
+	SUBQ $32, R9
+	JNZ  block
+
+	// Results.
+	MOVQ res+40(FP), AX
+	MOVQ DI, BX
+	SUBQ 192(SP), BX
+	SHRQ $3, BX
+	MOVQ BX, 0(AX)  // survivors written
+	MOVQ R13, 8(AX) // popcount rejects
+	MOVQ R14, 16(AX) // transition rejects
+	MOVQ R15, 24(AX) // phase rejects
+	VZEROUPPER
+	RET
+
+// Batched framing check for the decode pass (pass 3): evaluates
+// crt.Params.Unframe's accept condition over four decrypted windows per
+// iteration —
+//
+//	w & Payload < Capacity  &&
+//	w >> Shift == (fold16(w & Payload) ^ Magic) & CheckMask
+//
+// — and writes the index of each passing window (rare: true pieces plus
+// ~Capacity/2^64 noise) to passIdx. The caller re-runs the scalar
+// Unframe on just those, so the kernel only has to agree on the
+// accept/reject verdict, pinned by the differential test and fuzz
+// target. The signed VPCMPGTQ is safe: Capacity < 2^63 (enforced by
+// crt.NewParams) and the payload mask keeps enc below 2^63 too.
+
+// func unframeScanAVX2(dec *uint64, n int64, fc *crt.FrameConsts, passIdx *int32) int64
+TEXT ·unframeScanAVX2(SB), NOSPLIT, $0-40
+	MOVQ dec+0(FP), SI
+	MOVQ n+8(FP), R12
+	MOVQ fc+16(FP), DX
+	MOVQ passIdx+24(FP), DI
+
+	VMOVQ        0(DX), X10  // shift, as a vector shift count
+	VPBROADCASTQ 8(DX), Y11  // payload mask
+	VPBROADCASTQ 16(DX), Y12 // check mask
+	VPBROADCASTQ 24(DX), Y13 // capacity
+	VPBROADCASTQ 32(DX), Y14 // magic
+	MOVQ         $0xffff, AX
+	VMOVQ        AX, X15
+	VPBROADCASTQ X15, Y15
+
+	XORQ R9, R9 // passing windows written
+	XORQ R8, R8 // window index
+
+	// Main loop: two independent 4-window chains per iteration, so the
+	// fold/compare latency of one chain hides under the other's.
+	LEAQ -8(R12), R10        // last index with 8 windows left
+	CMPQ R8, R10
+	JG   loop4
+
+loop8:
+	VMOVDQU   (SI)(R8*8), Y0
+	VMOVDQU   32(SI)(R8*8), Y5
+	VPAND     Y11, Y0, Y1    // enc, chain A
+	VPAND     Y11, Y5, Y6    // enc, chain B
+	VPSRLQ    X10, Y0, Y2    // stored check fields
+	VPSRLQ    X10, Y5, Y7
+	VPSRLQ    $32, Y1, Y3
+	VPSRLQ    $32, Y6, Y8
+	VPXOR     Y3, Y1, Y3
+	VPXOR     Y8, Y6, Y8
+	VPSRLQ    $16, Y3, Y4
+	VPSRLQ    $16, Y8, Y9
+	VPXOR     Y4, Y3, Y3
+	VPXOR     Y9, Y8, Y8
+	VPAND     Y15, Y3, Y3    // fold16(enc)
+	VPAND     Y15, Y8, Y8
+	VPXOR     Y14, Y3, Y3
+	VPXOR     Y14, Y8, Y8
+	VPAND     Y12, Y3, Y3    // expected check fields
+	VPAND     Y12, Y8, Y8
+	VPCMPEQQ  Y3, Y2, Y2
+	VPCMPEQQ  Y8, Y7, Y7
+	VPCMPGTQ  Y1, Y13, Y3    // capacity > enc
+	VPCMPGTQ  Y6, Y13, Y8
+	VPAND     Y3, Y2, Y2
+	VPAND     Y8, Y7, Y7
+	VPMOVMSKB Y2, AX
+	VPMOVMSKB Y7, BX
+	ORL       BX, AX
+	JNZ       slow8          // rare: re-check each half precisely
+
+cont8:
+	ADDQ $8, R8
+	CMPQ R8, R10
+	JLE  loop8
+
+loop4tail:
+	CMPQ R8, R12
+	JGE  done
+
+loop4:
+	VMOVDQU   (SI)(R8*8), Y0
+	VPAND     Y11, Y0, Y1    // enc
+	VPSRLQ    X10, Y0, Y2    // stored check field
+	VPSRLQ    $32, Y1, Y3
+	VPXOR     Y3, Y1, Y3
+	VPSRLQ    $16, Y3, Y4
+	VPXOR     Y4, Y3, Y3
+	VPAND     Y15, Y3, Y3    // fold16(enc)
+	VPXOR     Y14, Y3, Y3
+	VPAND     Y12, Y3, Y3    // expected check field
+	VPCMPEQQ  Y3, Y2, Y2
+	VPCMPGTQ  Y1, Y13, Y3    // capacity > enc
+	VPAND     Y3, Y2, Y2
+	VPMOVMSKB Y2, AX
+	TESTL     AX, AX
+	JNZ       extract4
+
+cont4:
+	ADDQ $4, R8
+	CMPQ R8, R12
+	JL   loop4
+
+done:
+	MOVQ R9, ret+32(FP)
+	VZEROUPPER
+	RET
+
+	// Rare path out of loop8: extract chain A's passers (mask still in
+	// Y2), then chain B's at base R8+4, then resume the main loop.
+slow8:
+	VPMOVMSKB Y2, AX
+	TESTL     AX, AX
+	JZ        slow8b
+	CALL      unframeExtract<>(SB)
+
+slow8b:
+	VPMOVMSKB Y7, AX
+	TESTL     AX, AX
+	JZ        cont8
+	ADDQ      $4, R8
+	CALL      unframeExtract<>(SB)
+	SUBQ      $4, R8
+	JMP       cont8
+
+	// Rare path: record the index of each passing lane (lane j owns
+	// byte j of the 32-bit VPMOVMSKB mask).
+extract4:
+	CALL unframeExtract<>(SB)
+	JMP  cont4
+
+// unframeExtract records base index R8 + lane for every set lane byte of
+// the mask in AX, appending to (DI) at cursor R9. Internal helper with a
+// bespoke register contract, only called from unframeScanAVX2.
+TEXT unframeExtract<>(SB), NOSPLIT, $0-0
+extractloop:
+	BSFL AX, BX
+	MOVL BX, CX
+	ANDL $0xF8, CX
+	MOVL $0xFF, R11
+	SHLL CX, R11
+	NOTL R11
+	ANDL R11, AX             // clear the lane's byte
+	SHRL $3, BX              // lane
+	ADDQ R8, BX
+	MOVL BX, (DI)(R9*4)
+	INCQ R9
+	TESTL AX, AX
+	JNZ   extractloop
+	RET

@@ -1,0 +1,22 @@
+//go:build !amd64 || purego
+
+package wm
+
+import "pathmark/internal/crt"
+
+// gatherAvailable: the AVX2 gather/filter kernel exists only on amd64
+// builds; everywhere else the batched kernel's portable rolling loop
+// does all the filtering.
+const gatherAvailable = false
+
+type gatherCounts struct {
+	n, pc, tr, ph int64
+}
+
+func gatherFilterAVX2(words *uint64, lo, n int64, bands uint64, out *uint64, res *gatherCounts) {
+	panic("wm: gatherFilterAVX2 called on a build without the AVX2 kernel")
+}
+
+func unframeScanAVX2(dec *uint64, n int64, fc *crt.FrameConsts, passIdx *int32) int64 {
+	panic("wm: unframeScanAVX2 called on a build without the AVX2 kernel")
+}
