@@ -6,6 +6,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"time"
 
 	"pathmark/internal/jobs"
@@ -40,6 +41,8 @@ func cmdFleetGrade(args []string) int {
 	crashAfter := fs.Int("crash-after", 0, "TESTING: exit the process abruptly after N grades are journaled")
 	noVerify := fs.Bool("no-verify", false, "skip the manifest-vs-file program digest check")
 	noSync := fs.Bool("no-sync", false, "skip the per-record fsync (faster, loses tail grades on a crash)")
+	progress := fs.Bool("progress", false, "print grade progress to stderr as the job runs")
+	traceDet := fs.Bool("trace-deterministic", false, "omit seq/timestamps/cache events from trace.jsonl (byte-stable across worker counts)")
 	fs.Parse(args)
 	if *manifest == "" {
 		fatal(fmt.Errorf("missing -manifest"))
@@ -96,13 +99,14 @@ func cmdFleetGrade(args []string) int {
 		Suspects: progs,
 		Keys:     []*wm.Key{c.wmKey()},
 		Opts: jobs.Options{
-			Workers:      *workers,
-			StepLimit:    c.maxSteps,
-			GradeTimeout: *gradeTimeout,
-			Retry:        jobs.RetryPolicy{MaxAttempts: *retries, BaseDelay: *retryDelay},
-			Breaker:      jobs.BreakerPolicy{Threshold: *breaker, Wave: *wave},
-			Obs:          reg,
-			NoSync:       *noSync,
+			Workers:            *workers,
+			StepLimit:          c.maxSteps,
+			GradeTimeout:       *gradeTimeout,
+			Retry:              jobs.RetryPolicy{MaxAttempts: *retries, BaseDelay: *retryDelay},
+			Breaker:            jobs.BreakerPolicy{Threshold: *breaker, Wave: *wave},
+			Obs:                reg,
+			NoSync:             *noSync,
+			DeterministicTrace: *traceDet,
 		},
 	}
 	if *crashAfter > 0 {
@@ -115,6 +119,26 @@ func cmdFleetGrade(args []string) int {
 				// fsynced when OnGrade fires.
 				fmt.Fprintf(os.Stderr, "pathmark: -crash-after %d: simulating crash\n", n)
 				os.Exit(exitError)
+			}
+		}
+	}
+	if *progress {
+		// Chain after any -crash-after hook so the crash still fires first.
+		// OnGrade is called from worker goroutines; the mutex serializes the
+		// throttle state and keeps stderr lines whole.
+		total := len(progs) * 1 // one key per grade job
+		prev := spec.Opts.OnGrade
+		var progMu sync.Mutex
+		var last time.Time
+		spec.Opts.OnGrade = func(completed int) {
+			if prev != nil {
+				prev(completed)
+			}
+			progMu.Lock()
+			defer progMu.Unlock()
+			if now := time.Now(); completed == total || now.Sub(last) >= 200*time.Millisecond {
+				last = now
+				fmt.Fprintf(os.Stderr, "pathmark: graded %d/%d\n", completed, total)
 			}
 		}
 	}

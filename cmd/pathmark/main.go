@@ -11,6 +11,7 @@
 //	pathmark fleet demo     [-n N]          # in-memory end-to-end fingerprinting demo
 //	pathmark fleet bench    [-json FILE]    # cached-vs-uncached comparisons, appended as JSONL
 //	pathmark serve   -dir JOBROOT [-addr HOST:PORT]   # crash-safe recognition daemon (HTTP)
+//	pathmark top     {-job JOBDIR | -url URL} [-interval 1s]  # live view of a job's trace stream
 //	pathmark trace   -in prog.pasm [-input 1,2,3] [-level N]  # dump the decoded bit-string
 //	pathmark attack  -in marked.pasm -out attacked.pasm -name branch-insertion [-seed S]
 //	pathmark attacks                                    # list the attack catalog
@@ -94,6 +95,8 @@ func main() {
 		os.Exit(cmdFleet(args))
 	case "serve":
 		os.Exit(cmdServe(args))
+	case "top":
+		os.Exit(cmdTop(args))
 	case "trace":
 		cmdTrace(args)
 	case "attack":
@@ -116,7 +119,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: pathmark {embed|recognize|fleet|serve|trace|attack|attacks|run|inject} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: pathmark {embed|recognize|fleet|serve|top|trace|attack|attacks|run|inject} [flags]")
 	os.Exit(exitUsage)
 }
 

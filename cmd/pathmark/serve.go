@@ -2,13 +2,17 @@ package main
 
 import (
 	"context"
+	"crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
+	"expvar"
 	"flag"
 	"fmt"
 	"io"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -70,16 +74,31 @@ type serveRequestOptions struct {
 	GradeTimeoutMS int64 `json:"grade_timeout_ms,omitempty"`
 }
 
-// jobStatus is the GET /jobs/{id} response.
+// jobStatus is the GET /jobs/{id} response. Beyond the lifecycle fields
+// it carries the grade-stage aggregates this daemon process observed:
+// scan volume, per-layer reject breakdown, retry/skip/failure counts.
+// The aggregates cover grades settled in this process lifetime — grades
+// finished before a restart live in the journal and the trace stream
+// (GET /jobs/{id}/trace), which span lifetimes.
 type jobStatus struct {
 	ID        string `json:"id"`
-	Status    string `json:"status"` // queued | running | done | failed | interrupted
+	TraceID   string `json:"trace_id"` // == ID; the trace.jsonl stream ID
+	Status    string `json:"status"`   // queued | running | done | failed | interrupted
 	Completed int64  `json:"completed"`
 	Total     int    `json:"total"`
 	Error     string `json:"error,omitempty"`
+
+	Retries         int64            `json:"retries,omitempty"`
+	Skipped         int64            `json:"skipped,omitempty"` // breaker skips
+	Failed          int64            `json:"failed,omitempty"`  // cells with no recognition
+	Windows         int64            `json:"windows,omitempty"`
+	Decrypted       int64            `json:"decrypted,omitempty"`
+	Valid           int64            `json:"valid,omitempty"`
+	RejectedByLayer map[string]int64 `json:"rejected_by_layer,omitempty"`
 }
 
-// serveJob is one tracked job: its directory on disk plus live status.
+// serveJob is one tracked job: its directory on disk plus live status
+// and the telemetry aggregates fed by the job engine's OnEvent hook.
 type serveJob struct {
 	id        string
 	dir       string
@@ -87,9 +106,17 @@ type serveJob struct {
 	completed atomic.Int64
 	done      chan struct{}
 
+	retries   atomic.Int64
+	skipped   atomic.Int64
+	failed    atomic.Int64
+	windows   atomic.Int64
+	decrypted atomic.Int64
+	valid     atomic.Int64
+
 	mu     sync.Mutex
 	status string
 	errMsg string
+	rej    wm.LayerRejects
 }
 
 func (j *serveJob) setStatus(status, errMsg string) {
@@ -98,14 +125,55 @@ func (j *serveJob) setStatus(status, errMsg string) {
 	j.mu.Unlock()
 }
 
+// observe folds one settled grade into the live aggregates. Called from
+// job worker goroutines.
+func (j *serveJob) observe(ev jobs.GradeEvent) {
+	if ev.Attempts > 1 {
+		j.retries.Add(int64(ev.Attempts - 1))
+	}
+	if ev.Skipped {
+		j.skipped.Add(1)
+	}
+	if ev.Rec == nil {
+		j.failed.Add(1)
+		return
+	}
+	j.windows.Add(int64(ev.Rec.Windows))
+	j.decrypted.Add(int64(ev.Rec.Decrypted))
+	j.valid.Add(int64(ev.Rec.ValidStatements))
+	r := ev.Rec.RejectedByLayer
+	j.mu.Lock()
+	j.rej.Popcount += r.Popcount
+	j.rej.Transitions += r.Transitions
+	j.rej.Phase += r.Phase
+	j.rej.Framing += r.Framing
+	j.mu.Unlock()
+}
+
 func (j *serveJob) snapshot() jobStatus {
 	j.mu.Lock()
-	defer j.mu.Unlock()
-	return jobStatus{
-		ID: j.id, Status: j.status,
+	status, errMsg, rej := j.status, j.errMsg, j.rej
+	j.mu.Unlock()
+	st := jobStatus{
+		ID: j.id, TraceID: j.id, Status: status,
 		Completed: j.completed.Load(), Total: j.total,
-		Error: j.errMsg,
+		Error:     errMsg,
+		Retries:   j.retries.Load(),
+		Skipped:   j.skipped.Load(),
+		Failed:    j.failed.Load(),
+		Windows:   j.windows.Load(),
+		Decrypted: j.decrypted.Load(),
+		Valid:     j.valid.Load(),
 	}
+	if rej != (wm.LayerRejects{}) {
+		st.RejectedByLayer = map[string]int64{
+			"popcount":    int64(rej.Popcount),
+			"transitions": int64(rej.Transitions),
+			"phase":       int64(rej.Phase),
+			"framing":     int64(rej.Framing),
+		}
+	}
+	return st
 }
 
 type serveConfig struct {
@@ -114,7 +182,9 @@ type serveConfig struct {
 	maxJobs    int // tracked jobs before submissions get 429
 	reqTimeout time.Duration
 	noSync     bool
-	reg        *obs.Registry
+	reg        *obs.Registry // nil = newServer builds one (the daemon is never blind)
+	debug      bool          // mount /debug/pprof/* and /debug/vars
+	accessLog  io.Writer     // structured request log destination; nil = off
 }
 
 type server struct {
@@ -125,6 +195,8 @@ type server struct {
 	wg      sync.WaitGroup
 
 	draining atomic.Bool
+
+	logMu sync.Mutex // serializes access-log lines
 
 	mu   sync.Mutex
 	jobs map[string]*serveJob
@@ -140,6 +212,11 @@ func newServer(cfg serveConfig) (*server, error) {
 	}
 	if cfg.maxJobs <= 0 {
 		cfg.maxJobs = 64
+	}
+	if cfg.reg == nil {
+		// The daemon always runs with a live registry: /metrics must
+		// answer whether or not the operator passed -stats.
+		cfg.reg = obs.NewRegistry()
 	}
 	if err := os.MkdirAll(cfg.root, 0o755); err != nil {
 		return nil, err
@@ -249,6 +326,7 @@ func (s *server) startLocked(id, dir string, spec jobs.Spec) *serveJob {
 		status: "queued",
 	}
 	spec.Opts.OnGrade = func(completed int) { j.completed.Store(int64(completed)) }
+	spec.Opts.OnEvent = j.observe
 	s.jobs[id] = j
 	s.wg.Add(1)
 	go s.runJob(j, spec)
@@ -378,6 +456,15 @@ func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, code, err)
 		return
 	}
+	if code == http.StatusAccepted {
+		// Stitch the HTTP request into the job's trace stream: the
+		// job-side events carry the job ID, this one links it to the
+		// request trace ID from the access log.
+		if tr, terr := obs.OpenTraceFile(jobs.TracePath(j.dir), j.id, false); terr == nil {
+			tr.Event("job.submitted", nil, map[string]string{"http_trace": requestTraceID(r)})
+			tr.Close()
+		}
+	}
 	writeJSON(w, code, j.snapshot())
 }
 
@@ -416,13 +503,117 @@ func (s *server) handleResult(w http.ResponseWriter, r *http.Request) {
 	w.Write(data)
 }
 
+func (s *server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(r)
+	if !ok {
+		writeError(w, http.StatusNotFound, errors.New("unknown job"))
+		return
+	}
+	data, err := os.ReadFile(jobs.TracePath(j.dir))
+	if err != nil {
+		writeError(w, http.StatusNotFound, errors.New("job has no trace stream"))
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Write(data)
+}
+
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.cfg.reg.WritePrometheus(w, "pathmark")
+}
+
+// ctxTraceID carries the per-request trace ID through the handler chain.
+type ctxTraceIDKey struct{}
+
+func requestTraceID(r *http.Request) string {
+	id, _ := r.Context().Value(ctxTraceIDKey{}).(string)
+	return id
+}
+
+func newTraceID() string {
+	var b [8]byte
+	rand.Read(b[:])
+	return hex.EncodeToString(b[:])
+}
+
+// statusWriter captures the response status and byte count for the
+// access log and the http.* metrics.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(p)
+	w.bytes += int64(n)
+	return n, err
+}
+
+// instrument wraps the full HTTP surface: every request gets a minted
+// trace ID (echoed as X-Trace-Id and available to handlers), the http.*
+// counters and duration histogram, and — except for the health probes,
+// which fire every few seconds and would drown the log — one structured
+// access-log line.
+func (s *server) instrument(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		trace := newTraceID()
+		w.Header().Set("X-Trace-Id", trace)
+		sw := &statusWriter{ResponseWriter: w}
+		start := time.Now()
+		h.ServeHTTP(sw, r.WithContext(context.WithValue(r.Context(), ctxTraceIDKey{}, trace)))
+		if sw.status == 0 {
+			sw.status = http.StatusOK
+		}
+		dur := time.Since(start)
+
+		reg := s.cfg.reg
+		reg.Counter("http.requests").Add(1)
+		reg.Counter(fmt.Sprintf("http.status.%dxx", sw.status/100)).Add(1)
+		reg.Counter("http.bytes_out").Add(sw.bytes)
+		reg.TimingHistogram("http.duration_us").Observe(dur.Microseconds())
+
+		if s.cfg.accessLog == nil || r.URL.Path == "/healthz" || r.URL.Path == "/readyz" {
+			return
+		}
+		line, err := json.Marshal(map[string]any{
+			"time":   start.UTC().Format(time.RFC3339Nano),
+			"method": r.Method,
+			"path":   r.URL.Path,
+			"status": sw.status,
+			"bytes":  sw.bytes,
+			"dur_us": dur.Microseconds(),
+			"trace":  trace,
+		})
+		if err != nil {
+			return
+		}
+		s.logMu.Lock()
+		s.cfg.accessLog.Write(append(line, '\n'))
+		s.logMu.Unlock()
+	})
+}
+
 // handler assembles the HTTP surface. Everything except the health
-// probes runs under the per-request deadline.
+// probes, metrics, and debug handlers runs under the per-request
+// deadline; the whole tree runs under the instrument middleware.
 func (s *server) handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /jobs", s.handleSubmit)
 	mux.HandleFunc("GET /jobs/{id}", s.handleStatus)
 	mux.HandleFunc("GET /jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("GET /jobs/{id}/trace", s.handleTrace)
 	var h http.Handler = mux
 	if s.cfg.reqTimeout > 0 {
 		h = http.TimeoutHandler(h, s.cfg.reqTimeout, `{"error":"request deadline exceeded"}`)
@@ -441,11 +632,20 @@ func (s *server) handler() http.Handler {
 		w.WriteHeader(http.StatusOK)
 		io.WriteString(w, "ready\n")
 	})
-	outer.Handle("/", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		s.cfg.reg.Counter("serve.requests").Add(1)
-		h.ServeHTTP(w, r)
-	}))
-	return outer
+	outer.HandleFunc("GET /metrics", s.handleMetrics)
+	if s.cfg.debug {
+		// Explicit registrations: importing net/http/pprof for its side
+		// effect would mount the handlers on DefaultServeMux, which this
+		// server deliberately does not use.
+		outer.HandleFunc("GET /debug/pprof/", pprof.Index)
+		outer.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		outer.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		outer.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		outer.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+		outer.Handle("GET /debug/vars", expvar.Handler())
+	}
+	outer.Handle("/", h)
+	return s.instrument(outer)
 }
 
 // drain flips readiness off, cancels the shared job context so running
@@ -466,6 +666,8 @@ func cmdServe(args []string) int {
 	reqTimeout := fs.Duration("request-timeout", 10*time.Second, "per-request handler deadline")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "deadline for in-flight HTTP requests on shutdown")
 	noSync := fs.Bool("no-sync", false, "skip the per-record journal fsync (faster, loses tail grades on a crash)")
+	debug := fs.Bool("debug", false, "mount /debug/pprof/* and /debug/vars")
+	accessLog := fs.Bool("access-log", true, "write a structured request log line per request to stderr")
 	var ocli obs.CLI
 	ocli.Register(fs)
 	fs.Parse(args)
@@ -477,10 +679,21 @@ func cmdServe(args []string) int {
 		fatal(err)
 	}
 	obsFlush = func() { ocli.Finish() }
+	if reg == nil {
+		// -stats not set: the daemon still runs fully instrumented, it
+		// just skips the exit-time summary.
+		reg = obs.NewRegistry()
+	}
+	reg.PublishExpvar("pathmark")
 
+	var logw io.Writer
+	if *accessLog {
+		logw = os.Stderr
+	}
 	srv, err := newServer(serveConfig{
 		root: *dir, maxActive: *maxActive, maxJobs: *maxJobs,
 		reqTimeout: *reqTimeout, noSync: *noSync, reg: reg,
+		debug: *debug, accessLog: logw,
 	})
 	if err != nil {
 		fatal(err)

@@ -11,10 +11,12 @@ import (
 	"os/exec"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
 	"pathmark/internal/jobs"
+	"pathmark/internal/obs"
 	"pathmark/internal/vm"
 	"pathmark/internal/wm"
 	"pathmark/internal/workloads"
@@ -225,6 +227,12 @@ func TestFleetGradeCrashResume(t *testing.T) {
 // (a fingerprinted MiniCalc and the clean host) against the fleet key,
 // all as the wire format (pasm text + keyfile JSON).
 func serveFixture(t *testing.T) (body []byte, w0 *big.Int) {
+	return serveFixtureSeed(t, 4242)
+}
+
+// serveFixtureSeed varies the embedded watermark, so different seeds
+// digest to different job IDs — the load test needs distinct jobs.
+func serveFixtureSeed(t *testing.T, seed uint64) (body []byte, w0 *big.Int) {
 	t.Helper()
 	host := workloads.MiniCalc()
 	input := workloads.CalcSum(10, 20)
@@ -232,7 +240,7 @@ func serveFixture(t *testing.T) (body []byte, w0 *big.Int) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	w0 = wm.RandomWatermark(64, 4242)
+	w0 = wm.RandomWatermark(64, seed)
 	copies, err := wm.EmbedBatch(host, []*big.Int{w0}, key, wm.BatchOptions{
 		EmbedOptions: wm.EmbedOptions{Seed: 3},
 	})
@@ -468,5 +476,293 @@ func TestServeRestartResume(t *testing.T) {
 	}
 	if !bytes.Equal(rebuilt, firstResult) {
 		t.Error("result rebuilt after restart differs from the original")
+	}
+}
+
+// TestServeMetricsAndTrace is the end-to-end telemetry test: a job
+// submitted over HTTP leaves a trace stream retrievable at
+// /jobs/{id}/trace under the job's own trace ID (stitched to the HTTP
+// request that submitted it), the enriched status carries the scan
+// aggregates, and /metrics exposes a parseable Prometheus page with the
+// scan-layer reject counters on it.
+func TestServeMetricsAndTrace(t *testing.T) {
+	root := t.TempDir()
+	srv, err := newServer(serveConfig{root: root, maxActive: 2, maxJobs: 4,
+		reqTimeout: time.Minute, noSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.handler())
+	defer ts.Close()
+	defer srv.drain()
+
+	body, _ := serveFixture(t)
+	resp, err := http.Post(ts.URL+"/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Header.Get("X-Trace-Id") == "" {
+		t.Error("submit response has no X-Trace-Id header")
+	}
+	var st jobStatus
+	json.NewDecoder(resp.Body).Decode(&st)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d", resp.StatusCode)
+	}
+	if st.TraceID != st.ID {
+		t.Errorf("trace_id %q != job id %q", st.TraceID, st.ID)
+	}
+
+	final := pollJob(t, ts, st.ID)
+	if final.Status != "done" {
+		t.Fatalf("job finished as %+v", final)
+	}
+	// The enriched status: scan volume and the per-layer reject breakdown
+	// observed by this daemon process.
+	if final.Windows == 0 || final.Decrypted == 0 {
+		t.Errorf("status has no scan aggregates: %+v", final)
+	}
+	if final.RejectedByLayer["popcount"] == 0 {
+		t.Errorf("status has no reject breakdown: %+v", final)
+	}
+
+	// The trace stream: one ID (the job's), the full stage ladder, and
+	// the job.submitted event linking back to an HTTP request trace.
+	resp, err = http.Get(ts.URL + "/jobs/" + st.ID + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("trace Content-Type = %q", ct)
+	}
+	raw := new(bytes.Buffer)
+	raw.ReadFrom(resp.Body)
+	resp.Body.Close()
+	evs := obs.DecodeTraceEvents(raw.Bytes())
+	byEvent := map[string]int{}
+	for _, ev := range evs {
+		if ev.Trace != st.ID {
+			t.Fatalf("trace event %q under ID %q, want %q", ev.Event, ev.Trace, st.ID)
+		}
+		byEvent[ev.Event]++
+	}
+	for _, stage := range []string{"job.open", "grade.trace", "grade.scan", "grade.vote", "grade.done", "job.done"} {
+		if byEvent[stage] == 0 {
+			t.Errorf("trace stream missing %s (have %v)", stage, byEvent)
+		}
+	}
+	linked := false
+	for _, ev := range evs {
+		if ev.Event == "job.submitted" && ev.Labels["http_trace"] != "" {
+			linked = true
+		}
+	}
+	if !linked {
+		t.Error("no job.submitted event links the job to its HTTP request trace")
+	}
+
+	// /metrics: machine-parseable, and the scan-layer reject counters are
+	// on the page (the acceptance criterion for the exposition format).
+	resp, err = http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	page := new(bytes.Buffer)
+	page.ReadFrom(resp.Body)
+	resp.Body.Close()
+	samples, err := obs.ParsePrometheus(page.Bytes())
+	if err != nil {
+		t.Fatalf("/metrics does not parse: %v\n%s", err, page.String())
+	}
+	for _, name := range []string{
+		"pathmark_scan_reject_popcount", "pathmark_scan_reject_transitions",
+		"pathmark_scan_reject_phase", "pathmark_scan_reject_framing",
+		"pathmark_serve_jobs_submitted", "pathmark_http_requests",
+	} {
+		if _, ok := samples[name]; !ok {
+			t.Errorf("/metrics missing %s", name)
+		}
+	}
+	if samples["pathmark_scan_reject_popcount"] == 0 {
+		t.Error("scan reject counter never incremented")
+	}
+	if samples["pathmark_http_requests"] == 0 {
+		t.Error("http request counter never incremented")
+	}
+}
+
+// TestServeTraceAcrossRestart is the acceptance criterion for trace
+// continuity: a job graded across two daemon process lifetimes keeps ONE
+// trace ID, with both lifetimes' job.open events appended to the same
+// stream and every grade stage present.
+func TestServeTraceAcrossRestart(t *testing.T) {
+	root := t.TempDir()
+	srv, err := newServer(serveConfig{root: root, maxActive: 1, maxJobs: 4,
+		reqTimeout: time.Minute, noSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.handler())
+	body, _ := serveFixture(t)
+	resp, err := http.Post(ts.URL+"/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st jobStatus
+	json.NewDecoder(resp.Body).Decode(&st)
+	resp.Body.Close()
+	if pollJob(t, ts, st.ID).Status != "done" {
+		t.Fatal("seed job did not finish")
+	}
+	srv.drain()
+	ts.Close()
+
+	// Kill the result manifest — the same on-disk state as a daemon crash
+	// between the last journal append and the manifest write — and
+	// restart. Resume re-opens the job, which must append to the existing
+	// trace stream under the existing ID.
+	if err := os.Remove(jobs.ResultPath(filepath.Join(root, st.ID))); err != nil {
+		t.Fatal(err)
+	}
+	srv2, err := newServer(serveConfig{root: root, maxActive: 1, maxJobs: 4,
+		reqTimeout: time.Minute, noSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts2 := httptest.NewServer(srv2.handler())
+	defer ts2.Close()
+	defer srv2.drain()
+	if st2 := pollJob(t, ts2, st.ID); st2.Status != "done" {
+		t.Fatalf("resumed job finished as %+v", st2)
+	}
+
+	resp, err = http.Get(ts2.URL + "/jobs/" + st.ID + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := new(bytes.Buffer)
+	raw.ReadFrom(resp.Body)
+	resp.Body.Close()
+	evs := obs.DecodeTraceEvents(raw.Bytes())
+	ids := map[string]bool{}
+	byEvent := map[string]int{}
+	var resumedOpen int64 = -1
+	for _, ev := range evs {
+		ids[ev.Trace] = true
+		byEvent[ev.Event]++
+		if ev.Event == "job.open" && ev.Attrs["resumed"] > 0 {
+			resumedOpen = ev.Attrs["resumed"]
+		}
+	}
+	if len(ids) != 1 || !ids[st.ID] {
+		t.Errorf("trace IDs across lifetimes = %v, want exactly {%s}", ids, st.ID)
+	}
+	if byEvent["job.open"] < 2 {
+		t.Errorf("job.open events = %d, want one per process lifetime (>= 2)", byEvent["job.open"])
+	}
+	for _, stage := range []string{"grade.trace", "grade.scan", "grade.vote", "grade.done", "job.done"} {
+		if byEvent[stage] == 0 {
+			t.Errorf("stream missing stage %s across lifetimes (have %v)", stage, byEvent)
+		}
+	}
+	if resumedOpen != int64(st.Total) {
+		t.Errorf("resumed lifetime's job.open inherited %d grades, want %d", resumedOpen, st.Total)
+	}
+}
+
+// TestServeConcurrentLoad races parallel submissions against a graceful
+// drain: every job the daemon accepted must settle as done (durable
+// journal + result) or interrupted (persisted request, resumable), never
+// lost or stuck — and /readyz flips to 503 while the listener is still
+// serving. CI runs this under -race.
+func TestServeConcurrentLoad(t *testing.T) {
+	root := t.TempDir()
+	srv, err := newServer(serveConfig{root: root, maxActive: 1, maxJobs: 16,
+		reqTimeout: time.Minute, noSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.handler())
+	defer ts.Close()
+
+	const n = 6
+	bodies := make([][]byte, n)
+	for i := range bodies {
+		bodies[i], _ = serveFixtureSeed(t, uint64(1000+i))
+	}
+	ids := make([]string, n)
+	var wg sync.WaitGroup
+	for i := range bodies {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := http.Post(ts.URL+"/jobs", "application/json", bytes.NewReader(bodies[i]))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			var st jobStatus
+			json.NewDecoder(resp.Body).Decode(&st)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusOK {
+				t.Errorf("submit %d: status %d", i, resp.StatusCode)
+				return
+			}
+			ids[i] = st.ID
+		}(i)
+	}
+	wg.Wait()
+
+	// Drain while the single-slot semaphore still has most jobs queued:
+	// some finish, the rest must checkpoint as interrupted.
+	srv.drain()
+
+	// Readiness is off but the listener is still alive and answering.
+	resp, err := http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatalf("listener died before drain finished: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("readyz after drain: %d, want 503", resp.StatusCode)
+	}
+
+	done, interrupted := 0, 0
+	for i, id := range ids {
+		if id == "" {
+			t.Fatalf("job %d was never accepted", i)
+		}
+		resp, err := http.Get(ts.URL + "/jobs/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var st jobStatus
+		json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		dir := filepath.Join(root, id)
+		if _, err := os.Stat(filepath.Join(dir, "request.json")); err != nil {
+			t.Errorf("job %s: request.json not durable: %v", id, err)
+		}
+		switch st.Status {
+		case "done":
+			done++
+			if st.Completed != int64(st.Total) {
+				t.Errorf("job %s done with %d/%d", id, st.Completed, st.Total)
+			}
+			for _, f := range []string{jobs.JournalPath(dir), jobs.ResultPath(dir)} {
+				if _, err := os.Stat(f); err != nil {
+					t.Errorf("done job %s missing %s: %v", id, filepath.Base(f), err)
+				}
+			}
+		case "interrupted":
+			interrupted++
+		default:
+			t.Errorf("job %s settled as %q, want done or interrupted", id, st.Status)
+		}
+	}
+	t.Logf("load: %d done, %d interrupted of %d", done, interrupted, n)
+	if done+interrupted != n {
+		t.Errorf("jobs lost: done=%d interrupted=%d of %d", done, interrupted, n)
 	}
 }

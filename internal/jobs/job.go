@@ -69,6 +69,28 @@ type Options struct {
 	// kill -9 at an exact checkpoint, which is how the crash-resume
 	// tests and the fleet grade -crash-after flag work.
 	OnGrade func(completed int)
+	// OnEvent, when non-nil, runs after each grade settles (journal
+	// record durable, in-memory outcome recorded), with the grade's
+	// telemetry payload. Unlike OnGrade it carries the recognition
+	// itself, which is how the serve daemon aggregates per-layer reject
+	// counts into live job status without re-reading the journal. Called
+	// from worker goroutines; implementations synchronize themselves.
+	OnEvent func(GradeEvent)
+	// Trace, when non-nil, receives the job's lifecycle and per-grade
+	// stage events. When nil (and NoTrace is unset), Open appends to
+	// trace.jsonl in the job directory under the job ID as trace ID —
+	// content-addressed, so every process lifetime of the same job
+	// continues one stream under one ID.
+	Trace *obs.Trace
+	// NoTrace suppresses the automatic trace.jsonl.
+	NoTrace bool
+	// DeterministicTrace omits the schedule-dependent stampings
+	// (sequence numbers, timestamps) and the cache-occupancy event from
+	// the automatic trace, leaving only input-derived event content:
+	// sorted trace.jsonl lines are then byte-identical at any worker
+	// count. Ignored when Trace is supplied (the caller's trace keeps
+	// its own mode).
+	DeterministicTrace bool
 
 	// gradeHook, when non-nil, runs before every grade attempt and may
 	// return an error to inject in place of the real grade. In-package
@@ -136,6 +158,17 @@ func SpecID(spec Spec) (string, error) {
 	return hex.EncodeToString(d[:]), nil
 }
 
+// GradeEvent is the telemetry payload delivered to Options.OnEvent when
+// a grade settles. Rec is nil for hard failures and breaker skips; Err
+// carries the final attempt's error message ("" on clean success).
+type GradeEvent struct {
+	S, K     int
+	Attempts int
+	Skipped  bool
+	Err      string
+	Rec      *wm.Recognition
+}
+
 // outcome is one settled grade.
 type outcome struct {
 	rec      *wm.Recognition
@@ -155,6 +188,8 @@ type Job struct {
 	progDigests []cache.Digest
 	journal     *journal
 	caches      *wm.FleetCaches
+	trace       *obs.Trace
+	ownTrace    bool // trace opened by Open (vs caller-supplied): Close closes it
 
 	mu        sync.Mutex
 	outcomes  [][]*outcome
@@ -228,19 +263,37 @@ func Open(dir string, spec Spec) (*Job, error) {
 			j.outcomes[r.S][r.K] = o
 		}
 		j.journal = jr
-		return j, nil
+	} else {
+		jr, err := createJournal(path, journalHeader{
+			V: journalVersion, Type: "header", Job: j.ID(),
+			Suspects: len(spec.Suspects), Keys: len(spec.Keys),
+		}, !spec.Opts.NoSync)
+		if err != nil {
+			return nil, err
+		}
+		j.journal = jr
 	}
 
-	jr, err := createJournal(path, journalHeader{
-		V: journalVersion, Type: "header", Job: j.ID(),
-		Suspects: len(spec.Suspects), Keys: len(spec.Keys),
-	}, !spec.Opts.NoSync)
-	if err != nil {
-		return nil, err
+	// The trace rides next to the journal but never gates it: a failed
+	// trace open degrades to no telemetry, not a failed job. The trace
+	// ID is the job ID, so a resumed job's second lifetime appends to
+	// the same stream under the same ID.
+	j.trace = spec.Opts.Trace
+	if j.trace == nil && !spec.Opts.NoTrace {
+		if tr, terr := obs.OpenTraceFile(TracePath(dir), j.ID(), spec.Opts.DeterministicTrace); terr == nil {
+			j.trace, j.ownTrace = tr, true
+		}
 	}
-	j.journal = jr
+	j.trace.Event("job.open", map[string]int64{
+		"suspects": int64(len(spec.Suspects)),
+		"keys":     int64(len(spec.Keys)),
+		"resumed":  int64(j.reused),
+	}, nil)
 	return j, nil
 }
+
+// Trace returns the job's event stream (nil when tracing is off).
+func (j *Job) Trace() *obs.Trace { return j.trace }
 
 // ID is the job's content address in hex — stable across processes for
 // the same spec.
@@ -264,8 +317,14 @@ func (j *Job) Progress() (completed, total int) {
 	return j.completed, len(j.spec.Suspects) * len(j.spec.Keys)
 }
 
-// Close releases the journal. The job directory and its contents stay.
-func (j *Job) Close() error { return j.journal.Close() }
+// Close releases the journal and the job-owned trace. The job directory
+// and its contents stay.
+func (j *Job) Close() error {
+	if j.ownTrace {
+		j.trace.Close()
+	}
+	return j.journal.Close()
+}
 
 // settle journals one grade and records it in memory; the journal write
 // comes first (write-ahead), so a crash between the two re-reads it from
@@ -286,10 +345,78 @@ func (j *Job) settle(s, k int, o *outcome) error {
 	j.outcomes[s][k] = o
 	n := j.completed
 	j.mu.Unlock()
+	j.emitGrade(s, k, o)
 	if j.spec.Opts.OnGrade != nil {
 		j.spec.Opts.OnGrade(n)
 	}
 	return nil
+}
+
+// emitGrade publishes one settled grade to every telemetry surface: the
+// trace stream (stage events traced → scanned → voted → done), the
+// registry (scan-layer counters — wm.GradePair runs each scan without a
+// registry, so this is where per-layer rejects reach /metrics), and the
+// OnEvent callback. Grades restored from the journal at Open never pass
+// through here: their events were emitted by the lifetime that ran them.
+func (j *Job) emitGrade(s, k int, o *outcome) {
+	sk := map[string]int64{"s": int64(s), "k": int64(k)}
+	attrs := func(extra map[string]int64) map[string]int64 {
+		m := map[string]int64{"s": int64(s), "k": int64(k)}
+		for key, v := range extra {
+			m[key] = v
+		}
+		return m
+	}
+	switch {
+	case o.skipped:
+		j.trace.Event("grade.skipped", sk, nil)
+	case o.rec != nil:
+		rec := o.rec
+		j.trace.Event("grade.trace", attrs(map[string]int64{
+			"trace_bits": int64(rec.TraceBits),
+		}), nil)
+		j.trace.Event("grade.scan", attrs(map[string]int64{
+			"windows":            int64(rec.Windows),
+			"decrypted":          int64(rec.Decrypted),
+			"valid":              int64(rec.ValidStatements),
+			"reject_popcount":    int64(rec.RejectedByLayer.Popcount),
+			"reject_transitions": int64(rec.RejectedByLayer.Transitions),
+			"reject_phase":       int64(rec.RejectedByLayer.Phase),
+			"reject_framing":     int64(rec.RejectedByLayer.Framing),
+		}), nil)
+		j.trace.Event("grade.vote", attrs(map[string]int64{
+			"unique":        int64(rec.UniqueStatements),
+			"voted_out":     int64(rec.VotedOut),
+			"survivors":     int64(rec.Survivors),
+			"confidence_bp": int64(rec.Confidence * 10000),
+		}), nil)
+		done := attrs(map[string]int64{"attempts": int64(o.attempts)})
+		var labels map[string]string
+		if o.errStr != "" {
+			labels = map[string]string{"err": o.errStr}
+		}
+		j.trace.Event("grade.done", done, labels)
+
+		reg := j.spec.Opts.Obs
+		reg.Counter("scan.reject.popcount").Add(int64(rec.RejectedByLayer.Popcount))
+		reg.Counter("scan.reject.transitions").Add(int64(rec.RejectedByLayer.Transitions))
+		reg.Counter("scan.reject.phase").Add(int64(rec.RejectedByLayer.Phase))
+		reg.Counter("scan.reject.framing").Add(int64(rec.RejectedByLayer.Framing))
+		reg.Counter("scan.decrypted").Add(int64(rec.Decrypted))
+		reg.Counter("recognize.windows_total").Add(int64(rec.Windows))
+		reg.Counter("recognize.valid_total").Add(int64(rec.ValidStatements))
+		reg.Histogram("grade.trace_bits").Observe(int64(rec.TraceBits))
+	default:
+		j.trace.Event("grade.done", attrs(map[string]int64{
+			"attempts": int64(o.attempts), "failed": 1,
+		}), map[string]string{"err": o.errStr})
+	}
+	if j.spec.Opts.OnEvent != nil {
+		j.spec.Opts.OnEvent(GradeEvent{
+			S: s, K: k, Attempts: o.attempts, Skipped: o.skipped,
+			Err: o.errStr, Rec: o.rec,
+		})
+	}
 }
 
 // runGrade executes one grade with the retry policy: bounded attempts,
@@ -337,6 +464,9 @@ func (j *Job) runGrade(ctx context.Context, s, k, scanWorkers int) *outcome {
 			j.caches.ForgetTrace(j.traceKey(s, k))
 		}
 		opts.Obs.Counter("jobs.retries").Add(1)
+		j.trace.Event("grade.retry", map[string]int64{
+			"s": int64(s), "k": int64(k), "attempt": int64(attempt),
+		}, map[string]string{"err": err.Error()})
 		sleepCtx(ctx, opts.Retry.backoff(j.digest, s, k, attempt))
 	}
 	o := &outcome{rec: rec, err: err, attempts: attempt}
@@ -384,6 +514,15 @@ func (j *Job) Run(ctx context.Context) (*Result, error) {
 	reused := j.Reused()
 	opts.Obs.Counter("jobs.grades.total").Add(int64(M * K))
 	opts.Obs.Counter("jobs.resume.reused").Add(int64(reused))
+	// Touch the scan-layer counters so a scrape of /metrics lists them
+	// from the first grade onward (at zero) instead of appearing late.
+	for _, name := range []string{
+		"scan.reject.popcount", "scan.reject.transitions",
+		"scan.reject.phase", "scan.reject.framing",
+		"scan.decrypted", "recognize.windows_total", "recognize.valid_total",
+	} {
+		opts.Obs.Counter(name)
+	}
 
 	br := newBreaker(K, opts.Breaker)
 	wave := opts.Breaker.wave()
@@ -507,6 +646,23 @@ func (j *Job) Run(ctx context.Context) (*Result, error) {
 	res.Corpus.TraceStats = j.caches.TraceStats().Sub(traceBefore)
 	res.Corpus.DecryptStats = j.caches.DecryptStats().Sub(decryptBefore)
 	opts.Obs.Counter("jobs.grades.failed").Add(int64(res.Failed))
+	j.trace.Event("job.done", map[string]int64{
+		"ran":           ran,
+		"reused":        int64(reused),
+		"skipped":       skipped,
+		"failed":        int64(res.Failed),
+		"breaker_trips": int64(br.trips),
+	}, nil)
+	if !j.trace.Deterministic() {
+		// Cache occupancy is schedule-dependent (concurrent grades race
+		// for the same memo slots), so the deterministic stream omits it.
+		j.trace.Event("job.caches", map[string]int64{
+			"trace_hits":     res.Corpus.TraceStats.Hits,
+			"trace_misses":   res.Corpus.TraceStats.Misses,
+			"decrypt_hits":   res.Corpus.DecryptStats.Hits,
+			"decrypt_misses": res.Corpus.DecryptStats.Misses,
+		}, nil)
+	}
 	span.Set("suspects", int64(M)).
 		Set("keys", int64(K)).
 		Set("ran", ran).

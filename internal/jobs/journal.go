@@ -221,7 +221,10 @@ func (j *journal) Close() error {
 	return err
 }
 
-// JournalPath and ResultPath name the two files a job keeps in its
-// directory.
+// JournalPath, ResultPath and TracePath name the files a job keeps in
+// its directory: the write-ahead journal (correctness), the canonical
+// result manifest (the artifact), and the telemetry event stream
+// (observability; losing it loses nothing but visibility).
 func JournalPath(dir string) string { return filepath.Join(dir, "journal.jsonl") }
 func ResultPath(dir string) string  { return filepath.Join(dir, "result.json") }
+func TracePath(dir string) string   { return filepath.Join(dir, "trace.jsonl") }

@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"io"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -187,8 +189,9 @@ func (r *Registry) WriteSummary(w io.Writer) error {
 			if h.Count > 0 {
 				mean = float64(h.Sum) / float64(h.Count)
 			}
-			fmt.Fprintf(&sb, "  %-36s count=%d sum=%d min=%d max=%d mean=%.1f\n",
-				h.Name, h.Count, h.Sum, h.Min, h.Max, mean)
+			fmt.Fprintf(&sb, "  %-36s count=%d sum=%d min=%d max=%d mean=%.1f p50=%.1f p90=%.1f p99=%.1f\n",
+				h.Name, h.Count, h.Sum, h.Min, h.Max, mean,
+				h.Quantile(0.50), h.Quantile(0.90), h.Quantile(0.99))
 		}
 	}
 	_, err := io.WriteString(w, sb.String())
@@ -202,14 +205,37 @@ func fmtWall(ns int64) string {
 	return time.Duration(ns).Round(time.Microsecond).String()
 }
 
+// expvarRegs holds one swappable registry pointer per published expvar
+// name. expvar.Publish panics on duplicate names and offers no
+// unpublish, so the expvar.Func registered for a name closes over the
+// pointer cell rather than a registry: re-publishing the same name
+// swaps the cell, and /debug/vars immediately reflects the new
+// registry. Without this indirection the second job/run in a process
+// kept exporting the first run's (by then frozen) registry forever.
+var (
+	expvarMu   sync.Mutex
+	expvarRegs = make(map[string]*atomic.Pointer[Registry])
+)
+
 // PublishExpvar exports the registry under the given expvar name as a
 // live-snapshotting expvar.Func, so a process that serves /debug/vars (or
-// any expvar dumper) sees current metrics. Publishing the same name twice
-// is a no-op rather than the panic expvar.Publish raises, because CLI
-// subcommands and tests share a process-global expvar namespace.
+// any expvar dumper) sees current metrics. Publishing a name again swaps
+// the visible registry instead of panicking or silently keeping the old
+// one; names already claimed by foreign expvar values are left alone.
 func (r *Registry) PublishExpvar(name string) {
-	if r == nil || expvar.Get(name) != nil {
+	if r == nil {
 		return
 	}
-	expvar.Publish(name, expvar.Func(func() any { return r.Snapshot() }))
+	expvarMu.Lock()
+	defer expvarMu.Unlock()
+	cell := expvarRegs[name]
+	if cell == nil {
+		if expvar.Get(name) != nil {
+			return // claimed outside obs; Publish would panic
+		}
+		cell = new(atomic.Pointer[Registry])
+		expvarRegs[name] = cell
+		expvar.Publish(name, expvar.Func(func() any { return cell.Load().Snapshot() }))
+	}
+	cell.Store(r)
 }
