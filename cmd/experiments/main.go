@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	experiments [-quick] [-seed N] [-jobs N] [-only fig5,fig8a,fig8b,fig8c,fig8d,javaattacks,fig9,nativeattacks,ablations,fleet]
+//	experiments [-quick] [-seed N] [-jobs N] [-only fig5,fig8a,fig8b,fig8c,fig8d,javaattacks,fig9,nativeattacks,ablations,fleet,collusion]
 //
 // Independent sweep points run concurrently on -jobs workers (0 = one per
 // CPU); every point seeds its RNG from its own index, so tables are
@@ -102,6 +102,10 @@ func main() {
 		}},
 		{"fleet", func() []*experiments.Table {
 			_, t := experiments.FleetIdentification(cfg)
+			return []*experiments.Table{t}
+		}},
+		{"collusion", func() []*experiments.Table {
+			_, t := experiments.CollusionThreshold(cfg)
 			return []*experiments.Table{t}
 		}},
 	}

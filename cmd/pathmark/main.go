@@ -102,13 +102,9 @@ func main() {
 	case "attack":
 		cmdAttack(args)
 	case "attacks":
-		for _, a := range attacks.Catalog() {
-			destroys := ""
-			if a.Destroys {
-				destroys = "  (destroys the watermark)"
-			}
-			fmt.Printf("%s%s\n", a.Name, destroys)
-		}
+		os.Exit(cmdAttacks(args))
+	case "tournament":
+		os.Exit(cmdTournament(args))
 	case "run":
 		cmdRun(args)
 	case "inject":
@@ -119,7 +115,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: pathmark {embed|recognize|fleet|serve|top|trace|attack|attacks|run|inject} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: pathmark {embed|recognize|fleet|serve|top|trace|attack|attacks|tournament|run|inject} [flags]")
 	os.Exit(exitUsage)
 }
 

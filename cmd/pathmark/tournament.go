@@ -1,0 +1,202 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"pathmark/internal/attacks"
+	"pathmark/internal/jobs"
+	"pathmark/internal/obs"
+	"pathmark/internal/tournament"
+)
+
+// cmdAttacks lists the attack catalog; -json emits machine-readable
+// metadata (name, category, strength knobs) for campaign tooling.
+func cmdAttacks(args []string) int {
+	fs := flag.NewFlagSet("attacks", flag.ExitOnError)
+	asJSON := fs.Bool("json", false, "emit the catalog as JSON")
+	fs.Parse(args)
+	catalog := attacks.Catalog()
+	if *asJSON {
+		type entry struct {
+			Name     string         `json:"name"`
+			Category string         `json:"category"`
+			Destroys bool           `json:"destroys,omitempty"`
+			Knobs    []attacks.Knob `json:"knobs,omitempty"`
+		}
+		out := make([]entry, len(catalog))
+		for i, a := range catalog {
+			out[i] = entry{Name: a.Name, Category: a.Category, Destroys: a.Destroys, Knobs: a.Knobs}
+		}
+		b, err := json.MarshalIndent(out, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pathmark:", err)
+			return exitError
+		}
+		fmt.Println(string(b))
+		return exitOK
+	}
+	for _, a := range catalog {
+		destroys := ""
+		if a.Destroys {
+			destroys = "  (destroys the watermark)"
+		}
+		fmt.Printf("%-34s %-12s%s\n", a.Name, a.Category, destroys)
+	}
+	return exitOK
+}
+
+// cmdTournament dispatches the campaign subcommands:
+//
+//	pathmark tournament init -out campaign.json
+//	pathmark tournament run -manifest campaign.json -dir DIR [-workers N] [-quiet]
+//	pathmark tournament report -dir DIR [-json]
+//
+// run is restartable: kill it at any point and rerun the same command —
+// journaled cells are never re-graded, and the final matrix.json is
+// byte-identical to an uninterrupted run's.
+func cmdTournament(args []string) int {
+	if len(args) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: pathmark tournament {init|run|report} [flags]")
+		return exitUsage
+	}
+	switch args[0] {
+	case "init":
+		return cmdTournamentInit(args[1:])
+	case "run":
+		return cmdTournamentRun(args[1:])
+	case "report":
+		return cmdTournamentReport(args[1:])
+	default:
+		fmt.Fprintln(os.Stderr, "usage: pathmark tournament {init|run|report} [flags]")
+		return exitUsage
+	}
+}
+
+// cmdTournamentInit writes the demo-grid manifest as a starting point.
+func cmdTournamentInit(args []string) int {
+	fs := flag.NewFlagSet("tournament init", flag.ExitOnError)
+	out := fs.String("out", "campaign.json", "manifest output path")
+	fs.Parse(args)
+	if err := tournament.SaveManifest(*out, tournament.DemoManifest()); err != nil {
+		fmt.Fprintln(os.Stderr, "pathmark:", err)
+		return exitError
+	}
+	fmt.Printf("wrote demo campaign manifest to %s\n", *out)
+	return exitOK
+}
+
+func cmdTournamentRun(args []string) int {
+	fs := flag.NewFlagSet("tournament run", flag.ExitOnError)
+	manifest := fs.String("manifest", "", "campaign manifest (see `pathmark tournament init`)")
+	dir := fs.String("dir", "", "campaign directory (journal, trace, matrix.json)")
+	workers := fs.Int("workers", 0, "concurrent cells (0 = serial)")
+	quiet := fs.Bool("quiet", false, "suppress per-cell progress lines")
+	noSync := fs.Bool("no-sync", false, "skip per-record fsync (tests only)")
+	crashAfter := fs.Int("crash-after", 0, "abort after N settled cells (crash-safety testing)")
+	attempts := fs.Int("attempts", 0, "per-cell attempt bound for retryable errors (0 = default)")
+	fs.Parse(args)
+	if *manifest == "" || *dir == "" {
+		fmt.Fprintln(os.Stderr, "pathmark: tournament run needs -manifest and -dir")
+		return exitUsage
+	}
+	m, err := tournament.LoadManifest(*manifest)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pathmark:", err)
+		var me *tournament.ManifestError
+		if errors.As(err, &me) {
+			return exitUsage
+		}
+		return exitError
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	// The trace file lives next to the journal; make the dir up front so
+	// the trace can open before the engine does.
+	if err := os.MkdirAll(*dir, 0o755); err != nil {
+		fmt.Fprintln(os.Stderr, "pathmark:", err)
+		return exitError
+	}
+	trace, err := obs.OpenTraceFile(tournament.TracePath(*dir), "tournament", false)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pathmark:", err)
+		return exitError
+	}
+	defer trace.Close()
+	opts := tournament.Options{
+		Trace:   trace,
+		Workers: *workers,
+		NoSync:  *noSync,
+		Ctx:     ctx,
+		Retry:   jobs.RetryPolicy{MaxAttempts: *attempts, BaseDelay: 50 * time.Millisecond},
+		OnCell: func(settled int, c tournament.CellResult) {
+			if !*quiet {
+				fmt.Printf("cell %d settled: fleet=%d attack=%d strength=%d outcome=%s\n",
+					settled, c.Fleet, c.Attack, c.Strength, c.Outcome)
+			}
+			if *crashAfter > 0 && settled >= *crashAfter {
+				cancel()
+			}
+		},
+	}
+	c, err := tournament.Open(*dir, m, opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pathmark:", err)
+		if errors.Is(err, tournament.ErrCampaignMismatch) {
+			return exitUsage
+		}
+		return exitError
+	}
+	defer c.Close()
+	if r := c.Reused(); r > 0 && !*quiet {
+		fmt.Printf("resumed: %d cells restored from journal, %d pending\n", r, c.Pending())
+	}
+	mx, err := c.Run()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pathmark:", err)
+		return exitError
+	}
+	if err := tournament.WriteMatrixFile(tournament.MatrixPath(*dir), mx); err != nil {
+		fmt.Fprintln(os.Stderr, "pathmark:", err)
+		return exitError
+	}
+	if !*quiet {
+		fmt.Println()
+		fmt.Print(mx.Render())
+	}
+	return exitOK
+}
+
+func cmdTournamentReport(args []string) int {
+	fs := flag.NewFlagSet("tournament report", flag.ExitOnError)
+	dir := fs.String("dir", "", "campaign directory holding matrix.json")
+	asJSON := fs.Bool("json", false, "emit the raw matrix JSON instead of the table")
+	fs.Parse(args)
+	if *dir == "" {
+		fmt.Fprintln(os.Stderr, "pathmark: tournament report needs -dir")
+		return exitUsage
+	}
+	mx, err := tournament.LoadMatrix(tournament.MatrixPath(*dir))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pathmark:", err)
+		return exitError
+	}
+	if *asJSON {
+		b, err := tournament.EncodeMatrix(mx)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pathmark:", err)
+			return exitError
+		}
+		os.Stdout.Write(b)
+		return exitOK
+	}
+	fmt.Printf("campaign %s  host=%s wbits=%d seed=%d\n\n", mx.Campaign[:12], mx.Host, mx.WBits, mx.Seed)
+	fmt.Print(mx.Render())
+	return exitOK
+}

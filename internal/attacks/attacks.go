@@ -15,9 +15,14 @@
 //
 // Every attack returns a fresh program that passes vm.Verify and behaves
 // identically on all inputs; the test suite enforces both properties.
+//
+// Beyond the single-copy catalog, Collude implements the coalition attack
+// the paper never models: k customers diff their fingerprinted copies to
+// localize and destroy the code that differs between them.
 package attacks
 
 import (
+	"fmt"
 	"math/rand"
 
 	"pathmark/internal/vm"
@@ -25,47 +30,121 @@ import (
 
 // Attack is one catalog entry.
 type Attack struct {
-	// Name identifies the attack in reports.
+	// Name identifies the attack in reports and campaign manifests.
 	Name string
+	// Category groups the attack by the program aspect it distorts:
+	// "layout" (instruction- and block-level shuffling), "data" (operand
+	// and expression rewrites), "rename" (index permutations), "method"
+	// (inter-procedural restructuring), "loop" (loop and peephole
+	// rewrites), or "destructive" (expected to defeat the watermark).
+	Category string
 	// Destroys records whether the paper expects this attack to defeat
 	// the watermark (true only for branch insertion and the class
 	// encryption analog).
 	Destroys bool
+	// Knobs documents the strength parameters baked into this entry (the
+	// tournament's additional knob — repeated application — is uniform
+	// across the catalog and not listed here).
+	Knobs []Knob
 	// Apply transforms a copy of the program. Implementations never
-	// mutate the argument.
+	// mutate the argument and panic with a *AttackError if the transform
+	// produces an invalid program; use Run to turn that into an error.
 	Apply func(p *vm.Program, rng *rand.Rand) *vm.Program
+}
+
+// Knob documents one strength parameter baked into a catalog entry.
+type Knob struct {
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
+}
+
+// AttackError reports a transformation that produced an invalid program —
+// an attack bug, not a property of the watermark. Attack implementations
+// panic with it (the transforms are deep call chains with no error
+// plumbing); Run converts the panic into a returned error so a campaign
+// can degrade the cell to "fail" instead of losing the worker.
+type AttackError struct {
+	// Attack is the catalog name when known ("" inside a bare Apply call).
+	Attack string
+	Cause  error
+}
+
+func (e *AttackError) Error() string {
+	if e.Attack == "" {
+		return fmt.Sprintf("attacks: transformation produced invalid program: %v", e.Cause)
+	}
+	return fmt.Sprintf("attacks: %s produced invalid program: %v", e.Attack, e.Cause)
+}
+
+func (e *AttackError) Unwrap() error { return e.Cause }
+
+// Run applies the attack with per-call panic recovery: a transform that
+// produces an unverifiable program (or panics outright) returns a typed
+// *AttackError instead of unwinding the caller. This is the tournament's
+// cell boundary — the same containment contract the recognizer gives scan
+// chunks.
+func Run(a Attack, p *vm.Program, rng *rand.Rand) (out *vm.Program, err error) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		out = nil
+		if ae, ok := r.(*AttackError); ok {
+			if ae.Attack == "" {
+				ae.Attack = a.Name
+			}
+			err = ae
+			return
+		}
+		err = &AttackError{Attack: a.Name, Cause: fmt.Errorf("panic: %v", r)}
+	}()
+	return a.Apply(p, rng), nil
 }
 
 // Catalog returns the full attack catalog in a stable order.
 func Catalog() []Attack {
 	return []Attack{
-		{Name: "nop-insertion-light", Apply: nopInsertion(0.1)},
-		{Name: "nop-insertion-heavy", Apply: nopInsertion(0.5)},
-		{Name: "dead-code-insertion", Apply: deadCodeInsertion},
-		{Name: "block-split", Apply: blockSplit},
-		{Name: "goto-chaining", Apply: gotoChaining},
-		{Name: "branch-sense-inversion", Apply: branchSenseInversion},
-		{Name: "block-reordering", Apply: blockReordering},
-		{Name: "block-copying", Apply: blockCopying},
-		{Name: "statement-reordering", Apply: statementReordering},
-		{Name: "constant-obfuscation", Apply: constantObfuscation},
-		{Name: "arithmetic-identity", Apply: arithmeticIdentity},
-		{Name: "strength-substitution", Apply: strengthSubstitution},
-		{Name: "local-renumbering", Apply: localRenumbering},
-		{Name: "static-renumbering", Apply: staticRenumbering},
-		{Name: "method-reordering", Apply: methodReordering},
-		{Name: "method-wrapping", Apply: methodWrapping},
-		{Name: "call-indirection", Apply: callIndirection},
-		{Name: "method-inlining", Apply: methodInlining},
-		{Name: "method-merging", Apply: methodMerging},
-		{Name: "dead-method-insertion", Apply: deadMethodInsertion},
-		{Name: "loop-peeling", Apply: loopPeeling},
-		{Name: "peephole-optimization", Apply: peepholeOptimization},
-		{Name: "branch-insertion", Destroys: true, Apply: func(p *vm.Program, rng *rand.Rand) *vm.Program {
-			return InsertRandomBranches(p, rng, 1.5)
-		}},
-		{Name: "class-encryption(flattening)", Destroys: true, Apply: controlFlowFlattening},
+		{Name: "nop-insertion-light", Category: "layout", Knobs: []Knob{{Name: "fraction", Value: 0.1}}, Apply: nopInsertion(0.1)},
+		{Name: "nop-insertion-heavy", Category: "layout", Knobs: []Knob{{Name: "fraction", Value: 0.5}}, Apply: nopInsertion(0.5)},
+		{Name: "dead-code-insertion", Category: "layout", Apply: deadCodeInsertion},
+		{Name: "block-split", Category: "layout", Apply: blockSplit},
+		{Name: "goto-chaining", Category: "layout", Apply: gotoChaining},
+		{Name: "branch-sense-inversion", Category: "layout", Apply: branchSenseInversion},
+		{Name: "block-reordering", Category: "layout", Apply: blockReordering},
+		{Name: "block-copying", Category: "layout", Apply: blockCopying},
+		{Name: "statement-reordering", Category: "data", Apply: statementReordering},
+		{Name: "constant-obfuscation", Category: "data", Apply: constantObfuscation},
+		{Name: "arithmetic-identity", Category: "data", Apply: arithmeticIdentity},
+		{Name: "strength-substitution", Category: "data", Apply: strengthSubstitution},
+		{Name: "local-renumbering", Category: "rename", Apply: localRenumbering},
+		{Name: "static-renumbering", Category: "rename", Apply: staticRenumbering},
+		{Name: "method-reordering", Category: "rename", Apply: methodReordering},
+		{Name: "method-wrapping", Category: "method", Apply: methodWrapping},
+		{Name: "call-indirection", Category: "method", Apply: callIndirection},
+		{Name: "method-inlining", Category: "method", Apply: methodInlining},
+		{Name: "method-merging", Category: "method", Apply: methodMerging},
+		{Name: "dead-method-insertion", Category: "method", Apply: deadMethodInsertion},
+		{Name: "loop-peeling", Category: "loop", Apply: loopPeeling},
+		{Name: "peephole-optimization", Category: "loop", Apply: peepholeOptimization},
+		{Name: "branch-insertion", Category: "destructive", Destroys: true,
+			Knobs: []Knob{{Name: "increase", Value: 1.5}},
+			Apply: func(p *vm.Program, rng *rand.Rand) *vm.Program {
+				return InsertRandomBranches(p, rng, 1.5)
+			}},
+		{Name: "class-encryption(flattening)", Category: "destructive", Destroys: true, Apply: controlFlowFlattening},
 	}
+}
+
+// ByName resolves a catalog entry, the lookup campaign manifests use so
+// attack names cannot drift from the catalog.
+func ByName(name string) (Attack, bool) {
+	for _, a := range Catalog() {
+		if a.Name == name {
+			return a, true
+		}
+	}
+	return Attack{}, false
 }
 
 // Distortive returns only the attacks the watermark is expected to survive.
@@ -79,10 +158,12 @@ func Distortive() []Attack {
 	return out
 }
 
-// mustVerify is the post-condition every attack enforces.
+// mustVerify is the post-condition every attack enforces. It panics with a
+// typed *AttackError (recovered by Run) so the failure is attributable and
+// containable at the campaign-cell boundary.
 func mustVerify(p *vm.Program) *vm.Program {
 	if err := vm.Verify(p); err != nil {
-		panic("attacks: transformation produced invalid program: " + err.Error())
+		panic(&AttackError{Cause: err})
 	}
 	return p
 }

@@ -1,0 +1,130 @@
+package attacks
+
+import (
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"pathmark/internal/vm"
+	"pathmark/internal/workloads"
+)
+
+// TestRunRecoversAttackError: an attack that corrupts its output panics
+// via mustVerify; Run must convert that into a typed *AttackError naming
+// the attack, never propagate the panic.
+func TestRunRecoversAttackError(t *testing.T) {
+	bad := Attack{
+		Name:     "test-corruptor",
+		Category: "test",
+		Apply: func(p *vm.Program, rng *rand.Rand) *vm.Program {
+			out := p.Clone()
+			// Push with no consumer: stack discipline breaks.
+			out.Methods[0].Code = append([]vm.Instr{{Op: vm.OpConst, A: 1}}, out.Methods[0].Code...)
+			return mustVerify(out)
+		},
+	}
+	_, err := Run(bad, workloads.MiniCalc(), rand.New(rand.NewSource(1)))
+	var ae *AttackError
+	if !errors.As(err, &ae) {
+		t.Fatalf("want *AttackError, got %v", err)
+	}
+	if ae.Attack != "test-corruptor" {
+		t.Errorf("AttackError.Attack = %q, want the attack name", ae.Attack)
+	}
+	if ae.Unwrap() == nil {
+		t.Error("AttackError should wrap the verifier error")
+	}
+}
+
+// TestRunRecoversRawPanic: even a non-AttackError panic inside an attack
+// becomes an error at the Run boundary.
+func TestRunRecoversRawPanic(t *testing.T) {
+	bad := Attack{
+		Name: "test-panicker",
+		Apply: func(p *vm.Program, rng *rand.Rand) *vm.Program {
+			panic("boom")
+		},
+	}
+	_, err := Run(bad, workloads.MiniCalc(), rand.New(rand.NewSource(1)))
+	if err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("want error mentioning panic value, got %v", err)
+	}
+	var ae *AttackError
+	if !errors.As(err, &ae) || ae.Attack != "test-panicker" {
+		t.Fatalf("raw panic not converted to named *AttackError: %v", err)
+	}
+}
+
+// TestRunSucceedsOnCatalog: Run over a healthy catalog entry returns the
+// attacked program with no error and leaves the input untouched.
+func TestRunSucceedsOnCatalog(t *testing.T) {
+	a, ok := ByName("nop-insertion-light")
+	if !ok {
+		t.Fatal("catalog entry missing")
+	}
+	p := workloads.MiniCalc()
+	before := vm.Dump(p)
+	out, err := Run(a, p, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out == nil {
+		t.Fatal("nil attacked program")
+	}
+	if vm.Dump(p) != before {
+		t.Error("Run mutated its input program")
+	}
+}
+
+// TestCatalogMetadata: every entry carries a category and the knob
+// metadata matches what the closures actually use (spot-checked on the
+// paired light/heavy entries).
+func TestCatalogMetadata(t *testing.T) {
+	for _, a := range Catalog() {
+		if a.Category == "" {
+			t.Errorf("%s: empty category", a.Name)
+		}
+		for _, k := range a.Knobs {
+			if k.Name == "" {
+				t.Errorf("%s: unnamed knob", a.Name)
+			}
+		}
+	}
+	light, _ := ByName("nop-insertion-light")
+	heavy, _ := ByName("nop-insertion-heavy")
+	if len(light.Knobs) == 0 || len(heavy.Knobs) == 0 {
+		t.Fatal("nop insertion entries should expose their fraction knob")
+	}
+	if light.Knobs[0].Value >= heavy.Knobs[0].Value {
+		t.Errorf("light knob %v not below heavy knob %v",
+			light.Knobs[0].Value, heavy.Knobs[0].Value)
+	}
+	if _, ok := ByName("nonesuch"); ok {
+		t.Error("ByName invented an attack")
+	}
+}
+
+// TestCatalogDeterministicUnderSeed is the reproducibility property the
+// tournament's byte-identical matrix rests on: every catalog entry, given
+// the same rng seed, produces a byte-identical attacked program.
+func TestCatalogDeterministicUnderSeed(t *testing.T) {
+	progs := []*vm.Program{
+		workloads.MiniCalc(),
+		workloads.JessLike(workloads.JessLikeOptions{Seed: 3, Methods: 8, BlockSize: 30}),
+	}
+	for _, a := range Catalog() {
+		for pi, p := range progs {
+			run := func(seed int64) string {
+				out, err := Run(a, p, rand.New(rand.NewSource(seed)))
+				if err != nil {
+					t.Fatalf("%s on prog %d: %v", a.Name, pi, err)
+				}
+				return vm.Dump(out)
+			}
+			if run(7) != run(7) {
+				t.Errorf("%s on prog %d: same seed, different output", a.Name, pi)
+			}
+		}
+	}
+}

@@ -6,6 +6,8 @@ import (
 	"strings"
 	"sync/atomic"
 	"testing"
+
+	"pathmark/internal/attacks"
 )
 
 var quick = Config{Quick: true, Seed: 42}
@@ -320,5 +322,36 @@ func TestForEachContextCancellation(t *testing.T) {
 	})
 	if n := ran.Load(); n != 3 {
 		t.Errorf("serial sweep ran %d points after cancellation at the 3rd, want 3", n)
+	}
+}
+
+func TestCollusionThreshold(t *testing.T) {
+	points, table := CollusionThreshold(quick)
+	if len(points) != 4 {
+		t.Fatalf("want 4 grid points, got %d", len(points))
+	}
+	byMode := func(harden bool, mode attacks.CollusionMode) *CollusionPoint {
+		for i := range points {
+			if points[i].Harden == harden && points[i].Mode == mode {
+				return &points[i]
+			}
+		}
+		t.Fatalf("missing point harden=%v mode=%v", harden, mode)
+		return nil
+	}
+	// The hardening claim: the strip coalition defeats the baseline fleet
+	// at some k, and the hardened fleet's threshold is strictly higher
+	// (here: never defeated up to the fleet size).
+	baseStrip := byMode(false, attacks.CollusionStrip)
+	hardStrip := byMode(true, attacks.CollusionStrip)
+	if baseStrip.Threshold == 0 {
+		t.Error("strip never defeated the baseline fleet; nothing to harden against")
+	}
+	if hardStrip.Threshold != 0 && hardStrip.Threshold <= baseStrip.Threshold {
+		t.Errorf("hardening did not raise the strip threshold: baseline %d, hardened %d",
+			baseStrip.Threshold, hardStrip.Threshold)
+	}
+	if !strings.Contains(table.Render(), "Colluder threshold") {
+		t.Error("table render broken")
 	}
 }

@@ -186,7 +186,7 @@ type Job struct {
 	spec        Spec
 	digest      cache.Digest
 	progDigests []cache.Digest
-	journal     *journal
+	journal     *WAL
 	caches      *wm.FleetCaches
 	trace       *obs.Trace
 	ownTrace    bool // trace opened by Open (vs caller-supplied): Close closes it

@@ -1,13 +1,11 @@
 package jobs
 
 import (
-	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
-	"sync"
 )
 
 // The journal is the job's write-ahead log: one JSON object per line,
@@ -19,7 +17,9 @@ import (
 // next append, so the file never accretes garbage mid-stream). Records
 // carry everything needed to reconstruct the grade's outcome — the
 // serialized recognition, the error string, the attempt count — so a
-// resumed run re-executes only the cells with no record.
+// resumed run re-executes only the cells with no record. The storage
+// mechanics (fsync'd appends, torn-tail truncation) live in the shared
+// WAL type; this file owns the grade journal's schema and replay rules.
 
 // journalVersion is bumped on any incompatible format change; replay
 // refuses other versions rather than guessing.
@@ -66,7 +66,7 @@ var ErrJournalMismatch = errors.New("jobs: journal belongs to a different job")
 // suspect). The error is non-nil only when no usable header exists —
 // partial grade data is recoverable state, a missing header is not.
 func decodeJournal(data []byte) (h journalHeader, recs []gradeRecord, good int64, err error) {
-	line, rest, ok := cutLine(data)
+	line, rest, ok := CutLine(data)
 	if !ok {
 		return h, nil, 0, errors.New("jobs: journal has no complete header line")
 	}
@@ -84,7 +84,7 @@ func decodeJournal(data []byte) (h journalHeader, recs []gradeRecord, good int64
 	good = int64(len(data) - len(rest))
 	data = rest
 	for {
-		line, rest, ok := cutLine(data)
+		line, rest, ok := CutLine(data)
 		if !ok {
 			return h, recs, good, nil // torn or absent tail — done
 		}
@@ -99,52 +99,15 @@ func decodeJournal(data []byte) (h journalHeader, recs []gradeRecord, good int64
 	}
 }
 
-// cutLine splits data at the first newline; ok is false when no complete
-// (newline-terminated) line remains.
-func cutLine(data []byte) (line, rest []byte, ok bool) {
-	i := bytes.IndexByte(data, '\n')
-	if i < 0 {
-		return nil, nil, false
-	}
-	return data[:i], data[i+1:], true
+// createJournal starts a fresh grade journal at path with the given
+// header.
+func createJournal(path string, h journalHeader, syncEach bool) (*WAL, error) {
+	return CreateWAL(path, h, syncEach)
 }
 
-// journal is the append side of the write-ahead log. Append is
-// serialized by a mutex — grades from concurrent workers interleave at
-// record granularity, never mid-line.
-type journal struct {
-	mu      sync.Mutex
-	f       *os.File
-	sync    bool
-	bytes   int64
-	records int64
-}
-
-// createJournal starts a fresh journal at path with the given header.
-// The header is synced before the first grade can be appended, so a
-// journal on disk always identifies its job.
-func createJournal(path string, h journalHeader, syncEach bool) (*journal, error) {
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
-	if err != nil {
-		return nil, fmt.Errorf("jobs: create journal: %w", err)
-	}
-	j := &journal{f: f, sync: syncEach}
-	if err := j.appendLine(h); err != nil {
-		f.Close()
-		os.Remove(path)
-		return nil, err
-	}
-	if err := f.Sync(); err != nil {
-		f.Close()
-		return nil, fmt.Errorf("jobs: sync journal header: %w", err)
-	}
-	return j, nil
-}
-
-// openJournal replays an existing journal and reopens it for append,
-// truncating any torn tail first so new records never concatenate onto a
-// partial line.
-func openJournal(path string, syncEach bool) (*journal, journalHeader, []gradeRecord, error) {
+// openJournal replays an existing grade journal and reopens it for
+// append, truncating any torn tail first.
+func openJournal(path string, syncEach bool) (*WAL, journalHeader, []gradeRecord, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, journalHeader{}, nil, fmt.Errorf("jobs: read journal: %w", err)
@@ -153,72 +116,11 @@ func openJournal(path string, syncEach bool) (*journal, journalHeader, []gradeRe
 	if err != nil {
 		return nil, h, nil, err
 	}
-	if good < int64(len(data)) {
-		if err := os.Truncate(path, good); err != nil {
-			return nil, h, nil, fmt.Errorf("jobs: truncate torn journal tail: %w", err)
-		}
-	}
-	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	w, err := OpenWAL(path, good, int64(len(recs)), syncEach)
 	if err != nil {
-		return nil, h, nil, fmt.Errorf("jobs: reopen journal: %w", err)
+		return nil, h, nil, err
 	}
-	return &journal{f: f, sync: syncEach, bytes: good, records: int64(len(recs))}, h, recs, nil
-}
-
-// Append journals one grade record, fsync'ing before returning (unless
-// the journal was opened with sync off). Once Append returns, the grade
-// survives kill -9.
-func (j *journal) Append(r gradeRecord) error {
-	j.mu.Lock()
-	defer j.mu.Unlock()
-	if err := j.appendLine(r); err != nil {
-		return err
-	}
-	if j.sync {
-		if err := j.f.Sync(); err != nil {
-			return fmt.Errorf("jobs: sync journal: %w", err)
-		}
-	}
-	j.records++
-	return nil
-}
-
-func (j *journal) appendLine(v any) error {
-	b, err := json.Marshal(v)
-	if err != nil {
-		return fmt.Errorf("jobs: encode journal record: %w", err)
-	}
-	b = append(b, '\n')
-	if _, err := j.f.Write(b); err != nil {
-		return fmt.Errorf("jobs: append journal record: %w", err)
-	}
-	j.bytes += int64(len(b))
-	return nil
-}
-
-// Bytes and Records report the journal's current size, for the
-// jobs.journal.* observability counters.
-func (j *journal) Bytes() int64 {
-	j.mu.Lock()
-	defer j.mu.Unlock()
-	return j.bytes
-}
-
-func (j *journal) Records() int64 {
-	j.mu.Lock()
-	defer j.mu.Unlock()
-	return j.records
-}
-
-func (j *journal) Close() error {
-	j.mu.Lock()
-	defer j.mu.Unlock()
-	if j.f == nil {
-		return nil
-	}
-	err := j.f.Close()
-	j.f = nil
-	return err
+	return w, h, recs, nil
 }
 
 // JournalPath, ResultPath and TracePath name the files a job keeps in

@@ -72,6 +72,22 @@ func (p RetryPolicy) backoff(job cache.Digest, s, k, attempt int) time.Duration 
 	return d - d/4 + time.Duration(r%uint64(d/2+1))
 }
 
+// Backoff is the exported form of backoff for other campaign engines
+// (the tournament's cell retries): id identifies the campaign, (a, b) the
+// cell. The jitter is drawn from a hash of all four values, so retry
+// timing replays exactly like the grades themselves.
+func (p RetryPolicy) Backoff(id cache.Digest, a, b, attempt int) time.Duration {
+	return p.backoff(id, a, b, attempt)
+}
+
+// Attempts is the effective per-cell attempt bound (MaxAttempts, or
+// DefaultMaxAttempts when unset).
+func (p RetryPolicy) Attempts() int { return p.attempts() }
+
+// SleepCtx pauses for d unless ctx finishes first — exported alongside
+// Backoff so retry loops outside this package pause identically.
+func SleepCtx(ctx context.Context, d time.Duration) { sleepCtx(ctx, d) }
+
 // Retryable classifies an error from one grade attempt: true for the
 // transient-capable typed failures (stage and resource errors), false
 // for terminal ones (key-file damage, unknown errors). Classification is

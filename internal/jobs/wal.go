@@ -1,0 +1,137 @@
+package jobs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+)
+
+// WAL is the reusable append side of a line-oriented JSONL write-ahead
+// log: one JSON object per line, a header line first, records fsync'd as
+// they are appended. It is the storage layer under the jobs grade journal,
+// exported so other campaign engines (the tournament's cell journal)
+// inherit the same crash-safety contract — header-first creation,
+// torn-tail truncation before reopening for append, record-granularity
+// interleaving under concurrent writers. Decoding stays with the caller
+// (record schemas differ per engine); CutLine is the shared line splitter
+// with the torn-tail convention.
+type WAL struct {
+	mu      sync.Mutex
+	f       *os.File
+	sync    bool
+	bytes   int64
+	records int64
+}
+
+// CreateWAL starts a fresh log at path (which must not exist) whose first
+// line is header, synced before the first record can be appended — a log
+// on disk always identifies its owner.
+func CreateWAL(path string, header any, syncEach bool) (*WAL, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("jobs: create journal: %w", err)
+	}
+	w := &WAL{f: f, sync: syncEach}
+	if err := w.appendLine(header); err != nil {
+		f.Close()
+		os.Remove(path)
+		return nil, err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("jobs: sync journal header: %w", err)
+	}
+	return w, nil
+}
+
+// OpenWAL reopens an existing log for append after the caller has decoded
+// and replayed its contents: good is the byte length of the valid prefix
+// and records the number of records replayed from it. Any torn tail beyond
+// good is truncated away first, so new records never concatenate onto a
+// partial line.
+func OpenWAL(path string, good, records int64, syncEach bool) (*WAL, error) {
+	info, err := os.Stat(path)
+	if err != nil {
+		return nil, fmt.Errorf("jobs: reopen journal: %w", err)
+	}
+	if good < info.Size() {
+		if err := os.Truncate(path, good); err != nil {
+			return nil, fmt.Errorf("jobs: truncate torn journal tail: %w", err)
+		}
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("jobs: reopen journal: %w", err)
+	}
+	return &WAL{f: f, sync: syncEach, bytes: good, records: records}, nil
+}
+
+// Append journals one record, fsync'ing before returning (unless the log
+// was opened with sync off). Once Append returns, the record survives
+// kill -9. Concurrent appenders interleave at record granularity, never
+// mid-line.
+func (w *WAL) Append(v any) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err := w.appendLine(v); err != nil {
+		return err
+	}
+	if w.sync {
+		if err := w.f.Sync(); err != nil {
+			return fmt.Errorf("jobs: sync journal: %w", err)
+		}
+	}
+	w.records++
+	return nil
+}
+
+func (w *WAL) appendLine(v any) error {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("jobs: encode journal record: %w", err)
+	}
+	b = append(b, '\n')
+	if _, err := w.f.Write(b); err != nil {
+		return fmt.Errorf("jobs: append journal record: %w", err)
+	}
+	w.bytes += int64(len(b))
+	return nil
+}
+
+// Bytes and Records report the log's current size, for the *.journal.*
+// observability counters.
+func (w *WAL) Bytes() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.bytes
+}
+
+func (w *WAL) Records() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.records
+}
+
+func (w *WAL) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return nil
+	}
+	err := w.f.Close()
+	w.f = nil
+	return err
+}
+
+// CutLine splits data at the first newline; ok is false when no complete
+// (newline-terminated) line remains — the torn-tail convention every WAL
+// decoder shares.
+func CutLine(data []byte) (line, rest []byte, ok bool) {
+	i := bytes.IndexByte(data, '\n')
+	if i < 0 {
+		return nil, nil, false
+	}
+	return data[:i], data[i+1:], true
+}

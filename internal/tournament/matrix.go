@@ -1,0 +1,182 @@
+package tournament
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// matrixVersion versions the matrix.json schema.
+const matrixVersion = 1
+
+// Matrix is the campaign's robustness matrix — the tournament's canonical
+// artifact, modeled on the paper's §5 evaluation tables. Its encoding is
+// deterministic in the manifest alone: cells are listed in canonical grid
+// order and carry no timing or scheduling state, so two runs of the same
+// campaign (any worker count, any number of kill/resume cycles) write
+// byte-identical files.
+type Matrix struct {
+	Version  int    `json:"version"`
+	Campaign string `json:"campaign"` // hex manifest digest
+	Host     string `json:"host"`
+	WBits    int    `json:"wbits"`
+	Seed     int64  `json:"seed"`
+	// The grid axes, echoed so the matrix file is self-describing.
+	Fleets    []FleetSpec `json:"fleets"`
+	Attacks   []string    `json:"attacks"` // labels, in manifest order
+	Strengths []int       `json:"strengths"`
+	// Catalog lists the catalog entries the campaign referenced.
+	Catalog []string `json:"catalog,omitempty"`
+	// Cells in canonical (fleet, attack, strength) order. Pending cells
+	// (an interrupted run queried before resume) are omitted.
+	Cells []CellResult `json:"cells"`
+}
+
+// Matrix snapshots the campaign's settled cells.
+func (c *Campaign) Matrix() *Matrix {
+	m := c.manifest
+	labels := make([]string, len(m.Attacks))
+	for i, a := range m.Attacks {
+		labels[i] = a.Label()
+	}
+	out := &Matrix{
+		Version: matrixVersion, Campaign: c.digest,
+		Host: m.Host, WBits: m.WBits, Seed: m.Seed,
+		Fleets: m.Fleets, Attacks: labels, Strengths: m.Strengths,
+		Catalog: m.sortedAttackNames(),
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, cell := range c.cells {
+		if cell != nil {
+			out.Cells = append(out.Cells, *cell)
+		}
+	}
+	return out
+}
+
+// Cell returns the cell at the given grid coordinates, or nil.
+func (m *Matrix) Cell(fleet, attack, strength int) *CellResult {
+	for i := range m.Cells {
+		c := &m.Cells[i]
+		if c.Fleet == fleet && c.Attack == attack && c.Strength == strength {
+			return c
+		}
+	}
+	return nil
+}
+
+// EncodeMatrix renders the canonical matrix bytes.
+func EncodeMatrix(m *Matrix) ([]byte, error) {
+	b, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("tournament: encode matrix: %w", err)
+	}
+	return append(b, '\n'), nil
+}
+
+// WriteMatrixFile writes the matrix atomically (temp + sync + rename), so
+// a crash mid-write never leaves a torn artifact next to a good journal.
+func WriteMatrixFile(path string, m *Matrix) error {
+	b, err := EncodeMatrix(m)
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("tournament: write matrix: %w", err)
+	}
+	tmpName := tmp.Name()
+	fail := func(err error) error {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("tournament: write matrix: %w", err)
+	}
+	if _, err := tmp.Write(b); err != nil {
+		return fail(err)
+	}
+	if err := tmp.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("tournament: write matrix: %w", err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("tournament: write matrix: %w", err)
+	}
+	return nil
+}
+
+// LoadMatrix reads a matrix.json back.
+func LoadMatrix(path string) (*Matrix, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("tournament: read matrix: %w", err)
+	}
+	var m Matrix
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("tournament: parse matrix %s: %w", path, err)
+	}
+	if m.Version != matrixVersion {
+		return nil, fmt.Errorf("tournament: matrix version %d, want %d", m.Version, matrixVersion)
+	}
+	return &m, nil
+}
+
+// Render draws the matrix as one table per fleet: attacks down, strengths
+// across, each cell "S/D/F confidence" (plus the coalition size for
+// collusion cells).
+func (m *Matrix) Render() string {
+	var sb strings.Builder
+	for fi, fleet := range m.Fleets {
+		mode := "baseline"
+		if fleet.Harden {
+			mode = "hardened"
+		}
+		fmt.Fprintf(&sb, "fleet %d: size=%d %s\n", fi, fleet.Size, mode)
+		width := 0
+		for _, a := range m.Attacks {
+			if len(a) > width {
+				width = len(a)
+			}
+		}
+		fmt.Fprintf(&sb, "  %-*s", width, "attack")
+		for _, s := range m.Strengths {
+			fmt.Fprintf(&sb, " | %-12s", fmt.Sprintf("strength %d", s))
+		}
+		sb.WriteString("\n")
+		for ai, label := range m.Attacks {
+			fmt.Fprintf(&sb, "  %-*s", width, label)
+			for si := range m.Strengths {
+				sb.WriteString(" | ")
+				cell := m.Cell(fi, ai, si)
+				switch {
+				case cell == nil:
+					fmt.Fprintf(&sb, "%-12s", "pending")
+				case cell.Err != "":
+					fmt.Fprintf(&sb, "%-12s", "F error")
+				default:
+					letter := strings.ToUpper(string(cell.Outcome[0]))
+					body := fmt.Sprintf("%s %.2f", letter, cell.Confidence)
+					if cell.Colluders > 0 {
+						body += fmt.Sprintf(" k=%d", cell.Colluders)
+					}
+					fmt.Fprintf(&sb, "%-12s", body)
+				}
+			}
+			sb.WriteString("\n")
+		}
+		sb.WriteString("\n")
+	}
+	n := map[Outcome]int{}
+	for _, c := range m.Cells {
+		n[c.Outcome]++
+	}
+	fmt.Fprintf(&sb, "cells: %d survive, %d degrade, %d fail\n",
+		n[OutcomeSurvive], n[OutcomeDegrade], n[OutcomeFail])
+	return sb.String()
+}

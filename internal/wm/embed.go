@@ -50,6 +50,17 @@ type EmbedOptions struct {
 	// MaxHeap bounds the tracing run's cumulative array allocation
 	// (0 = interpreter default).
 	MaxHeap int64
+	// CoalitionSafe excludes the condition generator from GenAuto's mix
+	// (remapping its roll onto the unrolled loop generator, so the
+	// placement rng stream is unchanged). The loop generators draw
+	// randomness only for watermark-independent material — guard targets,
+	// opaque-predicate operands — and carry the piece as a single constant
+	// operand, so two CoalitionSafe embeddings with the same seed differ
+	// ONLY in their piece constants. That is the invariant coalition-
+	// resistant fleets (BatchOptions.Harden) are built on: a colluding
+	// diff of such copies exposes nothing but constants whose removal
+	// breaks stack discipline. Incompatible with GenConditionOnly.
+	CoalitionSafe bool
 	// Ctx, when non-nil, cancels the embedding: the tracing run checks it
 	// continuously and the later stages check it at their boundaries.
 	Ctx context.Context
@@ -287,6 +298,9 @@ func embedOne(p *vm.Program, ha *hostAnalysis, w *big.Int, key *Key, opts EmbedO
 	if err := validateWatermark(w, key); err != nil {
 		return nil, nil, err
 	}
+	if opts.CoalitionSafe && opts.Policy == GenConditionOnly {
+		return nil, nil, errors.New("wm: CoalitionSafe excludes the condition generator; GenConditionOnly unavailable")
+	}
 	if err := ctxErr(opts.Ctx); err != nil {
 		return nil, nil, &StageError{Stage: "split", Worker: -1, Cause: err}
 	}
@@ -381,7 +395,7 @@ func embedOne(p *vm.Program, ha *hostAnalysis, w *big.Int, key *Key, opts EmbedO
 		default:
 			si = pickSite(ha.allSites, ha.allTotal)
 			switch roll := rng.Intn(10); {
-			case sites[si].count >= 2 && roll < 3:
+			case sites[si].count >= 2 && roll < 3 && !opts.CoalitionSafe:
 				gen = GenCondition
 			case roll < 4:
 				gen = GenLoopUnrolled

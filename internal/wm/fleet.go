@@ -27,14 +27,26 @@ import (
 // BatchOptions tunes EmbedBatch. The embedded EmbedOptions apply to every
 // copy, except that copy i uses Seed+int64(i) — each fingerprint gets its
 // own placement, and EmbedBatch(p, ws, key, o)[i] is byte-identical to
-// Embed(p, ws[i], key, o.EmbedOptions) with that per-copy seed.
+// Embed(p, ws[i], key, o.EmbedOptions) with that per-copy seed. Harden
+// replaces the per-copy seed shift with shared placement.
 type BatchOptions struct {
 	EmbedOptions
 	// Workers bounds the goroutines embedding copies concurrently:
 	// 0 picks runtime.GOMAXPROCS(0), 1 forces the serial path. The output
 	// is identical at any worker count (each copy's randomness is an
-	// independent rng seeded from Seed+index).
+	// independent rng seeded from Seed+index, or plain Seed under Harden).
 	Workers int
+	// Harden makes the fleet coalition-resistant: every copy embeds with
+	// the SAME placement seed (no per-copy shift) and CoalitionSafe
+	// generators, so all copies are instruction-identical except for the
+	// encrypted piece constants — one OpConst immediate per piece. A
+	// coalition diffing hardened copies (attacks.Collude) localizes only
+	// those constants, and stripping them breaks the program's stack
+	// discipline, forcing the attack to roll back; the divergent-site
+	// leverage that defeats per-copy placement at small coalition sizes is
+	// gone. Copy i is byte-identical to Embed(p, ws[i], key, e) where e is
+	// o.EmbedOptions with CoalitionSafe forced on and the seed unshifted.
+	Harden bool
 }
 
 // Fingerprint is one embedded copy of a fleet: the customer index, the
@@ -86,11 +98,16 @@ func EmbedBatch(p *vm.Program, ws []*big.Int, key *Key, opts BatchOptions) ([]Fi
 	copies := make([]Fingerprint, len(ws))
 	errs := make([]error, len(ws))
 	embedCopy := func(i int) {
-		// Per-copy options: shifted seed, no registry — concurrent copies
-		// would interleave their stage spans nondeterministically, so the
-		// batch records only batch-level metrics.
+		// Per-copy options: shifted seed (shared under Harden), no
+		// registry — concurrent copies would interleave their stage spans
+		// nondeterministically, so the batch records only batch-level
+		// metrics.
 		one := opts.EmbedOptions
-		one.Seed += int64(i)
+		if opts.Harden {
+			one.CoalitionSafe = true
+		} else {
+			one.Seed += int64(i)
+		}
 		one.Obs = nil
 		prog, report, err := embedOne(p, ha, ws[i], key, one)
 		if err != nil {

@@ -1,0 +1,161 @@
+package wm
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+
+	"pathmark/internal/attacks"
+	"pathmark/internal/vm"
+	"pathmark/internal/workloads"
+)
+
+// hardenedFleet embeds a fleet over the small jesslike host used by the
+// tournament demo grid, baseline or coalition-hardened.
+func hardenedFleet(t *testing.T, n int, harden bool) ([]Fingerprint, []*big.Int, *Key) {
+	t.Helper()
+	p := workloads.JessLike(workloads.JessLikeOptions{Seed: 8, Methods: 12, BlockSize: 40})
+	key := testKey(t, nil, 24)
+	ws := make([]*big.Int, n)
+	for i := range ws {
+		seed := uint64(42)
+		ws[i] = RandomWatermark(24, seed*0x9e3779b97f4a7c15+uint64(i))
+	}
+	copies, err := EmbedBatch(p, ws, key, BatchOptions{
+		EmbedOptions: EmbedOptions{Seed: 42, Pieces: 2},
+		Workers:      2,
+		Harden:       harden,
+	})
+	if err != nil {
+		t.Fatalf("EmbedBatch(harden=%v): %v", harden, err)
+	}
+	return copies, ws, key
+}
+
+// TestHardenedBatchMatchesEmbed: under Harden every copy must equal a
+// standalone Embed with CoalitionSafe at the SAME seed — no per-copy
+// placement shift, by design.
+func TestHardenedBatchMatchesEmbed(t *testing.T) {
+	copies, ws, key := hardenedFleet(t, 4, true)
+	p := workloads.JessLike(workloads.JessLikeOptions{Seed: 8, Methods: 12, BlockSize: 40})
+	for i, c := range copies {
+		want, _, err := Embed(p, ws[i], key, EmbedOptions{
+			Seed: 42, Pieces: 2, CoalitionSafe: true,
+		})
+		if err != nil {
+			t.Fatalf("embed %d: %v", i, err)
+		}
+		if vm.Dump(c.Program) != vm.Dump(want) {
+			t.Errorf("hardened copy %d differs from standalone CoalitionSafe embed at shared seed", i)
+		}
+	}
+}
+
+// TestHardenedCopiesDifferOnlyInConstants is the coalition-resistance
+// invariant: any two hardened copies are instruction-identical except for
+// OpConst immediates (the encrypted piece payloads). A differ therefore
+// localizes exactly the sites whose removal breaks stack discipline.
+func TestHardenedCopiesDifferOnlyInConstants(t *testing.T) {
+	copies, _, _ := hardenedFleet(t, 4, true)
+	diffs := 0
+	for i := 0; i < len(copies); i++ {
+		for j := i + 1; j < len(copies); j++ {
+			a, b := copies[i].Program, copies[j].Program
+			if len(a.Methods) != len(b.Methods) {
+				t.Fatalf("copies %d,%d: method counts differ", i, j)
+			}
+			for mi := range a.Methods {
+				ca, cb := a.Methods[mi].Code, b.Methods[mi].Code
+				if len(ca) != len(cb) {
+					t.Fatalf("copies %d,%d method %d: lengths differ (%d vs %d)",
+						i, j, mi, len(ca), len(cb))
+				}
+				for k := range ca {
+					if ca[k] == cb[k] {
+						continue
+					}
+					diffs++
+					if ca[k].Op != vm.OpConst || cb[k].Op != vm.OpConst ||
+						ca[k].Target != cb[k].Target {
+						t.Errorf("copies %d,%d method %d pc %d: non-constant divergence %v vs %v",
+							i, j, mi, k, ca[k], cb[k])
+					}
+				}
+			}
+		}
+	}
+	if diffs == 0 {
+		t.Fatal("hardened copies are identical — fingerprints missing")
+	}
+}
+
+// TestHardenedFleetRecognizes: hardening must not cost identification —
+// each copy still recognizes exactly its own watermark.
+func TestHardenedFleetRecognizes(t *testing.T) {
+	copies, ws, key := hardenedFleet(t, 4, true)
+	for i, c := range copies {
+		rec, err := Recognize(c.Program, key)
+		if err != nil {
+			t.Fatalf("copy %d: %v", i, err)
+		}
+		for j, w := range ws {
+			if got := rec.Matches(w); got != (i == j) {
+				t.Errorf("copy %d vs watermark %d: Matches=%v", i, j, got)
+			}
+		}
+	}
+}
+
+// TestCoalitionSafeRejectsConditionOnly: the two options are contradictory
+// and must fail loudly, not silently pick one.
+func TestCoalitionSafeRejectsConditionOnly(t *testing.T) {
+	p := workloads.MiniCalc()
+	key := testKey(t, nil, 24)
+	_, _, err := Embed(p, RandomWatermark(24, 9), key, EmbedOptions{
+		Seed: 1, CoalitionSafe: true, Policy: GenConditionOnly,
+	})
+	if err == nil {
+		t.Fatal("CoalitionSafe+GenConditionOnly accepted; want error")
+	}
+}
+
+// TestCollusionThresholdRaisedByHardening is the library-level form of the
+// tournament's flagship cell: a 2-colluder strip attack defeats the
+// baseline fleet's victim copy and fails (rolls back) against the hardened
+// fleet, leaving its watermark recognizable.
+func TestCollusionThresholdRaisedByHardening(t *testing.T) {
+	for _, tc := range []struct {
+		name        string
+		harden      bool
+		wantSurvive bool
+	}{
+		{"baseline-defeated", false, false},
+		{"hardened-survives", true, true},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			copies, ws, key := hardenedFleet(t, 2, tc.harden)
+			progs := []*vm.Program{copies[0].Program, copies[1].Program}
+			attacked, report, err := attacks.Collude(progs, rand.New(rand.NewSource(77)), attacks.CollusionOptions{
+				Mode:   attacks.CollusionStrip,
+				Probes: attacks.DefaultProbes(),
+			})
+			if err != nil {
+				t.Fatalf("Collude: %v", err)
+			}
+			rec, err := Recognize(attacked, key)
+			if err != nil {
+				t.Fatalf("Recognize: %v", err)
+			}
+			if got := rec.Matches(ws[0]); got != tc.wantSurvive {
+				t.Fatalf("victim Matches=%v, want %v (report %+v)", got, tc.wantSurvive, report)
+			}
+			if tc.wantSurvive && report.Mutated != 0 {
+				t.Errorf("hardened fleet: %d mutations stuck (rolled back %d); expected full rollback",
+					report.Mutated, report.RolledBack)
+			}
+			if !tc.wantSurvive && report.Mutated == 0 {
+				t.Error("baseline fleet: no mutation stuck, yet watermark lost?")
+			}
+		})
+	}
+}
