@@ -12,7 +12,8 @@
 //	pathmark fleet bench    [-json FILE]    # cached-vs-uncached comparisons, appended as JSONL
 //	pathmark serve   -dir JOBROOT [-addr HOST:PORT]   # crash-safe recognition daemon (HTTP)
 //	pathmark top     {-job JOBDIR | -url URL} [-interval 1s]  # live view of a job's trace stream
-//	pathmark trace   -in prog.pasm [-input 1,2,3] [-level N]  # dump the decoded bit-string
+//	pathmark watch   [-in STREAM] [-format bits|events] [-follow]  # streaming recognition over a live trace
+//	pathmark trace   -in prog.pasm [-input 1,2,3] [-level N] [-events]  # dump the decoded bit-string or raw events
 //	pathmark attack  -in marked.pasm -out attacked.pasm -name branch-insertion [-seed S]
 //	pathmark attacks                                    # list the attack catalog
 //	pathmark run     -in prog.pasm [-input 1,2,3] [-vmprofile N]
@@ -53,6 +54,7 @@
 package main
 
 import (
+	"bufio"
 	"context"
 	"flag"
 	"fmt"
@@ -97,6 +99,8 @@ func main() {
 		os.Exit(cmdServe(args))
 	case "top":
 		os.Exit(cmdTop(args))
+	case "watch":
+		os.Exit(cmdWatch(args))
 	case "trace":
 		cmdTrace(args)
 	case "attack":
@@ -115,7 +119,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: pathmark {embed|recognize|fleet|serve|top|trace|attack|attacks|tournament|run|inject} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: pathmark {embed|recognize|fleet|serve|top|watch|trace|attack|attacks|tournament|run|inject} [flags]")
 	os.Exit(exitUsage)
 }
 
@@ -359,11 +363,27 @@ func cmdTrace(args []string) {
 	// its view; the decoded bits are identical either way — the level only
 	// changes how much per-block state the trace retains.
 	level := fs.Int("level", 2, "snapshots kept per block: 2 = embed's view, 1 = recognize's view")
+	events := fs.Bool("events", false, "dump the raw event stream (the `pathmark watch -format events` input) instead of the bit-string")
 	fs.Parse(args)
 	p := c.loadProgram()
 	tr, res, err := vm.Collect(p, c.secretInput(), *level)
 	if err != nil {
 		fatal(err)
+	}
+	if *events {
+		// One event per line on stdout, nothing else: the dump pipes
+		// straight into `pathmark watch -format events`.
+		out := bufio.NewWriter(os.Stdout)
+		for _, e := range tr.Events {
+			kind := "block"
+			if e.Kind == vm.EvBranchExec {
+				kind = "branch"
+			}
+			fmt.Fprintf(out, "%s %d %d\n", kind, e.Method, e.Loc)
+		}
+		out.Flush()
+		fmt.Fprintf(os.Stderr, "trace events: %d, branch executions: %d\n", len(tr.Events), tr.NumBranchExecs())
+		return
 	}
 	bits := tr.DecodeBits()
 	fmt.Printf("return: %d, output: %v, steps: %d\n", res.Return, res.Output, res.Steps)

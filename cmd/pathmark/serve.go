@@ -56,22 +56,42 @@ import (
 // serveRequest is the POST /jobs body: programs and keys travel as
 // text (the .pasm dump and the keyfile JSON document respectively), so
 // a job can be submitted with curl and reproduced byte-for-byte later.
+// With stream set, the request opens a stream job instead: no suspects
+// travel with it — the client uploads the suspect's decoded trace
+// bit-string in chunks via POST /jobs/{id}/stream as the suspect runs.
 type serveRequest struct {
-	Suspects []string            `json:"suspects"` // .pasm program texts
-	Keys     []string            `json:"keys"`     // keyfile JSON documents
+	Suspects []string            `json:"suspects,omitempty"` // .pasm program texts
+	Keys     []string            `json:"keys"`               // keyfile JSON documents
+	Stream   bool                `json:"stream,omitempty"`   // live-trace upload job
 	Options  serveRequestOptions `json:"options"`
 }
 
 // serveRequestOptions is the result-affecting and scheduling subset of
-// jobs.Options a client may set; everything else is server policy.
+// jobs.Options a client may set; everything else is server policy. The
+// check_every/settle_checks/min_confidence trio applies to stream jobs
+// only (the early-exit probe cadence and settle rule).
 type serveRequestOptions struct {
-	Workers        int   `json:"workers,omitempty"`
-	StepLimit      int64 `json:"step_limit,omitempty"`
-	Retries        int   `json:"retries,omitempty"`
-	RetryDelayMS   int64 `json:"retry_delay_ms,omitempty"`
-	Breaker        int   `json:"breaker,omitempty"`
-	Wave           int   `json:"wave,omitempty"`
-	GradeTimeoutMS int64 `json:"grade_timeout_ms,omitempty"`
+	Workers        int     `json:"workers,omitempty"`
+	StepLimit      int64   `json:"step_limit,omitempty"`
+	Retries        int     `json:"retries,omitempty"`
+	RetryDelayMS   int64   `json:"retry_delay_ms,omitempty"`
+	Breaker        int     `json:"breaker,omitempty"`
+	Wave           int     `json:"wave,omitempty"`
+	GradeTimeoutMS int64   `json:"grade_timeout_ms,omitempty"`
+	CheckEvery     int     `json:"check_every,omitempty"`
+	SettleChecks   int     `json:"settle_checks,omitempty"`
+	MinConfidence  float64 `json:"min_confidence,omitempty"`
+}
+
+// streamChunkRequest is the POST /jobs/{id}/stream body: one chunk of
+// the decoded trace bit-string as '0'/'1' characters, its starting bit
+// offset, and the end-of-stream marker. Chunks at or below the
+// committed offset are idempotent re-sends; a chunk past it is refused
+// with 409 and the committed offset to resume from.
+type streamChunkRequest struct {
+	Offset int64  `json:"offset"`
+	Bits   string `json:"bits"`
+	Final  bool   `json:"final,omitempty"`
 }
 
 // jobStatus is the GET /jobs/{id} response. Beyond the lifecycle fields
@@ -95,6 +115,13 @@ type jobStatus struct {
 	Decrypted       int64            `json:"decrypted,omitempty"`
 	Valid           int64            `json:"valid,omitempty"`
 	RejectedByLayer map[string]int64 `json:"rejected_by_layer,omitempty"`
+
+	// Stream-job fields: the durable bit offset an interrupted uploader
+	// resumes from, and how many keys' recognizers have latched an early
+	// verdict.
+	Stream      bool  `json:"stream,omitempty"`
+	Committed   int64 `json:"committed,omitempty"`
+	SettledKeys int   `json:"settled_keys,omitempty"`
 }
 
 // serveJob is one tracked job: its directory on disk plus live status
@@ -105,6 +132,14 @@ type serveJob struct {
 	total     int
 	completed atomic.Int64
 	done      chan struct{}
+
+	// stream is non-nil for live-trace upload jobs. streamMu serializes
+	// feeds, the finishing flush, and the drain-time close; finishOnce
+	// guards the done-channel close (Finish can be reached from an upload
+	// request and from drain-time replay alike).
+	stream     *jobs.StreamJob
+	streamMu   sync.Mutex
+	finishOnce sync.Once
 
 	retries   atomic.Int64
 	skipped   atomic.Int64
@@ -172,6 +207,12 @@ func (j *serveJob) snapshot() jobStatus {
 			"phase":       int64(rej.Phase),
 			"framing":     int64(rej.Framing),
 		}
+	}
+	if j.stream != nil {
+		st.Stream = true
+		st.Committed = j.stream.Committed()
+		st.SettledKeys = j.stream.SettledKeys()
+		st.Completed = int64(st.SettledKeys)
 	}
 	return st
 }
@@ -275,6 +316,107 @@ func (s *server) buildSpec(req *serveRequest) (jobs.Spec, error) {
 			NoSync:  s.cfg.noSync,
 		},
 	}, nil
+}
+
+// buildStreamSpec turns a stream request into a jobs.StreamSpec. Errors
+// are client errors (bad request).
+func (s *server) buildStreamSpec(req *serveRequest) (jobs.StreamSpec, error) {
+	if len(req.Suspects) != 0 {
+		return jobs.StreamSpec{}, fmt.Errorf("a stream job takes no suspects: the trace is uploaded in chunks")
+	}
+	if len(req.Keys) == 0 {
+		return jobs.StreamSpec{}, fmt.Errorf("need at least one key")
+	}
+	keys := make([]*wm.Key, len(req.Keys))
+	for i, doc := range req.Keys {
+		k, err := wm.LoadKey(strings.NewReader(doc))
+		if err != nil {
+			return jobs.StreamSpec{}, fmt.Errorf("key %d: %w", i, err)
+		}
+		keys[i] = k
+	}
+	o := req.Options
+	return jobs.StreamSpec{
+		Keys: keys,
+		Opts: jobs.StreamOptions{
+			Workers:       o.Workers,
+			CheckEvery:    o.CheckEvery,
+			SettleChecks:  o.SettleChecks,
+			MinConfidence: o.MinConfidence,
+			NoSync:        s.cfg.noSync,
+			Obs:           s.cfg.reg,
+		},
+	}, nil
+}
+
+// submitStream registers a stream job: the directory and chunk journal
+// are created (or replayed, resuming at the committed offset) before the
+// submission is acknowledged, so the committed offset in the response is
+// already durable. Idempotent like corpus submission: the ID is the
+// spec's content digest.
+func (s *server) submitStream(rawRequest []byte, spec jobs.StreamSpec) (*serveJob, int, error) {
+	id, err := jobs.StreamSpecID(spec)
+	if err != nil {
+		return nil, http.StatusBadRequest, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if j, ok := s.jobs[id]; ok {
+		return j, http.StatusOK, nil
+	}
+	if len(s.jobs) >= s.cfg.maxJobs {
+		return nil, http.StatusTooManyRequests,
+			fmt.Errorf("job table full (%d jobs); retry after some finish or restart with a fresh root", s.cfg.maxJobs)
+	}
+	dir := filepath.Join(s.cfg.root, id)
+	sj, err := jobs.OpenStream(dir, spec)
+	if err != nil {
+		return nil, http.StatusInternalServerError, err
+	}
+	reqPath := filepath.Join(dir, "request.json")
+	if _, err := os.Stat(reqPath); errors.Is(err, os.ErrNotExist) {
+		tmp := reqPath + ".tmp"
+		if err := os.WriteFile(tmp, rawRequest, 0o644); err != nil {
+			sj.Close()
+			return nil, http.StatusInternalServerError, err
+		}
+		if err := os.Rename(tmp, reqPath); err != nil {
+			sj.Close()
+			return nil, http.StatusInternalServerError, err
+		}
+	}
+	j := &serveJob{
+		id: id, dir: dir, stream: sj,
+		total:  len(spec.Keys),
+		done:   make(chan struct{}),
+		status: "streaming",
+	}
+	s.jobs[id] = j
+	s.cfg.reg.Counter("serve.jobs.submitted").Add(1)
+	// A journal whose final marker was already written (daemon died between
+	// Finish's journal append and its result write, or the result was
+	// deleted) finishes immediately on resume.
+	if sj.Finished() {
+		if err := s.finishStream(j); err != nil {
+			return nil, http.StatusInternalServerError, err
+		}
+	}
+	return j, http.StatusAccepted, nil
+}
+
+// finishStream seals a stream job and flips its status; the caller must
+// hold j.streamMu or otherwise have exclusive use of the job.
+func (s *server) finishStream(j *serveJob) error {
+	_, err := j.stream.Finish()
+	if err != nil {
+		j.setStatus("failed", err.Error())
+		s.cfg.reg.Counter("serve.jobs.failed").Add(1)
+	} else {
+		j.setStatus("done", "")
+		s.cfg.reg.Counter("serve.jobs.completed").Add(1)
+	}
+	j.finishOnce.Do(func() { close(j.done) })
+	return err
 }
 
 // submit registers a job for a validated spec and starts its runner.
@@ -384,15 +526,21 @@ func (s *server) resumePending() error {
 		}
 		if data, err := os.ReadFile(jobs.ResultPath(dir)); err == nil {
 			// Finished before the restart: recover the dimensions from the
-			// result manifest and register it as done.
+			// result manifest and register it as done. A stream manifest
+			// carries one grade per key and no suspects.
 			var dims struct {
-				Suspects int `json:"suspects"`
-				Keys     int `json:"keys"`
+				Suspects int  `json:"suspects"`
+				Keys     int  `json:"keys"`
+				Stream   bool `json:"stream"`
 			}
 			if json.Unmarshal(data, &dims) != nil {
 				continue
 			}
-			j := &serveJob{id: id, dir: dir, total: dims.Suspects * dims.Keys,
+			total := dims.Suspects * dims.Keys
+			if dims.Stream {
+				total = dims.Keys
+			}
+			j := &serveJob{id: id, dir: dir, total: total,
 				done: make(chan struct{}), status: "done"}
 			j.completed.Store(int64(j.total))
 			close(j.done)
@@ -402,6 +550,36 @@ func (s *server) resumePending() error {
 		var req serveRequest
 		if err := json.Unmarshal(raw, &req); err != nil {
 			fmt.Fprintf(os.Stderr, "pathmark: serve: job %s: unreadable request.json: %v\n", id, err)
+			continue
+		}
+		if req.Stream {
+			// An unfinished stream job: replay the chunk journal so the
+			// uploader can resume from the committed offset it last saw.
+			spec, err := s.buildStreamSpec(&req)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "pathmark: serve: job %s: stale stream request: %v\n", id, err)
+				continue
+			}
+			if got, err := jobs.StreamSpecID(spec); err != nil || got != id {
+				fmt.Fprintf(os.Stderr, "pathmark: serve: job %s: request does not digest to its directory name; skipping\n", id)
+				continue
+			}
+			sj, err := jobs.OpenStream(dir, spec)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "pathmark: serve: job %s: stream resume: %v\n", id, err)
+				continue
+			}
+			j := &serveJob{id: id, dir: dir, stream: sj,
+				total: len(spec.Keys), done: make(chan struct{}), status: "streaming"}
+			s.jobs[id] = j
+			if sj.Finished() {
+				// The final marker outlived the result file (a crash between
+				// Finish's journal append and the manifest write): re-flush.
+				if err := s.finishStream(j); err != nil {
+					fmt.Fprintf(os.Stderr, "pathmark: serve: job %s: stream finish: %v\n", id, err)
+				}
+			}
+			s.cfg.reg.Counter("serve.jobs.resumed").Add(1)
 			continue
 		}
 		spec, err := s.buildSpec(&req)
@@ -446,15 +624,30 @@ func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
 		return
 	}
-	spec, err := s.buildSpec(&req)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
-		return
-	}
-	j, code, err := s.submit(raw, spec)
-	if err != nil {
-		writeError(w, code, err)
-		return
+	var j *serveJob
+	var code int
+	if req.Stream {
+		spec, err := s.buildStreamSpec(&req)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		j, code, err = s.submitStream(raw, spec)
+		if err != nil {
+			writeError(w, code, err)
+			return
+		}
+	} else {
+		spec, err := s.buildSpec(&req)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		j, code, err = s.submit(raw, spec)
+		if err != nil {
+			writeError(w, code, err)
+			return
+		}
 	}
 	if code == http.StatusAccepted {
 		// Stitch the HTTP request into the job's trace stream: the
@@ -503,6 +696,61 @@ func (s *server) handleResult(w http.ResponseWriter, r *http.Request) {
 	w.Write(data)
 }
 
+// handleStreamChunk accepts one uploaded trace chunk for a stream job.
+// The chunk is journaled write-ahead before the response, so a 200's
+// committed offset survives kill -9 on either side. A gap between the
+// chunk and the committed offset is a 409 carrying that offset — the
+// uploader's resume point.
+func (s *server) handleStreamChunk(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, errors.New("draining"))
+		return
+	}
+	j, ok := s.lookup(r)
+	if !ok {
+		writeError(w, http.StatusNotFound, errors.New("unknown job"))
+		return
+	}
+	if j.stream == nil {
+		writeError(w, http.StatusConflict, errors.New("not a stream job"))
+		return
+	}
+	raw, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 64<<20))
+	if err != nil {
+		writeError(w, http.StatusRequestEntityTooLarge, err)
+		return
+	}
+	var chunk streamChunkRequest
+	if err := json.Unmarshal(raw, &chunk); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad chunk body: %w", err))
+		return
+	}
+	j.streamMu.Lock()
+	defer j.streamMu.Unlock()
+	if len(chunk.Bits) > 0 {
+		if _, err := j.stream.Feed(chunk.Offset, chunk.Bits); err != nil {
+			switch {
+			case errors.Is(err, jobs.ErrStreamGap), errors.Is(err, jobs.ErrStreamFinished):
+				writeJSON(w, http.StatusConflict, map[string]any{
+					"error": err.Error(), "committed": j.stream.Committed(),
+				})
+			default:
+				writeError(w, http.StatusBadRequest, err)
+			}
+			return
+		}
+		s.cfg.reg.Counter("serve.stream.chunks").Add(1)
+		s.cfg.reg.Counter("serve.stream.bits").Add(int64(len(chunk.Bits)))
+	}
+	if chunk.Final && j.snapshot().Status == "streaming" {
+		if err := s.finishStream(j); err != nil {
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, j.snapshot())
+}
+
 func (s *server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	j, ok := s.lookup(r)
 	if !ok {
@@ -515,7 +763,9 @@ func (s *server) handleTrace(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.Header().Set("Content-Type", "application/x-ndjson")
-	w.Write(data)
+	// The job's writer may be mid-append: serve only the complete,
+	// well-formed prefix so a poller never chokes on a torn last line.
+	w.Write(obs.CompleteTraceLines(data))
 }
 
 func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -612,6 +862,7 @@ func (s *server) handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /jobs", s.handleSubmit)
 	mux.HandleFunc("GET /jobs/{id}", s.handleStatus)
+	mux.HandleFunc("POST /jobs/{id}/stream", s.handleStreamChunk)
 	mux.HandleFunc("GET /jobs/{id}/result", s.handleResult)
 	mux.HandleFunc("GET /jobs/{id}/trace", s.handleTrace)
 	var h http.Handler = mux
@@ -649,11 +900,23 @@ func (s *server) handler() http.Handler {
 }
 
 // drain flips readiness off, cancels the shared job context so running
-// jobs checkpoint at their journals, and waits for every runner.
+// jobs checkpoint at their journals, and waits for every runner. Stream
+// jobs have no runner — their chunk journals are already durable through
+// the last Feed — so drain just releases their file handles; the next
+// daemon start replays them to the committed offset.
 func (s *server) drain() {
 	s.draining.Store(true)
 	s.cancel()
 	s.wg.Wait()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, j := range s.jobs {
+		if j.stream != nil {
+			j.streamMu.Lock()
+			j.stream.Close()
+			j.streamMu.Unlock()
+		}
+	}
 }
 
 // cmdServe runs the recognition daemon until SIGINT/SIGTERM.

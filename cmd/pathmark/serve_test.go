@@ -766,3 +766,397 @@ func TestServeConcurrentLoad(t *testing.T) {
 		t.Errorf("jobs lost: done=%d interrupted=%d of %d", done, interrupted, n)
 	}
 }
+
+// streamServeFixture builds a stream-job submission: the decoded trace
+// bit-string of one fingerprinted MiniCalc plus the request body naming
+// only the key — the trace travels later, in chunks.
+func streamServeFixture(t *testing.T) (body []byte, bits string, w0 *big.Int) {
+	t.Helper()
+	host := workloads.MiniCalc()
+	input := workloads.CalcSum(10, 20)
+	key, err := wm.NewKey(input, demoCipher(), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w0 = wm.RandomWatermark(64, 777)
+	copies, err := wm.EmbedBatch(host, []*big.Int{w0}, key, wm.BatchOptions{
+		EmbedOptions: wm.EmbedOptions{Seed: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, _, err := vm.CollectWith(copies[0].Program, vm.RunOptions{
+		Input: input, SnapshotLimit: 1, StepLimit: 100_000_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var keyDoc bytes.Buffer
+	if err := wm.SaveKey(&keyDoc, key); err != nil {
+		t.Fatal(err)
+	}
+	req := serveRequest{
+		Keys:   []string{keyDoc.String()},
+		Stream: true,
+		// A tight probe cadence so the recognizer settles mid-upload — the
+		// lifecycle test asserts the early verdict latched before the final
+		// chunk arrived.
+		Options: serveRequestOptions{Workers: 1, CheckEvery: 1024},
+	}
+	body, err = json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return body, tr.DecodeBits().String(), w0
+}
+
+// postChunk uploads one chunk and decodes the response.
+func postChunk(t *testing.T, ts *httptest.Server, id string, chunk streamChunkRequest) (jobStatus, int) {
+	t.Helper()
+	body, err := json.Marshal(chunk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/jobs/"+id+"/stream", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st jobStatus
+	json.NewDecoder(resp.Body).Decode(&st)
+	resp.Body.Close()
+	return st, resp.StatusCode
+}
+
+// TestServeStreamLifecycle drives a stream job end to end over HTTP:
+// submit, chunked upload with committed offsets, a refused gap chunk,
+// the finishing chunk, and a result manifest carrying the fingerprint.
+func TestServeStreamLifecycle(t *testing.T) {
+	root := t.TempDir()
+	srv, err := newServer(serveConfig{root: root, maxActive: 2, maxJobs: 4,
+		reqTimeout: time.Minute, noSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.handler())
+	defer ts.Close()
+	defer srv.drain()
+
+	body, bits, w0 := streamServeFixture(t)
+	resp, err := http.Post(ts.URL+"/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st jobStatus
+	json.NewDecoder(resp.Body).Decode(&st)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted || st.ID == "" || !st.Stream || st.Status != "streaming" {
+		t.Fatalf("stream submit: status %d, body %+v", resp.StatusCode, st)
+	}
+
+	// Idempotent resubmit: the key set digests to the same job.
+	resp, err = http.Post(ts.URL+"/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st2 jobStatus
+	json.NewDecoder(resp.Body).Decode(&st2)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || st2.ID != st.ID {
+		t.Errorf("stream resubmit: status %d id %s, want 200 and id %s", resp.StatusCode, st2.ID, st.ID)
+	}
+
+	const chunk = 512
+	for lo := 0; lo < len(bits); lo += chunk {
+		hi := lo + chunk
+		if hi > len(bits) {
+			hi = len(bits)
+		}
+		cs, code := postChunk(t, ts, st.ID, streamChunkRequest{Offset: int64(lo), Bits: bits[lo:hi]})
+		if code != http.StatusOK || cs.Committed != int64(hi) {
+			t.Fatalf("chunk at %d: status %d, committed %d (want %d)", lo, code, cs.Committed, hi)
+		}
+	}
+
+	// A chunk past the committed offset is refused with the resume point.
+	var gap struct {
+		Error     string `json:"error"`
+		Committed int64  `json:"committed"`
+	}
+	gb, _ := json.Marshal(streamChunkRequest{Offset: int64(len(bits) + 100), Bits: "0101"})
+	gresp, err := http.Post(ts.URL+"/jobs/"+st.ID+"/stream", "application/json", bytes.NewReader(gb))
+	if err != nil {
+		t.Fatal(err)
+	}
+	json.NewDecoder(gresp.Body).Decode(&gap)
+	gresp.Body.Close()
+	if gresp.StatusCode != http.StatusConflict || gap.Committed != int64(len(bits)) {
+		t.Fatalf("gap chunk: status %d, body %+v", gresp.StatusCode, gap)
+	}
+
+	// The early verdict latched during the upload, before the stream was
+	// sealed: a live uploader learns the answer without waiting for EOF.
+	resp, err = http.Get(ts.URL + "/jobs/" + st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mid jobStatus
+	json.NewDecoder(resp.Body).Decode(&mid)
+	resp.Body.Close()
+	if mid.Status != "streaming" || mid.SettledKeys != 1 {
+		t.Fatalf("pre-final status %+v, want streaming with 1 settled key", mid)
+	}
+
+	fin, code := postChunk(t, ts, st.ID, streamChunkRequest{Offset: int64(len(bits)), Final: true})
+	if code != http.StatusOK || fin.Status != "done" || fin.SettledKeys != 1 {
+		t.Fatalf("final chunk: status %d, body %+v", code, fin)
+	}
+
+	res, err := http.Get(ts.URL + "/jobs/" + st.ID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var manifest struct {
+		Stream bool  `json:"stream"`
+		Bits   int64 `json:"bits"`
+		Grades []struct {
+			Rec *struct {
+				Watermark    string `json:"watermark"`
+				FullCoverage bool   `json:"full_coverage"`
+			} `json:"rec"`
+		} `json:"grades"`
+	}
+	err = json.NewDecoder(res.Body).Decode(&manifest)
+	res.Body.Close()
+	if err != nil || res.StatusCode != http.StatusOK {
+		t.Fatalf("result fetch: status %d, err %v", res.StatusCode, err)
+	}
+	if !manifest.Stream || manifest.Bits != int64(len(bits)) ||
+		len(manifest.Grades) != 1 || manifest.Grades[0].Rec == nil ||
+		manifest.Grades[0].Rec.Watermark != w0.String() || !manifest.Grades[0].Rec.FullCoverage {
+		t.Fatalf("stream manifest did not recover the fingerprint: %+v", manifest)
+	}
+
+	// Feeding a sealed stream is refused.
+	if _, code := postChunk(t, ts, st.ID, streamChunkRequest{Offset: int64(len(bits)), Bits: "01"}); code != http.StatusConflict {
+		t.Errorf("feed after finish: status %d, want 409", code)
+	}
+}
+
+// TestServeStreamCrashResume is the stream job's crash-safety criterion
+// over HTTP: kill the daemon mid-upload, restart it over the same root,
+// resume the upload from the committed offset the status reports, and
+// require a result manifest byte-identical to an uninterrupted upload's.
+func TestServeStreamCrashResume(t *testing.T) {
+	body, bits, _ := streamServeFixture(t)
+	const chunk = 777
+
+	upload := func(ts *httptest.Server, id string, from, to int, final bool) jobStatus {
+		var last jobStatus
+		for lo := from; lo < to; lo += chunk {
+			hi := lo + chunk
+			if hi > to {
+				hi = to
+			}
+			cs, code := postChunk(t, ts, id, streamChunkRequest{Offset: int64(lo), Bits: bits[lo:hi]})
+			if code != http.StatusOK {
+				t.Fatalf("chunk at %d: status %d", lo, code)
+			}
+			last = cs
+		}
+		if final {
+			last, _ = postChunk(t, ts, id, streamChunkRequest{Offset: int64(to), Final: true})
+		}
+		return last
+	}
+	submit := func(ts *httptest.Server) jobStatus {
+		resp, err := http.Post(ts.URL+"/jobs", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var st jobStatus
+		json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		return st
+	}
+
+	// Reference: one daemon, uninterrupted upload.
+	refRoot := t.TempDir()
+	srv, err := newServer(serveConfig{root: refRoot, maxActive: 1, maxJobs: 4,
+		reqTimeout: time.Minute, noSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.handler())
+	st := submit(ts)
+	if fin := upload(ts, st.ID, 0, len(bits), true); fin.Status != "done" {
+		t.Fatalf("reference upload finished as %+v", fin)
+	}
+	want, err := os.ReadFile(jobs.ResultPath(filepath.Join(refRoot, st.ID)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.drain()
+	ts.Close()
+
+	// Crash run: upload half, kill the daemon (drain + close releases the
+	// journal like a crash whose last chunk was fsynced), restart over the
+	// same root, resume from the committed offset, finish.
+	root := t.TempDir()
+	srv1, err := newServer(serveConfig{root: root, maxActive: 1, maxJobs: 4,
+		reqTimeout: time.Minute, noSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts1 := httptest.NewServer(srv1.handler())
+	st1 := submit(ts1)
+	upload(ts1, st1.ID, 0, len(bits)/2, false)
+	srv1.drain()
+	ts1.Close()
+
+	srv2, err := newServer(serveConfig{root: root, maxActive: 1, maxJobs: 4,
+		reqTimeout: time.Minute, noSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts2 := httptest.NewServer(srv2.handler())
+	defer ts2.Close()
+	defer srv2.drain()
+
+	// The restarted daemon replayed the chunk journal: status reports the
+	// committed offset so the uploader knows where to resume. Re-send an
+	// overlapping chunk (uploaders resume from their own last ack) and the
+	// rest, then finish.
+	resp, err := http.Get(ts2.URL + "/jobs/" + st1.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rst jobStatus
+	json.NewDecoder(resp.Body).Decode(&rst)
+	resp.Body.Close()
+	if !rst.Stream || rst.Status != "streaming" || rst.Committed == 0 || rst.Committed > int64(len(bits)/2) {
+		t.Fatalf("resumed stream status %+v", rst)
+	}
+	resume := int(rst.Committed) - 100 // overlap: trimmed server-side
+	if resume < 0 {
+		resume = 0
+	}
+	if cs, code := postChunk(t, ts2, st1.ID, streamChunkRequest{
+		Offset: int64(resume), Bits: bits[resume:rst.Committed]}); code != http.StatusOK || cs.Committed != rst.Committed {
+		t.Fatalf("overlap re-send: status %d, committed %d", code, cs.Committed)
+	}
+	if fin := upload(ts2, st1.ID, int(rst.Committed), len(bits), true); fin.Status != "done" {
+		t.Fatalf("resumed upload finished as %+v", fin)
+	}
+	got, err := os.ReadFile(jobs.ResultPath(filepath.Join(root, st1.ID)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("crash-resumed stream result differs from uninterrupted upload")
+	}
+}
+
+// TestServeStreamTraceReadDuringWrite races GET /jobs/{id}/trace against
+// a live chunk upload: every response must be a complete, well-formed
+// event-line prefix — a poller never sees a torn last line, even though
+// the job's writer is appending concurrently. CI runs this under -race.
+func TestServeStreamTraceReadDuringWrite(t *testing.T) {
+	root := t.TempDir()
+	srv, err := newServer(serveConfig{root: root, maxActive: 2, maxJobs: 4,
+		reqTimeout: time.Minute, noSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.handler())
+	defer ts.Close()
+	defer srv.drain()
+
+	body, bits, _ := streamServeFixture(t)
+	resp, err := http.Post(ts.URL+"/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st jobStatus
+	json.NewDecoder(resp.Body).Decode(&st)
+	resp.Body.Close()
+
+	stop := make(chan struct{})
+	var readerWg sync.WaitGroup
+	readerWg.Add(1)
+	go func() {
+		defer readerWg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			resp, err := http.Get(ts.URL + "/jobs/" + st.ID + "/trace")
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			raw := new(bytes.Buffer)
+			raw.ReadFrom(resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				continue // stream not open yet
+			}
+			// The whole body must parse: no torn tail, no garbage.
+			if good := obs.CompleteTraceLines(raw.Bytes()); len(good) != raw.Len() {
+				t.Errorf("trace response has %d bytes past the last complete line", raw.Len()-len(good))
+				return
+			}
+		}
+	}()
+
+	const chunk = 64 // many small chunks = many concurrent trace appends
+	for lo := 0; lo < len(bits); lo += chunk {
+		hi := lo + chunk
+		if hi > len(bits) {
+			hi = len(bits)
+		}
+		if _, code := postChunk(t, ts, st.ID, streamChunkRequest{Offset: int64(lo), Bits: bits[lo:hi]}); code != http.StatusOK {
+			t.Fatalf("chunk at %d: status %d", lo, code)
+		}
+	}
+	close(stop)
+	readerWg.Wait()
+	if fin, code := postChunk(t, ts, st.ID, streamChunkRequest{Offset: int64(len(bits)), Final: true}); code != http.StatusOK || fin.Status != "done" {
+		t.Fatalf("final chunk: status %d, %+v", code, fin)
+	}
+
+	// A torn tail on disk — the writer killed mid-append — is filtered
+	// out of the HTTP response entirely.
+	f, err := os.OpenFile(jobs.TracePath(filepath.Join(root, st.ID)), os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"trace":"torn`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	resp, err = http.Get(ts.URL + "/jobs/" + st.ID + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := new(bytes.Buffer)
+	raw.ReadFrom(resp.Body)
+	resp.Body.Close()
+	if bytes.Contains(raw.Bytes(), []byte(`"torn`)) {
+		t.Error("trace response leaked the torn tail")
+	}
+	if good := obs.CompleteTraceLines(raw.Bytes()); len(good) != raw.Len() {
+		t.Error("trace response is not a complete-line prefix")
+	}
+	evs := obs.DecodeTraceEvents(raw.Bytes())
+	byEvent := map[string]int{}
+	for _, ev := range evs {
+		byEvent[ev.Event]++
+	}
+	for _, stage := range []string{"stream.open", "stream.chunk", "grade.done", "stream.done"} {
+		if byEvent[stage] == 0 {
+			t.Errorf("stream trace missing %s (have %v)", stage, byEvent)
+		}
+	}
+}

@@ -123,7 +123,7 @@ func cmdTournamentRun(args []string) int {
 		fmt.Fprintln(os.Stderr, "pathmark:", err)
 		return exitError
 	}
-	trace, err := obs.OpenTraceFile(tournament.TracePath(*dir), "tournament", false)
+	trace, err := obs.OpenTraceFile(jobs.TracePath(*dir), "tournament", false)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "pathmark:", err)
 		return exitError

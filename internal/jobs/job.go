@@ -353,12 +353,27 @@ func (j *Job) settle(s, k int, o *outcome) error {
 }
 
 // emitGrade publishes one settled grade to every telemetry surface: the
-// trace stream (stage events traced → scanned → voted → done), the
-// registry (scan-layer counters — wm.GradePair runs each scan without a
-// registry, so this is where per-layer rejects reach /metrics), and the
-// OnEvent callback. Grades restored from the journal at Open never pass
-// through here: their events were emitted by the lifetime that ran them.
+// trace stream and registry (via the shared emitter) and the OnEvent
+// callback. Grades restored from the journal at Open never pass through
+// here: their events were emitted by the lifetime that ran them.
 func (j *Job) emitGrade(s, k int, o *outcome) {
+	emitGradeEvents(j.trace, j.spec.Opts.Obs, s, k, o)
+	if j.spec.Opts.OnEvent != nil {
+		j.spec.Opts.OnEvent(GradeEvent{
+			S: s, K: k, Attempts: o.attempts, Skipped: o.skipped,
+			Err: o.errStr, Rec: o.rec,
+		})
+	}
+}
+
+// emitGradeEvents publishes one settled (suspect, key) outcome to the
+// trace stream (stage events traced → scanned → voted → done) and the
+// registry (scan-layer counters — wm.GradePair runs each scan without a
+// registry, so this is where per-layer rejects reach /metrics). Shared
+// by corpus jobs and stream jobs so both speak the same grade.* event
+// schema and any trace consumer (serve status aggregation, pathmark
+// top) reads either without caring which engine produced the stream.
+func emitGradeEvents(trace *obs.Trace, reg *obs.Registry, s, k int, o *outcome) {
 	sk := map[string]int64{"s": int64(s), "k": int64(k)}
 	attrs := func(extra map[string]int64) map[string]int64 {
 		m := map[string]int64{"s": int64(s), "k": int64(k)}
@@ -369,13 +384,13 @@ func (j *Job) emitGrade(s, k int, o *outcome) {
 	}
 	switch {
 	case o.skipped:
-		j.trace.Event("grade.skipped", sk, nil)
+		trace.Event("grade.skipped", sk, nil)
 	case o.rec != nil:
 		rec := o.rec
-		j.trace.Event("grade.trace", attrs(map[string]int64{
+		trace.Event("grade.trace", attrs(map[string]int64{
 			"trace_bits": int64(rec.TraceBits),
 		}), nil)
-		j.trace.Event("grade.scan", attrs(map[string]int64{
+		trace.Event("grade.scan", attrs(map[string]int64{
 			"windows":            int64(rec.Windows),
 			"decrypted":          int64(rec.Decrypted),
 			"valid":              int64(rec.ValidStatements),
@@ -384,7 +399,7 @@ func (j *Job) emitGrade(s, k int, o *outcome) {
 			"reject_phase":       int64(rec.RejectedByLayer.Phase),
 			"reject_framing":     int64(rec.RejectedByLayer.Framing),
 		}), nil)
-		j.trace.Event("grade.vote", attrs(map[string]int64{
+		trace.Event("grade.vote", attrs(map[string]int64{
 			"unique":        int64(rec.UniqueStatements),
 			"voted_out":     int64(rec.VotedOut),
 			"survivors":     int64(rec.Survivors),
@@ -395,9 +410,8 @@ func (j *Job) emitGrade(s, k int, o *outcome) {
 		if o.errStr != "" {
 			labels = map[string]string{"err": o.errStr}
 		}
-		j.trace.Event("grade.done", done, labels)
+		trace.Event("grade.done", done, labels)
 
-		reg := j.spec.Opts.Obs
 		reg.Counter("scan.reject.popcount").Add(int64(rec.RejectedByLayer.Popcount))
 		reg.Counter("scan.reject.transitions").Add(int64(rec.RejectedByLayer.Transitions))
 		reg.Counter("scan.reject.phase").Add(int64(rec.RejectedByLayer.Phase))
@@ -407,15 +421,9 @@ func (j *Job) emitGrade(s, k int, o *outcome) {
 		reg.Counter("recognize.valid_total").Add(int64(rec.ValidStatements))
 		reg.Histogram("grade.trace_bits").Observe(int64(rec.TraceBits))
 	default:
-		j.trace.Event("grade.done", attrs(map[string]int64{
+		trace.Event("grade.done", attrs(map[string]int64{
 			"attempts": int64(o.attempts), "failed": 1,
 		}), map[string]string{"err": o.errStr})
-	}
-	if j.spec.Opts.OnEvent != nil {
-		j.spec.Opts.OnEvent(GradeEvent{
-			S: s, K: k, Attempts: o.attempts, Skipped: o.skipped,
-			Err: o.errStr, Rec: o.rec,
-		})
 	}
 }
 
@@ -792,6 +800,13 @@ func WriteResultFile(path string, r *Result) error {
 	if err != nil {
 		return err
 	}
+	return writeFileAtomic(path, b)
+}
+
+// writeFileAtomic publishes bytes at path via temp file, write, sync,
+// rename: readers see either the old manifest or the new one, never a
+// torn mix. Shared by the corpus and stream result writers.
+func writeFileAtomic(path string, b []byte) error {
 	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp-*")
 	if err != nil {
 		return fmt.Errorf("jobs: write result: %w", err)

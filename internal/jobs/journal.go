@@ -123,10 +123,15 @@ func openJournal(path string, syncEach bool) (*WAL, journalHeader, []gradeRecord
 	return w, h, recs, nil
 }
 
-// JournalPath, ResultPath and TracePath name the files a job keeps in
-// its directory: the write-ahead journal (correctness), the canonical
-// result manifest (the artifact), and the telemetry event stream
-// (observability; losing it loses nothing but visibility).
+// JournalPath, ResultPath, TracePath and StreamPath name the files a job
+// keeps in its directory: the write-ahead journal (correctness), the
+// canonical result manifest (the artifact), the telemetry event stream
+// (observability; losing it loses nothing but visibility), and — for
+// stream jobs — the chunk journal of the live trace upload. These are
+// the single source of artifact names for every campaign engine layered
+// on the jobs directory contract (the tournament engine included), so
+// the layers cannot silently diverge on file naming.
 func JournalPath(dir string) string { return filepath.Join(dir, "journal.jsonl") }
 func ResultPath(dir string) string  { return filepath.Join(dir, "result.json") }
 func TracePath(dir string) string   { return filepath.Join(dir, "trace.jsonl") }
+func StreamPath(dir string) string  { return filepath.Join(dir, "stream.jsonl") }

@@ -149,6 +149,29 @@ func (t *Trace) Close() error {
 	return t.err
 }
 
+// scanTraceLines walks the stream's complete, well-formed event lines in
+// order, calling fn (when non-nil) with each decoded event, and returns
+// the byte length of that valid prefix. It is the one place the torn-tail
+// stopping rule lives: a malformed or unterminated line — a writer caught
+// mid-append — ends the walk, and everything before it stands.
+func scanTraceLines(data []byte, fn func(TraceEvent)) (good int) {
+	for {
+		i := bytes.IndexByte(data, '\n')
+		if i < 0 {
+			return good
+		}
+		var ev TraceEvent
+		if json.Unmarshal(data[:i], &ev) != nil || ev.Event == "" {
+			return good
+		}
+		if fn != nil {
+			fn(ev)
+		}
+		good += i + 1
+		data = data[i+1:]
+	}
+}
+
 // DecodeTraceEvents parses a trace stream, tolerating a torn tail the
 // way journal replay does: malformed or unterminated lines end the
 // parse, everything before them is returned. A trace is telemetry, not
@@ -156,16 +179,14 @@ func (t *Trace) Close() error {
 // still evidence.
 func DecodeTraceEvents(data []byte) []TraceEvent {
 	var evs []TraceEvent
-	for {
-		i := bytes.IndexByte(data, '\n')
-		if i < 0 {
-			return evs
-		}
-		var ev TraceEvent
-		if json.Unmarshal(data[:i], &ev) != nil || ev.Event == "" {
-			return evs
-		}
-		evs = append(evs, ev)
-		data = data[i+1:]
-	}
+	scanTraceLines(data, func(ev TraceEvent) { evs = append(evs, ev) })
+	return evs
+}
+
+// CompleteTraceLines returns the prefix of data holding only complete,
+// well-formed event lines — the raw-bytes counterpart of
+// DecodeTraceEvents for servers that relay a stream verbatim while its
+// writer is still appending: the reader never sees the torn last line.
+func CompleteTraceLines(data []byte) []byte {
+	return data[:scanTraceLines(data, nil)]
 }

@@ -166,6 +166,37 @@ func TestTraceTornTail(t *testing.T) {
 	}
 }
 
+// TestCompleteTraceLines: the raw-bytes prefix must end exactly at the
+// last complete, well-formed line — the byte-level counterpart of the
+// torn-tail decode rule, used by servers relaying a live stream.
+func TestCompleteTraceLines(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTrace(&buf, "job-c", false)
+	tr.Event("a", nil, nil)
+	tr.Event("b", nil, nil)
+	whole := append([]byte(nil), buf.Bytes()...)
+
+	if got := CompleteTraceLines(whole); !bytes.Equal(got, whole) {
+		t.Fatalf("complete stream trimmed: %d of %d bytes", len(got), len(whole))
+	}
+	// Torn tail: writer caught mid-append on the second line.
+	firstLine := whole[:bytes.IndexByte(whole, '\n')+1]
+	torn := whole[:len(whole)-5]
+	if got := CompleteTraceLines(torn); !bytes.Equal(got, firstLine) {
+		t.Fatalf("torn stream = %q, want first line only", got)
+	}
+	// A malformed middle line ends the valid prefix there, even though a
+	// well-formed line follows — nothing past corruption is trusted.
+	mixed := append(append([]byte(nil), firstLine...), []byte("not json\n")...)
+	mixed = append(mixed, whole[len(firstLine):]...)
+	if got := CompleteTraceLines(mixed); !bytes.Equal(got, firstLine) {
+		t.Fatalf("corrupt-middle stream = %q, want first line only", got)
+	}
+	if got := CompleteTraceLines(nil); len(got) != 0 {
+		t.Fatalf("nil stream = %q, want empty", got)
+	}
+}
+
 // errWriter fails after n successful writes.
 type errWriter struct{ n int }
 

@@ -135,11 +135,11 @@ type fleetState struct {
 	err    error
 }
 
-// JournalPath and MatrixPath name the files a campaign keeps in its
-// directory, mirroring the jobs layout.
-func JournalPath(dir string) string { return filepath.Join(dir, "journal.jsonl") }
-func MatrixPath(dir string) string  { return filepath.Join(dir, "matrix.json") }
-func TracePath(dir string) string   { return filepath.Join(dir, "trace.jsonl") }
+// MatrixPath names the campaign's one tournament-specific artifact, the
+// attack matrix. The journal and trace live under the names every engine
+// layered on the jobs directory contract shares — jobs.JournalPath and
+// jobs.TracePath — so the layers cannot diverge on file naming.
+func MatrixPath(dir string) string { return filepath.Join(dir, "matrix.json") }
 
 // Open binds a campaign to dir, creating the directory and journal on
 // first use and replaying an existing journal on resume. Replayed cells
@@ -158,7 +158,7 @@ func Open(dir string, m *Manifest, opts Options) (*Campaign, error) {
 
 	c := &Campaign{manifest: m, digest: digest, dir: dir, opts: opts}
 	c.indexCells()
-	path := JournalPath(dir)
+	path := jobs.JournalPath(dir)
 	if _, err := os.Stat(path); err == nil {
 		data, err := os.ReadFile(path)
 		if err != nil {

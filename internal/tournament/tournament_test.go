@@ -8,6 +8,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"pathmark/internal/jobs"
 )
 
 // testManifest is the demo grid — small enough for unit tests, complete
@@ -183,7 +185,7 @@ func TestCrashResume(t *testing.T) {
 
 	// The journal must hold exactly one record per cell: header line +
 	// len(cells) records, no duplicates.
-	data, err := os.ReadFile(JournalPath(dir))
+	data, err := os.ReadFile(jobs.JournalPath(dir))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -221,7 +223,7 @@ func TestTornTailRecovery(t *testing.T) {
 	}
 	refBytes, _ := EncodeMatrix(ref)
 
-	path := JournalPath(dir)
+	path := jobs.JournalPath(dir)
 	data, err := os.ReadFile(path)
 	if err != nil {
 		t.Fatal(err)

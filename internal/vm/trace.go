@@ -129,29 +129,79 @@ func CollectWith(p *Program, opts RunOptions) (*Trace, *Result, error) {
 // resulting string is invariant under block reordering, branch-sense
 // inversion, and insertion or deletion of non-branch instructions; adding
 // or removing branches perturbs it only locally.
+//
+// A branch with no successor block in the trace (the run was truncated
+// mid-transfer) contributes no bit. Callers holding the continuation of
+// such a trace must not decode the halves independently — the cut branch
+// would be dropped and every later first-occurrence would be mis-seeded.
+// StreamDecoder is the chunk-safe form of this rule.
 func (t *Trace) DecodeBits() *bitstring.Bits {
-	bits := bitstring.New(len(t.Events) / 2)
-	first := make(map[BranchKey]BlockKey)
-	for i, e := range t.Events {
-		if e.Kind != EvBranchExec {
-			continue
-		}
-		succ, ok := t.nextBlockEnter(i)
-		if !ok {
-			// Trace ended at this branch (e.g. the run was truncated);
-			// no successor, no bit.
-			continue
-		}
-		bk := BranchKey{Method: int(e.Method), PC: int(e.Loc)}
-		if f, seen := first[bk]; seen {
-			bits.Append(f != succ)
-		} else {
-			first[bk] = succ
-			bits.Append(false)
+	return NewStreamDecoder().Feed(bitstring.New(len(t.Events)/2), t.Events...)
+}
+
+// StreamDecoder is the incremental form of DecodeBits: feed it trace
+// events chunk by chunk and it appends the decoded bits as they become
+// determined. Two pieces of state persist across chunks, which is what
+// makes split traces decode identically to unsplit ones:
+//
+//   - the first-successor map (a branch first executed in chunk 1 keeps
+//     seeding comparisons in chunk 100), and
+//   - the pending branches — branch events whose successor block has not
+//     arrived yet. A branch event split from its successor by a chunk
+//     boundary (or by trace truncation) emits no bit until the successor
+//     shows up in a later chunk; DecodeBits over a complete trace never
+//     leaves one behind.
+//
+// State is O(static branches + in-flight branches), independent of trace
+// length.
+type StreamDecoder struct {
+	first   map[BranchKey]BlockKey
+	pending []BranchKey
+}
+
+// NewStreamDecoder returns a decoder with empty first-successor state.
+func NewStreamDecoder() *StreamDecoder {
+	return &StreamDecoder{first: make(map[BranchKey]BlockKey)}
+}
+
+// Feed decodes a chunk of events, appending every bit it determines to
+// dst (allocated when nil) and returning dst. Feeding a trace's chunks in
+// order produces exactly the bits DecodeBits produces on the whole trace,
+// regardless of where the chunk boundaries fall.
+func (d *StreamDecoder) Feed(dst *bitstring.Bits, events ...Event) *bitstring.Bits {
+	if dst == nil {
+		dst = bitstring.New(len(events) / 2)
+	}
+	for _, e := range events {
+		switch e.Kind {
+		case EvBranchExec:
+			d.pending = append(d.pending, BranchKey{Method: int(e.Method), PC: int(e.Loc)})
+		case EvBlockEnter:
+			if len(d.pending) == 0 {
+				continue
+			}
+			// This block is the dynamic successor of every branch executed
+			// since the last block entry (consecutive branch events share
+			// the next entered block, matching the batch rule).
+			succ := BlockKey{Method: int(e.Method), Block: int(e.Loc)}
+			for _, bk := range d.pending {
+				if f, seen := d.first[bk]; seen {
+					dst.Append(f != succ)
+				} else {
+					d.first[bk] = succ
+					dst.Append(false)
+				}
+			}
+			d.pending = d.pending[:0]
 		}
 	}
-	return bits
+	return dst
 }
+
+// Pending reports how many branch events are waiting for their successor
+// block — nonzero exactly when the events fed so far end in branches
+// whose transfer target has not arrived yet.
+func (d *StreamDecoder) Pending() int { return len(d.pending) }
 
 // DecodeBitsBranchSense is the naive bit-string definition §3.1 rejects:
 // write 1 for every taken conditional branch and 0 otherwise. It exists as
@@ -167,13 +217,4 @@ func (t *Trace) DecodeBitsBranchSense() *bitstring.Bits {
 		}
 	}
 	return bits
-}
-
-func (t *Trace) nextBlockEnter(i int) (BlockKey, bool) {
-	for j := i + 1; j < len(t.Events); j++ {
-		if t.Events[j].Kind == EvBlockEnter {
-			return BlockKey{Method: int(t.Events[j].Method), Block: int(t.Events[j].Loc)}, true
-		}
-	}
-	return BlockKey{}, false
 }

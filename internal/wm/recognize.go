@@ -144,6 +144,16 @@ const scanChunkWindows = 2048
 // every chunk would otherwise allocate one error per chunk.
 const maxStageErrors = 8
 
+// countCap bounds per-statement multiplicity before the vote so that no
+// single repetitive pattern can dominate it: self-similar host traces
+// (recursion, loop nests) repeat identical high-entropy windows
+// verbatim, so raw occurrence counts are not trustworthy evidence. A cap
+// of 3 keeps redundancy useful (several *distinct* statements still
+// outvote any single impostor residue) without letting one repeated
+// pattern win. Applied identically by the batch pipeline and the
+// streaming recognizer's probes and flush.
+const countCap = 3
+
 // Recognize re-traces the program on the key's secret input, decodes the
 // trace into its bit-string, and recombines watermark pieces (§3.3). It is
 // RecognizeWithOpts with automatic worker selection.
@@ -271,13 +281,6 @@ func RecognizeBits(b *bitstring.Bits, key *Key, opts RecognizeOpts) (*Recognitio
 			Observe(int64(acc.valid) * 1_000_000 / int64(acc.windows))
 	}
 
-	// Cap per-statement multiplicity so that no single repetitive pattern
-	// can dominate the vote: self-similar host traces (recursion, loop
-	// nests) repeat identical high-entropy windows verbatim, so raw
-	// occurrence counts are not trustworthy evidence. A cap of 3 keeps
-	// redundancy useful (several *distinct* statements still outvote any
-	// single impostor residue) without letting one repeated pattern win.
-	const countCap = 3
 	for st, c := range acc.counts {
 		if c > countCap {
 			acc.counts[st] = countCap

@@ -1,0 +1,535 @@
+package wm
+
+import (
+	"context"
+	"fmt"
+	"math/big"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"pathmark/internal/bitstring"
+	"pathmark/internal/cache"
+	"pathmark/internal/crt"
+	"pathmark/internal/obs"
+	"pathmark/internal/vm"
+)
+
+// StreamOpts tunes a StreamRecognizer. The zero value is a sensible
+// online configuration: automatic worker selection, default filter
+// stack, probing every defaultCheckEvery windows, settling only on full
+// prime-basis coverage.
+type StreamOpts struct {
+	// Workers fans the per-chunk window scan out over goroutines on
+	// disjoint window ranges: 0 picks runtime.GOMAXPROCS(0), 1 forces
+	// the serial path. As in the batch scan, every merged quantity is a
+	// sum over disjoint ranges, so results are identical at any count.
+	Workers int
+	// Ctx, when non-nil, cancels in-progress scanning: Append returns
+	// the context error and the recognizer refuses further input (its
+	// accumulated state is partial and no longer batch-identical).
+	Ctx context.Context
+	// Filters / Prefilter select the lossy pre-decrypt filter stack with
+	// the same precedence as RecognizeOpts (see ResolveFilters).
+	Filters   *FilterStack
+	Prefilter *PopcountBand
+	// DecryptCache memoizes window decryption exactly as in the batch
+	// scan; results are bit-identical with it on or off.
+	DecryptCache *cache.Cache64
+	// CheckEvery is the early-exit probe interval in scanned windows:
+	// after every CheckEvery new windows the accumulated evidence is run
+	// through the vote/graph stage on a snapshot of the counts. 0 picks
+	// defaultCheckEvery; negative disables probing (the recognizer never
+	// settles early, only Flush decides).
+	CheckEvery int
+	// SettleChecks is how many consecutive probes must agree (same
+	// watermark, same modulus, confidence at or above MinConfidence)
+	// before a sub-full-coverage verdict settles. 0 picks
+	// defaultSettleChecks. Full coverage settles on the first probe that
+	// reaches it regardless.
+	SettleChecks int
+	// MinConfidence is the prime-basis coverage fraction a probe must
+	// reach before it can count toward settling. 0 means 1.0: only full
+	// coverage ends the stream early.
+	MinConfidence float64
+	// Obs, when non-nil, receives stream counters at Flush
+	// (stream.windows_total, stream.probes, stream.early_exit).
+	Obs *obs.Registry
+}
+
+const (
+	// defaultCheckEvery is the probe interval: cheap relative to the
+	// ~4096 decryptions between probes (the vote stage runs over a
+	// handful of statements), frequent enough that an early verdict
+	// lands within one interval of the evidence supporting it.
+	defaultCheckEvery = 4096
+	// defaultSettleChecks consecutive agreeing probes settle a partial
+	// (sub-full-coverage) verdict when MinConfidence allows one.
+	defaultSettleChecks = 3
+	// compactMinDrop defers tail-buffer compaction until at least this
+	// many bits are droppable, amortizing the copy over many small
+	// appends. The steady-state buffer is then at most
+	// compactMinDrop + maxWindowSpan bits plus the current chunk.
+	compactMinDrop = 256
+	// maxWindowSpan is the raw-bit span of the widest window the scan
+	// reads: a stride-2 window covers 127 consecutive raw bits.
+	maxWindowSpan = 127
+)
+
+// StreamRecognizer is the online form of RecognizeBits (§3.3): trace
+// evidence arrives in chunks — decoded bits or raw vm trace events — and
+// the sliding-window scan, prefilter stack, decrypt cache, and CRT vote
+// state advance incrementally, in memory bounded by
+// O(window buffer + distinct surviving statements), independent of the
+// trace length.
+//
+// Three pieces of state make chunked scanning equal batch scanning:
+//
+//   - the trace decoder (vm.StreamDecoder) carries its first-successor
+//     map and in-flight branches across chunks;
+//   - a tail buffer keeps the last ≲383 bits of the decoded string — the
+//     suffix that future windows can still overlap (a stride-2 window
+//     spans 127 raw bits) — at an even base offset so the two global
+//     stride-2 phases stay identified with the buffer's local phases;
+//   - the scan accumulator (window counts, per-layer rejects, statement
+//     counts) is the same structure the batch scan merges, summed over
+//     disjoint window ranges, so Flush is bit-identical to
+//     RecognizeBits over the whole string at any worker count.
+//
+// Between chunks the recognizer probes the accumulated evidence (every
+// CheckEvery windows): the statement counts are snapshotted, capped, and
+// run through the vote/consistency/CRT stage. A probe reaching full
+// prime-basis coverage — or MinConfidence coverage stably across
+// SettleChecks probes — settles the stream: Settled flips true and
+// Verdict returns the early result, while further appends continue to
+// accumulate so that Flush still reproduces the batch answer exactly.
+type StreamRecognizer struct {
+	key *Key
+	cfg scanConfig
+
+	workers      int
+	ctx          context.Context
+	checkEvery   int
+	settleChecks int
+	minConf      float64
+	reg          *obs.Registry
+
+	decoder *vm.StreamDecoder
+	scratch *bitstring.Bits // per-append decode target, reused
+
+	buf   *bitstring.Bits // decoded bits [base, total)
+	base  int             // global index of buf bit 0; always even
+	total int             // decoded bits appended so far
+
+	rawNext   int    // next unscanned raw window (global index)
+	phaseNext [2]int // next unscanned stride-2 window per phase
+
+	acc      *scanAccum
+	scanErrs []*StageError
+	envs     []*scanEnv
+
+	sinceProbe int
+	probes     int
+	stable     int
+	lastWM     *big.Int
+	lastMod    *big.Int
+	settled    bool
+	verdict    *Recognition
+
+	peakBuffered int
+	flushed      *Recognition
+	flushErr     error
+	err          error
+}
+
+// NewStreamRecognizer returns a recognizer for the given key with empty
+// evidence.
+func NewStreamRecognizer(key *Key, opts StreamOpts) *StreamRecognizer {
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	checkEvery := opts.CheckEvery
+	if checkEvery == 0 {
+		checkEvery = defaultCheckEvery
+	}
+	settle := opts.SettleChecks
+	if settle <= 0 {
+		settle = defaultSettleChecks
+	}
+	minConf := opts.MinConfidence
+	if minConf <= 0 {
+		minConf = 1.0
+	}
+	return &StreamRecognizer{
+		key: key,
+		cfg: scanConfig{
+			filters:      ResolveFilters(opts.Filters, opts.Prefilter),
+			kernel:       KernelScalar,
+			decryptCache: opts.DecryptCache,
+		},
+		workers:      workers,
+		ctx:          opts.Ctx,
+		checkEvery:   checkEvery,
+		settleChecks: settle,
+		minConf:      minConf,
+		reg:          opts.Obs,
+		decoder:      vm.NewStreamDecoder(),
+		scratch:      bitstring.New(0),
+		buf:          bitstring.New(0),
+		acc:          newScanAccum(),
+	}
+}
+
+// AppendBits feeds a chunk of already-decoded trace bits. All windows
+// that become complete — raw and both stride-2 phases — are scanned
+// before it returns, and consumed head bits are dropped from the tail
+// buffer.
+func (r *StreamRecognizer) AppendBits(bits *bitstring.Bits) error {
+	if err := r.appendable(); err != nil {
+		return err
+	}
+	if err := bits.Validate(); err != nil {
+		return &StageError{Stage: "scan", Worker: -1,
+			Cause: fmt.Errorf("invalid trace bit-string chunk: %w", err)}
+	}
+	r.buf.AppendBits(bits)
+	r.total += bits.Len()
+	return r.scanNew()
+}
+
+// AppendEvents feeds a chunk of raw vm trace events, decoding them
+// through the persistent incremental decoder (§3.1's first-successor
+// rule survives chunk boundaries, including a branch split from its
+// successor block) and scanning the bits that become determined.
+func (r *StreamRecognizer) AppendEvents(events ...vm.Event) error {
+	if err := r.appendable(); err != nil {
+		return err
+	}
+	if err := r.scratch.Truncate(0); err != nil {
+		return err
+	}
+	r.decoder.Feed(r.scratch, events...)
+	r.buf.AppendBits(r.scratch)
+	r.total += r.scratch.Len()
+	return r.scanNew()
+}
+
+func (r *StreamRecognizer) appendable() error {
+	if r.err != nil {
+		return r.err
+	}
+	if r.flushed != nil {
+		return fmt.Errorf("wm: append after Flush")
+	}
+	return nil
+}
+
+// TotalBits returns the number of decoded trace bits appended so far.
+func (r *StreamRecognizer) TotalBits() int { return r.total }
+
+// BufferedBits returns the current tail-buffer length — the only state
+// proportional to anything other than the surviving statements. It is
+// bounded by the largest single append plus compactMinDrop+maxWindowSpan,
+// independent of the cumulative trace length.
+func (r *StreamRecognizer) BufferedBits() int { return r.buf.Len() }
+
+// PeakBufferedBits returns the high-water mark of BufferedBits.
+func (r *StreamRecognizer) PeakBufferedBits() int { return r.peakBuffered }
+
+// PendingBranches reports trace-event decoder branches still awaiting
+// their successor block (nonzero only mid-chunk or on truncated traces).
+func (r *StreamRecognizer) PendingBranches() int { return r.decoder.Pending() }
+
+// Probes returns how many early-exit probes have run.
+func (r *StreamRecognizer) Probes() int { return r.probes }
+
+// Settled reports whether an early verdict has latched: a probe reached
+// full prime-basis coverage, or held MinConfidence coverage stably for
+// SettleChecks probes. Appending remains allowed after settling — the
+// final Flush is always the batch-identical answer.
+func (r *StreamRecognizer) Settled() bool { return r.settled }
+
+// Verdict returns the settled early Recognition snapshot, or nil if the
+// stream has not settled. The snapshot reflects the evidence at probe
+// time; Flush supersedes it.
+func (r *StreamRecognizer) Verdict() *Recognition { return r.verdict }
+
+// scanNew scans every window completed by the bits appended since the
+// last call: global raw windows [rawNext, total-63) and, per stride-2
+// phase p, windows [phaseNext[p], ceil((total-p)/2)-63). Window ranges
+// are converted to tail-buffer coordinates (global g ↦ g-base raw,
+// stride j ↦ j-base/2 — exact because base is kept even), sharded at
+// the batch scan's chunk granularity, and accumulated into the same
+// sums the batch scan merges. Probes run between chunk groups.
+func (r *StreamRecognizer) scanNew() error {
+	if r.buf.Len() > r.peakBuffered {
+		r.peakBuffered = r.buf.Len()
+	}
+	rawHi := r.total - 63
+	if rawHi < 0 {
+		rawHi = 0
+	}
+	var chunks []scanChunk
+	addRange := func(t scanTask, lo, hi int) {
+		for ; lo < hi; lo += scanChunkWindows {
+			end := lo + scanChunkWindows
+			if end > hi {
+				end = hi
+			}
+			chunks = append(chunks, scanChunk{t, lo, end})
+		}
+	}
+	// Task lo/hi are buffer-local window indices; the task src is the
+	// tail buffer itself.
+	halfBase := r.base / 2
+	addRange(scanTask{src: r.buf, stride: 1}, r.rawNext-r.base, rawHi-r.base)
+	var phHi [2]int
+	for p := 0; p < 2; p++ {
+		if n := r.total - p; n > 0 {
+			if L := (n + 1) / 2; L >= 64 {
+				phHi[p] = L - 63
+			}
+		}
+		addRange(scanTask{src: r.buf, stride: 2, phase: p},
+			r.phaseNext[p]-halfBase, phHi[p]-halfBase)
+	}
+	r.rawNext = rawHi
+	r.phaseNext = phHi
+
+	// Process in groups bounded by the probe interval, probing between
+	// groups. Group boundaries depend only on window counts, so probe
+	// inputs are deterministic at every worker count.
+	for len(chunks) > 0 {
+		group := chunks[:0:0]
+		groupWindows := 0
+		budget := r.checkEvery - r.sinceProbe
+		for len(chunks) > 0 && (len(group) == 0 || r.checkEvery < 0 || groupWindows < budget) {
+			group = append(group, chunks[0])
+			groupWindows += chunks[0].hi - chunks[0].lo
+			chunks = chunks[1:]
+		}
+		if err := r.runGroup(group); err != nil {
+			r.err = err
+			return err
+		}
+		r.sinceProbe += groupWindows
+		if r.checkEvery >= 0 && !r.settled && r.sinceProbe >= r.checkEvery {
+			r.probe()
+			r.sinceProbe = 0
+		}
+	}
+	r.compact()
+	return nil
+}
+
+// runGroup scans one group of chunks, serially or fanned out over the
+// recognizer's workers with per-worker accumulators merged (summed) into
+// the persistent one — the identical merge discipline as the batch scan.
+func (r *StreamRecognizer) runGroup(group []scanChunk) error {
+	workers := r.workers
+	if workers > len(group) {
+		workers = len(group)
+	}
+	for len(r.envs) < workers {
+		r.envs = append(r.envs, newScanEnv(r.key, r.cfg))
+	}
+	ctxDone := func() error {
+		if r.ctx != nil && r.ctx.Err() != nil {
+			return r.ctx.Err()
+		}
+		return nil
+	}
+	if workers <= 1 {
+		if len(r.envs) == 0 {
+			r.envs = append(r.envs, newScanEnv(r.key, r.cfg))
+		}
+		for i, c := range group {
+			if err := ctxDone(); err != nil {
+				return err
+			}
+			if serr := r.acc.runChunk(c, 0, i, r.envs[0], r.cfg); serr != nil {
+				r.recordScanErr(serr)
+			}
+		}
+		return nil
+	}
+
+	accs := make([]*scanAccum, workers)
+	errLists := make([][]*StageError, workers)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for wi := 0; wi < workers; wi++ {
+		wi := wi
+		accs[wi] = newScanAccum()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if r.ctx != nil && r.ctx.Err() != nil {
+					return
+				}
+				i := int(next.Add(1)) - 1
+				if i >= len(group) {
+					return
+				}
+				if serr := accs[wi].runChunk(group[i], wi, i, r.envs[wi], r.cfg); serr != nil {
+					if len(errLists[wi]) < maxStageErrors {
+						errLists[wi] = append(errLists[wi], serr)
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if err := ctxDone(); err != nil {
+		return err
+	}
+	for _, acc := range accs {
+		r.acc.windows += acc.windows
+		r.acc.valid += acc.valid
+		r.acc.rej.add(acc.rej)
+		r.acc.decrypted += acc.decrypted
+		r.acc.panics += acc.panics
+		for st, c := range acc.counts {
+			r.acc.counts[st] += c
+		}
+	}
+	for _, list := range errLists {
+		for _, serr := range list {
+			r.recordScanErr(serr)
+		}
+	}
+	return nil
+}
+
+func (r *StreamRecognizer) recordScanErr(serr *StageError) {
+	if len(r.scanErrs) < maxStageErrors {
+		r.scanErrs = append(r.scanErrs, serr)
+	}
+}
+
+// compact drops tail-buffer head bits that no future window can read:
+// everything before the earliest start among the next raw window
+// (bit rawNext) and the next window of each stride-2 phase
+// (bit p+2·phaseNext[p]). The new base is rounded down to even so the
+// global phases keep mapping onto the buffer's local phases, and the
+// copy is deferred until at least compactMinDrop bits are droppable.
+func (r *StreamRecognizer) compact() {
+	need := r.rawNext
+	if s := 2 * r.phaseNext[0]; s < need {
+		need = s
+	}
+	if s := 1 + 2*r.phaseNext[1]; s < need {
+		need = s
+	}
+	if need > r.total {
+		need = r.total
+	}
+	newBase := need &^ 1
+	drop := newBase - r.base
+	if drop < compactMinDrop {
+		return
+	}
+	kept := bitstring.New(r.buf.Len() - drop)
+	for i := drop; i < r.buf.Len(); i++ {
+		kept.Append(r.buf.Bit(i))
+	}
+	r.buf = kept
+	r.base = newBase
+}
+
+// probe runs the vote/consistency/CRT stage over a capped snapshot of
+// the statement counts and applies the settle rule. The accumulated
+// counts themselves are untouched, preserving Flush's batch identity.
+func (r *StreamRecognizer) probe() {
+	r.probes++
+	rec := r.snapshotCounters()
+	if len(r.acc.counts) > 0 {
+		counts := make(map[crt.Statement]int, len(r.acc.counts))
+		for st, c := range r.acc.counts {
+			if c > countCap {
+				c = countCap
+			}
+			counts[st] = c
+		}
+		resolveStatements(r.ctx, rec, counts, r.key)
+	}
+	if rec.FullCoverage {
+		r.settle(rec)
+		return
+	}
+	if r.minConf < 1 && rec.Confidence >= r.minConf && rec.Watermark != nil {
+		if r.lastWM != nil && rec.Watermark.Cmp(r.lastWM) == 0 &&
+			rec.Modulus.Cmp(r.lastMod) == 0 {
+			r.stable++
+		} else {
+			r.stable = 1
+		}
+		r.lastWM, r.lastMod = rec.Watermark, rec.Modulus
+		if r.stable >= r.settleChecks {
+			r.settle(rec)
+		}
+		return
+	}
+	r.stable, r.lastWM, r.lastMod = 0, nil, nil
+}
+
+func (r *StreamRecognizer) settle(rec *Recognition) {
+	r.settled = true
+	r.verdict = rec
+}
+
+// snapshotCounters builds a Recognition carrying the scan counters as
+// they stand, shared by probes and Flush.
+func (r *StreamRecognizer) snapshotCounters() *Recognition {
+	return &Recognition{
+		TraceBits:         r.total,
+		Windows:           r.acc.windows,
+		ValidStatements:   r.acc.valid,
+		RejectedByLayer:   r.acc.rej,
+		PrefilterRejected: r.acc.rej.preDecrypt(),
+		Decrypted:         r.acc.decrypted,
+	}
+}
+
+// Flush finalizes the stream and returns the Recognition for everything
+// appended, following the batch pipeline's tail verbatim (count cap,
+// vote, consistency graphs, Generalized-CRT merge): on a completely
+// streamed trace the result is bit-identical to RecognizeBits over the
+// whole decoded string, regardless of chunking, worker count, or
+// whether an early verdict settled. Flush is idempotent and further
+// appends are refused afterwards. As in the batch path, recovered scan
+// failures surface as a partial Recognition alongside the first
+// *StageError.
+func (r *StreamRecognizer) Flush() (*Recognition, error) {
+	if r.flushed != nil {
+		return r.flushed, r.flushErr
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	rec := r.snapshotCounters()
+	if len(r.scanErrs) > 0 {
+		rec.Degraded = true
+		rec.StageErrors = append(rec.StageErrors, r.scanErrs...)
+	}
+	for st, c := range r.acc.counts {
+		if c > countCap {
+			r.acc.counts[st] = countCap
+		}
+	}
+	if len(r.acc.counts) > 0 {
+		resolveStatements(r.ctx, rec, r.acc.counts, r.key)
+	}
+	r.reg.Counter("stream.windows_total").Add(int64(rec.Windows))
+	r.reg.Counter("stream.probes").Add(int64(r.probes))
+	if r.settled {
+		r.reg.Counter("stream.early_exit").Add(1)
+	}
+	r.flushed = rec
+	if len(rec.StageErrors) > 0 {
+		r.flushErr = rec.StageErrors[0]
+	}
+	return r.flushed, r.flushErr
+}
