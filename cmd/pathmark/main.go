@@ -17,7 +17,7 @@
 //	pathmark attack  -in marked.pasm -out attacked.pasm -name branch-insertion [-seed S]
 //	pathmark attacks                                    # list the attack catalog
 //	pathmark run     -in prog.pasm [-input 1,2,3] [-vmprofile N]
-//	pathmark inject  {-fault NAME | -all | -list} [-in prog.pasm] [-seed S]
+//	pathmark inject  {-fault NAME | -all | -list} [-class recognition|storage] [-in prog.pasm] [-seed S]
 //
 // Programs are read and written in the textual assembly format of
 // internal/vm (see examples/). The cipher key is derived from -key (two
@@ -446,7 +446,17 @@ func cmdInject(args []string) {
 	list := fs.Bool("list", false, "list the fault catalog and exit")
 	seed := fs.Int64("seed", 1, "injection randomness seed")
 	workers := fs.Int("workers", 0, "scan goroutines for the recognition runs")
+	class := fs.String("class", "recognition", "fault class: recognition (corrupt pipeline inputs) | storage (corrupt the disk under the job engine)")
+	random := fs.Int("random", 2, "with -class storage: randomized schedules to run beyond the named catalog")
 	fs.Parse(args)
+
+	if *class == "storage" {
+		cmdInjectStorage(&c, *list, *seed, *random)
+		return
+	}
+	if *class != "recognition" {
+		fatal(fmt.Errorf("unknown -class %q, want recognition or storage", *class))
+	}
 
 	if *list {
 		for _, f := range faults.Catalog() {
@@ -502,6 +512,51 @@ func cmdInject(args []string) {
 		if rep.Recovered {
 			violations++
 			fmt.Fprintf(os.Stderr, "pathmark: CONTRACT VIOLATION: %s let a panic escape the pipeline\n", rep.Fault)
+		}
+	}
+	c.finishObs()
+	if violations > 0 {
+		os.Exit(1)
+	}
+}
+
+// cmdInjectStorage is the storage fault class of `pathmark inject`: instead
+// of corrupting pipeline inputs it corrupts the disk under the journaled job
+// engine — ENOSPC, short writes, failed fsyncs, torn renames, read-side bit
+// rot — across kill/restart campaigns. The durability contract admits two
+// endings per campaign (byte-identical resume, or clean quarantine with
+// evidence); anything else is a violation and exits 1.
+func cmdInjectStorage(c *common, list bool, seed int64, random int) {
+	if list {
+		for _, sf := range faults.StorageCatalog() {
+			fmt.Printf("%-22s %s\n", sf.Name, sf.Description)
+		}
+		return
+	}
+	reg := c.beginObs()
+	var host *faults.Host
+	var err error
+	if c.in == "" {
+		host, err = faults.DefaultHost(seed)
+	} else {
+		host, err = faults.NewHost(c.loadProgram(), c.secretInput(), c.wbits, seed)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	violations := 0
+	for _, rep := range faults.AssessAllStorage(host, random, faults.Options{Seed: seed, Obs: reg}) {
+		line := fmt.Sprintf("%-22s %-12s lifetimes=%d fired=%d", rep.Fault, rep.Outcome, rep.Lifetimes, len(rep.Fired))
+		if rep.Quarantined != "" {
+			line += "  quarantined"
+		}
+		if rep.Err != nil {
+			line += "  err=" + rep.Err.Error()
+		}
+		fmt.Println(line)
+		if rep.Outcome == faults.StorageViolated {
+			violations++
+			fmt.Fprintf(os.Stderr, "pathmark: DURABILITY VIOLATION: %s: %v\n", rep.Fault, rep.Err)
 		}
 	}
 	c.finishObs()

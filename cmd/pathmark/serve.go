@@ -17,12 +17,14 @@ import (
 	"os/signal"
 	"path/filepath"
 	"runtime"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"syscall"
 	"time"
 
+	"pathmark/internal/iofault"
 	"pathmark/internal/jobs"
 	"pathmark/internal/obs"
 	"pathmark/internal/vm"
@@ -51,7 +53,16 @@ import (
 //   - graceful drain: SIGINT/SIGTERM flips /readyz to 503, stops
 //     accepting connections, cancels the shared job context (running
 //     jobs checkpoint — their journals are already durable through the
-//     last finished grade) and waits for the runners to exit.
+//     last finished grade) and waits for the runners to exit;
+//   - disk-pressure degradation: a storage fault (ENOSPC, failed fsync)
+//     flips the daemon read-only — new submissions and chunk uploads get
+//     503 with Retry-After while /metrics, the health probes, and every
+//     GET stay live — and a background probe re-enables writes once the
+//     disk accepts a durable write again;
+//   - corruption quarantine: a job whose log is proven corrupt mid-stream
+//     (per-record checksums, see iofault.CorruptError) is moved into
+//     quarantine/ under the root with a reason record; every other job
+//     keeps running and the evidence is preserved for the operator.
 
 // serveRequest is the POST /jobs body: programs and keys travel as
 // text (the .pasm dump and the keyfile JSON document respectively), so
@@ -218,14 +229,23 @@ func (j *serveJob) snapshot() jobStatus {
 }
 
 type serveConfig struct {
-	root       string
-	maxActive  int // concurrently running jobs (0 = GOMAXPROCS)
-	maxJobs    int // tracked jobs before submissions get 429
-	reqTimeout time.Duration
-	noSync     bool
-	reg        *obs.Registry // nil = newServer builds one (the daemon is never blind)
-	debug      bool          // mount /debug/pprof/* and /debug/vars
-	accessLog  io.Writer     // structured request log destination; nil = off
+	root          string
+	maxActive     int // concurrently running jobs (0 = GOMAXPROCS)
+	maxJobs       int // tracked jobs before submissions get 429
+	reqTimeout    time.Duration
+	noSync        bool
+	reg           *obs.Registry // nil = newServer builds one (the daemon is never blind)
+	debug         bool          // mount /debug/pprof/* and /debug/vars
+	accessLog     io.Writer     // structured request log destination; nil = off
+	fsys          iofault.FS    // nil = the real filesystem; chaos tests inject faults
+	probeInterval time.Duration // read-only recovery probe cadence (0 = 5s)
+}
+
+func (c *serveConfig) fs() iofault.FS {
+	if c.fsys != nil {
+		return c.fsys
+	}
+	return iofault.OS
 }
 
 type server struct {
@@ -236,6 +256,7 @@ type server struct {
 	wg      sync.WaitGroup
 
 	draining atomic.Bool
+	readOnly atomic.Bool // storage degraded: refuse writes, probe for recovery
 
 	logMu sync.Mutex // serializes access-log lines
 
@@ -277,6 +298,113 @@ func newServer(cfg serveConfig) (*server, error) {
 	return s, nil
 }
 
+// enterReadOnly flips the daemon into read-only mode after a storage
+// fault. Submissions and chunk uploads get 503 + Retry-After; status,
+// results, traces, metrics and health probes keep answering. A single
+// background probe watches for the disk to accept durable writes again
+// and clears the flag. Idempotent: concurrent faults start one probe.
+func (s *server) enterReadOnly(cause error) {
+	if !s.readOnly.CompareAndSwap(false, true) {
+		return
+	}
+	s.cfg.reg.Counter("serve.readonly.entered").Add(1)
+	fmt.Fprintf(os.Stderr, "pathmark: serve: storage fault: %v: entering read-only mode (new submissions get 503)\n", cause)
+	s.wg.Add(1)
+	go s.probeRecovery()
+}
+
+func (s *server) probeInterval() time.Duration {
+	if s.cfg.probeInterval > 0 {
+		return s.cfg.probeInterval
+	}
+	return 5 * time.Second
+}
+
+// probeRecovery periodically attempts a full durable write cycle (write,
+// fsync, rename, dir fsync, remove) under the job root; the first success
+// ends read-only mode.
+func (s *server) probeRecovery() {
+	defer s.wg.Done()
+	t := time.NewTicker(s.probeInterval())
+	defer t.Stop()
+	for {
+		select {
+		case <-s.baseCtx.Done():
+			return
+		case <-t.C:
+			if err := s.probeStorage(); err != nil {
+				continue
+			}
+			s.readOnly.Store(false)
+			s.cfg.reg.Counter("serve.readonly.recovered").Add(1)
+			fmt.Fprintln(os.Stderr, "pathmark: serve: storage recovered; leaving read-only mode")
+			return
+		}
+	}
+}
+
+func (s *server) probeStorage() error {
+	fs := s.cfg.fs()
+	path := filepath.Join(s.cfg.root, ".storage-probe")
+	if err := iofault.WriteFileAtomic(fs, path, []byte("probe\n")); err != nil {
+		return err
+	}
+	return fs.Remove(path)
+}
+
+// unavailable refuses a mutating request while the daemon cannot accept
+// writes — draining or read-only — and reports whether it did.
+func (s *server) unavailable(w http.ResponseWriter) bool {
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, errors.New("draining"))
+		return true
+	}
+	if s.readOnly.Load() {
+		secs := int(s.probeInterval() / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+		writeError(w, http.StatusServiceUnavailable,
+			errors.New("read-only: storage degraded; reads stay available, retry writes later"))
+		return true
+	}
+	return false
+}
+
+// quarantineDir moves a condemned job directory into quarantine/ with a
+// reason record, keeping the daemon serving everything else.
+func (s *server) quarantineDir(id, dir string, reason error) {
+	dst, err := jobs.Quarantine(s.cfg.fs(), s.cfg.root, dir, reason)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pathmark: serve: job %s: quarantine failed: %v (condemned for: %v)\n", id, err, reason)
+		if iofault.IsStorageFault(err) {
+			s.enterReadOnly(err)
+		}
+		return
+	}
+	s.cfg.reg.Counter("serve.jobs.quarantined").Add(1)
+	fmt.Fprintf(os.Stderr, "pathmark: serve: job %s: quarantined to %s: %v\n", id, dst, reason)
+}
+
+// writeRequestFile persists the submitted request.json durably (atomic
+// temp + fsync + rename + parent-dir fsync) before the submission is
+// acknowledged; an existing file (an idempotent re-submit) is left alone.
+func (s *server) writeRequestFile(dir string, rawRequest []byte) error {
+	fs := s.cfg.fs()
+	reqPath := filepath.Join(dir, "request.json")
+	if _, err := fs.Stat(reqPath); err == nil {
+		return nil
+	}
+	if err := iofault.WriteFileAtomic(fs, reqPath, rawRequest); err != nil {
+		if iofault.IsStorageFault(err) {
+			s.enterReadOnly(err)
+		}
+		return err
+	}
+	return nil
+}
+
 // buildSpec turns a request into a jobs.Spec, validating programs and
 // keys. Errors are client errors (bad request).
 func (s *server) buildSpec(req *serveRequest) (jobs.Spec, error) {
@@ -314,6 +442,7 @@ func (s *server) buildSpec(req *serveRequest) (jobs.Spec, error) {
 			Breaker: jobs.BreakerPolicy{Threshold: o.Breaker, Wave: o.Wave},
 			Obs:     s.cfg.reg,
 			NoSync:  s.cfg.noSync,
+			FS:      s.cfg.fsys,
 		},
 	}, nil
 }
@@ -345,6 +474,7 @@ func (s *server) buildStreamSpec(req *serveRequest) (jobs.StreamSpec, error) {
 			MinConfidence: o.MinConfidence,
 			NoSync:        s.cfg.noSync,
 			Obs:           s.cfg.reg,
+			FS:            s.cfg.fsys,
 		},
 	}, nil
 }
@@ -370,20 +500,21 @@ func (s *server) submitStream(rawRequest []byte, spec jobs.StreamSpec) (*serveJo
 	}
 	dir := filepath.Join(s.cfg.root, id)
 	sj, err := jobs.OpenStream(dir, spec)
+	if iofault.IsCorrupt(err) {
+		// The directory's old journal is proven corrupt mid-log: move it
+		// aside as evidence and accept the submission into a fresh one.
+		s.quarantineDir(id, dir, err)
+		sj, err = jobs.OpenStream(dir, spec)
+	}
 	if err != nil {
+		if iofault.IsStorageFault(err) {
+			s.enterReadOnly(err)
+		}
 		return nil, http.StatusInternalServerError, err
 	}
-	reqPath := filepath.Join(dir, "request.json")
-	if _, err := os.Stat(reqPath); errors.Is(err, os.ErrNotExist) {
-		tmp := reqPath + ".tmp"
-		if err := os.WriteFile(tmp, rawRequest, 0o644); err != nil {
-			sj.Close()
-			return nil, http.StatusInternalServerError, err
-		}
-		if err := os.Rename(tmp, reqPath); err != nil {
-			sj.Close()
-			return nil, http.StatusInternalServerError, err
-		}
+	if err := s.writeRequestFile(dir, rawRequest); err != nil {
+		sj.Close()
+		return nil, http.StatusInternalServerError, err
 	}
 	j := &serveJob{
 		id: id, dir: dir, stream: sj,
@@ -438,20 +569,16 @@ func (s *server) submit(rawRequest []byte, spec jobs.Spec) (*serveJob, int, erro
 			fmt.Errorf("job table full (%d jobs); retry after some finish or restart with a fresh root", s.cfg.maxJobs)
 	}
 	dir := filepath.Join(s.cfg.root, id)
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if err := s.cfg.fs().MkdirAll(dir, 0o755); err != nil {
+		if iofault.IsStorageFault(err) {
+			s.enterReadOnly(err)
+		}
 		return nil, http.StatusInternalServerError, err
 	}
 	// Persist the request before acknowledging it: a daemon restart
 	// rebuilds the spec from this file and resumes the journal.
-	reqPath := filepath.Join(dir, "request.json")
-	if _, err := os.Stat(reqPath); errors.Is(err, os.ErrNotExist) {
-		tmp := reqPath + ".tmp"
-		if err := os.WriteFile(tmp, rawRequest, 0o644); err != nil {
-			return nil, http.StatusInternalServerError, err
-		}
-		if err := os.Rename(tmp, reqPath); err != nil {
-			return nil, http.StatusInternalServerError, err
-		}
+	if err := s.writeRequestFile(dir, rawRequest); err != nil {
+		return nil, http.StatusInternalServerError, err
 	}
 	j := s.startLocked(id, dir, spec)
 	s.cfg.reg.Counter("serve.jobs.submitted").Add(1)
@@ -495,6 +622,17 @@ func (s *server) runJob(j *serveJob, spec jobs.Spec) {
 		// start re-runs only what was in flight.
 		j.setStatus("interrupted", err.Error())
 		s.cfg.reg.Counter("serve.jobs.interrupted").Add(1)
+	case iofault.IsCorrupt(err):
+		// The job's own log is proven rotten mid-stream: move the directory
+		// aside with the evidence; every other job keeps running.
+		s.quarantineDir(j.id, j.dir, err)
+		j.setStatus("quarantined", err.Error())
+	case err != nil && iofault.IsStorageFault(err):
+		// The disk, not the job, is sick. The journal is durable through
+		// the last committed grade; park the job and stop taking writes.
+		j.setStatus("interrupted", err.Error())
+		s.cfg.reg.Counter("serve.jobs.interrupted").Add(1)
+		s.enterReadOnly(err)
 	case err != nil:
 		j.setStatus("failed", err.Error())
 		s.cfg.reg.Counter("serve.jobs.failed").Add(1)
@@ -515,16 +653,16 @@ func (s *server) resumePending() error {
 		return err
 	}
 	for _, e := range entries {
-		if !e.IsDir() {
+		if !e.IsDir() || e.Name() == "quarantine" {
 			continue
 		}
 		id := e.Name()
 		dir := filepath.Join(s.cfg.root, id)
-		raw, err := os.ReadFile(filepath.Join(dir, "request.json"))
+		raw, err := s.cfg.fs().ReadFile(filepath.Join(dir, "request.json"))
 		if err != nil {
 			continue // not a job directory
 		}
-		if data, err := os.ReadFile(jobs.ResultPath(dir)); err == nil {
+		if data, err := s.cfg.fs().ReadFile(jobs.ResultPath(dir)); err == nil {
 			// Finished before the restart: recover the dimensions from the
 			// result manifest and register it as done. A stream manifest
 			// carries one grade per key and no suspects.
@@ -534,6 +672,7 @@ func (s *server) resumePending() error {
 				Stream   bool `json:"stream"`
 			}
 			if json.Unmarshal(data, &dims) != nil {
+				s.quarantineDir(id, dir, errors.New("unparseable result.json"))
 				continue
 			}
 			total := dims.Suspects * dims.Keys
@@ -549,7 +688,7 @@ func (s *server) resumePending() error {
 		}
 		var req serveRequest
 		if err := json.Unmarshal(raw, &req); err != nil {
-			fmt.Fprintf(os.Stderr, "pathmark: serve: job %s: unreadable request.json: %v\n", id, err)
+			s.quarantineDir(id, dir, fmt.Errorf("unreadable request.json: %w", err))
 			continue
 		}
 		if req.Stream {
@@ -566,7 +705,11 @@ func (s *server) resumePending() error {
 			}
 			sj, err := jobs.OpenStream(dir, spec)
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "pathmark: serve: job %s: stream resume: %v\n", id, err)
+				if iofault.IsCorrupt(err) {
+					s.quarantineDir(id, dir, err)
+				} else {
+					fmt.Fprintf(os.Stderr, "pathmark: serve: job %s: stream resume: %v\n", id, err)
+				}
 				continue
 			}
 			j := &serveJob{id: id, dir: dir, stream: sj,
@@ -610,8 +753,7 @@ func writeError(w http.ResponseWriter, code int, err error) {
 }
 
 func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
-	if s.draining.Load() {
-		writeError(w, http.StatusServiceUnavailable, errors.New("draining"))
+	if s.unavailable(w) {
 		return
 	}
 	raw, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 64<<20))
@@ -702,8 +844,7 @@ func (s *server) handleResult(w http.ResponseWriter, r *http.Request) {
 // chunk and the committed offset is a 409 carrying that offset — the
 // uploader's resume point.
 func (s *server) handleStreamChunk(w http.ResponseWriter, r *http.Request) {
-	if s.draining.Load() {
-		writeError(w, http.StatusServiceUnavailable, errors.New("draining"))
+	if s.unavailable(w) {
 		return
 	}
 	j, ok := s.lookup(r)
@@ -734,6 +875,11 @@ func (s *server) handleStreamChunk(w http.ResponseWriter, r *http.Request) {
 				writeJSON(w, http.StatusConflict, map[string]any{
 					"error": err.Error(), "committed": j.stream.Committed(),
 				})
+			case iofault.IsStorageFault(err):
+				// The chunk's journal append didn't commit: the uploader can
+				// re-send it from the committed offset once the disk recovers.
+				s.enterReadOnly(err)
+				s.unavailable(w)
 			default:
 				writeError(w, http.StatusBadRequest, err)
 			}
@@ -744,6 +890,9 @@ func (s *server) handleStreamChunk(w http.ResponseWriter, r *http.Request) {
 	}
 	if chunk.Final && j.snapshot().Status == "streaming" {
 		if err := s.finishStream(j); err != nil {
+			if iofault.IsStorageFault(err) {
+				s.enterReadOnly(err)
+			}
 			writeError(w, http.StatusInternalServerError, err)
 			return
 		}
@@ -880,6 +1029,11 @@ func (s *server) handler() http.Handler {
 			io.WriteString(w, "draining\n")
 			return
 		}
+		if s.readOnly.Load() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			io.WriteString(w, "read-only\n")
+			return
+		}
 		w.WriteHeader(http.StatusOK)
 		io.WriteString(w, "ready\n")
 	})
@@ -929,6 +1083,7 @@ func cmdServe(args []string) int {
 	reqTimeout := fs.Duration("request-timeout", 10*time.Second, "per-request handler deadline")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "deadline for in-flight HTTP requests on shutdown")
 	noSync := fs.Bool("no-sync", false, "skip the per-record journal fsync (faster, loses tail grades on a crash)")
+	probeEvery := fs.Duration("recovery-probe", 5*time.Second, "how often read-only mode probes the disk for recovery")
 	debug := fs.Bool("debug", false, "mount /debug/pprof/* and /debug/vars")
 	accessLog := fs.Bool("access-log", true, "write a structured request log line per request to stderr")
 	var ocli obs.CLI
@@ -956,7 +1111,7 @@ func cmdServe(args []string) int {
 	srv, err := newServer(serveConfig{
 		root: *dir, maxActive: *maxActive, maxJobs: *maxJobs,
 		reqTimeout: *reqTimeout, noSync: *noSync, reg: reg,
-		debug: *debug, accessLog: logw,
+		debug: *debug, accessLog: logw, probeInterval: *probeEvery,
 	})
 	if err != nil {
 		fatal(err)

@@ -15,6 +15,7 @@ import (
 	"testing"
 	"time"
 
+	"pathmark/internal/iofault"
 	"pathmark/internal/jobs"
 	"pathmark/internal/obs"
 	"pathmark/internal/vm"
@@ -1158,5 +1159,203 @@ func TestServeStreamTraceReadDuringWrite(t *testing.T) {
 		if byEvent[stage] == 0 {
 			t.Errorf("stream trace missing %s (have %v)", stage, byEvent)
 		}
+	}
+}
+
+// TestServeReadOnlyDegradation: a storage fault while persisting a
+// submission flips the daemon read-only — new writes get 503 with a
+// Retry-After header and /readyz reports it, while health, metrics and
+// status reads keep answering — and the background probe re-enables
+// writes once the disk recovers (here: the injected fault is spent).
+func TestServeReadOnlyDegradation(t *testing.T) {
+	root := t.TempDir()
+	ffs := iofault.NewFaultFS(iofault.OS, []iofault.Fault{
+		{Op: iofault.OpWrite, Kind: iofault.KindENOSPC, Path: "request.json"},
+	})
+	srv, err := newServer(serveConfig{root: root, maxActive: 1, maxJobs: 4,
+		reqTimeout: time.Minute, noSync: true,
+		fsys: ffs, probeInterval: 20 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.handler())
+	defer ts.Close()
+	defer srv.drain()
+
+	body, _ := serveFixture(t)
+	resp, err := http.Post(ts.URL+"/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("submit over ENOSPC: status %d, want 500", resp.StatusCode)
+	}
+
+	// The fault tripped read-only mode: writes are refused with a retry
+	// hint, reads and probes stay live.
+	resp, err = http.Post(ts.URL+"/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("submit while read-only: status %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("read-only 503 missing Retry-After header")
+	}
+	resp, err = http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb := new(bytes.Buffer)
+	rb.ReadFrom(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable || !strings.Contains(rb.String(), "read-only") {
+		t.Fatalf("readyz while read-only: status %d body %q, want 503 read-only", resp.StatusCode, rb.String())
+	}
+	for _, path := range []string{"/healthz", "/metrics"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("%s while read-only: status %d, want 200", path, resp.StatusCode)
+		}
+	}
+
+	// The injected fault fires once; the recovery probe's next durable
+	// write succeeds and the daemon leaves read-only mode.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Get(ts.URL + "/readyz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusOK {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("daemon never recovered from read-only mode")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	resp, err = http.Post(ts.URL+"/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st jobStatus
+	json.NewDecoder(resp.Body).Decode(&st)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit after recovery: status %d, want 202", resp.StatusCode)
+	}
+	if fin := pollJob(t, ts, st.ID); fin.Status != "done" {
+		t.Fatalf("post-recovery job finished as %+v", fin)
+	}
+}
+
+// TestServeQuarantineOnCorruptResume: a restart over a root holding one
+// job with a corrupt (bit-flipped mid-log) journal and one healthy
+// finished job must quarantine the former — directory moved under
+// quarantine/ with a reason record — and keep serving the latter.
+func TestServeQuarantineOnCorruptResume(t *testing.T) {
+	root := t.TempDir()
+	srv, err := newServer(serveConfig{root: root, maxActive: 2, maxJobs: 4,
+		reqTimeout: time.Minute, noSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.handler())
+
+	// Job 1: a finished corpus job (stays healthy).
+	body, _ := serveFixture(t)
+	resp, err := http.Post(ts.URL+"/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var healthy jobStatus
+	json.NewDecoder(resp.Body).Decode(&healthy)
+	resp.Body.Close()
+	pollJob(t, ts, healthy.ID)
+
+	// Job 2: a stream job left mid-upload.
+	sbody, bits, _ := streamServeFixture(t)
+	resp, err = http.Post(ts.URL+"/jobs", "application/json", bytes.NewReader(sbody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var victim jobStatus
+	json.NewDecoder(resp.Body).Decode(&victim)
+	resp.Body.Close()
+	for _, c := range []struct{ lo, hi int }{{0, 1024}, {1024, 2048}, {2048, 3072}} {
+		if _, code := postChunk(t, ts, victim.ID, streamChunkRequest{Offset: int64(c.lo), Bits: bits[c.lo:c.hi]}); code != http.StatusOK {
+			t.Fatalf("chunk upload at %d: status %d", c.lo, code)
+		}
+	}
+	srv.drain()
+	ts.Close()
+
+	// Rot a mid-log chunk record in the victim's stream journal.
+	victimDir := filepath.Join(root, victim.ID)
+	spath := jobs.StreamPath(victimDir)
+	data, err := os.ReadFile(spath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.SplitAfter(string(data), "\n")
+	if len(lines) < 5 {
+		t.Fatalf("stream journal too short to corrupt: %d lines", len(lines))
+	}
+	mid := []byte(lines[2])
+	mid[len(mid)/2] ^= 0x01
+	lines[2] = string(mid)
+	if err := os.WriteFile(spath, []byte(strings.Join(lines, "")), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart. The corrupt job is quarantined, the healthy one still serves.
+	srv2, err := newServer(serveConfig{root: root, maxActive: 2, maxJobs: 4,
+		reqTimeout: time.Minute, noSync: true})
+	if err != nil {
+		t.Fatalf("restart over corrupt root: %v", err)
+	}
+	ts2 := httptest.NewServer(srv2.handler())
+	defer ts2.Close()
+	defer srv2.drain()
+
+	if _, err := os.Stat(victimDir); !errors.Is(err, os.ErrNotExist) {
+		t.Errorf("corrupt job directory still in the root: %v", err)
+	}
+	qdir := filepath.Join(jobs.QuarantineDir(root), victim.ID)
+	if _, err := os.Stat(jobs.StreamPath(qdir)); err != nil {
+		t.Errorf("quarantined journal missing: %v", err)
+	}
+	reason, err := os.ReadFile(filepath.Join(qdir, "reason.json"))
+	if err != nil {
+		t.Fatalf("quarantine reason record: %v", err)
+	}
+	if !strings.Contains(string(reason), "corrupt") {
+		t.Errorf("reason.json does not name the corruption: %s", reason)
+	}
+
+	resp, err = http.Get(ts2.URL + "/jobs/" + healthy.ID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("healthy job's result after quarantine restart: status %d, want 200", resp.StatusCode)
+	}
+	resp, err = http.Get(ts2.URL + "/jobs/" + victim.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("quarantined job still tracked: status %d, want 404", resp.StatusCode)
 	}
 }

@@ -135,9 +135,11 @@ func watchStream(rec *wm.StreamRecognizer, feed *streamFeeder, path string, foll
 		return err
 	}
 	defer f.Close()
+	var consumed int64
 	for {
 		n, err := f.Read(buf)
 		if n > 0 {
+			consumed += int64(n)
 			if ferr := feed.consume(buf[:n]); ferr != nil {
 				return ferr
 			}
@@ -149,13 +151,40 @@ func watchStream(rec *wm.StreamRecognizer, feed *streamFeeder, path string, foll
 			if !follow {
 				return feed.finish()
 			}
-			time.Sleep(interval) // the writer may still be appending
+			// The writer may still be appending — but if the file shrank
+			// below what we already consumed, it was truncated or rotated
+			// out from under us. Bits already fed cannot be unfed, and the
+			// bytes now at our offset belong to a different stream: looping
+			// forever (the old behavior) reports nothing; exit typed
+			// instead so the operator can restart the watch.
+			info, serr := os.Stat(path)
+			if serr != nil {
+				return fmt.Errorf("pathmark: watch: stat %s while following: %w", path, serr)
+			}
+			if info.Size() < consumed {
+				return &truncatedStreamError{path: path, consumed: consumed, size: info.Size()}
+			}
+			time.Sleep(interval)
 			continue
 		}
 		if err != nil {
 			return err
 		}
 	}
+}
+
+// truncatedStreamError reports a followed stream file that shrank below
+// the offset already consumed — truncation or rotation, either way the
+// tail being appended now is not a continuation of the bits already fed.
+type truncatedStreamError struct {
+	path     string
+	consumed int64
+	size     int64
+}
+
+func (e *truncatedStreamError) Error() string {
+	return fmt.Sprintf("pathmark: watch: %s truncated while following: consumed %d bytes, file now %d — stream restarted or rotated, re-run the watch",
+		e.path, e.consumed, e.size)
 }
 
 // streamFeeder parses one of the two stream formats incrementally and

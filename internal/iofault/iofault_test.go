@@ -1,0 +1,326 @@
+package iofault
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"syscall"
+	"testing"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	payloads := [][]byte{
+		[]byte(`{"v":2,"type":"header"}`),
+		[]byte(""),
+		[]byte("x"),
+		bytes.Repeat([]byte("a"), 4096),
+	}
+	for _, p := range payloads {
+		line := Frame(p)
+		if line[len(line)-1] != '\n' {
+			t.Fatalf("framed line not newline-terminated: %q", line)
+		}
+		got, err := Unframe(line[:len(line)-1])
+		if err != nil {
+			t.Fatalf("Unframe(%q): %v", line, err)
+		}
+		if !bytes.Equal(got, p) {
+			t.Fatalf("round trip: got %q want %q", got, p)
+		}
+	}
+}
+
+func TestUnframeRejects(t *testing.T) {
+	good := Frame([]byte(`{"a":1}`))
+	good = good[:len(good)-1]
+	cases := []struct {
+		name string
+		line []byte
+	}{
+		{"too short", []byte("abc")},
+		{"no space", bytes.Replace(good, []byte(" "), []byte("x"), 1)},
+		{"bad hex", append([]byte("zzzzzzzz "), good[9:]...)},
+		{"flipped payload byte", func() []byte {
+			c := append([]byte(nil), good...)
+			c[len(c)-2] ^= 0x01
+			return c
+		}()},
+		{"flipped checksum byte", func() []byte {
+			c := append([]byte(nil), good...)
+			c[0] = "0123456789abcdef"[(bytes.IndexByte([]byte("0123456789abcdef"), c[0])+1)%16]
+			return c
+		}()},
+		{"unframed json", []byte(`{"a":1}`)},
+	}
+	for _, tc := range cases {
+		if _, err := Unframe(tc.line); err == nil {
+			t.Errorf("%s: accepted %q", tc.name, tc.line)
+		}
+	}
+}
+
+func framedLog(payloads ...string) []byte {
+	var b []byte
+	for _, p := range payloads {
+		b = AppendFrame(b, []byte(p))
+	}
+	return b
+}
+
+// TestLogScannerTornVsCorrupt pins the discrimination rule: a bad
+// complete line is a torn tail unless a later complete line verifies.
+func TestLogScannerTornVsCorrupt(t *testing.T) {
+	l1, l2, l3 := `{"n":1}`, `{"n":2}`, `{"n":3}`
+	clean := framedLog(l1, l2, l3)
+
+	scanAll := func(data []byte) (lines []string, good int64, err error) {
+		s := NewLogScanner(data, "test.jsonl")
+		for {
+			p, ok := s.Next()
+			if !ok {
+				return lines, s.Good(), s.Err()
+			}
+			lines = append(lines, string(p))
+		}
+	}
+
+	// Clean log: every line, no error.
+	lines, good, err := scanAll(clean)
+	if err != nil || len(lines) != 3 || good != int64(len(clean)) {
+		t.Fatalf("clean: lines=%v good=%d err=%v", lines, good, err)
+	}
+
+	// Unterminated tail: torn, no error.
+	torn := clean[:len(clean)-3]
+	lines, good, err = scanAll(torn)
+	wantGood := int64(len(framedLog(l1, l2)))
+	if err != nil || len(lines) != 2 || good != wantGood {
+		t.Fatalf("torn: lines=%v good=%d err=%v", lines, good, err)
+	}
+
+	// Terminated junk at the tail (kill -9 splattered bytes with a
+	// newline): still torn — nothing after it verifies.
+	junkTail := append(append([]byte(nil), clean...), []byte("\x00garbage\n{more}\n")...)
+	lines, good, err = scanAll(junkTail)
+	if err != nil || len(lines) != 3 || good != int64(len(clean)) {
+		t.Fatalf("junk tail: lines=%v good=%d err=%v", lines, good, err)
+	}
+
+	// A corrupted line with verified lines after it: mid-log corruption.
+	mid := framedLog(l1)
+	mid = append(mid, []byte("00000000 {rot}\n")...)
+	mid = append(mid, framedLog(l3)...)
+	lines, good, err = scanAll(mid)
+	if !IsCorrupt(err) {
+		t.Fatalf("mid-log corruption not detected: lines=%v err=%v", lines, err)
+	}
+	var ce *CorruptError
+	errors.As(err, &ce)
+	if ce.Line != 2 || ce.Offset != int64(len(framedLog(l1))) || ce.Path != "test.jsonl" {
+		t.Fatalf("corrupt error coordinates: %+v", ce)
+	}
+	if len(lines) != 1 || good != int64(len(framedLog(l1))) {
+		t.Fatalf("prefix before corruption: lines=%v good=%d", lines, good)
+	}
+
+	// A bit flip inside an otherwise intact log is also mid-log.
+	flipped := append([]byte(nil), clean...)
+	flipped[len(framedLog(l1))+12] ^= 0x20
+	if _, _, err := scanAll(flipped); !IsCorrupt(err) {
+		t.Fatalf("flipped byte not detected as corruption: %v", err)
+	}
+}
+
+func TestWriteFileAtomicSyncsParentDir(t *testing.T) {
+	dir := t.TempDir()
+	rec := &recordingFS{FS: OS}
+	path := filepath.Join(dir, "result.json")
+	if err := WriteFileAtomic(rec, path, []byte("{}\n")); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil || string(data) != "{}\n" {
+		t.Fatalf("published content: %q, %v", data, err)
+	}
+	// The regression this test exists for: the parent directory must be
+	// fsynced after the rename, or the rename itself can be lost.
+	wantTail := []string{"sync", "close", "rename", "syncdir:" + dir}
+	if len(rec.ops) < len(wantTail) || !reflect.DeepEqual(rec.ops[len(rec.ops)-4:], wantTail) {
+		t.Fatalf("op sequence %v, want tail %v", rec.ops, wantTail)
+	}
+}
+
+func TestWriteFileAtomicFailedRenameKeepsOld(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "result.json")
+	if err := os.WriteFile(path, []byte("old"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ffs := NewFaultFS(OS, []Fault{{Op: OpRename, Kind: KindTornRename}})
+	err := WriteFileAtomic(ffs, path, []byte("new"))
+	if !IsStorageFault(err) {
+		t.Fatalf("torn rename surfaced as %v", err)
+	}
+	data, _ := os.ReadFile(path)
+	if string(data) != "old" {
+		t.Fatalf("destination damaged by failed rename: %q", data)
+	}
+}
+
+// recordingFS logs the op sequence flowing through an FS.
+type recordingFS struct {
+	FS
+	ops []string
+}
+
+func (r *recordingFS) CreateTemp(dir, pattern string) (File, error) {
+	r.ops = append(r.ops, "createtemp")
+	f, err := r.FS.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return &recordingFile{File: f, rec: r}, nil
+}
+
+func (r *recordingFS) Rename(oldpath, newpath string) error {
+	r.ops = append(r.ops, "rename")
+	return r.FS.Rename(oldpath, newpath)
+}
+
+func (r *recordingFS) SyncDir(dir string) error {
+	r.ops = append(r.ops, "syncdir:"+dir)
+	return r.FS.SyncDir(dir)
+}
+
+type recordingFile struct {
+	File
+	rec *recordingFS
+}
+
+func (f *recordingFile) Write(p []byte) (int, error) {
+	f.rec.ops = append(f.rec.ops, "write")
+	return f.File.Write(p)
+}
+
+func (f *recordingFile) Sync() error {
+	f.rec.ops = append(f.rec.ops, "sync")
+	return f.File.Sync()
+}
+
+func (f *recordingFile) Close() error {
+	f.rec.ops = append(f.rec.ops, "close")
+	return f.File.Close()
+}
+
+func TestFaultFSSchedule(t *testing.T) {
+	dir := t.TempDir()
+	ffs := NewFaultFS(OS, []Fault{
+		{Op: OpWrite, Kind: KindENOSPC, After: 1},
+		{Op: OpSync, Kind: KindSyncFail},
+	})
+	f, err := ffs.OpenFile(filepath.Join(dir, "x"), os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := f.Write([]byte("a")); err != nil {
+		t.Fatalf("write 1 (before After): %v", err)
+	}
+	if _, err := f.Write([]byte("b")); !IsStorageFault(err) || !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("write 2: %v, want injected ENOSPC", err)
+	}
+	// Spent: the third write succeeds again.
+	if _, err := f.Write([]byte("c")); err != nil {
+		t.Fatalf("write 3 (fault spent): %v", err)
+	}
+	if err := f.Sync(); !IsStorageFault(err) || !errors.Is(err, syscall.EIO) {
+		t.Fatalf("sync: %v, want injected EIO", err)
+	}
+	if got := ffs.Fired(); len(got) != 2 {
+		t.Fatalf("fired = %v", got)
+	}
+	ffs.Disarm()
+	if err := f.Sync(); err != nil {
+		t.Fatalf("sync after disarm: %v", err)
+	}
+}
+
+func TestFaultFSShortWrite(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "wal")
+	ffs := NewFaultFS(OS, []Fault{{Op: OpWrite, Kind: KindShortWrite}})
+	f, err := ffs.OpenFile(path, os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := f.Write([]byte("0123456789"))
+	if !IsStorageFault(err) || n != 5 {
+		t.Fatalf("short write: n=%d err=%v", n, err)
+	}
+	f.Close()
+	data, _ := os.ReadFile(path)
+	if string(data) != "01234" {
+		t.Fatalf("on-disk bytes after short write: %q", data)
+	}
+}
+
+func TestFaultFSReadFlip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "log")
+	content := framedLog(`{"n":1}`, `{"n":2}`)
+	if err := os.WriteFile(path, content, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ffs := NewFaultFS(OS, []Fault{{Op: OpRead, Kind: KindReadFlip}})
+	got1, err := ffs.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(got1, content) {
+		t.Fatal("read flip changed nothing")
+	}
+	// On-disk bytes are untouched; only the read was corrupted.
+	onDisk, _ := os.ReadFile(path)
+	if !bytes.Equal(onDisk, content) {
+		t.Fatal("read flip damaged the file itself")
+	}
+}
+
+func TestScheduleDeterministic(t *testing.T) {
+	a, b := Schedule(42, 6), Schedule(42, 6)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed, different schedules: %v vs %v", a, b)
+	}
+	c := Schedule(43, 6)
+	if reflect.DeepEqual(a, c) {
+		t.Fatalf("different seeds, identical schedules: %v", a)
+	}
+	for _, f := range a {
+		if f.Op != OpWrite && f.Op != OpSync && f.Op != OpRename && f.Op != OpRead {
+			t.Fatalf("schedule picked unexpected op %v", f.Op)
+		}
+	}
+}
+
+func TestIsStorageFault(t *testing.T) {
+	cases := []struct {
+		err  error
+		want bool
+	}{
+		{nil, false},
+		{errors.New("plain"), false},
+		{syscall.ENOSPC, true},
+		{fmt.Errorf("wrap: %w", syscall.EIO), true},
+		{&InjectedError{Op: "write", Path: "x", Err: syscall.ENOSPC}, true},
+		{fmt.Errorf("deep: %w", &InjectedError{Op: "sync", Path: "y", Err: syscall.EIO}), true},
+		{&CorruptError{Path: "z", Line: 2}, false},
+	}
+	for _, tc := range cases {
+		if got := IsStorageFault(tc.err); got != tc.want {
+			t.Errorf("IsStorageFault(%v) = %v, want %v", tc.err, got, tc.want)
+		}
+	}
+}

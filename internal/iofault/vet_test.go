@@ -1,0 +1,76 @@
+package iofault
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestNoUncheckedSyncOrClose is the durability vet: in the packages that
+// write journaled state (internal/jobs, internal/obs, and this package),
+// a `f.Sync()` or `f.Close()` whose error is discarded is a silent hole
+// in the durability contract — a failed fsync means the bytes may not be
+// on disk, and a failed close on a written file can surface the same.
+// The vet walks the AST and fails on any bare expression-statement call
+// to Sync or Close in non-test files. Deliberate best-effort discards
+// must be spelled `_ = f.Close()` (visible intent) or deferred (cleanup
+// on a path whose primary error is already decided).
+func TestNoUncheckedSyncOrClose(t *testing.T) {
+	for _, dir := range []string{".", "../jobs", "../obs"} {
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range entries {
+			name := e.Name()
+			if !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+				continue
+			}
+			path := filepath.Join(dir, name)
+			for _, v := range vetFile(t, path) {
+				t.Errorf("%s: unchecked %s() — handle the error, or write `_ = x.%s()` to discard deliberately", v.pos, v.method, v.method)
+			}
+		}
+	}
+}
+
+type vetHit struct {
+	pos    string
+	method string
+}
+
+func vetFile(t *testing.T, path string) []vetHit {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, path, nil, 0)
+	if err != nil {
+		t.Fatalf("parse %s: %v", path, err)
+	}
+	var hits []vetHit
+	ast.Inspect(f, func(n ast.Node) bool {
+		// Only bare expression statements discard the result; assignments,
+		// returns, and defers (DeferStmt, a different node) are fine.
+		stmt, ok := n.(*ast.ExprStmt)
+		if !ok {
+			return true
+		}
+		call, ok := stmt.X.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if m := sel.Sel.Name; m == "Sync" || m == "Close" {
+			hits = append(hits, vetHit{pos: fmt.Sprint(fset.Position(stmt.Pos())), method: m})
+		}
+		return true
+	})
+	return hits
+}

@@ -7,8 +7,6 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"os"
-	"path/filepath"
 	"runtime"
 	"strconv"
 	"sync"
@@ -16,6 +14,7 @@ import (
 	"time"
 
 	"pathmark/internal/cache"
+	"pathmark/internal/iofault"
 	"pathmark/internal/obs"
 	"pathmark/internal/vm"
 	"pathmark/internal/wm"
@@ -84,6 +83,12 @@ type Options struct {
 	Trace *obs.Trace
 	// NoTrace suppresses the automatic trace.jsonl.
 	NoTrace bool
+	// FS, when non-nil, is the filesystem every durable artifact of the
+	// job flows through — journal, trace, result manifest. nil means the
+	// real filesystem (iofault.OS); tests and the storage chaos harness
+	// substitute an iofault.FaultFS to make writes, syncs, renames and
+	// reads fail on a seeded schedule.
+	FS iofault.FS
 	// DeterministicTrace omits the schedule-dependent stampings
 	// (sequence numbers, timestamps) and the cache-occupancy event from
 	// the automatic trace, leaving only input-derived event content:
@@ -96,6 +101,14 @@ type Options struct {
 	// return an error to inject in place of the real grade. In-package
 	// fault-injection tests only.
 	gradeHook func(s, k, attempt int) error
+}
+
+// fs resolves the effective filesystem: Options.FS or the real one.
+func (o *Options) fs() iofault.FS {
+	if o.FS != nil {
+		return o.FS
+	}
+	return iofault.OS
 }
 
 // Spec is the job's identity: what to grade, against what, under which
@@ -216,7 +229,8 @@ func Open(dir string, spec Spec) (*Job, error) {
 	if err != nil {
 		return nil, err
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	fs := spec.Opts.fs()
+	if err := fs.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("jobs: create job dir: %w", err)
 	}
 
@@ -233,13 +247,13 @@ func Open(dir string, spec Spec) (*Job, error) {
 	}
 
 	path := JournalPath(dir)
-	if _, statErr := os.Stat(path); statErr == nil {
-		jr, h, recs, err := openJournal(path, !spec.Opts.NoSync)
+	if _, statErr := fs.Stat(path); statErr == nil {
+		jr, h, recs, err := openJournal(fs, path, !spec.Opts.NoSync)
 		if err != nil {
 			return nil, err
 		}
 		if h.Job != j.ID() || h.Suspects != len(spec.Suspects) || h.Keys != len(spec.Keys) {
-			jr.Close()
+			_ = jr.Close()
 			return nil, fmt.Errorf("%w: journal job %s (%dx%d), spec job %s (%dx%d)",
 				ErrJournalMismatch, h.Job, h.Suspects, h.Keys,
 				j.ID(), len(spec.Suspects), len(spec.Keys))
@@ -247,7 +261,7 @@ func Open(dir string, spec Spec) (*Job, error) {
 		for _, r := range recs {
 			rec, err := decodeRecognition(r.Rec)
 			if err != nil {
-				jr.Close()
+				_ = jr.Close()
 				return nil, fmt.Errorf("jobs: journal grade (%d,%d): %w", r.S, r.K, err)
 			}
 			o := &outcome{rec: rec, errStr: r.Err, attempts: r.Attempts, skipped: r.Skipped}
@@ -264,7 +278,7 @@ func Open(dir string, spec Spec) (*Job, error) {
 		}
 		j.journal = jr
 	} else {
-		jr, err := createJournal(path, journalHeader{
+		jr, err := createJournal(fs, path, journalHeader{
 			V: journalVersion, Type: "header", Job: j.ID(),
 			Suspects: len(spec.Suspects), Keys: len(spec.Keys),
 		}, !spec.Opts.NoSync)
@@ -280,7 +294,7 @@ func Open(dir string, spec Spec) (*Job, error) {
 	// the same stream under the same ID.
 	j.trace = spec.Opts.Trace
 	if j.trace == nil && !spec.Opts.NoTrace {
-		if tr, terr := obs.OpenTraceFile(TracePath(dir), j.ID(), spec.Opts.DeterministicTrace); terr == nil {
+		if tr, terr := obs.OpenTraceFileFS(fs, TracePath(dir), j.ID(), spec.Opts.DeterministicTrace); terr == nil {
 			j.trace, j.ownTrace = tr, true
 		}
 	}
@@ -321,7 +335,7 @@ func (j *Job) Progress() (completed, total int) {
 // and its contents stay.
 func (j *Job) Close() error {
 	if j.ownTrace {
-		j.trace.Close()
+		_ = j.trace.Close() // trace is telemetry; it never gates the job
 	}
 	return j.journal.Close()
 }
@@ -793,42 +807,20 @@ func EncodeResult(r *Result) ([]byte, error) {
 }
 
 // WriteResultFile publishes the result manifest atomically — temp file,
-// write, sync, rename — in the style of wm.SaveKeyFile: a crash
-// mid-write can never leave a torn manifest at path.
+// write, sync, rename, parent-dir fsync (see iofault.WriteFileAtomic):
+// a crash mid-write can never leave a torn manifest at path, and a crash
+// right after the write can no longer lose the rename itself.
 func WriteResultFile(path string, r *Result) error {
+	return WriteResultFileFS(iofault.OS, path, r)
+}
+
+// WriteResultFileFS is WriteResultFile over an explicit filesystem.
+func WriteResultFileFS(fs iofault.FS, path string, r *Result) error {
 	b, err := EncodeResult(r)
 	if err != nil {
 		return err
 	}
-	return writeFileAtomic(path, b)
-}
-
-// writeFileAtomic publishes bytes at path via temp file, write, sync,
-// rename: readers see either the old manifest or the new one, never a
-// torn mix. Shared by the corpus and stream result writers.
-func writeFileAtomic(path string, b []byte) error {
-	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp-*")
-	if err != nil {
-		return fmt.Errorf("jobs: write result: %w", err)
-	}
-	tmpName := tmp.Name()
-	fail := func(err error) error {
-		tmp.Close()
-		os.Remove(tmpName)
-		return fmt.Errorf("jobs: write result: %w", err)
-	}
-	if _, err := tmp.Write(b); err != nil {
-		return fail(err)
-	}
-	if err := tmp.Sync(); err != nil {
-		return fail(err)
-	}
-	if err := tmp.Close(); err != nil {
-		os.Remove(tmpName)
-		return fmt.Errorf("jobs: write result: %w", err)
-	}
-	if err := os.Rename(tmpName, path); err != nil {
-		os.Remove(tmpName)
+	if err := iofault.WriteFileAtomic(fs, path, b); err != nil {
 		return fmt.Errorf("jobs: write result: %w", err)
 	}
 	return nil
@@ -846,7 +838,7 @@ func Execute(ctx context.Context, dir string, spec Spec) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	if err := WriteResultFile(ResultPath(dir), res); err != nil {
+	if err := WriteResultFileFS(spec.Opts.fs(), ResultPath(dir), res); err != nil {
 		return nil, err
 	}
 	return res, nil

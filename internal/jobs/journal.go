@@ -4,26 +4,33 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"os"
 	"path/filepath"
+
+	"pathmark/internal/iofault"
 )
 
-// The journal is the job's write-ahead log: one JSON object per line,
-// first a header identifying the job (content digest + matrix
+// The journal is the job's write-ahead log: one CRC32C-framed JSON object
+// per line, first a header identifying the job (content digest + matrix
 // dimensions), then one grade record per completed (suspect, key) cell,
 // appended and fsync'd the moment the grade finishes. Crash recovery is
 // line-oriented: a process killed mid-append leaves at most one torn
 // line at the tail, which replay discards (and truncates away before the
-// next append, so the file never accretes garbage mid-stream). Records
-// carry everything needed to reconstruct the grade's outcome — the
-// serialized recognition, the error string, the attempt count — so a
-// resumed run re-executes only the cells with no record. The storage
-// mechanics (fsync'd appends, torn-tail truncation) live in the shared
-// WAL type; this file owns the grade journal's schema and replay rules.
+// next append, so the file never accretes garbage mid-stream). A record
+// that fails its checksum while a later record verifies is not a torn
+// tail but mid-log corruption — replay surfaces a typed
+// *iofault.CorruptError and the daemon quarantines the job instead of
+// resuming over rotten state. Records carry everything needed to
+// reconstruct the grade's outcome — the serialized recognition, the
+// error string, the attempt count — so a resumed run re-executes only
+// the cells with no record. The storage mechanics (fsync'd appends,
+// checksum framing, torn-tail truncation, fail-stop sync) live in the
+// shared WAL type; this file owns the grade journal's schema and replay
+// rules.
 
 // journalVersion is bumped on any incompatible format change; replay
-// refuses other versions rather than guessing.
-const journalVersion = 1
+// refuses other versions rather than guessing. v2 added the per-record
+// checksum frame.
+const journalVersion = 2
 
 // maxJournalDim bounds the suspect/key counts a journal header may
 // declare. Replay allocates an outcome matrix from these dimensions, so
@@ -59,15 +66,22 @@ type gradeRecord struct {
 var ErrJournalMismatch = errors.New("jobs: journal belongs to a different job")
 
 // decodeJournal parses journal bytes into the header and grade records,
-// tolerating a torn tail: parsing stops at the first malformed or
-// unterminated line and good reports the byte length of the valid
-// prefix. Grade records with out-of-range coordinates also stop the
-// replay (they cannot belong to this job, so everything after them is
-// suspect). The error is non-nil only when no usable header exists —
-// partial grade data is recoverable state, a missing header is not.
+// tolerating a torn tail: parsing stops at the first torn or unverified
+// line and good reports the byte length of the valid prefix. Grade
+// records that verify their checksum but carry out-of-range coordinates
+// also stop the replay (they cannot belong to this job, so everything
+// after them is suspect). The error is non-nil in two cases: no usable
+// header exists (partial grade data is recoverable state, a missing
+// header is not), or the checksum walk proves mid-log corruption — a
+// failed line with a verified line after it — in which case err wraps
+// *iofault.CorruptError and the caller must not resume over the file.
 func decodeJournal(data []byte) (h journalHeader, recs []gradeRecord, good int64, err error) {
-	line, rest, ok := CutLine(data)
+	s := iofault.NewLogScanner(data, "journal.jsonl")
+	line, ok := s.Next()
 	if !ok {
+		if cerr := s.Err(); cerr != nil {
+			return h, nil, 0, fmt.Errorf("jobs: journal header: %w", cerr)
+		}
 		return h, nil, 0, errors.New("jobs: journal has no complete header line")
 	}
 	if err := json.Unmarshal(line, &h); err != nil {
@@ -81,34 +95,37 @@ func decodeJournal(data []byte) (h journalHeader, recs []gradeRecord, good int64
 	case h.Suspects <= 0 || h.Suspects > maxJournalDim || h.Keys <= 0 || h.Keys > maxJournalDim:
 		return h, nil, 0, fmt.Errorf("jobs: journal dimensions %dx%d out of range", h.Suspects, h.Keys)
 	}
-	good = int64(len(data) - len(rest))
-	data = rest
+	good = s.Good()
 	for {
-		line, rest, ok := CutLine(data)
+		line, ok := s.Next()
 		if !ok {
+			if cerr := s.Err(); cerr != nil {
+				return h, recs, good, fmt.Errorf("jobs: journal records: %w", cerr)
+			}
 			return h, recs, good, nil // torn or absent tail — done
 		}
 		var r gradeRecord
 		if json.Unmarshal(line, &r) != nil || r.Type != "grade" ||
 			r.S < 0 || r.S >= h.Suspects || r.K < 0 || r.K >= h.Keys {
-			return h, recs, good, nil // corruption — discard the rest
+			return h, recs, good, nil // framed but foreign — discard the rest
 		}
 		recs = append(recs, r)
-		good += int64(len(data) - len(rest))
-		data = rest
+		good = s.Good()
 	}
 }
 
 // createJournal starts a fresh grade journal at path with the given
 // header.
-func createJournal(path string, h journalHeader, syncEach bool) (*WAL, error) {
-	return CreateWAL(path, h, syncEach)
+func createJournal(fs iofault.FS, path string, h journalHeader, syncEach bool) (*WAL, error) {
+	return CreateWAL(fs, path, h, syncEach)
 }
 
 // openJournal replays an existing grade journal and reopens it for
-// append, truncating any torn tail first.
-func openJournal(path string, syncEach bool) (*WAL, journalHeader, []gradeRecord, error) {
-	data, err := os.ReadFile(path)
+// append, truncating any torn tail first. A corruption verdict from the
+// decode (see decodeJournal) is passed through untouched so callers can
+// classify it with iofault.IsCorrupt.
+func openJournal(fs iofault.FS, path string, syncEach bool) (*WAL, journalHeader, []gradeRecord, error) {
+	data, err := fs.ReadFile(path)
 	if err != nil {
 		return nil, journalHeader{}, nil, fmt.Errorf("jobs: read journal: %w", err)
 	}
@@ -116,7 +133,7 @@ func openJournal(path string, syncEach bool) (*WAL, journalHeader, []gradeRecord
 	if err != nil {
 		return nil, h, nil, err
 	}
-	w, err := OpenWAL(path, good, int64(len(recs)), syncEach)
+	w, err := OpenWAL(fs, path, good, int64(len(recs)), syncEach)
 	if err != nil {
 		return nil, h, nil, err
 	}

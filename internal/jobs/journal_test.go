@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"pathmark/internal/crt"
+	"pathmark/internal/iofault"
 	"pathmark/internal/wm"
 )
 
@@ -27,7 +28,7 @@ func testRecords() []gradeRecord {
 func writeTestJournal(t *testing.T, syncEach bool) (path string) {
 	t.Helper()
 	path = filepath.Join(t.TempDir(), "journal.jsonl")
-	j, err := createJournal(path, testHeader(), syncEach)
+	j, err := createJournal(iofault.OS, path, testHeader(), syncEach)
 	if err != nil {
 		t.Fatalf("createJournal: %v", err)
 	}
@@ -45,7 +46,7 @@ func writeTestJournal(t *testing.T, syncEach bool) (path string) {
 func TestJournalRoundTrip(t *testing.T) {
 	for _, syncEach := range []bool{false, true} {
 		path := writeTestJournal(t, syncEach)
-		j, h, recs, err := openJournal(path, syncEach)
+		j, h, recs, err := openJournal(iofault.OS, path, syncEach)
 		if err != nil {
 			t.Fatalf("openJournal: %v", err)
 		}
@@ -72,7 +73,7 @@ func TestJournalRoundTrip(t *testing.T) {
 			t.Fatalf("append after reopen: %v", err)
 		}
 		j.Close()
-		if _, _, recs2, err := openJournal(path, syncEach); err != nil || len(recs2) != 4 {
+		if _, _, recs2, err := openJournal(iofault.OS, path, syncEach); err != nil || len(recs2) != 4 {
 			t.Errorf("after reopen+append: %d records, err %v; want 4, nil", len(recs2), err)
 		}
 	}
@@ -87,11 +88,12 @@ func TestJournalTornTail(t *testing.T) {
 		name string
 		tail string
 	}{
-		{"unterminated record", `{"type":"grade","s":1,"k":0,"att`},
+		{"unterminated record", string(iofault.Frame([]byte(`{"type":"grade","s":1,"k":0,"attempts":1}`)))[:20]},
 		{"terminated garbage", "{garbage}\n"},
 		{"binary junk", "\x00\xff\x17torn"},
-		{"valid json wrong shape", `[1,2,3]` + "\n"},
-		{"out-of-range coordinates", `{"type":"grade","s":99,"k":0}` + "\n"},
+		{"unframed record", `{"type":"grade","s":1,"k":0}` + "\n"},
+		{"framed wrong shape", string(iofault.Frame([]byte(`[1,2,3]`)))},
+		{"framed out-of-range coordinates", string(iofault.Frame([]byte(`{"type":"grade","s":99,"k":0}`)))},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -103,7 +105,7 @@ func TestJournalTornTail(t *testing.T) {
 			if err := os.WriteFile(path, append(clean, tc.tail...), 0o644); err != nil {
 				t.Fatal(err)
 			}
-			j, _, recs, err := openJournal(path, false)
+			j, _, recs, err := openJournal(iofault.OS, path, false)
 			if err != nil {
 				t.Fatalf("openJournal over torn tail: %v", err)
 			}
@@ -116,7 +118,7 @@ func TestJournalTornTail(t *testing.T) {
 			j.Close()
 			// The torn bytes are gone from disk: replay sees the original
 			// records plus the new one, nothing else.
-			if _, _, recs2, err := openJournal(path, false); err != nil || len(recs2) != len(testRecords())+1 {
+			if _, _, recs2, err := openJournal(iofault.OS, path, false); err != nil || len(recs2) != len(testRecords())+1 {
 				t.Errorf("after recovery+append: %d records, err %v", len(recs2), err)
 			}
 		})
@@ -124,17 +126,19 @@ func TestJournalTornTail(t *testing.T) {
 }
 
 func TestJournalHeaderValidation(t *testing.T) {
+	framed := func(payload string) string { return string(iofault.Frame([]byte(payload))) }
 	cases := []struct {
 		name string
 		data string
 	}{
 		{"empty", ""},
-		{"no newline", `{"v":1,"type":"header","job":"x","suspects":1,"keys":1}`},
-		{"not json", "hello\n"},
-		{"wrong type", `{"v":1,"type":"grade","s":0,"k":0}` + "\n"},
-		{"wrong version", `{"v":99,"type":"header","job":"x","suspects":1,"keys":1}` + "\n"},
-		{"zero dims", `{"v":1,"type":"header","job":"x","suspects":0,"keys":1}` + "\n"},
-		{"huge dims", `{"v":1,"type":"header","job":"x","suspects":99999999,"keys":99999999}` + "\n"},
+		{"no newline", framed(`{"v":2,"type":"header","job":"x","suspects":1,"keys":1}`)[:30]},
+		{"not json", framed("hello")},
+		{"unframed v1 header", `{"v":1,"type":"header","job":"x","suspects":1,"keys":1}` + "\n"},
+		{"wrong type", framed(`{"v":2,"type":"grade","s":0,"k":0}`)},
+		{"wrong version", framed(`{"v":99,"type":"header","job":"x","suspects":1,"keys":1}`)},
+		{"zero dims", framed(`{"v":2,"type":"header","job":"x","suspects":0,"keys":1}`)},
+		{"huge dims", framed(`{"v":2,"type":"header","job":"x","suspects":99999999,"keys":99999999}`)},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -145,22 +149,43 @@ func TestJournalHeaderValidation(t *testing.T) {
 	}
 }
 
-func TestDecodeJournalStopsAtCorruption(t *testing.T) {
+// TestJournalCorruptHeader covers the satellite case of a corrupted
+// *header* line (first line, not tail): a header that fails its checksum
+// while later records verify is mid-log corruption, reported as a typed
+// *iofault.CorruptError rather than the generic missing-header error.
+func TestJournalCorruptHeader(t *testing.T) {
 	path := writeTestJournal(t, false)
 	data, err := os.ReadFile(path)
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Corrupt the middle record; everything after it is discarded even
-	// though it would parse.
+	// Flip one byte inside the header payload; its frame no longer
+	// verifies, but every grade record after it still does.
+	i := strings.IndexByte(string(data), '\n') - 2
+	data[i] ^= 0x01
+	_, _, _, derr := decodeJournal(data)
+	if !iofault.IsCorrupt(derr) {
+		t.Fatalf("corrupt header surfaced as %v, want *iofault.CorruptError", derr)
+	}
+}
+
+func TestDecodeJournalDetectsMidLogCorruption(t *testing.T) {
+	path := writeTestJournal(t, false)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the middle record. The records after it still verify, so
+	// this cannot be a torn tail: decode keeps the prefix before the
+	// damage but reports a typed corruption error.
 	lines := strings.SplitAfter(string(data), "\n")
 	lines[2] = "{torn}\n"
-	h, recs, good, err := decodeJournal([]byte(strings.Join(lines, "")))
-	if err != nil {
-		t.Fatalf("decodeJournal: %v", err)
+	h, recs, good, derr := decodeJournal([]byte(strings.Join(lines, "")))
+	if !iofault.IsCorrupt(derr) {
+		t.Fatalf("mid-log corruption surfaced as %v, want *iofault.CorruptError", derr)
 	}
 	if h != testHeader() || len(recs) != 1 {
-		t.Errorf("got %d records after mid-file corruption, want 1", len(recs))
+		t.Errorf("got %d records before the corruption, want 1", len(recs))
 	}
 	wantGood := int64(len(lines[0]) + len(lines[1]))
 	if good != wantGood {

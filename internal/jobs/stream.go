@@ -6,12 +6,12 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"os"
 	"strconv"
 	"sync"
 
 	"pathmark/internal/bitstring"
 	"pathmark/internal/cache"
+	"pathmark/internal/iofault"
 	"pathmark/internal/obs"
 	"pathmark/internal/wm"
 )
@@ -26,8 +26,9 @@ import (
 // committed bit offset with a final verdict identical to an
 // uninterrupted stream's.
 
-// streamJournalVersion versions the chunk journal format.
-const streamJournalVersion = 1
+// streamJournalVersion versions the chunk journal format. v2 added the
+// per-record checksum frame.
+const streamJournalVersion = 2
 
 // maxStreamChunkBits bounds one journaled chunk; larger uploads must be
 // split by the caller. Keeps a single corrupt length field from
@@ -54,13 +55,22 @@ type StreamOptions struct {
 	// DecryptCacheWindows, when > 0, gives each key's recognizer a
 	// decrypt memo table of that capacity (bit-identical on or off).
 	DecryptCacheWindows int
-	// NoSync, Trace, NoTrace, DeterministicTrace and Obs mirror the
+	// NoSync, Trace, NoTrace, DeterministicTrace, FS and Obs mirror the
 	// corpus job Options of the same names.
 	NoSync             bool
 	Trace              *obs.Trace
 	NoTrace            bool
 	DeterministicTrace bool
+	FS                 iofault.FS
 	Obs                *obs.Registry
+}
+
+// fs resolves the effective filesystem: StreamOptions.FS or the real one.
+func (o *StreamOptions) fs() iofault.FS {
+	if o.FS != nil {
+		return o.FS
+	}
+	return iofault.OS
 }
 
 // StreamSpec is a stream job's identity: the candidate keys and the
@@ -170,7 +180,8 @@ func OpenStream(dir string, spec StreamSpec) (*StreamJob, error) {
 	if err != nil {
 		return nil, err
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	fs := spec.Opts.fs()
+	if err := fs.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("jobs: create job dir: %w", err)
 	}
 	sj := &StreamJob{dir: dir, spec: spec, digest: digest}
@@ -180,12 +191,12 @@ func OpenStream(dir string, spec StreamSpec) (*StreamJob, error) {
 	sj.resetRecognizers()
 
 	path := StreamPath(dir)
-	if _, statErr := os.Stat(path); statErr == nil {
-		if err := sj.replay(path); err != nil {
+	if _, statErr := fs.Stat(path); statErr == nil {
+		if err := sj.replay(fs, path); err != nil {
 			return nil, err
 		}
 	} else {
-		w, err := CreateWAL(path, streamHeader{
+		w, err := CreateWAL(fs, path, streamHeader{
 			V: streamJournalVersion, Type: "header", Job: sj.ID(), Keys: len(spec.Keys),
 		}, !spec.Opts.NoSync)
 		if err != nil {
@@ -196,7 +207,7 @@ func OpenStream(dir string, spec StreamSpec) (*StreamJob, error) {
 
 	sj.trace = spec.Opts.Trace
 	if sj.trace == nil && !spec.Opts.NoTrace {
-		if tr, terr := obs.OpenTraceFile(TracePath(dir), sj.ID(), spec.Opts.DeterministicTrace); terr == nil {
+		if tr, terr := obs.OpenTraceFileFS(fs, TracePath(dir), sj.ID(), spec.Opts.DeterministicTrace); terr == nil {
 			sj.trace, sj.ownTrace = tr, true
 		}
 	}
@@ -236,14 +247,20 @@ func (sj *StreamJob) resetRecognizers() {
 
 // replay decodes the chunk journal, re-feeds every chunk, and reopens
 // the WAL for append with any torn tail truncated — the same recovery
-// discipline as the grade journal.
-func (sj *StreamJob) replay(path string) error {
-	data, err := os.ReadFile(path)
+// discipline as the grade journal. A checksum failure proven mid-log
+// (not a torn tail) aborts the replay with a *iofault.CorruptError: the
+// daemon quarantines the job rather than resuming over rotten bits.
+func (sj *StreamJob) replay(fs iofault.FS, path string) error {
+	data, err := fs.ReadFile(path)
 	if err != nil {
 		return fmt.Errorf("jobs: read stream journal: %w", err)
 	}
-	line, rest, ok := CutLine(data)
+	s := iofault.NewLogScanner(data, "stream.jsonl")
+	line, ok := s.Next()
 	if !ok {
+		if cerr := s.Err(); cerr != nil {
+			return fmt.Errorf("jobs: stream journal header: %w", cerr)
+		}
 		return errors.New("jobs: stream journal has no complete header line")
 	}
 	var h streamHeader
@@ -259,17 +276,20 @@ func (sj *StreamJob) replay(path string) error {
 		return fmt.Errorf("%w: journal job %s (%d keys), spec job %s (%d keys)",
 			ErrJournalMismatch, h.Job, h.Keys, sj.ID(), len(sj.spec.Keys))
 	}
-	good := int64(len(data) - len(rest))
+	good := s.Good()
 	records := int64(0)
-	data = rest
+loop:
 	for {
-		line, rest, ok := CutLine(data)
+		line, ok := s.Next()
 		if !ok {
+			if cerr := s.Err(); cerr != nil {
+				return fmt.Errorf("jobs: stream journal records: %w", cerr)
+			}
 			break // torn or absent tail — done
 		}
 		var r streamRecord
 		if json.Unmarshal(line, &r) != nil {
-			break // corruption — discard the rest
+			break // framed but foreign — discard the rest
 		}
 		switch {
 		case r.Type == "chunk" && r.Off == sj.committed && len(r.Bits) <= maxStreamChunkBits:
@@ -287,14 +307,12 @@ func (sj *StreamJob) replay(path string) error {
 		default:
 			// A record that does not extend the committed prefix cannot
 			// belong to this stream's history; everything after is suspect.
-			goto reopen
+			break loop
 		}
-		good += int64(len(data) - len(rest))
+		good = s.Good()
 		records++
-		data = rest
 	}
-reopen:
-	w, err := OpenWAL(path, good, records, !sj.spec.Opts.NoSync)
+	w, err := OpenWAL(fs, path, good, records, !sj.spec.Opts.NoSync)
 	if err != nil {
 		return err
 	}
@@ -473,8 +491,8 @@ func (sj *StreamJob) Finish() (*StreamResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	if err := writeFileAtomic(ResultPath(sj.dir), b); err != nil {
-		return nil, err
+	if err := iofault.WriteFileAtomic(sj.spec.Opts.fs(), ResultPath(sj.dir), b); err != nil {
+		return nil, fmt.Errorf("jobs: write result: %w", err)
 	}
 	settled := 0
 	for _, r := range sj.recs {
@@ -503,7 +521,7 @@ func (sj *StreamJob) assembleLocked() *StreamResult {
 // directory and its contents stay.
 func (sj *StreamJob) Close() error {
 	if sj.ownTrace {
-		sj.trace.Close()
+		_ = sj.trace.Close() // trace is telemetry; it never gates the job
 	}
 	return sj.wal.Close()
 }

@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"pathmark/internal/bitstring"
+	"pathmark/internal/iofault"
 	"pathmark/internal/vm"
 	"pathmark/internal/wm"
 )
@@ -264,5 +265,81 @@ func TestStreamPathHelpers(t *testing.T) {
 	}
 	if !strings.HasSuffix(StreamPath("d"), "stream.jsonl") {
 		t.Fatal("unreachable")
+	}
+}
+
+// TestStreamJournalCorruptHeader: a bit flip inside the stream journal's
+// header line — with intact records after it, so this is mid-log
+// corruption, not a torn tail — must refuse the resume with a typed
+// *iofault.CorruptError, the signal the daemon quarantines on.
+func TestStreamJournalCorruptHeader(t *testing.T) {
+	bits, keys := streamFixture(t)
+	dir := t.TempDir()
+	spec := StreamSpec{Keys: keys, Opts: StreamOptions{NoSync: true, NoTrace: true}}
+	sj, err := OpenStream(dir, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	feedAll(t, sj, bits[:1024], 256)
+	sj.Close()
+
+	path := StreamPath(dir)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nl := strings.IndexByte(string(data), '\n')
+	data[nl-2] ^= 0x40 // inside the header payload, after the frame prefix
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = OpenStream(dir, spec)
+	if !iofault.IsCorrupt(err) {
+		t.Fatalf("corrupt header resume: err=%v, want *iofault.CorruptError", err)
+	}
+
+	// A torn header (no complete first line at all) is a different story:
+	// still refused, but as an unusable journal, not proven corruption.
+	if err := os.WriteFile(path, data[:nl/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = OpenStream(dir, spec)
+	if err == nil {
+		t.Fatal("torn header accepted")
+	}
+	if iofault.IsCorrupt(err) {
+		t.Fatalf("torn header misclassified as proven corruption: %v", err)
+	}
+}
+
+// TestStreamJournalCorruptRecord: damage to a mid-log chunk record (with
+// a valid record after it) is detected by the per-record checksum and
+// surfaces as a typed corruption error rather than a silent bad resume.
+func TestStreamJournalCorruptRecord(t *testing.T) {
+	bits, keys := streamFixture(t)
+	dir := t.TempDir()
+	spec := StreamSpec{Keys: keys, Opts: StreamOptions{NoSync: true, NoTrace: true}}
+	sj, err := OpenStream(dir, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	feedAll(t, sj, bits[:2048], 256) // header + 8 chunk records
+	sj.Close()
+
+	path := StreamPath(dir)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.SplitAfter(string(data), "\n")
+	mid := []byte(lines[3])
+	mid[len(mid)/2] ^= 0x01
+	lines[3] = string(mid)
+	if err := os.WriteFile(path, []byte(strings.Join(lines, "")), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = OpenStream(dir, spec)
+	if !iofault.IsCorrupt(err) {
+		t.Fatalf("corrupt chunk record resume: err=%v, want *iofault.CorruptError", err)
 	}
 }

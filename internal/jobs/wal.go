@@ -6,43 +6,52 @@ import (
 	"fmt"
 	"os"
 	"sync"
+
+	"pathmark/internal/iofault"
 )
 
-// WAL is the reusable append side of a line-oriented JSONL write-ahead
-// log: one JSON object per line, a header line first, records fsync'd as
-// they are appended. It is the storage layer under the jobs grade journal,
-// exported so other campaign engines (the tournament's cell journal)
-// inherit the same crash-safety contract — header-first creation,
-// torn-tail truncation before reopening for append, record-granularity
-// interleaving under concurrent writers. Decoding stays with the caller
-// (record schemas differ per engine); CutLine is the shared line splitter
-// with the torn-tail convention.
+// WAL is the reusable append side of a checksum-framed JSONL write-ahead
+// log: one CRC32C-framed JSON object per line (see iofault.AppendFrame),
+// a header line first, records fsync'd as they are appended. It is the
+// storage layer under the jobs grade journal, exported so other campaign
+// engines (the tournament's cell journal) inherit the same crash-safety
+// contract — header-first creation, torn-tail truncation before
+// reopening for append, record-granularity interleaving under concurrent
+// writers, and fail-stop sync semantics: after any write or sync
+// failure the handle is closed and marked broken, and the next Append
+// reopens the file, truncates it back to the last committed byte, and
+// verifies the size before writing again. Decoding stays with the caller
+// (record schemas differ per engine); iofault.LogScanner is the shared
+// line walker with the torn-vs-corrupt convention.
 type WAL struct {
 	mu      sync.Mutex
-	f       *os.File
+	fs      iofault.FS
+	path    string
+	f       iofault.File
 	sync    bool
-	bytes   int64
+	bytes   int64 // committed bytes: advanced only after write+sync succeed
 	records int64
+	broken  bool
 }
 
 // CreateWAL starts a fresh log at path (which must not exist) whose first
 // line is header, synced before the first record can be appended — a log
 // on disk always identifies its owner.
-func CreateWAL(path string, header any, syncEach bool) (*WAL, error) {
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+func CreateWAL(fs iofault.FS, path string, header any, syncEach bool) (*WAL, error) {
+	if fs == nil {
+		fs = iofault.OS
+	}
+	f, err := fs.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("jobs: create journal: %w", err)
 	}
-	w := &WAL{f: f, sync: syncEach}
-	if err := w.appendLine(header); err != nil {
-		f.Close()
-		os.Remove(path)
+	w := &WAL{fs: fs, path: path, f: f, sync: syncEach}
+	if err := w.appendLocked(header, true); err != nil {
+		_ = f.Close()
+		_ = fs.Remove(path)
 		return nil, err
 	}
-	if err := f.Sync(); err != nil {
-		f.Close()
-		return nil, fmt.Errorf("jobs: sync journal header: %w", err)
-	}
+	w.records = 0 // the header is not a record
 	return w, nil
 }
 
@@ -51,56 +60,102 @@ func CreateWAL(path string, header any, syncEach bool) (*WAL, error) {
 // and records the number of records replayed from it. Any torn tail beyond
 // good is truncated away first, so new records never concatenate onto a
 // partial line.
-func OpenWAL(path string, good, records int64, syncEach bool) (*WAL, error) {
-	info, err := os.Stat(path)
-	if err != nil {
-		return nil, fmt.Errorf("jobs: reopen journal: %w", err)
+func OpenWAL(fs iofault.FS, path string, good, records int64, syncEach bool) (*WAL, error) {
+	if fs == nil {
+		fs = iofault.OS
 	}
-	if good < info.Size() {
-		if err := os.Truncate(path, good); err != nil {
-			return nil, fmt.Errorf("jobs: truncate torn journal tail: %w", err)
-		}
+	w := &WAL{fs: fs, path: path, sync: syncEach, bytes: good, records: records, broken: true}
+	if err := w.reopenLocked(); err != nil {
+		return nil, err
 	}
-	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
-	if err != nil {
-		return nil, fmt.Errorf("jobs: reopen journal: %w", err)
-	}
-	return &WAL{f: f, sync: syncEach, bytes: good, records: records}, nil
+	return w, nil
 }
 
-// Append journals one record, fsync'ing before returning (unless the log
-// was opened with sync off). Once Append returns, the record survives
-// kill -9. Concurrent appenders interleave at record granularity, never
-// mid-line.
-func (w *WAL) Append(v any) error {
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	if err := w.appendLine(v); err != nil {
-		return err
+// reopenLocked (re)establishes a verified append handle: truncate any
+// bytes past the committed prefix, open for append, and confirm the file
+// is exactly the committed length. Used both for the initial open and
+// for recovery after a fail-stop.
+func (w *WAL) reopenLocked() error {
+	info, err := w.fs.Stat(w.path)
+	if err != nil {
+		return fmt.Errorf("jobs: reopen journal: %w", err)
 	}
-	if w.sync {
-		if err := w.f.Sync(); err != nil {
-			return fmt.Errorf("jobs: sync journal: %w", err)
+	if w.bytes < info.Size() {
+		if err := w.fs.Truncate(w.path, w.bytes); err != nil {
+			return fmt.Errorf("jobs: truncate torn journal tail: %w", err)
 		}
+	} else if w.bytes > info.Size() {
+		return fmt.Errorf("jobs: journal %s shorter than committed prefix (%d < %d)", w.path, info.Size(), w.bytes)
 	}
-	w.records++
+	f, err := w.fs.OpenFile(w.path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("jobs: reopen journal: %w", err)
+	}
+	if info, err := w.fs.Stat(w.path); err != nil || info.Size() != w.bytes {
+		_ = f.Close()
+		if err != nil {
+			return fmt.Errorf("jobs: verify reopened journal: %w", err)
+		}
+		return fmt.Errorf("jobs: reopened journal %s is %d bytes, want %d", w.path, info.Size(), w.bytes)
+	}
+	w.f = f
+	w.broken = false
 	return nil
 }
 
-func (w *WAL) appendLine(v any) error {
+// failLocked is the fail-stop transition: close and drop the handle so no
+// further append can report success against a poisoned file descriptor.
+// The committed counters are not advanced; the next Append reopens and
+// verifies before writing.
+func (w *WAL) failLocked() {
+	if w.f != nil {
+		_ = w.f.Close()
+		w.f = nil
+	}
+	w.broken = true
+}
+
+// Append journals one record, fsync'ing before returning (unless the log
+// was opened with sync off). Once Append returns nil, the record survives
+// kill -9. On error the WAL fail-stops: the handle is closed, nothing is
+// counted as committed, and the next Append transparently reopens the
+// file truncated back to the committed prefix.
+func (w *WAL) Append(v any) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.broken || w.f == nil {
+		if w.f == nil && !w.broken {
+			return fmt.Errorf("jobs: append to closed journal %s", w.path)
+		}
+		if err := w.reopenLocked(); err != nil {
+			return fmt.Errorf("jobs: journal %s broken: %w", w.path, err)
+		}
+	}
+	return w.appendLocked(v, w.sync)
+}
+
+func (w *WAL) appendLocked(v any, syncNow bool) error {
 	b, err := json.Marshal(v)
 	if err != nil {
 		return fmt.Errorf("jobs: encode journal record: %w", err)
 	}
-	b = append(b, '\n')
-	if _, err := w.f.Write(b); err != nil {
+	line := iofault.Frame(b)
+	if _, err := w.f.Write(line); err != nil {
+		w.failLocked()
 		return fmt.Errorf("jobs: append journal record: %w", err)
 	}
-	w.bytes += int64(len(b))
+	if syncNow {
+		if err := w.f.Sync(); err != nil {
+			w.failLocked()
+			return fmt.Errorf("jobs: sync journal: %w", err)
+		}
+	}
+	w.bytes += int64(len(line))
+	w.records++
 	return nil
 }
 
-// Bytes and Records report the log's current size, for the *.journal.*
+// Bytes and Records report the log's committed size, for the *.journal.*
 // observability counters.
 func (w *WAL) Bytes() int64 {
 	w.mu.Lock()
@@ -126,8 +181,9 @@ func (w *WAL) Close() error {
 }
 
 // CutLine splits data at the first newline; ok is false when no complete
-// (newline-terminated) line remains — the torn-tail convention every WAL
-// decoder shares.
+// (newline-terminated) line remains. Framed logs should be walked with
+// iofault.LogScanner instead; CutLine remains for raw ndjson streams
+// (HTTP-relayed traces) that carry no frame.
 func CutLine(data []byte) (line, rest []byte, ok bool) {
 	i := bytes.IndexByte(data, '\n')
 	if i < 0 {

@@ -56,7 +56,7 @@ func (c *CLI) Begin(expvarName string) (*Registry, error) {
 			return nil, err
 		}
 		if err := pprof.StartCPUProfile(f); err != nil {
-			f.Close()
+			_ = f.Close()
 			return nil, err
 		}
 		c.cpuFile = f
@@ -93,7 +93,7 @@ func (c *CLI) doFinish() error {
 		}
 		runtime.GC() // materialize up-to-date heap statistics
 		if err := pprof.WriteHeapProfile(f); err != nil {
-			f.Close()
+			_ = f.Close()
 			return err
 		}
 		if err := f.Close(); err != nil {

@@ -7,6 +7,8 @@ import (
 	"os"
 	"sync"
 	"time"
+
+	"pathmark/internal/iofault"
 )
 
 // This file is the trace-context side of the observability layer: where
@@ -71,7 +73,13 @@ func NewTrace(w io.Writer, id string, deterministic bool) *Trace {
 // the same trace ID — the on-disk file then carries one ID across every
 // lifetime that touched the job.
 func OpenTraceFile(path, id string, deterministic bool) (*Trace, error) {
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	return OpenTraceFileFS(iofault.OS, path, id, deterministic)
+}
+
+// OpenTraceFileFS is OpenTraceFile over an explicit filesystem, so the
+// trace writer shares whatever fault-injecting FS its job runs on.
+func OpenTraceFileFS(fs iofault.FS, path, id string, deterministic bool) (*Trace, error) {
+	f, err := fs.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, err
 	}
@@ -114,7 +122,10 @@ func (t *Trace) Event(name string, attrs map[string]int64, labels map[string]str
 		t.err = err
 		return
 	}
-	if _, err := t.w.Write(append(b, '\n')); err != nil {
+	// Events are checksum-framed like every other log line (see
+	// internal/iofault): the frame is a pure function of the payload, so
+	// deterministic streams stay sort-comparable across worker counts.
+	if _, err := t.w.Write(iofault.Frame(b)); err != nil {
 		t.err = err
 	}
 }
@@ -150,24 +161,29 @@ func (t *Trace) Close() error {
 }
 
 // scanTraceLines walks the stream's complete, well-formed event lines in
-// order, calling fn (when non-nil) with each decoded event, and returns
-// the byte length of that valid prefix. It is the one place the torn-tail
-// stopping rule lives: a malformed or unterminated line — a writer caught
-// mid-append — ends the walk, and everything before it stands.
-func scanTraceLines(data []byte, fn func(TraceEvent)) (good int) {
+// order, calling fn (when non-nil) with each decoded event and its
+// payload bytes (the line with any checksum frame stripped). It accepts
+// both on-disk framed lines and bare ndjson — trace bytes relayed over
+// HTTP arrive de-framed — and is the one place the torn-tail stopping
+// rule lives: a malformed, unverified, or unterminated line — a writer
+// caught mid-append — ends the walk, and everything before it stands.
+func scanTraceLines(data []byte, fn func(TraceEvent, []byte)) {
 	for {
 		i := bytes.IndexByte(data, '\n')
 		if i < 0 {
-			return good
+			return
+		}
+		payload, err := iofault.Unframe(data[:i])
+		if err != nil {
+			payload = data[:i] // bare ndjson (HTTP-relayed)
 		}
 		var ev TraceEvent
-		if json.Unmarshal(data[:i], &ev) != nil || ev.Event == "" {
-			return good
+		if json.Unmarshal(payload, &ev) != nil || ev.Event == "" {
+			return
 		}
 		if fn != nil {
-			fn(ev)
+			fn(ev, payload)
 		}
-		good += i + 1
 		data = data[i+1:]
 	}
 }
@@ -179,14 +195,20 @@ func scanTraceLines(data []byte, fn func(TraceEvent)) (good int) {
 // still evidence.
 func DecodeTraceEvents(data []byte) []TraceEvent {
 	var evs []TraceEvent
-	scanTraceLines(data, func(ev TraceEvent) { evs = append(evs, ev) })
+	scanTraceLines(data, func(ev TraceEvent, _ []byte) { evs = append(evs, ev) })
 	return evs
 }
 
-// CompleteTraceLines returns the prefix of data holding only complete,
-// well-formed event lines — the raw-bytes counterpart of
-// DecodeTraceEvents for servers that relay a stream verbatim while its
-// writer is still appending: the reader never sees the torn last line.
+// CompleteTraceLines renders the stream's complete, well-formed event
+// lines as bare ndjson, checksum frames verified and stripped — the
+// raw-bytes counterpart of DecodeTraceEvents for servers that relay a
+// stream while its writer is still appending: the reader never sees the
+// torn last line, and never sees the on-disk framing either.
 func CompleteTraceLines(data []byte) []byte {
-	return data[:scanTraceLines(data, nil)]
+	out := make([]byte, 0, len(data))
+	scanTraceLines(data, func(_ TraceEvent, payload []byte) {
+		out = append(out, payload...)
+		out = append(out, '\n')
+	})
+	return out
 }

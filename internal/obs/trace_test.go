@@ -10,6 +10,8 @@ import (
 	"strings"
 	"sync"
 	"testing"
+
+	"pathmark/internal/iofault"
 )
 
 func TestTraceNil(t *testing.T) {
@@ -166,8 +168,9 @@ func TestTraceTornTail(t *testing.T) {
 	}
 }
 
-// TestCompleteTraceLines: the raw-bytes prefix must end exactly at the
-// last complete, well-formed line — the byte-level counterpart of the
+// TestCompleteTraceLines: the output must hold exactly the complete,
+// well-formed lines — checksum frames verified and stripped — ending at
+// the first torn or malformed line; the byte-level counterpart of the
 // torn-tail decode rule, used by servers relaying a live stream.
 func TestCompleteTraceLines(t *testing.T) {
 	var buf bytes.Buffer
@@ -176,20 +179,42 @@ func TestCompleteTraceLines(t *testing.T) {
 	tr.Event("b", nil, nil)
 	whole := append([]byte(nil), buf.Bytes()...)
 
-	if got := CompleteTraceLines(whole); !bytes.Equal(got, whole) {
-		t.Fatalf("complete stream trimmed: %d of %d bytes", len(got), len(whole))
+	// deframe strips the 9-byte checksum prefix from each framed line.
+	deframe := func(framed []byte) []byte {
+		var out []byte
+		for _, line := range bytes.SplitAfter(framed, []byte("\n")) {
+			if len(line) > 9 {
+				out = append(out, line[9:]...)
+			}
+		}
+		return out
+	}
+	wholeNDJSON := deframe(whole)
+	got := CompleteTraceLines(whole)
+	if !bytes.Equal(got, wholeNDJSON) {
+		t.Fatalf("complete stream = %q, want de-framed %q", got, wholeNDJSON)
+	}
+	if bytes.Contains(got, []byte(" {")) || !json.Valid(got[:bytes.IndexByte(got, '\n')]) {
+		t.Fatalf("output is not bare ndjson: %q", got)
+	}
+	// The output is already bare ndjson, so relaying it through
+	// CompleteTraceLines again is the identity — the serve daemon's trace
+	// endpoint and pathmark top depend on this dual-accept.
+	if again := CompleteTraceLines(got); !bytes.Equal(again, got) {
+		t.Fatalf("relayed stream changed: %q vs %q", again, got)
 	}
 	// Torn tail: writer caught mid-append on the second line.
 	firstLine := whole[:bytes.IndexByte(whole, '\n')+1]
+	firstNDJSON := deframe(firstLine)
 	torn := whole[:len(whole)-5]
-	if got := CompleteTraceLines(torn); !bytes.Equal(got, firstLine) {
+	if got := CompleteTraceLines(torn); !bytes.Equal(got, firstNDJSON) {
 		t.Fatalf("torn stream = %q, want first line only", got)
 	}
 	// A malformed middle line ends the valid prefix there, even though a
 	// well-formed line follows — nothing past corruption is trusted.
 	mixed := append(append([]byte(nil), firstLine...), []byte("not json\n")...)
 	mixed = append(mixed, whole[len(firstLine):]...)
-	if got := CompleteTraceLines(mixed); !bytes.Equal(got, firstLine) {
+	if got := CompleteTraceLines(mixed); !bytes.Equal(got, firstNDJSON) {
 		t.Fatalf("corrupt-middle stream = %q, want first line only", got)
 	}
 	if got := CompleteTraceLines(nil); len(got) != 0 {
@@ -221,17 +246,24 @@ func TestTraceWriteErrorRetained(t *testing.T) {
 func TestTraceEventJSONShape(t *testing.T) {
 	var buf bytes.Buffer
 	NewTrace(&buf, "id", true).Event("e", map[string]int64{"b": 2, "a": 1}, map[string]string{"k": "v"})
+	// Each line is checksum-framed on disk: verify the frame, then inspect
+	// the JSON payload it protects.
+	line := bytes.TrimSuffix(buf.Bytes(), []byte("\n"))
+	payload, err := iofault.Unframe(line)
+	if err != nil {
+		t.Fatalf("trace line not checksum-framed: %v (%q)", err, line)
+	}
 	var raw map[string]json.RawMessage
-	if err := json.Unmarshal(buf.Bytes(), &raw); err != nil {
+	if err := json.Unmarshal(payload, &raw); err != nil {
 		t.Fatal(err)
 	}
 	for _, key := range []string{"trace", "event", "attrs", "labels"} {
 		if _, ok := raw[key]; !ok {
-			t.Errorf("serialized event missing %q: %s", key, buf.String())
+			t.Errorf("serialized event missing %q: %s", key, payload)
 		}
 	}
 	// Sorted map keys make the line content-deterministic.
-	if s := buf.String(); strings.Index(s, `"a"`) > strings.Index(s, `"b"`) {
+	if s := string(payload); strings.Index(s, `"a"`) > strings.Index(s, `"b"`) {
 		t.Errorf("attr keys not sorted: %s", s)
 	}
 }

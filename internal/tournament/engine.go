@@ -7,13 +7,13 @@ import (
 	"fmt"
 	"math/big"
 	"math/rand"
-	"os"
 	"path/filepath"
 	"sync"
 	"sync/atomic"
 
 	"pathmark/internal/attacks"
 	"pathmark/internal/feistel"
+	"pathmark/internal/iofault"
 	"pathmark/internal/jobs"
 	"pathmark/internal/obs"
 	"pathmark/internal/vm"
@@ -56,8 +56,9 @@ type CellResult struct {
 	Err      string `json:"err,omitempty"`
 }
 
-// campaignJournalVersion versions the cell journal schema.
-const campaignJournalVersion = 1
+// campaignJournalVersion versions the cell journal schema. v2 added the
+// per-record checksum frame.
+const campaignJournalVersion = 2
 
 // campaignHeader is the journal's first line: it pins the campaign
 // digest, so a resume over a different campaign's journal is refused.
@@ -93,6 +94,10 @@ type Options struct {
 	Ctx context.Context
 	// Obs, when non-nil, receives the tournament.* span and counters.
 	Obs *obs.Registry
+	// FS, when non-nil, is the filesystem the journal and matrix flow
+	// through (nil = the real one); the storage chaos harness swaps in an
+	// iofault.FaultFS.
+	FS iofault.FS
 	// Trace, when non-nil, receives cell.done/campaign.* events.
 	Trace *obs.Trace
 	// OnCell, when non-nil, runs after each live cell settles (journal
@@ -152,15 +157,19 @@ func Open(dir string, m *Manifest, opts Options) (*Campaign, error) {
 	if err != nil {
 		return nil, err
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	fs := opts.FS
+	if fs == nil {
+		fs = iofault.OS
+	}
+	if err := fs.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("tournament: create campaign dir: %w", err)
 	}
 
 	c := &Campaign{manifest: m, digest: digest, dir: dir, opts: opts}
 	c.indexCells()
 	path := jobs.JournalPath(dir)
-	if _, err := os.Stat(path); err == nil {
-		data, err := os.ReadFile(path)
+	if _, err := fs.Stat(path); err == nil {
+		data, err := fs.ReadFile(path)
 		if err != nil {
 			return nil, fmt.Errorf("tournament: read journal: %w", err)
 		}
@@ -172,7 +181,7 @@ func Open(dir string, m *Manifest, opts Options) (*Campaign, error) {
 			return nil, fmt.Errorf("%w: journal campaign %.12s (%d cells), manifest %.12s (%d cells)",
 				ErrCampaignMismatch, h.Campaign, h.Cells, digest, len(c.cells))
 		}
-		w, err := jobs.OpenWAL(path, good, int64(len(recs)), !opts.NoSync)
+		w, err := jobs.OpenWAL(fs, path, good, int64(len(recs)), !opts.NoSync)
 		if err != nil {
 			return nil, err
 		}
@@ -186,7 +195,7 @@ func Open(dir string, m *Manifest, opts Options) (*Campaign, error) {
 		c.reused = c.settled
 		c.journal = w
 	} else {
-		w, err := jobs.CreateWAL(path, campaignHeader{
+		w, err := jobs.CreateWAL(fs, path, campaignHeader{
 			V: campaignJournalVersion, Type: "header",
 			Campaign: digest, Cells: len(c.cells),
 		}, !opts.NoSync)
@@ -203,11 +212,17 @@ func Open(dir string, m *Manifest, opts Options) (*Campaign, error) {
 }
 
 // decodeCampaignJournal mirrors the jobs journal replay rules: torn tails
-// are tolerated (good = valid prefix length), corrupt or out-of-range
-// records end the replay, a missing header is fatal.
+// are tolerated (good = valid prefix length), checksum-framed but
+// out-of-range records end the replay, a missing header is fatal, and a
+// record that fails its checksum while a later line verifies surfaces as
+// a *iofault.CorruptError — mid-log corruption, not a torn tail.
 func decodeCampaignJournal(data []byte) (h campaignHeader, recs []cellRecord, good int64, err error) {
-	line, rest, ok := jobs.CutLine(data)
+	s := iofault.NewLogScanner(data, "journal.jsonl")
+	line, ok := s.Next()
 	if !ok {
+		if cerr := s.Err(); cerr != nil {
+			return h, nil, 0, fmt.Errorf("tournament: journal header: %w", cerr)
+		}
 		return h, nil, 0, errors.New("tournament: journal has no complete header line")
 	}
 	if err := json.Unmarshal(line, &h); err != nil {
@@ -221,11 +236,13 @@ func decodeCampaignJournal(data []byte) (h campaignHeader, recs []cellRecord, go
 	case h.Cells <= 0 || h.Cells > 1<<20:
 		return h, nil, 0, fmt.Errorf("tournament: journal cell count %d out of range", h.Cells)
 	}
-	good = int64(len(data) - len(rest))
-	data = rest
+	good = s.Good()
 	for {
-		line, rest, ok := jobs.CutLine(data)
+		line, ok := s.Next()
 		if !ok {
+			if cerr := s.Err(); cerr != nil {
+				return h, recs, good, fmt.Errorf("tournament: journal records: %w", cerr)
+			}
 			return h, recs, good, nil
 		}
 		var r cellRecord
@@ -233,8 +250,7 @@ func decodeCampaignJournal(data []byte) (h campaignHeader, recs []cellRecord, go
 			return h, recs, good, nil
 		}
 		recs = append(recs, r)
-		good += int64(len(data) - len(rest))
-		data = rest
+		good = s.Good()
 	}
 }
 
@@ -585,7 +601,11 @@ func Execute(dir string, m *Manifest, opts Options) (*Matrix, error) {
 	if err != nil {
 		return nil, err
 	}
-	if err := WriteMatrixFile(MatrixPath(dir), matrix); err != nil {
+	fs := opts.FS
+	if fs == nil {
+		fs = iofault.OS
+	}
+	if err := WriteMatrixFileFS(fs, MatrixPath(dir), matrix); err != nil {
 		return nil, err
 	}
 	return matrix, nil

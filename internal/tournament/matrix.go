@@ -4,8 +4,9 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
-	"path/filepath"
 	"strings"
+
+	"pathmark/internal/iofault"
 )
 
 // matrixVersion versions the matrix.json schema.
@@ -77,35 +78,21 @@ func EncodeMatrix(m *Matrix) ([]byte, error) {
 	return append(b, '\n'), nil
 }
 
-// WriteMatrixFile writes the matrix atomically (temp + sync + rename), so
-// a crash mid-write never leaves a torn artifact next to a good journal.
+// WriteMatrixFile writes the matrix atomically (temp + sync + rename +
+// parent-dir fsync, see iofault.WriteFileAtomic), so a crash mid-write
+// never leaves a torn artifact next to a good journal and a crash after
+// the write cannot lose the rename.
 func WriteMatrixFile(path string, m *Matrix) error {
+	return WriteMatrixFileFS(iofault.OS, path, m)
+}
+
+// WriteMatrixFileFS is WriteMatrixFile over an explicit filesystem.
+func WriteMatrixFileFS(fs iofault.FS, path string, m *Matrix) error {
 	b, err := EncodeMatrix(m)
 	if err != nil {
 		return err
 	}
-	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp-*")
-	if err != nil {
-		return fmt.Errorf("tournament: write matrix: %w", err)
-	}
-	tmpName := tmp.Name()
-	fail := func(err error) error {
-		tmp.Close()
-		os.Remove(tmpName)
-		return fmt.Errorf("tournament: write matrix: %w", err)
-	}
-	if _, err := tmp.Write(b); err != nil {
-		return fail(err)
-	}
-	if err := tmp.Sync(); err != nil {
-		return fail(err)
-	}
-	if err := tmp.Close(); err != nil {
-		os.Remove(tmpName)
-		return fmt.Errorf("tournament: write matrix: %w", err)
-	}
-	if err := os.Rename(tmpName, path); err != nil {
-		os.Remove(tmpName)
+	if err := iofault.WriteFileAtomic(fs, path, b); err != nil {
 		return fmt.Errorf("tournament: write matrix: %w", err)
 	}
 	return nil

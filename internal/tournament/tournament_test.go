@@ -9,6 +9,7 @@ import (
 	"strings"
 	"testing"
 
+	"pathmark/internal/iofault"
 	"pathmark/internal/jobs"
 )
 
@@ -261,5 +262,62 @@ func TestRenderMentionsEveryAttack(t *testing.T) {
 	}
 	if !strings.Contains(table, "hardened") || !strings.Contains(table, "baseline") {
 		t.Error("render missing fleet modes")
+	}
+}
+
+// TestJournalCorruptionDetected: a bit flip in the campaign journal —
+// header line or a mid-log cell record, with intact framed records after
+// it — must refuse the resume with a typed *iofault.CorruptError; a torn
+// header is refused too, but not classified as proven corruption.
+func TestJournalCorruptionDetected(t *testing.T) {
+	m := testManifest()
+	seed := t.TempDir()
+	if _, err := Execute(seed, m, Options{Workers: 1, NoSync: true}); err != nil {
+		t.Fatal(err)
+	}
+	good, err := os.ReadFile(jobs.JournalPath(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	reopen := func(data []byte) error {
+		dir := t.TempDir()
+		if err := os.WriteFile(jobs.JournalPath(dir), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		c, err := Open(dir, m, Options{Workers: 1, NoSync: true})
+		if err == nil {
+			c.Close()
+		}
+		return err
+	}
+
+	// Flip a byte inside the header payload (frame prefix is 9 bytes).
+	nl := bytes.IndexByte(good, '\n')
+	corruptHeader := append([]byte(nil), good...)
+	corruptHeader[nl-2] ^= 0x40
+	if err := reopen(corruptHeader); !iofault.IsCorrupt(err) {
+		t.Fatalf("corrupt header resume: err=%v, want *iofault.CorruptError", err)
+	}
+
+	// Flip a byte in a middle cell record.
+	lines := bytes.SplitAfter(good, []byte("\n"))
+	if len(lines) < 4 {
+		t.Fatalf("journal too short for a mid-log flip: %d lines", len(lines))
+	}
+	mid := append([]byte(nil), lines[1]...)
+	mid[len(mid)/2] ^= 0x01
+	corruptRecord := bytes.Join([][]byte{lines[0], mid, bytes.Join(lines[2:], nil)}, nil)
+	if err := reopen(corruptRecord); !iofault.IsCorrupt(err) {
+		t.Fatalf("corrupt cell record resume: err=%v, want *iofault.CorruptError", err)
+	}
+
+	// A torn header — no complete first line — is unusable, not corrupt.
+	err = reopen(good[:nl/2])
+	if err == nil {
+		t.Fatal("torn header accepted")
+	}
+	if iofault.IsCorrupt(err) {
+		t.Fatalf("torn header misclassified as proven corruption: %v", err)
 	}
 }

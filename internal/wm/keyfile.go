@@ -11,6 +11,7 @@ import (
 
 	"pathmark/internal/crt"
 	"pathmark/internal/feistel"
+	"pathmark/internal/iofault"
 )
 
 // keyFile is the serialized form of a Key. The secret input, cipher key
@@ -46,10 +47,16 @@ func SaveKey(w io.Writer, k *Key) error {
 // Production code leaves it nil.
 var keyFileCommitHook func(tmpPath string) error
 
+// keyfileFS is the filesystem SaveKeyFile writes through; tests swap in
+// an iofault recorder or FaultFS.
+var keyfileFS iofault.FS = iofault.OS
+
 // SaveKeyFile writes the key to path atomically: the serialized form goes
 // to a temp file in the destination directory first (mode 0600 — the file
 // holds the secret input and cipher key) and is renamed over path only
-// after a successful write and sync. A crash or write error mid-save can
+// after a successful write and sync, then the parent directory is
+// fsync'd — without that last step the rename itself, not just the
+// content, could be lost to a crash. A crash or write error mid-save can
 // therefore never leave a torn keyfile at path — the strict LoadKey would
 // reject one, silently severing recognition from every copy embedded
 // under the key — and any previous keyfile at path survives a failed
@@ -59,14 +66,16 @@ func SaveKeyFile(path string, k *Key) error {
 	if err := SaveKey(&buf, k); err != nil {
 		return err
 	}
-	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp-*")
+	fs := keyfileFS
+	dir := filepath.Dir(path)
+	tmp, err := fs.CreateTemp(dir, filepath.Base(path)+".tmp-*")
 	if err != nil {
 		return fmt.Errorf("wm: save keyfile: %w", err)
 	}
 	tmpName := tmp.Name()
 	fail := func(err error) error {
 		tmp.Close()
-		os.Remove(tmpName)
+		fs.Remove(tmpName)
 		return fmt.Errorf("wm: save keyfile: %w", err)
 	}
 	if _, err := tmp.Write(buf.Bytes()); err != nil {
@@ -76,18 +85,21 @@ func SaveKeyFile(path string, k *Key) error {
 		return fail(err)
 	}
 	if err := tmp.Close(); err != nil {
-		os.Remove(tmpName)
+		fs.Remove(tmpName)
 		return fmt.Errorf("wm: save keyfile: %w", err)
 	}
 	if keyFileCommitHook != nil {
 		if err := keyFileCommitHook(tmpName); err != nil {
-			os.Remove(tmpName)
+			fs.Remove(tmpName)
 			return fmt.Errorf("wm: save keyfile: %w", err)
 		}
 	}
-	if err := os.Rename(tmpName, path); err != nil {
-		os.Remove(tmpName)
+	if err := fs.Rename(tmpName, path); err != nil {
+		fs.Remove(tmpName)
 		return fmt.Errorf("wm: save keyfile: %w", err)
+	}
+	if err := fs.SyncDir(dir); err != nil {
+		return fmt.Errorf("wm: save keyfile: sync dir: %w", err)
 	}
 	return nil
 }

@@ -8,6 +8,7 @@ import (
 	"strings"
 	"testing"
 
+	"pathmark/internal/iofault"
 	"pathmark/internal/vm"
 )
 
@@ -157,5 +158,87 @@ func TestSaveKeyFileAtomic(t *testing.T) {
 	}
 	if loaded.Cipher != replacement.Cipher || len(loaded.Input) != 3 {
 		t.Error("replacement key did not land after a clean save")
+	}
+}
+
+// keyfileRecorder logs the op sequence SaveKeyFile sends through the
+// filesystem seam.
+type keyfileRecorder struct {
+	iofault.FS
+	ops []string
+}
+
+func (r *keyfileRecorder) CreateTemp(dir, pattern string) (iofault.File, error) {
+	r.ops = append(r.ops, "createtemp")
+	f, err := r.FS.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return &keyfileRecorderFile{File: f, rec: r}, nil
+}
+
+func (r *keyfileRecorder) Rename(oldpath, newpath string) error {
+	r.ops = append(r.ops, "rename")
+	return r.FS.Rename(oldpath, newpath)
+}
+
+func (r *keyfileRecorder) SyncDir(dir string) error {
+	r.ops = append(r.ops, "syncdir:"+dir)
+	return r.FS.SyncDir(dir)
+}
+
+type keyfileRecorderFile struct {
+	iofault.File
+	rec *keyfileRecorder
+}
+
+func (f *keyfileRecorderFile) Sync() error {
+	f.rec.ops = append(f.rec.ops, "sync")
+	return f.File.Sync()
+}
+
+// TestSaveKeyFileSyncsParentDir is the regression test for the missing
+// durability step: after the rename publishes the keyfile, the parent
+// directory must be fsync'd — a crash right after rename must not be
+// able to lose the directory entry, which would silently sever
+// recognition from every copy embedded under the key.
+func TestSaveKeyFileSyncsParentDir(t *testing.T) {
+	dir := t.TempDir()
+	rec := &keyfileRecorder{FS: iofault.OS}
+	keyfileFS = rec
+	defer func() { keyfileFS = iofault.OS }()
+
+	path := filepath.Join(dir, "wm.key")
+	if err := SaveKeyFile(path, testKey(t, []int64{1}, 64)); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"createtemp", "sync", "rename", "syncdir:" + dir}
+	if len(rec.ops) != len(want) {
+		t.Fatalf("op sequence = %v, want %v", rec.ops, want)
+	}
+	for i := range want {
+		if rec.ops[i] != want[i] {
+			t.Fatalf("op %d = %q, want %q (full sequence %v)", i, rec.ops[i], want[i], rec.ops)
+		}
+	}
+	if _, err := LoadKeyFile(path); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSaveKeyFileSyncDirFailureSurfaces: a failed directory fsync means
+// the publish may not be durable — the save must report it.
+func TestSaveKeyFileSyncDirFailureSurfaces(t *testing.T) {
+	keyfileFS = iofault.NewFaultFS(iofault.OS, []iofault.Fault{
+		{Op: iofault.OpSyncDir, Kind: iofault.KindSyncFail},
+	})
+	defer func() { keyfileFS = iofault.OS }()
+	path := filepath.Join(t.TempDir(), "wm.key")
+	err := SaveKeyFile(path, testKey(t, []int64{1}, 64))
+	if err == nil {
+		t.Fatal("SaveKeyFile swallowed a directory fsync failure")
+	}
+	if !iofault.IsStorageFault(err) {
+		t.Fatalf("dir fsync failure not classified as storage fault: %v", err)
 	}
 }
